@@ -1,0 +1,31 @@
+//! # dps-authdns — authoritative serving and iterative resolution
+//!
+//! The DNS half of the simulated Internet:
+//!
+//! * [`zone`] — in-memory zones with RRsets, delegation points (zone cuts)
+//!   and RFC 1034 §4.3.2-style lookup semantics (answers, CNAMEs,
+//!   referrals, NXDOMAIN vs NODATA, empty non-terminals),
+//! * [`catalog`] — the global collection of zones with the addresses of the
+//!   name servers that serve each of them,
+//! * [`server`] — turns a set of zones into a request handler bound on the
+//!   [`dps_netsim::Network`],
+//! * [`zonefile`] — RFC 1035 §5 master-file text (what registries publish
+//!   and the measurement platform parses),
+//! * [`resolver`] — an iterative resolver that starts from root hints,
+//!   chases referrals and CNAME chains, retries over lossy links, and a
+//!   [`resolver::DirectResolver`] that evaluates the same semantics
+//!   directly against the catalog (the bulk path for 10^8-query sweeps).
+//!
+//! The equivalence of the wire path and the bulk path is asserted by tests
+//! in `tests/equivalence.rs`.
+
+pub mod catalog;
+pub mod resolver;
+pub mod server;
+pub mod zone;
+pub mod zonefile;
+
+pub use catalog::Catalog;
+pub use resolver::{DirectResolver, ResolveError, Resolution, Resolver, ResolverConfig};
+pub use server::AuthServer;
+pub use zone::{LookupOutcome, Zone};

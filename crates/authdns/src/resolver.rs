@@ -1,0 +1,584 @@
+//! Iterative resolution: the wire path and the bulk (direct) path.
+//!
+//! [`Resolver`] talks real (simulated) UDP: it starts from root hints,
+//! chases referrals using glue, restarts on out-of-zone CNAMEs, validates
+//! transaction ids, retries over loss, and rotates servers — the behaviour
+//! an active measurement platform needs on the open Internet.
+//!
+//! [`DirectResolver`] evaluates the *same* delegation-following semantics
+//! against the [`Catalog`] without encoding a single byte. The measurement
+//! pipeline uses it for full-zone daily sweeps (10⁸ lookups), after tests
+//! establish it agrees with the wire path.
+
+use crate::catalog::Catalog;
+use crate::zone::LookupOutcome;
+use dps_dns::{Message, Name, Question, RData, Rcode, Record, RrType, WireError};
+use dps_netsim::{Network, Socket};
+use std::fmt;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Tunables for the wire resolver.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// Per-attempt receive timeout (virtual µs).
+    pub attempt_timeout_us: u64,
+    /// Send attempts per server before failing over.
+    pub retries: u32,
+    /// Maximum CNAME restarts per resolution.
+    pub max_indirections: u32,
+    /// Maximum referral hops per restart.
+    pub max_referrals: u32,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        Self { attempt_timeout_us: 500_000, retries: 3, max_indirections: 8, max_referrals: 12 }
+    }
+}
+
+/// Why a resolution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// Every server/retry combination timed out.
+    Timeout,
+    /// A server answered with a non-recoverable RCODE (SERVFAIL, REFUSED…).
+    ServerFailure(Rcode),
+    /// More CNAME restarts than allowed.
+    TooManyIndirections,
+    /// More referral hops than allowed (delegation loop).
+    TooManyReferrals,
+    /// A referral gave no usable name servers.
+    NoNameservers,
+    /// The response was malformed beyond use.
+    Malformed(WireError),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "all servers timed out"),
+            Self::ServerFailure(rc) => write!(f, "server failure: {rc}"),
+            Self::TooManyIndirections => write!(f, "CNAME chain too long"),
+            Self::TooManyReferrals => write!(f, "referral chain too long"),
+            Self::NoNameservers => write!(f, "referral without usable name servers"),
+            Self::Malformed(e) => write!(f, "malformed response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// The result of a successful resolution.
+///
+/// `answers` holds the full chain in resolution order: every CNAME record
+/// traversed (the paper stores "CNAMEs and their full expansions") followed
+/// by the records of the requested type, if any. An authoritative *negative*
+/// answer (NXDOMAIN / NODATA) is a success at this level; check `rcode` and
+/// `answers`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// Final response code (NoError or NxDomain).
+    pub rcode: Rcode,
+    /// CNAME chain + final RRset, in chase order.
+    pub answers: Vec<Record>,
+    /// Virtual time the resolution took (wire path only; 0 for direct).
+    pub elapsed_us: u64,
+}
+
+impl Resolution {
+    /// Records of the requested type in the answer chain.
+    pub fn records_of(&self, rtype: RrType) -> impl Iterator<Item = &Record> {
+        self.answers.iter().filter(move |r| r.rtype() == rtype)
+    }
+
+    /// The CNAME expansion: each target name in chase order.
+    pub fn cname_chain(&self) -> Vec<&Name> {
+        self.answers
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Cname(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire path
+// ---------------------------------------------------------------------------
+
+/// An iterative resolver over the simulated network.
+pub struct Resolver {
+    socket: Socket,
+    root_hints: Vec<IpAddr>,
+    config: ResolverConfig,
+    next_id: u16,
+}
+
+impl Resolver {
+    /// Creates a resolver sending from `src`; `stream` keeps parallel
+    /// resolvers deterministic (see [`Network::socket`]).
+    pub fn new(net: &Arc<Network>, src: IpAddr, stream: u64, root_hints: Vec<IpAddr>) -> Self {
+        Self {
+            socket: net.socket(src, stream),
+            root_hints,
+            config: ResolverConfig::default(),
+            next_id: 1,
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: ResolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Virtual time consumed by this resolver so far.
+    pub fn now_us(&self) -> u64 {
+        self.socket.now_us()
+    }
+
+    /// Resolves `(qname, qtype)` iteratively from the root.
+    pub fn resolve(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
+        let started = self.socket.now_us();
+        let mut chain: Vec<Record> = Vec::new();
+        let mut current = qname.clone();
+
+        for _ in 0..=self.config.max_indirections {
+            let resp = self.resolve_once(&current, qtype, 0)?;
+            match resp.header.rcode {
+                Rcode::NoError => {}
+                Rcode::NxDomain => {
+                    chain.extend(resp.answers);
+                    return Ok(Resolution {
+                        rcode: Rcode::NxDomain,
+                        answers: chain,
+                        elapsed_us: self.socket.now_us() - started,
+                    });
+                }
+                rc => return Err(ResolveError::ServerFailure(rc)),
+            }
+
+            chain.extend(resp.answers.iter().cloned());
+
+            // Follow the CNAME chain inside this response to find where we
+            // stand now.
+            let mut tip = current.clone();
+            loop {
+                let next = resp.answers.iter().find_map(|r| match &r.rdata {
+                    RData::Cname(t) if r.name == tip => Some(t.clone()),
+                    _ => None,
+                });
+                match next {
+                    Some(t) => tip = t,
+                    None => break,
+                }
+            }
+
+            let have_final =
+                qtype == RrType::Cname || resp.answers.iter().any(|r| r.name == tip && r.rtype() == qtype);
+            if have_final || tip == current {
+                // Done: either we have the records, or an authoritative
+                // empty answer (NODATA).
+                return Ok(Resolution {
+                    rcode: Rcode::NoError,
+                    answers: chain,
+                    elapsed_us: self.socket.now_us() - started,
+                });
+            }
+            // Restart at the alias target.
+            current = tip;
+        }
+        Err(ResolveError::TooManyIndirections)
+    }
+
+    /// One referral descent from the root for a single owner name. `depth`
+    /// guards nested glue resolutions.
+    fn resolve_once(
+        &mut self,
+        qname: &Name,
+        qtype: RrType,
+        depth: u32,
+    ) -> Result<Message, ResolveError> {
+        if depth > 2 {
+            return Err(ResolveError::NoNameservers);
+        }
+        let mut servers = self.root_hints.clone();
+        for _ in 0..=self.config.max_referrals {
+            let resp = self.query_any(&servers, qname, qtype)?;
+            match resp.header.rcode {
+                Rcode::NoError => {}
+                _ => return Ok(resp),
+            }
+            if !resp.answers.is_empty() || resp.header.aa {
+                return Ok(resp);
+            }
+            // Referral: gather NS targets + glue.
+            let ns_targets: Vec<Name> = resp
+                .authorities
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Ns(t) => Some(t.clone()),
+                    _ => None,
+                })
+                .collect();
+            if ns_targets.is_empty() {
+                return Err(ResolveError::NoNameservers);
+            }
+            let mut next: Vec<IpAddr> = resp
+                .additionals
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::A(a) if ns_targets.contains(&r.name) => Some(IpAddr::V4(*a)),
+                    _ => None,
+                })
+                .collect();
+            if next.is_empty() {
+                // Glueless delegation: resolve the first NS names ourselves.
+                for target in ns_targets.iter().take(2) {
+                    if let Ok(m) = self.resolve_once(target, RrType::A, depth + 1) {
+                        next.extend(m.answers.iter().filter_map(|r| match &r.rdata {
+                            RData::A(a) if r.name == *target => Some(IpAddr::V4(*a)),
+                            _ => None,
+                        }));
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Err(ResolveError::NoNameservers);
+            }
+            servers = next;
+        }
+        Err(ResolveError::TooManyReferrals)
+    }
+
+    /// Sends to each server in turn with retries, returning the first
+    /// validated response.
+    fn query_any(
+        &mut self,
+        servers: &[IpAddr],
+        qname: &Name,
+        qtype: RrType,
+    ) -> Result<Message, ResolveError> {
+        let mut last_err = ResolveError::Timeout;
+        for attempt in 0..self.config.retries.max(1) {
+            for &server in servers {
+                self.next_id = self.next_id.wrapping_add(1).max(1);
+                let id = self.next_id;
+                let query = Message::query(id, Question::new(qname.clone(), qtype));
+                let bytes = match query.to_bytes() {
+                    Ok(b) => b,
+                    Err(e) => return Err(ResolveError::Malformed(e)),
+                };
+                self.socket.drain();
+                self.socket.send_to(server, &bytes);
+
+                let deadline_budget = self.config.attempt_timeout_us;
+                let start = self.socket.now_us();
+                loop {
+                    let spent = self.socket.now_us() - start;
+                    if spent >= deadline_budget {
+                        break;
+                    }
+                    match self.socket.recv(deadline_budget - spent) {
+                        Ok((from, data)) => {
+                            if from != server {
+                                continue;
+                            }
+                            match Message::parse(&data) {
+                                Ok(m)
+                                    if m.header.qr
+                                        && m.header.id == id
+                                        && m.questions.first().map(|q| (&q.qname, q.qtype))
+                                            == Some((qname, qtype)) =>
+                                {
+                                    if m.header.tc {
+                                        last_err =
+                                            ResolveError::Malformed(WireError::TruncatedResponse);
+                                        break;
+                                    }
+                                    return Ok(m);
+                                }
+                                // Wrong id / corrupted / unparsable: keep
+                                // listening until the attempt deadline.
+                                _ => continue,
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let _ = attempt;
+            }
+        }
+        Err(last_err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk path
+// ---------------------------------------------------------------------------
+
+/// Delegation-following resolution evaluated directly on the [`Catalog`].
+pub struct DirectResolver {
+    catalog: Arc<Catalog>,
+    max_indirections: u32,
+    max_referrals: u32,
+}
+
+impl DirectResolver {
+    /// Creates a direct resolver over `catalog`.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self { catalog, max_indirections: 8, max_referrals: 12 }
+    }
+
+    /// Resolves `(qname, qtype)`, producing the same `Resolution` the wire
+    /// path would (with zero elapsed time).
+    pub fn resolve(&self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
+        let mut chain: Vec<Record> = Vec::new();
+        let mut current = qname.clone();
+
+        'restart: for _ in 0..=self.max_indirections {
+            // Descend from the root by following delegations.
+            let Some((mut origin, mut zone)) = self.catalog.find_zone(&Name::root()) else {
+                return Err(ResolveError::NoNameservers);
+            };
+            // Fast path: jump straight to the deepest registered zone; the
+            // catalog only contains properly delegated zones (asserted by the
+            // wire/direct equivalence tests).
+            if let Some((o, z)) = self.catalog.find_zone(&current) {
+                origin = o;
+                zone = z;
+            }
+            let _ = origin;
+
+            for _ in 0..=self.max_referrals {
+                let outcome = zone.read().lookup(&current, qtype);
+                match outcome {
+                    LookupOutcome::Answer(recs) => {
+                        chain.extend(recs);
+                        return Ok(Resolution {
+                            rcode: Rcode::NoError,
+                            answers: chain,
+                            elapsed_us: 0,
+                        });
+                    }
+                    LookupOutcome::Cname(rec) => {
+                        let target = match &rec.rdata {
+                            RData::Cname(t) => t.clone(),
+                            _ => unreachable!(),
+                        };
+                        chain.push(rec);
+                        current = target;
+                        continue 'restart;
+                    }
+                    LookupOutcome::Referral { ns, .. } => {
+                        // Move into the child zone if it is registered.
+                        let cut =
+                            ns.first().map(|r| r.name.clone()).ok_or(ResolveError::NoNameservers)?;
+                        match self.catalog.zone(&cut) {
+                            Some(z) => zone = z,
+                            None => return Err(ResolveError::NoNameservers),
+                        }
+                    }
+                    LookupOutcome::NoData => {
+                        return Ok(Resolution {
+                            rcode: Rcode::NoError,
+                            answers: chain,
+                            elapsed_us: 0,
+                        });
+                    }
+                    LookupOutcome::NxDomain => {
+                        return Ok(Resolution {
+                            rcode: Rcode::NxDomain,
+                            answers: chain,
+                            elapsed_us: 0,
+                        });
+                    }
+                }
+            }
+            return Err(ResolveError::TooManyReferrals);
+        }
+        Err(ResolveError::TooManyIndirections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::AuthServer;
+    use crate::zone::Zone;
+    use dps_dns::Class;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> RData {
+        RData::A(s.parse::<Ipv4Addr>().unwrap())
+    }
+
+    /// Builds a tiny world: root, `le` TLD, `examp.le` customer zone hosted
+    /// on a DPS server that also serves `foob.ar` with the CNAME target.
+    fn build_world(net: &Arc<Network>) -> Arc<Catalog> {
+        let catalog = Arc::new(Catalog::new());
+
+        let root_addr = ip("10.255.0.1");
+        let tld_addr = ip("10.255.1.1");
+        let dps_addr = ip("10.255.2.1");
+
+        let mut root = Zone::new(Name::root());
+        root.add(n("le"), RData::Ns(n("ns.le")));
+        root.add(n("ns.le"), a("10.255.1.1"));
+        root.add(n("ar"), RData::Ns(n("ns.ar")));
+        root.add(n("ns.ar"), a("10.255.1.1"));
+        let root_handle = catalog.add_zone(root, vec![root_addr]);
+
+        let mut le = Zone::new(n("le"));
+        le.add(n("examp.le"), RData::Ns(n("ns.foob.ar")));
+        // Glueless: ns.foob.ar must be resolved via .ar.
+        let le_handle = catalog.add_zone(le, vec![tld_addr]);
+
+        let mut ar = Zone::new(n("ar"));
+        ar.add(n("foob.ar"), RData::Ns(n("ns.foob.ar")));
+        ar.add(n("ns.foob.ar"), a("10.255.2.1"));
+        let ar_handle = catalog.add_zone(ar, vec![tld_addr]);
+
+        let mut examp = Zone::new(n("examp.le"));
+        examp.add(n("examp.le"), a("203.0.113.10"));
+        examp.add(n("www.examp.le"), RData::Cname(n("edge.foob.ar")));
+        examp.add(n("examp.le"), RData::Ns(n("ns.foob.ar")));
+        let examp_handle = catalog.add_zone(examp, vec![dps_addr]);
+
+        let mut foob = Zone::new(n("foob.ar"));
+        foob.add(n("edge.foob.ar"), a("198.51.100.7"));
+        foob.add(n("foob.ar"), RData::Ns(n("ns.foob.ar")));
+        foob.add(n("ns.foob.ar"), a("10.255.2.1"));
+        let foob_handle = catalog.add_zone(foob, vec![dps_addr]);
+
+        let root_srv = AuthServer::new();
+        root_srv.serve_zone(root_handle);
+        root_srv.bind(net, root_addr);
+
+        let tld_srv = AuthServer::new();
+        tld_srv.serve_zone(le_handle);
+        tld_srv.serve_zone(ar_handle);
+        tld_srv.bind(net, tld_addr);
+
+        let dps_srv = AuthServer::new();
+        dps_srv.serve_zone(examp_handle);
+        dps_srv.serve_zone(foob_handle);
+        dps_srv.bind(net, dps_addr);
+
+        catalog.set_root_hints(vec![root_addr]);
+        catalog
+    }
+
+    fn wire_resolver(net: &Arc<Network>, catalog: &Catalog) -> Resolver {
+        Resolver::new(net, ip("172.16.0.1"), 0, catalog.root_hints())
+    }
+
+    #[test]
+    fn wire_resolves_apex_a() {
+        let net = Network::new(11);
+        let catalog = build_world(&net);
+        let mut r = wire_resolver(&net, &catalog);
+        let res = r.resolve(&n("examp.le"), RrType::A).unwrap();
+        assert_eq!(res.rcode, Rcode::NoError);
+        assert_eq!(res.records_of(RrType::A).count(), 1);
+        assert!(res.elapsed_us > 0);
+    }
+
+    #[test]
+    fn wire_follows_cname_across_zones() {
+        let net = Network::new(12);
+        let catalog = build_world(&net);
+        let mut r = wire_resolver(&net, &catalog);
+        let res = r.resolve(&n("www.examp.le"), RrType::A).unwrap();
+        let chain = res.cname_chain();
+        assert_eq!(chain, vec![&n("edge.foob.ar")]);
+        let a_rec = res.records_of(RrType::A).next().unwrap();
+        assert_eq!(a_rec.rdata, a("198.51.100.7"));
+    }
+
+    #[test]
+    fn wire_nxdomain_propagates() {
+        let net = Network::new(13);
+        let catalog = build_world(&net);
+        let mut r = wire_resolver(&net, &catalog);
+        let res = r.resolve(&n("missing.examp.le"), RrType::A).unwrap();
+        assert_eq!(res.rcode, Rcode::NxDomain);
+        assert!(res.answers.is_empty());
+    }
+
+    #[test]
+    fn wire_nodata_is_noerror_empty() {
+        let net = Network::new(14);
+        let catalog = build_world(&net);
+        let mut r = wire_resolver(&net, &catalog);
+        let res = r.resolve(&n("examp.le"), RrType::Mx).unwrap();
+        assert_eq!(res.rcode, Rcode::NoError);
+        assert!(res.records_of(RrType::Mx).next().is_none());
+    }
+
+    #[test]
+    fn wire_survives_heavy_loss() {
+        let net = Network::new(15);
+        let catalog = build_world(&net);
+        net.set_faults(dps_netsim::FaultProfile { loss: 0.3, ..Default::default() });
+        let mut r = wire_resolver(&net, &catalog).with_config(ResolverConfig {
+            retries: 8,
+            ..Default::default()
+        });
+        let res = r.resolve(&n("www.examp.le"), RrType::A).unwrap();
+        assert_eq!(res.records_of(RrType::A).count(), 1);
+    }
+
+    #[test]
+    fn wire_times_out_on_black_hole() {
+        let net = Network::new(16);
+        let catalog = Arc::new(Catalog::new());
+        catalog.set_root_hints(vec![ip("10.255.0.99")]); // nothing bound
+        let mut r = Resolver::new(&net, ip("172.16.0.1"), 0, catalog.root_hints())
+            .with_config(ResolverConfig { retries: 2, attempt_timeout_us: 10_000, ..Default::default() });
+        assert_eq!(r.resolve(&n("x.y"), RrType::A), Err(ResolveError::Timeout));
+    }
+
+    #[test]
+    fn direct_matches_wire_on_all_cases() {
+        let net = Network::new(17);
+        let catalog = build_world(&net);
+        let direct = DirectResolver::new(Arc::clone(&catalog));
+        let mut wire = wire_resolver(&net, &catalog);
+        for (qname, qtype) in [
+            ("examp.le", RrType::A),
+            ("examp.le", RrType::Ns),
+            ("www.examp.le", RrType::A),
+            ("missing.examp.le", RrType::A),
+            ("examp.le", RrType::Mx),
+            ("edge.foob.ar", RrType::A),
+        ] {
+            let d = direct.resolve(&n(qname), qtype).unwrap();
+            let w = wire.resolve(&n(qname), qtype).unwrap();
+            assert_eq!(d.rcode, w.rcode, "{qname} {qtype}");
+            assert_eq!(d.answers, w.answers, "{qname} {qtype}");
+        }
+    }
+
+    #[test]
+    fn direct_ns_answer_contains_records() {
+        let net = Network::new(18);
+        let catalog = build_world(&net);
+        let direct = DirectResolver::new(catalog);
+        let res = direct.resolve(&n("examp.le"), RrType::Ns).unwrap();
+        let ns: Vec<_> = res.records_of(RrType::Ns).collect();
+        assert_eq!(ns.len(), 1);
+        assert_eq!(ns[0].rdata, RData::Ns(n("ns.foob.ar")));
+        assert_eq!(ns[0].class, Class::In);
+    }
+}

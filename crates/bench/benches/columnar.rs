@@ -1,0 +1,34 @@
+//! Columnar encode/decode throughput on measurement-shaped columns.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dps_columnar::{decode_u32s, encode_u32s};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut rng = SmallRng::seed_from_u64(3);
+    let constant = vec![17u32; N];
+    let consecutive: Vec<u32> = (0..N as u32).collect();
+    let runny: Vec<u32> = (0..N as u32).map(|i| i / 1000).collect();
+    let random: Vec<u32> = (0..N).map(|_| rng.gen()).collect();
+
+    let mut group = c.benchmark_group("columnar");
+    group.throughput(Throughput::Elements(N as u64));
+    for (name, col) in [
+        ("constant", &constant),
+        ("consecutive", &consecutive),
+        ("runny", &runny),
+        ("random", &random),
+    ] {
+        group.bench_function(format!("encode_{name}"), |b| b.iter(|| encode_u32s(col)));
+        let enc = encode_u32s(col);
+        group.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| decode_u32s(&enc).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! DNS wire-format hot path: encode/decode of a realistic response with
+//! CNAME chain and compression.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dps_dns::{Class, Message, Name, Question, RData, Record, RrType};
+use std::net::Ipv4Addr;
+
+fn realistic_response() -> Message {
+    let q = Message::query(
+        0x55AA,
+        Question::new("www.d123456.com".parse().unwrap(), RrType::A),
+    );
+    let mut r = q.answer_template();
+    r.header.aa = true;
+    r.answers.push(Record::new(
+        "www.d123456.com".parse().unwrap(),
+        Class::In,
+        300,
+        RData::Cname("d123456.edgekey.net".parse().unwrap()),
+    ));
+    r.answers.push(Record::new(
+        "d123456.edgekey.net".parse().unwrap(),
+        Class::In,
+        300,
+        RData::Cname("e123456.akamaiedge.net".parse().unwrap()),
+    ));
+    r.answers.push(Record::new(
+        "e123456.akamaiedge.net".parse().unwrap(),
+        Class::In,
+        60,
+        RData::A(Ipv4Addr::new(20, 0, 31, 7)),
+    ));
+    r.authorities.push(Record::new(
+        "akamaiedge.net".parse().unwrap(),
+        Class::In,
+        3600,
+        RData::Ns("ns1.akam.net".parse().unwrap()),
+    ));
+    r
+}
+
+fn bench(c: &mut Criterion) {
+    let msg = realistic_response();
+    let bytes = msg.to_bytes().unwrap();
+    let mut group = c.benchmark_group("dns_wire");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| msg.to_bytes().unwrap()));
+    group.bench_function("decode", |b| b.iter(|| Message::parse(&bytes).unwrap()));
+    group.bench_function("name_parse", |b| {
+        b.iter(|| "www.d123456.com".parse::<Name>().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Longest-prefix-match throughput: the per-address cost of the paper's
+//! stage III ASN supplementing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dps_netsim::{Asn, Prefix, Rib};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::{IpAddr, Ipv4Addr};
+
+fn bench(c: &mut Criterion) {
+    // A routing table shaped like the simulator's: a few hundred prefixes
+    // of mixed lengths.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rib = Rib::new();
+    for i in 0..600u32 {
+        let len = [8u8, 16, 16, 20, 24, 24][i as usize % 6];
+        let addr = Ipv4Addr::from(rng.gen::<u32>());
+        rib.announce(Prefix::new(IpAddr::V4(addr), len).unwrap(), Asn(i % 50 + 1));
+    }
+    let snapshot = rib.snapshot();
+    let addrs: Vec<IpAddr> =
+        (0..10_000).map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>()))).collect();
+
+    let mut group = c.benchmark_group("lpm");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.bench_function("pfx2as_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &a in &addrs {
+                if snapshot.origins(a).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("snapshot_rebuild", |b| b.iter(|| rib.snapshot().len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Measurement-pipeline throughput: full daily sweeps (stage I–III) over
+//! a world, the cost that dominates full-scale reproduction runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dps_ecosystem::{ScenarioParams, Tld, World};
+use dps_measure::collector::SldInterner;
+use dps_measure::{Study, StudyConfig};
+
+fn bench(c: &mut Criterion) {
+    let params = ScenarioParams { seed: 1, scale: 0.05, gtld_days: 30, cc_start_day: 30 };
+    let world = World::imc2016(params);
+    let names = world.zone_entries(Tld::Com).len()
+        + world.zone_entries(Tld::Net).len()
+        + world.zone_entries(Tld::Org).len();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(names as u64));
+    group.bench_function("one_day_sweep", |b| {
+        b.iter(|| {
+            let mut study =
+                Study::new(StudyConfig { days: 1, cc_start_day: 30, stride: 1 });
+            let mut interner = SldInterner::new();
+            study.measure_day(&world, 0, &mut interner);
+            study.store().total_stored_bytes()
+        })
+    });
+    group.bench_function("world_build", |b| {
+        b.iter(|| World::imc2016(params).domains().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

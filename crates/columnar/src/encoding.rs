@@ -1,0 +1,227 @@
+//! Adaptive light-weight column encodings: plain, delta-varint, RLE.
+//!
+//! The encoder tries each strategy and keeps the smallest — the same
+//! pragmatic trick Parquet pulls with its encoding fallbacks. Measurement
+//! columns are extremely compressible: day numbers are constant (RLE),
+//! domain ids are nearly consecutive (delta), ASN/address columns repeat
+//! heavily (RLE after sorting by domain).
+
+use crate::varint;
+
+/// Encoding tag stored in the first byte of an encoded column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// 4-byte little-endian values.
+    Plain,
+    /// ZigZag(delta) varints.
+    Delta,
+    /// (varint value, varint run-length) pairs.
+    Rle,
+}
+
+impl Encoding {
+    fn tag(self) -> u8 {
+        match self {
+            Self::Plain => 0,
+            Self::Delta => 1,
+            Self::Rle => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(Self::Plain),
+            1 => Some(Self::Delta),
+            2 => Some(Self::Rle),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a u32 column, picking the smallest representation.
+/// Layout: `[tag][varint n][payload…]`.
+pub fn encode_u32s(values: &[u32]) -> Vec<u8> {
+    let delta = encode_delta(values);
+    let rle = encode_rle(values);
+    let plain_len = 4 * values.len();
+
+    let (enc, payload) = if rle.len() <= delta.len() && rle.len() <= plain_len {
+        (Encoding::Rle, rle)
+    } else if delta.len() <= plain_len {
+        (Encoding::Delta, delta)
+    } else {
+        let mut p = Vec::with_capacity(plain_len);
+        for v in values {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        (Encoding::Plain, p)
+    };
+
+    let mut out = Vec::with_capacity(payload.len() + 6);
+    out.push(enc.tag());
+    varint::put_u64(&mut out, values.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn encode_delta(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut prev = 0i64;
+    for &v in values {
+        varint::put_u64(&mut out, varint::zigzag(i64::from(v) - prev));
+        prev = i64::from(v);
+    }
+    out
+}
+
+fn encode_rle(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1usize;
+        while i + run < values.len() && values[i + run] == v {
+            run += 1;
+        }
+        varint::put_u64(&mut out, u64::from(v));
+        varint::put_u64(&mut out, run as u64);
+        i += run;
+    }
+    out
+}
+
+/// Decodes a column produced by [`encode_u32s`].
+pub fn decode_u32s(buf: &[u8]) -> Result<Vec<u32>, DecodeError> {
+    let mut pos = 0usize;
+    let tag = *buf.first().ok_or(DecodeError::Truncated)?;
+    pos += 1;
+    let enc = Encoding::from_tag(tag).ok_or(DecodeError::BadTag(tag))?;
+    let n = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)? as usize;
+    // Guard against absurd declared lengths before allocating: plain and
+    // delta need at least one payload byte per value; RLE can legitimately
+    // expand massively, so it only gets a global sanity cap.
+    let payload = buf.len() - pos;
+    match enc {
+        Encoding::Plain | Encoding::Delta if n > payload.saturating_add(1) * 4 => {
+            return Err(DecodeError::Truncated)
+        }
+        _ if n > (1 << 28) => return Err(DecodeError::Truncated),
+        _ => {}
+    }
+    let mut out = Vec::with_capacity(n);
+    match enc {
+        Encoding::Plain => {
+            for _ in 0..n {
+                let end = pos + 4;
+                let bytes = buf.get(pos..end).ok_or(DecodeError::Truncated)?;
+                out.push(u32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+                pos = end;
+            }
+        }
+        Encoding::Delta => {
+            let mut prev = 0i64;
+            for _ in 0..n {
+                let d = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)?;
+                prev += varint::unzigzag(d);
+                let v = u32::try_from(prev).map_err(|_| DecodeError::ValueOutOfRange)?;
+                out.push(v);
+            }
+        }
+        Encoding::Rle => {
+            while out.len() < n {
+                let v = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)?;
+                let run = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)? as usize;
+                if run == 0 || out.len() + run > n {
+                    return Err(DecodeError::BadRun);
+                }
+                let v = u32::try_from(v).map_err(|_| DecodeError::ValueOutOfRange)?;
+                out.extend(std::iter::repeat(v).take(run));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Column decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended early.
+    Truncated,
+    /// Unknown encoding tag.
+    BadTag(u8),
+    /// An RLE run overran the declared length.
+    BadRun,
+    /// A decoded value did not fit u32.
+    ValueOutOfRange,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "column truncated"),
+            Self::BadTag(t) => write!(f, "unknown encoding tag {t}"),
+            Self::BadRun => write!(f, "invalid RLE run"),
+            Self::ValueOutOfRange => write!(f, "value exceeds u32"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_column_uses_rle() {
+        let values = vec![42u32; 10_000];
+        let enc = encode_u32s(&values);
+        assert_eq!(Encoding::from_tag(enc[0]), Some(Encoding::Rle));
+        assert!(enc.len() < 16, "len={}", enc.len());
+        assert_eq!(decode_u32s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn consecutive_column_uses_delta() {
+        let values: Vec<u32> = (0..10_000).collect();
+        let enc = encode_u32s(&values);
+        assert_eq!(Encoding::from_tag(enc[0]), Some(Encoding::Delta));
+        assert!(enc.len() < values.len() * 2, "len={}", enc.len());
+        assert_eq!(decode_u32s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn random_column_roundtrips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let values: Vec<u32> = (0..5000).map(|_| rng.gen()).collect();
+        let enc = encode_u32s(&values);
+        assert_eq!(decode_u32s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn empty_column() {
+        let enc = encode_u32s(&[]);
+        assert_eq!(decode_u32s(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn garbage_rejected_without_panic() {
+        assert!(decode_u32s(&[]).is_err());
+        assert!(decode_u32s(&[9, 1, 0]).is_err());
+        // Declared huge length with tiny buffer.
+        let mut buf = vec![0u8];
+        crate::varint::put_u64(&mut buf, u64::MAX);
+        assert!(decode_u32s(&buf).is_err());
+    }
+
+    #[test]
+    fn rle_run_overrun_rejected() {
+        // tag=RLE, n=2, then value 5 run 3.
+        let mut buf = vec![2u8];
+        crate::varint::put_u64(&mut buf, 2);
+        crate::varint::put_u64(&mut buf, 5);
+        crate::varint::put_u64(&mut buf, 3);
+        assert_eq!(decode_u32s(&buf), Err(DecodeError::BadRun));
+    }
+}

@@ -1,0 +1,255 @@
+//! Columnar tables: a schema of named u32 columns, built row-wise, stored
+//! column-wise with adaptive encodings.
+
+use crate::encoding::{decode_u32s, encode_u32s, DecodeError};
+use crate::varint;
+use std::sync::Arc;
+
+/// Magic bytes of the serialised table format.
+const MAGIC: &[u8; 4] = b"DPC1";
+
+/// Named columns, all u32 (ids, dictionary codes, packed IPv4 addresses,
+/// day numbers — everything the measurement stores fits u32).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Arc<Vec<String>>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    pub fn new(names: &[&str]) -> Self {
+        Self { names: Arc::new(names.iter().map(|s| s.to_string()).collect()) }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// Row-wise builder for a [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Vec<u32>>,
+}
+
+impl TableBuilder {
+    /// An empty builder for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.width()).map(|_| Vec::new()).collect();
+        Self { schema, columns }
+    }
+
+    /// Appends one row; `values.len()` must equal the schema width.
+    pub fn push_row(&mut self, values: &[u32]) {
+        assert_eq!(values.len(), self.schema.width(), "row width mismatch");
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+    }
+
+    /// Rows so far.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Finishes into an immutable table.
+    pub fn finish(self) -> Table {
+        Table { schema: self.schema, columns: self.columns }
+    }
+}
+
+/// An immutable, decodable columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<u32>>,
+}
+
+impl Table {
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> &[u32] {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&[u32]> {
+        self.schema.index_of(name).map(|i| self.column(i))
+    }
+
+    /// Serialises: magic, column count, per column name + encoded data.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        varint::put_u64(&mut out, self.schema.width() as u64);
+        for (name, col) in self.schema.names().iter().zip(&self.columns) {
+            varint::put_u64(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            let enc = encode_u32s(col);
+            varint::put_u64(&mut out, enc.len() as u64);
+            out.extend_from_slice(&enc);
+        }
+        out
+    }
+
+    /// Parses the serialisation produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, TableError> {
+        if buf.get(..4) != Some(MAGIC.as_slice()) {
+            return Err(TableError::BadMagic);
+        }
+        let mut pos = 4usize;
+        let width = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
+        if width > 1024 {
+            return Err(TableError::Truncated);
+        }
+        let mut names = Vec::with_capacity(width);
+        let mut columns = Vec::with_capacity(width);
+        let mut rows: Option<usize> = None;
+        for _ in 0..width {
+            let nlen = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
+            let nbytes = buf.get(pos..pos + nlen).ok_or(TableError::Truncated)?;
+            pos += nlen;
+            let name = std::str::from_utf8(nbytes).map_err(|_| TableError::BadName)?;
+            names.push(name);
+            let clen = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
+            let cbytes = buf.get(pos..pos + clen).ok_or(TableError::Truncated)?;
+            pos += clen;
+            let col = decode_u32s(cbytes).map_err(TableError::Column)?;
+            match rows {
+                None => rows = Some(col.len()),
+                Some(r) if r != col.len() => return Err(TableError::RaggedColumns),
+                _ => {}
+            }
+            columns.push(col);
+        }
+        let name_refs: Vec<&str> = names.clone();
+        Ok(Self { schema: Schema::new(&name_refs), columns })
+    }
+
+    /// Serialised size in bytes (what "stored size" means in Table 1).
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Uncompressed size: 4 bytes per cell.
+    pub fn raw_len(&self) -> usize {
+        4 * self.rows() * self.schema.width()
+    }
+}
+
+/// Table decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// The buffer ended early.
+    Truncated,
+    /// A column name was not UTF-8.
+    BadName,
+    /// Column lengths disagree.
+    RaggedColumns,
+    /// A column payload failed to decode.
+    Column(DecodeError),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a DPC1 table"),
+            Self::Truncated => write!(f, "table truncated"),
+            Self::BadName => write!(f, "non-UTF-8 column name"),
+            Self::RaggedColumns => write!(f, "column lengths disagree"),
+            Self::Column(e) => write!(f, "column decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(Schema::new(&["day", "id", "ip"]));
+        for i in 0..500u32 {
+            b.push_row(&[17, i, 0x0A00_0000 + i % 7]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let back = Table::from_bytes(&bytes).unwrap();
+        assert_eq!(back.rows(), 500);
+        assert_eq!(back.schema().names(), t.schema().names());
+        for i in 0..3 {
+            assert_eq!(back.column(i), t.column(i));
+        }
+    }
+
+    #[test]
+    fn compresses_well() {
+        let t = sample();
+        // day column constant, id consecutive, ip 7 distinct values.
+        assert!(
+            t.encoded_len() < t.raw_len() / 3,
+            "encoded {} raw {}",
+            t.encoded_len(),
+            t.raw_len()
+        );
+    }
+
+    #[test]
+    fn column_by_name() {
+        let t = sample();
+        assert_eq!(t.column_by_name("day").unwrap()[0], 17);
+        assert!(t.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut b = TableBuilder::new(Schema::new(&["a", "b"]));
+        b.push_row(&[1]);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        assert!(matches!(Table::from_bytes(b"nope"), Err(TableError::BadMagic)));
+        let t = sample();
+        let mut bytes = t.to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        assert!(Table::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let t = TableBuilder::new(Schema::new(&["x"])).finish();
+        let back = Table::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back.rows(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: every encoding round-trips, the adaptive choice never
+//! loses data, and the decoder survives garbage.
+
+use dps_columnar::{decode_u32s, encode_u32s, Schema, StringDict, Table, TableBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn u32_roundtrip_random(values in proptest::collection::vec(any::<u32>(), 0..2000)) {
+        let enc = encode_u32s(&values);
+        prop_assert_eq!(decode_u32s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn u32_roundtrip_runny(
+        runs in proptest::collection::vec((any::<u32>(), 1usize..50), 0..50)
+    ) {
+        let values: Vec<u32> = runs.iter().flat_map(|&(v, n)| std::iter::repeat(v).take(n)).collect();
+        let enc = encode_u32s(&values);
+        prop_assert_eq!(decode_u32s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn u32_roundtrip_monotone(
+        start in 0u32..1_000_000,
+        steps in proptest::collection::vec(0u32..5, 0..2000)
+    ) {
+        let mut v = start;
+        let mut values = Vec::with_capacity(steps.len());
+        for s in steps {
+            v = v.saturating_add(s);
+            values.push(v);
+        }
+        let enc = encode_u32s(&values);
+        prop_assert_eq!(decode_u32s(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_u32s(&bytes);
+        let _ = Table::from_bytes(&bytes);
+        let _ = StringDict::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn table_roundtrip(
+        rows in proptest::collection::vec((any::<u32>(), any::<u32>(), 0u32..9), 0..500)
+    ) {
+        let mut b = TableBuilder::new(Schema::new(&["a", "b", "c"]));
+        for (a, bb, c) in &rows {
+            b.push_row(&[*a, *bb, *c]);
+        }
+        let t = b.finish();
+        let back = Table::from_bytes(&t.to_bytes()).unwrap();
+        prop_assert_eq!(back.rows(), rows.len());
+        for (i, (a, bb, c)) in rows.iter().enumerate() {
+            prop_assert_eq!(back.column(0)[i], *a);
+            prop_assert_eq!(back.column(1)[i], *bb);
+            prop_assert_eq!(back.column(2)[i], *c);
+        }
+    }
+
+    #[test]
+    fn dict_roundtrip(strings in proptest::collection::vec("[a-z0-9.-]{0,30}", 0..100)) {
+        let mut d = StringDict::new();
+        let ids: Vec<u32> = strings.iter().map(|s| d.intern(s)).collect();
+        let back = StringDict::from_bytes(&d.to_bytes()).unwrap();
+        for (s, id) in strings.iter().zip(ids) {
+            prop_assert_eq!(back.resolve(id), Some(s.as_str()));
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Growth analysis (§4.2, Figs. 5–6): large-anomaly cleaning, median
+//! smoothing, and normalised growth factors.
+//!
+//! The paper smooths "shorter and smaller anomalies … by taking the median
+//! reference count over a time window of several weeks, while the large
+//! anomalies are cleaned manually". Manual cleaning is not reproducible,
+//! so this module automates what the authors describe: day-over-day level
+//! shifts far outside the robust noise band are detected, and opposite
+//! shifts of matching magnitude are paired and subtracted (a transient
+//! excursion — a Wix-style peak or plateau — is removed), while unpaired
+//! shifts (a Fabulous-style permanent exit) are kept, as the paper keeps
+//! its March-2016 dip.
+
+use crate::util::{mad, median_u32};
+
+/// Tunables for the growth analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowthConfig {
+    /// Centered median window (days). The paper says "several weeks".
+    pub median_window: usize,
+    /// A shift is "large" if it exceeds `mad_factor × MAD(deltas)` …
+    pub mad_factor: f64,
+    /// … and this fraction of the current level …
+    pub min_level_fraction: f64,
+    /// … and this absolute floor.
+    pub min_absolute: f64,
+    /// Two opposite shifts pair if the later one cancels the earlier
+    /// within this relative tolerance and within `max_excursion_days`.
+    pub pair_tolerance: f64,
+    /// Longest excursion that can be cleaned (the Wix plateau is ~124 d).
+    pub max_excursion_days: usize,
+    /// Whether large-anomaly cleaning runs at all (ablation knob).
+    pub clean_anomalies: bool,
+}
+
+impl Default for GrowthConfig {
+    fn default() -> Self {
+        Self {
+            median_window: 28,
+            mad_factor: 8.0,
+            min_level_fraction: 0.004,
+            min_absolute: 4.0,
+            pair_tolerance: 0.35,
+            max_excursion_days: 240,
+            clean_anomalies: true,
+        }
+    }
+}
+
+/// The analysis output.
+#[derive(Debug, Clone)]
+pub struct GrowthAnalysis {
+    /// Input days.
+    pub days: Vec<u32>,
+    /// Raw counts.
+    pub raw: Vec<f64>,
+    /// After large-anomaly cleaning.
+    pub cleaned: Vec<f64>,
+    /// After median smoothing.
+    pub smoothed: Vec<f64>,
+    /// Smoothed series normalised to its first value (the paper's y-axis).
+    pub normalized: Vec<f64>,
+    /// Final growth factor (last / first of the smoothed series).
+    pub factor: f64,
+    /// Detected large-shift days `(index, delta)`, for reporting.
+    pub shifts: Vec<(usize, f64)>,
+}
+
+/// Runs the §4.2 growth analysis on a daily count series.
+pub fn analyze(days: &[u32], series: &[u32], config: &GrowthConfig) -> GrowthAnalysis {
+    assert_eq!(days.len(), series.len());
+    let raw: Vec<f64> = series.iter().map(|&v| f64::from(v)).collect();
+    let (cleaned, shifts) = if config.clean_anomalies && raw.len() > 3 {
+        clean_large_anomalies(&raw, config)
+    } else {
+        (raw.clone(), Vec::new())
+    };
+    let smoothed = median_smooth(&cleaned, config.median_window);
+    let base = smoothed.first().copied().unwrap_or(0.0);
+    let normalized: Vec<f64> =
+        smoothed.iter().map(|&v| if base > 0.0 { v / base } else { 0.0 }).collect();
+    let factor = normalized.last().copied().unwrap_or(0.0);
+    GrowthAnalysis { days: days.to_vec(), raw, cleaned, smoothed, normalized, factor, shifts }
+}
+
+/// Centered median filter; window is clamped to the series length and
+/// truncated at the edges.
+pub fn median_smooth(series: &[f64], window: usize) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let half = (window.max(1) - 1) / 2;
+    let mut out = Vec::with_capacity(series.len());
+    for i in 0..series.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(series.len());
+        let mut win: Vec<u32> = series[lo..hi].iter().map(|&v| v.max(0.0) as u32).collect();
+        out.push(f64::from(median_u32(&mut win)));
+    }
+    out
+}
+
+/// Detects large level shifts and removes paired (transient) excursions.
+fn clean_large_anomalies(raw: &[f64], config: &GrowthConfig) -> (Vec<f64>, Vec<(usize, f64)>) {
+    let mut cleaned = raw.to_vec();
+    let mut all_shifts = Vec::new();
+
+    // Iterate: removing one excursion may reveal a nested one.
+    for _round in 0..8 {
+        let deltas: Vec<f64> =
+            cleaned.windows(2).map(|w| w[1] - w[0]).collect();
+        let noise = mad(&deltas);
+        let level = {
+            let mut v: Vec<u32> = cleaned.iter().map(|&x| x.max(0.0) as u32).collect();
+            f64::from(median_u32(&mut v))
+        };
+        let threshold = (config.mad_factor * noise)
+            .max(config.min_level_fraction * level)
+            .max(config.min_absolute);
+
+        // `shift at index i` means the level changes between day i and i+1.
+        let shifts: Vec<(usize, f64)> = deltas
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d.abs() > threshold)
+            .map(|(i, &d)| (i, d))
+            .collect();
+        if all_shifts.is_empty() {
+            all_shifts = shifts.clone();
+        }
+
+        // Pair the first shift with the earliest opposite shift that
+        // cancels it within tolerance; subtract the excursion.
+        let mut removed_any = false;
+        let mut used = vec![false; shifts.len()];
+        for a in 0..shifts.len() {
+            if used[a] {
+                continue;
+            }
+            let (ia, da) = shifts[a];
+            for b in a + 1..shifts.len() {
+                if used[b] {
+                    continue;
+                }
+                let (ib, db) = shifts[b];
+                if ib - ia > config.max_excursion_days {
+                    break;
+                }
+                if da.signum() != db.signum()
+                    && (da + db).abs() <= config.pair_tolerance * da.abs().max(db.abs())
+                {
+                    // Remove the excursion: interpolate the baseline from
+                    // day ia to day ib+1.
+                    let start = cleaned[ia];
+                    let end = cleaned[ib + 1];
+                    let span = (ib + 1 - ia) as f64;
+                    for (k, v) in cleaned.iter_mut().enumerate().take(ib + 1).skip(ia + 1) {
+                        let t = (k - ia) as f64 / span;
+                        *v = start + t * (end - start);
+                    }
+                    used[a] = true;
+                    used[b] = true;
+                    removed_any = true;
+                    break;
+                }
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    (cleaned, all_shifts)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn days(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    fn linear(n: usize, start: f64, end: f64) -> Vec<u32> {
+        (0..n).map(|i| (start + (end - start) * i as f64 / (n - 1) as f64).round() as u32).collect()
+    }
+
+    #[test]
+    fn clean_trend_measures_growth_factor() {
+        let n = 550;
+        let series = linear(n, 5000.0, 6200.0);
+        let g = analyze(&days(n), &series, &GrowthConfig::default());
+        assert!((g.factor - 1.24).abs() < 0.02, "factor={}", g.factor);
+    }
+
+    #[test]
+    fn short_peak_is_smoothed_out() {
+        let n = 200;
+        let mut series = linear(n, 1000.0, 1100.0);
+        for day in 50..54 {
+            series[day] += 5000; // 4-day anomaly
+        }
+        let g = analyze(&days(n), &series, &GrowthConfig::default());
+        // The smoothed series never jumps by the peak height.
+        let max_step = g
+            .smoothed
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_step < 100.0, "max step {max_step}");
+        assert!((g.factor - 1.1).abs() < 0.05, "factor={}", g.factor);
+    }
+
+    #[test]
+    fn long_plateau_is_cleaned() {
+        // A 124-day plateau like the Wix/Incapsula one: median smoothing
+        // alone cannot remove it; the pairing rule must.
+        let n = 400;
+        let mut series = linear(n, 4000.0, 4400.0);
+        for day in 66..190 {
+            series[day] += 1100;
+        }
+        let g = analyze(&days(n), &series, &GrowthConfig::default());
+        assert!((g.factor - 1.1).abs() < 0.04, "factor={}", g.factor);
+        assert!(!g.shifts.is_empty());
+        // The cleaned series should be near the baseline mid-plateau.
+        assert!((g.cleaned[120] - 4150.0).abs() < 220.0, "cleaned={}", g.cleaned[120]);
+    }
+
+    #[test]
+    fn overlapping_anomalies_of_different_magnitude_pair_correctly() {
+        // A 1100-domain plateau (days 60..190) overlapping a 700-domain
+        // excursion (days 80..95): the ±700 pair must not steal the +1100
+        // shift (pair_tolerance guards magnitude mismatch).
+        let n = 400;
+        let mut series = linear(n, 5000.0, 5200.0);
+        for day in 60..190 {
+            series[day] += 1100;
+        }
+        for day in 80..95 {
+            series[day] += 700;
+        }
+        let g = analyze(&days(n), &series, &GrowthConfig::default());
+        // Both excursions removed: factor close to the underlying trend.
+        assert!((g.factor - 1.04).abs() < 0.03, "factor={}", g.factor);
+        assert!((g.cleaned[100] - 5070.0).abs() < 200.0, "cleaned={}", g.cleaned[100]);
+    }
+
+    #[test]
+    fn permanent_level_change_is_kept() {
+        // A Fabulous-style permanent drop must survive cleaning (the paper
+        // keeps the March 2016 dip).
+        let n = 400;
+        let mut series = linear(n, 4000.0, 4000.0);
+        for item in series.iter_mut().skip(300) {
+            *item -= 800;
+        }
+        let g = analyze(&days(n), &series, &GrowthConfig::default());
+        assert!(g.factor < 0.9, "factor={}", g.factor);
+    }
+
+    #[test]
+    fn single_day_trough_is_cleaned() {
+        // Sedo-style one-day outage.
+        let n = 100;
+        let mut series = vec![2000u32; n];
+        series[50] = 1300;
+        let g = analyze(&days(n), &series, &GrowthConfig::default());
+        assert!((g.factor - 1.0).abs() < 0.01);
+        assert!((g.cleaned[50] - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ablation_no_cleaning_keeps_plateau() {
+        let n = 400;
+        let mut series = linear(n, 4000.0, 4400.0);
+        for day in 150..350 {
+            series[day] += 2000;
+        }
+        let config = GrowthConfig { clean_anomalies: false, ..GrowthConfig::default() };
+        let g = analyze(&days(n), &series, &config);
+        // Without cleaning the plateau inflates mid-series values.
+        assert!(g.smoothed[250] > 5500.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_series() {
+        let g = analyze(&[], &[], &GrowthConfig::default());
+        assert_eq!(g.factor, 0.0);
+        let g = analyze(&[0, 1], &[10, 11], &GrowthConfig::default());
+        assert!(g.factor > 0.0);
+    }
+}

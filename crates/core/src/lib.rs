@@ -1,0 +1,40 @@
+//! # dps-core — the IMC 2016 detection methodology
+//!
+//! This crate is the paper's primary contribution, implemented as a
+//! library over the measurement archive produced by `dps-measure`:
+//!
+//! * [`references`] — per-provider reference sets (AS numbers, CNAME SLDs,
+//!   NS SLDs; paper Table 2) and their compiled lookup form,
+//! * [`scan`] — the single pass that classifies every domain-day into
+//!   per-provider use with a method breakdown (§3.3) and produces daily
+//!   series plus per-domain reference timelines,
+//! * [`discovery`] — the iterative seed-expansion procedure that derives
+//!   the reference sets from the data itself (§3.3, regenerates Table 2),
+//! * [`growth`] — median smoothing, large-anomaly cleaning and growth
+//!   factors (§4.2, Figs. 5–6),
+//! * [`peaks`] — always-on/on-demand classification and peak-duration
+//!   CDFs (§3.4, §4.4.3, Fig. 8),
+//! * [`flux`] — first-seen/last-seen influx/outflux in two-week windows
+//!   (§4.4.2, Fig. 7),
+//! * [`attribution`] — tracing anomalies to third parties via shared
+//!   NS/CNAME SLDs of the domains that flipped (§4.4.1),
+//! * [`combinations`] — the reference-combination breakdown ("not only
+//!   if, but how", §3.3),
+//! * [`mechanism`] — identifying how on-demand diversion was effected
+//!   (A record / CNAME / NS-managed / BGP, §3.4),
+//! * [`report`] — text/CSV builders for every table and figure.
+
+pub mod attribution;
+pub mod combinations;
+pub mod discovery;
+pub mod flux;
+pub mod growth;
+pub mod mechanism;
+pub mod peaks;
+pub mod references;
+pub mod report;
+pub mod scan;
+pub mod util;
+
+pub use references::{CompiledRefs, ProviderRefs, RefKind};
+pub use scan::{ScanOutput, Scanner, SeriesSet, Timelines};

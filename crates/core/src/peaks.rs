@@ -1,0 +1,239 @@
+//! Always-on vs. on-demand use (§3.4) and peak-duration analysis (§4.4.3,
+//! Fig. 8).
+//!
+//! A *peak* is a maximal run of consecutive days on which a domain
+//! references a provider by ASN (i.e. traffic is actually diverted). The
+//! paper deems use always-on when the ASN reference has no gap days, and
+//! estimates the on-demand population as domains with at least three
+//! peaks; single- or double-peak domains are left unclassified ("could
+//! either be a short-lived always-on customer, or brief on-demand use").
+
+use crate::scan::Timelines;
+
+/// How a domain uses a provider over the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseMode {
+    /// ASN reference present without gap days.
+    AlwaysOn,
+    /// ≥ 3 distinct diversion peaks.
+    OnDemand,
+    /// 2 peaks: switching, but below the on-demand evidence bar.
+    Ambiguous,
+    /// References without any ASN reference (e.g. managed DNS only).
+    NeverDiverted,
+}
+
+/// Classifies one ASN-reference timeline.
+pub fn classify_mode(asn_bits: &crate::util::DayBits) -> UseMode {
+    let runs = asn_bits.runs();
+    match runs.len() {
+        0 => UseMode::NeverDiverted,
+        1 => UseMode::AlwaysOn,
+        2 => UseMode::Ambiguous,
+        _ => UseMode::OnDemand,
+    }
+}
+
+/// Peak-duration distribution of one provider's on-demand population.
+#[derive(Debug, Clone, Default)]
+pub struct PeakDistribution {
+    /// Number of on-demand domains (≥3 peaks).
+    pub domains: usize,
+    /// Counts per use mode over all referencing domains.
+    pub always_on: usize,
+    /// See [`UseMode::Ambiguous`].
+    pub ambiguous: usize,
+    /// Domains excluded as part of a synchronised third-party block.
+    pub synchronized: usize,
+    /// All peak durations (days) of the on-demand population, sorted.
+    pub durations: Vec<u32>,
+}
+
+impl PeakDistribution {
+    /// Empirical CDF evaluated at `x` days.
+    pub fn cdf(&self, x: u32) -> f64 {
+        if self.durations.is_empty() {
+            return 0.0;
+        }
+        let below = self.durations.partition_point(|&d| d <= x);
+        below as f64 / self.durations.len() as f64
+    }
+
+    /// The duration at which the CDF reaches `q` (e.g. 0.8 for the paper's
+    /// per-provider markers).
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.durations.is_empty() {
+            return None;
+        }
+        let idx = ((self.durations.len() as f64 * q).ceil() as usize)
+            .clamp(1, self.durations.len());
+        Some(self.durations[idx - 1])
+    }
+}
+
+/// Computes per-provider peak distributions from the scan timelines.
+///
+/// `measure_stride` converts run lengths (in measured-day positions) back
+/// to calendar days when the study was run with a stride. Third-party
+/// blocks — `sync_threshold` or more domains flipping with *identical*
+/// peak signatures (a Wix or an ENOM, §4.4.1) — are excluded from the
+/// on-demand population, as the paper's Fig. 8 excludes them: their peaks
+/// reflect one operator's decision, not per-customer mitigation behaviour.
+pub fn analyze(timelines: &Timelines, n_providers: usize, measure_stride: u32) -> Vec<PeakDistribution> {
+    analyze_with(timelines, n_providers, measure_stride, 20)
+}
+
+/// [`analyze`] with an explicit synchronised-block exclusion threshold
+/// (`0` disables the exclusion).
+pub fn analyze_with(
+    timelines: &Timelines,
+    n_providers: usize,
+    measure_stride: u32,
+    sync_threshold: usize,
+) -> Vec<PeakDistribution> {
+    // Count identical (provider, runs) signatures.
+    let mut signature_counts: std::collections::HashMap<(u8, Vec<(usize, usize)>), usize> =
+        std::collections::HashMap::new();
+    if sync_threshold > 0 {
+        for (&(_, provider), tl) in &timelines.map {
+            let runs = tl.asn.runs();
+            if runs.len() >= 3 {
+                *signature_counts.entry((provider, runs)).or_default() += 1;
+            }
+        }
+    }
+
+    let mut out: Vec<PeakDistribution> =
+        (0..n_providers).map(|_| PeakDistribution::default()).collect();
+    for (&(_entry, provider), tl) in &timelines.map {
+        let dist = &mut out[provider as usize];
+        match classify_mode(&tl.asn) {
+            UseMode::AlwaysOn => dist.always_on += 1,
+            UseMode::Ambiguous => dist.ambiguous += 1,
+            UseMode::NeverDiverted => {}
+            UseMode::OnDemand => {
+                let runs = tl.asn.runs();
+                if sync_threshold > 0 {
+                    let synced = signature_counts
+                        .get(&(provider, runs.clone()))
+                        .is_some_and(|&c| c >= sync_threshold);
+                    if synced {
+                        dist.synchronized += 1;
+                        continue;
+                    }
+                }
+                dist.domains += 1;
+                for (_, len) in runs {
+                    dist.durations.push(len as u32 * measure_stride.max(1));
+                }
+            }
+        }
+    }
+    for dist in &mut out {
+        dist.durations.sort_unstable();
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)]
+mod tests {
+    use super::*;
+    use crate::scan::Timeline;
+    use crate::util::DayBits;
+    use std::collections::HashMap;
+
+    fn bits(days: usize, set: &[std::ops::Range<usize>]) -> DayBits {
+        let mut b = DayBits::new(days);
+        for r in set {
+            for i in r.clone() {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    fn tl(asn: DayBits) -> Timeline {
+        let n = asn.len();
+        Timeline { any: asn.clone(), asn, cname: DayBits::new(n), ns: DayBits::new(n) }
+    }
+
+    #[test]
+    fn mode_classification() {
+        assert_eq!(classify_mode(&bits(30, &[])), UseMode::NeverDiverted);
+        assert_eq!(classify_mode(&bits(30, &[0..30])), UseMode::AlwaysOn);
+        assert_eq!(classify_mode(&bits(30, &[5..20])), UseMode::AlwaysOn);
+        assert_eq!(classify_mode(&bits(30, &[2..5, 10..12])), UseMode::Ambiguous);
+        assert_eq!(classify_mode(&bits(30, &[2..5, 10..12, 20..29])), UseMode::OnDemand);
+    }
+
+    #[test]
+    fn distribution_collects_durations() {
+        let mut map = HashMap::new();
+        map.insert((0u32, 0u8), tl(bits(60, &[0..3, 10..14, 30..35])));
+        map.insert((2u32, 0u8), tl(bits(60, &[0..60])));
+        map.insert((4u32, 0u8), tl(bits(60, &[1..2, 6..8])));
+        let timelines = Timelines { days: (0..60).collect(), map };
+        let dists = analyze(&timelines, 2, 1);
+        let d = &dists[0];
+        assert_eq!(d.domains, 1);
+        assert_eq!(d.always_on, 1);
+        assert_eq!(d.ambiguous, 1);
+        assert_eq!(d.durations, vec![3, 4, 5]);
+        assert_eq!(dists[1].domains, 0);
+    }
+
+    #[test]
+    fn cdf_and_quantile() {
+        let d = PeakDistribution { durations: vec![1, 2, 2, 3, 10], ..Default::default() };
+        assert_eq!(d.cdf(0), 0.0);
+        assert_eq!(d.cdf(2), 0.6);
+        assert_eq!(d.cdf(10), 1.0);
+        assert_eq!(d.quantile(0.8), Some(3));
+        assert_eq!(d.quantile(1.0), Some(10));
+        assert_eq!(PeakDistribution::default().quantile(0.8), None);
+    }
+
+    #[test]
+    fn synchronized_blocks_are_excluded() {
+        // 25 domains flipping in perfect lockstep (a Wix) + 2 independent
+        // on-demand domains.
+        let mut map = HashMap::new();
+        for e in 0..25u32 {
+            map.insert((e, 0u8), tl(bits(60, &[5..10, 20..30, 40..45])));
+        }
+        map.insert((100u32, 0u8), tl(bits(60, &[1..3, 9..11, 30..33])));
+        map.insert((101u32, 0u8), tl(bits(60, &[2..4, 15..16, 50..55])));
+        let timelines = Timelines { days: (0..60).collect(), map };
+
+        let with_exclusion = analyze_with(&timelines, 1, 1, 20);
+        assert_eq!(with_exclusion[0].synchronized, 25);
+        assert_eq!(with_exclusion[0].domains, 2);
+        assert_eq!(with_exclusion[0].durations.len(), 6);
+
+        let without = analyze_with(&timelines, 1, 1, 0);
+        assert_eq!(without[0].domains, 27);
+        assert_eq!(without[0].synchronized, 0);
+    }
+
+    #[test]
+    fn small_coincidences_are_kept() {
+        // Below the threshold, identical signatures are just coincidence.
+        let mut map = HashMap::new();
+        for e in 0..5u32 {
+            map.insert((e, 0u8), tl(bits(60, &[5..10, 20..30, 40..45])));
+        }
+        let timelines = Timelines { days: (0..60).collect(), map };
+        let dists = analyze(&timelines, 1, 1);
+        assert_eq!(dists[0].domains, 5);
+    }
+
+    #[test]
+    fn stride_scales_durations() {
+        let mut map = HashMap::new();
+        map.insert((0u32, 0u8), tl(bits(20, &[0..2, 5..6, 9..12])));
+        let timelines = Timelines { days: (0..20).collect(), map };
+        let dists = analyze(&timelines, 1, 3);
+        assert_eq!(dists[0].durations, vec![3, 6, 9]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the analysis algebra: peak extraction, flux
+//! conservation, day-bit invariants, and smoothing bounds.
+
+use dps_core::growth::{analyze, median_smooth, GrowthConfig};
+use dps_core::scan::{Timeline, Timelines};
+use dps_core::util::DayBits;
+use dps_core::{flux, peaks};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_bits(days: usize) -> impl Strategy<Value = DayBits> {
+    proptest::collection::vec(any::<bool>(), days).prop_map(move |v| {
+        let mut b = DayBits::new(v.len());
+        for (i, set) in v.iter().enumerate() {
+            if *set {
+                b.set(i);
+            }
+        }
+        b
+    })
+}
+
+fn tl(asn: DayBits) -> Timeline {
+    let n = asn.len();
+    Timeline { any: asn.clone(), asn, cname: DayBits::new(n), ns: DayBits::new(n) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn runs_reconstruct_bits(bits in arb_bits(120)) {
+        let mut rebuilt = DayBits::new(bits.len());
+        let runs = bits.runs();
+        for (start, len) in &runs {
+            prop_assert!(*len > 0);
+            for i in *start..start + len {
+                rebuilt.set(i);
+            }
+        }
+        prop_assert_eq!(&rebuilt, &bits);
+        // Runs are separated by at least one clear day.
+        for w in runs.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 < w[1].0);
+        }
+        // Total run length equals the population count.
+        prop_assert_eq!(runs.iter().map(|(_, l)| l).sum::<usize>(), bits.count());
+    }
+
+    #[test]
+    fn peak_durations_sum_to_diverted_days(bits in arb_bits(90)) {
+        let mut map = HashMap::new();
+        let total = bits.count();
+        let n_runs = bits.runs().len();
+        map.insert((0u32, 0u8), tl(bits));
+        let timelines = Timelines { days: (0..90).collect(), map };
+        let dists = peaks::analyze_with(&timelines, 1, 1, 0);
+        if n_runs >= 3 {
+            prop_assert_eq!(dists[0].domains, 1);
+            prop_assert_eq!(dists[0].durations.iter().sum::<u32>() as usize, total);
+        } else {
+            prop_assert_eq!(dists[0].domains, 0);
+        }
+    }
+
+    #[test]
+    fn flux_conservation(bit_sets in proptest::collection::vec(arb_bits(60), 1..30)) {
+        let mut map = HashMap::new();
+        let mut expected = 0u64;
+        for (e, bits) in bit_sets.into_iter().enumerate() {
+            if bits.count() > 0 {
+                expected += 1;
+            }
+            map.insert((e as u32, 0u8), tl(bits));
+        }
+        // Timelines with zero observed days never occur in practice but the
+        // analysis must not miscount them either.
+        let timelines = Timelines { days: (0..60).collect(), map };
+        let series = &flux::analyze(&timelines, 1, 14)[0];
+        let (influx, outflux) = flux::total_domains(series);
+        prop_assert_eq!(influx, expected);
+        prop_assert_eq!(influx, outflux);
+    }
+
+    #[test]
+    fn median_smooth_stays_within_range(
+        series in proptest::collection::vec(0u32..100_000, 1..200),
+        window in 1usize..60,
+    ) {
+        let as_f64: Vec<f64> = series.iter().map(|&v| f64::from(v)).collect();
+        let smoothed = median_smooth(&as_f64, window);
+        let min = *series.iter().min().unwrap() as f64;
+        let max = *series.iter().max().unwrap() as f64;
+        prop_assert_eq!(smoothed.len(), series.len());
+        for v in smoothed {
+            prop_assert!((min..=max).contains(&v), "{v} outside [{min}, {max}]");
+        }
+    }
+
+    #[test]
+    fn growth_factor_of_constant_series_is_one(
+        level in 100u32..1_000_000,
+        n in 30usize..200,
+    ) {
+        let days: Vec<u32> = (0..n as u32).collect();
+        let series = vec![level; n];
+        let g = analyze(&days, &series, &GrowthConfig::default());
+        prop_assert!((g.factor - 1.0).abs() < 1e-9);
+        prop_assert!(g.shifts.is_empty());
+    }
+
+    #[test]
+    fn cleaning_never_changes_endpoints(
+        series in proptest::collection::vec(1000u32..2000, 50..200),
+    ) {
+        let days: Vec<u32> = (0..series.len() as u32).collect();
+        let g = analyze(&days, &series, &GrowthConfig::default());
+        prop_assert_eq!(g.cleaned[0], f64::from(series[0]));
+        prop_assert_eq!(
+            *g.cleaned.last().unwrap(),
+            f64::from(*series.last().unwrap())
+        );
+    }
+
+    #[test]
+    fn cdf_is_a_distribution(durations in proptest::collection::vec(1u32..200, 0..100)) {
+        let mut sorted = durations;
+        sorted.sort_unstable();
+        let dist = peaks::PeakDistribution { durations: sorted.clone(), ..Default::default() };
+        if !sorted.is_empty() {
+            prop_assert_eq!(dist.cdf(*sorted.last().unwrap()), 1.0);
+            prop_assert_eq!(dist.cdf(0), sorted.iter().filter(|&&d| d == 0).count() as f64 / sorted.len() as f64);
+            let q80 = dist.quantile(0.8).unwrap();
+            prop_assert!(dist.cdf(q80) >= 0.8);
+        } else {
+            prop_assert!(dist.quantile(0.8).is_none());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for name parsing and wire-format handling.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing a domain [`Name`](crate::Name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A single label exceeded 63 octets (RFC 1035 §2.3.4).
+    LabelTooLong(usize),
+    /// The whole name exceeded 255 octets in wire form.
+    NameTooLong(usize),
+    /// An empty label appeared in the middle of a name (e.g. `"a..b"`).
+    EmptyLabel,
+    /// A label contained an octet we do not accept in presentation format.
+    InvalidCharacter(char),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LabelTooLong(n) => write!(f, "label of {n} octets exceeds the 63-octet limit"),
+            Self::NameTooLong(n) => write!(f, "name of {n} wire octets exceeds the 255-octet limit"),
+            Self::EmptyLabel => write!(f, "empty label inside a name"),
+            Self::InvalidCharacter(c) => write!(f, "character {c:?} not allowed in a domain name"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// Errors produced while encoding or decoding DNS wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A domain-name compression pointer pointed forward or formed a loop.
+    BadPointer,
+    /// A name embedded in the message violated name length limits.
+    BadName(NameError),
+    /// An RDATA length did not match the records's actual payload.
+    BadRdataLength {
+        /// Record type whose RDATA was malformed.
+        rtype: u16,
+        /// Declared RDLENGTH.
+        declared: usize,
+        /// Octets actually consumed (or available).
+        actual: usize,
+    },
+    /// A label length octet used the reserved `0b10`/`0b01` prefixes.
+    ReservedLabelType(u8),
+    /// The message would exceed the 64 KiB size limit when encoding.
+    MessageTooLarge,
+    /// A character-string (e.g. in TXT) exceeded 255 octets.
+    StringTooLong(usize),
+    /// The response had the TC (truncation) bit set; the caller should retry
+    /// over a transport without the size limit. We surface rather than hide it.
+    TruncatedResponse,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "message truncated mid-structure"),
+            Self::BadPointer => write!(f, "invalid or looping compression pointer"),
+            Self::BadName(e) => write!(f, "invalid embedded name: {e}"),
+            Self::BadRdataLength { rtype, declared, actual } => write!(
+                f,
+                "RDATA length mismatch for type {rtype}: declared {declared}, actual {actual}"
+            ),
+            Self::ReservedLabelType(b) => write!(f, "reserved label type octet {b:#04x}"),
+            Self::MessageTooLarge => write!(f, "encoded message exceeds 64 KiB"),
+            Self::StringTooLong(n) => write!(f, "character-string of {n} octets exceeds 255"),
+            Self::TruncatedResponse => write!(f, "response carries the TC bit"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<NameError> for WireError {
+    fn from(e: NameError) -> Self {
+        Self::BadName(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::BadRdataLength { rtype: 1, declared: 4, actual: 3 };
+        let s = e.to_string();
+        assert!(s.contains("type 1"), "{s}");
+        assert!(s.contains("declared 4"), "{s}");
+    }
+
+    #[test]
+    fn name_error_converts_to_wire_error() {
+        let w: WireError = NameError::EmptyLabel.into();
+        assert_eq!(w, WireError::BadName(NameError::EmptyLabel));
+    }
+}

@@ -1,0 +1,189 @@
+//! Public-suffix-aware registered-domain extraction.
+//!
+//! The paper detects provider references "based on the second-level domain
+//! (SLD) contained therein" — which, on the real Internet, means the label
+//! directly under the *public suffix*, not literally the second label:
+//! `foo.co.uk`'s registered domain is `foo.co.uk`, not `co.uk`. This module
+//! implements the Public Suffix List matching algorithm (longest matching
+//! rule, wildcard rules, exception rules) over [`Name`]s.
+//!
+//! The simulated namespace only uses single-label suffixes, for which
+//! [`Name::sld`] is exact; the measurement pipeline nevertheless goes
+//! through this API so pointing it at real data with a full PSL is a
+//! drop-in change.
+
+use crate::name::Name;
+use std::collections::HashSet;
+
+/// A compiled public-suffix list.
+#[derive(Debug, Clone, Default)]
+pub struct PublicSuffixList {
+    /// Exact rules, stored as reversed label paths joined by '.'
+    /// (e.g. `uk.co` for the rule `co.uk`).
+    rules: HashSet<String>,
+    /// Wildcard rules: `*.ck` stored as `ck` (any single label below).
+    wildcards: HashSet<String>,
+    /// Exception rules: `!www.ck` stored as `ck.www`.
+    exceptions: HashSet<String>,
+}
+
+fn reversed_key(labels: &[&[u8]]) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|l| String::from_utf8_lossy(l).into_owned()).collect();
+    parts.reverse();
+    parts.join(".")
+}
+
+impl PublicSuffixList {
+    /// Parses PSL text: one rule per line, `//` comments, blank lines,
+    /// `*.` wildcards and `!` exceptions, as in the real list's format.
+    pub fn parse(text: &str) -> Self {
+        let mut psl = Self::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            if let Some(exc) = line.strip_prefix('!') {
+                psl.exceptions.insert(reverse_dotted(exc));
+            } else if let Some(wild) = line.strip_prefix("*.") {
+                psl.wildcards.insert(reverse_dotted(wild));
+            } else {
+                psl.rules.insert(reverse_dotted(line));
+            }
+        }
+        psl
+    }
+
+    /// A minimal list covering the simulated namespace plus a few real
+    /// multi-label suffixes for generality.
+    pub fn default_list() -> Self {
+        Self::parse(
+            "// built-in subset\n\
+             com\nnet\norg\nnl\nbiz\nar\nle\ntest\n\
+             co.uk\norg.uk\ncom.au\n*.ck\n!www.ck\n",
+        )
+    }
+
+    /// Number of rules (exact + wildcard + exception).
+    pub fn len(&self) -> usize {
+        self.rules.len() + self.wildcards.len() + self.exceptions.len()
+    }
+
+    /// True if no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length in labels of the public suffix of `name`, per the PSL
+    /// algorithm (longest matching rule wins; exceptions beat wildcards;
+    /// unknown TLDs match implicitly with one label).
+    pub fn suffix_labels(&self, name: &Name) -> usize {
+        let labels: Vec<&[u8]> = name.labels().collect();
+        let n = labels.len();
+        let mut best = 1.min(n); // implicit `*` rule: unknown TLD = 1 label
+        for take in 1..=n {
+            let tail = &labels[n - take..];
+            let key = reversed_key(tail);
+            if self.exceptions.contains(&key) {
+                // Exception: the suffix is one label shorter than the rule.
+                return take - 1;
+            }
+            if self.rules.contains(&key) {
+                best = best.max(take);
+            }
+            // Wildcard `*.<base>`: matches when the base is everything but
+            // the leftmost label of the candidate tail.
+            if take >= 2 {
+                let base = reversed_key(&tail[1..]);
+                if self.wildcards.contains(&base) {
+                    best = best.max(take);
+                }
+            }
+        }
+        best
+    }
+
+    /// The registered domain of `name`: public suffix plus one label.
+    /// Names at or above a public suffix are returned unchanged.
+    pub fn registered_domain(&self, name: &Name) -> Name {
+        let suffix = self.suffix_labels(name);
+        let want = suffix + 1;
+        if name.label_count() <= want {
+            return name.clone();
+        }
+        name.suffix(want)
+    }
+}
+
+fn reverse_dotted(rule: &str) -> String {
+    let mut parts: Vec<&str> = rule.split('.').collect();
+    parts.reverse();
+    parts.join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::default_list()
+    }
+
+    #[test]
+    fn single_label_suffixes_match_sld() {
+        let psl = psl();
+        for name in ["www.examp.le", "edge.cdn.incapdns.net", "d123.com"] {
+            assert_eq!(psl.registered_domain(&n(name)), n(name).sld(), "{name}");
+        }
+    }
+
+    #[test]
+    fn multi_label_suffixes() {
+        let psl = psl();
+        assert_eq!(psl.registered_domain(&n("www.foo.co.uk")), n("foo.co.uk"));
+        assert_eq!(psl.registered_domain(&n("foo.co.uk")), n("foo.co.uk"));
+        assert_eq!(psl.registered_domain(&n("a.b.site.com.au")), n("site.com.au"));
+    }
+
+    #[test]
+    fn suffix_itself_is_returned_unchanged() {
+        let psl = psl();
+        assert_eq!(psl.registered_domain(&n("co.uk")), n("co.uk"));
+        assert_eq!(psl.registered_domain(&n("com")), n("com"));
+    }
+
+    #[test]
+    fn wildcard_and_exception_rules() {
+        let psl = psl();
+        // *.ck: every label under ck is a public suffix…
+        assert_eq!(psl.registered_domain(&n("shop.anything.ck")), n("shop.anything.ck"));
+        // …except the exception rule !www.ck: www.ck is a registrable name.
+        assert_eq!(psl.registered_domain(&n("www.ck")), n("www.ck"));
+        assert_eq!(psl.registered_domain(&n("deep.www.ck")), n("www.ck"));
+    }
+
+    #[test]
+    fn unknown_tld_uses_implicit_rule() {
+        let psl = psl();
+        assert_eq!(psl.registered_domain(&n("www.thing.zz")), n("thing.zz"));
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let psl = PublicSuffixList::parse("// header\n\nuk\nco.uk\n");
+        assert_eq!(psl.len(), 2);
+        assert_eq!(psl.registered_domain(&n("x.y.co.uk")), n("y.co.uk"));
+    }
+
+    #[test]
+    fn root_and_tiny_names() {
+        let psl = psl();
+        assert_eq!(psl.registered_domain(&Name::root()), Name::root());
+        assert_eq!(psl.registered_domain(&n("com")), n("com"));
+    }
+}

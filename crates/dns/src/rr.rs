@@ -1,0 +1,326 @@
+//! Resource records: types, classes and typed RDATA.
+
+use crate::name::Name;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Resource-record type codes (RFC 1035 §3.2.2 and successors).
+///
+/// Only the types the measurement pipeline queries or may encounter are
+/// given variants; everything else round-trips through [`RrType::Other`]
+/// so unknown records never break parsing (important for an active
+/// measurement tool pointed at arbitrary servers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RrType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Mail exchange.
+    Mx,
+    /// Text strings.
+    Txt,
+    /// IPv6 host address (RFC 3596).
+    Aaaa,
+    /// EDNS(0) pseudo-record (RFC 6891).
+    Opt,
+    /// Query-only: any type.
+    Any,
+    /// Any other numeric type, preserved verbatim.
+    Other(u16),
+}
+
+impl RrType {
+    /// Numeric type code.
+    pub fn code(self) -> u16 {
+        match self {
+            Self::A => 1,
+            Self::Ns => 2,
+            Self::Cname => 5,
+            Self::Soa => 6,
+            Self::Mx => 15,
+            Self::Txt => 16,
+            Self::Aaaa => 28,
+            Self::Opt => 41,
+            Self::Any => 255,
+            Self::Other(c) => c,
+        }
+    }
+
+    /// Maps a numeric code back to a variant.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => Self::A,
+            2 => Self::Ns,
+            5 => Self::Cname,
+            6 => Self::Soa,
+            15 => Self::Mx,
+            16 => Self::Txt,
+            28 => Self::Aaaa,
+            41 => Self::Opt,
+            255 => Self::Any,
+            c => Self::Other(c),
+        }
+    }
+}
+
+impl std::str::FromStr for RrType {
+    type Err = String;
+
+    /// Parses a presentation-format type mnemonic (`"A"`, `"aaaa"`,
+    /// `"TYPE99"`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Ok(Self::A),
+            "NS" => Ok(Self::Ns),
+            "CNAME" => Ok(Self::Cname),
+            "SOA" => Ok(Self::Soa),
+            "MX" => Ok(Self::Mx),
+            "TXT" => Ok(Self::Txt),
+            "AAAA" => Ok(Self::Aaaa),
+            "OPT" => Ok(Self::Opt),
+            "ANY" | "*" => Ok(Self::Any),
+            other => match other.strip_prefix("TYPE").and_then(|d| d.parse::<u16>().ok()) {
+                Some(code) => Ok(Self::from_code(code)),
+                None => Err(format!("unknown RR type {s:?}")),
+            },
+        }
+    }
+}
+
+impl fmt::Display for RrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::A => write!(f, "A"),
+            Self::Ns => write!(f, "NS"),
+            Self::Cname => write!(f, "CNAME"),
+            Self::Soa => write!(f, "SOA"),
+            Self::Mx => write!(f, "MX"),
+            Self::Txt => write!(f, "TXT"),
+            Self::Aaaa => write!(f, "AAAA"),
+            Self::Opt => write!(f, "OPT"),
+            Self::Any => write!(f, "ANY"),
+            Self::Other(c) => write!(f, "TYPE{c}"),
+        }
+    }
+}
+
+/// Record classes. The study only ever sees `IN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// The Internet.
+    In,
+    /// Query-only: any class.
+    Any,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl Class {
+    /// Numeric class code.
+    pub fn code(self) -> u16 {
+        match self {
+            Self::In => 1,
+            Self::Any => 255,
+            Self::Other(c) => c,
+        }
+    }
+
+    /// Maps a numeric code back to a variant.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => Self::In,
+            255 => Self::Any,
+            c => Self::Other(c),
+        }
+    }
+}
+
+/// SOA RDATA (RFC 1035 §3.3.13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Soa {
+    /// Primary name server of the zone.
+    pub mname: Name,
+    /// Mailbox of the responsible person.
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Refresh interval (seconds).
+    pub refresh: u32,
+    /// Retry interval (seconds).
+    pub retry: u32,
+    /// Expiry limit (seconds).
+    pub expire: u32,
+    /// Negative-caching TTL (seconds).
+    pub minimum: u32,
+}
+
+/// Typed RDATA for the record types we understand, with a raw fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Name-server host name.
+    Ns(Name),
+    /// Canonical name target.
+    Cname(Name),
+    /// Start of authority.
+    Soa(Soa),
+    /// Mail exchange: preference and host.
+    Mx {
+        /// Lower is preferred.
+        preference: u16,
+        /// Exchange host name.
+        exchange: Name,
+    },
+    /// Text record: one or more character-strings, each ≤255 octets.
+    Txt(Vec<Vec<u8>>),
+    /// Unknown type: raw RDATA preserved for round-tripping.
+    Raw {
+        /// Numeric type code.
+        rtype: u16,
+        /// Raw RDATA octets.
+        data: Vec<u8>,
+    },
+}
+
+impl RData {
+    /// The record type this RDATA belongs to.
+    pub fn rtype(&self) -> RrType {
+        match self {
+            Self::A(_) => RrType::A,
+            Self::Aaaa(_) => RrType::Aaaa,
+            Self::Ns(_) => RrType::Ns,
+            Self::Cname(_) => RrType::Cname,
+            Self::Soa(_) => RrType::Soa,
+            Self::Mx { .. } => RrType::Mx,
+            Self::Txt(_) => RrType::Txt,
+            Self::Raw { rtype, .. } => RrType::from_code(*rtype),
+        }
+    }
+
+    /// The name carried in the RDATA, when there is one (NS/CNAME/MX).
+    ///
+    /// The detection methodology inspects these to find provider SLDs.
+    pub fn carried_name(&self) -> Option<&Name> {
+        match self {
+            Self::Ns(n) | Self::Cname(n) | Self::Mx { exchange: n, .. } => Some(n),
+            Self::Soa(soa) => Some(&soa.mname),
+            _ => None,
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (almost always `IN`).
+    pub class: Class,
+    /// Time to live (seconds).
+    pub ttl: u32,
+    /// Typed payload.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(name: Name, class: Class, ttl: u32, rdata: RData) -> Self {
+        Self { name, class, ttl, rdata }
+    }
+
+    /// The record's type, derived from its RDATA.
+    pub fn rtype(&self) -> RrType {
+        self.rdata.rtype()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} IN {}", self.name, self.ttl, self.rtype())?;
+        match &self.rdata {
+            RData::A(a) => write!(f, " {a}"),
+            RData::Aaaa(a) => write!(f, " {a}"),
+            RData::Ns(n) | RData::Cname(n) => write!(f, " {n}"),
+            RData::Soa(s) => write!(f, " {} {} {}", s.mname, s.rname, s.serial),
+            RData::Mx { preference, exchange } => write!(f, " {preference} {exchange}"),
+            RData::Txt(parts) => {
+                for p in parts {
+                    write!(f, " \"{}\"", String::from_utf8_lossy(p))?;
+                }
+                Ok(())
+            }
+            RData::Raw { data, .. } => write!(f, " \\# {}", data.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [
+            RrType::A,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Soa,
+            RrType::Mx,
+            RrType::Txt,
+            RrType::Aaaa,
+            RrType::Opt,
+            RrType::Any,
+            RrType::Other(4242),
+        ] {
+            assert_eq!(RrType::from_code(t.code()), t);
+        }
+    }
+
+    #[test]
+    fn type_mnemonics_parse() {
+        assert_eq!("A".parse::<RrType>(), Ok(RrType::A));
+        assert_eq!("aaaa".parse::<RrType>(), Ok(RrType::Aaaa));
+        assert_eq!("Cname".parse::<RrType>(), Ok(RrType::Cname));
+        assert_eq!("TYPE99".parse::<RrType>(), Ok(RrType::Other(99)));
+        assert_eq!("TYPE1".parse::<RrType>(), Ok(RrType::A));
+        assert!("BOGUS".parse::<RrType>().is_err());
+        // Display ↔ FromStr round trip for the named types.
+        for t in [RrType::A, RrType::Ns, RrType::Cname, RrType::Soa, RrType::Mx, RrType::Txt, RrType::Aaaa, RrType::Other(300)] {
+            assert_eq!(t.to_string().parse::<RrType>(), Ok(t));
+        }
+    }
+
+    #[test]
+    fn class_codes_roundtrip() {
+        for c in [Class::In, Class::Any, Class::Other(3)] {
+            assert_eq!(Class::from_code(c.code()), c);
+        }
+    }
+
+    #[test]
+    fn carried_name_extracts_targets() {
+        let n: Name = "foob.ar".parse().unwrap();
+        assert_eq!(RData::Cname(n.clone()).carried_name(), Some(&n));
+        assert_eq!(RData::Ns(n.clone()).carried_name(), Some(&n));
+        assert_eq!(RData::A(Ipv4Addr::LOCALHOST).carried_name(), None);
+    }
+
+    #[test]
+    fn record_display_is_zone_file_like() {
+        let r = Record::new(
+            "www.examp.le".parse().unwrap(),
+            Class::In,
+            300,
+            RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+        );
+        assert_eq!(r.to_string(), "www.examp.le. 300 IN A 10.0.0.1");
+    }
+}

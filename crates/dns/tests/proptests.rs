@@ -1,0 +1,134 @@
+//! Property-based tests: arbitrary well-formed messages survive an
+//! encode → decode round trip, and the decoder never panics on garbage.
+
+use dps_dns::{Class, Header, Message, Name, Opcode, Question, RData, Rcode, Record, RrType, Soa};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..6).prop_map(|labels| {
+        let refs: Vec<&[u8]> = labels.iter().map(|l| l.as_bytes()).collect();
+        Name::from_labels(refs).expect("labels within limits")
+    })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa(Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            })),
+        (any::<u16>(), arb_name())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
+            .prop_map(RData::Txt),
+        (100u16..60000, proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(rtype, data)| RData::Raw { rtype, data }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata())
+        .prop_map(|(name, ttl, rdata)| Record { name, class: Class::In, ttl, rdata })
+}
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (any::<u16>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 0u8..16)
+        .prop_map(|(id, qr, aa, tc, rd, ra, rcode)| Header {
+            id,
+            qr,
+            opcode: Opcode::Query,
+            aa,
+            tc,
+            rd,
+            ra,
+            rcode: Rcode::from_code(rcode),
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        arb_header(),
+        proptest::collection::vec(
+            (arb_name(), 0u16..300).prop_map(|(n, t)| Question {
+                qname: n,
+                qtype: RrType::from_code(t),
+                qclass: Class::In,
+            }),
+            0..3,
+        ),
+        proptest::collection::vec(arb_record(), 0..6),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(|(header, questions, answers, authorities, additionals)| Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let bytes = msg.to_bytes().unwrap();
+        let parsed = Message::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn name_roundtrip_via_presentation(name in arb_name()) {
+        let shown = name.to_string();
+        let reparsed: Name = shown.parse().unwrap();
+        prop_assert_eq!(reparsed, name);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Any result is fine; panicking or looping is not.
+        let _ = Message::parse(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_message(
+        msg in arb_message(),
+        flip in any::<(u16, u8)>(),
+    ) {
+        let mut bytes = msg.to_bytes().unwrap();
+        if !bytes.is_empty() {
+            let idx = flip.0 as usize % bytes.len();
+            bytes[idx] ^= flip.1;
+            let _ = Message::parse(&bytes);
+        }
+    }
+
+    #[test]
+    fn subdomain_relation_is_transitive(a in arb_name(), b in arb_name(), c in arb_name()) {
+        if a.is_subdomain_of(&b) && b.is_subdomain_of(&c) {
+            prop_assert!(a.is_subdomain_of(&c));
+        }
+    }
+
+    #[test]
+    fn sld_is_idempotent(name in arb_name()) {
+        prop_assert_eq!(name.sld().sld(), name.sld());
+    }
+}

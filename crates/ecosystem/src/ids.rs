@@ -1,0 +1,102 @@
+//! Small typed identifiers used across the synthetic world.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the nine studied DPS providers (index into
+/// [`crate::spec::PROVIDERS`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ProviderId(pub u8);
+
+/// A hosting company / registrar / parking platform (index into the world's
+/// hoster table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HosterId(pub u8);
+
+/// A scripted third-party basket of domains (Wix, ENOM, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BasketId(pub u8);
+
+/// A second-level domain in the world; also its index in the domain table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DomainId(pub u32);
+
+/// Top-level domains in the world. `.com`, `.net`, `.org` and `.nl` are
+/// measured; `.biz` only exists to host `ultradns.biz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Tld {
+    Com,
+    Net,
+    Org,
+    Nl,
+    Biz,
+}
+
+/// The TLDs measured daily, in paper order.
+pub const MEASURED_TLDS: [Tld; 4] = [Tld::Com, Tld::Net, Tld::Org, Tld::Nl];
+
+/// The three gTLDs measured for the full 550 days.
+pub const GTLDS: [Tld; 3] = [Tld::Com, Tld::Net, Tld::Org];
+
+impl Tld {
+    /// The label, without the dot.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tld::Com => "com",
+            Tld::Net => "net",
+            Tld::Org => "org",
+            Tld::Nl => "nl",
+            Tld::Biz => "biz",
+        }
+    }
+
+    /// Parses a label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "com" => Some(Tld::Com),
+            "net" => Some(Tld::Net),
+            "org" => Some(Tld::Org),
+            "nl" => Some(Tld::Nl),
+            "biz" => Some(Tld::Biz),
+            _ => None,
+        }
+    }
+
+    /// Dense index (0-based) for array-keyed stats.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Tld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}", self.label())
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tld_label_roundtrip() {
+        for t in [Tld::Com, Tld::Net, Tld::Org, Tld::Nl, Tld::Biz] {
+            assert_eq!(Tld::from_label(t.label()), Some(t));
+        }
+        assert_eq!(Tld::from_label("xyz"), None);
+    }
+
+    #[test]
+    fn display_has_dot() {
+        assert_eq!(Tld::Com.to_string(), ".com");
+    }
+}

@@ -1,0 +1,117 @@
+//! The world's event schedule: everything that happens on each study day.
+
+use crate::domain::Diversion;
+use crate::ids::{BasketId, DomainId};
+use dps_netsim::{Asn, Day, Prefix};
+
+/// One state change in the world.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// A domain enters its TLD zone file (the domain was pre-created in the
+    /// domain table with `registered` set; this drives nothing but exists
+    /// for traceability in exported schedules).
+    Register(DomainId),
+    /// A domain leaves its TLD zone file.
+    Delete(DomainId),
+    /// A single domain changes protection state.
+    SetDiversion(DomainId, Diversion),
+    /// Every alive member of a basket changes protection state.
+    BasketDiversion(BasketId, Diversion),
+    /// A basket's DNS starts/stops failing (Sedo-style incident).
+    BasketOutage(BasketId, bool),
+    /// A prefix changes BGP origin: `from` withdraws (if set), `to`
+    /// announces (if set).
+    PrefixOrigin {
+        /// The affected prefix.
+        prefix: Prefix,
+        /// Origin withdrawing the route.
+        from: Option<Asn>,
+        /// Origin announcing the route.
+        to: Option<Asn>,
+    },
+}
+
+/// An [`Action`] bound to the day it takes effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Effective day (changes are visible to that day's measurement).
+    pub day: Day,
+    /// What happens.
+    pub action: Action,
+}
+
+/// A day-ordered list of events with a consumption cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    events: Vec<Event>,
+    cursor: usize,
+}
+
+impl Schedule {
+    /// Builds a schedule, sorting events by day (stable: same-day events
+    /// apply in insertion order).
+    pub fn new(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| e.day);
+        Self { events, cursor: 0 }
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Pops every event effective on or before `day`, in order.
+    pub fn take_through(&mut self, day: Day) -> &[Event] {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].day <= day {
+            self.cursor += 1;
+        }
+        &self.events[start..self.cursor]
+    }
+
+    /// Events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(day: u32, id: u32) -> Event {
+        Event { day: Day(day), action: Action::Delete(DomainId(id)) }
+    }
+
+    #[test]
+    fn take_through_is_monotonic_and_ordered() {
+        let mut s = Schedule::new(vec![ev(5, 1), ev(1, 2), ev(3, 3), ev(5, 4), ev(9, 5)]);
+        assert_eq!(s.len(), 5);
+        let batch: Vec<u32> = s
+            .take_through(Day(4))
+            .iter()
+            .map(|e| match e.action {
+                Action::Delete(DomainId(i)) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(batch, vec![2, 3]);
+        // Same-day stability: insertion order of the two day-5 events.
+        let batch: Vec<u32> = s
+            .take_through(Day(5))
+            .iter()
+            .map(|e| match e.action {
+                Action::Delete(DomainId(i)) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(batch, vec![1, 4]);
+        assert_eq!(s.remaining(), 1);
+        assert!(s.take_through(Day(5)).is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! Static specifications of the nine DPS providers (ground truth for the
+//! paper's Table 2) and of the hosting-side actors, plus the deterministic
+//! address plan carving simulator IP space.
+
+use crate::ids::{HosterId, ProviderId, Tld};
+use dps_netsim::{Asn, Prefix};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Which diversion/protection products a provider sells (drives which
+/// mechanisms its customers can exhibit).
+#[derive(Debug, Clone, Copy)]
+pub struct Products {
+    /// Customers may point A records at provider cloud addresses.
+    pub a_record: bool,
+    /// Customers may CNAME into the provider's domain.
+    pub cname: bool,
+    /// Customers may delegate their zone to the provider.
+    pub ns: bool,
+    /// The provider can originate customer prefixes (BGP diversion).
+    pub bgp: bool,
+}
+
+/// Ground-truth description of one DPS provider (paper Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct ProviderSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// AS numbers of the mitigation infrastructure.
+    pub asns: &'static [u32],
+    /// Organisation names in AS-to-name data, parallel to `asns`. Some do
+    /// not contain the provider's marketing name (Prolexic, Savvis,
+    /// tw telecom, UltraDNS) — the reference-discovery procedure has to
+    /// find those ASes via SLD expansion, as the paper's analysts did.
+    pub asn_names: &'static [&'static str],
+    /// Second-level domains appearing in customer CNAME expansions.
+    pub cname_slds: &'static [&'static str],
+    /// Second-level domains of the provider's authoritative name servers.
+    pub ns_slds: &'static [&'static str],
+    /// Name-server host labels (prepended to the first NS SLD);
+    /// CloudFlare-style human names or `ns1`/`ns2`.
+    pub ns_labels: &'static [&'static str],
+    /// Product portfolio.
+    pub products: Products,
+    /// Whether the provider publishes AAAA records for proxied customers.
+    pub ipv6: bool,
+}
+
+/// The nine providers in the paper's (alphabetical) order.
+///
+/// ASNs and SLDs are the paper's Table 2 verbatim; this table is the ground
+/// truth the reference-discovery experiment must rediscover.
+pub const PROVIDERS: [ProviderSpec; 9] = [
+    ProviderSpec {
+        name: "Akamai",
+        asn_names: &["Akamai Technologies, Inc.", "Akamai International B.V.", "Prolexic Technologies, Inc."],
+        asns: &[20940, 16625, 32787],
+        cname_slds: &["akamaiedge.net", "edgekey.net", "edgesuite.net", "akamai.net"],
+        ns_slds: &["akam.net", "akamai.net", "akamaiedge.net"],
+        ns_labels: &["ns1", "ns2", "ns3", "ns4"],
+        products: Products { a_record: true, cname: true, ns: true, bgp: true },
+        ipv6: true,
+    },
+    ProviderSpec {
+        name: "CenturyLink",
+        asn_names: &["CenturyLink Communications, LLC", "Savvis Communications Corp"],
+        asns: &[209, 3561],
+        cname_slds: &[],
+        ns_slds: &["savvis.net", "savvisdirect.net", "qwest.net", "centurytel.net", "centurylink.net"],
+        ns_labels: &["ns1", "ns2"],
+        products: Products { a_record: true, cname: false, ns: true, bgp: true },
+        ipv6: false,
+    },
+    ProviderSpec {
+        name: "CloudFlare",
+        asn_names: &["CloudFlare, Inc."],
+        asns: &[13335],
+        cname_slds: &["cloudflare.net"],
+        ns_slds: &["cloudflare.com"],
+        ns_labels: &["kate.ns", "rob.ns", "lara.ns", "sam.ns", "dana.ns", "finn.ns"],
+        products: Products { a_record: true, cname: true, ns: true, bgp: false },
+        ipv6: true,
+    },
+    ProviderSpec {
+        name: "DOSarrest",
+        asn_names: &["DOSarrest Internet Security Ltd"],
+        asns: &[19324],
+        cname_slds: &[],
+        ns_slds: &[],
+        ns_labels: &[],
+        products: Products { a_record: true, cname: false, ns: false, bgp: true },
+        ipv6: false,
+    },
+    ProviderSpec {
+        name: "F5 Networks",
+        asn_names: &["F5 Networks, Inc."],
+        asns: &[55002],
+        cname_slds: &[],
+        ns_slds: &[],
+        ns_labels: &[],
+        products: Products { a_record: true, cname: false, ns: false, bgp: true },
+        ipv6: false,
+    },
+    ProviderSpec {
+        name: "Incapsula",
+        asn_names: &["Incapsula Inc"],
+        asns: &[19551],
+        cname_slds: &["incapdns.net"],
+        ns_slds: &["incapsecuredns.net"],
+        ns_labels: &["ns1", "ns2"],
+        products: Products { a_record: true, cname: true, ns: true, bgp: true },
+        ipv6: false,
+    },
+    ProviderSpec {
+        name: "Level 3",
+        asn_names: &["Level 3 Communications, Inc.", "Level 3 Parent, LLC", "tw telecom holdings, inc.", "Level 3 International"],
+        asns: &[3549, 3356, 11213, 10753],
+        cname_slds: &[],
+        ns_slds: &["l3.net", "level3.net"],
+        ns_labels: &["ns1", "ns2"],
+        products: Products { a_record: true, cname: false, ns: true, bgp: true },
+        ipv6: false,
+    },
+    ProviderSpec {
+        name: "Neustar",
+        asn_names: &["Neustar, Inc.", "Neustar Security Services", "UltraDNS Corporation"],
+        asns: &[7786, 12008, 19905],
+        cname_slds: &["ultradns.net"],
+        ns_slds: &["ultradns.com", "ultradns.biz", "ultradns.net"],
+        ns_labels: &["ns1", "ns2", "ns3"],
+        products: Products { a_record: true, cname: true, ns: true, bgp: true },
+        ipv6: false,
+    },
+    ProviderSpec {
+        name: "Verisign",
+        asn_names: &["VeriSign Infrastructure & Operations", "VeriSign Global Registry Services"],
+        asns: &[26415, 30060],
+        cname_slds: &[],
+        ns_slds: &["verisigndns.com"],
+        ns_labels: &["ns1", "ns2", "ns3"],
+        products: Products { a_record: true, cname: false, ns: true, bgp: true },
+        ipv6: false,
+    },
+];
+
+/// Named provider indices, so scenario code reads like the paper.
+#[allow(missing_docs)]
+pub mod pid {
+    use crate::ids::ProviderId;
+    pub const AKAMAI: ProviderId = ProviderId(0);
+    pub const CENTURYLINK: ProviderId = ProviderId(1);
+    pub const CLOUDFLARE: ProviderId = ProviderId(2);
+    pub const DOSARREST: ProviderId = ProviderId(3);
+    pub const F5: ProviderId = ProviderId(4);
+    pub const INCAPSULA: ProviderId = ProviderId(5);
+    pub const LEVEL3: ProviderId = ProviderId(6);
+    pub const NEUSTAR: ProviderId = ProviderId(7);
+    pub const VERISIGN: ProviderId = ProviderId(8);
+}
+
+/// What kind of hosting-side actor this is (affects default DNS posture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HosterKind {
+    /// Ordinary shared hosting: apex A + www A at the hoster.
+    Generic,
+    /// Registrar DNS: third-party NS serving many customers.
+    Registrar,
+    /// Domain parking: third-party NS, monetisation pages.
+    Parking,
+    /// Website-building platform: www CNAME to a cloud (Wix → AWS).
+    WebPlatform,
+}
+
+/// A hosting company / registrar / parking platform / cloud.
+#[derive(Debug, Clone, Copy)]
+pub struct HosterSpec {
+    /// Company name.
+    pub name: &'static str,
+    /// Origin AS of its address space.
+    pub asn: u32,
+    /// SLD of its name servers (e.g. `registrar-servers.com` for
+    /// Namecheap); also its corporate domain's SLD when the two coincide.
+    pub ns_sld: &'static str,
+    /// TLD the `ns_sld` lives in (for zone placement).
+    pub ns_tld: Tld,
+    /// Optional SLD customers' `www` CNAMEs point at (Wix → AWS).
+    pub www_cname_sld: Option<&'static str>,
+    /// Actor kind.
+    pub kind: HosterKind,
+}
+
+/// The hosting-side actors. Index = [`HosterId`]. The first ten are
+/// generic hosting companies the independent population spreads over; the
+/// named ones participate in the paper's third-party anomalies (§4.4.1).
+pub const HOSTERS: &[HosterSpec] = &[
+    HosterSpec { name: "HostCo 0", asn: 64600, ns_sld: "hostco0.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "HostCo 1", asn: 64601, ns_sld: "hostco1.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "HostCo 2", asn: 64602, ns_sld: "hostco2.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "HostCo 3", asn: 64603, ns_sld: "hostco3.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "HostCo 4", asn: 64604, ns_sld: "hostco4.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "HostCo 5", asn: 64605, ns_sld: "hostco5.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "HostCo 6", asn: 64606, ns_sld: "hostco6.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "HostCo 7", asn: 64607, ns_sld: "hostco7.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "NL Hosting", asn: 64608, ns_sld: "nlhost.nl", ns_tld: Tld::Nl, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "Amazon AWS", asn: 14618, ns_sld: "amazonaws.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "Wix", asn: 64610, ns_sld: "wixdns.net", ns_tld: Tld::Net, www_cname_sld: Some("amazonaws.com"), kind: HosterKind::WebPlatform },
+    HosterSpec { name: "ENOM", asn: 21740, ns_sld: "enomdns.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Registrar },
+    HosterSpec { name: "ZOHO", asn: 2639, ns_sld: "zohodns.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Generic },
+    HosterSpec { name: "Namecheap", asn: 22612, ns_sld: "registrar-servers.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Registrar },
+    HosterSpec { name: "Sedo Parking", asn: 64614, ns_sld: "sedoparking.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Parking },
+    HosterSpec { name: "Fabulous", asn: 64615, ns_sld: "fabulousdns.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Parking },
+];
+
+/// Named hoster indices.
+#[allow(missing_docs)]
+pub mod hid {
+    use crate::ids::HosterId;
+    pub const GENERIC_COUNT: u8 = 9; // HostCo 0..7 + NL Hosting
+    pub const AWS: HosterId = HosterId(9);
+    pub const WIX: HosterId = HosterId(10);
+    pub const ENOM: HosterId = HosterId(11);
+    pub const ZOHO: HosterId = HosterId(12);
+    pub const NAMECHEAP: HosterId = HosterId(13);
+    pub const SEDO: HosterId = HosterId(14);
+    pub const FABULOUS: HosterId = HosterId(15);
+}
+
+// ---------------------------------------------------------------------------
+// Address plan
+// ---------------------------------------------------------------------------
+//
+// All simulator space is carved deterministically:
+//   10.0.0.0/16      registry infrastructure (root + TLD name servers)
+//   20.<i*8+j>.0.0/16  provider i's block announced by its j-th ASN
+//   30.<h>.0.0/16    hoster h's block
+//   31.<b>.0.0/16    basket b's dedicated (divertable) block
+// IPv6 blocks exist for the providers that publish AAAA.
+
+/// The registry AS originating root/TLD server space.
+pub const REGISTRY_ASN: Asn = Asn(64512);
+
+/// The prefix holding root and TLD name servers.
+pub fn registry_prefix() -> Prefix {
+    Prefix::v4(10, 0, 0, 0, 16)
+}
+
+/// Address of the root name server.
+pub fn root_server_addr() -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1))
+}
+
+/// Address of the name server of a TLD registry.
+pub fn tld_server_addr(tld: Tld) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(10, 0, 1 + tld.index() as u8, 1))
+}
+
+/// The `j`-th announced prefix of provider `i`.
+pub fn provider_prefix(p: ProviderId, j: usize) -> Prefix {
+    Prefix::v4(20, p.0 * 8 + j as u8, 0, 0, 16)
+}
+
+/// The IPv6 block of a provider with AAAA support.
+pub fn provider_prefix_v6(p: ProviderId) -> Prefix {
+    let addr = Ipv6Addr::new(0x2400, 0xcb00 + u16::from(p.0), 0, 0, 0, 0, 0, 0);
+    Prefix::new(IpAddr::V6(addr), 32).expect("static length")
+}
+
+/// Cloud address a customer domain's traffic is diverted to. Shared
+/// ("cloud-based") addressing: many customers per address is realistic.
+pub fn provider_cloud_ip(p: ProviderId, domain_idx: u32) -> Ipv4Addr {
+    // Spread customers over every announced block so all of a provider's
+    // ASes show up in measurements (the discovery experiment depends on
+    // finding e.g. Prolexic/AS32787 through Akamai customer addresses).
+    let j = domain_idx as usize % PROVIDERS[p.0 as usize].asns.len();
+    provider_prefix(p, j)
+        .nth_v4(4096 + (domain_idx.wrapping_mul(2654435761)) % 50_000)
+        .expect("/16 has room")
+}
+
+/// IPv6 cloud address for AAAA-publishing providers.
+pub fn provider_cloud_ip6(p: ProviderId, domain_idx: u32) -> Ipv6Addr {
+    let base = match provider_prefix_v6(p).network() {
+        IpAddr::V6(a) => u128::from(a),
+        IpAddr::V4(_) => unreachable!("v6 prefix"),
+    };
+    Ipv6Addr::from(base | u128::from(domain_idx) | 0x1_0000_0000)
+}
+
+/// Address of the `k`-th name-server host of provider `p`.
+pub fn provider_ns_ip(p: ProviderId, k: usize) -> IpAddr {
+    IpAddr::V4(provider_prefix(p, 0).nth_v4(16 + k as u32).expect("/16 has room"))
+}
+
+/// The announced prefix of hoster `h`.
+pub fn hoster_prefix(h: HosterId) -> Prefix {
+    Prefix::v4(30, h.0, 0, 0, 16)
+}
+
+/// Shared-hosting address of a customer domain at hoster `h`.
+pub fn hoster_ip(h: HosterId, domain_idx: u32) -> Ipv4Addr {
+    hoster_prefix(h)
+        .nth_v4(4096 + (domain_idx.wrapping_mul(2246822519)) % 50_000)
+        .expect("/16 has room")
+}
+
+/// Address of the `k`-th name-server host of hoster `h`.
+pub fn hoster_ns_ip(h: HosterId, k: usize) -> IpAddr {
+    IpAddr::V4(hoster_prefix(h).nth_v4(16 + k as u32).expect("/16 has room"))
+}
+
+/// The dedicated, divertable prefix of basket `b`.
+pub fn basket_prefix(b: crate::ids::BasketId) -> Prefix {
+    Prefix::v4(31, b.0, 0, 0, 16)
+}
+
+/// Address of basket member `m` inside the basket prefix.
+pub fn basket_ip(b: crate::ids::BasketId, member: u32) -> Ipv4Addr {
+    basket_prefix(b).nth_v4(256 + member % 60_000).expect("/16 has room")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provider_table_matches_paper_order() {
+        let names: Vec<&str> = PROVIDERS.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Akamai",
+                "CenturyLink",
+                "CloudFlare",
+                "DOSarrest",
+                "F5 Networks",
+                "Incapsula",
+                "Level 3",
+                "Neustar",
+                "Verisign"
+            ]
+        );
+        assert_eq!(PROVIDERS[pid::CLOUDFLARE.0 as usize].asns, &[13335]);
+        assert_eq!(PROVIDERS[pid::LEVEL3.0 as usize].asns.len(), 4);
+    }
+
+    #[test]
+    fn providers_without_dns_products_have_no_slds() {
+        for p in [pid::DOSARREST, pid::F5] {
+            let spec = &PROVIDERS[p.0 as usize];
+            assert!(spec.cname_slds.is_empty());
+            assert!(spec.ns_slds.is_empty());
+        }
+    }
+
+    #[test]
+    fn address_plan_is_disjoint() {
+        // Provider blocks never collide with each other or with hosters.
+        let mut prefixes = Vec::new();
+        for (i, spec) in PROVIDERS.iter().enumerate() {
+            for j in 0..spec.asns.len() {
+                prefixes.push(provider_prefix(ProviderId(i as u8), j));
+            }
+        }
+        for h in 0..HOSTERS.len() {
+            prefixes.push(hoster_prefix(HosterId(h as u8)));
+        }
+        for b in 0..8 {
+            prefixes.push(basket_prefix(crate::ids::BasketId(b)));
+        }
+        prefixes.push(registry_prefix());
+        for (i, a) in prefixes.iter().enumerate() {
+            for b in &prefixes[i + 1..] {
+                assert!(!a.covers(b) && !b.covers(a), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cloud_ips_fall_in_provider_prefix() {
+        for i in 0..9u8 {
+            let p = ProviderId(i);
+            let ip = provider_cloud_ip(p, 123_456);
+            assert!(provider_prefix(p, 0).contains(IpAddr::V4(ip)));
+        }
+    }
+
+    #[test]
+    fn hoster_ips_fall_in_hoster_prefix() {
+        let ip = hoster_ip(hid::WIX, 42);
+        assert!(hoster_prefix(hid::WIX).contains(IpAddr::V4(ip)));
+    }
+
+    #[test]
+    fn named_hoster_indices_line_up() {
+        assert_eq!(HOSTERS[hid::WIX.0 as usize].name, "Wix");
+        assert_eq!(HOSTERS[hid::NAMECHEAP.0 as usize].ns_sld, "registrar-servers.com");
+        assert_eq!(HOSTERS[hid::SEDO.0 as usize].kind, HosterKind::Parking);
+        assert_eq!(HOSTERS[hid::ENOM.0 as usize].asn, 21740);
+        assert_eq!(HOSTERS[hid::ZOHO.0 as usize].asn, 2639);
+    }
+}

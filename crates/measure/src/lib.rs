@@ -1,0 +1,30 @@
+//! # dps-measure — the active DNS measurement pipeline
+//!
+//! An OpenINTEL-style measurement system (paper Fig. 1) over the simulated
+//! Internet:
+//!
+//! * **Stage I — collection** ([`collector`]): for every name on the input
+//!   lists (full TLD zone files + the Alexa-style list), query `A`/`AAAA`
+//!   for the apex and the `www` label plus the apex `NS` set, capturing
+//!   full CNAME expansions. Two interchangeable query paths exist: the
+//!   wire path (iterative resolution over the lossy simulated network) and
+//!   the bulk path (direct world evaluation) — tests pin their equivalence.
+//! * **Stage II — storage** ([`snapshot`]): daily per-source columnar
+//!   tables (the Parquet stand-in), dictionary-encoded and compressed.
+//! * **Stage III — supplementing** ([`observation`]): every address is
+//!   annotated with the origin AS of its most-specific covering prefix
+//!   from the day's `pfx2as` snapshot (multi-origin sets preserved).
+//!
+//! [`pipeline::Study`] drives all three stages across the measurement
+//! calendar and produces the [`snapshot::SnapshotStore`] the analysis
+//! crate consumes, along with the Table 1 data-set statistics.
+
+pub mod collector;
+pub mod observation;
+pub mod pipeline;
+pub mod snapshot;
+
+pub use collector::{BulkPath, QueryPath, WirePath};
+pub use observation::{Source, SOURCES};
+pub use pipeline::{Study, StudyConfig};
+pub use snapshot::{SnapshotStore, SourceStats};

@@ -1,0 +1,234 @@
+//! The study driver: sweeps every due source every day and fills the
+//! snapshot store (cluster manager + worker cloud of paper Fig. 1).
+//!
+//! On multi-core machines the per-day sweep fans the input list out over a
+//! crossbeam worker cloud; collected rows are merged and dictionary-encoded
+//! by the manager thread, mirroring the collection/aggregation split of the
+//! real system.
+
+use crate::collector::{collect, collect_raw, BulkPath, QueryPath, RawRow, SldInterner};
+use crate::observation::{entry_code, schema, Row, Source, SOURCES};
+use crate::snapshot::SnapshotStore;
+use dps_columnar::TableBuilder;
+use dps_ecosystem::World;
+use dps_netsim::{Day, RibHistory};
+
+/// Study configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Total days to measure (gTLD window).
+    pub days: u32,
+    /// First day the .nl and Alexa sources are measured.
+    pub cc_start_day: u32,
+    /// Measure only every `stride`-th day (1 = daily, the paper's cadence;
+    /// larger strides cut experiment wall-clock while preserving shapes).
+    pub stride: u32,
+}
+
+impl StudyConfig {
+    /// Daily measurement matching `world` parameters.
+    pub fn for_world(world: &World) -> Self {
+        Self { days: world.params.gtld_days, cc_start_day: world.params.cc_start_day, stride: 1 }
+    }
+}
+
+/// Drives a full study over a world using the bulk query path.
+pub struct Study {
+    config: StudyConfig,
+    store: SnapshotStore,
+    history: RibHistory,
+}
+
+impl Study {
+    /// A study with an empty store.
+    pub fn new(config: StudyConfig) -> Self {
+        Self { config, store: SnapshotStore::new(), history: RibHistory::new() }
+    }
+
+    /// The measurement calendar: which sources are due on `day`.
+    pub fn due_sources(&self, day: u32) -> Vec<Source> {
+        let mut v = vec![Source::Com, Source::Net, Source::Org];
+        if day >= self.config.cc_start_day {
+            v.push(Source::Nl);
+            v.push(Source::Alexa);
+        }
+        v
+    }
+
+    /// Runs the whole study: advances the world through every measured day
+    /// and sweeps all due sources. Returns the filled store.
+    pub fn run(self, world: &mut World) -> SnapshotStore {
+        self.run_with_history(world).0
+    }
+
+    /// Like [`run`](Self::run), additionally returning the archive of
+    /// daily `pfx2as` snapshots (routing data *at measurement time*,
+    /// paper §3.2).
+    pub fn run_with_history(mut self, world: &mut World) -> (SnapshotStore, RibHistory) {
+        let mut interner = SldInterner::new();
+        let mut day = 0u32;
+        while day < self.config.days {
+            world.advance_to(Day(day));
+            self.history.record(Day(day), world.pfx2as());
+            self.measure_day(world, day, &mut interner);
+            day += self.config.stride.max(1);
+        }
+        (self.store, self.history)
+    }
+
+    /// Sweeps all due sources for the world's current day.
+    ///
+    /// The input list is fanned out over the crossbeam worker cloud
+    /// (paper Fig. 1): workers collect raw rows against the immutable
+    /// world; the manager thread dictionary-encodes and stores them.
+    pub fn measure_day(&mut self, world: &World, day: u32, interner: &mut SldInterner) {
+        let pfx2as = world.pfx2as();
+        for source in self.due_sources(day) {
+            let entries = match source.tld() {
+                Some(tld) => world.zone_entries(tld),
+                None => world.alexa_entries(),
+            };
+            // Worker cloud: one map task per chunk of the input list.
+            let chunk = entries.len().div_ceil(dps_columnar::mapreduce::default_workers().max(1)).max(1);
+            let chunks: Vec<&[dps_ecosystem::ZoneEntry]> = entries.chunks(chunk).collect();
+            let raw_chunks: Vec<Vec<RawRow>> =
+                dps_columnar::mapreduce::par_map(&chunks, |batch| {
+                    let mut path = BulkPath::new(world);
+                    batch
+                        .iter()
+                        .map(|&entry| {
+                            let apex = world.entry_name(entry);
+                            collect_raw(&mut path, &apex, entry_code(entry), &pfx2as)
+                        })
+                        .collect()
+                });
+            // Manager: intern + encode (ordered, deterministic).
+            let mut builder = TableBuilder::new(schema());
+            let mut data_points = 0u64;
+            for raw in raw_chunks.into_iter().flatten() {
+                let row = raw.intern(&mut self.store.dict, interner);
+                data_points += u64::from(row.data_points);
+                builder.push_row(&row.pack(day, source));
+            }
+            let table = builder.finish();
+            self.store.add_table(day, source, &table, data_points);
+        }
+    }
+
+    /// Immutable access to the store while the study is running.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+}
+
+/// Sweeps one list through an arbitrary query path (used by the wire-path
+/// validation tests and the lossy-network example).
+pub fn sweep_with_path(
+    world: &World,
+    path: &mut impl QueryPath,
+    source: Source,
+    day: u32,
+    store: &mut SnapshotStore,
+    interner: &mut SldInterner,
+) {
+    let pfx2as = world.pfx2as();
+    let entries = match source.tld() {
+        Some(tld) => world.zone_entries(tld),
+        None => world.alexa_entries(),
+    };
+    let mut builder = TableBuilder::new(schema());
+    let mut data_points = 0u64;
+    for entry in entries {
+        let apex = world.entry_name(entry);
+        let row: Row =
+            collect(path, &apex, entry_code(entry), &pfx2as, &mut store.dict, interner);
+        data_points += u64::from(row.data_points);
+        builder.push_row(&row.pack(day, source));
+    }
+    store.add_table(day, source, &builder.finish(), data_points);
+}
+
+/// Lists every source in Table 1 order (re-export convenience).
+pub fn all_sources() -> [Source; 5] {
+    SOURCES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_ecosystem::ScenarioParams;
+
+    #[test]
+    fn tiny_study_fills_all_sources() {
+        let mut world = World::imc2016(ScenarioParams::tiny(5));
+        let config = StudyConfig { days: 25, cc_start_day: 20, stride: 1 };
+        let store = Study::new(config).run(&mut world);
+
+        for s in [Source::Com, Source::Net, Source::Org] {
+            let st = store.stats(s);
+            assert_eq!(st.days, 25, "{s:?}");
+            assert_eq!(st.first_day, Some(0));
+            assert!(st.unique_slds.len() > 10, "{s:?}");
+            assert!(st.data_points > 0);
+        }
+        for s in [Source::Nl, Source::Alexa] {
+            let st = store.stats(s);
+            assert_eq!(st.days, 5, "{s:?}");
+            assert_eq!(st.first_day, Some(20));
+        }
+    }
+
+    #[test]
+    fn history_records_routing_at_measurement_time() {
+        use dps_netsim::OriginChange;
+        // Horizon past the first ENOM→Verisign flip (day 30).
+        let params =
+            dps_ecosystem::ScenarioParams { seed: 4, scale: 0.05, gtld_days: 35, cc_start_day: 35 };
+        let mut world = World::imc2016(params);
+        let (_store, history) =
+            Study::new(StudyConfig { days: 35, cc_start_day: 35, stride: 1 })
+                .run_with_history(&mut world);
+        assert_eq!(history.len(), 35);
+        let changes = history.diff(Day(29), Day(30));
+        let flip = changes.iter().find_map(|c| match c {
+            OriginChange::OriginFlip { from, to, .. } => Some((from.clone(), to.clone())),
+            _ => None,
+        });
+        let (from, to) = flip.expect("ENOM→Verisign flip recorded on day 30");
+        assert_eq!(from[0].0, 21740, "ENOM before");
+        assert_eq!(to[0].0, 26415, "Verisign during diversion");
+    }
+
+    #[test]
+    fn stride_skips_days() {
+        let mut world = World::imc2016(ScenarioParams::tiny(5));
+        let config = StudyConfig { days: 20, cc_start_day: 99, stride: 5 };
+        let store = Study::new(config).run(&mut world);
+        assert_eq!(store.days(Source::Com), vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn day_tables_decode_and_carry_day_column() {
+        let mut world = World::imc2016(ScenarioParams::tiny(6));
+        let config = StudyConfig { days: 3, cc_start_day: 99, stride: 1 };
+        let store = Study::new(config).run(&mut world);
+        let t = store.table(2, Source::Com).unwrap();
+        assert!(t.rows() > 0);
+        let days = t.column_by_name("day").unwrap();
+        assert!(days.iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn compression_beats_raw() {
+        let mut world = World::imc2016(ScenarioParams::tiny(7));
+        let config = StudyConfig { days: 5, cc_start_day: 99, stride: 1 };
+        let store = Study::new(config).run(&mut world);
+        let st = store.stats(Source::Com);
+        assert!(
+            st.stored_bytes * 2 < st.raw_bytes,
+            "stored {} raw {}",
+            st.stored_bytes,
+            st.raw_bytes
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Stage II: the snapshot store — daily per-source columnar tables.
+
+use crate::observation::{schema, Source, SOURCES};
+use dps_columnar::{StringDict, Table};
+use std::collections::{BTreeMap, HashSet};
+
+/// Per-source data-set statistics (paper Table 1).
+#[derive(Debug, Clone, Default)]
+pub struct SourceStats {
+    /// First measured day, if any.
+    pub first_day: Option<u32>,
+    /// Last measured day.
+    pub last_day: Option<u32>,
+    /// Number of measured days.
+    pub days: u32,
+    /// Unique SLDs (zone entries) observed over the whole period.
+    pub unique_slds: HashSet<u32>,
+    /// Collected data points (resource records).
+    pub data_points: u64,
+    /// Stored (encoded) bytes.
+    pub stored_bytes: u64,
+    /// Raw (4 bytes/cell) bytes.
+    pub raw_bytes: u64,
+}
+
+/// The measurement archive: one encoded table per (day, source), plus the
+/// shared string dictionary and per-source statistics.
+pub struct SnapshotStore {
+    /// Shared dictionary for SLD strings.
+    pub dict: StringDict,
+    tables: BTreeMap<(u32, u8), Vec<u8>>,
+    stats: Vec<SourceStats>,
+}
+
+impl SnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self {
+            dict: StringDict::new(),
+            tables: BTreeMap::new(),
+            stats: vec![SourceStats::default(); SOURCES.len()],
+        }
+    }
+
+    /// Adds a finished day table, updating statistics.
+    pub fn add_table(&mut self, day: u32, source: Source, table: &Table, data_points: u64) {
+        let bytes = table.to_bytes();
+        let st = &mut self.stats[source.index()];
+        st.first_day = Some(st.first_day.map_or(day, |d| d.min(day)));
+        st.last_day = Some(st.last_day.map_or(day, |d| d.max(day)));
+        st.days += 1;
+        st.data_points += data_points;
+        st.stored_bytes += bytes.len() as u64;
+        st.raw_bytes += table.raw_len() as u64;
+        if let Some(col) = table.column_by_name("entry") {
+            st.unique_slds.extend(col.iter().copied());
+        }
+        self.tables.insert((day, source.index() as u8), bytes);
+    }
+
+    /// Decodes the table for `(day, source)`.
+    pub fn table(&self, day: u32, source: Source) -> Option<Table> {
+        self.tables
+            .get(&(day, source.index() as u8))
+            .map(|b| Table::from_bytes(b).expect("store holds valid tables"))
+    }
+
+    /// Days measured for a source, ascending.
+    pub fn days(&self, source: Source) -> Vec<u32> {
+        self.tables
+            .keys()
+            .filter(|(_, s)| *s == source.index() as u8)
+            .map(|(d, _)| *d)
+            .collect()
+    }
+
+    /// The encoded table blobs of one source, ascending by day (the
+    /// parallel analysis engine decodes them on worker threads).
+    pub fn encoded(&self, source: Source) -> Vec<(u32, &[u8])> {
+        self.tables
+            .iter()
+            .filter(|((_, s), _)| *s == source.index() as u8)
+            .map(|((d, _), b)| (*d, b.as_slice()))
+            .collect()
+    }
+
+    /// Iterates (day, decoded table) for one source, ascending by day.
+    pub fn scan(&self, source: Source) -> impl Iterator<Item = (u32, Table)> + '_ {
+        self.tables
+            .iter()
+            .filter(move |((_, s), _)| *s == source.index() as u8)
+            .map(|((d, _), b)| (*d, Table::from_bytes(b).expect("valid")))
+    }
+
+    /// Raw encoded bytes of every stored table (for size accounting).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.tables.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Statistics for a source.
+    pub fn stats(&self, source: Source) -> &SourceStats {
+        &self.stats[source.index()]
+    }
+
+    /// The snapshot schema (fixed).
+    pub fn schema(&self) -> dps_columnar::Schema {
+        schema()
+    }
+
+    /// Persists the whole archive into a directory: one file per
+    /// `(day, source)` table, plus the dictionary and statistics, so a
+    /// multi-minute sweep can be analysed repeatedly without re-running.
+    pub fn save_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("dict.bin"), self.dict.to_bytes())?;
+        let mut index = String::new();
+        for ((day, source), bytes) in &self.tables {
+            let name = format!("day{day:05}_src{source}.dpc");
+            std::fs::write(dir.join(&name), bytes)?;
+            use std::fmt::Write as _;
+            let _ = writeln!(index, "{day}\t{source}\t{name}");
+        }
+        std::fs::write(dir.join("index.tsv"), index)?;
+        Ok(())
+    }
+
+    /// Loads an archive produced by [`save_dir`](Self::save_dir),
+    /// recomputing the per-source statistics.
+    pub fn load_dir(dir: &std::path::Path) -> std::io::Result<Self> {
+        let dict_bytes = std::fs::read(dir.join("dict.bin"))?;
+        let dict = StringDict::from_bytes(&dict_bytes)
+            .ok_or_else(|| std::io::Error::other("corrupt dictionary"))?;
+        let index = std::fs::read_to_string(dir.join("index.tsv"))?;
+        let mut store = Self { dict, tables: BTreeMap::new(), stats: vec![SourceStats::default(); SOURCES.len()] };
+        for line in index.lines() {
+            let mut parts = line.split('\t');
+            let (Some(day), Some(source), Some(name)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(std::io::Error::other("corrupt index"));
+            };
+            let day: u32 = day.parse().map_err(std::io::Error::other)?;
+            let source: u8 = source.parse().map_err(std::io::Error::other)?;
+            let source = Source::from_index(u32::from(source))
+                .ok_or_else(|| std::io::Error::other("bad source"))?;
+            let bytes = std::fs::read(dir.join(name))?;
+            let table = Table::from_bytes(&bytes).map_err(std::io::Error::other)?;
+            if table.schema().names() != schema().names() {
+                return Err(std::io::Error::other(
+                    "archive schema does not match this build; re-run the study",
+                ));
+            }
+            // Data-point counts are not stored per table; reconstruct the
+            // structural stats and leave data_points at the row estimate.
+            let dps = table
+                .column_by_name("failed")
+                .map(|c| c.iter().filter(|&&f| f == 0).count() as u64 * 5)
+                .unwrap_or(0);
+            store.add_table(day, source, &table, dps);
+        }
+        Ok(store)
+    }
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_columnar::TableBuilder;
+
+    fn table_with_rows(day: u32, n: u32) -> Table {
+        let mut b = TableBuilder::new(schema());
+        for i in 0..n {
+            let mut row = [0u32; 18];
+            row[0] = day;
+            row[1] = Source::Com.index() as u32;
+            row[2] = i * 2;
+            b.push_row(&row);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn stats_accumulate_across_days() {
+        let mut store = SnapshotStore::new();
+        store.add_table(0, Source::Com, &table_with_rows(0, 100), 400);
+        store.add_table(1, Source::Com, &table_with_rows(1, 120), 480);
+        let st = store.stats(Source::Com);
+        assert_eq!(st.days, 2);
+        assert_eq!(st.first_day, Some(0));
+        assert_eq!(st.last_day, Some(1));
+        assert_eq!(st.data_points, 880);
+        assert_eq!(st.unique_slds.len(), 120);
+        assert!(st.stored_bytes > 0);
+        assert!(st.stored_bytes < st.raw_bytes);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = SnapshotStore::new();
+        store.dict.intern("cloudflare.com");
+        store.add_table(0, Source::Com, &table_with_rows(0, 50), 250);
+        store.add_table(1, Source::Com, &table_with_rows(1, 60), 300);
+        store.add_table(0, Source::Org, &table_with_rows(0, 10), 50);
+        let dir = std::env::temp_dir().join(format!("dps-store-test-{}", std::process::id()));
+        store.save_dir(&dir).unwrap();
+        let back = SnapshotStore::load_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back.dict.get("cloudflare.com"), store.dict.get("cloudflare.com"));
+        assert_eq!(back.days(Source::Com), vec![0, 1]);
+        let t = back.table(1, Source::Com).unwrap();
+        assert_eq!(t.rows(), 60);
+        assert_eq!(back.stats(Source::Com).days, 2);
+        assert_eq!(back.stats(Source::Org).unique_slds.len(), 10);
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(SnapshotStore::load_dir(std::path::Path::new("/nonexistent-dps")).is_err());
+    }
+
+    #[test]
+    fn scan_returns_days_in_order() {
+        let mut store = SnapshotStore::new();
+        for day in [3u32, 1, 2] {
+            store.add_table(day, Source::Net, &table_with_rows(day, 10), 0);
+        }
+        let days: Vec<u32> = store.scan(Source::Net).map(|(d, _)| d).collect();
+        assert_eq!(days, vec![1, 2, 3]);
+        assert!(store.table(2, Source::Net).is_some());
+        assert!(store.table(2, Source::Org).is_none());
+    }
+}

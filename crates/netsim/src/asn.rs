@@ -1,0 +1,102 @@
+//! Autonomous-system numbers and the AS-to-name registry.
+//!
+//! The paper's reference-discovery procedure "uses AS-to-name data to find a
+//! DPS's AS numbers" (footnote 5). [`AsRegistry`] plays that role: it maps
+//! AS numbers to organisation names, and supports the reverse search by
+//! substring that an analyst would do against, e.g., PeeringDB.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An autonomous-system number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// AS-number → organisation-name directory.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsRegistry {
+    names: BTreeMap<Asn, String>,
+}
+
+impl AsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or renames) an AS.
+    pub fn register(&mut self, asn: Asn, name: impl Into<String>) {
+        self.names.insert(asn, name.into());
+    }
+
+    /// Organisation name for an AS, if known.
+    pub fn name(&self, asn: Asn) -> Option<&str> {
+        self.names.get(&asn).map(String::as_str)
+    }
+
+    /// All ASNs whose organisation name contains `needle`
+    /// (case-insensitive). This is the "find the provider's ASes by name"
+    /// step seeding the reference-discovery procedure.
+    pub fn search(&self, needle: &str) -> Vec<Asn> {
+        let needle = needle.to_ascii_lowercase();
+        self.names
+            .iter()
+            .filter(|(_, name)| name.to_ascii_lowercase().contains(&needle))
+            .map(|(&asn, _)| asn)
+            .collect()
+    }
+
+    /// Number of registered ASes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no AS is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(asn, name)` pairs in numeric order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &str)> {
+        self.names.iter().map(|(&a, n)| (a, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_as_prefix() {
+        assert_eq!(Asn(13335).to_string(), "AS13335");
+    }
+
+    #[test]
+    fn search_is_case_insensitive_substring() {
+        let mut reg = AsRegistry::new();
+        reg.register(Asn(13335), "CloudFlare, Inc.");
+        reg.register(Asn(19551), "Incapsula Inc");
+        reg.register(Asn(20940), "Akamai International B.V.");
+        assert_eq!(reg.search("cloudflare"), vec![Asn(13335)]);
+        assert_eq!(reg.search("INC"), vec![Asn(13335), Asn(19551)]);
+        assert!(reg.search("verisign").is_empty());
+    }
+
+    #[test]
+    fn register_overwrites() {
+        let mut reg = AsRegistry::new();
+        reg.register(Asn(1), "old");
+        reg.register(Asn(1), "new");
+        assert_eq!(reg.name(Asn(1)), Some("new"));
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Virtual time: study days and calendar dates.
+//!
+//! The study is organised around *daily* snapshots. [`Day`] is an offset
+//! from the epoch of the simulated world (day 0 = 2015-03-01, the start of
+//! the gTLD measurements in the paper); [`Date`] converts it to a Gregorian
+//! calendar date for axis labels such as `Mar '15`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A study day (day 0 = 2015-03-01).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Day(pub u32);
+
+/// The calendar date of day 0.
+pub const EPOCH: Date = Date { year: 2015, month: 3, day: 1 };
+
+impl Day {
+    /// The calendar date of this study day.
+    pub fn date(self) -> Date {
+        EPOCH.plus_days(self.0)
+    }
+
+    /// Day index from a calendar date (dates before the epoch clamp to 0).
+    pub fn from_date(d: Date) -> Self {
+        Day(d.days_since_epoch_year().saturating_sub(EPOCH.days_since_epoch_year()))
+    }
+}
+
+impl Add<u32> for Day {
+    type Output = Day;
+    fn add(self, rhs: u32) -> Day {
+        Day(self.0 + rhs)
+    }
+}
+
+impl Sub<Day> for Day {
+    type Output = i64;
+    fn sub(self, rhs: Day) -> i64 {
+        i64::from(self.0) - i64::from(rhs.0)
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.date())
+    }
+}
+
+/// A Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Date {
+    /// Full year, e.g. 2015.
+    pub year: u16,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+const MONTH_NAMES: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+
+impl Date {
+    fn is_leap(year: u16) -> bool {
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    }
+
+    fn month_len(year: u16, month: u8) -> u8 {
+        match month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if Self::is_leap(year) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => unreachable!("month out of range"),
+        }
+    }
+
+    /// Days since 2000-01-01 (internal linearisation; enough span for the
+    /// study and cheap to compute).
+    fn days_since_epoch_year(self) -> u32 {
+        let mut days = 0u32;
+        for y in 2000..self.year {
+            days += if Self::is_leap(y) { 366 } else { 365 };
+        }
+        for m in 1..self.month {
+            days += u32::from(Self::month_len(self.year, m));
+        }
+        days + u32::from(self.day) - 1
+    }
+
+    /// The date `n` days after `self`.
+    pub fn plus_days(self, n: u32) -> Date {
+        let mut year = self.year;
+        let mut month = self.month;
+        let mut day = u32::from(self.day) + n;
+        loop {
+            let ml = u32::from(Self::month_len(year, month));
+            if day <= ml {
+                return Date { year, month, day: day as u8 };
+            }
+            day -= ml;
+            month += 1;
+            if month > 12 {
+                month = 1;
+                year += 1;
+            }
+        }
+    }
+
+    /// Short axis label in the paper's style: `Mar '15`.
+    pub fn axis_label(self) -> String {
+        format!("{} '{:02}", MONTH_NAMES[usize::from(self.month) - 1], self.year % 100)
+    }
+
+    /// True if this is the first day of a month (used to place axis ticks).
+    pub fn is_month_start(self) -> bool {
+        self.day == 1
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_paper_start() {
+        assert_eq!(Day(0).date().to_string(), "2015-03-01");
+    }
+
+    #[test]
+    fn leap_year_2016_handled() {
+        // 2015-03-01 + 366 days straddles Feb 29 2016.
+        let d = Day(365).date();
+        assert_eq!(d.to_string(), "2016-02-29");
+        assert_eq!(Day(366).date().to_string(), "2016-03-01");
+    }
+
+    #[test]
+    fn study_end_is_mid_2016() {
+        // 550 days of gTLD measurements.
+        assert_eq!(Day(549).date().to_string(), "2016-08-31");
+    }
+
+    #[test]
+    fn axis_label_matches_paper_style() {
+        assert_eq!(Day(0).date().axis_label(), "Mar '15");
+        assert_eq!(Day(306).date().axis_label(), "Jan '16");
+    }
+
+    #[test]
+    fn from_date_inverts_date() {
+        for n in [0u32, 1, 59, 365, 366, 549] {
+            assert_eq!(Day::from_date(Day(n).date()), Day(n));
+        }
+    }
+
+    #[test]
+    fn month_starts_detected() {
+        assert!(Date { year: 2015, month: 4, day: 1 }.is_month_start());
+        assert!(!Date { year: 2015, month: 4, day: 2 }.is_month_start());
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        assert_eq!(Day(5) + 3, Day(8));
+        assert_eq!(Day(8) - Day(5), 3);
+        assert_eq!(Day(2) - Day(5), -3);
+    }
+}

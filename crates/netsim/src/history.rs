@@ -1,0 +1,219 @@
+//! Historical prefix-to-AS archives.
+//!
+//! The paper supplements addresses with "the origin AS of the most-specific
+//! prefix in which an address was contained **at measurement time**"
+//! (§3.2) — i.e. it joins against dated Routeviews `pfx2as` snapshots, not
+//! a single current table. [`RibHistory`] is that archive: one snapshot per
+//! measured day, with delta inspection so BGP diversion events (the ENOM ↔
+//! Verisign flips) are visible as routing history.
+
+use crate::asn::Asn;
+use crate::bgp::Pfx2As;
+use crate::clock::Day;
+use crate::prefix::Prefix;
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+/// A dated archive of `pfx2as` snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct RibHistory {
+    snapshots: BTreeMap<u32, Pfx2As>,
+}
+
+/// One difference between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OriginChange {
+    /// The prefix is newly announced.
+    Announced {
+        /// The affected prefix.
+        prefix: Prefix,
+        /// Its origins now.
+        origins: Vec<Asn>,
+    },
+    /// The prefix disappeared from the table.
+    Withdrawn {
+        /// The affected prefix.
+        prefix: Prefix,
+        /// Its origins before.
+        origins: Vec<Asn>,
+    },
+    /// The origin set changed (e.g. a BGP diversion flip).
+    OriginFlip {
+        /// The affected prefix.
+        prefix: Prefix,
+        /// Origins before.
+        from: Vec<Asn>,
+        /// Origins after.
+        to: Vec<Asn>,
+    },
+}
+
+impl RibHistory {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the snapshot for `day` (replacing any previous one).
+    pub fn record(&mut self, day: Day, snapshot: Pfx2As) {
+        self.snapshots.insert(day.0, snapshot);
+    }
+
+    /// The snapshot recorded for exactly `day`.
+    pub fn at(&self, day: Day) -> Option<&Pfx2As> {
+        self.snapshots.get(&day.0)
+    }
+
+    /// The most recent snapshot at or before `day` (how an analysis joins
+    /// a measurement against routing data when a day's table is missing).
+    pub fn at_or_before(&self, day: Day) -> Option<&Pfx2As> {
+        self.snapshots.range(..=day.0).next_back().map(|(_, s)| s)
+    }
+
+    /// Days with a recorded snapshot, ascending.
+    pub fn days(&self) -> Vec<Day> {
+        self.snapshots.keys().map(|&d| Day(d)).collect()
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Origin history of `addr`: for every recorded day, the origin set of
+    /// its most-specific covering prefix. Days where the address is
+    /// unrouted yield an empty set.
+    pub fn origin_timeline(&self, addr: IpAddr) -> Vec<(Day, Vec<Asn>)> {
+        self.snapshots
+            .iter()
+            .map(|(&d, snap)| {
+                let origins =
+                    snap.origins(addr).map(|(o, _)| o.to_vec()).unwrap_or_default();
+                (Day(d), origins)
+            })
+            .collect()
+    }
+
+    /// The routing changes between two recorded days.
+    pub fn diff(&self, from: Day, to: Day) -> Vec<OriginChange> {
+        let (Some(a), Some(b)) = (self.at(from), self.at(to)) else {
+            return Vec::new();
+        };
+        let index = |snap: &Pfx2As| -> BTreeMap<Prefix, Vec<Asn>> {
+            snap.entries().map(|(p, o)| (p, o.to_vec())).collect()
+        };
+        let before = index(a);
+        let after = index(b);
+        let mut out = Vec::new();
+        for (prefix, origins) in &before {
+            match after.get(prefix) {
+                None => out.push(OriginChange::Withdrawn {
+                    prefix: *prefix,
+                    origins: origins.clone(),
+                }),
+                Some(now) if now != origins => out.push(OriginChange::OriginFlip {
+                    prefix: *prefix,
+                    from: origins.clone(),
+                    to: now.clone(),
+                }),
+                _ => {}
+            }
+        }
+        for (prefix, origins) in &after {
+            if !before.contains_key(prefix) {
+                out.push(OriginChange::Announced { prefix: *prefix, origins: origins.clone() });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::Rib;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn history_with_flip() -> RibHistory {
+        // Day 0-1: ENOM originates; day 2-3: Verisign (diversion); day 4: back.
+        let mut h = RibHistory::new();
+        for day in 0..5u32 {
+            let mut rib = Rib::new();
+            rib.announce(p("10.0.0.0/8"), Asn(64512));
+            let origin = if (2..4).contains(&day) { Asn(26415) } else { Asn(21740) };
+            rib.announce(p("31.2.0.0/16"), origin);
+            h.record(Day(day), rib.snapshot());
+        }
+        h
+    }
+
+    #[test]
+    fn at_and_at_or_before() {
+        let h = history_with_flip();
+        assert!(h.at(Day(3)).is_some());
+        assert!(h.at(Day(9)).is_none());
+        assert!(h.at_or_before(Day(9)).is_some());
+        assert!(h.at_or_before(Day(0)).is_some());
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.days().len(), 5);
+    }
+
+    #[test]
+    fn origin_timeline_shows_the_flip() {
+        let h = history_with_flip();
+        let tl = h.origin_timeline(ip("31.2.0.99"));
+        let origins: Vec<u32> = tl.iter().map(|(_, o)| o[0].0).collect();
+        assert_eq!(origins, vec![21740, 21740, 26415, 26415, 21740]);
+    }
+
+    #[test]
+    fn diff_reports_origin_flip_only() {
+        let h = history_with_flip();
+        let changes = h.diff(Day(1), Day(2));
+        assert_eq!(changes.len(), 1);
+        match &changes[0] {
+            OriginChange::OriginFlip { prefix, from, to } => {
+                assert_eq!(*prefix, p("31.2.0.0/16"));
+                assert_eq!(from, &[Asn(21740)]);
+                assert_eq!(to, &[Asn(26415)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(h.diff(Day(2), Day(3)).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_announce_and_withdraw() {
+        let mut h = RibHistory::new();
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), Asn(1));
+        h.record(Day(0), rib.snapshot());
+        rib.withdraw(p("10.0.0.0/8"), Asn(1));
+        rib.announce(p("192.0.2.0/24"), Asn(2));
+        h.record(Day(1), rib.snapshot());
+        let changes = h.diff(Day(0), Day(1));
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().any(|c| matches!(c, OriginChange::Withdrawn { .. })));
+        assert!(changes.iter().any(|c| matches!(c, OriginChange::Announced { .. })));
+    }
+
+    #[test]
+    fn unrouted_days_are_empty_sets() {
+        let mut h = RibHistory::new();
+        h.record(Day(0), Rib::new().snapshot());
+        let tl = h.origin_timeline(ip("203.0.113.1"));
+        assert_eq!(tl, vec![(Day(0), vec![])]);
+    }
+}

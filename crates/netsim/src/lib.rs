@@ -1,0 +1,37 @@
+//! # dps-netsim — the simulated Internet substrate
+//!
+//! Everything the measurement study needs from "the Internet" that is not
+//! DNS itself lives here:
+//!
+//! * [`prefix`] — IPv4/IPv6 CIDR prefixes with containment and parsing,
+//! * [`trie`] — a binary trie providing longest-prefix matching,
+//! * [`asn`] — autonomous-system numbers and the AS-to-name registry,
+//! * [`bgp`] — a BGP-like RIB with announce/withdraw and multi-origin
+//!   support, exporting Routeviews-style `pfx2as` snapshots,
+//! * [`history`] — dated archives of those snapshots with origin-flip
+//!   diffing (the measurement joins against routing data *at measurement
+//!   time*, paper §3.2),
+//! * [`clock`] — virtual days and calendar dates for the 1.5-year study,
+//! * [`net`] — a deterministic, virtual-time UDP network with fault
+//!   injection (loss, corruption, duplication, latency), in the spirit of
+//!   smoltcp's fault-injecting examples.
+//!
+//! The network is request/response oriented: services register a handler at
+//! an IP address; client sockets keep their own virtual clock so parallel
+//! measurement workers stay deterministic.
+
+pub mod asn;
+pub mod bgp;
+pub mod clock;
+pub mod history;
+pub mod net;
+pub mod prefix;
+pub mod trie;
+
+pub use asn::{AsRegistry, Asn};
+pub use bgp::{Pfx2As, Rib};
+pub use clock::{Date, Day};
+pub use history::{OriginChange, RibHistory};
+pub use net::{FaultProfile, Network, NetworkStats, RecvError, Socket};
+pub use prefix::{Prefix, PrefixParseError};
+pub use trie::LpmTrie;

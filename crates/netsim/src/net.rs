@@ -1,0 +1,446 @@
+//! A deterministic, virtual-time UDP network with fault injection.
+//!
+//! Services (authoritative name servers) register a request handler at an IP
+//! address. Client [`Socket`]s send datagrams and receive responses under a
+//! *virtual* clock: latency, loss, duplication and corruption are simulated
+//! per-socket with a seeded RNG, so runs are reproducible bit-for-bit and
+//! independent of wall-clock scheduling — even when many measurement workers
+//! share the network from different threads.
+//!
+//! The design follows the request/response nature of DNS-over-UDP: a send
+//! may synchronously produce zero or more deliveries into the sender's
+//! inbox, time-stamped with simulated round-trip latency. `recv` advances
+//! the socket's virtual clock. This mirrors smoltcp's poll-driven style and
+//! its fault-injecting example devices (`--drop-chance`, `--corrupt-chance`).
+
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A registered service: maps a source address and request payload to an
+/// optional response payload. Handlers must be pure with respect to the
+/// datagram (shared state goes behind its own locks).
+pub type Handler = Arc<dyn Fn(IpAddr, &[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
+/// Fault-injection parameters, applied independently to the request and the
+/// response leg of each exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// Probability a datagram is silently dropped, per leg, in `[0, 1]`.
+    pub loss: f64,
+    /// Probability one octet of the datagram is flipped, per leg.
+    pub corrupt: f64,
+    /// Probability a datagram is delivered twice, per leg.
+    pub duplicate: f64,
+    /// One-way latency range in microseconds (uniform).
+    pub latency_us: (u64, u64),
+}
+
+impl Default for FaultProfile {
+    /// A healthy network: no faults, 2–20 ms one-way latency.
+    fn default() -> Self {
+        Self { loss: 0.0, corrupt: 0.0, duplicate: 0.0, latency_us: (2_000, 20_000) }
+    }
+}
+
+impl FaultProfile {
+    /// A lossy profile in the spirit of smoltcp's example defaults
+    /// (15% drop / corrupt chance).
+    pub fn lossy() -> Self {
+        Self { loss: 0.15, corrupt: 0.15, duplicate: 0.05, latency_us: (2_000, 50_000) }
+    }
+
+    /// A perfect, zero-latency network (useful for micro-benches).
+    pub fn ideal() -> Self {
+        Self { loss: 0.0, corrupt: 0.0, duplicate: 0.0, latency_us: (0, 0) }
+    }
+}
+
+/// Aggregate counters across the whole network. Cheap atomics; read them
+/// with [`NetworkStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct NetworkStats {
+    /// Datagrams handed to `send_to`.
+    pub sent: AtomicU64,
+    /// Datagrams dropped by fault injection (either leg).
+    pub dropped: AtomicU64,
+    /// Datagrams corrupted by fault injection (either leg).
+    pub corrupted: AtomicU64,
+    /// Extra copies delivered by duplication (either leg).
+    pub duplicated: AtomicU64,
+    /// Responses delivered into sockets' inboxes.
+    pub delivered: AtomicU64,
+    /// Requests that reached no registered service.
+    pub unroutable: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetworkStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`NetworkStats::sent`].
+    pub sent: u64,
+    /// See [`NetworkStats::dropped`].
+    pub dropped: u64,
+    /// See [`NetworkStats::corrupted`].
+    pub corrupted: u64,
+    /// See [`NetworkStats::duplicated`].
+    pub duplicated: u64,
+    /// See [`NetworkStats::delivered`].
+    pub delivered: u64,
+    /// See [`NetworkStats::unroutable`].
+    pub unroutable: u64,
+}
+
+impl NetworkStats {
+    /// Reads all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sent: self.sent.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            unroutable: self.unroutable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Errors from [`Socket::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// Nothing arrived before the virtual deadline.
+    Timeout,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// The shared network fabric.
+pub struct Network {
+    services: RwLock<HashMap<IpAddr, Handler>>,
+    faults: RwLock<FaultProfile>,
+    stats: NetworkStats,
+    seed: u64,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("services", &self.services.read().len())
+            .field("faults", &*self.faults.read())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network with the default (healthy) fault profile.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(Self {
+            services: RwLock::new(HashMap::new()),
+            faults: RwLock::new(FaultProfile::default()),
+            stats: NetworkStats::default(),
+            seed,
+        })
+    }
+
+    /// Replaces the fault profile (affects subsequent sends).
+    pub fn set_faults(&self, profile: FaultProfile) {
+        *self.faults.write() = profile;
+    }
+
+    /// Current fault profile.
+    pub fn faults(&self) -> FaultProfile {
+        *self.faults.read()
+    }
+
+    /// Registers a service at `addr`, replacing any previous one.
+    pub fn bind_service(&self, addr: IpAddr, handler: Handler) {
+        self.services.write().insert(addr, handler);
+    }
+
+    /// Removes the service at `addr`.
+    pub fn unbind(&self, addr: IpAddr) {
+        self.services.write().remove(&addr);
+    }
+
+    /// True if a service is bound at `addr`.
+    pub fn is_bound(&self, addr: IpAddr) -> bool {
+        self.services.read().contains_key(&addr)
+    }
+
+    /// Aggregate fault/delivery counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Opens a client socket with its own virtual clock and RNG stream.
+    ///
+    /// `stream` distinguishes sockets sharing a source address (e.g. one per
+    /// measurement worker); sockets with equal `(seed, src, stream)` behave
+    /// identically.
+    pub fn socket(self: &Arc<Self>, src: IpAddr, stream: u64) -> Socket {
+        let mut h = self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if let IpAddr::V4(v4) = src {
+            h ^= u64::from(u32::from(v4)) << 17;
+        }
+        Socket {
+            net: Arc::clone(self),
+            src,
+            rng: SmallRng::seed_from_u64(h),
+            inbox: BinaryHeap::new(),
+            now_us: 0,
+            seq: 0,
+        }
+    }
+}
+
+/// A pending delivery: ordered by virtual arrival time, then send order.
+type Delivery = Reverse<(u64, u64, IpAddr, Vec<u8>)>;
+
+/// A client UDP socket with a private virtual clock.
+pub struct Socket {
+    net: Arc<Network>,
+    src: IpAddr,
+    rng: SmallRng,
+    inbox: BinaryHeap<Delivery>,
+    now_us: u64,
+    seq: u64,
+}
+
+impl Socket {
+    /// The socket's source address.
+    pub fn local_addr(&self) -> IpAddr {
+        self.src
+    }
+
+    /// The socket's virtual clock, microseconds since creation.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    fn leg_faults(
+        &mut self,
+        payload: &[u8],
+        profile: &FaultProfile,
+    ) -> Vec<(Vec<u8>, u64)> {
+        // Returns 0..=2 (payload, one-way latency) copies for one leg.
+        let stats = &self.net.stats;
+        if self.rng.gen::<f64>() < profile.loss {
+            stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        }
+        let mut data = payload.to_vec();
+        if self.rng.gen::<f64>() < profile.corrupt && !data.is_empty() {
+            let idx = self.rng.gen_range(0..data.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            data[idx] ^= bit;
+            stats.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        let lat = |rng: &mut SmallRng| -> u64 {
+            let (lo, hi) = profile.latency_us;
+            if hi > lo {
+                rng.gen_range(lo..=hi)
+            } else {
+                lo
+            }
+        };
+        let mut out = vec![(data.clone(), lat(&mut self.rng))];
+        if self.rng.gen::<f64>() < profile.duplicate {
+            stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            out.push((data, lat(&mut self.rng)));
+        }
+        out
+    }
+
+    /// Sends `payload` to `dst`. Any responses are scheduled into this
+    /// socket's inbox with simulated round-trip latency.
+    pub fn send_to(&mut self, dst: IpAddr, payload: &[u8]) {
+        let profile = self.net.faults();
+        self.net.stats.sent.fetch_add(1, Ordering::Relaxed);
+
+        let requests = self.leg_faults(payload, &profile);
+        if requests.is_empty() {
+            return;
+        }
+        let handler = self.net.services.read().get(&dst).cloned();
+        let Some(handler) = handler else {
+            self.net.stats.unroutable.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        for (req, req_lat) in requests {
+            let Some(resp) = handler(self.src, &req) else { continue };
+            for (resp_data, resp_lat) in self.leg_faults(&resp, &profile) {
+                let arrive = self.now_us + req_lat + resp_lat;
+                self.seq += 1;
+                self.inbox.push(Reverse((arrive, self.seq, dst, resp_data)));
+                self.net.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Receives the next datagram, advancing the virtual clock to its
+    /// arrival time, or to `now + timeout_us` on timeout.
+    pub fn recv(&mut self, timeout_us: u64) -> Result<(IpAddr, Vec<u8>), RecvError> {
+        let deadline = self.now_us + timeout_us;
+        if let Some(Reverse((arrive, _, _, _))) = self.inbox.peek() {
+            if *arrive <= deadline {
+                let Reverse((arrive, _, from, data)) = self.inbox.pop().expect("peeked");
+                self.now_us = self.now_us.max(arrive);
+                return Ok((from, data));
+            }
+        }
+        self.now_us = deadline;
+        Err(RecvError::Timeout)
+    }
+
+    /// Discards everything still in flight toward this socket (used between
+    /// logically separate exchanges so late duplicates don't leak across).
+    pub fn drain(&mut self) {
+        self.inbox.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_network(seed: u64) -> Arc<Network> {
+        let net = Network::new(seed);
+        let addr: IpAddr = "192.0.2.1".parse().unwrap();
+        net.bind_service(addr, Arc::new(|_src, payload| Some(payload.to_vec())));
+        net
+    }
+
+    fn client(net: &Arc<Network>) -> Socket {
+        net.socket("198.51.100.1".parse().unwrap(), 0)
+    }
+
+    #[test]
+    fn echo_roundtrip_advances_virtual_time() {
+        let net = echo_network(1);
+        let mut sock = client(&net);
+        sock.send_to("192.0.2.1".parse().unwrap(), b"ping");
+        let (from, data) = sock.recv(1_000_000).unwrap();
+        assert_eq!(from, "192.0.2.1".parse::<IpAddr>().unwrap());
+        assert_eq!(data, b"ping");
+        // Default profile has ≥ 2ms per leg.
+        assert!(sock.now_us() >= 4_000, "now={}", sock.now_us());
+    }
+
+    #[test]
+    fn unbound_destination_times_out() {
+        let net = echo_network(1);
+        let mut sock = client(&net);
+        sock.send_to("203.0.113.9".parse().unwrap(), b"ping");
+        assert_eq!(sock.recv(50_000), Err(RecvError::Timeout));
+        assert_eq!(sock.now_us(), 50_000);
+        assert_eq!(net.stats().snapshot().unroutable, 1);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let net = echo_network(2);
+        net.set_faults(FaultProfile { loss: 1.0, ..FaultProfile::default() });
+        let mut sock = client(&net);
+        sock.send_to("192.0.2.1".parse().unwrap(), b"ping");
+        assert_eq!(sock.recv(10_000), Err(RecvError::Timeout));
+        assert!(net.stats().snapshot().dropped >= 1);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let net = echo_network(3);
+        net.set_faults(FaultProfile {
+            corrupt: 1.0,
+            latency_us: (0, 0),
+            ..FaultProfile::default()
+        });
+        let mut sock = client(&net);
+        sock.send_to("192.0.2.1".parse().unwrap(), &[0u8; 8]);
+        let (_, data) = sock.recv(1000).unwrap();
+        // Two legs, each flipping one bit; they may coincide.
+        let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
+        assert!(flipped == 2 || flipped == 0, "flipped={flipped} data={data:?}");
+        assert_eq!(net.stats().snapshot().corrupted, 2);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let net = echo_network(4);
+        net.set_faults(FaultProfile {
+            duplicate: 1.0,
+            latency_us: (0, 0),
+            ..FaultProfile::default()
+        });
+        let mut sock = client(&net);
+        sock.send_to("192.0.2.1".parse().unwrap(), b"x");
+        // Request duplicated -> handler runs twice; each response duplicated
+        // -> 4 deliveries total.
+        let mut n = 0;
+        while sock.recv(1000).is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let run = |seed: u64| -> Vec<u64> {
+            let net = echo_network(seed);
+            net.set_faults(FaultProfile::lossy());
+            let mut sock = client(&net);
+            let mut arrivals = Vec::new();
+            for _ in 0..50 {
+                sock.send_to("192.0.2.1".parse().unwrap(), b"probe");
+                if sock.recv(100_000).is_ok() {
+                    arrivals.push(sock.now_us());
+                }
+                sock.drain();
+            }
+            arrivals
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn deliveries_arrive_in_time_order() {
+        let net = echo_network(5);
+        net.set_faults(FaultProfile { latency_us: (1000, 90_000), ..FaultProfile::default() });
+        let mut sock = client(&net);
+        for _ in 0..10 {
+            sock.send_to("192.0.2.1".parse().unwrap(), b"m");
+        }
+        let mut last = 0;
+        while sock.recv(1_000_000).is_ok() {
+            assert!(sock.now_us() >= last);
+            last = sock.now_us();
+        }
+    }
+
+    #[test]
+    fn rebinding_replaces_service() {
+        let net = Network::new(9);
+        let addr: IpAddr = "192.0.2.1".parse().unwrap();
+        net.bind_service(addr, Arc::new(|_, _| Some(b"one".to_vec())));
+        net.bind_service(addr, Arc::new(|_, _| Some(b"two".to_vec())));
+        let mut sock = client(&net);
+        sock.send_to(addr, b"q");
+        assert_eq!(sock.recv(1_000_000).unwrap().1, b"two");
+        net.unbind(addr);
+        assert!(!net.is_bound(addr));
+    }
+}

@@ -1,0 +1,218 @@
+//! CIDR prefixes over IPv4 and IPv6.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Error parsing a prefix from presentation format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// Missing `/len` part or unparsable address.
+    Malformed(String),
+    /// Prefix length beyond 32 (IPv4) or 128 (IPv6).
+    LengthOutOfRange(u8),
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Malformed(s) => write!(f, "malformed prefix {s:?}"),
+            Self::LengthOutOfRange(l) => write!(f, "prefix length {l} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+/// A CIDR prefix. The network address is canonicalised (host bits zeroed)
+/// at construction, so `10.0.0.7/24` and `10.0.0.0/24` compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Address bits, left-aligned into 128 bits for both families.
+    bits: u128,
+    /// Prefix length in bits.
+    len: u8,
+    /// True for IPv4.
+    v4: bool,
+}
+
+impl Prefix {
+    /// Builds a prefix from an address and length, zeroing host bits.
+    pub fn new(addr: IpAddr, len: u8) -> Result<Self, PrefixParseError> {
+        let (bits, v4, max) = match addr {
+            IpAddr::V4(a) => ((u32::from(a) as u128) << 96, true, 32),
+            IpAddr::V6(a) => (u128::from(a), false, 128),
+        };
+        if len > max {
+            return Err(PrefixParseError::LengthOutOfRange(len));
+        }
+        Ok(Self { bits: mask(bits, len), len, v4 })
+    }
+
+    /// Convenience: an IPv4 prefix (panics on length > 32; use in literals).
+    pub fn v4(a: u8, b: u8, c: u8, d: u8, len: u8) -> Self {
+        Self::new(IpAddr::V4(Ipv4Addr::new(a, b, c, d)), len).expect("static prefix length")
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True if the prefix has zero length (the default route).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True for IPv4 prefixes.
+    pub fn is_v4(&self) -> bool {
+        self.v4
+    }
+
+    /// The canonical network address.
+    pub fn network(&self) -> IpAddr {
+        if self.v4 {
+            IpAddr::V4(Ipv4Addr::from((self.bits >> 96) as u32))
+        } else {
+            IpAddr::V6(Ipv6Addr::from(self.bits))
+        }
+    }
+
+    /// Left-aligned address bits (used by the LPM trie).
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Left-aligns an arbitrary address into the 128-bit key space used by
+    /// [`bits`](Self::bits). IPv4 and IPv6 live in separate tables, so the
+    /// overlap of the two alignments is harmless.
+    pub fn align(addr: IpAddr) -> u128 {
+        match addr {
+            IpAddr::V4(a) => (u32::from(a) as u128) << 96,
+            IpAddr::V6(a) => u128::from(a),
+        }
+    }
+
+    /// True if `addr` falls inside this prefix (family must match).
+    pub fn contains(&self, addr: IpAddr) -> bool {
+        if addr.is_ipv4() != self.v4 {
+            return false;
+        }
+        mask(Self::align(addr), self.len) == self.bits
+    }
+
+    /// True if `other` is fully contained in `self`.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        self.v4 == other.v4 && self.len <= other.len && mask(other.bits, self.len) == self.bits
+    }
+
+    /// The `i`-th address inside the prefix (IPv4 only), for carving hosts
+    /// out of provider blocks in the simulator.
+    pub fn nth_v4(&self, i: u32) -> Option<Ipv4Addr> {
+        if !self.v4 {
+            return None;
+        }
+        let size = 1u64 << (32 - self.len as u64);
+        if u64::from(i) >= size {
+            return None;
+        }
+        let base = (self.bits >> 96) as u32;
+        Some(Ipv4Addr::from(base + i))
+    }
+
+    /// Number of addresses in an IPv4 prefix.
+    pub fn size_v4(&self) -> Option<u64> {
+        self.v4.then(|| 1u64 << (32 - self.len as u64))
+    }
+}
+
+fn mask(bits: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        bits & (u128::MAX << (128 - len))
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| PrefixParseError::Malformed(s.into()))?;
+        let addr: IpAddr = addr.parse().map_err(|_| PrefixParseError::Malformed(s.into()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError::Malformed(s.into()))?;
+        Self::new(addr, len)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        assert_eq!(p("10.0.0.0/24").to_string(), "10.0.0.0/24");
+        assert_eq!(p("2001:db8::/32").to_string(), "2001:db8::/32");
+        assert_eq!(p("0.0.0.0/0").to_string(), "0.0.0.0/0");
+    }
+
+    #[test]
+    fn host_bits_are_canonicalised() {
+        assert_eq!(p("10.0.0.7/24"), p("10.0.0.0/24"));
+        assert_eq!(p("10.0.0.7/24").network(), "10.0.0.0".parse::<IpAddr>().unwrap());
+    }
+
+    #[test]
+    fn length_bounds_enforced() {
+        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(PrefixParseError::LengthOutOfRange(33)));
+        assert!("::/128".parse::<Prefix>().is_ok());
+        assert_eq!("::/129".parse::<Prefix>(), Err(PrefixParseError::LengthOutOfRange(129)));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(matches!("10.0.0.0".parse::<Prefix>(), Err(PrefixParseError::Malformed(_))));
+        assert!(matches!("banana/8".parse::<Prefix>(), Err(PrefixParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn containment() {
+        let pfx = p("192.0.2.0/24");
+        assert!(pfx.contains("192.0.2.55".parse().unwrap()));
+        assert!(!pfx.contains("192.0.3.1".parse().unwrap()));
+        assert!(!pfx.contains("2001:db8::1".parse().unwrap())); // family mismatch
+        assert!(p("0.0.0.0/0").contains("8.8.8.8".parse().unwrap()));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_hierarchical() {
+        assert!(p("10.0.0.0/8").covers(&p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").covers(&p("11.0.0.0/16")));
+    }
+
+    #[test]
+    fn nth_v4_enumerates_hosts() {
+        let pfx = p("198.51.100.0/30");
+        assert_eq!(pfx.nth_v4(0), Some("198.51.100.0".parse().unwrap()));
+        assert_eq!(pfx.nth_v4(3), Some("198.51.100.3".parse().unwrap()));
+        assert_eq!(pfx.nth_v4(4), None);
+        assert_eq!(pfx.size_v4(), Some(4));
+    }
+
+    #[test]
+    fn v6_not_enumerable() {
+        assert_eq!(p("2001:db8::/64").nth_v4(0), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! A binary (Patricia-style, one bit per level) trie for longest-prefix
+//! matching over the 128-bit aligned key space of [`Prefix`].
+//!
+//! The measurement pipeline performs one LPM lookup per measured address per
+//! day (hundreds of millions over a study), so this is on the hot path; the
+//! `lpm` Criterion bench tracks it, and a property test pins its semantics
+//! to a naive linear scan.
+
+use crate::prefix::Prefix;
+
+/// A node index; `u32::MAX` marks "absent".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [u32; 2],
+    /// Value if a prefix terminates exactly at this node.
+    value: Option<V>,
+}
+
+/// Longest-prefix-match trie from [`Prefix`] to `V`.
+///
+/// IPv4 and IPv6 prefixes share the structure but never collide: callers
+/// (see [`crate::bgp::Pfx2As`]) keep one trie per family, mirroring how
+/// Routeviews publishes separate v4/v6 `pfx2as` files.
+#[derive(Debug, Clone)]
+pub struct LpmTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for LpmTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> LpmTrie<V> {
+    /// An empty trie (with a root node).
+    pub fn new() -> Self {
+        Self { nodes: vec![Node { children: [NIL, NIL], value: None }], len: 0 }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(key: u128, depth: u8) -> usize {
+        ((key >> (127 - depth)) & 1) as usize
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: &Prefix, value: V) -> Option<V> {
+        let key = prefix.bits();
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(key, depth);
+            let next = self.nodes[node].children[b];
+            node = if next == NIL {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node { children: [NIL, NIL], value: None });
+                self.nodes[node].children[b] = idx;
+                idx as usize
+            } else {
+                next as usize
+            };
+        }
+        let old = self.nodes[node].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes the value at exactly `prefix` (node is left in place; the
+    /// RIB churns prefixes daily and re-insertion is the common case).
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        let key = prefix.bits();
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let next = self.nodes[node].children[Self::bit(key, depth)];
+            if next == NIL {
+                return None;
+            }
+            node = next as usize;
+        }
+        let old = self.nodes[node].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let key = prefix.bits();
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let next = self.nodes[node].children[Self::bit(key, depth)];
+            if next == NIL {
+                return None;
+            }
+            node = next as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Longest-prefix match for an aligned key (see [`Prefix::align`]).
+    /// Returns the value and the matched prefix length.
+    pub fn lookup(&self, key: u128, max_len: u8) -> Option<(&V, u8)> {
+        let mut node = 0usize;
+        let mut best: Option<(&V, u8)> = self.nodes[0].value.as_ref().map(|v| (v, 0));
+        for depth in 0..max_len {
+            let next = self.nodes[node].children[Self::bit(key, depth)];
+            if next == NIL {
+                break;
+            }
+            node = next as usize;
+            if let Some(v) = self.nodes[node].value.as_ref() {
+                best = Some((v, depth + 1));
+            }
+        }
+        best
+    }
+
+    /// Iterates over all stored `(prefix-bits, len, value)` triples in
+    /// depth-first order. Family information is up to the caller.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, u8, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![(0u32, 0u128, 0u8)];
+        while let Some((idx, bits, depth)) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            if let Some(v) = node.value.as_ref() {
+                out.push((bits, depth, v));
+            }
+            for (b, &child) in node.children.iter().enumerate() {
+                if child != NIL {
+                    let bit = (b as u128) << (127 - depth);
+                    stack.push((child, bits | bit, depth + 1));
+                }
+            }
+        }
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::IpAddr;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> u128 {
+        Prefix::align(s.parse::<IpAddr>().unwrap())
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = LpmTrie::new();
+        assert_eq!(t.insert(&p("10.0.0.0/8"), "a"), None);
+        assert_eq!(t.insert(&p("10.0.0.0/8"), "b"), Some("a"));
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&"b"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some("b"));
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = LpmTrie::new();
+        t.insert(&p("10.0.0.0/8"), 8);
+        t.insert(&p("10.1.0.0/16"), 16);
+        t.insert(&p("10.1.2.0/24"), 24);
+        assert_eq!(t.lookup(ip("10.1.2.3"), 32), Some((&24, 24)));
+        assert_eq!(t.lookup(ip("10.1.9.9"), 32), Some((&16, 16)));
+        assert_eq!(t.lookup(ip("10.9.9.9"), 32), Some((&8, 8)));
+        assert_eq!(t.lookup(ip("11.0.0.1"), 32), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = LpmTrie::new();
+        t.insert(&p("0.0.0.0/0"), 0);
+        assert_eq!(t.lookup(ip("203.0.113.99"), 32), Some((&0, 0)));
+    }
+
+    #[test]
+    fn removing_specific_falls_back_to_covering() {
+        let mut t = LpmTrie::new();
+        t.insert(&p("10.0.0.0/8"), 8);
+        t.insert(&p("10.1.0.0/16"), 16);
+        t.remove(&p("10.1.0.0/16"));
+        assert_eq!(t.lookup(ip("10.1.2.3"), 32), Some((&8, 8)));
+    }
+
+    #[test]
+    fn iter_returns_all_entries() {
+        let mut t = LpmTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(&p(s), i);
+        }
+        let mut got: Vec<(u128, u8)> = t.iter().map(|(b, l, _)| (b, l)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u128, u8)> =
+            prefixes.iter().map(|s| (p(s).bits(), p(s).len())).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn v6_depths_work() {
+        let mut t = LpmTrie::new();
+        t.insert(&p("2001:db8::/32"), "doc");
+        t.insert(&p("2001:db8:1::/48"), "sub");
+        assert_eq!(t.lookup(ip("2001:db8:1::5"), 128), Some((&"sub", 48)));
+        assert_eq!(t.lookup(ip("2001:db8:2::5"), 128), Some((&"doc", 32)));
+    }
+}

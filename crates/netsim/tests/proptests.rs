@@ -1,0 +1,100 @@
+//! Property tests pinning the LPM trie to a naive reference implementation
+//! and checking prefix algebra.
+
+use dps_netsim::{Asn, LpmTrie, Prefix, Rib};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+        Prefix::new(IpAddr::V4(Ipv4Addr::from(addr)), len).expect("len in range")
+    })
+}
+
+fn naive_lpm(entries: &[(Prefix, usize)], addr: IpAddr) -> Option<(usize, u8)> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*v, p.len()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn trie_matches_naive_scan(
+        prefixes in proptest::collection::vec(arb_v4_prefix(), 1..40),
+        addrs in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        // Deduplicate: the naive model keeps the *last* value per prefix,
+        // matching insert-overwrites semantics.
+        let mut trie = LpmTrie::new();
+        let mut entries: Vec<(Prefix, usize)> = Vec::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(p, i);
+            entries.retain(|(q, _)| q != p);
+            entries.push((*p, i));
+        }
+        for a in addrs {
+            let addr = IpAddr::V4(Ipv4Addr::from(a));
+            let got = trie.lookup(Prefix::align(addr), 32).map(|(v, l)| (*v, l));
+            let want = naive_lpm(&entries, addr);
+            prop_assert_eq!(got, want, "addr {}", addr);
+        }
+    }
+
+    #[test]
+    fn trie_remove_matches_naive(
+        prefixes in proptest::collection::vec(arb_v4_prefix(), 1..20),
+        remove_mask in any::<u32>(),
+        addrs in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let mut trie = LpmTrie::new();
+        let mut entries: Vec<(Prefix, usize)> = Vec::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(p, i);
+            entries.retain(|(q, _)| q != p);
+            entries.push((*p, i));
+        }
+        for (i, p) in prefixes.iter().enumerate() {
+            if remove_mask & (1 << (i % 32)) != 0 {
+                trie.remove(p);
+                entries.retain(|(q, _)| q != p);
+            }
+        }
+        for a in addrs {
+            let addr = IpAddr::V4(Ipv4Addr::from(a));
+            let got = trie.lookup(Prefix::align(addr), 32).map(|(v, l)| (*v, l));
+            prop_assert_eq!(got, naive_lpm(&entries, addr));
+        }
+    }
+
+    #[test]
+    fn prefix_contains_consistent_with_covers(p in arb_v4_prefix(), q in arb_v4_prefix()) {
+        if p.covers(&q) {
+            // Every address in q is in p; check q's network address.
+            prop_assert!(p.contains(q.network()));
+        }
+    }
+
+    #[test]
+    fn routeviews_roundtrip(prefixes in proptest::collection::vec(arb_v4_prefix(), 0..20)) {
+        let mut rib = Rib::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            rib.announce(*p, Asn(i as u32 % 5 + 1));
+            rib.announce(*p, Asn(64500));
+        }
+        let snap = rib.snapshot();
+        let text = snap.to_routeviews_text();
+        let reparsed = dps_netsim::Pfx2As::from_routeviews_text(&text).unwrap();
+        prop_assert_eq!(reparsed.len(), snap.len());
+        for p in &prefixes {
+            let addr = p.network();
+            prop_assert_eq!(
+                reparsed.origins(addr).map(|(o, l)| (o.to_vec(), l)),
+                snap.origins(addr).map(|(o, l)| (o.to_vec(), l))
+            );
+        }
+    }
+}

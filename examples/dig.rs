@@ -1,0 +1,69 @@
+//! A `dig`-style lookup tool against the simulated Internet: builds a
+//! small world, materialises it onto the network, and resolves whatever
+//! name/type you pass, printing response sections dig-style.
+//!
+//! ```sh
+//! cargo run --release --example dig -- d42.com A
+//! cargo run --release --example dig -- www.d42.com A
+//! cargo run --release --example dig -- cloudflare.com NS
+//! cargo run --release --example dig              # picks a showcase set
+//! ```
+
+use dps_scope::authdns::Resolver;
+use dps_scope::prelude::*;
+
+fn print_resolution(qname: &Name, qtype: RrType, resolver: &mut Resolver) {
+    println!("; <<>> dps-scope dig <<>> {qname} {qtype}");
+    match resolver.resolve(qname, qtype) {
+        Ok(res) => {
+            println!(";; status: {}, elapsed: {} µs (virtual)", res.rcode, res.elapsed_us);
+            println!(";; ANSWER SECTION ({} records):", res.answers.len());
+            for rec in &res.answers {
+                println!("{rec}");
+            }
+        }
+        Err(e) => println!(";; resolution failed: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let params = ScenarioParams { seed: 42, scale: 0.01, gtld_days: 30, cc_start_day: 30 };
+    let mut world = World::imc2016(params);
+    world.advance_to(Day(7));
+    let net = Network::new(1);
+    let catalog = world.materialize(&net);
+    let mut resolver =
+        Resolver::new(&net, "172.16.0.53".parse().unwrap(), 0, catalog.root_hints());
+
+    if args.len() >= 2 {
+        let qname: Name = args[0].parse().expect("valid name");
+        let qtype: RrType = args[1].parse().expect("valid RR type");
+        print_resolution(&qname, qtype, &mut resolver);
+        return;
+    }
+
+    // Showcase: one domain per diversion flavour.
+    println!("(no arguments: showing one domain per protection posture)\n");
+    let mut shown = std::collections::HashSet::new();
+    for (i, st) in world.domains().iter().enumerate() {
+        if !st.alive_on(world.day()) || st.basket.is_some() {
+            continue;
+        }
+        let key = std::mem::discriminant(&st.diversion);
+        if !shown.insert(key) {
+            continue;
+        }
+        let id = dps_scope::ecosystem::DomainId(i as u32);
+        let apex = world.domain_name(id);
+        println!("--- {:?} ---", st.diversion);
+        print_resolution(&apex, RrType::A, &mut resolver);
+        print_resolution(&apex.prepend("www").unwrap(), RrType::A, &mut resolver);
+        print_resolution(&apex, RrType::Ns, &mut resolver);
+        if shown.len() >= 5 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! `dpscope` — the command-line face of the reproduction.
+//!
+//! ```sh
+//! # Export the simulated Internet's artifacts for a day:
+//! dpscope simulate --scale 0.01 --day 7 --out target/world
+//!
+//! # Run the measurement study and archive it:
+//! dpscope measure --scale 0.05 --days 120 --archive target/archive
+//!
+//! # Regenerate every table/figure from an archive (or fresh):
+//! dpscope analyze --scale 0.05 --days 120 --archive target/archive --out target/figs all
+//!
+//! # Resolve a name through the simulated Internet, dig-style:
+//! dpscope dig d42.com A --day 7
+//! ```
+
+use dps_bench::experiments::{experiment_ids, run, Context, ExperimentConfig};
+use dps_scope::authdns::Resolver;
+use dps_scope::prelude::*;
+use std::path::PathBuf;
+
+struct CommonArgs {
+    seed: u64,
+    scale: f64,
+    days: u32,
+    cc_start: u32,
+    stride: u32,
+    day: u32,
+    out: PathBuf,
+    archive: Option<PathBuf>,
+    rest: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dpscope <command> [options]\n\
+         \n\
+         commands:\n\
+           simulate   export zone files, pfx2as and AS registry for --day\n\
+           measure    run the full study, save the archive to --archive\n\
+           analyze    regenerate tables/figures (ids or 'all') from --archive\n\
+           dig        resolve <name> <type> through the simulated Internet\n\
+         \n\
+         options:\n\
+           --seed N       world seed           (default 2016)\n\
+           --scale X      population scale     (default 1.0 = 1/1000 real)\n\
+           --days N       study length         (default 550)\n\
+           --cc-start N   .nl/Alexa start day  (default 366)\n\
+           --stride N     measure every Nth day (default 1)\n\
+           --day N        day for simulate/dig (default 0)\n\
+           --out DIR      output directory     (default target/dpscope)\n\
+           --archive DIR  measurement archive directory\n\
+         \n\
+         analyze ids: {}",
+        experiment_ids().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> CommonArgs {
+    let mut common = CommonArgs {
+        seed: 2016,
+        scale: 1.0,
+        days: 550,
+        cc_start: 366,
+        stride: 1,
+        day: 0,
+        out: PathBuf::from("target/dpscope"),
+        archive: None,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => common.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--scale" => common.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--days" => common.days = value("--days").parse().unwrap_or_else(|_| usage()),
+            "--cc-start" => {
+                common.cc_start = value("--cc-start").parse().unwrap_or_else(|_| usage())
+            }
+            "--stride" => common.stride = value("--stride").parse().unwrap_or_else(|_| usage()),
+            "--day" => common.day = value("--day").parse().unwrap_or_else(|_| usage()),
+            "--out" => common.out = value("--out").into(),
+            "--archive" => common.archive = Some(value("--archive").into()),
+            "-h" | "--help" => usage(),
+            other => common.rest.push(other.to_string()),
+        }
+    }
+    if common.cc_start >= common.days {
+        common.cc_start = common.days.saturating_mul(2) / 3;
+    }
+    common
+}
+
+fn world_for(args: &CommonArgs) -> World {
+    let params = ScenarioParams {
+        seed: args.seed,
+        scale: args.scale,
+        gtld_days: args.days,
+        cc_start_day: args.cc_start,
+    };
+    let mut world = World::imc2016(params);
+    world.advance_to(Day(args.day));
+    world
+}
+
+fn cmd_simulate(args: CommonArgs) {
+    let world = world_for(&args);
+    std::fs::create_dir_all(&args.out).expect("create out dir");
+    for tld in dps_scope::ecosystem::MEASURED_TLDS {
+        let path = args.out.join(format!("{}.zone", tld.label()));
+        std::fs::write(&path, world.zone_file_text(tld)).expect("write zone");
+        println!("wrote {} ({} SLDs)", path.display(), world.zone_size(tld));
+    }
+    let pfx2as = world.pfx2as();
+    let path = args.out.join(format!("pfx2as-day{:04}.txt", args.day));
+    std::fs::write(&path, pfx2as.to_routeviews_text()).expect("write pfx2as");
+    println!("wrote {} ({} prefixes)", path.display(), pfx2as.len());
+
+    let mut asns = String::new();
+    for (asn, name) in world.as_registry().iter() {
+        asns.push_str(&format!("{asn}\t{name}\n"));
+    }
+    let path = args.out.join("as-names.tsv");
+    std::fs::write(&path, asns).expect("write as names");
+    println!("wrote {}", path.display());
+    println!("\nworld: {} domains, day {} ({})", world.domains().len(), args.day, Day(args.day));
+}
+
+fn cmd_measure(args: CommonArgs) {
+    let Some(archive) = args.archive.clone() else {
+        eprintln!("measure requires --archive DIR");
+        usage();
+    };
+    let params = ScenarioParams {
+        seed: args.seed,
+        scale: args.scale,
+        gtld_days: args.days,
+        cc_start_day: args.cc_start,
+    };
+    let mut world = World::imc2016(params);
+    println!("world: {} domains; sweeping {} days…", world.domains().len(), args.days);
+    let store = Study::new(StudyConfig {
+        days: args.days,
+        cc_start_day: args.cc_start,
+        stride: args.stride,
+    })
+    .run(&mut world);
+    store.save_dir(&archive).expect("save archive");
+    println!(
+        "archived {} to {}",
+        dps_scope::core::report::human_bytes(store.total_stored_bytes()),
+        archive.display()
+    );
+}
+
+fn cmd_analyze(args: CommonArgs) {
+    let config = ExperimentConfig {
+        seed: args.seed,
+        scale: args.scale,
+        days: args.days,
+        cc_start: args.cc_start,
+        stride: args.stride,
+        out_dir: args.out.clone(),
+        store_dir: args.archive.clone(),
+    };
+    let ids = if args.rest.is_empty() { vec!["all".to_string()] } else { args.rest.clone() };
+    let ctx = Context::build(config);
+    for id in ids {
+        match run(&ctx, &id) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown experiment {id:?}");
+                usage();
+            }
+        }
+    }
+}
+
+fn cmd_dig(args: CommonArgs) {
+    if args.rest.len() < 2 {
+        eprintln!("dig requires <name> <type>");
+        usage();
+    }
+    let qname: Name = args.rest[0].parse().expect("valid name");
+    let qtype: RrType = args.rest[1].parse().expect("valid RR type");
+    let world = world_for(&args);
+    let net = Network::new(args.seed);
+    let catalog = world.materialize(&net);
+    let mut resolver =
+        Resolver::new(&net, "172.16.0.53".parse().unwrap(), 0, catalog.root_hints());
+    println!("; <<>> dpscope dig <<>> {qname} {qtype} @day {}", args.day);
+    match resolver.resolve(&qname, qtype) {
+        Ok(res) => {
+            println!(";; status: {}, elapsed: {} µs (virtual)", res.rcode, res.elapsed_us);
+            for rec in &res.answers {
+                println!("{rec}");
+            }
+        }
+        Err(e) => println!(";; resolution failed: {e}"),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else { usage() };
+    let args = parse_args(rest);
+    match command.as_str() {
+        "simulate" => cmd_simulate(args),
+        "measure" => cmd_measure(args),
+        "analyze" => cmd_analyze(args),
+        "dig" => cmd_dig(args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,92 @@
+//! The load-bearing equivalence test: the bulk query path (direct world
+//! evaluation, used for full-scale sweeps) must produce byte-identical
+//! resolutions to the wire path (root → TLD → authoritative over the
+//! simulated network). If this holds, every full-scale result is as
+//! trustworthy as a packet-level run.
+
+use dps_scope::authdns::{DirectResolver, Resolver};
+use dps_scope::prelude::*;
+
+fn world_at(day: u32, seed: u64) -> World {
+    let params = ScenarioParams { seed, scale: 0.004, gtld_days: 60, cc_start_day: 30 };
+    let mut world = World::imc2016(params);
+    world.advance_to(Day(day));
+    world
+}
+
+fn compare_all(world: &World, net: &std::sync::Arc<Network>) {
+    let catalog = world.materialize(net);
+    let mut wire = Resolver::new(net, "172.16.0.2".parse().unwrap(), 7, catalog.root_hints());
+
+    let mut compared = 0usize;
+    for tld in dps_scope::ecosystem::MEASURED_TLDS {
+        for entry in world.zone_entries(tld) {
+            let apex = world.entry_name(entry);
+            let www = apex.prepend("www").unwrap();
+            for (qname, qtype) in [
+                (&apex, RrType::A),
+                (&apex, RrType::Aaaa),
+                (&apex, RrType::Ns),
+                (&www, RrType::A),
+                (&www, RrType::Cname),
+            ] {
+                let bulk = world.resolve(qname, qtype);
+                let wire_res = wire.resolve(qname, qtype);
+                match (bulk, wire_res) {
+                    (Ok(b), Ok(w)) => {
+                        assert_eq!(b.rcode, w.rcode, "{qname} {qtype} rcode");
+                        assert_eq!(b.answers, w.answers, "{qname} {qtype} answers");
+                        compared += 1;
+                    }
+                    (Err(_), Err(_)) => compared += 1, // outage: both fail
+                    (b, w) => panic!("{qname} {qtype}: bulk {b:?} vs wire {w:?}"),
+                }
+            }
+        }
+    }
+    assert!(compared > 1000, "compared {compared} resolutions");
+}
+
+#[test]
+fn bulk_equals_wire_on_day_zero() {
+    let world = world_at(0, 21);
+    let net = Network::new(1);
+    compare_all(&world, &net);
+}
+
+#[test]
+fn bulk_equals_wire_after_anomalies_fired() {
+    // Day 5 is inside the March 2015 Wix→Incapsula peak; day 35 is inside
+    // the ENOM→Verisign BGP diversion window.
+    for day in [5, 35] {
+        let world = world_at(day, 22);
+        let net = Network::new(2);
+        compare_all(&world, &net);
+    }
+}
+
+#[test]
+fn direct_resolver_agrees_with_world_bulk() {
+    // The catalog-walking DirectResolver (authdns) must agree with the
+    // world's own answer model too.
+    let world = world_at(3, 23);
+    let net = Network::new(3);
+    let catalog = world.materialize(&net);
+    let direct = DirectResolver::new(catalog);
+    let mut checked = 0;
+    for entry in world.zone_entries(Tld::Com).into_iter().take(300) {
+        let apex = world.entry_name(entry);
+        let bulk = world.resolve(&apex, RrType::A);
+        let cat = direct.resolve(&apex, RrType::A);
+        match (bulk, cat) {
+            (Ok(b), Ok(c)) => {
+                assert_eq!(b.rcode, c.rcode, "{apex}");
+                assert_eq!(b.answers, c.answers, "{apex}");
+                checked += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (b, c) => panic!("{apex}: {b:?} vs {c:?}"),
+        }
+    }
+    assert!(checked > 100);
+}

@@ -1,0 +1,127 @@
+//! Property tests over the world generator: for random seeds and days,
+//! every domain's DNS footprint must be consistent with its ground-truth
+//! diversion state and the providers' Table 2 reference data. These
+//! invariants are what make the detection-accuracy numbers meaningful.
+
+use dps_scope::ecosystem::spec::{self, PROVIDERS};
+use dps_scope::ecosystem::{Diversion, DomainId, ScenarioParams, World};
+use dps_scope::prelude::*;
+use proptest::prelude::*;
+use std::net::IpAddr;
+
+fn check_world(seed: u64, day: u32) -> Result<(), TestCaseError> {
+    let params = ScenarioParams { seed, scale: 0.004, gtld_days: 60, cc_start_day: 30 };
+    let mut world = World::imc2016(params);
+    world.advance_to(Day(day));
+    let pfx2as = world.pfx2as();
+
+    for (i, st) in world.domains().iter().enumerate() {
+        if !st.alive_on(Day(day)) {
+            continue;
+        }
+        let id = DomainId(i as u32);
+        let apex = world.domain_name(id);
+        let res = match world.resolve(&apex, RrType::A) {
+            Ok(r) => r,
+            Err(_) => {
+                // Only outage baskets may fail.
+                prop_assert!(
+                    st.outage
+                        || st.basket.is_some_and(|(b, _)| world.baskets()[b.0 as usize].outage),
+                    "{apex} failed without outage"
+                );
+                continue;
+            }
+        };
+        prop_assert_eq!(res.rcode, Rcode::NoError, "{} must resolve", &apex);
+        let addr = res
+            .answers
+            .iter()
+            .find_map(|r| match r.rdata {
+                RData::A(ip) => Some(IpAddr::V4(ip)),
+                _ => None,
+            })
+            .expect("alive domains answer A");
+        let origin = pfx2as.origins(addr).map(|(o, _)| o[0].0);
+
+        match st.diversion {
+            Diversion::ARecord(p) | Diversion::Cname(p) | Diversion::NsDelegation(p) => {
+                // Traffic diverted: origin must be one of the provider's ASes.
+                let asns = PROVIDERS[p.0 as usize].asns;
+                prop_assert!(
+                    origin.is_some_and(|o| asns.contains(&o)),
+                    "{} diverted to {:?} but origin {:?}",
+                    &apex,
+                    st.diversion,
+                    origin
+                );
+            }
+            Diversion::Bgp(p) => {
+                let asns = PROVIDERS[p.0 as usize].asns;
+                prop_assert!(
+                    origin.is_some_and(|o| asns.contains(&o)),
+                    "{} BGP-diverted but origin {:?}",
+                    &apex,
+                    origin
+                );
+            }
+            Diversion::None | Diversion::NsOnly(_) => {
+                // Not diverted: origin must NOT be any provider's mitigation AS.
+                if let Some(o) = origin {
+                    let provider_as = PROVIDERS.iter().any(|p| p.asns.contains(&o));
+                    prop_assert!(
+                        !provider_as,
+                        "{} undiverted but origin AS{} is a provider",
+                        &apex,
+                        o
+                    );
+                }
+            }
+        }
+
+        // NS references follow delegation state.
+        let ns_res = world.resolve(&apex, RrType::Ns).unwrap();
+        for rec in ns_res.records_of(RrType::Ns) {
+            if let RData::Ns(host) = &rec.rdata {
+                let mut sld = host.sld().to_string();
+                sld.pop();
+                match st.diversion {
+                    Diversion::NsDelegation(p) | Diversion::NsOnly(p) => {
+                        prop_assert!(
+                            PROVIDERS[p.0 as usize].ns_slds.contains(&sld.as_str()),
+                            "{} delegated to {:?} but NS {}",
+                            &apex,
+                            st.diversion,
+                            host
+                        );
+                    }
+                    _ => {
+                        let hoster_sld = spec::HOSTERS[st.hoster.0 as usize].ns_sld;
+                        prop_assert_eq!(
+                            &sld, hoster_sld,
+                            "{} undelegated but NS {}", &apex, host
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn footprints_match_ground_truth(seed in 0u64..10_000, day in 0u32..60) {
+        check_world(seed, day)?;
+    }
+}
+
+#[test]
+fn footprints_hold_on_scripted_anomaly_days() {
+    // Days straddling the scripted Wix/ENOM events.
+    for day in [0, 2, 4, 6, 20, 30, 45, 59] {
+        check_world(4242, day).unwrap();
+    }
+}
