@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repository CI gate: formatting, lints, then the tier-1 build + test run.
+# Everything runs offline against the vendored dependency stand-ins.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> workspace tests"
+cargo test -q --offline --workspace
+
+echo "==> CI green"

@@ -35,7 +35,9 @@ impl Catalog {
     pub fn add_zone(&self, zone: Zone, servers: Vec<IpAddr>) -> ZoneHandle {
         let origin = zone.origin().clone();
         let handle = Arc::new(RwLock::new(zone));
-        self.zones.write().insert(origin.clone(), Arc::clone(&handle));
+        self.zones
+            .write()
+            .insert(origin.clone(), Arc::clone(&handle));
         self.servers.write().insert(origin, servers);
         handle
     }
@@ -62,7 +64,9 @@ impl Catalog {
             cur = c.parent();
         }
         // The root zone has the root name as origin.
-        zones.get(&Name::root()).map(|h| (Name::root(), Arc::clone(h)))
+        zones
+            .get(&Name::root())
+            .map(|h| (Name::root(), Arc::clone(h)))
     }
 
     /// Addresses authoritative for the zone with this origin.

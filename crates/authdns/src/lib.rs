@@ -26,6 +26,6 @@ pub mod zone;
 pub mod zonefile;
 
 pub use catalog::Catalog;
-pub use resolver::{DirectResolver, ResolveError, Resolution, Resolver, ResolverConfig};
+pub use resolver::{DirectResolver, Resolution, ResolveError, Resolver, ResolverConfig};
 pub use server::AuthServer;
 pub use zone::{LookupOutcome, Zone};

@@ -33,7 +33,12 @@ pub struct ResolverConfig {
 
 impl Default for ResolverConfig {
     fn default() -> Self {
-        Self { attempt_timeout_us: 500_000, retries: 3, max_indirections: 8, max_referrals: 12 }
+        Self {
+            attempt_timeout_us: 500_000,
+            retries: 3,
+            max_indirections: 8,
+            max_referrals: 12,
+        }
     }
 }
 
@@ -114,6 +119,7 @@ pub struct Resolver {
     root_hints: Vec<IpAddr>,
     config: ResolverConfig,
     next_id: u16,
+    sent: u64,
 }
 
 impl Resolver {
@@ -125,6 +131,7 @@ impl Resolver {
             root_hints,
             config: ResolverConfig::default(),
             next_id: 1,
+            sent: 0,
         }
     }
 
@@ -134,9 +141,19 @@ impl Resolver {
         self
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
     /// Virtual time consumed by this resolver so far.
     pub fn now_us(&self) -> u64 {
         self.socket.now_us()
+    }
+
+    /// UDP queries sent by this resolver so far (including retries).
+    pub fn queries_sent(&self) -> u64 {
+        self.sent
     }
 
     /// Resolves `(qname, qtype)` iteratively from the root.
@@ -176,8 +193,11 @@ impl Resolver {
                 }
             }
 
-            let have_final =
-                qtype == RrType::Cname || resp.answers.iter().any(|r| r.name == tip && r.rtype() == qtype);
+            let have_final = qtype == RrType::Cname
+                || resp
+                    .answers
+                    .iter()
+                    .any(|r| r.name == tip && r.rtype() == qtype);
             if have_final || tip == current {
                 // Done: either we have the records, or an authoritative
                 // empty answer (NODATA).
@@ -262,56 +282,72 @@ impl Resolver {
         qtype: RrType,
     ) -> Result<Message, ResolveError> {
         let mut last_err = ResolveError::Timeout;
-        for attempt in 0..self.config.retries.max(1) {
+        for _attempt in 0..self.config.retries.max(1) {
             for &server in servers {
-                self.next_id = self.next_id.wrapping_add(1).max(1);
-                let id = self.next_id;
-                let query = Message::query(id, Question::new(qname.clone(), qtype));
-                let bytes = match query.to_bytes() {
-                    Ok(b) => b,
-                    Err(e) => return Err(ResolveError::Malformed(e)),
-                };
-                self.socket.drain();
-                self.socket.send_to(server, &bytes);
-
-                let deadline_budget = self.config.attempt_timeout_us;
-                let start = self.socket.now_us();
-                loop {
-                    let spent = self.socket.now_us() - start;
-                    if spent >= deadline_budget {
-                        break;
-                    }
-                    match self.socket.recv(deadline_budget - spent) {
-                        Ok((from, data)) => {
-                            if from != server {
-                                continue;
-                            }
-                            match Message::parse(&data) {
-                                Ok(m)
-                                    if m.header.qr
-                                        && m.header.id == id
-                                        && m.questions.first().map(|q| (&q.qname, q.qtype))
-                                            == Some((qname, qtype)) =>
-                                {
-                                    if m.header.tc {
-                                        last_err =
-                                            ResolveError::Malformed(WireError::TruncatedResponse);
-                                        break;
-                                    }
-                                    return Ok(m);
-                                }
-                                // Wrong id / corrupted / unparsable: keep
-                                // listening until the attempt deadline.
-                                _ => continue,
-                            }
-                        }
-                        Err(_) => break,
-                    }
+                match self.exchange(server, qname, qtype) {
+                    Ok(m) => return Ok(m),
+                    Err(e) => last_err = e,
                 }
-                let _ = attempt;
             }
         }
         Err(last_err)
+    }
+
+    /// One validated request/response exchange: a single attempt against a
+    /// single server within `attempt_timeout_us`. Retry and failover policy
+    /// stay with the caller, which lets services with their own scheduling
+    /// (e.g. a caching recursor) reuse the wire handling — id allocation,
+    /// response validation, truncation detection — without adopting this
+    /// resolver's descent loop.
+    pub fn exchange(
+        &mut self,
+        server: IpAddr,
+        qname: &Name,
+        qtype: RrType,
+    ) -> Result<Message, ResolveError> {
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let id = self.next_id;
+        let query = Message::query(id, Question::new(qname.clone(), qtype));
+        let bytes = match query.to_bytes() {
+            Ok(b) => b,
+            Err(e) => return Err(ResolveError::Malformed(e)),
+        };
+        self.socket.drain();
+        self.socket.send_to(server, &bytes);
+        self.sent += 1;
+
+        let deadline_budget = self.config.attempt_timeout_us;
+        let start = self.socket.now_us();
+        loop {
+            let spent = self.socket.now_us() - start;
+            if spent >= deadline_budget {
+                return Err(ResolveError::Timeout);
+            }
+            match self.socket.recv(deadline_budget - spent) {
+                Ok((from, data)) => {
+                    if from != server {
+                        continue;
+                    }
+                    match Message::parse(&data) {
+                        Ok(m)
+                            if m.header.qr
+                                && m.header.id == id
+                                && m.questions.first().map(|q| (&q.qname, q.qtype))
+                                    == Some((qname, qtype)) =>
+                        {
+                            if m.header.tc {
+                                return Err(ResolveError::Malformed(WireError::TruncatedResponse));
+                            }
+                            return Ok(m);
+                        }
+                        // Wrong id / corrupted / unparsable: keep listening
+                        // until the attempt deadline.
+                        _ => continue,
+                    }
+                }
+                Err(_) => return Err(ResolveError::Timeout),
+            }
+        }
     }
 }
 
@@ -329,7 +365,11 @@ pub struct DirectResolver {
 impl DirectResolver {
     /// Creates a direct resolver over `catalog`.
     pub fn new(catalog: Arc<Catalog>) -> Self {
-        Self { catalog, max_indirections: 8, max_referrals: 12 }
+        Self {
+            catalog,
+            max_indirections: 8,
+            max_referrals: 12,
+        }
     }
 
     /// Resolves `(qname, qtype)`, producing the same `Resolution` the wire
@@ -374,8 +414,10 @@ impl DirectResolver {
                     }
                     LookupOutcome::Referral { ns, .. } => {
                         // Move into the child zone if it is registered.
-                        let cut =
-                            ns.first().map(|r| r.name.clone()).ok_or(ResolveError::NoNameservers)?;
+                        let cut = ns
+                            .first()
+                            .map(|r| r.name.clone())
+                            .ok_or(ResolveError::NoNameservers)?;
                         match self.catalog.zone(&cut) {
                             Some(z) => zone = z,
                             None => return Err(ResolveError::NoNameservers),
@@ -530,7 +572,10 @@ mod tests {
     fn wire_survives_heavy_loss() {
         let net = Network::new(15);
         let catalog = build_world(&net);
-        net.set_faults(dps_netsim::FaultProfile { loss: 0.3, ..Default::default() });
+        net.set_faults(dps_netsim::FaultProfile {
+            loss: 0.3,
+            ..Default::default()
+        });
         let mut r = wire_resolver(&net, &catalog).with_config(ResolverConfig {
             retries: 8,
             ..Default::default()
@@ -544,8 +589,13 @@ mod tests {
         let net = Network::new(16);
         let catalog = Arc::new(Catalog::new());
         catalog.set_root_hints(vec![ip("10.255.0.99")]); // nothing bound
-        let mut r = Resolver::new(&net, ip("172.16.0.1"), 0, catalog.root_hints())
-            .with_config(ResolverConfig { retries: 2, attempt_timeout_us: 10_000, ..Default::default() });
+        let mut r = Resolver::new(&net, ip("172.16.0.1"), 0, catalog.root_hints()).with_config(
+            ResolverConfig {
+                retries: 2,
+                attempt_timeout_us: 10_000,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.resolve(&n("x.y"), RrType::A), Err(ResolveError::Timeout));
     }
 

@@ -254,7 +254,8 @@ mod tests {
         assert!(srv.answer(&resp_msg).is_none());
 
         let mut two = Message::query(1, Question::new(n("examp.le"), RrType::A));
-        two.questions.push(Question::new(n("examp.le"), RrType::Aaaa));
+        two.questions
+            .push(Question::new(n("examp.le"), RrType::Aaaa));
         assert!(srv.answer(&two).is_none());
     }
 

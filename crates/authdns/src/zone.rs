@@ -55,7 +55,9 @@ impl Zone {
     pub fn new(origin: Name) -> Self {
         let soa = Soa {
             mname: origin.prepend("ns1").unwrap_or_else(|_| origin.clone()),
-            rname: origin.prepend("hostmaster").unwrap_or_else(|_| origin.clone()),
+            rname: origin
+                .prepend("hostmaster")
+                .unwrap_or_else(|_| origin.clone()),
             serial: 1,
             refresh: 7200,
             retry: 900,
@@ -64,7 +66,14 @@ impl Zone {
         };
         let mut owners = HashSet::new();
         owners.insert(origin.clone());
-        Self { origin, soa, default_ttl: 300, rrsets: HashMap::new(), owners, cuts: HashSet::new() }
+        Self {
+            origin,
+            soa,
+            default_ttl: 300,
+            rrsets: HashMap::new(),
+            owners,
+            cuts: HashSet::new(),
+        }
     }
 
     /// The zone origin (apex name).
@@ -115,14 +124,20 @@ impl Zone {
             self.cuts.insert(owner.clone());
         }
         self.register_owner(&owner);
-        self.rrsets.entry(RrKey { owner, rtype }).or_default().push(rdata);
+        self.rrsets
+            .entry(RrKey { owner, rtype })
+            .or_default()
+            .push(rdata);
     }
 
     /// Replaces the RRset for `(owner, rtype)` with the given data
     /// (removes it when `data` is empty).
     pub fn set(&mut self, owner: Name, rtype: RrType, data: Vec<RData>) {
         assert!(owner.is_subdomain_of(&self.origin));
-        let key = RrKey { owner: owner.clone(), rtype };
+        let key = RrKey {
+            owner: owner.clone(),
+            rtype,
+        };
         if data.is_empty() {
             self.rrsets.remove(&key);
             if rtype == RrType::Ns {
@@ -152,7 +167,10 @@ impl Zone {
     /// Raw RRset access.
     pub fn get(&self, owner: &Name, rtype: RrType) -> Option<&[RData]> {
         self.rrsets
-            .get(&RrKey { owner: owner.clone(), rtype })
+            .get(&RrKey {
+                owner: owner.clone(),
+                rtype,
+            })
             .map(Vec::as_slice)
     }
 
@@ -248,7 +266,9 @@ impl Zone {
 
     /// Iterates over all `(owner, rdata)` pairs (for zone-file export).
     pub fn iter(&self) -> impl Iterator<Item = (&Name, &RData)> {
-        self.rrsets.iter().flat_map(|(k, set)| set.iter().map(move |rd| (&k.owner, rd)))
+        self.rrsets
+            .iter()
+            .flat_map(|(k, set)| set.iter().map(move |rd| (&k.owner, rd)))
     }
 }
 
@@ -344,9 +364,15 @@ mod tests {
         // Existing owner, missing type.
         assert_eq!(z.lookup(&n("examp.le"), RrType::Mx), LookupOutcome::NoData);
         // Empty non-terminal: label.examp.le exists only as an ancestor.
-        assert_eq!(z.lookup(&n("label.examp.le"), RrType::A), LookupOutcome::NoData);
+        assert_eq!(
+            z.lookup(&n("label.examp.le"), RrType::A),
+            LookupOutcome::NoData
+        );
         // Truly absent.
-        assert_eq!(z.lookup(&n("nope.examp.le"), RrType::A), LookupOutcome::NxDomain);
+        assert_eq!(
+            z.lookup(&n("nope.examp.le"), RrType::A),
+            LookupOutcome::NxDomain
+        );
     }
 
     #[test]

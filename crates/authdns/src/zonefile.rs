@@ -58,7 +58,10 @@ fn render_rdata(rdata: &RData) -> String {
         RData::Aaaa(a) => format!("AAAA {a}"),
         RData::Ns(n) => format!("NS {n}"),
         RData::Cname(n) => format!("CNAME {n}"),
-        RData::Mx { preference, exchange } => format!("MX {preference} {exchange}"),
+        RData::Mx {
+            preference,
+            exchange,
+        } => format!("MX {preference} {exchange}"),
         RData::Txt(strings) => {
             let mut s = String::from("TXT");
             for part in strings {
@@ -79,7 +82,10 @@ fn render_rdata(rdata: &RData) -> String {
 pub fn parse_zone(default_origin: &Name, text: &str) -> Result<Zone, ParseError> {
     let mut origin = default_origin.clone();
     let mut zone = Zone::new(default_origin.clone());
-    let err = |line: usize, message: &str| ParseError { line, message: message.to_string() };
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_string(),
+    };
 
     for (i, raw_line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -91,7 +97,9 @@ pub fn parse_zone(default_origin: &Name, text: &str) -> Result<Zone, ParseError>
         match tokens[0] {
             "$ORIGIN" => {
                 let o = tokens.get(1).ok_or_else(|| err(lineno, "missing origin"))?;
-                origin = o.parse().map_err(|e| err(lineno, &format!("bad origin: {e}")))?;
+                origin = o
+                    .parse()
+                    .map_err(|e| err(lineno, &format!("bad origin: {e}")))?;
                 if origin != *zone.origin() && zone.rrset_count() == 0 {
                     zone = Zone::new(origin.clone());
                 }
@@ -109,8 +117,7 @@ pub fn parse_zone(default_origin: &Name, text: &str) -> Result<Zone, ParseError>
                 }
                 let rtype = rest.first().ok_or_else(|| err(lineno, "missing type"))?;
                 let args = &rest[1..];
-                let rdata = parse_rdata(rtype, args, &origin)
-                    .map_err(|m| err(lineno, &m))?;
+                let rdata = parse_rdata(rtype, args, &origin).map_err(|m| err(lineno, &m))?;
                 if rdata.rtype() == RrType::Soa {
                     // SOA replaces the synthetic one; stored via dedicated API.
                     if let RData::Soa(_) = &rdata {
@@ -152,19 +159,27 @@ fn parse_rdata(rtype: &str, args: &[&str], origin: &Name) -> Result<RData, Strin
     match rtype {
         "A" => {
             need(1)?;
-            Ok(RData::A(args[0].parse().map_err(|_| "bad IPv4".to_string())?))
+            Ok(RData::A(
+                args[0].parse().map_err(|_| "bad IPv4".to_string())?,
+            ))
         }
         "AAAA" => {
             need(1)?;
-            Ok(RData::Aaaa(args[0].parse().map_err(|_| "bad IPv6".to_string())?))
+            Ok(RData::Aaaa(
+                args[0].parse().map_err(|_| "bad IPv6".to_string())?,
+            ))
         }
         "NS" => {
             need(1)?;
-            Ok(RData::Ns(resolve_name(args[0], origin).map_err(|e| e.to_string())?))
+            Ok(RData::Ns(
+                resolve_name(args[0], origin).map_err(|e| e.to_string())?,
+            ))
         }
         "CNAME" => {
             need(1)?;
-            Ok(RData::Cname(resolve_name(args[0], origin).map_err(|e| e.to_string())?))
+            Ok(RData::Cname(
+                resolve_name(args[0], origin).map_err(|e| e.to_string())?,
+            ))
         }
         "MX" => {
             need(2)?;
@@ -244,7 +259,13 @@ mod tests {
         z.add(n("ns1.examp.le"), RData::A(Ipv4Addr::new(10, 0, 0, 53)));
         z.add(n("examp.le"), RData::A(Ipv4Addr::new(10, 0, 0, 1)));
         z.add(n("www.examp.le"), RData::Cname(n("edge.foob.ar")));
-        z.add(n("examp.le"), RData::Mx { preference: 10, exchange: n("mx.examp.le") });
+        z.add(
+            n("examp.le"),
+            RData::Mx {
+                preference: 10,
+                exchange: n("mx.examp.le"),
+            },
+        );
         z.add(n("examp.le"), RData::Txt(vec![b"v=spf1 -all".to_vec()]));
         z
     }
@@ -256,8 +277,7 @@ mod tests {
         let back = parse_zone(&n("examp.le"), &text).unwrap();
         // Compare record multisets.
         let collect = |z: &Zone| {
-            let mut v: Vec<String> =
-                z.iter().map(|(o, r)| format!("{o} {r:?}")).collect();
+            let mut v: Vec<String> = z.iter().map(|(o, r)| format!("{o} {r:?}")).collect();
             v.sort();
             v
         };

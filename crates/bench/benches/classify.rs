@@ -6,10 +6,19 @@ use dps_ecosystem::{ScenarioParams, World};
 use dps_measure::{Study, StudyConfig};
 
 fn bench(c: &mut Criterion) {
-    let params = ScenarioParams { seed: 2, scale: 0.05, gtld_days: 30, cc_start_day: 30 };
+    let params = ScenarioParams {
+        seed: 2,
+        scale: 0.05,
+        gtld_days: 30,
+        cc_start_day: 30,
+    };
     let mut world = World::imc2016(params);
-    let store =
-        Study::new(StudyConfig { days: 30, cc_start_day: 30, stride: 1 }).run(&mut world);
+    let store = Study::new(StudyConfig {
+        days: 30,
+        cc_start_day: 30,
+        stride: 1,
+    })
+    .run(&mut world);
     let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
     let rows: u64 = store
         .scan(dps_measure::Source::Com)

@@ -17,9 +17,9 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    for id in
-        ["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation"]
-    {
+    for id in [
+        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation",
+    ] {
         group.bench_function(id, |b| b.iter(|| run(&ctx, id).unwrap().len()));
     }
     group.finish();

@@ -18,8 +18,9 @@ fn bench(c: &mut Criterion) {
         rib.announce(Prefix::new(IpAddr::V4(addr), len).unwrap(), Asn(i % 50 + 1));
     }
     let snapshot = rib.snapshot();
-    let addrs: Vec<IpAddr> =
-        (0..10_000).map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>()))).collect();
+    let addrs: Vec<IpAddr> = (0..10_000)
+        .map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())))
+        .collect();
 
     let mut group = c.benchmark_group("lpm");
     group.throughput(Throughput::Elements(addrs.len() as u64));

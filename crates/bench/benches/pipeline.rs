@@ -7,7 +7,12 @@ use dps_measure::collector::SldInterner;
 use dps_measure::{Study, StudyConfig};
 
 fn bench(c: &mut Criterion) {
-    let params = ScenarioParams { seed: 1, scale: 0.05, gtld_days: 30, cc_start_day: 30 };
+    let params = ScenarioParams {
+        seed: 1,
+        scale: 0.05,
+        gtld_days: 30,
+        cc_start_day: 30,
+    };
     let world = World::imc2016(params);
     let names = world.zone_entries(Tld::Com).len()
         + world.zone_entries(Tld::Net).len()
@@ -18,8 +23,11 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(names as u64));
     group.bench_function("one_day_sweep", |b| {
         b.iter(|| {
-            let mut study =
-                Study::new(StudyConfig { days: 1, cc_start_day: 30, stride: 1 });
+            let mut study = Study::new(StudyConfig {
+                days: 1,
+                cc_start_day: 30,
+                stride: 1,
+            });
             let mut interner = SldInterner::new();
             study.measure_day(&world, 0, &mut interner);
             study.store().total_stored_bytes()

@@ -1,0 +1,77 @@
+//! Recursor sweep cost: cold (empty caches, every query descends from the
+//! root) vs warm (answer + infra caches populated). Also reports the
+//! simulated UDP packet counts behind each variant, the number the paper's
+//! measurement infrastructure actually pays for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dps_dns::{Name, RrType};
+use dps_ecosystem::{ScenarioParams, Tld, World};
+use dps_netsim::{Day, Network};
+use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
+
+fn jobs(world: &World) -> Vec<(Name, RrType)> {
+    let mut jobs = Vec::new();
+    for entry in world.zone_entries(Tld::Com).into_iter().take(60) {
+        let apex = world.entry_name(entry);
+        jobs.push((apex.clone(), RrType::A));
+        jobs.push((apex.prepend("www").unwrap(), RrType::A));
+        jobs.push((apex, RrType::Ns));
+    }
+    jobs
+}
+
+fn bench(c: &mut Criterion) {
+    let world = World::imc2016(ScenarioParams::tiny(17));
+    let src: std::net::IpAddr = "172.16.9.1".parse().unwrap();
+    let jobs = jobs(&world);
+
+    // One-off packet accounting, printed alongside the timings.
+    {
+        let net = Network::new(3);
+        let catalog = world.materialize(&net);
+        let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+        let scheduler = SweepScheduler::new(recursor, 4);
+        let cold = scheduler.run_sweep(&net, src, Day(0), &jobs);
+        let warm = scheduler.run_sweep(&net, src, Day(0), &jobs);
+        println!(
+            "recursor packets: {} queries; cold sweep {} packets, warm sweep {} \
+             packets (hit ratio {:.3})",
+            cold.queries,
+            cold.packets_sent,
+            warm.packets_sent,
+            warm.hit_ratio()
+        );
+    }
+
+    let mut group = c.benchmark_group("recursor");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+
+    group.bench_function("cold_sweep", |b| {
+        let net = Network::new(4);
+        let catalog = world.materialize(&net);
+        b.iter(|| {
+            // Fresh recursor per iteration: every query pays full descent.
+            let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+            let report = SweepScheduler::new(recursor, 4).run_sweep(&net, src, Day(0), &jobs);
+            black_box(report.packets_sent)
+        })
+    });
+
+    group.bench_function("warm_sweep", |b| {
+        let net = Network::new(5);
+        let catalog = world.materialize(&net);
+        let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+        let scheduler = SweepScheduler::new(recursor, 4);
+        scheduler.run_sweep(&net, src, Day(0), &jobs); // populate caches
+        b.iter(|| {
+            let report = scheduler.run_sweep(&net, src, Day(0), &jobs);
+            black_box(report.packets_sent)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -160,7 +160,13 @@ impl Context {
             scan.timelines.map.len()
         );
         std::fs::create_dir_all(&config.out_dir).expect("create out dir");
-        Self { config, world, store, refs, scan }
+        Self {
+            config,
+            world,
+            store,
+            refs,
+            scan,
+        }
     }
 
     fn write(&self, name: &str, content: &str) {
@@ -216,8 +222,12 @@ pub fn exp_fig2(ctx: &Context) -> String {
     ctx.write("fig2.csv", &csv);
     let series = &ctx.scan.series;
     let combined = series.combined_any();
-    let (max_i, max_v) =
-        combined.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, &v)| (i, v)).unwrap();
+    let (max_i, max_v) = combined
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &v)| v)
+        .map(|(i, &v)| (i, v))
+        .unwrap();
     let mut out = String::from("== Fig. 2: DPS use and zone breakdown ==\n");
     let _ = writeln!(
         out,
@@ -247,8 +257,13 @@ pub fn exp_fig3(ctx: &Context) -> String {
     ctx.write("fig3.csv", &csv);
     let s = &ctx.scan.series;
     let last = s.days.len() - 1;
-    let mut out = String::from("== Fig. 3: per-provider use and protection methods (last day) ==\n");
-    let _ = writeln!(out, "{:<14} {:>8} {:>8} {:>8} {:>8}", "provider", "any", "AS", "CNAME", "NS");
+    let mut out =
+        String::from("== Fig. 3: per-provider use and protection methods (last day) ==\n");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8} {:>8}",
+        "provider", "any", "AS", "CNAME", "NS"
+    );
     for (p, name) in ctx.refs.names.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -271,7 +286,11 @@ pub fn exp_fig3(ctx: &Context) -> String {
     let inc = 5;
     let inc_ns_share =
         f64::from(s.provider_ns[inc][last]) / f64::from(s.provider_any[inc][last].max(1));
-    let _ = writeln!(out, "Incapsula delegation share: {:.2}% (paper: ~0.02%)", inc_ns_share * 100.0);
+    let _ = writeln!(
+        out,
+        "Incapsula delegation share: {:.2}% (paper: ~0.02%)",
+        inc_ns_share * 100.0
+    );
     out
 }
 
@@ -324,10 +343,12 @@ pub fn exp_fig6(ctx: &Context) -> String {
     let pick = |v: &[u32]| -> Vec<u32> { idx.iter().map(|&i| v[i]).collect() };
     let gconf = ctx.growth_config();
     let g_nl = growth::analyze(&days, &pick(&series.source_any[Source::Nl.index()]), &gconf);
-    let g_nl_zone =
-        growth::analyze(&days, &pick(&series.zone_sizes[Source::Nl.index()]), &gconf);
-    let g_alexa =
-        growth::analyze(&days, &pick(&series.source_any[Source::Alexa.index()]), &gconf);
+    let g_nl_zone = growth::analyze(&days, &pick(&series.zone_sizes[Source::Nl.index()]), &gconf);
+    let g_alexa = growth::analyze(
+        &days,
+        &pick(&series.source_any[Source::Alexa.index()]),
+        &gconf,
+    );
     let csv = report::growth_csv(&[
         ("nl_dps", &g_nl),
         ("nl_expansion", &g_nl_zone),
@@ -374,7 +395,10 @@ pub fn exp_fig8(ctx: &Context) -> String {
     out.push_str(&summary);
     out.push_str("\npaper p80 markers: ");
     for &(p, days) in &PAPER_P80 {
-        let measured = dists[p].quantile(0.8).map(|d| d.to_string()).unwrap_or_else(|| "-".into());
+        let measured = dists[p]
+            .quantile(0.8)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into());
         let _ = write!(out, "{} {}d/{}d  ", ctx.refs.names[p], measured, days);
     }
     out.push_str("(measured/paper)\n");
@@ -440,9 +464,12 @@ pub fn exp_mechanisms(ctx: &Context) -> String {
 pub fn exp_ablation(ctx: &Context) -> String {
     let s = &ctx.scan.series;
     let last = s.days.len() - 1;
-    let mut out =
-        String::from("== Ablation: ASN-only vs full detection (last day) ==\n");
-    let _ = writeln!(out, "{:<14} {:>8} {:>9} {:>8}", "provider", "ASN-only", "full", "missed");
+    let mut out = String::from("== Ablation: ASN-only vs full detection (last day) ==\n");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>9} {:>8}",
+        "provider", "ASN-only", "full", "missed"
+    );
     for (p, name) in ctx.refs.names.iter().enumerate() {
         let asn_only = s.provider_asn[p][last];
         let full = s.provider_any[p][last];
@@ -467,7 +494,8 @@ pub fn exp_ablation(ctx: &Context) -> String {
 pub fn exp_smoothing(ctx: &Context) -> String {
     let series = &ctx.scan.series;
     let combined = series.combined_any();
-    let mut out = String::from("== Ablation: smoothing window / cleaning on the Fig. 5 factor ==\n");
+    let mut out =
+        String::from("== Ablation: smoothing window / cleaning on the Fig. 5 factor ==\n");
     let _ = writeln!(out, "{:>8} {:>10} {:>10}", "window", "cleaned", "raw");
     let stride = ctx.config.stride.max(1) as usize;
     for window in [7usize, 14, 28, 56] {
@@ -483,9 +511,15 @@ pub fn exp_smoothing(ctx: &Context) -> String {
                 growth::analyze(&series.days, &combined, &config).factor
             })
             .collect();
-        let _ = writeln!(out, "{:>7}d {:>9.3}x {:>9.3}x", window, factors[0], factors[1]);
+        let _ = writeln!(
+            out,
+            "{:>7}d {:>9.3}x {:>9.3}x",
+            window, factors[0], factors[1]
+        );
     }
-    out.push_str("the cleaned factor is stable across windows; without cleaning, window choice matters\n");
+    out.push_str(
+        "the cleaned factor is stable across windows; without cleaning, window choice matters\n",
+    );
     out
 }
 
@@ -503,7 +537,9 @@ pub fn exp_nsnames(ctx: &Context) -> String {
     for (host, count) in census.iter().take(8) {
         let _ = writeln!(out, "  {host:<28} referenced by {count} domains");
     }
-    out.push_str("paper: 403 names on 2016-04-30, kate.ns.cloudflare.com most-referenced (112k domains)\n");
+    out.push_str(
+        "paper: 403 names on 2016-04-30, kate.ns.cloudflare.com most-referenced (112k domains)\n",
+    );
     let csv: String = std::iter::once("host,domains".to_string())
         .chain(census.iter().map(|(h, c)| format!("{h},{c}")))
         .collect::<Vec<_>>()
@@ -563,8 +599,16 @@ pub fn exp_validation(ctx: &Context) -> String {
         }
     }
     let tp = detected.intersection(&truth).count() as f64;
-    let precision = if detected.is_empty() { 1.0 } else { tp / detected.len() as f64 };
-    let recall = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
+    let precision = if detected.is_empty() {
+        1.0
+    } else {
+        tp / detected.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        tp / truth.len() as f64
+    };
     format!(
         "== Ground-truth validation (beyond the paper) ==\n\
          sampled days: {} (every 14th)\n\
@@ -595,7 +639,11 @@ pub fn exp_pipeline(ctx: &Context) -> String {
         stored += st.stored_bytes;
         raw += st.raw_bytes;
     }
-    let _ = writeln!(out, "data points collected: {}", report::human_count(dps as f64));
+    let _ = writeln!(
+        out,
+        "data points collected: {}",
+        report::human_count(dps as f64)
+    );
     let _ = writeln!(
         out,
         "storage: {} columnar ({} raw, {:.1}x compression)",
@@ -636,13 +684,31 @@ pub fn run(ctx: &Context, id: &str) -> Option<String> {
         }
         return Some(out);
     }
-    all.iter().find(|(name, _)| *name == id).map(|(_, f)| f(ctx))
+    all.iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f(ctx))
 }
 
 /// The experiment ids `run` understands.
 pub fn experiment_ids() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "anomalies",
-        "combos", "mechanisms", "nsnames", "ablation", "smoothing", "validation", "pipeline", "all",
+        "table1",
+        "table2",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "anomalies",
+        "combos",
+        "mechanisms",
+        "nsnames",
+        "ablation",
+        "smoothing",
+        "validation",
+        "pipeline",
+        "all",
     ]
 }

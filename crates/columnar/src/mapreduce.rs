@@ -10,7 +10,9 @@ use crossbeam::thread;
 
 /// Number of workers to use (the machine's parallelism, min 1).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Parallel map + fold over `items`.
@@ -36,7 +38,10 @@ where
             .chunks(chunk)
             .map(|slice| s.spawn(|_| slice.iter().map(&map).fold(init(), &combine)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope");
     partials.into_iter().fold(init(), combine)
@@ -86,7 +91,10 @@ where
             .chunks(chunk)
             .map(|slice| s.spawn(|_| slice.iter().map(&f).collect::<Vec<U>>()))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope");
     chunks.into_iter().flatten().collect()

@@ -18,7 +18,9 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema from column names.
     pub fn new(names: &[&str]) -> Self {
-        Self { names: Arc::new(names.iter().map(|s| s.to_string()).collect()) }
+        Self {
+            names: Arc::new(names.iter().map(|s| s.to_string()).collect()),
+        }
     }
 
     /// Number of columns.
@@ -66,7 +68,10 @@ impl TableBuilder {
 
     /// Finishes into an immutable table.
     pub fn finish(self) -> Table {
-        Table { schema: self.schema, columns: self.columns }
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+        }
     }
 }
 
@@ -144,7 +149,10 @@ impl Table {
             columns.push(col);
         }
         let name_refs: Vec<&str> = names.clone();
-        Ok(Self { schema: Schema::new(&name_refs), columns })
+        Ok(Self {
+            schema: Schema::new(&name_refs),
+            columns,
+        })
     }
 
     /// Serialised size in bytes (what "stored size" means in Table 1).
@@ -239,7 +247,10 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_rejected() {
-        assert!(matches!(Table::from_bytes(b"nope"), Err(TableError::BadMagic)));
+        assert!(matches!(
+            Table::from_bytes(b"nope"),
+            Err(TableError::BadMagic)
+        ));
         let t = sample();
         let mut bytes = t.to_bytes();
         bytes.truncate(bytes.len() / 2);

@@ -27,13 +27,19 @@ pub fn find_anomalies(series: &[u32], mad_factor: f64, abs_floor: u32) -> Vec<An
     if series.len() < 3 {
         return Vec::new();
     }
-    let deltas: Vec<f64> = series.windows(2).map(|w| f64::from(w[1]) - f64::from(w[0])).collect();
+    let deltas: Vec<f64> = series
+        .windows(2)
+        .map(|w| f64::from(w[1]) - f64::from(w[0]))
+        .collect();
     let noise = mad(&deltas).max(0.5);
     deltas
         .iter()
         .enumerate()
         .filter(|(_, d)| d.abs() >= f64::from(abs_floor) && d.abs() > mad_factor * noise)
-        .map(|(i, d)| Anomaly { day_index: i + 1, delta: *d as i64 })
+        .map(|(i, d)| Anomaly {
+            day_index: i + 1,
+            delta: *d as i64,
+        })
         .collect()
 }
 
@@ -42,7 +48,9 @@ pub fn find_anomalies(series: &[u32], mad_factor: f64, abs_floor: u32) -> Vec<An
 /// For every anomaly day of the first series, checks whether the other
 /// series move in the same direction; returns the fraction that do.
 pub fn transversality(series: &[&[u32]], mad_factor: f64, abs_floor: u32) -> f64 {
-    let Some(first) = series.first() else { return 0.0 };
+    let Some(first) = series.first() else {
+        return 0.0;
+    };
     let anomalies = find_anomalies(first, mad_factor, abs_floor);
     if anomalies.is_empty() || series.len() < 2 {
         return 0.0;
@@ -52,8 +60,7 @@ pub fn transversality(series: &[&[u32]], mad_factor: f64, abs_floor: u32) -> f64
     for a in &anomalies {
         for other in &series[1..] {
             total += 1;
-            let delta =
-                i64::from(other[a.day_index]) - i64::from(other[a.day_index - 1]);
+            let delta = i64::from(other[a.day_index]) - i64::from(other[a.day_index - 1]);
             if delta.signum() == a.delta.signum() && delta != 0 {
                 replicated += 1;
             }
@@ -97,8 +104,9 @@ fn referencing_entries(
     let mut out = HashMap::new();
     for source in [Source::Com, Source::Net, Source::Org] {
         if let Some(table) = store.table(day, source) {
-            let cols: Vec<&[u32]> =
-                (0..table.schema().width()).map(|c| table.column(c)).collect();
+            let cols: Vec<&[u32]> = (0..table.schema().width())
+                .map(|c| table.column(c))
+                .collect();
             for i in 0..table.rows() {
                 let (_, _, row) = Row::unpack(&cols, i);
                 if refs.classify(&row).iter().any(|&(p, _)| p == provider) {
@@ -178,8 +186,20 @@ mod tests {
         }
         let found = find_anomalies(&series, 8.0, 100);
         assert_eq!(found.len(), 2);
-        assert_eq!(found[0], Anomaly { day_index: 40, delta: 1500 });
-        assert_eq!(found[1], Anomaly { day_index: 45, delta: -1500 });
+        assert_eq!(
+            found[0],
+            Anomaly {
+                day_index: 40,
+                delta: 1500
+            }
+        );
+        assert_eq!(
+            found[1],
+            Anomaly {
+                day_index: 45,
+                delta: -1500
+            }
+        );
     }
 
     #[test]

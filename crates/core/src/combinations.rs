@@ -113,9 +113,12 @@ pub struct ComboBreakdown {
 pub fn analyze_day(store: &SnapshotStore, refs: &CompiledRefs, day: u32) -> ComboBreakdown {
     let mut counts = vec![[0u32; 7]; refs.n];
     for source in [Source::Com, Source::Net, Source::Org] {
-        let Some(table) = store.table(day, source) else { continue };
-        let cols: Vec<&[u32]> =
-            (0..table.schema().width()).map(|c| table.column(c)).collect();
+        let Some(table) = store.table(day, source) else {
+            continue;
+        };
+        let cols: Vec<&[u32]> = (0..table.schema().width())
+            .map(|c| table.column(c))
+            .collect();
         for i in 0..table.rows() {
             let (_, _, row) = Row::unpack(&cols, i);
             for (p, kinds) in refs.classify(&row) {
@@ -169,7 +172,10 @@ mod tests {
     #[test]
     fn combo_classification_covers_all_seven() {
         assert_eq!(Combo::from_kinds(kinds(false, false, true)), Combo::AsnOnly);
-        assert_eq!(Combo::from_kinds(kinds(true, false, false)), Combo::CnameOnly);
+        assert_eq!(
+            Combo::from_kinds(kinds(true, false, false)),
+            Combo::CnameOnly
+        );
         assert_eq!(Combo::from_kinds(kinds(false, true, false)), Combo::NsOnly);
         assert_eq!(Combo::from_kinds(kinds(true, false, true)), Combo::CnameAsn);
         assert_eq!(Combo::from_kinds(kinds(false, true, true)), Combo::NsAsn);
@@ -188,10 +194,19 @@ mod tests {
     fn small_world_breakdown_matches_postures() {
         use dps_ecosystem::{ScenarioParams, World};
         use dps_measure::{Study, StudyConfig};
-        let params = ScenarioParams { seed: 13, scale: 0.1, gtld_days: 2, cc_start_day: 2 };
+        let params = ScenarioParams {
+            seed: 13,
+            scale: 0.1,
+            gtld_days: 2,
+            cc_start_day: 2,
+        };
         let mut world = World::imc2016(params);
-        let store =
-            Study::new(StudyConfig { days: 1, cc_start_day: 99, stride: 1 }).run(&mut world);
+        let store = Study::new(StudyConfig {
+            days: 1,
+            cc_start_day: 99,
+            stride: 1,
+        })
+        .run(&mut world);
         let refs = crate::references::CompiledRefs::compile(
             &crate::references::ProviderRefs::paper_table2(),
             &store.dict,

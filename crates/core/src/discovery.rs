@@ -269,18 +269,15 @@ pub fn discover(
     result
 }
 
-fn for_each_sampled_row(
-    store: &SnapshotStore,
-    sampled: &HashSet<u32>,
-    mut f: impl FnMut(&Row),
-) {
+fn for_each_sampled_row(store: &SnapshotStore, sampled: &HashSet<u32>, mut f: impl FnMut(&Row)) {
     for source in [Source::Com, Source::Net, Source::Org] {
         for (day, table) in store.scan(source) {
             if !sampled.contains(&day) {
                 continue;
             }
-            let cols: Vec<&[u32]> =
-                (0..table.schema().width()).map(|c| table.column(c)).collect();
+            let cols: Vec<&[u32]> = (0..table.schema().width())
+                .map(|c| table.column(c))
+                .collect();
             for i in 0..table.rows() {
                 let (_, _, row) = Row::unpack(&cols, i);
                 if !row.failed {
@@ -325,31 +322,60 @@ mod tests {
 
     #[test]
     fn discovery_rediscovers_core_references_in_small_world() {
-        let mut world = World::imc2016(ScenarioParams { scale: 0.2, gtld_days: 40, cc_start_day: 40, seed: 9 });
+        let mut world = World::imc2016(ScenarioParams {
+            scale: 0.2,
+            gtld_days: 40,
+            cc_start_day: 40,
+            seed: 9,
+        });
         let seeds_list = seeds_from_registry(world.as_registry(), &PROVIDER_KEYWORDS);
-        let store =
-            Study::new(StudyConfig { days: 40, cc_start_day: 40, stride: 1 }).run(&mut world);
-        let config = DiscoveryConfig { day_stride: 5, ..Default::default() };
+        let store = Study::new(StudyConfig {
+            days: 40,
+            cc_start_day: 40,
+            stride: 1,
+        })
+        .run(&mut world);
+        let config = DiscoveryConfig {
+            day_stride: 5,
+            ..Default::default()
+        };
         let found = discover(&store, &seeds_list, &config);
 
         let cf = &found[2];
         assert!(cf.asns.contains(&13335));
-        assert!(cf.cname_slds.contains(&"cloudflare.net".to_string()), "{:?}", cf.cname_slds);
-        assert!(cf.ns_slds.contains(&"cloudflare.com".to_string()), "{:?}", cf.ns_slds);
+        assert!(
+            cf.cname_slds.contains(&"cloudflare.net".to_string()),
+            "{:?}",
+            cf.cname_slds
+        );
+        assert!(
+            cf.ns_slds.contains(&"cloudflare.com".to_string()),
+            "{:?}",
+            cf.ns_slds
+        );
 
         let incapsula = &found[5];
         assert!(incapsula.cname_slds.contains(&"incapdns.net".to_string()));
 
         // Expansion found Prolexic via Akamai customer addresses.
         let akamai = &found[0];
-        assert!(akamai.asns.contains(&32787), "expanded ASNs: {:?}", akamai.asns);
+        assert!(
+            akamai.asns.contains(&32787),
+            "expanded ASNs: {:?}",
+            akamai.asns
+        );
 
         // Third-party SLDs must NOT leak into provider reference sets.
         for refs in &found {
             for sld in refs.ns_slds.iter().chain(&refs.cname_slds) {
                 assert!(
-                    !["sedoparking.com", "registrar-servers.com", "fabulousdns.com", "amazonaws.com"]
-                        .contains(&sld.as_str()),
+                    ![
+                        "sedoparking.com",
+                        "registrar-servers.com",
+                        "fabulousdns.com",
+                        "amazonaws.com"
+                    ]
+                    .contains(&sld.as_str()),
                     "{} leaked into {}",
                     sld,
                     refs.name

@@ -23,7 +23,11 @@ pub struct FluxSeries {
 impl FluxSeries {
     /// Δ(first seen) − Δ(last seen) per window (the plotted quantity).
     pub fn delta(&self) -> Vec<i64> {
-        self.influx.iter().zip(&self.outflux).map(|(&i, &o)| i64::from(i) - i64::from(o)).collect()
+        self.influx
+            .iter()
+            .zip(&self.outflux)
+            .map(|(&i, &o)| i64::from(i) - i64::from(o))
+            .collect()
     }
 }
 
@@ -40,7 +44,9 @@ pub fn analyze(timelines: &Timelines, n_providers: usize, window: usize) -> Vec<
         })
         .collect();
     for (&(_, provider), tl) in &timelines.map {
-        let (Some(first), Some(last)) = (tl.any.first(), tl.any.last()) else { continue };
+        let (Some(first), Some(last)) = (tl.any.first(), tl.any.last()) else {
+            continue;
+        };
         let series = &mut out[provider as usize];
         series.influx[first / window] += 1;
         series.outflux[last / window] += 1;
@@ -50,7 +56,10 @@ pub fn analyze(timelines: &Timelines, n_providers: usize, window: usize) -> Vec<
 
 /// Conservation check: Σinflux = Σoutflux = number of referencing domains.
 pub fn total_domains(series: &FluxSeries) -> (u64, u64) {
-    (series.influx.iter().map(|&v| u64::from(v)).sum(), series.outflux.iter().map(|&v| u64::from(v)).sum())
+    (
+        series.influx.iter().map(|&v| u64::from(v)).sum(),
+        series.outflux.iter().map(|&v| u64::from(v)).sum(),
+    )
 }
 
 #[cfg(test)]
@@ -68,7 +77,12 @@ mod tests {
                 b.set(i);
             }
         }
-        Timeline { any: b.clone(), asn: b, cname: DayBits::new(days), ns: DayBits::new(days) }
+        Timeline {
+            any: b.clone(),
+            asn: b,
+            cname: DayBits::new(days),
+            ns: DayBits::new(days),
+        }
     }
 
     #[test]
@@ -76,7 +90,10 @@ mod tests {
         let mut map = HashMap::new();
         // Three peaks of the same domain: one influx (w0), one outflux (w3).
         map.insert((0u32, 0u8), tl(56, &[2..4, 20..24, 50..52]));
-        let timelines = Timelines { days: (0..56).collect(), map };
+        let timelines = Timelines {
+            days: (0..56).collect(),
+            map,
+        };
         let series = &analyze(&timelines, 1, 14)[0];
         assert_eq!(series.influx, vec![1, 0, 0, 0]);
         assert_eq!(series.outflux, vec![0, 0, 0, 1]);
@@ -90,7 +107,10 @@ mod tests {
             let start = (e as usize) % 30;
             map.insert((e, 0u8), tl(56, &[start..start + 10]));
         }
-        let timelines = Timelines { days: (0..56).collect(), map };
+        let timelines = Timelines {
+            days: (0..56).collect(),
+            map,
+        };
         let series = &analyze(&timelines, 1, 14)[0];
         let (inf, out) = total_domains(series);
         assert_eq!(inf, 40);
@@ -102,7 +122,10 @@ mod tests {
         let mut map = HashMap::new();
         map.insert((0u32, 0u8), tl(28, &[0..28]));
         map.insert((1u32, 1u8), tl(28, &[14..20]));
-        let timelines = Timelines { days: (0..28).collect(), map };
+        let timelines = Timelines {
+            days: (0..28).collect(),
+            map,
+        };
         let all = analyze(&timelines, 2, 14);
         assert_eq!(all[0].influx, vec![1, 0]);
         assert_eq!(all[1].influx, vec![0, 1]);

@@ -77,10 +77,20 @@ pub fn analyze(days: &[u32], series: &[u32], config: &GrowthConfig) -> GrowthAna
     };
     let smoothed = median_smooth(&cleaned, config.median_window);
     let base = smoothed.first().copied().unwrap_or(0.0);
-    let normalized: Vec<f64> =
-        smoothed.iter().map(|&v| if base > 0.0 { v / base } else { 0.0 }).collect();
+    let normalized: Vec<f64> = smoothed
+        .iter()
+        .map(|&v| if base > 0.0 { v / base } else { 0.0 })
+        .collect();
     let factor = normalized.last().copied().unwrap_or(0.0);
-    GrowthAnalysis { days: days.to_vec(), raw, cleaned, smoothed, normalized, factor, shifts }
+    GrowthAnalysis {
+        days: days.to_vec(),
+        raw,
+        cleaned,
+        smoothed,
+        normalized,
+        factor,
+        shifts,
+    }
 }
 
 /// Centered median filter; window is clamped to the series length and
@@ -107,8 +117,7 @@ fn clean_large_anomalies(raw: &[f64], config: &GrowthConfig) -> (Vec<f64>, Vec<(
 
     // Iterate: removing one excursion may reveal a nested one.
     for _round in 0..8 {
-        let deltas: Vec<f64> =
-            cleaned.windows(2).map(|w| w[1] - w[0]).collect();
+        let deltas: Vec<f64> = cleaned.windows(2).map(|w| w[1] - w[0]).collect();
         let noise = mad(&deltas);
         let level = {
             let mut v: Vec<u32> = cleaned.iter().map(|&x| x.max(0.0) as u32).collect();
@@ -182,7 +191,9 @@ mod tests {
     }
 
     fn linear(n: usize, start: f64, end: f64) -> Vec<u32> {
-        (0..n).map(|i| (start + (end - start) * i as f64 / (n - 1) as f64).round() as u32).collect()
+        (0..n)
+            .map(|i| (start + (end - start) * i as f64 / (n - 1) as f64).round() as u32)
+            .collect()
     }
 
     #[test]
@@ -224,7 +235,11 @@ mod tests {
         assert!((g.factor - 1.1).abs() < 0.04, "factor={}", g.factor);
         assert!(!g.shifts.is_empty());
         // The cleaned series should be near the baseline mid-plateau.
-        assert!((g.cleaned[120] - 4150.0).abs() < 220.0, "cleaned={}", g.cleaned[120]);
+        assert!(
+            (g.cleaned[120] - 4150.0).abs() < 220.0,
+            "cleaned={}",
+            g.cleaned[120]
+        );
     }
 
     #[test]
@@ -243,7 +258,11 @@ mod tests {
         let g = analyze(&days(n), &series, &GrowthConfig::default());
         // Both excursions removed: factor close to the underlying trend.
         assert!((g.factor - 1.04).abs() < 0.03, "factor={}", g.factor);
-        assert!((g.cleaned[100] - 5070.0).abs() < 200.0, "cleaned={}", g.cleaned[100]);
+        assert!(
+            (g.cleaned[100] - 5070.0).abs() < 200.0,
+            "cleaned={}",
+            g.cleaned[100]
+        );
     }
 
     #[test]
@@ -277,7 +296,10 @@ mod tests {
         for day in 150..350 {
             series[day] += 2000;
         }
-        let config = GrowthConfig { clean_anomalies: false, ..GrowthConfig::default() };
+        let config = GrowthConfig {
+            clean_anomalies: false,
+            ..GrowthConfig::default()
+        };
         let g = analyze(&days(n), &series, &config);
         // Without cleaning the plateau inflates mid-series values.
         assert!(g.smoothed[250] > 5500.0);

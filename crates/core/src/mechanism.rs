@@ -87,11 +87,14 @@ pub fn analyze(
         for (day, bytes) in store.encoded(source) {
             let _ = day;
             let table = dps_columnar::Table::from_bytes(bytes).expect("valid");
-            let cols: Vec<&[u32]> =
-                (0..table.schema().width()).map(|c| table.column(c)).collect();
+            let cols: Vec<&[u32]> = (0..table.schema().width())
+                .map(|c| table.column(c))
+                .collect();
             for i in (0..table.rows()).step_by(1) {
                 let (_, _, row) = Row::unpack(&cols, i);
-                let Some(providers) = wanted.get(&row.entry) else { continue };
+                let Some(providers) = wanted.get(&row.entry) else {
+                    continue;
+                };
                 for &p in providers {
                     let kinds = refs
                         .classify(&row)
@@ -128,7 +131,10 @@ pub fn analyze(
 
 fn classify_samples(days: &[DaySample]) -> Mechanism {
     let on: Vec<&DaySample> = days.iter().filter(|d| d.diverted).collect();
-    let off: Vec<&DaySample> = days.iter().filter(|d| !d.diverted && d.apex_v4 != 0).collect();
+    let off: Vec<&DaySample> = days
+        .iter()
+        .filter(|d| !d.diverted && d.apex_v4 != 0)
+        .collect();
     if on.is_empty() || off.is_empty() {
         return Mechanism::Unclear;
     }
@@ -171,7 +177,12 @@ mod tests {
     use super::*;
 
     fn sample(diverted: bool, addr: u32, cname: bool, ns: bool) -> DaySample {
-        DaySample { diverted, apex_v4: addr, has_provider_cname: cname, has_provider_ns: ns }
+        DaySample {
+            diverted,
+            apex_v4: addr,
+            has_provider_cname: cname,
+            has_provider_ns: ns,
+        }
     }
 
     #[test]
@@ -205,10 +216,7 @@ mod tests {
 
     #[test]
     fn ns_managed_detected() {
-        let days = vec![
-            sample(false, 7, false, true),
-            sample(true, 99, false, true),
-        ];
+        let days = vec![sample(false, 7, false, true), sample(true, 99, false, true)];
         assert_eq!(classify_samples(&days), Mechanism::NsManaged);
     }
 
@@ -227,10 +235,19 @@ mod tests {
         use dps_measure::{Study, StudyConfig};
 
         // 130 days so on-demand domains accumulate ≥3 peaks.
-        let params = ScenarioParams { seed: 77, scale: 0.2, gtld_days: 130, cc_start_day: 130 };
+        let params = ScenarioParams {
+            seed: 77,
+            scale: 0.2,
+            gtld_days: 130,
+            cc_start_day: 130,
+        };
         let mut world = World::imc2016(params);
-        let store =
-            Study::new(StudyConfig { days: 130, cc_start_day: 130, stride: 1 }).run(&mut world);
+        let store = Study::new(StudyConfig {
+            days: 130,
+            cc_start_day: 130,
+            stride: 1,
+        })
+        .run(&mut world);
         let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
         let out = Scanner::new(&refs).run(&store);
         let breakdowns = analyze(&store, &refs, &out.timelines, 1);
@@ -239,8 +256,23 @@ mod tests {
         // NsDelegation in the scenario); Neustar's are CNAME flips;
         // CenturyLink's are A-record flips.
         let dominant = |p: usize| breakdowns[p].histogram.first().map(|&(m, _)| m);
-        assert_eq!(dominant(2), Some(Mechanism::NsManaged), "{:?}", breakdowns[2]);
-        assert_eq!(dominant(7), Some(Mechanism::CnameChange), "{:?}", breakdowns[7]);
-        assert_eq!(dominant(1), Some(Mechanism::ARecordChange), "{:?}", breakdowns[1]);
+        assert_eq!(
+            dominant(2),
+            Some(Mechanism::NsManaged),
+            "{:?}",
+            breakdowns[2]
+        );
+        assert_eq!(
+            dominant(7),
+            Some(Mechanism::CnameChange),
+            "{:?}",
+            breakdowns[7]
+        );
+        assert_eq!(
+            dominant(1),
+            Some(Mechanism::ARecordChange),
+            "{:?}",
+            breakdowns[1]
+        );
     }
 }

@@ -65,8 +65,8 @@ impl PeakDistribution {
         if self.durations.is_empty() {
             return None;
         }
-        let idx = ((self.durations.len() as f64 * q).ceil() as usize)
-            .clamp(1, self.durations.len());
+        let idx =
+            ((self.durations.len() as f64 * q).ceil() as usize).clamp(1, self.durations.len());
         Some(self.durations[idx - 1])
     }
 }
@@ -79,7 +79,11 @@ impl PeakDistribution {
 /// peak signatures (a Wix or an ENOM, §4.4.1) — are excluded from the
 /// on-demand population, as the paper's Fig. 8 excludes them: their peaks
 /// reflect one operator's decision, not per-customer mitigation behaviour.
-pub fn analyze(timelines: &Timelines, n_providers: usize, measure_stride: u32) -> Vec<PeakDistribution> {
+pub fn analyze(
+    timelines: &Timelines,
+    n_providers: usize,
+    measure_stride: u32,
+) -> Vec<PeakDistribution> {
     analyze_with(timelines, n_providers, measure_stride, 20)
 }
 
@@ -103,8 +107,9 @@ pub fn analyze_with(
         }
     }
 
-    let mut out: Vec<PeakDistribution> =
-        (0..n_providers).map(|_| PeakDistribution::default()).collect();
+    let mut out: Vec<PeakDistribution> = (0..n_providers)
+        .map(|_| PeakDistribution::default())
+        .collect();
     for (&(_entry, provider), tl) in &timelines.map {
         let dist = &mut out[provider as usize];
         match classify_mode(&tl.asn) {
@@ -155,7 +160,12 @@ mod tests {
 
     fn tl(asn: DayBits) -> Timeline {
         let n = asn.len();
-        Timeline { any: asn.clone(), asn, cname: DayBits::new(n), ns: DayBits::new(n) }
+        Timeline {
+            any: asn.clone(),
+            asn,
+            cname: DayBits::new(n),
+            ns: DayBits::new(n),
+        }
     }
 
     #[test]
@@ -163,8 +173,14 @@ mod tests {
         assert_eq!(classify_mode(&bits(30, &[])), UseMode::NeverDiverted);
         assert_eq!(classify_mode(&bits(30, &[0..30])), UseMode::AlwaysOn);
         assert_eq!(classify_mode(&bits(30, &[5..20])), UseMode::AlwaysOn);
-        assert_eq!(classify_mode(&bits(30, &[2..5, 10..12])), UseMode::Ambiguous);
-        assert_eq!(classify_mode(&bits(30, &[2..5, 10..12, 20..29])), UseMode::OnDemand);
+        assert_eq!(
+            classify_mode(&bits(30, &[2..5, 10..12])),
+            UseMode::Ambiguous
+        );
+        assert_eq!(
+            classify_mode(&bits(30, &[2..5, 10..12, 20..29])),
+            UseMode::OnDemand
+        );
     }
 
     #[test]
@@ -173,7 +189,10 @@ mod tests {
         map.insert((0u32, 0u8), tl(bits(60, &[0..3, 10..14, 30..35])));
         map.insert((2u32, 0u8), tl(bits(60, &[0..60])));
         map.insert((4u32, 0u8), tl(bits(60, &[1..2, 6..8])));
-        let timelines = Timelines { days: (0..60).collect(), map };
+        let timelines = Timelines {
+            days: (0..60).collect(),
+            map,
+        };
         let dists = analyze(&timelines, 2, 1);
         let d = &dists[0];
         assert_eq!(d.domains, 1);
@@ -185,7 +204,10 @@ mod tests {
 
     #[test]
     fn cdf_and_quantile() {
-        let d = PeakDistribution { durations: vec![1, 2, 2, 3, 10], ..Default::default() };
+        let d = PeakDistribution {
+            durations: vec![1, 2, 2, 3, 10],
+            ..Default::default()
+        };
         assert_eq!(d.cdf(0), 0.0);
         assert_eq!(d.cdf(2), 0.6);
         assert_eq!(d.cdf(10), 1.0);
@@ -204,7 +226,10 @@ mod tests {
         }
         map.insert((100u32, 0u8), tl(bits(60, &[1..3, 9..11, 30..33])));
         map.insert((101u32, 0u8), tl(bits(60, &[2..4, 15..16, 50..55])));
-        let timelines = Timelines { days: (0..60).collect(), map };
+        let timelines = Timelines {
+            days: (0..60).collect(),
+            map,
+        };
 
         let with_exclusion = analyze_with(&timelines, 1, 1, 20);
         assert_eq!(with_exclusion[0].synchronized, 25);
@@ -223,7 +248,10 @@ mod tests {
         for e in 0..5u32 {
             map.insert((e, 0u8), tl(bits(60, &[5..10, 20..30, 40..45])));
         }
-        let timelines = Timelines { days: (0..60).collect(), map };
+        let timelines = Timelines {
+            days: (0..60).collect(),
+            map,
+        };
         let dists = analyze(&timelines, 1, 1);
         assert_eq!(dists[0].domains, 5);
     }
@@ -232,7 +260,10 @@ mod tests {
     fn stride_scales_durations() {
         let mut map = HashMap::new();
         map.insert((0u32, 0u8), tl(bits(20, &[0..2, 5..6, 9..12])));
-        let timelines = Timelines { days: (0..20).collect(), map };
+        let timelines = Timelines {
+            days: (0..20).collect(),
+            map,
+        };
         let dists = analyze(&timelines, 1, 3);
         assert_eq!(dists[0].durations, vec![3, 6, 9]);
     }

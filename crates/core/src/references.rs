@@ -231,7 +231,11 @@ mod tests {
     #[test]
     fn failed_rows_reference_nothing() {
         let (compiled, _) = compiled();
-        let row = Row { failed: true, asn1: 13335, ..Row::default() };
+        let row = Row {
+            failed: true,
+            asn1: 13335,
+            ..Row::default()
+        };
         assert!(compiled.classify(&row).is_empty());
     }
 

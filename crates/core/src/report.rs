@@ -26,8 +26,12 @@ pub fn human_count(v: f64) -> String {
 /// Pretty-prints a byte size (`17.5TiB`, `2.1GiB`).
 pub fn human_bytes(v: u64) -> String {
     let v = v as f64;
-    for (limit, unit) in [(1u64 << 40, "TiB"), (1 << 30, "GiB"), (1 << 20, "MiB"), (1 << 10, "KiB")]
-    {
+    for (limit, unit) in [
+        (1u64 << 40, "TiB"),
+        (1 << 30, "GiB"),
+        (1 << 20, "MiB"),
+        (1 << 10, "KiB"),
+    ] {
         if v >= limit as f64 {
             return format!("{:.1}{unit}", v / limit as f64);
         }
@@ -48,7 +52,10 @@ pub fn table1(store: &SnapshotStore) -> String {
     let mut total_size = 0u64;
     for source in SOURCES {
         let st = store.stats(source);
-        let start = st.first_day.map(|d| Day(d).date().to_string()).unwrap_or_else(|| "-".into());
+        let start = st
+            .first_day
+            .map(|d| Day(d).date().to_string())
+            .unwrap_or_else(|| "-".into());
         let _ = writeln!(
             out,
             "{:<10} {:>10} {:>6} {:>9} {:>9} {:>10} {:>10}",
@@ -80,16 +87,33 @@ pub fn table1(store: &SnapshotStore) -> String {
 /// Table 2: provider references.
 pub fn table2(refs: &[ProviderRefs]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<14} {:<28} {:<44} NS SLD(s)", "Provider", "AS number(s)", "CNAME SLD(s)");
+    let _ = writeln!(
+        out,
+        "{:<14} {:<28} {:<44} NS SLD(s)",
+        "Provider", "AS number(s)", "CNAME SLD(s)"
+    );
     for r in refs {
-        let asns = r.asns.iter().map(u32::to_string).collect::<Vec<_>>().join(", ");
+        let asns = r
+            .asns
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(
             out,
             "{:<14} {:<28} {:<44} {}",
             r.name,
             asns,
-            if r.cname_slds.is_empty() { "—".into() } else { r.cname_slds.join(", ") },
-            if r.ns_slds.is_empty() { "—".into() } else { r.ns_slds.join(", ") },
+            if r.cname_slds.is_empty() {
+                "—".into()
+            } else {
+                r.cname_slds.join(", ")
+            },
+            if r.ns_slds.is_empty() {
+                "—".into()
+            } else {
+                r.ns_slds.join(", ")
+            },
         );
     }
     out
@@ -129,10 +153,20 @@ pub fn table2_comparison(found: &[ProviderRefs], truth: &[ProviderRefs]) -> (Str
             let _ = writeln!(out, "    asns found {fa:?} vs truth {ta:?}");
         }
         if !cname_ok {
-            let _ = writeln!(out, "    cname found {:?} vs truth {:?}", sort(&f.cname_slds), sort(&t.cname_slds));
+            let _ = writeln!(
+                out,
+                "    cname found {:?} vs truth {:?}",
+                sort(&f.cname_slds),
+                sort(&t.cname_slds)
+            );
         }
         if !ns_ok {
-            let _ = writeln!(out, "    ns found {:?} vs truth {:?}", sort(&f.ns_slds), sort(&t.ns_slds));
+            let _ = writeln!(
+                out,
+                "    ns found {:?} vs truth {:?}",
+                sort(&f.ns_slds),
+                sort(&t.ns_slds)
+            );
         }
     }
     (out, exact)
@@ -153,8 +187,9 @@ pub fn ns_host_census(
     let mut hist: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     for source in [Source::Com, Source::Net, Source::Org] {
         if let Some(table) = store.table(day, source) {
-            let cols: Vec<&[u32]> =
-                (0..table.schema().width()).map(|c| table.column(c)).collect();
+            let cols: Vec<&[u32]> = (0..table.schema().width())
+                .map(|c| table.column(c))
+                .collect();
             for i in 0..table.rows() {
                 let (_, _, row) = Row::unpack(&cols, i);
                 let delegated = [row.ns1, row.ns2]
@@ -359,7 +394,13 @@ mod tests {
     fn fig4_percentages_sum_to_100() {
         let mut series = SeriesSet {
             days: vec![0, 1],
-            zone_sizes: vec![vec![80, 80], vec![12, 12], vec![8, 8], vec![0, 0], vec![0, 0]],
+            zone_sizes: vec![
+                vec![80, 80],
+                vec![12, 12],
+                vec![8, 8],
+                vec![0, 0],
+                vec![0, 0],
+            ],
             provider_any: vec![],
             provider_asn: vec![],
             provider_cname: vec![],

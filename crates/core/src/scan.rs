@@ -120,12 +120,14 @@ impl<'a> Scanner<'a> {
     pub fn run(&self, store: &SnapshotStore) -> ScanOutput {
         let days = store.days(Source::Com);
         let n_days = days.len();
-        let day_pos: HashMap<u32, usize> =
-            days.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let day_pos: HashMap<u32, usize> = days.iter().enumerate().map(|(i, &d)| (d, i)).collect();
 
         let mut series = SeriesSet::new(n_days, self.refs.n);
         series.days = days.clone();
-        let mut timelines = Timelines { days: days.clone(), map: HashMap::new() };
+        let mut timelines = Timelines {
+            days: days.clone(),
+            map: HashMap::new(),
+        };
 
         // Gather all (source, day, encoded table) map tasks.
         let mut tasks: Vec<(Source, u32, &[u8])> = Vec::new();
@@ -183,7 +185,9 @@ impl<'a> Scanner<'a> {
     /// Map task: classify one day table into a partial result.
     fn map_day(&self, source: Source, day: u32, bytes: &[u8]) -> DayPartial {
         let table = dps_columnar::Table::from_bytes(bytes).expect("store holds valid tables");
-        let cols: Vec<&[u32]> = (0..table.schema().width()).map(|c| table.column(c)).collect();
+        let cols: Vec<&[u32]> = (0..table.schema().width())
+            .map(|c| table.column(c))
+            .collect();
         let gtld = matches!(source, Source::Com | Source::Net | Source::Org);
         let mut partial = DayPartial {
             source,
@@ -236,7 +240,11 @@ mod tests {
 
     fn scanned() -> ScanOutput {
         let mut world = World::imc2016(ScenarioParams::tiny(11));
-        let config = StudyConfig { days: 30, cc_start_day: 20, stride: 1 };
+        let config = StudyConfig {
+            days: 30,
+            cc_start_day: 20,
+            stride: 1,
+        };
         let store = Study::new(config).run(&mut world);
         let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
         Scanner::new(&refs).run(&store)
@@ -261,7 +269,10 @@ mod tests {
     fn zone_sizes_follow_sources() {
         let out = scanned();
         assert!(out.series.zone_sizes[0][0] > 0, ".com swept from day 0");
-        assert_eq!(out.series.zone_sizes[3][0], 0, ".nl not swept before cc start");
+        assert_eq!(
+            out.series.zone_sizes[3][0], 0,
+            ".nl not swept before cc start"
+        );
         assert!(out.series.zone_sizes[3][25] > 0, ".nl swept after cc start");
         assert!(out.series.source_any[4][25] > 0, "Alexa has DPS users");
     }
@@ -271,7 +282,12 @@ mod tests {
         let out = scanned();
         assert!(!out.timelines.map.is_empty());
         // Some domain should reference one provider on every measured day.
-        let full = out.timelines.map.values().filter(|t| t.any.count() == 30).count();
+        let full = out
+            .timelines
+            .map
+            .values()
+            .filter(|t| t.any.count() == 30)
+            .count();
         assert!(full > 0, "always-on timelines exist");
     }
 

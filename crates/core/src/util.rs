@@ -10,7 +10,10 @@ pub struct DayBits {
 impl DayBits {
     /// A bitset for `len` days, all clear.
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of day slots.

@@ -22,7 +22,12 @@ fn arb_bits(days: usize) -> impl Strategy<Value = DayBits> {
 
 fn tl(asn: DayBits) -> Timeline {
     let n = asn.len();
-    Timeline { any: asn.clone(), asn, cname: DayBits::new(n), ns: DayBits::new(n) }
+    Timeline {
+        any: asn.clone(),
+        asn,
+        cname: DayBits::new(n),
+        ns: DayBits::new(n),
+    }
 }
 
 proptest! {

@@ -19,7 +19,9 @@ impl fmt::Display for NameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::LabelTooLong(n) => write!(f, "label of {n} octets exceeds the 63-octet limit"),
-            Self::NameTooLong(n) => write!(f, "name of {n} wire octets exceeds the 255-octet limit"),
+            Self::NameTooLong(n) => {
+                write!(f, "name of {n} wire octets exceeds the 255-octet limit")
+            }
             Self::EmptyLabel => write!(f, "empty label inside a name"),
             Self::InvalidCharacter(c) => write!(f, "character {c:?} not allowed in a domain name"),
         }
@@ -63,7 +65,11 @@ impl fmt::Display for WireError {
             Self::Truncated => write!(f, "message truncated mid-structure"),
             Self::BadPointer => write!(f, "invalid or looping compression pointer"),
             Self::BadName(e) => write!(f, "invalid embedded name: {e}"),
-            Self::BadRdataLength { rtype, declared, actual } => write!(
+            Self::BadRdataLength {
+                rtype,
+                declared,
+                actual,
+            } => write!(
                 f,
                 "RDATA length mismatch for type {rtype}: declared {declared}, actual {actual}"
             ),
@@ -89,7 +95,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = WireError::BadRdataLength { rtype: 1, declared: 4, actual: 3 };
+        let e = WireError::BadRdataLength {
+            rtype: 1,
+            declared: 4,
+            actual: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("type 1"), "{s}");
         assert!(s.contains("declared 4"), "{s}");

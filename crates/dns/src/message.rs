@@ -178,7 +178,11 @@ pub struct Question {
 impl Question {
     /// An `IN`-class question.
     pub fn new(qname: Name, qtype: RrType) -> Self {
-        Self { qname, qtype, qclass: Class::In }
+        Self {
+            qname,
+            qtype,
+            qclass: Class::In,
+        }
     }
 }
 
@@ -241,7 +245,12 @@ impl Message {
             enc.put_u16(q.qtype.code());
             enc.put_u16(q.qclass.code());
         }
-        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             enc.put_record(r)?;
         }
         Ok(enc.finish())
@@ -264,7 +273,11 @@ impl Message {
             let qname = dec.get_name()?;
             let qtype = RrType::from_code(dec.get_u16()?);
             let qclass = Class::from_code(dec.get_u16()?);
-            questions.push(Question { qname, qtype, qclass });
+            questions.push(Question {
+                qname,
+                qtype,
+                qclass,
+            });
         }
         let mut section = |n: usize| -> Result<Vec<Record>, WireError> {
             let mut v = Vec::with_capacity(n.min(64));
@@ -277,7 +290,13 @@ impl Message {
         let authorities = section(ns)?;
         let additionals = section(ar)?;
 
-        Ok(Self { header, questions, answers, authorities, additionals })
+        Ok(Self {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
     }
 
     /// All answer-section records of the given type.
@@ -321,7 +340,12 @@ mod tests {
             60,
             RData::A(Ipv4Addr::new(10, 0, 0, 2)),
         ));
-        r.authorities.push(Record::new(n("foob.ar"), Class::In, 3600, RData::Ns(n("ns.foob.ar"))));
+        r.authorities.push(Record::new(
+            n("foob.ar"),
+            Class::In,
+            3600,
+            RData::Ns(n("ns.foob.ar")),
+        ));
         r.additionals.push(Record::new(
             n("ns.foob.ar"),
             Class::In,
@@ -379,7 +403,11 @@ mod tests {
         // Owner name occurs 5 times (1 question + 4 answers); compression
         // should make each repetition 2 octets instead of 28.
         let uncompressed_estimate = 12 + 5 * (28 + 4) + 4 * (4 + 6);
-        assert!(bytes.len() < uncompressed_estimate - 3 * 26, "len={}", bytes.len());
+        assert!(
+            bytes.len() < uncompressed_estimate - 3 * 26,
+            "len={}",
+            bytes.len()
+        );
         assert_eq!(Message::parse(&bytes).unwrap(), r);
     }
 

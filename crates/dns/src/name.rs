@@ -104,7 +104,9 @@ impl Name {
             return None;
         }
         let skip = 1 + self.wire[0] as usize;
-        Some(Self { wire: self.wire[skip..].to_vec() })
+        Some(Self {
+            wire: self.wire[skip..].to_vec(),
+        })
     }
 
     /// True if `self` equals `other` or is underneath it in the tree.
@@ -144,7 +146,9 @@ impl Name {
             let skip = 1 + rest[0] as usize;
             rest = &rest[skip..];
         }
-        Self { wire: rest.to_vec() }
+        Self {
+            wire: rest.to_vec(),
+        }
     }
 
     /// The registered-domain heuristic used throughout the paper: the last

@@ -28,8 +28,10 @@ pub struct PublicSuffixList {
 }
 
 fn reversed_key(labels: &[&[u8]]) -> String {
-    let mut parts: Vec<String> =
-        labels.iter().map(|l| String::from_utf8_lossy(l).into_owned()).collect();
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .collect();
     parts.reverse();
     parts.join(".")
 }
@@ -147,7 +149,10 @@ mod tests {
         let psl = psl();
         assert_eq!(psl.registered_domain(&n("www.foo.co.uk")), n("foo.co.uk"));
         assert_eq!(psl.registered_domain(&n("foo.co.uk")), n("foo.co.uk"));
-        assert_eq!(psl.registered_domain(&n("a.b.site.com.au")), n("site.com.au"));
+        assert_eq!(
+            psl.registered_domain(&n("a.b.site.com.au")),
+            n("site.com.au")
+        );
     }
 
     #[test]
@@ -161,7 +166,10 @@ mod tests {
     fn wildcard_and_exception_rules() {
         let psl = psl();
         // *.ck: every label under ck is a public suffix…
-        assert_eq!(psl.registered_domain(&n("shop.anything.ck")), n("shop.anything.ck"));
+        assert_eq!(
+            psl.registered_domain(&n("shop.anything.ck")),
+            n("shop.anything.ck")
+        );
         // …except the exception rule !www.ck: www.ck is a registrable name.
         assert_eq!(psl.registered_domain(&n("www.ck")), n("www.ck"));
         assert_eq!(psl.registered_domain(&n("deep.www.ck")), n("www.ck"));

@@ -84,7 +84,10 @@ impl std::str::FromStr for RrType {
             "AAAA" => Ok(Self::Aaaa),
             "OPT" => Ok(Self::Opt),
             "ANY" | "*" => Ok(Self::Any),
-            other => match other.strip_prefix("TYPE").and_then(|d| d.parse::<u16>().ok()) {
+            other => match other
+                .strip_prefix("TYPE")
+                .and_then(|d| d.parse::<u16>().ok())
+            {
                 Some(code) => Ok(Self::from_code(code)),
                 None => Err(format!("unknown RR type {s:?}")),
             },
@@ -233,7 +236,12 @@ pub struct Record {
 impl Record {
     /// Convenience constructor.
     pub fn new(name: Name, class: Class, ttl: u32, rdata: RData) -> Self {
-        Self { name, class, ttl, rdata }
+        Self {
+            name,
+            class,
+            ttl,
+            rdata,
+        }
     }
 
     /// The record's type, derived from its RDATA.
@@ -250,7 +258,10 @@ impl fmt::Display for Record {
             RData::Aaaa(a) => write!(f, " {a}"),
             RData::Ns(n) | RData::Cname(n) => write!(f, " {n}"),
             RData::Soa(s) => write!(f, " {} {} {}", s.mname, s.rname, s.serial),
-            RData::Mx { preference, exchange } => write!(f, " {preference} {exchange}"),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, " {preference} {exchange}"),
             RData::Txt(parts) => {
                 for p in parts {
                     write!(f, " \"{}\"", String::from_utf8_lossy(p))?;
@@ -293,7 +304,16 @@ mod tests {
         assert_eq!("TYPE1".parse::<RrType>(), Ok(RrType::A));
         assert!("BOGUS".parse::<RrType>().is_err());
         // Display ↔ FromStr round trip for the named types.
-        for t in [RrType::A, RrType::Ns, RrType::Cname, RrType::Soa, RrType::Mx, RrType::Txt, RrType::Aaaa, RrType::Other(300)] {
+        for t in [
+            RrType::A,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Soa,
+            RrType::Mx,
+            RrType::Txt,
+            RrType::Aaaa,
+            RrType::Other(300),
+        ] {
             assert_eq!(t.to_string().parse::<RrType>(), Ok(t));
         }
     }

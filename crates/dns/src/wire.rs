@@ -34,7 +34,10 @@ pub struct Encoder {
 impl Encoder {
     /// Creates an encoder with a reasonable initial capacity.
     pub fn new() -> Self {
-        Self { buf: BytesMut::with_capacity(512), compression: HashMap::new() }
+        Self {
+            buf: BytesMut::with_capacity(512),
+            compression: HashMap::new(),
+        }
     }
 
     /// Finishes encoding and returns the message bytes.
@@ -135,7 +138,10 @@ impl Encoder {
                 self.put_u32(s.expire);
                 self.put_u32(s.minimum);
             }
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 self.put_u16(*preference);
                 self.put_name(exchange)?;
             }
@@ -289,7 +295,12 @@ impl<'a> Decoder<'a> {
                 actual: self.pos - rdata_start,
             });
         }
-        Ok(Record { name, class, ttl, rdata })
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
     }
 
     fn get_rdata(&mut self, rtype: RrType, rdlen: usize) -> Result<RData, WireError> {
@@ -326,7 +337,10 @@ impl<'a> Decoder<'a> {
                 expire: self.get_u32()?,
                 minimum: self.get_u32()?,
             })),
-            RrType::Mx => Ok(RData::Mx { preference: self.get_u16()?, exchange: self.get_name()? }),
+            RrType::Mx => Ok(RData::Mx {
+                preference: self.get_u16()?,
+                exchange: self.get_name()?,
+            }),
             RrType::Txt => {
                 let end = self.pos + rdlen;
                 let mut strings = Vec::new();
@@ -339,7 +353,10 @@ impl<'a> Decoder<'a> {
                 }
                 Ok(RData::Txt(strings))
             }
-            _ => Ok(RData::Raw { rtype: rtype.code(), data: self.take(rdlen)?.to_vec() }),
+            _ => Ok(RData::Raw {
+                rtype: rtype.code(),
+                data: self.take(rdlen)?.to_vec(),
+            }),
         }
     }
 }
@@ -414,7 +431,10 @@ mod tests {
     #[test]
     fn reserved_label_bits_rejected() {
         let bytes = [0x80, 0x00];
-        assert!(matches!(Decoder::new(&bytes).get_name(), Err(WireError::ReservedLabelType(_))));
+        assert!(matches!(
+            Decoder::new(&bytes).get_name(),
+            Err(WireError::ReservedLabelType(_))
+        ));
     }
 
     #[test]
@@ -426,10 +446,25 @@ mod tests {
     #[test]
     fn record_roundtrip_all_types() {
         let recs = vec![
-            Record::new(n("a.test"), Class::In, 60, RData::A("10.1.2.3".parse().unwrap())),
-            Record::new(n("a.test"), Class::In, 60, RData::Aaaa("2001:db8::1".parse().unwrap())),
+            Record::new(
+                n("a.test"),
+                Class::In,
+                60,
+                RData::A("10.1.2.3".parse().unwrap()),
+            ),
+            Record::new(
+                n("a.test"),
+                Class::In,
+                60,
+                RData::Aaaa("2001:db8::1".parse().unwrap()),
+            ),
             Record::new(n("a.test"), Class::In, 60, RData::Ns(n("ns1.a.test"))),
-            Record::new(n("w.a.test"), Class::In, 60, RData::Cname(n("edge.dps.net"))),
+            Record::new(
+                n("w.a.test"),
+                Class::In,
+                60,
+                RData::Cname(n("edge.dps.net")),
+            ),
             Record::new(
                 n("a.test"),
                 Class::In,
@@ -448,7 +483,10 @@ mod tests {
                 n("a.test"),
                 Class::In,
                 60,
-                RData::Mx { preference: 10, exchange: n("mx.a.test") },
+                RData::Mx {
+                    preference: 10,
+                    exchange: n("mx.a.test"),
+                },
             ),
             Record::new(
                 n("a.test"),
@@ -456,7 +494,15 @@ mod tests {
                 60,
                 RData::Txt(vec![b"v=spf1 -all".to_vec(), b"second".to_vec()]),
             ),
-            Record::new(n("a.test"), Class::In, 60, RData::Raw { rtype: 99, data: vec![1, 2, 3] }),
+            Record::new(
+                n("a.test"),
+                Class::In,
+                60,
+                RData::Raw {
+                    rtype: 99,
+                    data: vec![1, 2, 3],
+                },
+            ),
         ];
         let mut enc = Encoder::new();
         for r in &recs {
@@ -489,7 +535,10 @@ mod tests {
     fn txt_string_too_long_rejected_on_encode() {
         let r = Record::new(n("x.y"), Class::In, 0, RData::Txt(vec![vec![0u8; 300]]));
         let mut enc = Encoder::new();
-        assert!(matches!(enc.put_record(&r), Err(WireError::StringTooLong(300))));
+        assert!(matches!(
+            enc.put_record(&r),
+            Err(WireError::StringTooLong(300))
+        ));
     }
 
     #[test]

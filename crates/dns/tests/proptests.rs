@@ -22,18 +22,30 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa(Soa {
-                mname,
-                rname,
-                serial,
-                refresh,
-                retry,
-                expire,
-                minimum,
-            })),
-        (any::<u16>(), arb_name())
-            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
+            ),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
             .prop_map(RData::Txt),
         (100u16..60000, proptest::collection::vec(any::<u8>(), 0..64))
@@ -42,12 +54,24 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
 }
 
 fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata())
-        .prop_map(|(name, ttl, rdata)| Record { name, class: Class::In, ttl, rdata })
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        class: Class::In,
+        ttl,
+        rdata,
+    })
 }
 
 fn arb_header() -> impl Strategy<Value = Header> {
-    (any::<u16>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 0u8..16)
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..16,
+    )
         .prop_map(|(id, qr, aa, tc, rd, ra, rcode)| Header {
             id,
             qr,
@@ -75,13 +99,15 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_record(), 0..3),
         proptest::collection::vec(arb_record(), 0..3),
     )
-        .prop_map(|(header, questions, answers, authorities, additionals)| Message {
-            header,
-            questions,
-            answers,
-            authorities,
-            additionals,
-        })
+        .prop_map(
+            |(header, questions, answers, authorities, additionals)| Message {
+                header,
+                questions,
+                answers,
+                authorities,
+                additionals,
+            },
+        )
 }
 
 proptest! {

@@ -5,9 +5,7 @@ use std::fmt;
 
 /// One of the nine studied DPS providers (index into
 /// [`crate::spec::PROVIDERS`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ProviderId(pub u8);
 
 /// A hosting company / registrar / parking platform (index into the world's

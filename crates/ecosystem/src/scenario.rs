@@ -31,7 +31,12 @@ pub struct ScenarioParams {
 
 impl Default for ScenarioParams {
     fn default() -> Self {
-        Self { seed: 2016, scale: 1.0, gtld_days: 550, cc_start_day: 366 }
+        Self {
+            seed: 2016,
+            scale: 1.0,
+            gtld_days: 550,
+            cc_start_day: 366,
+        }
     }
 }
 
@@ -39,7 +44,12 @@ impl ScenarioParams {
     /// A small world for unit/integration tests: 1/100 of reference scale,
     /// 60 days, cc sources from day 20.
     pub fn tiny(seed: u64) -> Self {
-        Self { seed, scale: 0.01, gtld_days: 60, cc_start_day: 20 }
+        Self {
+            seed,
+            scale: 0.01,
+            gtld_days: 60,
+            cc_start_day: 20,
+        }
     }
 
     /// Applies the scale factor to a reference count.
@@ -95,15 +105,78 @@ pub struct ProviderCalibration {
 /// F5/CenturyLink contributing incidental decline.
 pub fn default_providers() -> Vec<ProviderCalibration> {
     vec![
-        ProviderCalibration { provider: pid::AKAMAI, start: 200.0, end: 240.0, turnover: 20.0, on_demand: 60.0, peak_p80_days: 10.0 },
-        ProviderCalibration { provider: pid::CENTURYLINK, start: 80.0, end: 90.0, turnover: 8.0, on_demand: 50.0, peak_p80_days: 6.0 },
-        ProviderCalibration { provider: pid::CLOUDFLARE, start: 1800.0, end: 2820.0, turnover: 150.0, on_demand: 120.0, peak_p80_days: 31.0 },
-        ProviderCalibration { provider: pid::DOSARREST, start: 50.0, end: 210.0, turnover: 10.0, on_demand: 45.0, peak_p80_days: 27.0 },
-        ProviderCalibration { provider: pid::F5, start: 900.0, end: 780.0, turnover: 40.0, on_demand: 30.0, peak_p80_days: 79.0 },
-        ProviderCalibration { provider: pid::INCAPSULA, start: 70.0, end: 205.0, turnover: 15.0, on_demand: 80.0, peak_p80_days: 11.0 },
-        ProviderCalibration { provider: pid::LEVEL3, start: 45.0, end: 50.0, turnover: 5.0, on_demand: 25.0, peak_p80_days: 4.0 },
-        ProviderCalibration { provider: pid::NEUSTAR, start: 480.0, end: 500.0, turnover: 25.0, on_demand: 150.0, peak_p80_days: 4.0 },
-        ProviderCalibration { provider: pid::VERISIGN, start: 280.0, end: 520.0, turnover: 20.0, on_demand: 70.0, peak_p80_days: 16.0 },
+        ProviderCalibration {
+            provider: pid::AKAMAI,
+            start: 200.0,
+            end: 240.0,
+            turnover: 20.0,
+            on_demand: 60.0,
+            peak_p80_days: 10.0,
+        },
+        ProviderCalibration {
+            provider: pid::CENTURYLINK,
+            start: 80.0,
+            end: 90.0,
+            turnover: 8.0,
+            on_demand: 50.0,
+            peak_p80_days: 6.0,
+        },
+        ProviderCalibration {
+            provider: pid::CLOUDFLARE,
+            start: 1800.0,
+            end: 2820.0,
+            turnover: 150.0,
+            on_demand: 120.0,
+            peak_p80_days: 31.0,
+        },
+        ProviderCalibration {
+            provider: pid::DOSARREST,
+            start: 50.0,
+            end: 210.0,
+            turnover: 10.0,
+            on_demand: 45.0,
+            peak_p80_days: 27.0,
+        },
+        ProviderCalibration {
+            provider: pid::F5,
+            start: 900.0,
+            end: 780.0,
+            turnover: 40.0,
+            on_demand: 30.0,
+            peak_p80_days: 79.0,
+        },
+        ProviderCalibration {
+            provider: pid::INCAPSULA,
+            start: 70.0,
+            end: 205.0,
+            turnover: 15.0,
+            on_demand: 80.0,
+            peak_p80_days: 11.0,
+        },
+        ProviderCalibration {
+            provider: pid::LEVEL3,
+            start: 45.0,
+            end: 50.0,
+            turnover: 5.0,
+            on_demand: 25.0,
+            peak_p80_days: 4.0,
+        },
+        ProviderCalibration {
+            provider: pid::NEUSTAR,
+            start: 480.0,
+            end: 500.0,
+            turnover: 25.0,
+            on_demand: 150.0,
+            peak_p80_days: 4.0,
+        },
+        ProviderCalibration {
+            provider: pid::VERISIGN,
+            start: 280.0,
+            end: 520.0,
+            turnover: 20.0,
+            on_demand: 70.0,
+            peak_p80_days: 16.0,
+        },
     ]
 }
 
@@ -112,10 +185,34 @@ pub fn default_providers() -> Vec<ProviderCalibration> {
 /// to its 6-month window (growth ≈1.8%).
 pub fn default_tlds(cc_start: u32) -> Vec<TldCalibration> {
     vec![
-        TldCalibration { tld: Tld::Com, start: 115_400.0, registrations: 45_800.0, deletions: 35_800.0, churn_from: 1 },
-        TldCalibration { tld: Tld::Net, start: 14_460.0, registrations: 5_740.0, deletions: 4_490.0, churn_from: 1 },
-        TldCalibration { tld: Tld::Org, start: 10_090.0, registrations: 3_700.0, deletions: 2_790.0, churn_from: 1 },
-        TldCalibration { tld: Tld::Nl, start: 5_750.0, registrations: 150.0, deletions: 45.0, churn_from: cc_start },
+        TldCalibration {
+            tld: Tld::Com,
+            start: 115_400.0,
+            registrations: 45_800.0,
+            deletions: 35_800.0,
+            churn_from: 1,
+        },
+        TldCalibration {
+            tld: Tld::Net,
+            start: 14_460.0,
+            registrations: 5_740.0,
+            deletions: 4_490.0,
+            churn_from: 1,
+        },
+        TldCalibration {
+            tld: Tld::Org,
+            start: 10_090.0,
+            registrations: 3_700.0,
+            deletions: 2_790.0,
+            churn_from: 1,
+        },
+        TldCalibration {
+            tld: Tld::Nl,
+            start: 5_750.0,
+            registrations: 150.0,
+            deletions: 45.0,
+            churn_from: cc_start,
+        },
     ]
 }
 
@@ -183,8 +280,8 @@ pub fn default_baskets() -> Vec<BasketSpec> {
             addressing: BasketAddressing::WixStyle,
             initial_diversion: Diversion::None,
             script: vec![
-                (2, BasketMove::Divert(wix_f5)),   // short F5 stint ⑥⑦
-                (4, BasketMove::Divert(wix_inc)),  // 2015-03-05 peak
+                (2, BasketMove::Divert(wix_f5)),  // short F5 stint ⑥⑦
+                (4, BasketMove::Divert(wix_inc)), // 2015-03-05 peak
                 (6, BasketMove::Divert(wix_f5)),
                 (20, BasketMove::Divert(Diversion::None)),
                 (66, BasketMove::Divert(wix_inc)), // plateau May..Sep '15
@@ -271,7 +368,10 @@ pub fn default_baskets() -> Vec<BasketSpec> {
             growth: vec![],
             addressing: BasketAddressing::Shared,
             initial_diversion: Diversion::ARecord(pid::AKAMAI),
-            script: vec![(266, BasketMove::Outage(true)), (267, BasketMove::Outage(false))],
+            script: vec![
+                (266, BasketMove::Outage(true)),
+                (267, BasketMove::Outage(false)),
+            ],
             com_share: 0.84,
         },
         // ⑤ Fabulous: ~355k parked names leaving CenturyLink space in
@@ -332,10 +432,18 @@ fn organic_method(p: ProviderId, rng: &mut SmallRng) -> Diversion {
     let x: f64 = rng.gen();
     match p {
         _ if p == pid::AKAMAI => {
-            if x < 0.90 { Diversion::Cname(p) } else { Diversion::NsDelegation(p) }
+            if x < 0.90 {
+                Diversion::Cname(p)
+            } else {
+                Diversion::NsDelegation(p)
+            }
         }
         _ if p == pid::CENTURYLINK => {
-            if x < 0.40 { Diversion::NsDelegation(p) } else { Diversion::ARecord(p) }
+            if x < 0.40 {
+                Diversion::NsDelegation(p)
+            } else {
+                Diversion::ARecord(p)
+            }
         }
         _ if p == pid::CLOUDFLARE => {
             if x < 0.75 {
@@ -356,7 +464,11 @@ fn organic_method(p: ProviderId, rng: &mut SmallRng) -> Diversion {
             }
         }
         _ if p == pid::LEVEL3 => {
-            if x < 0.50 { Diversion::NsDelegation(p) } else { Diversion::ARecord(p) }
+            if x < 0.50 {
+                Diversion::NsDelegation(p)
+            } else {
+                Diversion::ARecord(p)
+            }
         }
         _ if p == pid::NEUSTAR => {
             if x < 0.30 {
@@ -478,7 +590,13 @@ impl Builder {
         // Keep Register events for schedule traceability, even though the
         // world derives zone membership from `registered`/`deleted`.
         let schedule = Schedule::new(std::mem::take(&mut self.events));
-        Scenario { params: self.params, domains: self.domains, schedule, baskets: self.baskets, alexa }
+        Scenario {
+            params: self.params,
+            domains: self.domains,
+            schedule,
+            baskets: self.baskets,
+            alexa,
+        }
     }
 
     fn fillers_and_churn(&mut self) {
@@ -493,18 +611,23 @@ impl Builder {
             let window = days.saturating_sub(cal.churn_from).max(1);
             let regs = self.params.scaled(cal.registrations);
             let dels = self.params.scaled(cal.deletions).min(start + regs);
-            let mut reg_days: Vec<u32> =
-                (0..regs).map(|_| cal.churn_from + self.rng.gen_range(0..window)).collect();
+            let mut reg_days: Vec<u32> = (0..regs)
+                .map(|_| cal.churn_from + self.rng.gen_range(0..window))
+                .collect();
             reg_days.sort_unstable();
             let mut new_ids = Vec::with_capacity(regs as usize);
             for d in reg_days {
                 let id = self.spawn(cal.tld, Day(d), Diversion::None);
-                self.events.push(Event { day: Day(d), action: Action::Register(id) });
+                self.events.push(Event {
+                    day: Day(d),
+                    action: Action::Register(id),
+                });
                 new_ids.push((id, d));
             }
             // Deletions pick random deletable domains of this TLD.
-            let mut del_days: Vec<u32> =
-                (0..dels).map(|_| cal.churn_from + self.rng.gen_range(0..window)).collect();
+            let mut del_days: Vec<u32> = (0..dels)
+                .map(|_| cal.churn_from + self.rng.gen_range(0..window))
+                .collect();
             del_days.sort_unstable();
             let mut candidates: Vec<DomainId> = self
                 .deletable
@@ -520,13 +643,17 @@ impl Builder {
                     let st = &mut self.domains[id.0 as usize];
                     if st.registered.0 < d && st.deleted.is_none() {
                         st.deleted = Some(Day(d));
-                        self.events.push(Event { day: Day(d), action: Action::Delete(id) });
+                        self.events.push(Event {
+                            day: Day(d),
+                            action: Action::Delete(id),
+                        });
                         break;
                     }
                 }
             }
             // Remove now-deleted domains from the deletable pool.
-            self.deletable.retain(|id| self.domains[id.0 as usize].deleted.is_none());
+            self.deletable
+                .retain(|id| self.domains[id.0 as usize].deleted.is_none());
         }
     }
 
@@ -573,7 +700,10 @@ impl Builder {
                     let id = self.claim_filler(tld);
                     let day = Day(1 + self.rng.gen_range(0..days - 1));
                     let method = organic_method(p, &mut self.rng);
-                    self.events.push(Event { day, action: Action::SetDiversion(id, method) });
+                    self.events.push(Event {
+                        day,
+                        action: Action::SetDiversion(id, method),
+                    });
                     if day.0 <= cc {
                         self.protected_at_cc.push(id);
                     } else {
@@ -584,8 +714,10 @@ impl Builder {
                 members.shuffle(&mut self.rng);
                 for id in members.iter().take((start - end) as usize) {
                     let day = Day(1 + self.rng.gen_range(0..days - 1));
-                    self.events
-                        .push(Event { day, action: Action::SetDiversion(*id, Diversion::None) });
+                    self.events.push(Event {
+                        day,
+                        action: Action::SetDiversion(*id, Diversion::None),
+                    });
                 }
             }
             self.protected_at_cc.extend(members.iter().copied());
@@ -598,9 +730,14 @@ impl Builder {
                 let join = 1 + self.rng.gen_range(0..days.saturating_sub(90).max(1));
                 let leave = (join + 30 + self.rng.gen_range(0..120)).min(days - 1);
                 let method = organic_method(p, &mut self.rng);
-                self.events.push(Event { day: Day(join), action: Action::SetDiversion(id, method) });
-                self.events
-                    .push(Event { day: Day(leave), action: Action::SetDiversion(id, Diversion::None) });
+                self.events.push(Event {
+                    day: Day(join),
+                    action: Action::SetDiversion(id, method),
+                });
+                self.events.push(Event {
+                    day: Day(leave),
+                    action: Action::SetDiversion(id, Diversion::None),
+                });
             }
         }
 
@@ -624,7 +761,10 @@ impl Builder {
                 self.protected_at_cc.push(id);
             } else {
                 let day = Day(cc + 1 + self.rng.gen_range(0..window - 1));
-                self.events.push(Event { day, action: Action::SetDiversion(id, method) });
+                self.events.push(Event {
+                    day,
+                    action: Action::SetDiversion(id, method),
+                });
                 self.adoptions_in_window.push(id);
             }
         }
@@ -651,10 +791,15 @@ impl Builder {
                     let u: f64 = self.rng.gen_range(1e-9..1.0);
                     let dur = (1.0 + (-u.ln() / lambda)).floor() as u32;
                     let dur = dur.clamp(1, days / 3);
-                    self.events.push(Event { day: Day(day), action: Action::SetDiversion(id, on) });
+                    self.events.push(Event {
+                        day: Day(day),
+                        action: Action::SetDiversion(id, on),
+                    });
                     let end = (day + dur).min(days - 1);
-                    self.events
-                        .push(Event { day: Day(end), action: Action::SetDiversion(id, off) });
+                    self.events.push(Event {
+                        day: Day(end),
+                        action: Action::SetDiversion(id, off),
+                    });
                     day = end + 7 + self.rng.gen_range(0..45);
                 }
             }
@@ -681,9 +826,10 @@ impl Builder {
                     st.basket = Some((basket_id, members.len() as u32));
                     st.www_cname_to_hoster = spec.addressing == BasketAddressing::WixStyle;
                     if registered > Day(0) {
-                        builder
-                            .events
-                            .push(Event { day: registered, action: Action::Register(id) });
+                        builder.events.push(Event {
+                            day: registered,
+                            action: Action::Register(id),
+                        });
                     }
                     members.push(id);
                 }
@@ -747,7 +893,11 @@ impl Builder {
                 }
             }
 
-            self.baskets.push(BasketInfo { spec, members, outage: false });
+            self.baskets.push(BasketInfo {
+                spec,
+                members,
+                outage: false,
+            });
         }
     }
 
@@ -756,9 +906,7 @@ impl Builder {
         match spec.addressing {
             BasketAddressing::Shared => None,
             BasketAddressing::DedicatedPrefix => Some(match diversion.provider() {
-                Some(p) if diversion.diverts_traffic() => {
-                    Asn(PROVIDERS[p.0 as usize].asns[0])
-                }
+                Some(p) if diversion.diverts_traffic() => Asn(PROVIDERS[p.0 as usize].asns[0]),
                 _ => Asn(HOSTERS[spec.hoster.0 as usize].asn),
             }),
             BasketAddressing::WixStyle => match diversion.provider() {
@@ -785,13 +933,21 @@ impl Builder {
         self.protected_at_cc.shuffle(&mut self.rng);
         for id in self.protected_at_cc.iter().take(protected_quota) {
             if used.insert(*id) {
-                entries.push(AlexaEntry { domain: *id, from: cc, until: None });
+                entries.push(AlexaEntry {
+                    domain: *id,
+                    from: cc,
+                    until: None,
+                });
             }
         }
         self.adoptions_in_window.shuffle(&mut self.rng);
         for id in self.adoptions_in_window.iter().take(adopting_quota) {
             if used.insert(*id) {
-                entries.push(AlexaEntry { domain: *id, from: cc, until: None });
+                entries.push(AlexaEntry {
+                    domain: *id,
+                    from: cc,
+                    until: None,
+                });
             }
         }
         // Fill with random long-lived domains; ~10% rotate out mid-window
@@ -806,15 +962,27 @@ impl Builder {
             }
             if self.rng.gen::<f64>() < 0.1 {
                 let leave = cc.0 + self.rng.gen_range(1..days.saturating_sub(cc.0).max(2));
-                entries.push(AlexaEntry { domain: id, from: cc, until: Some(Day(leave)) });
+                entries.push(AlexaEntry {
+                    domain: id,
+                    from: cc,
+                    until: Some(Day(leave)),
+                });
                 // Replacement joins when this one leaves.
                 if let Some(repl) = pool.next() {
                     if used.insert(repl) {
-                        entries.push(AlexaEntry { domain: repl, from: Day(leave), until: None });
+                        entries.push(AlexaEntry {
+                            domain: repl,
+                            from: Day(leave),
+                            until: None,
+                        });
                     }
                 }
             } else {
-                entries.push(AlexaEntry { domain: id, from: cc, until: None });
+                entries.push(AlexaEntry {
+                    domain: id,
+                    from: cc,
+                    until: None,
+                });
             }
         }
         entries
@@ -840,17 +1008,37 @@ mod tests {
 
     #[test]
     fn populations_scale_linearly() {
-        let small = Scenario::imc2016(ScenarioParams { scale: 0.01, ..ScenarioParams::tiny(1) });
-        let big = Scenario::imc2016(ScenarioParams { scale: 0.05, ..ScenarioParams::tiny(1) });
+        let small = Scenario::imc2016(ScenarioParams {
+            scale: 0.01,
+            ..ScenarioParams::tiny(1)
+        });
+        let big = Scenario::imc2016(ScenarioParams {
+            scale: 0.05,
+            ..ScenarioParams::tiny(1)
+        });
         let ratio = big.domains.len() as f64 / small.domains.len() as f64;
         assert!((3.5..6.5).contains(&ratio), "ratio={ratio}");
     }
 
     #[test]
     fn baskets_have_expected_shape() {
-        let s = Scenario::imc2016(ScenarioParams { scale: 0.1, ..Default::default() });
+        let s = Scenario::imc2016(ScenarioParams {
+            scale: 0.1,
+            ..Default::default()
+        });
         let names: Vec<&str> = s.baskets.iter().map(|b| b.spec.name).collect();
-        assert_eq!(names, vec!["Wix", "SiteMatrix", "ENOM", "ZOHO", "Namecheap", "Sedo", "Fabulous"]);
+        assert_eq!(
+            names,
+            vec![
+                "Wix",
+                "SiteMatrix",
+                "ENOM",
+                "ZOHO",
+                "Namecheap",
+                "Sedo",
+                "Fabulous"
+            ]
+        );
         let wix = &s.baskets[0];
         assert!(wix.members.len() >= 100, "wix={}", wix.members.len());
         for &m in &wix.members {
@@ -862,7 +1050,10 @@ mod tests {
 
     #[test]
     fn day_zero_population_matches_calibration() {
-        let p = ScenarioParams { scale: 0.1, ..Default::default() };
+        let p = ScenarioParams {
+            scale: 0.1,
+            ..Default::default()
+        };
         let s = Scenario::imc2016(p);
         let day0_com = s
             .domains
@@ -870,12 +1061,18 @@ mod tests {
             .filter(|d| d.tld == Tld::Com && d.registered == Day(0))
             .count() as f64;
         // 11 540 fillers + DPS populations & baskets mostly in .com.
-        assert!((11_000.0..13_500.0).contains(&day0_com), "day0 com = {day0_com}");
+        assert!(
+            (11_000.0..13_500.0).contains(&day0_com),
+            "day0 com = {day0_com}"
+        );
     }
 
     #[test]
     fn on_demand_events_alternate() {
-        let s = Scenario::imc2016(ScenarioParams { scale: 0.5, ..Default::default() });
+        let s = Scenario::imc2016(ScenarioParams {
+            scale: 0.5,
+            ..Default::default()
+        });
         // Find a domain with ≥6 SetDiversion events (an on-demand one) and
         // check they alternate on/off.
         use std::collections::HashMap;
@@ -886,7 +1083,10 @@ mod tests {
                 per_domain.entry(id).or_default().push(e);
             }
         }
-        let ondemand = per_domain.values().find(|v| v.len() >= 6).expect("some on-demand domain");
+        let ondemand = per_domain
+            .values()
+            .find(|v| v.len() >= 6)
+            .expect("some on-demand domain");
         let mut last_on = None;
         for e in ondemand {
             if let Action::SetDiversion(_, div) = &e.action {
@@ -901,10 +1101,16 @@ mod tests {
 
     #[test]
     fn alexa_list_has_quota_and_rotation() {
-        let s = Scenario::imc2016(ScenarioParams { scale: 0.5, ..Default::default() });
+        let s = Scenario::imc2016(ScenarioParams {
+            scale: 0.5,
+            ..Default::default()
+        });
         let list = &s.alexa;
         assert!(list.len() >= 900, "len={}", list.len());
-        assert!(list.iter().any(|e| e.until.is_some()), "some rotation expected");
+        assert!(
+            list.iter().any(|e| e.until.is_some()),
+            "some rotation expected"
+        );
         // Every entry is a real domain.
         for e in list {
             assert!((e.domain.0 as usize) < s.domains.len());

@@ -85,7 +85,10 @@ mod tests {
     use super::*;
 
     fn ev(day: u32, id: u32) -> Event {
-        Event { day: Day(day), action: Action::Delete(DomainId(id)) }
+        Event {
+            day: Day(day),
+            action: Action::Delete(DomainId(id)),
+        }
     }
 
     #[test]

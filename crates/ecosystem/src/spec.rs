@@ -52,22 +52,50 @@ pub struct ProviderSpec {
 pub const PROVIDERS: [ProviderSpec; 9] = [
     ProviderSpec {
         name: "Akamai",
-        asn_names: &["Akamai Technologies, Inc.", "Akamai International B.V.", "Prolexic Technologies, Inc."],
+        asn_names: &[
+            "Akamai Technologies, Inc.",
+            "Akamai International B.V.",
+            "Prolexic Technologies, Inc.",
+        ],
         asns: &[20940, 16625, 32787],
-        cname_slds: &["akamaiedge.net", "edgekey.net", "edgesuite.net", "akamai.net"],
+        cname_slds: &[
+            "akamaiedge.net",
+            "edgekey.net",
+            "edgesuite.net",
+            "akamai.net",
+        ],
         ns_slds: &["akam.net", "akamai.net", "akamaiedge.net"],
         ns_labels: &["ns1", "ns2", "ns3", "ns4"],
-        products: Products { a_record: true, cname: true, ns: true, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: true,
+            ns: true,
+            bgp: true,
+        },
         ipv6: true,
     },
     ProviderSpec {
         name: "CenturyLink",
-        asn_names: &["CenturyLink Communications, LLC", "Savvis Communications Corp"],
+        asn_names: &[
+            "CenturyLink Communications, LLC",
+            "Savvis Communications Corp",
+        ],
         asns: &[209, 3561],
         cname_slds: &[],
-        ns_slds: &["savvis.net", "savvisdirect.net", "qwest.net", "centurytel.net", "centurylink.net"],
+        ns_slds: &[
+            "savvis.net",
+            "savvisdirect.net",
+            "qwest.net",
+            "centurytel.net",
+            "centurylink.net",
+        ],
         ns_labels: &["ns1", "ns2"],
-        products: Products { a_record: true, cname: false, ns: true, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: false,
+            ns: true,
+            bgp: true,
+        },
         ipv6: false,
     },
     ProviderSpec {
@@ -76,8 +104,15 @@ pub const PROVIDERS: [ProviderSpec; 9] = [
         asns: &[13335],
         cname_slds: &["cloudflare.net"],
         ns_slds: &["cloudflare.com"],
-        ns_labels: &["kate.ns", "rob.ns", "lara.ns", "sam.ns", "dana.ns", "finn.ns"],
-        products: Products { a_record: true, cname: true, ns: true, bgp: false },
+        ns_labels: &[
+            "kate.ns", "rob.ns", "lara.ns", "sam.ns", "dana.ns", "finn.ns",
+        ],
+        products: Products {
+            a_record: true,
+            cname: true,
+            ns: true,
+            bgp: false,
+        },
         ipv6: true,
     },
     ProviderSpec {
@@ -87,7 +122,12 @@ pub const PROVIDERS: [ProviderSpec; 9] = [
         cname_slds: &[],
         ns_slds: &[],
         ns_labels: &[],
-        products: Products { a_record: true, cname: false, ns: false, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: false,
+            ns: false,
+            bgp: true,
+        },
         ipv6: false,
     },
     ProviderSpec {
@@ -97,7 +137,12 @@ pub const PROVIDERS: [ProviderSpec; 9] = [
         cname_slds: &[],
         ns_slds: &[],
         ns_labels: &[],
-        products: Products { a_record: true, cname: false, ns: false, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: false,
+            ns: false,
+            bgp: true,
+        },
         ipv6: false,
     },
     ProviderSpec {
@@ -107,37 +152,69 @@ pub const PROVIDERS: [ProviderSpec; 9] = [
         cname_slds: &["incapdns.net"],
         ns_slds: &["incapsecuredns.net"],
         ns_labels: &["ns1", "ns2"],
-        products: Products { a_record: true, cname: true, ns: true, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: true,
+            ns: true,
+            bgp: true,
+        },
         ipv6: false,
     },
     ProviderSpec {
         name: "Level 3",
-        asn_names: &["Level 3 Communications, Inc.", "Level 3 Parent, LLC", "tw telecom holdings, inc.", "Level 3 International"],
+        asn_names: &[
+            "Level 3 Communications, Inc.",
+            "Level 3 Parent, LLC",
+            "tw telecom holdings, inc.",
+            "Level 3 International",
+        ],
         asns: &[3549, 3356, 11213, 10753],
         cname_slds: &[],
         ns_slds: &["l3.net", "level3.net"],
         ns_labels: &["ns1", "ns2"],
-        products: Products { a_record: true, cname: false, ns: true, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: false,
+            ns: true,
+            bgp: true,
+        },
         ipv6: false,
     },
     ProviderSpec {
         name: "Neustar",
-        asn_names: &["Neustar, Inc.", "Neustar Security Services", "UltraDNS Corporation"],
+        asn_names: &[
+            "Neustar, Inc.",
+            "Neustar Security Services",
+            "UltraDNS Corporation",
+        ],
         asns: &[7786, 12008, 19905],
         cname_slds: &["ultradns.net"],
         ns_slds: &["ultradns.com", "ultradns.biz", "ultradns.net"],
         ns_labels: &["ns1", "ns2", "ns3"],
-        products: Products { a_record: true, cname: true, ns: true, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: true,
+            ns: true,
+            bgp: true,
+        },
         ipv6: false,
     },
     ProviderSpec {
         name: "Verisign",
-        asn_names: &["VeriSign Infrastructure & Operations", "VeriSign Global Registry Services"],
+        asn_names: &[
+            "VeriSign Infrastructure & Operations",
+            "VeriSign Global Registry Services",
+        ],
         asns: &[26415, 30060],
         cname_slds: &[],
         ns_slds: &["verisigndns.com"],
         ns_labels: &["ns1", "ns2", "ns3"],
-        products: Products { a_record: true, cname: false, ns: true, bgp: true },
+        products: Products {
+            a_record: true,
+            cname: false,
+            ns: true,
+            bgp: true,
+        },
         ipv6: false,
     },
 ];
@@ -192,22 +269,134 @@ pub struct HosterSpec {
 /// generic hosting companies the independent population spreads over; the
 /// named ones participate in the paper's third-party anomalies (§4.4.1).
 pub const HOSTERS: &[HosterSpec] = &[
-    HosterSpec { name: "HostCo 0", asn: 64600, ns_sld: "hostco0.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "HostCo 1", asn: 64601, ns_sld: "hostco1.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "HostCo 2", asn: 64602, ns_sld: "hostco2.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "HostCo 3", asn: 64603, ns_sld: "hostco3.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "HostCo 4", asn: 64604, ns_sld: "hostco4.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "HostCo 5", asn: 64605, ns_sld: "hostco5.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "HostCo 6", asn: 64606, ns_sld: "hostco6.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "HostCo 7", asn: 64607, ns_sld: "hostco7.net", ns_tld: Tld::Net, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "NL Hosting", asn: 64608, ns_sld: "nlhost.nl", ns_tld: Tld::Nl, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "Amazon AWS", asn: 14618, ns_sld: "amazonaws.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "Wix", asn: 64610, ns_sld: "wixdns.net", ns_tld: Tld::Net, www_cname_sld: Some("amazonaws.com"), kind: HosterKind::WebPlatform },
-    HosterSpec { name: "ENOM", asn: 21740, ns_sld: "enomdns.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Registrar },
-    HosterSpec { name: "ZOHO", asn: 2639, ns_sld: "zohodns.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Generic },
-    HosterSpec { name: "Namecheap", asn: 22612, ns_sld: "registrar-servers.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Registrar },
-    HosterSpec { name: "Sedo Parking", asn: 64614, ns_sld: "sedoparking.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Parking },
-    HosterSpec { name: "Fabulous", asn: 64615, ns_sld: "fabulousdns.com", ns_tld: Tld::Com, www_cname_sld: None, kind: HosterKind::Parking },
+    HosterSpec {
+        name: "HostCo 0",
+        asn: 64600,
+        ns_sld: "hostco0.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "HostCo 1",
+        asn: 64601,
+        ns_sld: "hostco1.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "HostCo 2",
+        asn: 64602,
+        ns_sld: "hostco2.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "HostCo 3",
+        asn: 64603,
+        ns_sld: "hostco3.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "HostCo 4",
+        asn: 64604,
+        ns_sld: "hostco4.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "HostCo 5",
+        asn: 64605,
+        ns_sld: "hostco5.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "HostCo 6",
+        asn: 64606,
+        ns_sld: "hostco6.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "HostCo 7",
+        asn: 64607,
+        ns_sld: "hostco7.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "NL Hosting",
+        asn: 64608,
+        ns_sld: "nlhost.nl",
+        ns_tld: Tld::Nl,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "Amazon AWS",
+        asn: 14618,
+        ns_sld: "amazonaws.com",
+        ns_tld: Tld::Com,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "Wix",
+        asn: 64610,
+        ns_sld: "wixdns.net",
+        ns_tld: Tld::Net,
+        www_cname_sld: Some("amazonaws.com"),
+        kind: HosterKind::WebPlatform,
+    },
+    HosterSpec {
+        name: "ENOM",
+        asn: 21740,
+        ns_sld: "enomdns.com",
+        ns_tld: Tld::Com,
+        www_cname_sld: None,
+        kind: HosterKind::Registrar,
+    },
+    HosterSpec {
+        name: "ZOHO",
+        asn: 2639,
+        ns_sld: "zohodns.com",
+        ns_tld: Tld::Com,
+        www_cname_sld: None,
+        kind: HosterKind::Generic,
+    },
+    HosterSpec {
+        name: "Namecheap",
+        asn: 22612,
+        ns_sld: "registrar-servers.com",
+        ns_tld: Tld::Com,
+        www_cname_sld: None,
+        kind: HosterKind::Registrar,
+    },
+    HosterSpec {
+        name: "Sedo Parking",
+        asn: 64614,
+        ns_sld: "sedoparking.com",
+        ns_tld: Tld::Com,
+        www_cname_sld: None,
+        kind: HosterKind::Parking,
+    },
+    HosterSpec {
+        name: "Fabulous",
+        asn: 64615,
+        ns_sld: "fabulousdns.com",
+        ns_tld: Tld::Com,
+        www_cname_sld: None,
+        kind: HosterKind::Parking,
+    },
 ];
 
 /// Named hoster indices.
@@ -287,7 +476,11 @@ pub fn provider_cloud_ip6(p: ProviderId, domain_idx: u32) -> Ipv6Addr {
 
 /// Address of the `k`-th name-server host of provider `p`.
 pub fn provider_ns_ip(p: ProviderId, k: usize) -> IpAddr {
-    IpAddr::V4(provider_prefix(p, 0).nth_v4(16 + k as u32).expect("/16 has room"))
+    IpAddr::V4(
+        provider_prefix(p, 0)
+            .nth_v4(16 + k as u32)
+            .expect("/16 has room"),
+    )
 }
 
 /// The announced prefix of hoster `h`.
@@ -304,7 +497,11 @@ pub fn hoster_ip(h: HosterId, domain_idx: u32) -> Ipv4Addr {
 
 /// Address of the `k`-th name-server host of hoster `h`.
 pub fn hoster_ns_ip(h: HosterId, k: usize) -> IpAddr {
-    IpAddr::V4(hoster_prefix(h).nth_v4(16 + k as u32).expect("/16 has room"))
+    IpAddr::V4(
+        hoster_prefix(h)
+            .nth_v4(16 + k as u32)
+            .expect("/16 has room"),
+    )
 }
 
 /// The dedicated, divertable prefix of basket `b`.
@@ -314,7 +511,9 @@ pub fn basket_prefix(b: crate::ids::BasketId) -> Prefix {
 
 /// Address of basket member `m` inside the basket prefix.
 pub fn basket_ip(b: crate::ids::BasketId, member: u32) -> Ipv4Addr {
-    basket_prefix(b).nth_v4(256 + member % 60_000).expect("/16 has room")
+    basket_prefix(b)
+        .nth_v4(256 + member % 60_000)
+        .expect("/16 has room")
 }
 
 #[cfg(test)]
@@ -392,7 +591,10 @@ mod tests {
     #[test]
     fn named_hoster_indices_line_up() {
         assert_eq!(HOSTERS[hid::WIX.0 as usize].name, "Wix");
-        assert_eq!(HOSTERS[hid::NAMECHEAP.0 as usize].ns_sld, "registrar-servers.com");
+        assert_eq!(
+            HOSTERS[hid::NAMECHEAP.0 as usize].ns_sld,
+            "registrar-servers.com"
+        );
         assert_eq!(HOSTERS[hid::SEDO.0 as usize].kind, HosterKind::Parking);
         assert_eq!(HOSTERS[hid::ENOM.0 as usize].asn, 21740);
         assert_eq!(HOSTERS[hid::ZOHO.0 as usize].asn, 2639);

@@ -7,11 +7,9 @@ use crate::domain::{domain_label, parse_domain_label, Diversion, DomainState, Gr
 use crate::ids::{DomainId, HosterId, ProviderId, Tld};
 use crate::scenario::{AlexaEntry, BasketAddressing, BasketInfo, Scenario, ScenarioParams};
 use crate::schedule::{Action, Schedule};
-use crate::spec::{
-    self, hid, pid, HosterSpec, ProviderSpec, HOSTERS, PROVIDERS, REGISTRY_ASN,
-};
-use dps_authdns::{Catalog, AuthServer, Zone};
-use dps_authdns::resolver::{ResolveError, Resolution};
+use crate::spec::{self, hid, pid, HosterSpec, ProviderSpec, HOSTERS, PROVIDERS, REGISTRY_ASN};
+use dps_authdns::resolver::{Resolution, ResolveError};
+use dps_authdns::{AuthServer, Catalog, Zone};
 use dps_dns::{Class, Name, RData, Rcode, Record, RrType};
 use dps_netsim::{AsRegistry, Asn, Day, Network, Pfx2As, Rib};
 use std::collections::HashMap;
@@ -260,9 +258,7 @@ impl World {
                     InfraOwner::Provider(p) => {
                         (0..2).map(|k| Self::provider_ns_host(p, k).0).collect()
                     }
-                    InfraOwner::Hoster(h) => {
-                        (0..2).map(|k| Self::hoster_ns_host(h, k).0).collect()
-                    }
+                    InfraOwner::Hoster(h) => (0..2).map(|k| Self::hoster_ns_host(h, k).0).collect(),
                 },
             };
             for host in hosts {
@@ -292,9 +288,15 @@ impl World {
     pub fn ground_truth(&self, id: DomainId) -> GroundTruth {
         let st = &self.domains[id.0 as usize];
         if !st.alive_on(self.day) {
-            return GroundTruth { provider: None, diversion: Diversion::None };
+            return GroundTruth {
+                provider: None,
+                diversion: Diversion::None,
+            };
         }
-        GroundTruth { provider: st.diversion.provider(), diversion: st.diversion }
+        GroundTruth {
+            provider: st.diversion.provider(),
+            diversion: st.diversion,
+        }
     }
 
     // -----------------------------------------------------------------
@@ -322,7 +324,9 @@ impl World {
     /// The `k`-th name-server host `(name, address)` of a hoster.
     pub fn hoster_ns_host(h: HosterId, k: usize) -> (Name, IpAddr) {
         let s = Self::hoster_spec(h);
-        let name: Name = format!("ns{}.{}", k + 1, s.ns_sld).parse().expect("valid host");
+        let name: Name = format!("ns{}.{}", k + 1, s.ns_sld)
+            .parse()
+            .expect("valid host");
         (name, spec::hoster_ns_ip(h, k))
     }
 
@@ -410,12 +414,16 @@ impl World {
                         format!("e{}.{hop2}", id.0).parse().expect("valid"),
                     ]
                 } else {
-                    vec![format!("d{}.{}", id.0, s.cname_slds[0]).parse().expect("valid")]
+                    vec![format!("d{}.{}", id.0, s.cname_slds[0])
+                        .parse()
+                        .expect("valid")]
                 }
             }
             Diversion::None if st.www_cname_to_hoster => {
                 // Wix-style: the site lives on a cloud (AWS).
-                vec![format!("d{}.compute.amazonaws.com", id.0).parse().expect("valid")]
+                vec![format!("d{}.compute.amazonaws.com", id.0)
+                    .parse()
+                    .expect("valid")]
             }
             _ => Vec::new(),
         }
@@ -437,7 +445,11 @@ impl World {
     pub fn resolve(&self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
         let mut answers = Vec::new();
         let rcode = self.answer_into(qname, qtype, &mut answers)?;
-        Ok(Resolution { rcode, answers, elapsed_us: 0 })
+        Ok(Resolution {
+            rcode,
+            answers,
+            elapsed_us: 0,
+        })
     }
 
     /// Core answering logic; appends records and returns the final rcode.
@@ -475,7 +487,10 @@ impl World {
         // Infrastructure SLD?
         let sld_str = String::from_utf8_lossy(sld_label);
         let full = format!("{sld_str}.{}", tld.label());
-        if let Some(idx) = self.infra.iter().position(|i| i.sld.to_string().trim_end_matches('.') == full)
+        if let Some(idx) = self
+            .infra
+            .iter()
+            .position(|i| i.sld.to_string().trim_end_matches('.') == full)
         {
             return self.answer_infra(idx, &labels[..labels.len() - 2], qtype, answers);
         }
@@ -639,13 +654,11 @@ impl World {
                 let first = if sub.len() > 1 { sub[0] } else { first };
                 if let Some(id) = parse_domain_label(first).or_else(|| {
                     // eN.<sld> second-hop names.
-                    first
-                        .strip_prefix(b"e")
-                        .and_then(|digits| {
-                            let mut buf = vec![b'd'];
-                            buf.extend_from_slice(digits);
-                            parse_domain_label(&buf)
-                        })
+                    first.strip_prefix(b"e").and_then(|digits| {
+                        let mut buf = vec![b'd'];
+                        buf.extend_from_slice(digits);
+                        parse_domain_label(&buf)
+                    })
                 }) {
                     if (id.0 as usize) < self.domains.len() {
                         let st = &self.domains[id.0 as usize];
@@ -658,8 +671,7 @@ impl World {
                         if let (Some(hop2), true, true) =
                             (second_hop, first.starts_with(b"d"), qtype != RrType::Cname)
                         {
-                            let next: Name =
-                                format!("e{}.{hop2}", id.0).parse().expect("valid");
+                            let next: Name = format!("e{}.{hop2}", id.0).parse().expect("valid");
                             push(answers, &owner, RData::Cname(next.clone()));
                             match qtype {
                                 RrType::A => push(answers, &next, RData::A(self.apex_v4(id, st))),
@@ -857,7 +869,10 @@ impl World {
 }
 
 fn ends_in_tld(name: &Name, tld: Tld) -> bool {
-    name.labels().last().map(|l| l == tld.label().as_bytes()).unwrap_or(false)
+    name.labels()
+        .last()
+        .map(|l| l == tld.label().as_bytes())
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -884,13 +899,18 @@ mod tests {
         let before = w.zone_size(Tld::Com);
         w.advance_to(Day(59));
         let after = w.zone_size(Tld::Com);
-        assert!(after != before, "churn should change zone size ({before} -> {after})");
+        assert!(
+            after != before,
+            "churn should change zone size ({before} -> {after})"
+        );
     }
 
     #[test]
     fn apex_a_resolves_for_plain_domain() {
         let w = tiny_world();
-        let id = first_with(&w, |st| st.diversion == Diversion::None && st.basket.is_none());
+        let id = first_with(&w, |st| {
+            st.diversion == Diversion::None && st.basket.is_none()
+        });
         let name = w.domain_name(id);
         let res = w.resolve(&name, RrType::A).unwrap();
         assert_eq!(res.rcode, Rcode::NoError);
@@ -940,7 +960,10 @@ mod tests {
                 RData::Ns(host) => {
                     let sld = host.sld().to_string();
                     assert!(
-                        PROVIDERS[p.0 as usize].ns_slds.iter().any(|s| format!("{s}.") == sld),
+                        PROVIDERS[p.0 as usize]
+                            .ns_slds
+                            .iter()
+                            .any(|s| format!("{s}.") == sld),
                         "{sld}"
                     );
                 }
@@ -986,7 +1009,11 @@ mod tests {
             RData::A(ip) => {
                 assert!(spec::basket_prefix(BasketId(0)).contains(IpAddr::V4(ip)));
                 let p2a = w.pfx2as();
-                assert_eq!(p2a.single_origin(IpAddr::V4(ip)), Some(Asn(55002)), "F5 origin");
+                assert_eq!(
+                    p2a.single_origin(IpAddr::V4(ip)),
+                    Some(Asn(55002)),
+                    "F5 origin"
+                );
             }
             _ => panic!(),
         }
@@ -1007,7 +1034,11 @@ mod tests {
         let mut w = tiny_world();
         // The tiny world only has 60 days; the Sedo outage (day 266) is out
         // of range, so force-check the mechanism at the state level instead.
-        let sedo_idx = w.baskets().iter().position(|b| b.spec.name == "Sedo").unwrap();
+        let sedo_idx = w
+            .baskets()
+            .iter()
+            .position(|b| b.spec.name == "Sedo")
+            .unwrap();
         let member = w.baskets()[sedo_idx].members[0];
         let name = w.domain_name(member);
         assert!(w.resolve(&name, RrType::A).is_ok());
@@ -1077,9 +1108,13 @@ mod tests {
     #[test]
     fn unknown_names_nxdomain() {
         let w = tiny_world();
-        let res = w.resolve(&"d99999999.com".parse().unwrap(), RrType::A).unwrap();
+        let res = w
+            .resolve(&"d99999999.com".parse().unwrap(), RrType::A)
+            .unwrap();
         assert_eq!(res.rcode, Rcode::NxDomain);
-        let res = w.resolve(&"notadomain.unknowntld".parse().unwrap(), RrType::A).unwrap();
+        let res = w
+            .resolve(&"notadomain.unknowntld".parse().unwrap(), RrType::A)
+            .unwrap();
         assert_eq!(res.rcode, Rcode::NxDomain);
     }
 }

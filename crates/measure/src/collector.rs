@@ -1,7 +1,7 @@
 //! Stage I: collecting one name's records through a query path.
 
 use crate::observation::Row;
-use dps_authdns::resolver::{ResolveError, Resolution, Resolver};
+use dps_authdns::resolver::{Resolution, ResolveError, Resolver};
 use dps_columnar::StringDict;
 use dps_dns::{Name, RData, Rcode, RrType};
 use dps_ecosystem::World;
@@ -54,6 +54,32 @@ impl QueryPath for WirePath {
     }
 }
 
+/// Iterative resolution through the shared caching recursor: wire
+/// semantics, but TTL-aware answer/infrastructure caches and query
+/// coalescing amortise packets across domains and sweep days.
+pub struct RecursorPath {
+    worker: dps_recursor::RecursorWorker,
+}
+
+impl RecursorPath {
+    /// Wraps a recursor worker (one per sweeping thread; see
+    /// [`dps_recursor::Recursor::worker`]).
+    pub fn new(worker: dps_recursor::RecursorWorker) -> Self {
+        Self { worker }
+    }
+
+    /// UDP queries this path's socket has sent.
+    pub fn queries_sent(&self) -> u64 {
+        self.worker.queries_sent()
+    }
+}
+
+impl QueryPath for RecursorPath {
+    fn query(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
+        self.worker.resolve(qname, qtype)
+    }
+}
+
 /// Interns the registered domain ("SLD" in the paper's terminology) of
 /// names through a name-keyed cache. Extraction is public-suffix aware
 /// (see [`dps_dns::psl`]); the cache avoids re-rendering names.
@@ -72,7 +98,11 @@ impl SldInterner {
     /// Uses a caller-provided public-suffix list (e.g. the real PSL when
     /// pointed at real data).
     pub fn with_psl(psl: dps_dns::PublicSuffixList) -> Self {
-        Self { psl, cache: HashMap::new(), full_cache: HashMap::new() }
+        Self {
+            psl,
+            cache: HashMap::new(),
+            full_cache: HashMap::new(),
+        }
     }
 
     /// Dictionary id of `name`'s registered domain.
@@ -165,16 +195,17 @@ pub struct RawRow {
 impl RawRow {
     /// Dictionary-encodes into a packed [`Row`] (manager-thread step).
     pub fn intern(self, dict: &mut StringDict, interner: &mut SldInterner) -> Row {
-        let mut pick = |name: &Option<Name>| {
-            name.as_ref().map(|n| interner.intern(dict, n)).unwrap_or(0)
-        };
+        let mut pick =
+            |name: &Option<Name>| name.as_ref().map(|n| interner.intern(dict, n)).unwrap_or(0);
         let cname1 = pick(&self.cnames[0]);
         let cname2 = pick(&self.cnames[1]);
         let ns1 = pick(&self.ns[0]);
         let ns2 = pick(&self.ns[1]);
         let sld = pick(&self.apex);
         let mut pick_full = |name: &Option<Name>| {
-            name.as_ref().map(|n| interner.intern_full(dict, n)).unwrap_or(0)
+            name.as_ref()
+                .map(|n| interner.intern_full(dict, n))
+                .unwrap_or(0)
         };
         let nsh1 = pick_full(&self.ns_hosts[0]);
         let nsh2 = pick_full(&self.ns_hosts[1]);
@@ -213,13 +244,12 @@ fn push_distinct(slot: &mut [Option<Name>; 2], name: &Name) {
 /// Collects the paper's record set for one name — apex `A`/`AAAA`, `www`
 /// `A`, apex `NS`, with CNAME expansions — and supplements origin ASes
 /// from `pfx2as` (stage III). Runs on worker threads; no shared state.
-pub fn collect_raw(
-    path: &mut impl QueryPath,
-    apex: &Name,
-    entry: u32,
-    pfx2as: &Pfx2As,
-) -> RawRow {
-    let mut row = RawRow { entry, apex: Some(apex.clone()), ..RawRow::default() };
+pub fn collect_raw(path: &mut impl QueryPath, apex: &Name, entry: u32, pfx2as: &Pfx2As) -> RawRow {
+    let mut row = RawRow {
+        entry,
+        apex: Some(apex.clone()),
+        ..RawRow::default()
+    };
 
     let apex_res = path.query(apex, RrType::A);
     let apex_res = match apex_res {
@@ -324,9 +354,7 @@ mod tests {
             .domains()
             .iter()
             .enumerate()
-            .find(|(_, st)| {
-                matches!(st.diversion, Diversion::Cname(_)) && st.alive_on(world.day())
-            })
+            .find(|(_, st)| matches!(st.diversion, Diversion::Cname(_)) && st.alive_on(world.day()))
             .expect("cname customer");
         let apex = world.domain_name(dps_ecosystem::DomainId(id as u32));
         let mut path = BulkPath::new(&world);

@@ -24,7 +24,7 @@ pub mod observation;
 pub mod pipeline;
 pub mod snapshot;
 
-pub use collector::{BulkPath, QueryPath, WirePath};
+pub use collector::{BulkPath, QueryPath, RecursorPath, WirePath};
 pub use observation::{Source, SOURCES};
 pub use pipeline::{Study, StudyConfig};
 pub use snapshot::{SnapshotStore, SourceStats};

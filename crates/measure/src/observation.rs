@@ -19,7 +19,13 @@ pub enum Source {
 }
 
 /// All sources, in Table 1 order.
-pub const SOURCES: [Source; 5] = [Source::Com, Source::Net, Source::Org, Source::Nl, Source::Alexa];
+pub const SOURCES: [Source; 5] = [
+    Source::Com,
+    Source::Net,
+    Source::Org,
+    Source::Nl,
+    Source::Alexa,
+];
 
 impl Source {
     /// Dense index.
@@ -195,7 +201,12 @@ mod tests {
 
     #[test]
     fn entry_code_roundtrip() {
-        for e in [ZoneEntry::Domain(DomainId(0)), ZoneEntry::Domain(DomainId(77)), ZoneEntry::Infra(0), ZoneEntry::Infra(12)] {
+        for e in [
+            ZoneEntry::Domain(DomainId(0)),
+            ZoneEntry::Domain(DomainId(77)),
+            ZoneEntry::Infra(0),
+            ZoneEntry::Infra(12),
+        ] {
             assert_eq!(decode_entry(entry_code(e)), e);
         }
     }

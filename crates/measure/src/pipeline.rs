@@ -28,7 +28,11 @@ pub struct StudyConfig {
 impl StudyConfig {
     /// Daily measurement matching `world` parameters.
     pub fn for_world(world: &World) -> Self {
-        Self { days: world.params.gtld_days, cc_start_day: world.params.cc_start_day, stride: 1 }
+        Self {
+            days: world.params.gtld_days,
+            cc_start_day: world.params.cc_start_day,
+            stride: 1,
+        }
     }
 }
 
@@ -42,7 +46,11 @@ pub struct Study {
 impl Study {
     /// A study with an empty store.
     pub fn new(config: StudyConfig) -> Self {
-        Self { config, store: SnapshotStore::new(), history: RibHistory::new() }
+        Self {
+            config,
+            store: SnapshotStore::new(),
+            history: RibHistory::new(),
+        }
     }
 
     /// The measurement calendar: which sources are due on `day`.
@@ -89,19 +97,21 @@ impl Study {
                 None => world.alexa_entries(),
             };
             // Worker cloud: one map task per chunk of the input list.
-            let chunk = entries.len().div_ceil(dps_columnar::mapreduce::default_workers().max(1)).max(1);
+            let chunk = entries
+                .len()
+                .div_ceil(dps_columnar::mapreduce::default_workers().max(1))
+                .max(1);
             let chunks: Vec<&[dps_ecosystem::ZoneEntry]> = entries.chunks(chunk).collect();
-            let raw_chunks: Vec<Vec<RawRow>> =
-                dps_columnar::mapreduce::par_map(&chunks, |batch| {
-                    let mut path = BulkPath::new(world);
-                    batch
-                        .iter()
-                        .map(|&entry| {
-                            let apex = world.entry_name(entry);
-                            collect_raw(&mut path, &apex, entry_code(entry), &pfx2as)
-                        })
-                        .collect()
-                });
+            let raw_chunks: Vec<Vec<RawRow>> = dps_columnar::mapreduce::par_map(&chunks, |batch| {
+                let mut path = BulkPath::new(world);
+                batch
+                    .iter()
+                    .map(|&entry| {
+                        let apex = world.entry_name(entry);
+                        collect_raw(&mut path, &apex, entry_code(entry), &pfx2as)
+                    })
+                    .collect()
+            });
             // Manager: intern + encode (ordered, deterministic).
             let mut builder = TableBuilder::new(schema());
             let mut data_points = 0u64;
@@ -140,8 +150,14 @@ pub fn sweep_with_path(
     let mut data_points = 0u64;
     for entry in entries {
         let apex = world.entry_name(entry);
-        let row: Row =
-            collect(path, &apex, entry_code(entry), &pfx2as, &mut store.dict, interner);
+        let row: Row = collect(
+            path,
+            &apex,
+            entry_code(entry),
+            &pfx2as,
+            &mut store.dict,
+            interner,
+        );
         data_points += u64::from(row.data_points);
         builder.push_row(&row.pack(day, source));
     }
@@ -161,7 +177,11 @@ mod tests {
     #[test]
     fn tiny_study_fills_all_sources() {
         let mut world = World::imc2016(ScenarioParams::tiny(5));
-        let config = StudyConfig { days: 25, cc_start_day: 20, stride: 1 };
+        let config = StudyConfig {
+            days: 25,
+            cc_start_day: 20,
+            stride: 1,
+        };
         let store = Study::new(config).run(&mut world);
 
         for s in [Source::Com, Source::Net, Source::Org] {
@@ -182,12 +202,19 @@ mod tests {
     fn history_records_routing_at_measurement_time() {
         use dps_netsim::OriginChange;
         // Horizon past the first ENOM→Verisign flip (day 30).
-        let params =
-            dps_ecosystem::ScenarioParams { seed: 4, scale: 0.05, gtld_days: 35, cc_start_day: 35 };
+        let params = dps_ecosystem::ScenarioParams {
+            seed: 4,
+            scale: 0.05,
+            gtld_days: 35,
+            cc_start_day: 35,
+        };
         let mut world = World::imc2016(params);
-        let (_store, history) =
-            Study::new(StudyConfig { days: 35, cc_start_day: 35, stride: 1 })
-                .run_with_history(&mut world);
+        let (_store, history) = Study::new(StudyConfig {
+            days: 35,
+            cc_start_day: 35,
+            stride: 1,
+        })
+        .run_with_history(&mut world);
         assert_eq!(history.len(), 35);
         let changes = history.diff(Day(29), Day(30));
         let flip = changes.iter().find_map(|c| match c {
@@ -202,7 +229,11 @@ mod tests {
     #[test]
     fn stride_skips_days() {
         let mut world = World::imc2016(ScenarioParams::tiny(5));
-        let config = StudyConfig { days: 20, cc_start_day: 99, stride: 5 };
+        let config = StudyConfig {
+            days: 20,
+            cc_start_day: 99,
+            stride: 5,
+        };
         let store = Study::new(config).run(&mut world);
         assert_eq!(store.days(Source::Com), vec![0, 5, 10, 15]);
     }
@@ -210,7 +241,11 @@ mod tests {
     #[test]
     fn day_tables_decode_and_carry_day_column() {
         let mut world = World::imc2016(ScenarioParams::tiny(6));
-        let config = StudyConfig { days: 3, cc_start_day: 99, stride: 1 };
+        let config = StudyConfig {
+            days: 3,
+            cc_start_day: 99,
+            stride: 1,
+        };
         let store = Study::new(config).run(&mut world);
         let t = store.table(2, Source::Com).unwrap();
         assert!(t.rows() > 0);
@@ -221,7 +256,11 @@ mod tests {
     #[test]
     fn compression_beats_raw() {
         let mut world = World::imc2016(ScenarioParams::tiny(7));
-        let config = StudyConfig { days: 5, cc_start_day: 99, stride: 1 };
+        let config = StudyConfig {
+            days: 5,
+            cc_start_day: 99,
+            stride: 1,
+        };
         let store = Study::new(config).run(&mut world);
         let st = store.stats(Source::Com);
         assert!(

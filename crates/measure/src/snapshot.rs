@@ -131,7 +131,11 @@ impl SnapshotStore {
         let dict = StringDict::from_bytes(&dict_bytes)
             .ok_or_else(|| std::io::Error::other("corrupt dictionary"))?;
         let index = std::fs::read_to_string(dir.join("index.tsv"))?;
-        let mut store = Self { dict, tables: BTreeMap::new(), stats: vec![SourceStats::default(); SOURCES.len()] };
+        let mut store = Self {
+            dict,
+            tables: BTreeMap::new(),
+            stats: vec![SourceStats::default(); SOURCES.len()],
+        };
         for line in index.lines() {
             let mut parts = line.split('\t');
             let (Some(day), Some(source), Some(name)) = (parts.next(), parts.next(), parts.next())
@@ -210,7 +214,10 @@ mod tests {
         store.save_dir(&dir).unwrap();
         let back = SnapshotStore::load_dir(&dir).unwrap();
         std::fs::remove_dir_all(&dir).ok();
-        assert_eq!(back.dict.get("cloudflare.com"), store.dict.get("cloudflare.com"));
+        assert_eq!(
+            back.dict.get("cloudflare.com"),
+            store.dict.get("cloudflare.com")
+        );
         assert_eq!(back.days(Source::Com), vec![0, 1]);
         let t = back.table(1, Source::Com).unwrap();
         assert_eq!(t.rows(), 60);

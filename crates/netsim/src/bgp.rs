@@ -96,7 +96,11 @@ impl Pfx2As {
     /// matched prefix length. `None` if the address is unrouted.
     pub fn origins(&self, addr: IpAddr) -> Option<(&[Asn], u8)> {
         let key = Prefix::align(addr);
-        let (table, max) = if addr.is_ipv4() { (&self.v4, 32) } else { (&self.v6, 128) };
+        let (table, max) = if addr.is_ipv4() {
+            (&self.v4, 32)
+        } else {
+            (&self.v6, 128)
+        };
         table.lookup(key, max).map(|(v, l)| (v.as_slice(), l))
     }
 
@@ -128,8 +132,11 @@ impl Pfx2As {
     pub fn to_routeviews_text(&self) -> String {
         let mut out = String::new();
         for (prefix, origins) in &self.entries {
-            let joined =
-                origins.iter().map(|a| a.0.to_string()).collect::<Vec<_>>().join("_");
+            let joined = origins
+                .iter()
+                .map(|a| a.0.to_string())
+                .collect::<Vec<_>>()
+                .join("_");
             let _ = writeln!(out, "{}\t{}\t{}", prefix.network(), prefix.len(), joined);
         }
         out
@@ -145,9 +152,15 @@ impl Pfx2As {
             }
             let mut parts = line.split('\t');
             let (net, len, origins) = (
-                parts.next().ok_or_else(|| format!("line {lineno}: missing network"))?,
-                parts.next().ok_or_else(|| format!("line {lineno}: missing length"))?,
-                parts.next().ok_or_else(|| format!("line {lineno}: missing origins"))?,
+                parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: missing network"))?,
+                parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: missing length"))?,
+                parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: missing origins"))?,
             );
             let prefix: Prefix = format!("{net}/{len}")
                 .parse()

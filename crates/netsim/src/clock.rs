@@ -16,7 +16,11 @@ use std::ops::{Add, Sub};
 pub struct Day(pub u32);
 
 /// The calendar date of day 0.
-pub const EPOCH: Date = Date { year: 2015, month: 3, day: 1 };
+pub const EPOCH: Date = Date {
+    year: 2015,
+    month: 3,
+    day: 1,
+};
 
 impl Day {
     /// The calendar date of this study day.
@@ -26,7 +30,9 @@ impl Day {
 
     /// Day index from a calendar date (dates before the epoch clamp to 0).
     pub fn from_date(d: Date) -> Self {
-        Day(d.days_since_epoch_year().saturating_sub(EPOCH.days_since_epoch_year()))
+        Day(d
+            .days_since_epoch_year()
+            .saturating_sub(EPOCH.days_since_epoch_year()))
     }
 }
 
@@ -61,8 +67,9 @@ pub struct Date {
     pub day: u8,
 }
 
-const MONTH_NAMES: [&str; 12] =
-    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
 
 impl Date {
     fn is_leap(year: u16) -> bool {
@@ -105,7 +112,11 @@ impl Date {
         loop {
             let ml = u32::from(Self::month_len(year, month));
             if day <= ml {
-                return Date { year, month, day: day as u8 };
+                return Date {
+                    year,
+                    month,
+                    day: day as u8,
+                };
             }
             day -= ml;
             month += 1;
@@ -118,7 +129,11 @@ impl Date {
 
     /// Short axis label in the paper's style: `Mar '15`.
     pub fn axis_label(self) -> String {
-        format!("{} '{:02}", MONTH_NAMES[usize::from(self.month) - 1], self.year % 100)
+        format!(
+            "{} '{:02}",
+            MONTH_NAMES[usize::from(self.month) - 1],
+            self.year % 100
+        )
     }
 
     /// True if this is the first day of a month (used to place axis ticks).
@@ -171,8 +186,18 @@ mod tests {
 
     #[test]
     fn month_starts_detected() {
-        assert!(Date { year: 2015, month: 4, day: 1 }.is_month_start());
-        assert!(!Date { year: 2015, month: 4, day: 2 }.is_month_start());
+        assert!(Date {
+            year: 2015,
+            month: 4,
+            day: 1
+        }
+        .is_month_start());
+        assert!(!Date {
+            year: 2015,
+            month: 4,
+            day: 2
+        }
+        .is_month_start());
     }
 
     #[test]

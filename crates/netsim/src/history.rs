@@ -92,8 +92,10 @@ impl RibHistory {
         self.snapshots
             .iter()
             .map(|(&d, snap)| {
-                let origins =
-                    snap.origins(addr).map(|(o, _)| o.to_vec()).unwrap_or_default();
+                let origins = snap
+                    .origins(addr)
+                    .map(|(o, _)| o.to_vec())
+                    .unwrap_or_default();
                 (Day(d), origins)
             })
             .collect()
@@ -126,7 +128,10 @@ impl RibHistory {
         }
         for (prefix, origins) in &after {
             if !before.contains_key(prefix) {
-                out.push(OriginChange::Announced { prefix: *prefix, origins: origins.clone() });
+                out.push(OriginChange::Announced {
+                    prefix: *prefix,
+                    origins: origins.clone(),
+                });
             }
         }
         out
@@ -152,7 +157,11 @@ mod tests {
         for day in 0..5u32 {
             let mut rib = Rib::new();
             rib.announce(p("10.0.0.0/8"), Asn(64512));
-            let origin = if (2..4).contains(&day) { Asn(26415) } else { Asn(21740) };
+            let origin = if (2..4).contains(&day) {
+                Asn(26415)
+            } else {
+                Asn(21740)
+            };
             rib.announce(p("31.2.0.0/16"), origin);
             h.record(Day(day), rib.snapshot());
         }
@@ -205,8 +214,12 @@ mod tests {
         h.record(Day(1), rib.snapshot());
         let changes = h.diff(Day(0), Day(1));
         assert_eq!(changes.len(), 2);
-        assert!(changes.iter().any(|c| matches!(c, OriginChange::Withdrawn { .. })));
-        assert!(changes.iter().any(|c| matches!(c, OriginChange::Announced { .. })));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, OriginChange::Withdrawn { .. })));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, OriginChange::Announced { .. })));
     }
 
     #[test]

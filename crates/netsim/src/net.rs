@@ -45,7 +45,12 @@ pub struct FaultProfile {
 impl Default for FaultProfile {
     /// A healthy network: no faults, 2–20 ms one-way latency.
     fn default() -> Self {
-        Self { loss: 0.0, corrupt: 0.0, duplicate: 0.0, latency_us: (2_000, 20_000) }
+        Self {
+            loss: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            latency_us: (2_000, 20_000),
+        }
     }
 }
 
@@ -53,12 +58,22 @@ impl FaultProfile {
     /// A lossy profile in the spirit of smoltcp's example defaults
     /// (15% drop / corrupt chance).
     pub fn lossy() -> Self {
-        Self { loss: 0.15, corrupt: 0.15, duplicate: 0.05, latency_us: (2_000, 50_000) }
+        Self {
+            loss: 0.15,
+            corrupt: 0.15,
+            duplicate: 0.05,
+            latency_us: (2_000, 50_000),
+        }
     }
 
     /// A perfect, zero-latency network (useful for micro-benches).
     pub fn ideal() -> Self {
-        Self { loss: 0.0, corrupt: 0.0, duplicate: 0.0, latency_us: (0, 0) }
+        Self {
+            loss: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            latency_us: (0, 0),
+        }
     }
 }
 
@@ -231,11 +246,7 @@ impl Socket {
         self.now_us
     }
 
-    fn leg_faults(
-        &mut self,
-        payload: &[u8],
-        profile: &FaultProfile,
-    ) -> Vec<(Vec<u8>, u64)> {
+    fn leg_faults(&mut self, payload: &[u8], profile: &FaultProfile) -> Vec<(Vec<u8>, u64)> {
         // Returns 0..=2 (payload, one-way latency) copies for one leg.
         let stats = &self.net.stats;
         if self.rng.gen::<f64>() < profile.loss {
@@ -281,7 +292,9 @@ impl Socket {
             return;
         };
         for (req, req_lat) in requests {
-            let Some(resp) = handler(self.src, &req) else { continue };
+            let Some(resp) = handler(self.src, &req) else {
+                continue;
+            };
             for (resp_data, resp_lat) in self.leg_faults(&resp, &profile) {
                 let arrive = self.now_us + req_lat + resp_lat;
                 self.seq += 1;
@@ -353,7 +366,10 @@ mod tests {
     #[test]
     fn total_loss_drops_everything() {
         let net = echo_network(2);
-        net.set_faults(FaultProfile { loss: 1.0, ..FaultProfile::default() });
+        net.set_faults(FaultProfile {
+            loss: 1.0,
+            ..FaultProfile::default()
+        });
         let mut sock = client(&net);
         sock.send_to("192.0.2.1".parse().unwrap(), b"ping");
         assert_eq!(sock.recv(10_000), Err(RecvError::Timeout));
@@ -373,7 +389,10 @@ mod tests {
         let (_, data) = sock.recv(1000).unwrap();
         // Two legs, each flipping one bit; they may coincide.
         let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
-        assert!(flipped == 2 || flipped == 0, "flipped={flipped} data={data:?}");
+        assert!(
+            flipped == 2 || flipped == 0,
+            "flipped={flipped} data={data:?}"
+        );
         assert_eq!(net.stats().snapshot().corrupted, 2);
     }
 
@@ -419,7 +438,10 @@ mod tests {
     #[test]
     fn deliveries_arrive_in_time_order() {
         let net = echo_network(5);
-        net.set_faults(FaultProfile { latency_us: (1000, 90_000), ..FaultProfile::default() });
+        net.set_faults(FaultProfile {
+            latency_us: (1000, 90_000),
+            ..FaultProfile::default()
+        });
         let mut sock = client(&net);
         for _ in 0..10 {
             sock.send_to("192.0.2.1".parse().unwrap(), b"m");

@@ -46,7 +46,11 @@ impl Prefix {
         if len > max {
             return Err(PrefixParseError::LengthOutOfRange(len));
         }
-        Ok(Self { bits: mask(bits, len), len, v4 })
+        Ok(Self {
+            bits: mask(bits, len),
+            len,
+            v4,
+        })
     }
 
     /// Convenience: an IPv4 prefix (panics on length > 32; use in literals).
@@ -138,9 +142,15 @@ impl FromStr for Prefix {
     type Err = PrefixParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, len) = s.split_once('/').ok_or_else(|| PrefixParseError::Malformed(s.into()))?;
-        let addr: IpAddr = addr.parse().map_err(|_| PrefixParseError::Malformed(s.into()))?;
-        let len: u8 = len.parse().map_err(|_| PrefixParseError::Malformed(s.into()))?;
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError::Malformed(s.into()))?;
+        let addr: IpAddr = addr
+            .parse()
+            .map_err(|_| PrefixParseError::Malformed(s.into()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| PrefixParseError::Malformed(s.into()))?;
         Self::new(addr, len)
     }
 }
@@ -169,20 +179,35 @@ mod tests {
     #[test]
     fn host_bits_are_canonicalised() {
         assert_eq!(p("10.0.0.7/24"), p("10.0.0.0/24"));
-        assert_eq!(p("10.0.0.7/24").network(), "10.0.0.0".parse::<IpAddr>().unwrap());
+        assert_eq!(
+            p("10.0.0.7/24").network(),
+            "10.0.0.0".parse::<IpAddr>().unwrap()
+        );
     }
 
     #[test]
     fn length_bounds_enforced() {
-        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(PrefixParseError::LengthOutOfRange(33)));
+        assert_eq!(
+            "10.0.0.0/33".parse::<Prefix>(),
+            Err(PrefixParseError::LengthOutOfRange(33))
+        );
         assert!("::/128".parse::<Prefix>().is_ok());
-        assert_eq!("::/129".parse::<Prefix>(), Err(PrefixParseError::LengthOutOfRange(129)));
+        assert_eq!(
+            "::/129".parse::<Prefix>(),
+            Err(PrefixParseError::LengthOutOfRange(129))
+        );
     }
 
     #[test]
     fn malformed_rejected() {
-        assert!(matches!("10.0.0.0".parse::<Prefix>(), Err(PrefixParseError::Malformed(_))));
-        assert!(matches!("banana/8".parse::<Prefix>(), Err(PrefixParseError::Malformed(_))));
+        assert!(matches!(
+            "10.0.0.0".parse::<Prefix>(),
+            Err(PrefixParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            "banana/8".parse::<Prefix>(),
+            Err(PrefixParseError::Malformed(_))
+        ));
     }
 
     #[test]

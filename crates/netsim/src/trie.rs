@@ -38,7 +38,13 @@ impl<V> Default for LpmTrie<V> {
 impl<V> LpmTrie<V> {
     /// An empty trie (with a root node).
     pub fn new() -> Self {
-        Self { nodes: vec![Node { children: [NIL, NIL], value: None }], len: 0 }
+        Self {
+            nodes: vec![Node {
+                children: [NIL, NIL],
+                value: None,
+            }],
+            len: 0,
+        }
     }
 
     /// Number of stored prefixes.
@@ -64,7 +70,10 @@ impl<V> LpmTrie<V> {
             let next = self.nodes[node].children[b];
             node = if next == NIL {
                 let idx = self.nodes.len() as u32;
-                self.nodes.push(Node { children: [NIL, NIL], value: None });
+                self.nodes.push(Node {
+                    children: [NIL, NIL],
+                    value: None,
+                });
                 self.nodes[node].children[b] = idx;
                 idx as usize
             } else {

@@ -1,0 +1,303 @@
+//! The TTL-aware answer cache.
+//!
+//! Keys are `(owner name, query type)`; values are full [`Resolution`]s so
+//! a hit reproduces the uncached observation byte for byte. Entries honour
+//! record TTLs against the shared virtual clock; authoritative negative
+//! answers (NXDOMAIN / NODATA) are cached per RFC 2308 with the zone's SOA
+//! `minimum` as their lifetime. The cache is sharded to keep lock
+//! contention off the sweep's hot path and capacity-bounded: a full shard
+//! evicts its earliest-expiring entry, which a fresh insert is about to
+//! outlive anyway.
+
+use dps_authdns::resolver::Resolution;
+use dps_dns::{Name, RrType};
+use parking_lot::Mutex;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Answer-cache tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum cached answers across all shards.
+    pub capacity: usize,
+    /// Number of independently locked shards (rounded up to at least 1).
+    pub shards: usize,
+    /// Negative-answer lifetime when the response carried no SOA to take
+    /// RFC 2308's `minimum` from (seconds).
+    pub negative_ttl_fallback: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 100_000,
+            shards: 16,
+            negative_ttl_fallback: 300,
+        }
+    }
+}
+
+/// A cached resolution with its expiry.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// The resolution served on a hit.
+    pub resolution: Resolution,
+    /// Absolute virtual expiry (µs).
+    pub expires_at_us: u64,
+    /// True for RFC 2308 negative entries (NXDOMAIN / NODATA).
+    pub negative: bool,
+}
+
+/// Monotonic counters, readable as a consistent-enough snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped because their TTL had lapsed at lookup time.
+    pub expirations: u64,
+}
+
+#[derive(Default)]
+struct AtomicCacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
+}
+
+type Key = (Name, RrType);
+
+type Shard = Mutex<HashMap<Key, CachedAnswer>>;
+
+/// Sharded, thread-safe, TTL-aware cache of complete resolutions.
+pub struct AnswerCache {
+    shards: Vec<Shard>,
+    shard_capacity: usize,
+    stats: AtomicCacheStats,
+}
+
+impl AnswerCache {
+    /// An empty cache sized by `config`.
+    pub fn new(config: &CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        // Ceil-divide so the whole-cache bound is at least `capacity`.
+        let shard_capacity = config.capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity,
+            stats: AtomicCacheStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The resolution cached for `(qname, qtype)`, if still live at
+    /// `now_us`. Expired entries are dropped on contact.
+    pub fn get(&self, qname: &Name, qtype: RrType, now_us: u64) -> Option<Resolution> {
+        let key = (qname.clone(), qtype);
+        let mut shard = self.shard(&key).lock();
+        match shard.entry(key) {
+            Entry::Occupied(e) if e.get().expires_at_us > now_us => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.get().resolution.clone())
+            }
+            Entry::Occupied(e) => {
+                e.remove();
+                self.stats.expirations.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Entry::Vacant(_) => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether the live entry for `(qname, qtype)` is negative. `None` when
+    /// nothing (live) is cached. Does not touch hit/miss counters.
+    pub fn negative(&self, qname: &Name, qtype: RrType, now_us: u64) -> Option<bool> {
+        let key = (qname.clone(), qtype);
+        let shard = self.shard(&key).lock();
+        shard
+            .get(&key)
+            .filter(|e| e.expires_at_us > now_us)
+            .map(|e| e.negative)
+    }
+
+    /// Stores `resolution` for `ttl_secs` starting at `now_us`. A positive
+    /// insert over a negative entry (or vice versa) simply replaces it —
+    /// the answer a zone serves *now* wins. A zero TTL is uncacheable and
+    /// ignored.
+    pub fn insert(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        resolution: Resolution,
+        ttl_secs: u32,
+        negative: bool,
+        now_us: u64,
+    ) {
+        if ttl_secs == 0 {
+            return;
+        }
+        let key = (qname.clone(), qtype);
+        let entry = CachedAnswer {
+            resolution,
+            expires_at_us: now_us + u64::from(ttl_secs) * 1_000_000,
+            negative,
+        };
+        let mut shard = self.shard(&key).lock();
+        if !shard.contains_key(&key) && shard.len() >= self.shard_capacity {
+            // Evict the entry closest to dying of old age.
+            if let Some(victim) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.expires_at_us)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&victim);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(key, entry);
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Live + expired-but-unswept entries currently held.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            expirations: self.stats.expirations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_dns::Rcode;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn res(rcode: Rcode) -> Resolution {
+        Resolution {
+            rcode,
+            answers: vec![],
+            elapsed_us: 0,
+        }
+    }
+
+    #[test]
+    fn serves_until_ttl_then_expires() {
+        let cache = AnswerCache::new(&CacheConfig::default());
+        cache.insert(
+            &n("a.test"),
+            RrType::A,
+            res(Rcode::NoError),
+            30,
+            false,
+            1_000,
+        );
+        assert!(cache.get(&n("a.test"), RrType::A, 1_000).is_some());
+        assert!(cache.get(&n("a.test"), RrType::A, 30_000_999).is_some());
+        assert!(cache.get(&n("a.test"), RrType::A, 30_001_000).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.expirations), (2, 1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_earliest_expiry() {
+        let cache = AnswerCache::new(&CacheConfig {
+            capacity: 2,
+            shards: 1,
+            ..Default::default()
+        });
+        cache.insert(
+            &n("long.test"),
+            RrType::A,
+            res(Rcode::NoError),
+            600,
+            false,
+            0,
+        );
+        cache.insert(
+            &n("short.test"),
+            RrType::A,
+            res(Rcode::NoError),
+            5,
+            false,
+            0,
+        );
+        cache.insert(&n("new.test"), RrType::A, res(Rcode::NoError), 60, false, 0);
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.get(&n("short.test"), RrType::A, 0).is_none(),
+            "earliest expiry evicted"
+        );
+        assert!(cache.get(&n("long.test"), RrType::A, 0).is_some());
+        assert!(cache.get(&n("new.test"), RrType::A, 0).is_some());
+    }
+
+    #[test]
+    fn positive_insert_replaces_negative_entry() {
+        let cache = AnswerCache::new(&CacheConfig::default());
+        cache.insert(
+            &n("flip.test"),
+            RrType::A,
+            res(Rcode::NxDomain),
+            300,
+            true,
+            0,
+        );
+        assert_eq!(cache.negative(&n("flip.test"), RrType::A, 0), Some(true));
+        cache.insert(
+            &n("flip.test"),
+            RrType::A,
+            res(Rcode::NoError),
+            300,
+            false,
+            0,
+        );
+        assert_eq!(cache.negative(&n("flip.test"), RrType::A, 0), Some(false));
+        assert_eq!(
+            cache.get(&n("flip.test"), RrType::A, 1).unwrap().rcode,
+            Rcode::NoError
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_ttl_is_not_cached() {
+        let cache = AnswerCache::new(&CacheConfig::default());
+        cache.insert(&n("zero.test"), RrType::A, res(Rcode::NoError), 0, false, 0);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! The recursor's notion of time.
+//!
+//! Cache expiry needs one monotonic timeline shared by every worker, while
+//! the netsim keeps a *per-socket* virtual clock. [`SharedClock`] bridges
+//! the two: workers fold their socket time in with [`SharedClock::advance_by`]
+//! as resolutions complete, and the sweep scheduler jumps the clock to each
+//! study day's start with [`SharedClock::advance_to_day`], so a 300 s TTL
+//! survives a same-day sweep but is long expired by the next daily snapshot.
+
+use dps_netsim::Day;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Virtual microseconds in one study day.
+pub const DAY_US: u64 = 86_400_000_000;
+
+/// A monotonic virtual clock in microseconds, shared across workers.
+#[derive(Debug, Default)]
+pub struct SharedClock {
+    us: AtomicU64,
+}
+
+impl SharedClock {
+    /// A clock at time zero (the start of study day 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now_us(&self) -> u64 {
+        self.us.load(Ordering::Acquire)
+    }
+
+    /// Moves the clock forward to `us` if it is ahead of the current time;
+    /// never moves backwards.
+    pub fn advance_to(&self, us: u64) {
+        self.us.fetch_max(us, Ordering::AcqRel);
+    }
+
+    /// Adds `delta` microseconds of elapsed work.
+    pub fn advance_by(&self, delta: u64) {
+        self.us.fetch_add(delta, Ordering::AcqRel);
+    }
+
+    /// Jumps to the start of `day` (no-op if the clock is already past it).
+    pub fn advance_to_day(&self, day: Day) {
+        self.advance_to(u64::from(day.0) * DAY_US);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let c = SharedClock::new();
+        c.advance_to(100);
+        c.advance_to(50);
+        assert_eq!(c.now_us(), 100);
+        c.advance_by(7);
+        assert_eq!(c.now_us(), 107);
+    }
+
+    #[test]
+    fn day_jumps_are_idempotent() {
+        let c = SharedClock::new();
+        c.advance_to_day(Day(2));
+        assert_eq!(c.now_us(), 2 * DAY_US);
+        c.advance_by(500);
+        c.advance_to_day(Day(2));
+        assert_eq!(c.now_us(), 2 * DAY_US + 500);
+        c.advance_to_day(Day(3));
+        assert_eq!(c.now_us(), 3 * DAY_US);
+    }
+}

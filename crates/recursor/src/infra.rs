@@ -1,0 +1,142 @@
+//! The infrastructure cache: referral NS sets and their glue.
+//!
+//! When a sweep asks about `d1.com`, the referral from the root teaches the
+//! recursor where `com` lives. The next thousand `.com` domains in the
+//! sweep should start at the TLD servers, not at the root — that is the
+//! bulk of the packet savings a shared resolver cache buys. Entries map a
+//! zone cut to the addresses that serve it and expire with the NS RRset's
+//! TTL.
+
+use dps_dns::Name;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+#[derive(Debug, Clone)]
+struct InfraEntry {
+    servers: Vec<IpAddr>,
+    expires_at_us: u64,
+}
+
+/// Capacity-bounded cache of zone cut → name-server addresses.
+pub struct InfraCache {
+    inner: Mutex<HashMap<Name, InfraEntry>>,
+    capacity: usize,
+}
+
+impl InfraCache {
+    /// An empty cache holding at most `capacity` cuts.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records that `cut` is served by `servers` for `ttl_secs`.
+    pub fn put(&self, cut: Name, servers: Vec<IpAddr>, ttl_secs: u32, now_us: u64) {
+        if ttl_secs == 0 || servers.is_empty() {
+            return;
+        }
+        let mut map = self.inner.lock();
+        if !map.contains_key(&cut) && map.len() >= self.capacity {
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, e)| e.expires_at_us)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&victim);
+            }
+        }
+        map.insert(
+            cut,
+            InfraEntry {
+                servers,
+                expires_at_us: now_us + u64::from(ttl_secs) * 1_000_000,
+            },
+        );
+    }
+
+    /// The deepest cached cut enclosing `qname` (the qname itself counts),
+    /// with its servers. Walks towards the root; expired entries along the
+    /// way are dropped. The root itself is never cached here — when this
+    /// returns `None`, resolution starts from the root hints.
+    pub fn deepest(&self, qname: &Name, now_us: u64) -> Option<(Name, Vec<IpAddr>)> {
+        let mut map = self.inner.lock();
+        let mut cursor = qname.clone();
+        loop {
+            match map.get(&cursor) {
+                Some(e) if e.expires_at_us > now_us => {
+                    return Some((cursor.clone(), e.servers.clone()));
+                }
+                Some(_) => {
+                    map.remove(&cursor);
+                }
+                None => {}
+            }
+            cursor = cursor.parent()?;
+            if cursor.is_root() {
+                return None;
+            }
+        }
+    }
+
+    /// Cached cuts (including expired-but-unswept ones).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn deepest_enclosing_cut_wins() {
+        let cache = InfraCache::new(16);
+        cache.put(n("com"), vec![ip("10.0.0.1")], 300, 0);
+        cache.put(n("examp.com"), vec![ip("10.0.0.2")], 300, 0);
+        let (cut, servers) = cache.deepest(&n("www.examp.com"), 0).unwrap();
+        assert_eq!(cut, n("examp.com"));
+        assert_eq!(servers, vec![ip("10.0.0.2")]);
+        let (cut, _) = cache.deepest(&n("other.com"), 0).unwrap();
+        assert_eq!(cut, n("com"));
+        assert!(cache.deepest(&n("other.net"), 0).is_none());
+    }
+
+    #[test]
+    fn expiry_falls_back_to_shallower_cut() {
+        let cache = InfraCache::new(16);
+        cache.put(n("com"), vec![ip("10.0.0.1")], 3_600, 0);
+        cache.put(n("examp.com"), vec![ip("10.0.0.2")], 60, 0);
+        let (cut, _) = cache.deepest(&n("www.examp.com"), 61_000_000).unwrap();
+        assert_eq!(cut, n("com"), "expired deep cut skipped");
+        assert_eq!(cache.len(), 1, "expired entry dropped on contact");
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let cache = InfraCache::new(2);
+        cache.put(n("a.test"), vec![ip("10.0.0.1")], 10, 0);
+        cache.put(n("b.test"), vec![ip("10.0.0.2")], 20, 0);
+        cache.put(n("c.test"), vec![ip("10.0.0.3")], 30, 0);
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.deepest(&n("a.test"), 0).is_none(),
+            "earliest expiry evicted"
+        );
+    }
+}

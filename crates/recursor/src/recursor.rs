@@ -1,0 +1,476 @@
+//! The recursor itself: cache-assisted iterative resolution.
+//!
+//! A [`Recursor`] is the shared service — caches, coalescing table, clock,
+//! per-server gate, statistics. Each thread resolves through its own
+//! [`RecursorWorker`], which owns a socket-backed [`Resolver`] for the
+//! validated wire exchanges and consults the shared state around it:
+//!
+//! 1. answer cache (TTL-aware, positive + RFC 2308 negative),
+//! 2. singleflight table (identical concurrent questions coalesce),
+//! 3. infrastructure cache (start the descent at the deepest known cut
+//!    instead of the root),
+//! 4. the wire, with `ResolverConfig` retry/timeout policy and per-server
+//!    concurrency bounds.
+//!
+//! Cache hits replay the original [`Resolution`] verbatim — same rcode,
+//! same records, same TTL fields — so measurement observations are
+//! byte-identical with and without the cache (asserted by the three-way
+//! equivalence test).
+
+use crate::cache::{AnswerCache, CacheConfig};
+use crate::clock::SharedClock;
+use crate::infra::InfraCache;
+use crate::scheduler::ServerGate;
+use crate::singleflight::Singleflight;
+use dps_authdns::resolver::{Resolution, ResolveError, Resolver, ResolverConfig};
+use dps_dns::{Message, Name, RData, Rcode, Record, RrType};
+use dps_netsim::{Day, Network};
+use std::net::IpAddr;
+use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tunables for the whole service.
+#[derive(Debug, Clone, Copy)]
+pub struct RecursorConfig {
+    /// Wire policy: per-attempt timeout, retries, loop guards.
+    pub resolver: ResolverConfig,
+    /// Answer-cache sizing and negative-TTL fallback.
+    pub cache: CacheConfig,
+    /// Maximum cached zone cuts in the infrastructure cache.
+    pub infra_capacity: usize,
+    /// Concurrent in-flight exchanges allowed per authoritative server.
+    pub max_inflight_per_server: u32,
+}
+
+impl Default for RecursorConfig {
+    fn default() -> Self {
+        Self {
+            resolver: ResolverConfig::default(),
+            cache: CacheConfig::default(),
+            infra_capacity: 10_000,
+            max_inflight_per_server: 4,
+        }
+    }
+}
+
+/// Service-wide counters (monotonic; snapshot via [`Recursor::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecursorStats {
+    /// Questions asked.
+    pub queries: u64,
+    /// Served from the answer cache.
+    pub cache_hits: u64,
+    /// Needed network work (or a coalesced wait).
+    pub cache_misses: u64,
+    /// Coalesced onto an identical in-flight question.
+    pub coalesced: u64,
+    /// Exchange attempts beyond the first within one server-set query.
+    pub retries: u64,
+    /// Descents that started below the root thanks to the infra cache.
+    pub infra_starts: u64,
+}
+
+impl Sub for RecursorStats {
+    type Output = RecursorStats;
+    fn sub(self, rhs: RecursorStats) -> RecursorStats {
+        RecursorStats {
+            queries: self.queries - rhs.queries,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            coalesced: self.coalesced - rhs.coalesced,
+            retries: self.retries - rhs.retries,
+            infra_starts: self.infra_starts - rhs.infra_starts,
+        }
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    retries: AtomicU64,
+    infra_starts: AtomicU64,
+}
+
+struct Shared {
+    config: RecursorConfig,
+    root_hints: Vec<IpAddr>,
+    answers: AnswerCache,
+    infra: InfraCache,
+    flight: Singleflight<(Name, RrType), Result<Resolution, ResolveError>>,
+    clock: SharedClock,
+    gate: ServerGate,
+    stats: AtomicStats,
+}
+
+/// The shared caching-recursor service. Cloning is cheap (an `Arc` bump);
+/// all clones share caches, clock and statistics.
+#[derive(Clone)]
+pub struct Recursor {
+    shared: Arc<Shared>,
+}
+
+impl Recursor {
+    /// A fresh service resolving from `root_hints`.
+    pub fn new(root_hints: Vec<IpAddr>, config: RecursorConfig) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                answers: AnswerCache::new(&config.cache),
+                infra: InfraCache::new(config.infra_capacity),
+                flight: Singleflight::new(),
+                clock: SharedClock::new(),
+                gate: ServerGate::new(config.max_inflight_per_server),
+                stats: AtomicStats::default(),
+                config,
+                root_hints,
+            }),
+        }
+    }
+
+    /// Opens a worker bound to its own deterministic netsim stream.
+    pub fn worker(&self, net: &Arc<Network>, src: IpAddr, stream: u64) -> RecursorWorker {
+        let resolver = Resolver::new(net, src, stream, self.shared.root_hints.clone())
+            .with_config(self.shared.config.resolver);
+        RecursorWorker {
+            shared: Arc::clone(&self.shared),
+            resolver,
+        }
+    }
+
+    /// Jumps the shared clock to the start of `day`; entries whose TTLs
+    /// ended on earlier days expire on their next lookup.
+    pub fn begin_day(&self, day: Day) {
+        self.shared.clock.advance_to_day(day);
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.shared.clock
+    }
+
+    /// The answer cache (for inspection; workers populate it).
+    pub fn answer_cache(&self) -> &AnswerCache {
+        &self.shared.answers
+    }
+
+    /// The infrastructure cache.
+    pub fn infra_cache(&self) -> &InfraCache {
+        &self.shared.infra
+    }
+
+    /// Counter snapshot across all workers.
+    pub fn stats(&self) -> RecursorStats {
+        let s = &self.shared.stats;
+        RecursorStats {
+            queries: s.queries.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            infra_starts: s.infra_starts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One thread's handle on the service: a socket plus the shared caches.
+pub struct RecursorWorker {
+    shared: Arc<Shared>,
+    resolver: Resolver,
+}
+
+impl RecursorWorker {
+    /// Resolves `(qname, qtype)`, serving from cache when possible and
+    /// coalescing with identical in-flight questions otherwise.
+    pub fn resolve(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
+        let shared = Arc::clone(&self.shared);
+        shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+
+        if let Some(hit) = shared.answers.get(qname, qtype, shared.clock.now_us()) {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let key = (qname.clone(), qtype);
+        let (result, coalesced) = shared
+            .flight
+            .run(key, || self.resolve_network(qname, qtype));
+        if coalesced {
+            shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// UDP queries this worker's socket has sent.
+    pub fn queries_sent(&self) -> u64 {
+        self.resolver.queries_sent()
+    }
+
+    /// Full resolution over the network (the singleflight leader's path).
+    /// Mirrors `Resolver::resolve`'s CNAME-restart loop, with the answer
+    /// cache consulted at each restart and results cached on the way out.
+    fn resolve_network(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
+        let shared = Arc::clone(&self.shared);
+        let started = self.resolver.now_us();
+        let mut chain: Vec<Record> = Vec::new();
+        let mut current = qname.clone();
+
+        for _ in 0..=shared.config.resolver.max_indirections {
+            // A restarted alias target may itself be cached (shared CDN
+            // edges are hit by many apexes).
+            if current != *qname {
+                if let Some(hit) = shared.answers.get(&current, qtype, shared.clock.now_us()) {
+                    shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    chain.extend(hit.answers);
+                    return Ok(self.finish(qname, qtype, hit.rcode, chain, started, None));
+                }
+            }
+
+            let resp = self.resolve_once(&current, qtype, 0)?;
+            match resp.header.rcode {
+                Rcode::NoError => {}
+                Rcode::NxDomain => {
+                    chain.extend(resp.answers.iter().cloned());
+                    let soa = soa_minimum(&resp);
+                    if current != *qname {
+                        self.cache_segment(&current, qtype, Rcode::NxDomain, &resp.answers, soa);
+                    }
+                    return Ok(self.finish(qname, qtype, Rcode::NxDomain, chain, started, soa));
+                }
+                rc => return Err(ResolveError::ServerFailure(rc)),
+            }
+
+            chain.extend(resp.answers.iter().cloned());
+
+            // Follow the CNAME chain inside this response.
+            let mut tip = current.clone();
+            loop {
+                let next = resp.answers.iter().find_map(|r| match &r.rdata {
+                    RData::Cname(t) if r.name == tip => Some(t.clone()),
+                    _ => None,
+                });
+                match next {
+                    Some(t) => tip = t,
+                    None => break,
+                }
+            }
+
+            let have_final = qtype == RrType::Cname
+                || resp
+                    .answers
+                    .iter()
+                    .any(|r| r.name == tip && r.rtype() == qtype);
+            if have_final || tip == current {
+                let soa = soa_minimum(&resp);
+                if current != *qname {
+                    // Terminal segment of a restarted chase: cacheable under
+                    // its own name, so other apexes aliased onto the same
+                    // target (shared CDN edges) hit without a descent.
+                    self.cache_segment(&current, qtype, Rcode::NoError, &resp.answers, soa);
+                }
+                return Ok(self.finish(qname, qtype, Rcode::NoError, chain, started, soa));
+            }
+            current = tip;
+        }
+        Err(ResolveError::TooManyIndirections)
+    }
+
+    /// Caches a terminal resolution segment under its own name. Only
+    /// complete segments may be stored: a mid-chain response (a CNAME whose
+    /// target lives elsewhere) would replay as a truncated answer.
+    fn cache_segment(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        rcode: Rcode,
+        answers: &[Record],
+        soa_minimum: Option<u32>,
+    ) {
+        let shared = &self.shared;
+        let negative = rcode == Rcode::NxDomain || !answers.iter().any(|r| r.rtype() == qtype);
+        let ttl = if negative {
+            soa_minimum.unwrap_or(shared.config.cache.negative_ttl_fallback)
+        } else {
+            answers.iter().map(|r| r.ttl).min().unwrap_or(0)
+        };
+        let resolution = Resolution {
+            rcode,
+            answers: answers.to_vec(),
+            elapsed_us: 0,
+        };
+        shared.answers.insert(
+            qname,
+            qtype,
+            resolution,
+            ttl,
+            negative,
+            shared.clock.now_us(),
+        );
+    }
+
+    /// Folds elapsed socket time into the shared clock, caches the result
+    /// (negative entries live for the SOA `minimum`, per RFC 2308), and
+    /// builds the final [`Resolution`].
+    fn finish(
+        &mut self,
+        qname: &Name,
+        qtype: RrType,
+        rcode: Rcode,
+        answers: Vec<Record>,
+        started_us: u64,
+        soa_minimum: Option<u32>,
+    ) -> Resolution {
+        let shared = &self.shared;
+        let elapsed_us = self.resolver.now_us() - started_us;
+        shared.clock.advance_by(elapsed_us);
+        let now = shared.clock.now_us();
+
+        let resolution = Resolution {
+            rcode,
+            answers,
+            elapsed_us,
+        };
+        let negative =
+            rcode == Rcode::NxDomain || !resolution.answers.iter().any(|r| r.rtype() == qtype);
+        let ttl = if negative {
+            soa_minimum.unwrap_or(shared.config.cache.negative_ttl_fallback)
+        } else {
+            resolution.answers.iter().map(|r| r.ttl).min().unwrap_or(0)
+        };
+        shared
+            .answers
+            .insert(qname, qtype, resolution.clone(), ttl, negative, now);
+        resolution
+    }
+
+    /// One referral descent for a single owner name, starting from the
+    /// deepest cached cut (the root hints when the infra cache is cold).
+    /// `depth` guards nested glue resolutions.
+    fn resolve_once(
+        &mut self,
+        qname: &Name,
+        qtype: RrType,
+        depth: u32,
+    ) -> Result<Message, ResolveError> {
+        let shared = Arc::clone(&self.shared);
+        if depth > 2 {
+            return Err(ResolveError::NoNameservers);
+        }
+        let mut servers = match shared.infra.deepest(qname, shared.clock.now_us()) {
+            Some((_, cached)) => {
+                shared.stats.infra_starts.fetch_add(1, Ordering::Relaxed);
+                cached
+            }
+            None => shared.root_hints.clone(),
+        };
+
+        for _ in 0..=shared.config.resolver.max_referrals {
+            let resp = self.query_gated(&servers, qname, qtype)?;
+            match resp.header.rcode {
+                Rcode::NoError => {}
+                _ => return Ok(resp),
+            }
+            if !resp.answers.is_empty() || resp.header.aa {
+                return Ok(resp);
+            }
+
+            // Referral: learn the cut, gather NS targets + glue.
+            let ns_records: Vec<&Record> = resp
+                .authorities
+                .iter()
+                .filter(|r| matches!(r.rdata, RData::Ns(_)))
+                .collect();
+            let Some(cut) = ns_records.first().map(|r| r.name.clone()) else {
+                return Err(ResolveError::NoNameservers);
+            };
+            let ns_ttl = ns_records.iter().map(|r| r.ttl).min().unwrap_or(0);
+            let ns_targets: Vec<Name> = ns_records
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Ns(t) => Some(t.clone()),
+                    _ => None,
+                })
+                .collect();
+
+            let mut next: Vec<IpAddr> = resp
+                .additionals
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::A(a) if ns_targets.contains(&r.name) => Some(IpAddr::V4(*a)),
+                    _ => None,
+                })
+                .collect();
+            if next.is_empty() {
+                // Glueless delegation: resolve the first NS names, via the
+                // answer cache when their addresses are already known.
+                for target in ns_targets.iter().take(2) {
+                    let cached = shared.answers.get(target, RrType::A, shared.clock.now_us());
+                    let answers = match cached {
+                        Some(hit) => {
+                            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            hit.answers
+                        }
+                        None => match self.resolve_once(target, RrType::A, depth + 1) {
+                            Ok(m) => m.answers,
+                            Err(_) => continue,
+                        },
+                    };
+                    next.extend(answers.iter().filter_map(|r| match &r.rdata {
+                        RData::A(a) if r.name == *target => Some(IpAddr::V4(*a)),
+                        _ => None,
+                    }));
+                }
+            }
+            if next.is_empty() {
+                return Err(ResolveError::NoNameservers);
+            }
+            shared
+                .infra
+                .put(cut, next.clone(), ns_ttl, shared.clock.now_us());
+            servers = next;
+        }
+        Err(ResolveError::TooManyReferrals)
+    }
+
+    /// `Resolver`-style retry/failover over `servers`, one gated validated
+    /// exchange at a time.
+    fn query_gated(
+        &mut self,
+        servers: &[IpAddr],
+        qname: &Name,
+        qtype: RrType,
+    ) -> Result<Message, ResolveError> {
+        let shared = Arc::clone(&self.shared);
+        let mut last_err = ResolveError::Timeout;
+        let mut attempts = 0u64;
+        for _ in 0..shared.config.resolver.retries.max(1) {
+            for &server in servers {
+                if attempts > 0 {
+                    shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                attempts += 1;
+                let exchanged = {
+                    let _permit = shared.gate.acquire(server);
+                    self.resolver.exchange(server, qname, qtype)
+                };
+                match exchanged {
+                    Ok(m) => return Ok(m),
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        Err(last_err)
+    }
+}
+
+/// RFC 2308 negative TTL: the SOA `minimum` attached to the authority
+/// section of a negative answer.
+fn soa_minimum(resp: &Message) -> Option<u32> {
+    resp.authorities.iter().find_map(|r| match &r.rdata {
+        RData::Soa(soa) => Some(soa.minimum),
+        _ => None,
+    })
+}

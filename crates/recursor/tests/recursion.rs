@@ -1,0 +1,231 @@
+//! End-to-end recursor behaviour over a materialized world: cache reuse
+//! within a day, TTL expiry across days, packet accounting, coalescing and
+//! the sweep scheduler.
+
+use dps_dns::{Name, RrType};
+use dps_ecosystem::{ScenarioParams, World};
+use dps_netsim::{Day, Network};
+use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
+use std::net::IpAddr;
+
+fn src() -> IpAddr {
+    "172.16.5.1".parse().unwrap()
+}
+
+fn world() -> World {
+    World::imc2016(ScenarioParams::tiny(41))
+}
+
+fn jobs_for(world: &World, take: usize) -> Vec<(Name, RrType)> {
+    let mut jobs = Vec::new();
+    for entry in world
+        .zone_entries(dps_ecosystem::Tld::Com)
+        .into_iter()
+        .take(take)
+    {
+        let apex = world.entry_name(entry);
+        let www = apex.prepend("www").unwrap();
+        jobs.push((apex.clone(), RrType::A));
+        jobs.push((www, RrType::A));
+        jobs.push((apex.clone(), RrType::Aaaa));
+        jobs.push((apex, RrType::Ns));
+    }
+    jobs
+}
+
+#[test]
+fn repeat_queries_are_served_from_cache_without_packets() {
+    let world = world();
+    let net = Network::new(5);
+    let catalog = world.materialize(&net);
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let mut worker = recursor.worker(&net, src(), 0);
+
+    let apex = world.entry_name(world.zone_entries(dps_ecosystem::Tld::Com)[0]);
+    let first = worker.resolve(&apex, RrType::A).unwrap();
+    let packets_after_first = net.stats().snapshot().sent;
+    assert!(packets_after_first > 0);
+
+    let second = worker.resolve(&apex, RrType::A).unwrap();
+    assert_eq!(first, second, "cache replays the resolution verbatim");
+    assert_eq!(
+        net.stats().snapshot().sent,
+        packets_after_first,
+        "hit sent no packets"
+    );
+
+    let stats = recursor.stats();
+    assert_eq!(
+        (stats.queries, stats.cache_hits, stats.cache_misses),
+        (2, 1, 1)
+    );
+}
+
+#[test]
+fn day_boundary_expires_answers_but_not_correctness() {
+    let world = world();
+    let net = Network::new(6);
+    let catalog = world.materialize(&net);
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let mut worker = recursor.worker(&net, src(), 0);
+
+    let apex = world.entry_name(world.zone_entries(dps_ecosystem::Tld::Com)[0]);
+    recursor.begin_day(Day(0));
+    let day0 = worker.resolve(&apex, RrType::A).unwrap();
+    let packets_day0 = net.stats().snapshot().sent;
+
+    // Same day: a hit. Next day: zone TTLs (≤ hours) have long lapsed.
+    recursor.begin_day(Day(1));
+    let day1 = worker.resolve(&apex, RrType::A).unwrap();
+    assert!(
+        net.stats().snapshot().sent > packets_day0,
+        "day-1 lookup went to the network"
+    );
+    assert_eq!(day0.rcode, day1.rcode);
+    assert_eq!(
+        day0.answers, day1.answers,
+        "static zone: same records re-fetched"
+    );
+}
+
+#[test]
+fn infra_cache_skips_the_root_for_sibling_queries() {
+    let world = world();
+    let net = Network::new(7);
+    let catalog = world.materialize(&net);
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let mut worker = recursor.worker(&net, src(), 0);
+
+    let entries = world.zone_entries(dps_ecosystem::Tld::Com);
+    let first = world.entry_name(entries[0]);
+    let sibling = world.entry_name(entries[1]);
+
+    worker.resolve(&first, RrType::A).unwrap();
+    assert!(
+        !recursor.infra_cache().is_empty(),
+        "referrals populated the infra cache"
+    );
+    let stats_before = recursor.stats();
+    worker.resolve(&sibling, RrType::A).unwrap();
+    let stats = recursor.stats();
+    assert!(
+        stats.infra_starts > stats_before.infra_starts,
+        "sibling descent started from a cached cut"
+    );
+}
+
+#[test]
+fn warm_sweep_needs_five_times_fewer_packets_than_uncached_wire() {
+    let world = world();
+    let net = Network::new(8);
+    let catalog = world.materialize(&net);
+    let jobs = jobs_for(&world, 40);
+
+    // Baseline: the uncached wire resolver, fresh descent per query.
+    let mut baseline = dps_authdns::resolver::Resolver::new(&net, src(), 99, catalog.root_hints());
+    let before = net.stats().snapshot().sent;
+    for (qname, qtype) in &jobs {
+        let _ = baseline.resolve(qname, *qtype);
+    }
+    let uncached_packets = net.stats().snapshot().sent - before;
+
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let scheduler = SweepScheduler::new(recursor, 1);
+    let cold = scheduler.run_sweep(&net, src(), Day(0), &jobs);
+    let warm = scheduler.run_sweep(&net, src(), Day(0), &jobs);
+
+    assert_eq!(cold.queries, jobs.len() as u64);
+    assert!(
+        cold.packets_sent < uncached_packets,
+        "even a cold sweep shares infrastructure"
+    );
+    assert!(
+        warm.packets_sent * 5 <= uncached_packets,
+        "warm sweep {} packets vs uncached {}",
+        warm.packets_sent,
+        uncached_packets
+    );
+    assert!(warm.hit_ratio() > 0.95, "hit ratio {}", warm.hit_ratio());
+    assert_eq!(warm.errors, 0);
+}
+
+#[test]
+fn scheduler_coalesces_identical_concurrent_questions() {
+    let world = world();
+    let net = Network::new(9);
+    let catalog = world.materialize(&net);
+    let apex = world.entry_name(world.zone_entries(dps_ecosystem::Tld::Com)[0]);
+
+    // Every worker asks the same (slow, uncached) question at once.
+    let jobs: Vec<(Name, RrType)> = (0..64).map(|_| (apex.clone(), RrType::A)).collect();
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let report = SweepScheduler::new(recursor, 8).run_sweep(&net, src(), Day(0), &jobs);
+
+    assert_eq!(report.queries, 64);
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.coalesced + report.cache_hits >= 63,
+        "all but the leader shared its work: {report:?}"
+    );
+}
+
+#[test]
+fn recursor_answers_match_the_bulk_path() {
+    let world = world();
+    let net = Network::new(10);
+    let catalog = world.materialize(&net);
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let mut worker = recursor.worker(&net, src(), 0);
+
+    for entry in world
+        .zone_entries(dps_ecosystem::Tld::Com)
+        .into_iter()
+        .take(25)
+    {
+        let apex = world.entry_name(entry);
+        let www = apex.prepend("www").unwrap();
+        for (qname, qtype) in [
+            (&apex, RrType::A),
+            (&www, RrType::A),
+            (&apex, RrType::Ns),
+            (&apex, RrType::Aaaa),
+        ] {
+            match (world.resolve(qname, qtype), worker.resolve(qname, qtype)) {
+                (Ok(bulk), Ok(rec)) => {
+                    assert_eq!(bulk.rcode, rec.rcode, "{qname} {qtype}");
+                    assert_eq!(bulk.answers, rec.answers, "{qname} {qtype}");
+                }
+                (Err(_), Err(_)) => {}
+                (b, r) => panic!("{qname} {qtype}: bulk {b:?} vs recursor {r:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn negative_answers_are_cached_rfc2308() {
+    let world = world();
+    let net = Network::new(11);
+    let catalog = world.materialize(&net);
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let mut worker = recursor.worker(&net, src(), 0);
+
+    let missing: Name = "definitely-not-registered-zz.com".parse().unwrap();
+    let first = worker.resolve(&missing, RrType::A).unwrap();
+    assert_eq!(first.rcode, dps_dns::Rcode::NxDomain);
+    let packets = net.stats().snapshot().sent;
+
+    let second = worker.resolve(&missing, RrType::A).unwrap();
+    assert_eq!(second.rcode, dps_dns::Rcode::NxDomain);
+    assert_eq!(
+        net.stats().snapshot().sent,
+        packets,
+        "NXDOMAIN served from cache"
+    );
+    assert_eq!(
+        recursor
+            .answer_cache()
+            .negative(&missing, RrType::A, recursor.clock().now_us()),
+        Some(true)
+    );
+}

@@ -12,9 +12,19 @@ use dps_scope::prelude::*;
 fn main() {
     // 80 days is enough to catch the March 2015 Wix↔F5 swing (days 4–6)
     // and the May 2015 plateau onset (day 66).
-    let params = ScenarioParams { seed: 3, scale: 0.3, gtld_days: 80, cc_start_day: 80 };
+    let params = ScenarioParams {
+        seed: 3,
+        scale: 0.3,
+        gtld_days: 80,
+        cc_start_day: 80,
+    };
     let mut world = World::imc2016(params);
-    let store = Study::new(StudyConfig { days: 80, cc_start_day: 80, stride: 1 }).run(&mut world);
+    let store = Study::new(StudyConfig {
+        days: 80,
+        cc_start_day: 80,
+        stride: 1,
+    })
+    .run(&mut world);
     let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
     let out = Scanner::new(&refs).run(&store);
 

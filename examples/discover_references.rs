@@ -10,7 +10,12 @@ use dps_scope::prelude::*;
 use dps_scope::PROVIDER_KEYWORDS;
 
 fn main() {
-    let params = ScenarioParams { seed: 1, scale: 0.25, gtld_days: 60, cc_start_day: 60 };
+    let params = ScenarioParams {
+        seed: 1,
+        scale: 0.25,
+        gtld_days: 60,
+        cc_start_day: 60,
+    };
     let mut world = World::imc2016(params);
 
     // Seeds: what an analyst finds by searching AS-to-name data.
@@ -20,8 +25,20 @@ fn main() {
         println!("  {:<14} {:?}", s.name, s.asns);
     }
 
-    let store = Study::new(StudyConfig { days: 60, cc_start_day: 60, stride: 1 }).run(&mut world);
-    let found = discover(&store, &seeds, &DiscoveryConfig { day_stride: 5, ..Default::default() });
+    let store = Study::new(StudyConfig {
+        days: 60,
+        cc_start_day: 60,
+        stride: 1,
+    })
+    .run(&mut world);
+    let found = discover(
+        &store,
+        &seeds,
+        &DiscoveryConfig {
+            day_stride: 5,
+            ..Default::default()
+        },
+    );
 
     println!("\ndiscovered references (the paper's Table 2):\n");
     println!("{}", report::table2(&found));

@@ -13,12 +13,21 @@ use dps_scope::measure::pipeline::sweep_with_path;
 use dps_scope::prelude::*;
 
 fn main() {
-    let params = ScenarioParams { seed: 5, scale: 0.005, gtld_days: 10, cc_start_day: 10 };
+    let params = ScenarioParams {
+        seed: 5,
+        scale: 0.005,
+        gtld_days: 10,
+        cc_start_day: 10,
+    };
     let world = World::imc2016(params);
 
     for loss in [0.0, 0.10, 0.25, 0.40] {
         let net = Network::new(99);
-        net.set_faults(FaultProfile { loss, corrupt: loss / 2.0, ..FaultProfile::default() });
+        net.set_faults(FaultProfile {
+            loss,
+            corrupt: loss / 2.0,
+            ..FaultProfile::default()
+        });
         let catalog = world.materialize(&net);
 
         let resolver = Resolver::new(
@@ -27,7 +36,10 @@ fn main() {
             1,
             catalog.root_hints(),
         )
-        .with_config(ResolverConfig { retries: 6, ..Default::default() });
+        .with_config(ResolverConfig {
+            retries: 6,
+            ..Default::default()
+        });
         let mut path = WirePath::new(resolver);
 
         let mut store = SnapshotStore::new();

@@ -43,14 +43,18 @@ fn describe(world: &World, id: DomainId) {
 }
 
 fn main() {
-    let params = ScenarioParams { seed: 11, scale: 0.3, gtld_days: 120, cc_start_day: 120 };
+    let params = ScenarioParams {
+        seed: 11,
+        scale: 0.3,
+        gtld_days: 120,
+        cc_start_day: 120,
+    };
     let mut world = World::imc2016(params);
 
     // Find a domain that flips protection several times: advance a copy of
     // the schedule and look for a state change.
     let candidates: Vec<DomainId> = (0..world.domains().len() as u32).map(DomainId).collect();
-    let initial: Vec<Diversion> =
-        world.domains().iter().map(|d| d.diversion).collect();
+    let initial: Vec<Diversion> = world.domains().iter().map(|d| d.diversion).collect();
 
     // Probe the timeline day by day and remember flips.
     let mut flips: std::collections::HashMap<DomainId, Vec<(u32, Diversion)>> =
@@ -86,8 +90,12 @@ fn main() {
 
     // Run the real pipeline and show the methodology's verdict.
     let mut world = World::imc2016(params);
-    let store =
-        Study::new(StudyConfig { days: 120, cc_start_day: 120, stride: 1 }).run(&mut world);
+    let store = Study::new(StudyConfig {
+        days: 120,
+        cc_start_day: 120,
+        stride: 1,
+    })
+    .run(&mut world);
     let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
     let out = Scanner::new(&refs).run(&store);
 
@@ -99,7 +107,10 @@ fn main() {
                 "\nmethodology verdict for provider {}: {:?}",
                 refs.names[*p as usize], mode
             );
-            println!("  diversion peaks (start, length in days): {:?}", tl.asn.runs());
+            println!(
+                "  diversion peaks (start, length in days): {:?}",
+                tl.asn.runs()
+            );
             assert!(matches!(mode, UseMode::OnDemand | UseMode::Ambiguous));
         }
     }

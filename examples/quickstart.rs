@@ -10,7 +10,12 @@ use dps_scope::prelude::*;
 
 fn main() {
     // 1. A world at 1/50 000 of the real 2015 namespace, 60 days.
-    let params = ScenarioParams { seed: 42, scale: 0.05, gtld_days: 60, cc_start_day: 40 };
+    let params = ScenarioParams {
+        seed: 42,
+        scale: 0.05,
+        gtld_days: 60,
+        cc_start_day: 40,
+    };
     let mut world = World::imc2016(params);
     println!(
         "world: {} domains across .com/.net/.org/.nl, day 0 = {}",
@@ -19,12 +24,18 @@ fn main() {
     );
 
     // 2. Measure: daily sweeps of every zone plus the Alexa-style list.
-    let store = Study::new(StudyConfig { days: 60, cc_start_day: 40, stride: 1 }).run(&mut world);
+    let store = Study::new(StudyConfig {
+        days: 60,
+        cc_start_day: 40,
+        stride: 1,
+    })
+    .run(&mut world);
     println!(
         "measured {} data points, stored {} (compressed)",
         dps_scope::core::report::human_count(
-            (0..5).map(|i| store.stats(Source::from_index(i).unwrap()).data_points).sum::<u64>()
-                as f64
+            (0..5)
+                .map(|i| store.stats(Source::from_index(i).unwrap()).data_points)
+                .sum::<u64>() as f64
         ),
         dps_scope::core::report::human_bytes(store.total_stored_bytes()),
     );

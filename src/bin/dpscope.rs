@@ -130,7 +130,12 @@ fn cmd_simulate(args: CommonArgs) {
     let path = args.out.join("as-names.tsv");
     std::fs::write(&path, asns).expect("write as names");
     println!("wrote {}", path.display());
-    println!("\nworld: {} domains, day {} ({})", world.domains().len(), args.day, Day(args.day));
+    println!(
+        "\nworld: {} domains, day {} ({})",
+        world.domains().len(),
+        args.day,
+        Day(args.day)
+    );
 }
 
 fn cmd_measure(args: CommonArgs) {
@@ -145,7 +150,11 @@ fn cmd_measure(args: CommonArgs) {
         cc_start_day: args.cc_start,
     };
     let mut world = World::imc2016(params);
-    println!("world: {} domains; sweeping {} days…", world.domains().len(), args.days);
+    println!(
+        "world: {} domains; sweeping {} days…",
+        world.domains().len(),
+        args.days
+    );
     let store = Study::new(StudyConfig {
         days: args.days,
         cc_start_day: args.cc_start,
@@ -170,7 +179,11 @@ fn cmd_analyze(args: CommonArgs) {
         out_dir: args.out.clone(),
         store_dir: args.archive.clone(),
     };
-    let ids = if args.rest.is_empty() { vec!["all".to_string()] } else { args.rest.clone() };
+    let ids = if args.rest.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        args.rest.clone()
+    };
     let ctx = Context::build(config);
     for id in ids {
         match run(&ctx, &id) {
@@ -193,12 +206,19 @@ fn cmd_dig(args: CommonArgs) {
     let world = world_for(&args);
     let net = Network::new(args.seed);
     let catalog = world.materialize(&net);
-    let mut resolver =
-        Resolver::new(&net, "172.16.0.53".parse().unwrap(), 0, catalog.root_hints());
+    let mut resolver = Resolver::new(
+        &net,
+        "172.16.0.53".parse().unwrap(),
+        0,
+        catalog.root_hints(),
+    );
     println!("; <<>> dpscope dig <<>> {qname} {qtype} @day {}", args.day);
     match resolver.resolve(&qname, qtype) {
         Ok(res) => {
-            println!(";; status: {}, elapsed: {} µs (virtual)", res.rcode, res.elapsed_us);
+            println!(
+                ";; status: {}, elapsed: {} µs (virtual)",
+                res.rcode, res.elapsed_us
+            );
             for rec in &res.answers {
                 println!("{rec}");
             }
@@ -209,7 +229,9 @@ fn cmd_dig(args: CommonArgs) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = argv.split_first() else { usage() };
+    let Some((command, rest)) = argv.split_first() else {
+        usage()
+    };
     let args = parse_args(rest);
     match command.as_str() {
         "simulate" => cmd_simulate(args),

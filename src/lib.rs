@@ -47,6 +47,7 @@ pub use dps_dns as dns;
 pub use dps_ecosystem as ecosystem;
 pub use dps_measure as measure;
 pub use dps_netsim as netsim;
+pub use dps_recursor as recursor;
 
 /// The things almost every user needs, in one import.
 pub mod prelude {
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use dps_ecosystem::{Diversion, DomainId, ScenarioParams, Tld, World};
     pub use dps_measure::{SnapshotStore, Source, Study, StudyConfig};
     pub use dps_netsim::{Day, FaultProfile, Network, Prefix};
+    pub use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
 }
 
 /// The nine provider marketing names, used to seed reference discovery.

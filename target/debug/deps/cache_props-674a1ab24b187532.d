@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_props-674a1ab24b187532.d: crates/recursor/tests/cache_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_props-674a1ab24b187532.rmeta: crates/recursor/tests/cache_props.rs Cargo.toml
+
+crates/recursor/tests/cache_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_props-b7918b29a0383d33.d: crates/recursor/tests/cache_props.rs
+
+/root/repo/target/debug/deps/cache_props-b7918b29a0383d33: crates/recursor/tests/cache_props.rs
+
+crates/recursor/tests/cache_props.rs:

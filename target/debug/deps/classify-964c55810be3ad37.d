@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classify-964c55810be3ad37.d: crates/bench/benches/classify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassify-964c55810be3ad37.rmeta: crates/bench/benches/classify.rs Cargo.toml
+
+crates/bench/benches/classify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/columnar-bb20ebc86bbb6bb9.d: crates/bench/benches/columnar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcolumnar-bb20ebc86bbb6bb9.rmeta: crates/bench/benches/columnar.rs Cargo.toml
+
+crates/bench/benches/columnar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

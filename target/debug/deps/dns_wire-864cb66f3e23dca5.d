@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_wire-864cb66f3e23dca5.d: crates/bench/benches/dns_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_wire-864cb66f3e23dca5.rmeta: crates/bench/benches/dns_wire.rs Cargo.toml
+
+crates/bench/benches/dns_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dps_authdns-2581804479ec0ab6.d: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+/root/repo/target/debug/deps/dps_authdns-2581804479ec0ab6: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+crates/authdns/src/lib.rs:
+crates/authdns/src/catalog.rs:
+crates/authdns/src/resolver.rs:
+crates/authdns/src/server.rs:
+crates/authdns/src/zone.rs:
+crates/authdns/src/zonefile.rs:

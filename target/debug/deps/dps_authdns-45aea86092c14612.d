@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dps_authdns-45aea86092c14612.d: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_authdns-45aea86092c14612.rmeta: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs Cargo.toml
+
+crates/authdns/src/lib.rs:
+crates/authdns/src/catalog.rs:
+crates/authdns/src/resolver.rs:
+crates/authdns/src/server.rs:
+crates/authdns/src/zone.rs:
+crates/authdns/src/zonefile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

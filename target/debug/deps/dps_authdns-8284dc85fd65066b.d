@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dps_authdns-8284dc85fd65066b.d: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+/root/repo/target/debug/deps/libdps_authdns-8284dc85fd65066b.rlib: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+/root/repo/target/debug/deps/libdps_authdns-8284dc85fd65066b.rmeta: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+crates/authdns/src/lib.rs:
+crates/authdns/src/catalog.rs:
+crates/authdns/src/resolver.rs:
+crates/authdns/src/server.rs:
+crates/authdns/src/zone.rs:
+crates/authdns/src/zonefile.rs:

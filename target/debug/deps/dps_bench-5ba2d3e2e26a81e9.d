@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dps_bench-5ba2d3e2e26a81e9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/dps_bench-5ba2d3e2e26a81e9: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

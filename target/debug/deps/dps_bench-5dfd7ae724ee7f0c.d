@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dps_bench-5dfd7ae724ee7f0c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdps_bench-5dfd7ae724ee7f0c.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdps_bench-5dfd7ae724ee7f0c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

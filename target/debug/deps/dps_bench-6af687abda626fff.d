@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dps_bench-6af687abda626fff.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdps_bench-6af687abda626fff.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdps_bench-6af687abda626fff.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

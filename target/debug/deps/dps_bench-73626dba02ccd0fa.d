@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dps_bench-73626dba02ccd0fa.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdps_bench-73626dba02ccd0fa.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdps_bench-73626dba02ccd0fa.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

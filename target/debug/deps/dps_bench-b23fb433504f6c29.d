@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dps_bench-b23fb433504f6c29.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/dps_bench-b23fb433504f6c29: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dps_columnar-12a97601dac957dc.d: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_columnar-12a97601dac957dc.rmeta: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs Cargo.toml
+
+crates/columnar/src/lib.rs:
+crates/columnar/src/dictionary.rs:
+crates/columnar/src/encoding.rs:
+crates/columnar/src/mapreduce.rs:
+crates/columnar/src/table.rs:
+crates/columnar/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dps_columnar-5cf55d746d103905.d: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+/root/repo/target/debug/deps/dps_columnar-5cf55d746d103905: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+crates/columnar/src/lib.rs:
+crates/columnar/src/dictionary.rs:
+crates/columnar/src/encoding.rs:
+crates/columnar/src/mapreduce.rs:
+crates/columnar/src/table.rs:
+crates/columnar/src/varint.rs:

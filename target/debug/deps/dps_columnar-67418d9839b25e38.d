@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dps_columnar-67418d9839b25e38.d: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+/root/repo/target/debug/deps/libdps_columnar-67418d9839b25e38.rlib: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+/root/repo/target/debug/deps/libdps_columnar-67418d9839b25e38.rmeta: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+crates/columnar/src/lib.rs:
+crates/columnar/src/dictionary.rs:
+crates/columnar/src/encoding.rs:
+crates/columnar/src/mapreduce.rs:
+crates/columnar/src/table.rs:
+crates/columnar/src/varint.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dps_core-0dff4fe29dcd1aa5.d: crates/core/src/lib.rs crates/core/src/attribution.rs crates/core/src/combinations.rs crates/core/src/discovery.rs crates/core/src/flux.rs crates/core/src/growth.rs crates/core/src/mechanism.rs crates/core/src/peaks.rs crates/core/src/references.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/dps_core-0dff4fe29dcd1aa5: crates/core/src/lib.rs crates/core/src/attribution.rs crates/core/src/combinations.rs crates/core/src/discovery.rs crates/core/src/flux.rs crates/core/src/growth.rs crates/core/src/mechanism.rs crates/core/src/peaks.rs crates/core/src/references.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attribution.rs:
+crates/core/src/combinations.rs:
+crates/core/src/discovery.rs:
+crates/core/src/flux.rs:
+crates/core/src/growth.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/peaks.rs:
+crates/core/src/references.rs:
+crates/core/src/report.rs:
+crates/core/src/scan.rs:
+crates/core/src/util.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dps_core-ce22a4f7b51b939c.d: crates/core/src/lib.rs crates/core/src/attribution.rs crates/core/src/combinations.rs crates/core/src/discovery.rs crates/core/src/flux.rs crates/core/src/growth.rs crates/core/src/mechanism.rs crates/core/src/peaks.rs crates/core/src/references.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_core-ce22a4f7b51b939c.rmeta: crates/core/src/lib.rs crates/core/src/attribution.rs crates/core/src/combinations.rs crates/core/src/discovery.rs crates/core/src/flux.rs crates/core/src/growth.rs crates/core/src/mechanism.rs crates/core/src/peaks.rs crates/core/src/references.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/util.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/attribution.rs:
+crates/core/src/combinations.rs:
+crates/core/src/discovery.rs:
+crates/core/src/flux.rs:
+crates/core/src/growth.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/peaks.rs:
+crates/core/src/references.rs:
+crates/core/src/report.rs:
+crates/core/src/scan.rs:
+crates/core/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

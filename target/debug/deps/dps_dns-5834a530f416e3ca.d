@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dps_dns-5834a530f416e3ca.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+/root/repo/target/debug/deps/dps_dns-5834a530f416e3ca: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/psl.rs:
+crates/dns/src/rr.rs:
+crates/dns/src/wire.rs:

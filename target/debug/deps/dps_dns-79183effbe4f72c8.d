@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dps_dns-79183effbe4f72c8.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+/root/repo/target/debug/deps/libdps_dns-79183effbe4f72c8.rlib: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+/root/repo/target/debug/deps/libdps_dns-79183effbe4f72c8.rmeta: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/psl.rs:
+crates/dns/src/rr.rs:
+crates/dns/src/wire.rs:

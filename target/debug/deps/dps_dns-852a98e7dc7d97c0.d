@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dps_dns-852a98e7dc7d97c0.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_dns-852a98e7dc7d97c0.rmeta: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs Cargo.toml
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/psl.rs:
+crates/dns/src/rr.rs:
+crates/dns/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dps_ecosystem-186f83ff7638de67.d: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_ecosystem-186f83ff7638de67.rmeta: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs Cargo.toml
+
+crates/ecosystem/src/lib.rs:
+crates/ecosystem/src/domain.rs:
+crates/ecosystem/src/ids.rs:
+crates/ecosystem/src/scenario.rs:
+crates/ecosystem/src/schedule.rs:
+crates/ecosystem/src/spec.rs:
+crates/ecosystem/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dps_ecosystem-3c806a4b740d013f.d: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+/root/repo/target/debug/deps/libdps_ecosystem-3c806a4b740d013f.rlib: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+/root/repo/target/debug/deps/libdps_ecosystem-3c806a4b740d013f.rmeta: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+crates/ecosystem/src/lib.rs:
+crates/ecosystem/src/domain.rs:
+crates/ecosystem/src/ids.rs:
+crates/ecosystem/src/scenario.rs:
+crates/ecosystem/src/schedule.rs:
+crates/ecosystem/src/spec.rs:
+crates/ecosystem/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dps_ecosystem-ab2e7e1755749290.d: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+/root/repo/target/debug/deps/dps_ecosystem-ab2e7e1755749290: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+crates/ecosystem/src/lib.rs:
+crates/ecosystem/src/domain.rs:
+crates/ecosystem/src/ids.rs:
+crates/ecosystem/src/scenario.rs:
+crates/ecosystem/src/schedule.rs:
+crates/ecosystem/src/spec.rs:
+crates/ecosystem/src/world.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dps_measure-325b8b55de1cfeb7.d: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_measure-325b8b55de1cfeb7.rmeta: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs Cargo.toml
+
+crates/measure/src/lib.rs:
+crates/measure/src/collector.rs:
+crates/measure/src/observation.rs:
+crates/measure/src/pipeline.rs:
+crates/measure/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

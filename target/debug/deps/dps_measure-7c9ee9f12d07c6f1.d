@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dps_measure-7c9ee9f12d07c6f1.d: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+/root/repo/target/debug/deps/dps_measure-7c9ee9f12d07c6f1: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/collector.rs:
+crates/measure/src/observation.rs:
+crates/measure/src/pipeline.rs:
+crates/measure/src/snapshot.rs:

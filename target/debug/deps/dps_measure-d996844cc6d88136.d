@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dps_measure-d996844cc6d88136.d: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+/root/repo/target/debug/deps/libdps_measure-d996844cc6d88136.rlib: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+/root/repo/target/debug/deps/libdps_measure-d996844cc6d88136.rmeta: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/collector.rs:
+crates/measure/src/observation.rs:
+crates/measure/src/pipeline.rs:
+crates/measure/src/snapshot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dps_measure-e025759694ac31f7.d: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+/root/repo/target/debug/deps/libdps_measure-e025759694ac31f7.rlib: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+/root/repo/target/debug/deps/libdps_measure-e025759694ac31f7.rmeta: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/collector.rs:
+crates/measure/src/observation.rs:
+crates/measure/src/pipeline.rs:
+crates/measure/src/snapshot.rs:

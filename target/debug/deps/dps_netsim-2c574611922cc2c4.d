@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dps_netsim-2c574611922cc2c4.d: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+/root/repo/target/debug/deps/dps_netsim-2c574611922cc2c4: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/asn.rs:
+crates/netsim/src/bgp.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/history.rs:
+crates/netsim/src/net.rs:
+crates/netsim/src/prefix.rs:
+crates/netsim/src/trie.rs:

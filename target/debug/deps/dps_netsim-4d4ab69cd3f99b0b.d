@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dps_netsim-4d4ab69cd3f99b0b.d: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+/root/repo/target/debug/deps/libdps_netsim-4d4ab69cd3f99b0b.rlib: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+/root/repo/target/debug/deps/libdps_netsim-4d4ab69cd3f99b0b.rmeta: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/asn.rs:
+crates/netsim/src/bgp.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/history.rs:
+crates/netsim/src/net.rs:
+crates/netsim/src/prefix.rs:
+crates/netsim/src/trie.rs:

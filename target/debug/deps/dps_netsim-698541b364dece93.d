@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dps_netsim-698541b364dece93.d: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_netsim-698541b364dece93.rmeta: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/asn.rs:
+crates/netsim/src/bgp.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/history.rs:
+crates/netsim/src/net.rs:
+crates/netsim/src/prefix.rs:
+crates/netsim/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dps_recursor-0957387edf75fcd0.d: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+/root/repo/target/debug/deps/libdps_recursor-0957387edf75fcd0.rlib: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+/root/repo/target/debug/deps/libdps_recursor-0957387edf75fcd0.rmeta: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+crates/recursor/src/lib.rs:
+crates/recursor/src/cache.rs:
+crates/recursor/src/clock.rs:
+crates/recursor/src/infra.rs:
+crates/recursor/src/recursor.rs:
+crates/recursor/src/scheduler.rs:
+crates/recursor/src/singleflight.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dps_recursor-3a5a9c76c5c22ab4.d: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+/root/repo/target/debug/deps/libdps_recursor-3a5a9c76c5c22ab4.rlib: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+/root/repo/target/debug/deps/libdps_recursor-3a5a9c76c5c22ab4.rmeta: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+crates/recursor/src/lib.rs:
+crates/recursor/src/cache.rs:
+crates/recursor/src/clock.rs:
+crates/recursor/src/infra.rs:
+crates/recursor/src/recursor.rs:
+crates/recursor/src/scheduler.rs:
+crates/recursor/src/singleflight.rs:

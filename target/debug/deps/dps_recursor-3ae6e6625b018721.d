@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dps_recursor-3ae6e6625b018721.d: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_recursor-3ae6e6625b018721.rmeta: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs Cargo.toml
+
+crates/recursor/src/lib.rs:
+crates/recursor/src/cache.rs:
+crates/recursor/src/clock.rs:
+crates/recursor/src/infra.rs:
+crates/recursor/src/recursor.rs:
+crates/recursor/src/scheduler.rs:
+crates/recursor/src/singleflight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

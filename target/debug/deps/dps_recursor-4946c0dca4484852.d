@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dps_recursor-4946c0dca4484852.d: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+/root/repo/target/debug/deps/dps_recursor-4946c0dca4484852: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+crates/recursor/src/lib.rs:
+crates/recursor/src/cache.rs:
+crates/recursor/src/clock.rs:
+crates/recursor/src/infra.rs:
+crates/recursor/src/recursor.rs:
+crates/recursor/src/scheduler.rs:
+crates/recursor/src/singleflight.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dps_scope-0b8bece89c01b479.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_scope-0b8bece89c01b479.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dps_scope-16662fb7cfc0af6a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-16662fb7cfc0af6a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-16662fb7cfc0af6a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dps_scope-26934ba650308401.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-26934ba650308401.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-26934ba650308401.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dps_scope-3802d571818d7586.d: src/lib.rs
+
+/root/repo/target/debug/deps/dps_scope-3802d571818d7586: src/lib.rs
+
+src/lib.rs:

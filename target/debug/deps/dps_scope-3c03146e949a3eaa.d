@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dps_scope-3c03146e949a3eaa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdps_scope-3c03146e949a3eaa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

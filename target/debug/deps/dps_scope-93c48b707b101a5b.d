@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dps_scope-93c48b707b101a5b.d: src/lib.rs
+
+/root/repo/target/debug/deps/dps_scope-93c48b707b101a5b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dps_scope-9b38f36041aaa111.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-9b38f36041aaa111.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-9b38f36041aaa111.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dps_scope-b065ee52de2e9ca9.d: src/lib.rs
+
+/root/repo/target/debug/deps/dps_scope-b065ee52de2e9ca9: src/lib.rs
+
+src/lib.rs:

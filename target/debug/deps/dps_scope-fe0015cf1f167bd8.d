@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dps_scope-fe0015cf1f167bd8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-fe0015cf1f167bd8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdps_scope-fe0015cf1f167bd8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpscope-21ee97eae8cb8f71.d: src/bin/dpscope.rs
+
+/root/repo/target/debug/deps/dpscope-21ee97eae8cb8f71: src/bin/dpscope.rs
+
+src/bin/dpscope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpscope-4c766677b09fb364.d: src/bin/dpscope.rs
+
+/root/repo/target/debug/deps/dpscope-4c766677b09fb364: src/bin/dpscope.rs
+
+src/bin/dpscope.rs:

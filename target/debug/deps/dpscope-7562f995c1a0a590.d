@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpscope-7562f995c1a0a590.d: src/bin/dpscope.rs
+
+/root/repo/target/debug/deps/dpscope-7562f995c1a0a590: src/bin/dpscope.rs
+
+src/bin/dpscope.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpscope-77107cc8d8632521.d: src/bin/dpscope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpscope-77107cc8d8632521.rmeta: src/bin/dpscope.rs Cargo.toml
+
+src/bin/dpscope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

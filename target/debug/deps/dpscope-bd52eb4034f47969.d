@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpscope-bd52eb4034f47969.d: src/bin/dpscope.rs
+
+/root/repo/target/debug/deps/dpscope-bd52eb4034f47969: src/bin/dpscope.rs
+
+src/bin/dpscope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpscope-c427fb0b335bdb9b.d: src/bin/dpscope.rs
+
+/root/repo/target/debug/deps/dpscope-c427fb0b335bdb9b: src/bin/dpscope.rs
+
+src/bin/dpscope.rs:

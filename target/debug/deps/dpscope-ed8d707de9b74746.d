@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpscope-ed8d707de9b74746.d: src/bin/dpscope.rs
+
+/root/repo/target/debug/deps/dpscope-ed8d707de9b74746: src/bin/dpscope.rs
+
+src/bin/dpscope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-68a50f8e75964449.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-68a50f8e75964449: tests/end_to_end.rs
+
+tests/end_to_end.rs:

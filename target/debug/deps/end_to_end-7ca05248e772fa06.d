@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7ca05248e772fa06.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7ca05248e772fa06: tests/end_to_end.rs
+
+tests/end_to_end.rs:

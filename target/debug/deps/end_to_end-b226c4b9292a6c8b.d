@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b226c4b9292a6c8b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b226c4b9292a6c8b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

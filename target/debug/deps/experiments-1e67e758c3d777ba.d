@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-1e67e758c3d777ba.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-1e67e758c3d777ba: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

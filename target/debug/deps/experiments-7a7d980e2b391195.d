@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7a7d980e2b391195.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7a7d980e2b391195: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

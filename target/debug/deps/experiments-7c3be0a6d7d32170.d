@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7c3be0a6d7d32170.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7c3be0a6d7d32170: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faulty_network-66c70eb84edb9c72.d: tests/faulty_network.rs
+
+/root/repo/target/debug/deps/faulty_network-66c70eb84edb9c72: tests/faulty_network.rs
+
+tests/faulty_network.rs:

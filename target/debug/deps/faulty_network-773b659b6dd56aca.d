@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faulty_network-773b659b6dd56aca.d: tests/faulty_network.rs
+
+/root/repo/target/debug/deps/faulty_network-773b659b6dd56aca: tests/faulty_network.rs
+
+tests/faulty_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faulty_network-c69a1b70a7570f32.d: tests/faulty_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaulty_network-c69a1b70a7570f32.rmeta: tests/faulty_network.rs Cargo.toml
+
+tests/faulty_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

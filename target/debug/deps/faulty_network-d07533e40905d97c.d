@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faulty_network-d07533e40905d97c.d: tests/faulty_network.rs
+
+/root/repo/target/debug/deps/faulty_network-d07533e40905d97c: tests/faulty_network.rs
+
+tests/faulty_network.rs:

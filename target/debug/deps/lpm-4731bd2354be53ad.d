@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lpm-4731bd2354be53ad.d: crates/bench/benches/lpm.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpm-4731bd2354be53ad.rmeta: crates/bench/benches/lpm.rs Cargo.toml
+
+crates/bench/benches/lpm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methodology_accuracy-05952b03e35e0f63.d: tests/methodology_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethodology_accuracy-05952b03e35e0f63.rmeta: tests/methodology_accuracy.rs Cargo.toml
+
+tests/methodology_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology_accuracy-6f658ffec4c9c6d8.d: tests/methodology_accuracy.rs
+
+/root/repo/target/debug/deps/methodology_accuracy-6f658ffec4c9c6d8: tests/methodology_accuracy.rs
+
+tests/methodology_accuracy.rs:

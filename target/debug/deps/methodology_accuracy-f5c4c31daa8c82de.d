@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology_accuracy-f5c4c31daa8c82de.d: tests/methodology_accuracy.rs
+
+/root/repo/target/debug/deps/methodology_accuracy-f5c4c31daa8c82de: tests/methodology_accuracy.rs
+
+tests/methodology_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology_accuracy-f86381d307b34f82.d: tests/methodology_accuracy.rs
+
+/root/repo/target/debug/deps/methodology_accuracy-f86381d307b34f82: tests/methodology_accuracy.rs
+
+tests/methodology_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-05dfc24f4b49ad89.d: crates/columnar/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-05dfc24f4b49ad89: crates/columnar/tests/proptests.rs
+
+crates/columnar/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1082a00630e0dcee.d: crates/dns/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1082a00630e0dcee.rmeta: crates/dns/tests/proptests.rs Cargo.toml
+
+crates/dns/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-40b7075e6b8b2402.d: crates/dns/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-40b7075e6b8b2402: crates/dns/tests/proptests.rs
+
+crates/dns/tests/proptests.rs:

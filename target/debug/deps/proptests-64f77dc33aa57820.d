@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-64f77dc33aa57820.d: crates/columnar/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-64f77dc33aa57820.rmeta: crates/columnar/tests/proptests.rs Cargo.toml
+
+crates/columnar/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a42881e571c7e291.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a42881e571c7e291: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ba692755954ae47d.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ba692755954ae47d: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c07ed6c26a36658e.d: crates/netsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c07ed6c26a36658e.rmeta: crates/netsim/tests/proptests.rs Cargo.toml
+
+crates/netsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ea468205db2d768f.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ea468205db2d768f: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

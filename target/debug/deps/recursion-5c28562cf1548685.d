@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recursion-5c28562cf1548685.d: crates/recursor/tests/recursion.rs
+
+/root/repo/target/debug/deps/recursion-5c28562cf1548685: crates/recursor/tests/recursion.rs
+
+crates/recursor/tests/recursion.rs:

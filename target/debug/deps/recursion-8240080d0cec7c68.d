@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recursion-8240080d0cec7c68.d: crates/recursor/tests/recursion.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecursion-8240080d0cec7c68.rmeta: crates/recursor/tests/recursion.rs Cargo.toml
+
+crates/recursor/tests/recursion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recursor-44a2f01d8f57d84b.d: crates/bench/benches/recursor.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecursor-44a2f01d8f57d84b.rmeta: crates/bench/benches/recursor.rs Cargo.toml
+
+crates/bench/benches/recursor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recursor_sweep-09a6a35289814168.d: tests/recursor_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecursor_sweep-09a6a35289814168.rmeta: tests/recursor_sweep.rs Cargo.toml
+
+tests/recursor_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recursor_sweep-0f6aa81f6d93bc6c.d: tests/recursor_sweep.rs
+
+/root/repo/target/debug/deps/recursor_sweep-0f6aa81f6d93bc6c: tests/recursor_sweep.rs
+
+tests/recursor_sweep.rs:

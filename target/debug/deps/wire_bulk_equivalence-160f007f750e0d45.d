@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_bulk_equivalence-160f007f750e0d45.d: tests/wire_bulk_equivalence.rs
+
+/root/repo/target/debug/deps/wire_bulk_equivalence-160f007f750e0d45: tests/wire_bulk_equivalence.rs
+
+tests/wire_bulk_equivalence.rs:

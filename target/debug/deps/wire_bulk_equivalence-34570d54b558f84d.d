@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_bulk_equivalence-34570d54b558f84d.d: tests/wire_bulk_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_bulk_equivalence-34570d54b558f84d.rmeta: tests/wire_bulk_equivalence.rs Cargo.toml
+
+tests/wire_bulk_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_bulk_equivalence-cb29f678d061cd96.d: tests/wire_bulk_equivalence.rs
+
+/root/repo/target/debug/deps/wire_bulk_equivalence-cb29f678d061cd96: tests/wire_bulk_equivalence.rs
+
+tests/wire_bulk_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_bulk_equivalence-ee862504f5bc6395.d: tests/wire_bulk_equivalence.rs
+
+/root/repo/target/debug/deps/wire_bulk_equivalence-ee862504f5bc6395: tests/wire_bulk_equivalence.rs
+
+tests/wire_bulk_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_properties-0c49e6198408594e.d: tests/world_properties.rs
+
+/root/repo/target/debug/deps/world_properties-0c49e6198408594e: tests/world_properties.rs
+
+tests/world_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_properties-760de1dc5cc15411.d: tests/world_properties.rs
+
+/root/repo/target/debug/deps/world_properties-760de1dc5cc15411: tests/world_properties.rs
+
+tests/world_properties.rs:

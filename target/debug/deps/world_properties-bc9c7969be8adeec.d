@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_properties-bc9c7969be8adeec.d: tests/world_properties.rs
+
+/root/repo/target/debug/deps/world_properties-bc9c7969be8adeec: tests/world_properties.rs
+
+tests/world_properties.rs:

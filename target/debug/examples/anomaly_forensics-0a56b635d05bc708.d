@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_forensics-0a56b635d05bc708.d: examples/anomaly_forensics.rs
+
+/root/repo/target/debug/examples/anomaly_forensics-0a56b635d05bc708: examples/anomaly_forensics.rs
+
+examples/anomaly_forensics.rs:

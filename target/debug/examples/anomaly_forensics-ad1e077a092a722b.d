@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/anomaly_forensics-ad1e077a092a722b.d: examples/anomaly_forensics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanomaly_forensics-ad1e077a092a722b.rmeta: examples/anomaly_forensics.rs Cargo.toml
+
+examples/anomaly_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

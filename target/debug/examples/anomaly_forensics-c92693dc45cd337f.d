@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_forensics-c92693dc45cd337f.d: examples/anomaly_forensics.rs
+
+/root/repo/target/debug/examples/anomaly_forensics-c92693dc45cd337f: examples/anomaly_forensics.rs
+
+examples/anomaly_forensics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dig-0c7a104f74600ea3.d: examples/dig.rs
+
+/root/repo/target/debug/examples/dig-0c7a104f74600ea3: examples/dig.rs
+
+examples/dig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dig-83351e43a3d3778b.d: examples/dig.rs
+
+/root/repo/target/debug/examples/dig-83351e43a3d3778b: examples/dig.rs
+
+examples/dig.rs:

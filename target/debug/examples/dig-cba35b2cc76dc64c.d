@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dig-cba35b2cc76dc64c.d: examples/dig.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdig-cba35b2cc76dc64c.rmeta: examples/dig.rs Cargo.toml
+
+examples/dig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dig-da81b7aca1edf069.d: examples/dig.rs
+
+/root/repo/target/debug/examples/dig-da81b7aca1edf069: examples/dig.rs
+
+examples/dig.rs:

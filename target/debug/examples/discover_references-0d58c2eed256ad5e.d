@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/discover_references-0d58c2eed256ad5e.d: examples/discover_references.rs
+
+/root/repo/target/debug/examples/discover_references-0d58c2eed256ad5e: examples/discover_references.rs
+
+examples/discover_references.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/discover_references-87f4ed57b31c6009.d: examples/discover_references.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiscover_references-87f4ed57b31c6009.rmeta: examples/discover_references.rs Cargo.toml
+
+examples/discover_references.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/discover_references-d599aec70706fb01.d: examples/discover_references.rs
+
+/root/repo/target/debug/examples/discover_references-d599aec70706fb01: examples/discover_references.rs
+
+examples/discover_references.rs:

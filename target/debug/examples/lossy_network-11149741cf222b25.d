@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_network-11149741cf222b25.d: examples/lossy_network.rs
+
+/root/repo/target/debug/examples/lossy_network-11149741cf222b25: examples/lossy_network.rs
+
+examples/lossy_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_network-304e1ce601851fbe.d: examples/lossy_network.rs
+
+/root/repo/target/debug/examples/lossy_network-304e1ce601851fbe: examples/lossy_network.rs
+
+examples/lossy_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_network-d6b199434942c5cb.d: examples/lossy_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_network-d6b199434942c5cb.rmeta: examples/lossy_network.rs Cargo.toml
+
+examples/lossy_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/on_demand_mitigation-7571b5e2cf98ff04.d: examples/on_demand_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libon_demand_mitigation-7571b5e2cf98ff04.rmeta: examples/on_demand_mitigation.rs Cargo.toml
+
+examples/on_demand_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/on_demand_mitigation-8486f3827edcc8a7.d: examples/on_demand_mitigation.rs
+
+/root/repo/target/debug/examples/on_demand_mitigation-8486f3827edcc8a7: examples/on_demand_mitigation.rs
+
+examples/on_demand_mitigation.rs:

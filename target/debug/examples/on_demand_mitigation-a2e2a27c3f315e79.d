@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/on_demand_mitigation-a2e2a27c3f315e79.d: examples/on_demand_mitigation.rs
+
+/root/repo/target/debug/examples/on_demand_mitigation-a2e2a27c3f315e79: examples/on_demand_mitigation.rs
+
+examples/on_demand_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c0725df35300e306.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c0725df35300e306: examples/quickstart.rs
+
+examples/quickstart.rs:

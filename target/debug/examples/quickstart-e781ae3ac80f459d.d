@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e781ae3ac80f459d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e781ae3ac80f459d: examples/quickstart.rs
+
+examples/quickstart.rs:

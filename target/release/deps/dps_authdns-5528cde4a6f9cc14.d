@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dps_authdns-5528cde4a6f9cc14.d: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+/root/repo/target/release/deps/libdps_authdns-5528cde4a6f9cc14.rlib: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+/root/repo/target/release/deps/libdps_authdns-5528cde4a6f9cc14.rmeta: crates/authdns/src/lib.rs crates/authdns/src/catalog.rs crates/authdns/src/resolver.rs crates/authdns/src/server.rs crates/authdns/src/zone.rs crates/authdns/src/zonefile.rs
+
+crates/authdns/src/lib.rs:
+crates/authdns/src/catalog.rs:
+crates/authdns/src/resolver.rs:
+crates/authdns/src/server.rs:
+crates/authdns/src/zone.rs:
+crates/authdns/src/zonefile.rs:

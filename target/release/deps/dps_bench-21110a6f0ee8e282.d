@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dps_bench-21110a6f0ee8e282.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdps_bench-21110a6f0ee8e282.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdps_bench-21110a6f0ee8e282.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dps_bench-a165ea088ea02619.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdps_bench-a165ea088ea02619.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdps_bench-a165ea088ea02619.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

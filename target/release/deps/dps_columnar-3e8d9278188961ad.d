@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dps_columnar-3e8d9278188961ad.d: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+/root/repo/target/release/deps/libdps_columnar-3e8d9278188961ad.rlib: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+/root/repo/target/release/deps/libdps_columnar-3e8d9278188961ad.rmeta: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+crates/columnar/src/lib.rs:
+crates/columnar/src/dictionary.rs:
+crates/columnar/src/encoding.rs:
+crates/columnar/src/mapreduce.rs:
+crates/columnar/src/table.rs:
+crates/columnar/src/varint.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dps_columnar-ba982eed25dfd48a.d: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+/root/repo/target/release/deps/libdps_columnar-ba982eed25dfd48a.rlib: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+/root/repo/target/release/deps/libdps_columnar-ba982eed25dfd48a.rmeta: crates/columnar/src/lib.rs crates/columnar/src/dictionary.rs crates/columnar/src/encoding.rs crates/columnar/src/mapreduce.rs crates/columnar/src/table.rs crates/columnar/src/varint.rs
+
+crates/columnar/src/lib.rs:
+crates/columnar/src/dictionary.rs:
+crates/columnar/src/encoding.rs:
+crates/columnar/src/mapreduce.rs:
+crates/columnar/src/table.rs:
+crates/columnar/src/varint.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dps_core-b7b226fe9b03bd94.d: crates/core/src/lib.rs crates/core/src/attribution.rs crates/core/src/combinations.rs crates/core/src/discovery.rs crates/core/src/flux.rs crates/core/src/growth.rs crates/core/src/mechanism.rs crates/core/src/peaks.rs crates/core/src/references.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/util.rs
+
+/root/repo/target/release/deps/libdps_core-b7b226fe9b03bd94.rlib: crates/core/src/lib.rs crates/core/src/attribution.rs crates/core/src/combinations.rs crates/core/src/discovery.rs crates/core/src/flux.rs crates/core/src/growth.rs crates/core/src/mechanism.rs crates/core/src/peaks.rs crates/core/src/references.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/util.rs
+
+/root/repo/target/release/deps/libdps_core-b7b226fe9b03bd94.rmeta: crates/core/src/lib.rs crates/core/src/attribution.rs crates/core/src/combinations.rs crates/core/src/discovery.rs crates/core/src/flux.rs crates/core/src/growth.rs crates/core/src/mechanism.rs crates/core/src/peaks.rs crates/core/src/references.rs crates/core/src/report.rs crates/core/src/scan.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attribution.rs:
+crates/core/src/combinations.rs:
+crates/core/src/discovery.rs:
+crates/core/src/flux.rs:
+crates/core/src/growth.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/peaks.rs:
+crates/core/src/references.rs:
+crates/core/src/report.rs:
+crates/core/src/scan.rs:
+crates/core/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dps_dns-efc360940d65f76d.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+/root/repo/target/release/deps/libdps_dns-efc360940d65f76d.rlib: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+/root/repo/target/release/deps/libdps_dns-efc360940d65f76d.rmeta: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/psl.rs:
+crates/dns/src/rr.rs:
+crates/dns/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dps_dns-f0d43e3152415b55.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+/root/repo/target/release/deps/libdps_dns-f0d43e3152415b55.rlib: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+/root/repo/target/release/deps/libdps_dns-f0d43e3152415b55.rmeta: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/psl.rs crates/dns/src/rr.rs crates/dns/src/wire.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/psl.rs:
+crates/dns/src/rr.rs:
+crates/dns/src/wire.rs:

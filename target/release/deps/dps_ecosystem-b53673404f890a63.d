@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dps_ecosystem-b53673404f890a63.d: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+/root/repo/target/release/deps/libdps_ecosystem-b53673404f890a63.rlib: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+/root/repo/target/release/deps/libdps_ecosystem-b53673404f890a63.rmeta: crates/ecosystem/src/lib.rs crates/ecosystem/src/domain.rs crates/ecosystem/src/ids.rs crates/ecosystem/src/scenario.rs crates/ecosystem/src/schedule.rs crates/ecosystem/src/spec.rs crates/ecosystem/src/world.rs
+
+crates/ecosystem/src/lib.rs:
+crates/ecosystem/src/domain.rs:
+crates/ecosystem/src/ids.rs:
+crates/ecosystem/src/scenario.rs:
+crates/ecosystem/src/schedule.rs:
+crates/ecosystem/src/spec.rs:
+crates/ecosystem/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dps_measure-a3d01f717b5004ec.d: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+/root/repo/target/release/deps/libdps_measure-a3d01f717b5004ec.rlib: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+/root/repo/target/release/deps/libdps_measure-a3d01f717b5004ec.rmeta: crates/measure/src/lib.rs crates/measure/src/collector.rs crates/measure/src/observation.rs crates/measure/src/pipeline.rs crates/measure/src/snapshot.rs
+
+crates/measure/src/lib.rs:
+crates/measure/src/collector.rs:
+crates/measure/src/observation.rs:
+crates/measure/src/pipeline.rs:
+crates/measure/src/snapshot.rs:

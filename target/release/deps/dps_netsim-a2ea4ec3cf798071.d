@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dps_netsim-a2ea4ec3cf798071.d: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+/root/repo/target/release/deps/libdps_netsim-a2ea4ec3cf798071.rlib: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+/root/repo/target/release/deps/libdps_netsim-a2ea4ec3cf798071.rmeta: crates/netsim/src/lib.rs crates/netsim/src/asn.rs crates/netsim/src/bgp.rs crates/netsim/src/clock.rs crates/netsim/src/history.rs crates/netsim/src/net.rs crates/netsim/src/prefix.rs crates/netsim/src/trie.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/asn.rs:
+crates/netsim/src/bgp.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/history.rs:
+crates/netsim/src/net.rs:
+crates/netsim/src/prefix.rs:
+crates/netsim/src/trie.rs:

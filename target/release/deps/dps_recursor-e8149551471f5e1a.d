@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dps_recursor-e8149551471f5e1a.d: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+/root/repo/target/release/deps/libdps_recursor-e8149551471f5e1a.rlib: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+/root/repo/target/release/deps/libdps_recursor-e8149551471f5e1a.rmeta: crates/recursor/src/lib.rs crates/recursor/src/cache.rs crates/recursor/src/clock.rs crates/recursor/src/infra.rs crates/recursor/src/recursor.rs crates/recursor/src/scheduler.rs crates/recursor/src/singleflight.rs
+
+crates/recursor/src/lib.rs:
+crates/recursor/src/cache.rs:
+crates/recursor/src/clock.rs:
+crates/recursor/src/infra.rs:
+crates/recursor/src/recursor.rs:
+crates/recursor/src/scheduler.rs:
+crates/recursor/src/singleflight.rs:

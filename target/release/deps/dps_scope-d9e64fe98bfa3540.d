@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dps_scope-d9e64fe98bfa3540.d: src/lib.rs
+
+/root/repo/target/release/deps/libdps_scope-d9e64fe98bfa3540.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdps_scope-d9e64fe98bfa3540.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpscope-52aa69fec99a5382.d: src/bin/dpscope.rs
+
+/root/repo/target/release/deps/dpscope-52aa69fec99a5382: src/bin/dpscope.rs
+
+src/bin/dpscope.rs:

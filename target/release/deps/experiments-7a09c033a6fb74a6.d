@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-7a09c033a6fb74a6.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-7a09c033a6fb74a6: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

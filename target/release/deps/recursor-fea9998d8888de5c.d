@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recursor-fea9998d8888de5c.d: crates/bench/benches/recursor.rs
+
+/root/repo/target/release/deps/recursor-fea9998d8888de5c: crates/bench/benches/recursor.rs
+
+crates/bench/benches/recursor.rs:

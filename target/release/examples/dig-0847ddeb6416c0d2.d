@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dig-0847ddeb6416c0d2.d: examples/dig.rs
+
+/root/repo/target/release/examples/dig-0847ddeb6416c0d2: examples/dig.rs
+
+examples/dig.rs:

@@ -9,9 +9,19 @@ const DAYS: u32 = 90;
 const CC: u32 = 60;
 
 fn run() -> (World, SnapshotStore, ScanOutput, CompiledRefs) {
-    let params = ScenarioParams { seed: 123, scale: 0.03, gtld_days: DAYS, cc_start_day: CC };
+    let params = ScenarioParams {
+        seed: 123,
+        scale: 0.03,
+        gtld_days: DAYS,
+        cc_start_day: CC,
+    };
     let mut world = World::imc2016(params);
-    let store = Study::new(StudyConfig { days: DAYS, cc_start_day: CC, stride: 1 }).run(&mut world);
+    let store = Study::new(StudyConfig {
+        days: DAYS,
+        cc_start_day: CC,
+        stride: 1,
+    })
+    .run(&mut world);
     let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
     let out = Scanner::new(&refs).run(&store);
     (world, store, out, refs)
@@ -59,13 +69,22 @@ fn full_pipeline_invariants() {
     assert!(ns[0] > 70.0 && dps[0] > 70.0);
 
     // -- Fig. 5: DPS adoption grows faster than the namespace.
-    let g_dps = growth::analyze(&out.series.days, &combined, &growth::GrowthConfig::default());
+    let g_dps = growth::analyze(
+        &out.series.days,
+        &combined,
+        &growth::GrowthConfig::default(),
+    );
     let g_zone = growth::analyze(
         &out.series.days,
         &out.series.combined_zone_size(),
         &growth::GrowthConfig::default(),
     );
-    assert!(g_dps.factor > g_zone.factor, "dps {} vs zone {}", g_dps.factor, g_zone.factor);
+    assert!(
+        g_dps.factor > g_zone.factor,
+        "dps {} vs zone {}",
+        g_dps.factor,
+        g_zone.factor
+    );
     assert!(g_zone.factor > 1.0);
 
     // -- Fig. 7: flux conservation per provider.
@@ -73,8 +92,12 @@ fn full_pipeline_invariants() {
     for (p, series) in fl.iter().enumerate() {
         let (influx, outflux) = flux::total_domains(series);
         assert_eq!(influx, outflux, "provider {p}");
-        let domains =
-            out.timelines.map.keys().filter(|&&(_, q)| q as usize == p).count() as u64;
+        let domains = out
+            .timelines
+            .map
+            .keys()
+            .filter(|&&(_, q)| q as usize == p)
+            .count() as u64;
         assert_eq!(influx, domains, "provider {p}");
     }
 
@@ -95,7 +118,10 @@ fn full_pipeline_invariants() {
     // -- Attribution: the biggest anomaly is explained by a dominant party.
     let incapsula = 5usize;
     let anomalies = attribution::find_anomalies(&out.series.provider_any[incapsula], 8.0, 10);
-    assert!(!anomalies.is_empty(), "Wix swings expected in the first 90 days");
+    assert!(
+        !anomalies.is_empty(),
+        "Wix swings expected in the first 90 days"
+    );
     let a = &anomalies[0];
     let att = attribution::explain(
         &store,
@@ -111,7 +137,11 @@ fn full_pipeline_invariants() {
 fn growth_csv_and_fig_outputs_are_well_formed() {
     let (_world, _store, out, refs) = run();
     let combined = out.series.combined_any();
-    let g = growth::analyze(&out.series.days, &combined, &growth::GrowthConfig::default());
+    let g = growth::analyze(
+        &out.series.days,
+        &combined,
+        &growth::GrowthConfig::default(),
+    );
     let csv = report::growth_csv(&[("dps", &g)]);
     assert_eq!(csv.lines().count(), 1 + DAYS as usize);
     assert!(csv.starts_with("date,dps"));
@@ -132,11 +162,19 @@ fn growth_csv_and_fig_outputs_are_well_formed() {
 fn determinism_same_seed_same_study() {
     let runs: Vec<u64> = (0..2)
         .map(|_| {
-            let params =
-                ScenarioParams { seed: 9, scale: 0.01, gtld_days: 20, cc_start_day: 20 };
+            let params = ScenarioParams {
+                seed: 9,
+                scale: 0.01,
+                gtld_days: 20,
+                cc_start_day: 20,
+            };
             let mut world = World::imc2016(params);
-            let store = Study::new(StudyConfig { days: 20, cc_start_day: 20, stride: 1 })
-                .run(&mut world);
+            let store = Study::new(StudyConfig {
+                days: 20,
+                cc_start_day: 20,
+                stride: 1,
+            })
+            .run(&mut world);
             store.total_stored_bytes()
         })
         .collect();

@@ -8,12 +8,21 @@ use dps_scope::measure::pipeline::sweep_with_path;
 use dps_scope::prelude::*;
 
 fn sweep(loss: f64) -> (SnapshotStore, SnapshotStore) {
-    let params = ScenarioParams { seed: 31, scale: 0.004, gtld_days: 10, cc_start_day: 10 };
+    let params = ScenarioParams {
+        seed: 31,
+        scale: 0.004,
+        gtld_days: 10,
+        cc_start_day: 10,
+    };
     let mut world = World::imc2016(params);
 
     // Bulk reference store.
-    let bulk_store =
-        Study::new(StudyConfig { days: 1, cc_start_day: 10, stride: 1 }).run(&mut world);
+    let bulk_store = Study::new(StudyConfig {
+        days: 1,
+        cc_start_day: 10,
+        stride: 1,
+    })
+    .run(&mut world);
 
     // Wire store under faults.
     let net = Network::new(5);
@@ -22,10 +31,18 @@ fn sweep(loss: f64) -> (SnapshotStore, SnapshotStore) {
     // response is accepted by any real resolver too (the id + question
     // check only guards the envelope). Loss and duplication, by contrast,
     // must never change recorded data — that is what this test pins.
-    net.set_faults(FaultProfile { loss, corrupt: 0.0, duplicate: 0.05, ..FaultProfile::default() });
+    net.set_faults(FaultProfile {
+        loss,
+        corrupt: 0.0,
+        duplicate: 0.05,
+        ..FaultProfile::default()
+    });
     let catalog = world.materialize(&net);
     let resolver = Resolver::new(&net, "172.16.0.9".parse().unwrap(), 3, catalog.root_hints())
-        .with_config(ResolverConfig { retries: 6, ..Default::default() });
+        .with_config(ResolverConfig {
+            retries: 6,
+            ..Default::default()
+        });
     let mut path = WirePath::new(resolver);
     let mut wire_store = SnapshotStore::new();
     let mut interner = SldInterner::new();
@@ -54,9 +71,8 @@ fn compare(bulk: &SnapshotStore, wire: &SnapshotStore) -> (usize, usize) {
                 continue;
             }
             // Dictionaries differ between stores; compare via strings.
-            let resolve = |store: &SnapshotStore, id: u32| {
-                store.dict.resolve(id).unwrap_or("?").to_string()
-            };
+            let resolve =
+                |store: &SnapshotStore, id: u32| store.dict.resolve(id).unwrap_or("?").to_string();
             // A non-failed row has a good apex measurement; per-record-type
             // sub-queries (www/NS/AAAA) may individually have been lost.
             // Whatever the wire path DID capture must equal ground truth —
@@ -93,14 +109,25 @@ fn healthy_network_measures_everything_identically() {
 fn corruption_can_alter_rdata_but_not_crash() {
     // With corruption on, rows may carry flipped bits — the pipeline must
     // still complete and produce decodable tables.
-    let params = ScenarioParams { seed: 32, scale: 0.002, gtld_days: 5, cc_start_day: 5 };
+    let params = ScenarioParams {
+        seed: 32,
+        scale: 0.002,
+        gtld_days: 5,
+        cc_start_day: 5,
+    };
     let mut world = World::imc2016(params);
     world.advance_to(Day(0));
     let net = Network::new(6);
-    net.set_faults(FaultProfile { corrupt: 0.3, ..FaultProfile::default() });
+    net.set_faults(FaultProfile {
+        corrupt: 0.3,
+        ..FaultProfile::default()
+    });
     let catalog = world.materialize(&net);
     let resolver = Resolver::new(&net, "172.16.0.8".parse().unwrap(), 4, catalog.root_hints())
-        .with_config(ResolverConfig { retries: 4, ..Default::default() });
+        .with_config(ResolverConfig {
+            retries: 4,
+            ..Default::default()
+        });
     let mut path = WirePath::new(resolver);
     let mut store = SnapshotStore::new();
     let mut interner = SldInterner::new();

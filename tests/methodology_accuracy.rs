@@ -11,10 +11,19 @@ use std::collections::{HashMap, HashSet};
 const DAYS: u32 = 130;
 
 fn study() -> (World, SnapshotStore) {
-    let params = ScenarioParams { seed: 77, scale: 0.03, gtld_days: DAYS, cc_start_day: DAYS };
+    let params = ScenarioParams {
+        seed: 77,
+        scale: 0.03,
+        gtld_days: DAYS,
+        cc_start_day: DAYS,
+    };
     let mut world = World::imc2016(params);
-    let store =
-        Study::new(StudyConfig { days: DAYS, cc_start_day: DAYS, stride: 1 }).run(&mut world);
+    let store = Study::new(StudyConfig {
+        days: DAYS,
+        cc_start_day: DAYS,
+        stride: 1,
+    })
+    .run(&mut world);
     (world, store)
 }
 
@@ -66,7 +75,11 @@ fn per_domain_day_attribution_is_near_perfect() {
     let tp = detected.intersection(&truth_set).count() as f64;
     let precision = tp / detected.len() as f64;
     let recall = tp / truth_set.len() as f64;
-    assert!(truth_set.len() > 5_000, "truth set too small: {}", truth_set.len());
+    assert!(
+        truth_set.len() > 5_000,
+        "truth set too small: {}",
+        truth_set.len()
+    );
     assert!(precision > 0.995, "precision {precision}");
     assert!(recall > 0.995, "recall {recall}");
 }
@@ -86,13 +99,16 @@ fn always_on_and_on_demand_modes_match_script() {
         fresh.advance_to(Day(day));
         for (i, st) in fresh.domains().iter().enumerate() {
             if st.diversion.diverts_traffic() && st.alive_on(Day(day)) {
-                diverted_days.entry(i as u32).or_insert_with(|| vec![false; DAYS as usize])
-                    [day as usize] = true;
+                diverted_days
+                    .entry(i as u32)
+                    .or_insert_with(|| vec![false; DAYS as usize])[day as usize] = true;
             }
         }
     }
     let truth_runs = |id: u32| -> usize {
-        let Some(days) = diverted_days.get(&id) else { return 0 };
+        let Some(days) = diverted_days.get(&id) else {
+            return 0;
+        };
         let mut runs = 0;
         let mut inside = false;
         for &d in days {
@@ -118,36 +134,63 @@ fn always_on_and_on_demand_modes_match_script() {
         match classify_mode(&tl.asn) {
             UseMode::AlwaysOn => {
                 let runs = truth_runs(id);
-                assert!(runs <= 1, "domain d{id} classified AlwaysOn but has {runs} truth runs");
+                assert!(
+                    runs <= 1,
+                    "domain d{id} classified AlwaysOn but has {runs} truth runs"
+                );
                 always_on_checked += 1;
             }
             UseMode::OnDemand => {
                 let runs = truth_runs(id);
-                assert!(runs >= 3, "domain d{id} classified OnDemand but has {runs} truth runs");
+                assert!(
+                    runs >= 3,
+                    "domain d{id} classified OnDemand but has {runs} truth runs"
+                );
                 on_demand_checked += 1;
             }
             _ => {}
         }
     }
-    assert!(always_on_checked > 50, "always-on sample: {always_on_checked}");
-    assert!(on_demand_checked > 3, "on-demand sample: {on_demand_checked}");
+    assert!(
+        always_on_checked > 50,
+        "always-on sample: {always_on_checked}"
+    );
+    assert!(
+        on_demand_checked > 3,
+        "on-demand sample: {on_demand_checked}"
+    );
 }
 
 #[test]
 fn sedo_outage_day_visible_as_akamai_dip() {
     // Extend past day 266 to include the scripted Sedo DNS incident.
-    let params = ScenarioParams { seed: 5, scale: 0.05, gtld_days: 270, cc_start_day: 270 };
+    let params = ScenarioParams {
+        seed: 5,
+        scale: 0.05,
+        gtld_days: 270,
+        cc_start_day: 270,
+    };
     let mut world = World::imc2016(params);
-    let store = Study::new(StudyConfig { days: 270, cc_start_day: 270, stride: 1 })
-        .run(&mut world);
+    let store = Study::new(StudyConfig {
+        days: 270,
+        cc_start_day: 270,
+        stride: 1,
+    })
+    .run(&mut world);
     let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
     let out = Scanner::new(&refs).run(&store);
     let akamai = &out.series.provider_any[0];
     let before = akamai[265];
     let outage = akamai[266];
     let after = akamai[267];
-    assert!(outage < before, "dip on the outage day: {before} -> {outage}");
-    assert!(after >= before - 2, "recovery next day: {after} vs {before}");
+    assert!(
+        outage < before,
+        "dip on the outage day: {before} -> {outage}"
+    );
+    assert!(
+        after >= before - 2,
+        "recovery next day: {after} vs {before}"
+    );
     // The dip is roughly the Sedo basket size (716 × 0.05 ≈ 36).
     let dip = before - outage;
     assert!((25..=45).contains(&dip), "dip magnitude {dip}");

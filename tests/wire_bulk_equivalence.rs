@@ -1,14 +1,21 @@
 //! The load-bearing equivalence test: the bulk query path (direct world
 //! evaluation, used for full-scale sweeps) must produce byte-identical
 //! resolutions to the wire path (root → TLD → authoritative over the
-//! simulated network). If this holds, every full-scale result is as
-//! trustworthy as a packet-level run.
+//! simulated network) AND to the caching recursor path layered on the
+//! wire. If this holds, every full-scale result is as trustworthy as a
+//! packet-level run, and the cache never changes what a sweep observes.
 
-use dps_scope::authdns::{DirectResolver, Resolver};
+use dps_scope::authdns::{DirectResolver, Resolution, Resolver};
 use dps_scope::prelude::*;
+use dps_scope::recursor::RecursorWorker;
 
 fn world_at(day: u32, seed: u64) -> World {
-    let params = ScenarioParams { seed, scale: 0.004, gtld_days: 60, cc_start_day: 30 };
+    let params = ScenarioParams {
+        seed,
+        scale: 0.004,
+        gtld_days: 60,
+        cc_start_day: 30,
+    };
     let mut world = World::imc2016(params);
     world.advance_to(Day(day));
     world
@@ -17,8 +24,11 @@ fn world_at(day: u32, seed: u64) -> World {
 fn compare_all(world: &World, net: &std::sync::Arc<Network>) {
     let catalog = world.materialize(net);
     let mut wire = Resolver::new(net, "172.16.0.2".parse().unwrap(), 7, catalog.root_hints());
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+    let mut cached: RecursorWorker = recursor.worker(net, "172.16.0.3".parse().unwrap(), 7);
 
     let mut compared = 0usize;
+    let mut sample: Vec<(Name, RrType, Resolution)> = Vec::new();
     for tld in dps_scope::ecosystem::MEASURED_TLDS {
         for entry in world.zone_entries(tld) {
             let apex = world.entry_name(entry);
@@ -32,10 +42,19 @@ fn compare_all(world: &World, net: &std::sync::Arc<Network>) {
             ] {
                 let bulk = world.resolve(qname, qtype);
                 let wire_res = wire.resolve(qname, qtype);
+                let rec_res = cached.resolve(qname, qtype);
                 match (bulk, wire_res) {
                     (Ok(b), Ok(w)) => {
                         assert_eq!(b.rcode, w.rcode, "{qname} {qtype} rcode");
                         assert_eq!(b.answers, w.answers, "{qname} {qtype} answers");
+                        let r = rec_res.unwrap_or_else(|e| {
+                            panic!("{qname} {qtype}: recursor failed ({e}) where wire succeeded")
+                        });
+                        assert_eq!(b.rcode, r.rcode, "{qname} {qtype} recursor rcode");
+                        assert_eq!(b.answers, r.answers, "{qname} {qtype} recursor answers");
+                        if sample.len() < 50 {
+                            sample.push((qname.clone(), qtype, r));
+                        }
                         compared += 1;
                     }
                     (Err(_), Err(_)) => compared += 1, // outage: both fail
@@ -45,6 +64,21 @@ fn compare_all(world: &World, net: &std::sync::Arc<Network>) {
         }
     }
     assert!(compared > 1000, "compared {compared} resolutions");
+
+    // Second pass over a sample: the recursor must replay the exact same
+    // resolution from cache, without touching the network again.
+    let hits_before = recursor.stats().cache_hits;
+    let packets_before = net.stats().snapshot().sent;
+    for (qname, qtype, first) in &sample {
+        let replay = cached.resolve(qname, *qtype).unwrap();
+        assert_eq!(first, &replay, "{qname} {qtype}: cache replay differs");
+    }
+    assert_eq!(
+        net.stats().snapshot().sent,
+        packets_before,
+        "replays sent no packets"
+    );
+    assert!(recursor.stats().cache_hits >= hits_before + sample.len() as u64);
 }
 
 #[test]

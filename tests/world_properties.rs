@@ -10,7 +10,12 @@ use proptest::prelude::*;
 use std::net::IpAddr;
 
 fn check_world(seed: u64, day: u32) -> Result<(), TestCaseError> {
-    let params = ScenarioParams { seed, scale: 0.004, gtld_days: 60, cc_start_day: 30 };
+    let params = ScenarioParams {
+        seed,
+        scale: 0.004,
+        gtld_days: 60,
+        cc_start_day: 30,
+    };
     let mut world = World::imc2016(params);
     world.advance_to(Day(day));
     let pfx2as = world.pfx2as();
@@ -27,7 +32,9 @@ fn check_world(seed: u64, day: u32) -> Result<(), TestCaseError> {
                 // Only outage baskets may fail.
                 prop_assert!(
                     st.outage
-                        || st.basket.is_some_and(|(b, _)| world.baskets()[b.0 as usize].outage),
+                        || st
+                            .basket
+                            .is_some_and(|(b, _)| world.baskets()[b.0 as usize].outage),
                     "{apex} failed without outage"
                 );
                 continue;
@@ -97,10 +104,7 @@ fn check_world(seed: u64, day: u32) -> Result<(), TestCaseError> {
                     }
                     _ => {
                         let hoster_sld = spec::HOSTERS[st.hoster.0 as usize].ns_sld;
-                        prop_assert_eq!(
-                            &sld, hoster_sld,
-                            "{} undelegated but NS {}", &apex, host
-                        );
+                        prop_assert_eq!(&sld, hoster_sld, "{} undelegated but NS {}", &apex, host);
                     }
                 }
             }

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! benchmark groups with `throughput`/`sample_size`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros — over a plain
+//! wall-clock measurement loop. No statistics beyond median-of-samples and
+//! no HTML reports; results print one line per benchmark:
+//!
+//! ```text
+//! columnar/encode_runny    time: 184.2 µs   thrpt: 542.9 Melem/s
+//! ```
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 30,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), None, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, auto-scaling the iteration count so each sample runs
+    /// long enough for the clock to resolve it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and pick an iteration count aiming at ~2 ms per sample.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                break;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    // Each call to `f` is one sample; `f` drives `b.iter`.
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    let budget = Instant::now();
+    for _ in 0..samples {
+        f(&mut b);
+        times.push(b.ns_per_iter);
+        if budget.elapsed() > Duration::from_secs(3) {
+            break; // keep slow macro-benches bounded
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = times[times.len() / 2];
+    let time = fmt_time(median);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            println!(
+                "{id:<40} time: {time:>10}   thrpt: {}",
+                fmt_rate(rate, "elem/s")
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            println!(
+                "{id:<40} time: {time:>10}   thrpt: {}",
+                fmt_rate(rate, "B/s")
+            );
+        }
+        None => println!("{id:<40} time: {time:>10}"),
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_s: f64, unit: &str) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} G{unit}", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M{unit}", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} k{unit}", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} {unit}")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(12.3), "12.3 ns");
+        assert_eq!(fmt_time(12_345.0), "12.3 µs");
+        assert!(fmt_rate(2.5e6, "elem/s").contains("Melem/s"));
+    }
+}

@@ -1,0 +1,299 @@
+//! A tiny regex *generator*: parses a pattern into an AST and samples
+//! matching strings. Supports the subset property tests use: literals,
+//! character classes with ranges, groups, alternation, and the `?`, `*`,
+//! `+`, `{n}`, `{n,}`, `{n,m}` quantifiers. Anchors and look-around are
+//! not supported (generation makes them meaningless).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+
+/// Unbounded repetitions (`*`, `+`, `{n,}`) cap here.
+const MAX_UNBOUNDED_REPEAT: u32 = 8;
+
+/// A pattern the parser rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    /// A literal character.
+    Char(char),
+    /// One character drawn from a set.
+    Class(Vec<(char, char)>),
+    /// Nodes in sequence.
+    Seq(Vec<Node>),
+    /// One branch chosen uniformly.
+    Alt(Vec<Node>),
+    /// `node{lo,hi}` (inclusive).
+    Repeat(Box<Node>, u32, u32),
+}
+
+impl Node {
+    pub(crate) fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Char(c) => out.push(*c),
+            Node::Class(ranges) => {
+                // Weight ranges by size for uniformity over the set.
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let size = *b as u32 - *a as u32 + 1;
+                    if pick < size {
+                        out.push(char::from_u32(*a as u32 + pick).expect("in range"));
+                        break;
+                    }
+                    pick -= size;
+                }
+            }
+            Node::Seq(nodes) => {
+                for n in nodes {
+                    n.generate(rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let i = rng.gen_range(0..branches.len());
+                branches[i].generate(rng, out);
+            }
+            Node::Repeat(node, lo, hi) => {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    node.generate(rng, out);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn parse(pattern: &str) -> Result<Node, RegexError> {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() from the front
+    let node = parse_alt(&mut chars, pattern)?;
+    if !chars.is_empty() {
+        return Err(RegexError(format!(
+            "{pattern}: trailing '{}'",
+            chars.last().unwrap()
+        )));
+    }
+    Ok(node)
+}
+
+fn parse_alt(chars: &mut Vec<char>, pat: &str) -> Result<Node, RegexError> {
+    let mut branches = vec![parse_seq(chars, pat)?];
+    while chars.last() == Some(&'|') {
+        chars.pop();
+        branches.push(parse_seq(chars, pat)?);
+    }
+    Ok(if branches.len() == 1 {
+        branches.pop().expect("one")
+    } else {
+        Node::Alt(branches)
+    })
+}
+
+fn parse_seq(chars: &mut Vec<char>, pat: &str) -> Result<Node, RegexError> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.last() {
+        if c == ')' || c == '|' {
+            break;
+        }
+        let atom = parse_atom(chars, pat)?;
+        nodes.push(parse_quantifier(chars, atom, pat)?);
+    }
+    Ok(Node::Seq(nodes))
+}
+
+fn parse_atom(chars: &mut Vec<char>, pat: &str) -> Result<Node, RegexError> {
+    match chars.pop() {
+        Some('(') => {
+            // Non-capturing marker is accepted and ignored.
+            if chars.ends_with(&[':', '?']) {
+                chars.pop();
+                chars.pop();
+            }
+            let inner = parse_alt(chars, pat)?;
+            if chars.pop() != Some(')') {
+                return Err(RegexError(format!("{pat}: unclosed group")));
+            }
+            Ok(inner)
+        }
+        Some('[') => parse_class(chars, pat),
+        Some('\\') => {
+            let c = chars
+                .pop()
+                .ok_or_else(|| RegexError(format!("{pat}: dangling escape")))?;
+            match c {
+                'd' => Ok(Node::Class(vec![('0', '9')])),
+                'w' => Ok(Node::Class(vec![
+                    ('a', 'z'),
+                    ('A', 'Z'),
+                    ('0', '9'),
+                    ('_', '_'),
+                ])),
+                's' => Ok(Node::Char(' ')),
+                _ => Ok(Node::Char(c)),
+            }
+        }
+        Some('.') => Ok(Node::Class(vec![(' ', '~')])), // printable ASCII
+        Some(c @ ('^' | '$')) => Err(RegexError(format!("{pat}: anchor '{c}'"))),
+        Some(c) => Ok(Node::Char(c)),
+        None => Err(RegexError(format!("{pat}: unexpected end"))),
+    }
+}
+
+fn parse_class(chars: &mut Vec<char>, pat: &str) -> Result<Node, RegexError> {
+    if chars.last() == Some(&'^') {
+        return Err(RegexError(format!("{pat}: negated class")));
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = chars
+            .pop()
+            .ok_or_else(|| RegexError(format!("{pat}: unclosed class")))?;
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = chars
+                    .pop()
+                    .ok_or_else(|| RegexError(format!("{pat}: dangling escape")))?;
+                match e {
+                    'd' => ranges.push(('0', '9')),
+                    _ => ranges.push((e, e)),
+                }
+            }
+            _ => {
+                // Range (a-z) or single char; '-' before ']' is literal.
+                if chars.last() == Some(&'-')
+                    && chars.get(chars.len().wrapping_sub(2)) != Some(&']')
+                {
+                    chars.pop();
+                    let end = chars
+                        .pop()
+                        .ok_or_else(|| RegexError(format!("{pat}: bad range")))?;
+                    if end < c {
+                        return Err(RegexError(format!("{pat}: inverted range {c}-{end}")));
+                    }
+                    ranges.push((c, end));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+        }
+    }
+    if ranges.is_empty() {
+        return Err(RegexError(format!("{pat}: empty class")));
+    }
+    Ok(Node::Class(ranges))
+}
+
+fn parse_quantifier(chars: &mut Vec<char>, atom: Node, pat: &str) -> Result<Node, RegexError> {
+    match chars.last() {
+        Some('?') => {
+            chars.pop();
+            Ok(Node::Repeat(Box::new(atom), 0, 1))
+        }
+        Some('*') => {
+            chars.pop();
+            Ok(Node::Repeat(Box::new(atom), 0, MAX_UNBOUNDED_REPEAT))
+        }
+        Some('+') => {
+            chars.pop();
+            Ok(Node::Repeat(Box::new(atom), 1, MAX_UNBOUNDED_REPEAT))
+        }
+        Some('{') => {
+            chars.pop();
+            let mut spec = String::new();
+            loop {
+                match chars.pop() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err(RegexError(format!("{pat}: unclosed repetition"))),
+                }
+            }
+            let parse_n = |s: &str| {
+                s.parse::<u32>()
+                    .map_err(|_| RegexError(format!("{pat}: bad count '{s}'")))
+            };
+            let (lo, hi) = match spec.split_once(',') {
+                None => {
+                    let n = parse_n(&spec)?;
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let lo = parse_n(lo)?;
+                    (lo, lo + MAX_UNBOUNDED_REPEAT)
+                }
+                Some((lo, hi)) => (parse_n(lo)?, parse_n(hi)?),
+            };
+            if hi < lo {
+                return Err(RegexError(format!("{pat}: inverted repetition {lo},{hi}")));
+            }
+            Ok(Node::Repeat(Box::new(atom), lo, hi))
+        }
+        _ => Ok(atom),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let node = parse(pattern).unwrap();
+        let mut rng = TestRng::from_seed(9);
+        (0..n)
+            .map(|_| {
+                let mut s = String::new();
+                node.generate(&mut rng, &mut s);
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        for s in gen_many("[a-z0-9.-]{0,30}", 200) {
+            assert!(s.len() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn label_shape_pattern() {
+        // The DNS-label pattern the dns proptests use.
+        for s in gen_many("[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?", 200) {
+            assert!(!s.is_empty() && s.len() <= 16, "{s}");
+            assert!(!s.starts_with('-') && !s.ends_with('-'), "{s}");
+        }
+    }
+
+    #[test]
+    fn alternation_and_plus() {
+        let all = gen_many("(ab|cd)+x?", 100);
+        for s in &all {
+            let t = s.strip_suffix('x').unwrap_or(s);
+            assert!(t.len() % 2 == 0 && !t.is_empty(), "{s}");
+            for chunk in t.as_bytes().chunks(2) {
+                assert!(chunk == b"ab" || chunk == b"cd", "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(parse("^anchored$").is_err());
+        assert!(parse("[^a]").is_err());
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("(unclosed").is_err());
+    }
+}

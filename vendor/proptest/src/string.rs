@@ -1,0 +1,28 @@
+//! String strategies from regular expressions.
+
+use crate::regex::{parse, Node, RegexError};
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy generating strings that match `pattern`. Mirrors
+/// `proptest::string::string_regex`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, RegexError> {
+    Ok(RegexGeneratorStrategy {
+        node: parse(pattern)?,
+    })
+}
+
+/// See [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    node: Node,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.node.generate(rng, &mut out);
+        out
+    }
+}

@@ -1,0 +1,86 @@
+//! Config, error type and the seeded RNG driving sampling.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion in the property body failed.
+    Fail(String),
+    /// The case asked to be skipped (`prop_assume`-style).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "{m}"),
+            Self::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-test configuration; only `cases` is meaningful in this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies while sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic RNG derived from the test's name, so every test
+    /// explores a distinct but reproducible sequence.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(SmallRng::seed_from_u64(h))
+    }
+
+    /// RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

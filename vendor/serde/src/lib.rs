@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! annotations only; no code path serializes through serde. This stub
+//! provides the trait names plus no-op derive macros so the annotations
+//! compile without network access to the real serde stack.
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` as forward-looking
+//! annotations — nothing serializes through serde at runtime (the columnar
+//! store has its own encoding). The derives therefore expand to nothing,
+//! which keeps the annotations compiling without the real proc-macro stack
+//! (syn/quote are unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
