@@ -7,13 +7,14 @@
 //! `minimum` as their lifetime. The cache is sharded to keep lock
 //! contention off the sweep's hot path and capacity-bounded: a full shard
 //! evicts its earliest-expiring entry, which a fresh insert is about to
-//! outlive anyway.
+//! outlive anyway. Each shard keeps a `BTreeMap` expiry index beside the
+//! hash map so the victim is found in O(log n) instead of a full scan
+//! under the hot-path lock.
 
 use dps_authdns::resolver::Resolution;
 use dps_dns::{Name, RrType};
 use parking_lot::Mutex;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,6 +49,8 @@ pub struct CachedAnswer {
     pub expires_at_us: u64,
     /// True for RFC 2308 negative entries (NXDOMAIN / NODATA).
     pub negative: bool,
+    /// Insertion sequence number; tie-breaks the shard's expiry index.
+    expiry_seq: u64,
 }
 
 /// Monotonic counters, readable as a consistent-enough snapshot.
@@ -76,7 +79,17 @@ struct AtomicCacheStats {
 
 type Key = (Name, RrType);
 
-type Shard = Mutex<HashMap<Key, CachedAnswer>>;
+/// One shard: the answer map plus an expiry-ordered index over the same
+/// entries, so capacity eviction pops the earliest expiry in O(log n)
+/// rather than scanning the whole map under the lock.
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<Key, CachedAnswer>,
+    by_expiry: BTreeMap<(u64, u64), Key>,
+    next_seq: u64,
+}
+
+type Shard = Mutex<ShardState>;
 
 /// Sharded, thread-safe, TTL-aware cache of complete resolutions.
 pub struct AnswerCache {
@@ -92,7 +105,9 @@ impl AnswerCache {
         // Ceil-divide so the whole-cache bound is at least `capacity`.
         let shard_capacity = config.capacity.div_ceil(shards).max(1);
         Self {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
             shard_capacity,
             stats: AtomicCacheStats::default(),
         }
@@ -107,20 +122,37 @@ impl AnswerCache {
     /// The resolution cached for `(qname, qtype)`, if still live at
     /// `now_us`. Expired entries are dropped on contact.
     pub fn get(&self, qname: &Name, qtype: RrType, now_us: u64) -> Option<Resolution> {
+        self.get_with_expiry(qname, qtype, now_us).map(|(r, _)| r)
+    }
+
+    /// Like [`AnswerCache::get`], but also returns the entry's absolute
+    /// expiry (µs). Callers that re-cache a replayed answer under a new
+    /// name must cap the derived TTL by the remaining lifetime, as a real
+    /// resolver decrements TTLs on replay.
+    pub fn get_with_expiry(
+        &self,
+        qname: &Name,
+        qtype: RrType,
+        now_us: u64,
+    ) -> Option<(Resolution, u64)> {
         let key = (qname.clone(), qtype);
         let mut shard = self.shard(&key).lock();
-        match shard.entry(key) {
-            Entry::Occupied(e) if e.get().expires_at_us > now_us => {
+        let state = &mut *shard;
+        match state.map.get(&key) {
+            Some(e) if e.expires_at_us > now_us => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(e.get().resolution.clone())
+                Some((e.resolution.clone(), e.expires_at_us))
             }
-            Entry::Occupied(e) => {
-                e.remove();
+            Some(_) => {
+                let dead = state.map.remove(&key).expect("entry present");
+                state
+                    .by_expiry
+                    .remove(&(dead.expires_at_us, dead.expiry_seq));
                 self.stats.expirations.fetch_add(1, Ordering::Relaxed);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            Entry::Vacant(_) => {
+            None => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -133,6 +165,7 @@ impl AnswerCache {
         let key = (qname.clone(), qtype);
         let shard = self.shard(&key).lock();
         shard
+            .map
             .get(&key)
             .filter(|e| e.expires_at_us > now_us)
             .map(|e| e.negative)
@@ -155,30 +188,38 @@ impl AnswerCache {
             return;
         }
         let key = (qname.clone(), qtype);
-        let entry = CachedAnswer {
-            resolution,
-            expires_at_us: now_us + u64::from(ttl_secs) * 1_000_000,
-            negative,
-        };
+        let expires_at_us = now_us + u64::from(ttl_secs) * 1_000_000;
         let mut shard = self.shard(&key).lock();
-        if !shard.contains_key(&key) && shard.len() >= self.shard_capacity {
+        let state = &mut *shard;
+        let expiry_seq = state.next_seq;
+        state.next_seq += 1;
+        if let Some(old) = state.map.remove(&key) {
+            state.by_expiry.remove(&(old.expires_at_us, old.expiry_seq));
+        } else if state.map.len() >= self.shard_capacity {
             // Evict the entry closest to dying of old age.
-            if let Some(victim) = shard
-                .iter()
-                .min_by_key(|(_, e)| e.expires_at_us)
-                .map(|(k, _)| k.clone())
-            {
-                shard.remove(&victim);
+            if let Some((_, victim)) = state.by_expiry.pop_first() {
+                state.map.remove(&victim);
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        shard.insert(key, entry);
+        state
+            .by_expiry
+            .insert((expires_at_us, expiry_seq), key.clone());
+        state.map.insert(
+            key,
+            CachedAnswer {
+                resolution,
+                expires_at_us,
+                negative,
+                expiry_seq,
+            },
+        );
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Live + expired-but-unswept entries currently held.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.

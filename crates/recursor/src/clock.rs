@@ -2,10 +2,13 @@
 //!
 //! Cache expiry needs one monotonic timeline shared by every worker, while
 //! the netsim keeps a *per-socket* virtual clock. [`SharedClock`] bridges
-//! the two: workers fold their socket time in with [`SharedClock::advance_by`]
-//! as resolutions complete, and the sweep scheduler jumps the clock to each
-//! study day's start with [`SharedClock::advance_to_day`], so a 300 s TTL
-//! survives a same-day sweep but is long expired by the next daily snapshot.
+//! the two: each worker projects its socket time onto the shared timeline
+//! as `day start + its own work since the day began` and folds that in with
+//! [`SharedClock::advance_to`], so shared time is the *max* of the workers'
+//! timelines — independent of worker count — rather than the sum of all
+//! their work. The sweep scheduler jumps the clock to each study day's
+//! start with [`SharedClock::advance_to_day`], so a 300 s TTL survives a
+//! same-day sweep but is long expired by the next daily snapshot.
 
 use dps_netsim::Day;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,6 +20,7 @@ pub const DAY_US: u64 = 86_400_000_000;
 #[derive(Debug, Default)]
 pub struct SharedClock {
     us: AtomicU64,
+    day_start: AtomicU64,
 }
 
 impl SharedClock {
@@ -42,8 +46,18 @@ impl SharedClock {
     }
 
     /// Jumps to the start of `day` (no-op if the clock is already past it).
+    /// Also records the day start so workers can re-anchor their per-socket
+    /// timelines.
     pub fn advance_to_day(&self, day: Day) {
-        self.advance_to(u64::from(day.0) * DAY_US);
+        let start = u64::from(day.0) * DAY_US;
+        self.day_start.fetch_max(start, Ordering::AcqRel);
+        self.advance_to(start);
+    }
+
+    /// The start (µs) of the most recent day the clock was jumped to —
+    /// the epoch workers anchor their socket timelines against.
+    pub fn day_start_us(&self) -> u64 {
+        self.day_start.load(Ordering::Acquire)
     }
 }
 
@@ -71,5 +85,18 @@ mod tests {
         assert_eq!(c.now_us(), 2 * DAY_US + 500);
         c.advance_to_day(Day(3));
         assert_eq!(c.now_us(), 3 * DAY_US);
+    }
+
+    #[test]
+    fn day_start_tracks_latest_day_jump() {
+        let c = SharedClock::new();
+        assert_eq!(c.day_start_us(), 0);
+        c.advance_to_day(Day(2));
+        assert_eq!(c.day_start_us(), 2 * DAY_US);
+        // Worker-projected times move `now` but never the day epoch.
+        c.advance_to(2 * DAY_US + 1_000);
+        assert_eq!(c.day_start_us(), 2 * DAY_US);
+        c.advance_to_day(Day(1));
+        assert_eq!(c.day_start_us(), 2 * DAY_US, "epoch never rewinds");
     }
 }

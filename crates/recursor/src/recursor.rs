@@ -134,9 +134,13 @@ impl Recursor {
     pub fn worker(&self, net: &Arc<Network>, src: IpAddr, stream: u64) -> RecursorWorker {
         let resolver = Resolver::new(net, src, stream, self.shared.root_hints.clone())
             .with_config(self.shared.config.resolver);
+        let day_anchor_us = self.shared.clock.day_start_us();
+        let socket_anchor_us = resolver.now_us();
         RecursorWorker {
             shared: Arc::clone(&self.shared),
             resolver,
+            day_anchor_us,
+            socket_anchor_us,
         }
     }
 
@@ -179,6 +183,10 @@ impl Recursor {
 pub struct RecursorWorker {
     shared: Arc<Shared>,
     resolver: Resolver,
+    /// The shared-clock day start this worker's socket time is anchored to.
+    day_anchor_us: u64,
+    /// Socket time when the current day's anchor was taken.
+    socket_anchor_us: u64,
 }
 
 impl RecursorWorker {
@@ -222,10 +230,25 @@ impl RecursorWorker {
             // A restarted alias target may itself be cached (shared CDN
             // edges are hit by many apexes).
             if current != *qname {
-                if let Some(hit) = shared.answers.get(&current, qtype, shared.clock.now_us()) {
+                let now = shared.clock.now_us();
+                if let Some((hit, expires_at_us)) =
+                    shared.answers.get_with_expiry(&current, qtype, now)
+                {
                     shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    // The replayed records keep their original ttl fields,
+                    // so the re-cached chain must not outlive the entry it
+                    // was derived from: cap by the remaining lifetime.
+                    let remaining_secs = (expires_at_us.saturating_sub(now) / 1_000_000) as u32;
                     chain.extend(hit.answers);
-                    return Ok(self.finish(qname, qtype, hit.rcode, chain, started, None));
+                    return Ok(self.finish(
+                        qname,
+                        qtype,
+                        hit.rcode,
+                        chain,
+                        started,
+                        None,
+                        Some(remaining_secs),
+                    ));
                 }
             }
 
@@ -238,7 +261,15 @@ impl RecursorWorker {
                     if current != *qname {
                         self.cache_segment(&current, qtype, Rcode::NxDomain, &resp.answers, soa);
                     }
-                    return Ok(self.finish(qname, qtype, Rcode::NxDomain, chain, started, soa));
+                    return Ok(self.finish(
+                        qname,
+                        qtype,
+                        Rcode::NxDomain,
+                        chain,
+                        started,
+                        soa,
+                        None,
+                    ));
                 }
                 rc => return Err(ResolveError::ServerFailure(rc)),
             }
@@ -271,7 +302,7 @@ impl RecursorWorker {
                     // target (shared CDN edges) hit without a descent.
                     self.cache_segment(&current, qtype, Rcode::NoError, &resp.answers, soa);
                 }
-                return Ok(self.finish(qname, qtype, Rcode::NoError, chain, started, soa));
+                return Ok(self.finish(qname, qtype, Rcode::NoError, chain, started, soa, None));
             }
             current = tip;
         }
@@ -313,7 +344,10 @@ impl RecursorWorker {
 
     /// Folds elapsed socket time into the shared clock, caches the result
     /// (negative entries live for the SOA `minimum`, per RFC 2308), and
-    /// builds the final [`Resolution`].
+    /// builds the final [`Resolution`]. `ttl_cap` bounds the cached
+    /// lifetime when the chain replayed an already-cached entry, so a
+    /// derived answer never outlives its source.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &mut self,
         qname: &Name,
@@ -322,10 +356,25 @@ impl RecursorWorker {
         answers: Vec<Record>,
         started_us: u64,
         soa_minimum: Option<u32>,
+        ttl_cap: Option<u32>,
     ) -> Resolution {
         let shared = &self.shared;
-        let elapsed_us = self.resolver.now_us() - started_us;
-        shared.clock.advance_by(elapsed_us);
+        let socket_now = self.resolver.now_us();
+        let elapsed_us = socket_now - started_us;
+
+        // Project this worker's socket time onto the shared day timeline:
+        // virtual time is the *max* over workers of (day start + that
+        // worker's own work since the day began), not the sum of all
+        // workers' work — summing would expire entries N× too fast as the
+        // worker count grows.
+        let day_start = shared.clock.day_start_us();
+        if day_start != self.day_anchor_us {
+            self.day_anchor_us = day_start;
+            self.socket_anchor_us = socket_now;
+        }
+        shared
+            .clock
+            .advance_to(self.day_anchor_us + (socket_now - self.socket_anchor_us));
         let now = shared.clock.now_us();
 
         let resolution = Resolution {
@@ -340,6 +389,7 @@ impl RecursorWorker {
         } else {
             resolution.answers.iter().map(|r| r.ttl).min().unwrap_or(0)
         };
+        let ttl = ttl_cap.map_or(ttl, |cap| ttl.min(cap));
         shared
             .answers
             .insert(qname, qtype, resolution.clone(), ttl, negative, now);

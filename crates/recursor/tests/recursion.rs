@@ -229,3 +229,159 @@ fn negative_answers_are_cached_rfc2308() {
         Some(true)
     );
 }
+
+/// Root + TLD + a customer server and a *separate* CDN server. The customer
+/// server cannot expand the cross-server CNAME itself, so the recursor
+/// chases the alias restart — the path that replays cached alias targets.
+mod cname_world {
+    use super::*;
+    use dps_authdns::{AuthServer, Catalog, Zone};
+    use dps_dns::RData;
+    use std::net::Ipv4Addr;
+    use std::sync::Arc as StdArc;
+
+    pub fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> RData {
+        RData::A(s.parse::<Ipv4Addr>().unwrap())
+    }
+
+    pub fn build(net: &StdArc<Network>) -> Vec<IpAddr> {
+        let catalog = Catalog::new();
+        let root_addr = ip("10.9.0.1");
+        let tld_addr = ip("10.9.1.1");
+        let customer_addr = ip("10.9.2.1");
+        let cdn_addr = ip("10.9.3.1");
+
+        let mut root = Zone::new(Name::root());
+        root.add(n("le"), RData::Ns(n("ns.tld")));
+        root.add(n("net"), RData::Ns(n("ns.tld")));
+        root.add(n("ns.tld"), a("10.9.1.1"));
+        let root_handle = catalog.add_zone(root, vec![root_addr]);
+
+        let mut le = Zone::new(n("le"));
+        le.add(n("examp.le"), RData::Ns(n("ns.examp.le")));
+        le.add(n("ns.examp.le"), a("10.9.2.1"));
+        let le_handle = catalog.add_zone(le, vec![tld_addr]);
+
+        let mut net_tld = Zone::new(n("net"));
+        net_tld.add(n("cdn.net"), RData::Ns(n("ns.cdn.net")));
+        net_tld.add(n("ns.cdn.net"), a("10.9.3.1"));
+        let net_handle = catalog.add_zone(net_tld, vec![tld_addr]);
+
+        // Two customer names aliased onto the same CDN edge.
+        let mut examp = Zone::new(n("examp.le"));
+        examp.add(n("www.examp.le"), RData::Cname(n("edge.cdn.net")));
+        examp.add(n("www2.examp.le"), RData::Cname(n("edge.cdn.net")));
+        let examp_handle = catalog.add_zone(examp, vec![customer_addr]);
+
+        let mut cdn = Zone::new(n("cdn.net"));
+        cdn.add(n("edge.cdn.net"), a("198.51.100.7"));
+        let cdn_handle = catalog.add_zone(cdn, vec![cdn_addr]);
+
+        let root_srv = AuthServer::new();
+        root_srv.serve_zone(root_handle);
+        root_srv.bind(net, root_addr);
+
+        let tld_srv = AuthServer::new();
+        tld_srv.serve_zone(le_handle);
+        tld_srv.serve_zone(net_handle);
+        tld_srv.bind(net, tld_addr);
+
+        let customer_srv = AuthServer::new();
+        customer_srv.serve_zone(examp_handle);
+        customer_srv.bind(net, customer_addr);
+
+        let cdn_srv = AuthServer::new();
+        cdn_srv.serve_zone(cdn_handle);
+        cdn_srv.bind(net, cdn_addr);
+
+        vec![root_addr]
+    }
+}
+
+/// A chain re-cached from a replayed alias target must not outlive the
+/// cached entry it was derived from (real resolvers decrement TTLs on
+/// replay; re-granting the full record TTL would stretch it up to ~2×).
+#[test]
+fn replayed_alias_target_does_not_stretch_ttl() {
+    let net = Network::new(31);
+    let hints = cname_world::build(&net);
+    let recursor = Recursor::new(hints, RecursorConfig::default());
+    let mut worker = recursor.worker(&net, src(), 0);
+
+    let www = cname_world::n("www.examp.le");
+    let www2 = cname_world::n("www2.examp.le");
+    let edge = cname_world::n("edge.cdn.net");
+
+    // Cold chase caches the shared edge under its own name (zone TTL 300 s).
+    let first = worker.resolve(&www, RrType::A).unwrap();
+    assert_eq!(first.answers.len(), 2, "CNAME + A: {first:?}");
+    let (_, edge_expires) = recursor
+        .answer_cache()
+        .get_with_expiry(&edge, RrType::A, recursor.clock().now_us())
+        .expect("edge cached under its own name");
+
+    // Near the edge's expiry, a sibling alias replays it from cache.
+    recursor.clock().advance_to(290_000_000);
+    let second = worker.resolve(&www2, RrType::A).unwrap();
+    assert_eq!(first.answers[1], second.answers[1], "same replayed edge A");
+
+    let now = recursor.clock().now_us();
+    let (_, www2_expires) = recursor
+        .answer_cache()
+        .get_with_expiry(&www2, RrType::A, now)
+        .expect("derived chain cached");
+    assert!(
+        www2_expires <= edge_expires,
+        "derived entry (expires {www2_expires}) must not outlive its source (expires {edge_expires})"
+    );
+
+    // Past the edge's authoritative expiry, the derived chain is gone too.
+    recursor.clock().advance_to(edge_expires + 1);
+    assert!(
+        recursor
+            .answer_cache()
+            .get(&www2, RrType::A, recursor.clock().now_us())
+            .is_none(),
+        "derived chain served past its source's TTL"
+    );
+}
+
+/// Virtual time is the max of the workers' per-socket timelines, not the
+/// sum of all their work — otherwise cache lifetimes would shrink as the
+/// worker count grows.
+#[test]
+fn shared_clock_tracks_max_worker_timeline_not_sum() {
+    let world = world();
+    let net = Network::new(32);
+    let catalog = world.materialize(&net);
+    let recursor = Recursor::new(catalog.root_hints(), RecursorConfig::default());
+
+    let entries = world.zone_entries(dps_ecosystem::Tld::Com);
+    let first = world.entry_name(entries[0]);
+    let second = world.entry_name(entries[1]);
+
+    let mut w1 = recursor.worker(&net, src(), 0);
+    let mut w2 = recursor.worker(&net, src(), 1);
+    let r1 = w1.resolve(&first, RrType::A).unwrap();
+    let r2 = w2.resolve(&second, RrType::A).unwrap();
+    assert!(r1.elapsed_us > 0 && r2.elapsed_us > 0);
+
+    let now = recursor.clock().now_us();
+    assert_eq!(
+        now,
+        r1.elapsed_us.max(r2.elapsed_us),
+        "clock is the max worker timeline"
+    );
+    assert!(
+        now < r1.elapsed_us + r2.elapsed_us,
+        "clock must not sum concurrent workers' time"
+    );
+}
