@@ -14,6 +14,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release --offline
 
+echo "==> smoke: dpscope store verify over a tiny archive"
+rm -rf target/ci-smoke
+./target/release/dpscope measure --scale 0.005 --days 4 --cc-start 3 --archive target/ci-smoke
+./target/release/dpscope store info target/ci-smoke
+./target/release/dpscope store verify target/ci-smoke
+rm -rf target/ci-smoke
+
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
 

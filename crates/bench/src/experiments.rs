@@ -56,8 +56,10 @@ pub struct ExperimentConfig {
     pub stride: u32,
     /// Where CSV artifacts go.
     pub out_dir: PathBuf,
-    /// Optional archive cache: load the snapshot store from here if it
-    /// exists, otherwise run the study and save it here.
+    /// Optional archive cache: resume/load the single-file `dps-store`
+    /// archive under this directory (a killed sweep restarts from its last
+    /// committed day), or fall back to a legacy loose-file archive if one
+    /// is already there. Without it the study runs purely in memory.
     pub store_dir: Option<PathBuf>,
 }
 
@@ -119,36 +121,50 @@ impl Context {
             t0.elapsed(),
             world.domains().len()
         );
-        let cached = config
-            .store_dir
-            .as_ref()
-            .filter(|d| d.join("index.tsv").exists())
-            .map(|d| SnapshotStore::load_dir(d).expect("load cached store"));
-        let store = match cached {
-            Some(store) => {
+        let study = Study::new(StudyConfig {
+            days: config.days,
+            cc_start_day: config.cc_start,
+            stride: config.stride,
+        });
+        let store = match &config.store_dir {
+            // A legacy loose-file archive (no single-file archive beside
+            // it): read-only fallback with estimated data-point counts.
+            Some(dir)
+                if dir.join("index.tsv").exists()
+                    && !dir.join(dps_measure::ARCHIVE_FILE).exists() =>
+            {
+                let store = SnapshotStore::load_dir(dir).expect("load legacy store");
                 eprintln!(
-                    "[{:>7.1?}] loaded cached archive: {} (note: data-point counts are estimates)",
+                    "[{:>7.1?}] loaded legacy loose-file archive: {} (note: data-point counts are estimates)",
                     t0.elapsed(),
                     report::human_bytes(store.total_stored_bytes())
                 );
                 store
             }
+            // The single-file archive path: a complete archive just loads;
+            // a partial one (killed sweep) resumes from its last committed
+            // day; a missing one is measured and written as we go.
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("create archive dir");
+                let path = dir.join(dps_measure::ARCHIVE_FILE);
+                let store = study
+                    .run_archived(&mut world, &path)
+                    .expect("archived study");
+                eprintln!(
+                    "[{:>7.1?}] study archived: {} at {} (exact data-point counts)",
+                    t0.elapsed(),
+                    report::human_bytes(store.total_stored_bytes()),
+                    path.display()
+                );
+                store
+            }
             None => {
-                let study = Study::new(StudyConfig {
-                    days: config.days,
-                    cc_start_day: config.cc_start,
-                    stride: config.stride,
-                });
                 let store = study.run(&mut world);
                 eprintln!(
                     "[{:>7.1?}] study complete: {} stored",
                     t0.elapsed(),
                     report::human_bytes(store.total_stored_bytes())
                 );
-                if let Some(dir) = &config.store_dir {
-                    store.save_dir(dir).expect("save archive");
-                    eprintln!("  archived to {}", dir.display());
-                }
                 store
             }
         };

@@ -120,6 +120,18 @@ impl Table {
 
     /// Parses the serialisation produced by [`to_bytes`](Self::to_bytes).
     pub fn from_bytes(buf: &[u8]) -> Result<Self, TableError> {
+        Self::decode(buf, None)
+    }
+
+    /// Parses only the columns named in `projection` (in the order given),
+    /// skipping the payload bytes of every other column. This is what makes
+    /// narrow scans over wide archives cheap: the cost is proportional to
+    /// the projected columns, not the table width.
+    pub fn from_bytes_projected(buf: &[u8], projection: &[&str]) -> Result<Self, TableError> {
+        Self::decode(buf, Some(projection))
+    }
+
+    fn decode(buf: &[u8], projection: Option<&[&str]>) -> Result<Self, TableError> {
         if buf.get(..4) != Some(MAGIC.as_slice()) {
             return Err(TableError::BadMagic);
         }
@@ -128,9 +140,10 @@ impl Table {
         if width > 1024 {
             return Err(TableError::Truncated);
         }
-        let mut names = Vec::with_capacity(width);
-        let mut columns = Vec::with_capacity(width);
-        let mut rows: Option<usize> = None;
+        // Header walk: record every column's name and payload range without
+        // decoding anything yet.
+        let mut names: Vec<&str> = Vec::with_capacity(width);
+        let mut payloads: Vec<(usize, usize)> = Vec::with_capacity(width);
         for _ in 0..width {
             let nlen = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
             let nbytes = buf.get(pos..pos + nlen).ok_or(TableError::Truncated)?;
@@ -138,19 +151,39 @@ impl Table {
             let name = std::str::from_utf8(nbytes).map_err(|_| TableError::BadName)?;
             names.push(name);
             let clen = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
-            let cbytes = buf.get(pos..pos + clen).ok_or(TableError::Truncated)?;
+            buf.get(pos..pos + clen).ok_or(TableError::Truncated)?;
+            payloads.push((pos, clen));
             pos += clen;
-            let col = decode_u32s(cbytes).map_err(TableError::Column)?;
+        }
+        // Which columns to materialise, in output order.
+        let selected: Vec<usize> = match projection {
+            None => (0..width).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|want| {
+                    names
+                        .iter()
+                        .position(|n| n == want)
+                        .ok_or(TableError::UnknownColumn)
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let mut out_names = Vec::with_capacity(selected.len());
+        let mut columns = Vec::with_capacity(selected.len());
+        let mut rows: Option<usize> = None;
+        for &i in &selected {
+            let (start, len) = payloads[i];
+            let col = decode_u32s(&buf[start..start + len]).map_err(TableError::Column)?;
             match rows {
                 None => rows = Some(col.len()),
                 Some(r) if r != col.len() => return Err(TableError::RaggedColumns),
                 _ => {}
             }
+            out_names.push(names[i]);
             columns.push(col);
         }
-        let name_refs: Vec<&str> = names.clone();
         Ok(Self {
-            schema: Schema::new(&name_refs),
+            schema: Schema::new(&out_names),
             columns,
         })
     }
@@ -177,6 +210,8 @@ pub enum TableError {
     BadName,
     /// Column lengths disagree.
     RaggedColumns,
+    /// A projected column name does not exist in the table.
+    UnknownColumn,
     /// A column payload failed to decode.
     Column(DecodeError),
 }
@@ -188,6 +223,7 @@ impl std::fmt::Display for TableError {
             Self::Truncated => write!(f, "table truncated"),
             Self::BadName => write!(f, "non-UTF-8 column name"),
             Self::RaggedColumns => write!(f, "column lengths disagree"),
+            Self::UnknownColumn => write!(f, "projected column not in table"),
             Self::Column(e) => write!(f, "column decode: {e}"),
         }
     }
@@ -255,6 +291,38 @@ mod tests {
         let mut bytes = t.to_bytes();
         bytes.truncate(bytes.len() / 2);
         assert!(Table::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn projected_decode_materialises_requested_columns_only() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let p = Table::from_bytes_projected(&bytes, &["ip", "day"]).unwrap();
+        assert_eq!(p.schema().names(), &["ip".to_string(), "day".to_string()]);
+        assert_eq!(p.rows(), 500);
+        assert_eq!(
+            p.column_by_name("ip").unwrap(),
+            t.column_by_name("ip").unwrap()
+        );
+        assert_eq!(p.column_by_name("day").unwrap()[0], 17);
+        assert!(p.column_by_name("id").is_none());
+        assert!(matches!(
+            Table::from_bytes_projected(&bytes, &["nope"]),
+            Err(TableError::UnknownColumn)
+        ));
+    }
+
+    #[test]
+    fn projected_decode_skips_corrupt_unselected_payloads() {
+        // Corrupt the *last* column's payload; projecting only the first
+        // must still succeed (its bytes are skipped, not decoded), while a
+        // full decode fails.
+        let t = sample();
+        let mut bytes = t.to_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        let p = Table::from_bytes_projected(&bytes, &["day"]).unwrap();
+        assert_eq!(p.column(0), t.column_by_name("day").unwrap());
     }
 
     #[test]

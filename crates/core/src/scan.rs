@@ -114,20 +114,13 @@ impl<'a> Scanner<'a> {
         Self { refs }
     }
 
-    /// Runs the full pass over the archive. Day tables are decoded and
-    /// classified on the MapReduce worker pool (one map task per day
-    /// table); per-day partial results are merged on the caller thread.
+    /// Runs the full pass over an in-memory snapshot store. Day tables are
+    /// decoded and classified on the MapReduce worker pool (one map task
+    /// per day table); per-day partial results are merged on the caller
+    /// thread.
     pub fn run(&self, store: &SnapshotStore) -> ScanOutput {
         let days = store.days(Source::Com);
-        let n_days = days.len();
         let day_pos: HashMap<u32, usize> = days.iter().enumerate().map(|(i, &d)| (d, i)).collect();
-
-        let mut series = SeriesSet::new(n_days, self.refs.n);
-        series.days = days.clone();
-        let mut timelines = Timelines {
-            days: days.clone(),
-            map: HashMap::new(),
-        };
 
         // Gather all (source, day, encoded table) map tasks.
         let mut tasks: Vec<(Source, u32, &[u8])> = Vec::new();
@@ -140,10 +133,57 @@ impl<'a> Scanner<'a> {
         }
 
         let partials = dps_columnar::mapreduce::par_map(&tasks, |&(source, day, bytes)| {
-            self.map_day(source, day, bytes)
+            let table = dps_columnar::Table::from_bytes(bytes).expect("store holds valid tables");
+            self.map_day(source, day, &table)
         });
 
-        // Merge (deterministic: partials arrive in task order).
+        self.merge(days, partials)
+    }
+
+    /// Runs the full pass directly over a `dps-store` archive file, without
+    /// materialising a [`SnapshotStore`] first. Pages are fetched (and
+    /// decoded at most once per pass — repeat passes hit the archive's page
+    /// cache) on the MapReduce worker pool. Unknown source ids in the
+    /// archive are an error.
+    pub fn run_archive(&self, archive: &dps_store::Archive) -> std::io::Result<ScanOutput> {
+        let days = archive.catalog().days(Source::Com.index() as u8);
+        let day_pos: HashMap<u32, usize> = days.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+
+        let mut tasks: Vec<(Source, u32)> = Vec::new();
+        for &(day, source) in archive.catalog().pages.keys() {
+            let source = Source::from_index(u32::from(source))
+                .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
+            if day_pos.contains_key(&day) {
+                tasks.push((source, day));
+            }
+        }
+        // The paper's Table 1 order (sources outer, days inner) keeps the
+        // merge deterministic and identical to `run` over the same data.
+        tasks.sort_by_key(|&(source, day)| (source.index(), day));
+
+        let results = dps_columnar::mapreduce::par_map(&tasks, |&(source, day)| {
+            let table = archive
+                .table(day, source.index() as u8)?
+                .ok_or_else(|| std::io::Error::other("catalog-listed page missing"))?;
+            Ok::<_, std::io::Error>(self.map_day(source, day, &table))
+        });
+        let partials = results.into_iter().collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(self.merge(days, partials))
+    }
+
+    /// Merges per-day partials into the final output (deterministic:
+    /// partials arrive in task order).
+    fn merge(&self, days: Vec<u32>, partials: Vec<DayPartial>) -> ScanOutput {
+        let n_days = days.len();
+        let day_pos: HashMap<u32, usize> = days.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let mut series = SeriesSet::new(n_days, self.refs.n);
+        series.days = days.clone();
+        let mut timelines = Timelines {
+            days,
+            map: HashMap::new(),
+        };
+
         for partial in partials {
             let di = day_pos[&partial.day];
             let src = partial.source.index();
@@ -182,9 +222,8 @@ impl<'a> Scanner<'a> {
         ScanOutput { series, timelines }
     }
 
-    /// Map task: classify one day table into a partial result.
-    fn map_day(&self, source: Source, day: u32, bytes: &[u8]) -> DayPartial {
-        let table = dps_columnar::Table::from_bytes(bytes).expect("store holds valid tables");
+    /// Map task: classify one decoded day table into a partial result.
+    fn map_day(&self, source: Source, day: u32, table: &dps_columnar::Table) -> DayPartial {
         let cols: Vec<&[u32]> = (0..table.schema().width())
             .map(|c| table.column(c))
             .collect();
@@ -289,6 +328,35 @@ mod tests {
             .filter(|t| t.any.count() == 30)
             .count();
         assert!(full > 0, "always-on timelines exist");
+    }
+
+    #[test]
+    fn archive_scan_matches_in_memory_scan() {
+        let mut world = World::imc2016(ScenarioParams::tiny(11));
+        let config = StudyConfig {
+            days: 10,
+            cc_start_day: 6,
+            stride: 1,
+        };
+        let store = Study::new(config).run(&mut world);
+        let path =
+            std::env::temp_dir().join(format!("dps-core-scan-archive-{}.dps", std::process::id()));
+        store.save_archive(&path).unwrap();
+        let archive = dps_store::Archive::open(&path).unwrap();
+        let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
+        let scanner = Scanner::new(&refs);
+        let mem = scanner.run(&store);
+        let arch = scanner.run_archive(&archive).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(arch.series.days, mem.series.days);
+        assert_eq!(arch.series.zone_sizes, mem.series.zone_sizes);
+        assert_eq!(arch.series.provider_any, mem.series.provider_any);
+        assert_eq!(arch.series.provider_asn, mem.series.provider_asn);
+        assert_eq!(arch.series.provider_cname, mem.series.provider_cname);
+        assert_eq!(arch.series.provider_ns, mem.series.provider_ns);
+        assert_eq!(arch.series.tld_any, mem.series.tld_any);
+        assert_eq!(arch.series.source_any, mem.series.source_any);
+        assert_eq!(arch.timelines.map.len(), mem.timelines.map.len());
     }
 
     #[test]

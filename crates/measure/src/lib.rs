@@ -27,4 +27,4 @@ pub mod snapshot;
 pub use collector::{BulkPath, QueryPath, RecursorPath, WirePath};
 pub use observation::{Source, SOURCES};
 pub use pipeline::{Study, StudyConfig};
-pub use snapshot::{SnapshotStore, SourceStats};
+pub use snapshot::{SnapshotStore, SourceStats, ARCHIVE_FILE};

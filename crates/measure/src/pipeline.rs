@@ -8,10 +8,11 @@
 
 use crate::collector::{collect, collect_raw, BulkPath, QueryPath, RawRow, SldInterner};
 use crate::observation::{entry_code, schema, Row, Source, SOURCES};
-use crate::snapshot::SnapshotStore;
-use dps_columnar::TableBuilder;
+use crate::snapshot::{SnapshotStore, UNIQUE_KEY_COLUMN};
+use dps_columnar::{Table, TableBuilder};
 use dps_ecosystem::World;
 use dps_netsim::{Day, RibHistory};
+use dps_store::{Archive, ArchiveWriter};
 
 /// Study configuration.
 #[derive(Debug, Clone, Copy)]
@@ -84,13 +85,82 @@ impl Study {
         (self.store, self.history)
     }
 
+    /// Runs the whole study while streaming each finished day into a
+    /// `dps-store` archive at `path`, committing a durable footer after
+    /// every measured day (checkpoint). If `path` already holds a partial
+    /// archive — say, from a killed sweep — the run *resumes*: committed
+    /// days are rehydrated from the file instead of re-measured, the
+    /// dictionary continues from the last footer (interning is idempotent,
+    /// so ids stay identical), and the world is still advanced through
+    /// every day so ecosystem state matches an uninterrupted run. The
+    /// resulting archive is byte-identical to one written in a single
+    /// uninterrupted sweep.
+    pub fn run_archived(
+        mut self,
+        world: &mut World,
+        path: &std::path::Path,
+    ) -> std::io::Result<SnapshotStore> {
+        let mut writer = ArchiveWriter::resume_or_create(path, Some(UNIQUE_KEY_COLUMN))?;
+        // Continue interning into the committed dictionary so a resumed
+        // sweep assigns the same ids an uninterrupted one would.
+        self.store.dict = writer.dict().clone();
+        if !writer.catalog().pages.is_empty() {
+            // Rehydrate committed days (exact data-point counts come from
+            // the catalog; no re-measurement, no estimation).
+            let archive = Archive::open_with_cache(path, 0)?;
+            for (&(day, source), meta) in &archive.catalog().pages {
+                let src = Source::from_index(u32::from(source))
+                    .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
+                let table = archive
+                    .table(day, source)?
+                    .expect("catalog-listed page exists");
+                self.store.add_table(day, src, &table, meta.data_points);
+            }
+        }
+        let mut interner = SldInterner::new();
+        let mut day = 0u32;
+        while day < self.config.days {
+            // Advance through *every* day — including already-committed
+            // ones — so world state evolves exactly as in a fresh run.
+            world.advance_to(Day(day));
+            self.history.record(Day(day), world.pfx2as());
+            let due = self.due_sources(day);
+            // A commit happens once per day, so a day is either fully
+            // durable or (after truncating a torn tail) absent entirely.
+            if !due.iter().all(|s| writer.contains(day, s.index() as u8)) {
+                for (source, table, data_points) in self.collect_day(world, day, &mut interner) {
+                    writer.append_table(day, source.index() as u8, &table, data_points)?;
+                    self.store.add_table(day, source, &table, data_points);
+                }
+                writer.commit(&self.store.dict)?;
+            }
+            day += self.config.stride.max(1);
+        }
+        Ok(self.store)
+    }
+
     /// Sweeps all due sources for the world's current day.
     ///
     /// The input list is fanned out over the crossbeam worker cloud
     /// (paper Fig. 1): workers collect raw rows against the immutable
     /// world; the manager thread dictionary-encodes and stores them.
     pub fn measure_day(&mut self, world: &World, day: u32, interner: &mut SldInterner) {
+        for (source, table, data_points) in self.collect_day(world, day, interner) {
+            self.store.add_table(day, source, &table, data_points);
+        }
+    }
+
+    /// Collects and encodes one table per due source for `day` without
+    /// storing them (shared by [`measure_day`](Self::measure_day) and
+    /// [`run_archived`](Self::run_archived)).
+    fn collect_day(
+        &mut self,
+        world: &World,
+        day: u32,
+        interner: &mut SldInterner,
+    ) -> Vec<(Source, Table, u64)> {
         let pfx2as = world.pfx2as();
+        let mut out = Vec::new();
         for source in self.due_sources(day) {
             let entries = match source.tld() {
                 Some(tld) => world.zone_entries(tld),
@@ -120,9 +190,9 @@ impl Study {
                 data_points += u64::from(row.data_points);
                 builder.push_row(&row.pack(day, source));
             }
-            let table = builder.finish();
-            self.store.add_table(day, source, &table, data_points);
+            out.push((source, builder.finish(), data_points));
         }
+        out
     }
 
     /// Immutable access to the store while the study is running.
@@ -251,6 +321,38 @@ mod tests {
         assert!(t.rows() > 0);
         let days = t.column_by_name("day").unwrap();
         assert!(days.iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn archived_run_checkpoints_every_day_and_matches_in_memory() {
+        let path =
+            std::env::temp_dir().join(format!("dps-pipeline-archived-{}.dps", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let config = StudyConfig {
+            days: 6,
+            cc_start_day: 4,
+            stride: 1,
+        };
+        let mut world = World::imc2016(ScenarioParams::tiny(9));
+        let archived = Study::new(config).run_archived(&mut world, &path).unwrap();
+        let mut world2 = World::imc2016(ScenarioParams::tiny(9));
+        let in_memory = Study::new(config).run(&mut world2);
+        for s in SOURCES {
+            let (a, b) = (archived.stats(s), in_memory.stats(s));
+            assert_eq!(a.days, b.days, "{s:?}");
+            assert_eq!(a.data_points, b.data_points, "{s:?}");
+            assert_eq!(a.unique_slds, b.unique_slds, "{s:?}");
+        }
+        // A second run over the finished archive measures nothing new and
+        // reloads the exact same store from the file.
+        let mut world3 = World::imc2016(ScenarioParams::tiny(9));
+        let reloaded = Study::new(config).run_archived(&mut world3, &path).unwrap();
+        assert_eq!(
+            reloaded.stats(Source::Com).data_points,
+            archived.stats(Source::Com).data_points
+        );
+        assert_eq!(reloaded.days(Source::Com), archived.days(Source::Com));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,8 +1,23 @@
 //! Stage II: the snapshot store — daily per-source columnar tables.
+//!
+//! Persistence is the `dps-store` single-file paged archive
+//! ([`save_archive`](SnapshotStore::save_archive) /
+//! [`load_archive`](SnapshotStore::load_archive)); the directory-based
+//! [`save_dir`](SnapshotStore::save_dir) / [`load_dir`](SnapshotStore::load_dir)
+//! API survives as a thin shim over it (plus a read-only fallback for the
+//! deprecated loose-file layout older archives used).
 
 use crate::observation::{schema, Source, SOURCES};
 use dps_columnar::{StringDict, Table};
+use dps_store::{Archive, ArchiveWriter};
 use std::collections::{BTreeMap, HashSet};
+
+/// Name of the single-file archive inside a `save_dir` directory.
+pub const ARCHIVE_FILE: &str = "archive.dps";
+
+/// The table column whose distinct values the archive tracks per source
+/// (zone entries — the paper's unique-SLD statistic).
+pub const UNIQUE_KEY_COLUMN: &str = "entry";
 
 /// Per-source data-set statistics (paper Table 1).
 #[derive(Debug, Clone, Default)]
@@ -23,12 +38,19 @@ pub struct SourceStats {
     pub raw_bytes: u64,
 }
 
+/// One stored day table: its encoded bytes and the true collected
+/// data-point count (persisted exactly — never re-estimated on reload).
+struct StoredTable {
+    bytes: Vec<u8>,
+    data_points: u64,
+}
+
 /// The measurement archive: one encoded table per (day, source), plus the
 /// shared string dictionary and per-source statistics.
 pub struct SnapshotStore {
     /// Shared dictionary for SLD strings.
     pub dict: StringDict,
-    tables: BTreeMap<(u32, u8), Vec<u8>>,
+    tables: BTreeMap<(u32, u8), StoredTable>,
     stats: Vec<SourceStats>,
 }
 
@@ -52,17 +74,20 @@ impl SnapshotStore {
         st.data_points += data_points;
         st.stored_bytes += bytes.len() as u64;
         st.raw_bytes += table.raw_len() as u64;
-        if let Some(col) = table.column_by_name("entry") {
+        if let Some(col) = table.column_by_name(UNIQUE_KEY_COLUMN) {
             st.unique_slds.extend(col.iter().copied());
         }
-        self.tables.insert((day, source.index() as u8), bytes);
+        self.tables.insert(
+            (day, source.index() as u8),
+            StoredTable { bytes, data_points },
+        );
     }
 
     /// Decodes the table for `(day, source)`.
     pub fn table(&self, day: u32, source: Source) -> Option<Table> {
         self.tables
             .get(&(day, source.index() as u8))
-            .map(|b| Table::from_bytes(b).expect("store holds valid tables"))
+            .map(|t| Table::from_bytes(&t.bytes).expect("store holds valid tables"))
     }
 
     /// Days measured for a source, ascending.
@@ -80,7 +105,7 @@ impl SnapshotStore {
         self.tables
             .iter()
             .filter(|((_, s), _)| *s == source.index() as u8)
-            .map(|((d, _), b)| (*d, b.as_slice()))
+            .map(|((d, _), t)| (*d, t.bytes.as_slice()))
             .collect()
     }
 
@@ -89,12 +114,12 @@ impl SnapshotStore {
         self.tables
             .iter()
             .filter(move |((_, s), _)| *s == source.index() as u8)
-            .map(|((d, _), b)| (*d, Table::from_bytes(b).expect("valid")))
+            .map(|((d, _), t)| (*d, Table::from_bytes(&t.bytes).expect("valid")))
     }
 
     /// Raw encoded bytes of every stored table (for size accounting).
     pub fn total_stored_bytes(&self) -> u64 {
-        self.tables.values().map(|b| b.len() as u64).sum()
+        self.tables.values().map(|t| t.bytes.len() as u64).sum()
     }
 
     /// Statistics for a source.
@@ -107,26 +132,95 @@ impl SnapshotStore {
         schema()
     }
 
-    /// Persists the whole archive into a directory: one file per
-    /// `(day, source)` table, plus the dictionary and statistics, so a
-    /// multi-minute sweep can be analysed repeatedly without re-running.
-    pub fn save_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join("dict.bin"), self.dict.to_bytes())?;
-        let mut index = String::new();
-        for ((day, source), bytes) in &self.tables {
-            let name = format!("day{day:05}_src{source}.dpc");
-            std::fs::write(dir.join(&name), bytes)?;
-            use std::fmt::Write as _;
-            let _ = writeln!(index, "{day}\t{source}\t{name}");
+    /// Persists the whole store as a `dps-store` single-file archive at
+    /// `path`: CRC-checked pages, footer catalog with the exact per-table
+    /// data-point counts, and the string dictionary.
+    pub fn save_archive(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut writer = ArchiveWriter::create(path, Some(UNIQUE_KEY_COLUMN))?;
+        for ((day, source), stored) in &self.tables {
+            let table = Table::from_bytes(&stored.bytes).map_err(std::io::Error::other)?;
+            writer.append_table(*day, *source, &table, stored.data_points)?;
         }
-        std::fs::write(dir.join("index.tsv"), index)?;
-        Ok(())
+        writer.commit(&self.dict)
     }
 
-    /// Loads an archive produced by [`save_dir`](Self::save_dir),
-    /// recomputing the per-source statistics.
+    /// Materialises a full store from a `dps-store` archive, restoring the
+    /// dictionary and the per-source statistics *exactly* as saved (the
+    /// catalog carries true data-point counts; nothing is estimated).
+    pub fn load_archive(path: &std::path::Path) -> std::io::Result<Self> {
+        let archive = Archive::open(path)?;
+        Self::from_archive(&archive)
+    }
+
+    /// Materialises a full store from an open [`Archive`] handle.
+    pub fn from_archive(archive: &Archive) -> std::io::Result<Self> {
+        let mut store = Self {
+            dict: archive.dict().clone(),
+            tables: BTreeMap::new(),
+            stats: vec![SourceStats::default(); SOURCES.len()],
+        };
+        for (&(day, source), meta) in &archive.catalog().pages {
+            if Source::from_index(u32::from(source)).is_none() {
+                return Err(std::io::Error::other("archive has an unknown source id"));
+            }
+            let table = archive
+                .table(day, source)?
+                .expect("catalog-listed page exists");
+            if table.schema().names() != schema().names() {
+                return Err(std::io::Error::other(
+                    "archive schema does not match this build; re-run the study",
+                ));
+            }
+            store.tables.insert(
+                (day, source),
+                StoredTable {
+                    bytes: table.to_bytes(),
+                    data_points: meta.data_points,
+                },
+            );
+        }
+        for (i, st) in archive
+            .catalog()
+            .stats()
+            .into_iter()
+            .enumerate()
+            .take(SOURCES.len())
+        {
+            store.stats[i] = SourceStats {
+                first_day: st.first_day,
+                last_day: st.last_day,
+                days: st.days,
+                unique_slds: st.unique_keys.into_iter().collect(),
+                data_points: st.data_points,
+                stored_bytes: st.stored_bytes,
+                raw_bytes: st.raw_bytes,
+            };
+        }
+        Ok(store)
+    }
+
+    /// Compatibility shim: persists into `dir` as a single
+    /// [`ARCHIVE_FILE`] (the loose one-file-per-table layout this method
+    /// used to write is deprecated and no longer produced).
+    pub fn save_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.save_archive(&dir.join(ARCHIVE_FILE))
+    }
+
+    /// Compatibility shim: loads a directory written by
+    /// [`save_dir`](Self::save_dir). Prefers the single-file archive;
+    /// falls back to the deprecated loose-file layout (whose data-point
+    /// counts were never stored and are estimated as `non-failed rows × 5`).
     pub fn load_dir(dir: &std::path::Path) -> std::io::Result<Self> {
+        let archive = dir.join(ARCHIVE_FILE);
+        if archive.exists() {
+            return Self::load_archive(&archive);
+        }
+        Self::load_legacy_dir(dir)
+    }
+
+    /// The deprecated loose-file reader (`index.tsv` + `.dpc` files).
+    fn load_legacy_dir(dir: &std::path::Path) -> std::io::Result<Self> {
         let dict_bytes = std::fs::read(dir.join("dict.bin"))?;
         let dict = StringDict::from_bytes(&dict_bytes)
             .ok_or_else(|| std::io::Error::other("corrupt dictionary"))?;
@@ -153,8 +247,7 @@ impl SnapshotStore {
                     "archive schema does not match this build; re-run the study",
                 ));
             }
-            // Data-point counts are not stored per table; reconstruct the
-            // structural stats and leave data_points at the row estimate.
+            // The legacy layout never stored data-point counts; estimate.
             let dps = table
                 .column_by_name("failed")
                 .map(|c| c.iter().filter(|&&f| f == 0).count() as u64 * 5)
@@ -223,6 +316,38 @@ mod tests {
         assert_eq!(t.rows(), 60);
         assert_eq!(back.stats(Source::Com).days, 2);
         assert_eq!(back.stats(Source::Org).unique_slds.len(), 10);
+    }
+
+    /// Regression: `data_points` used to be reconstructed on reload as
+    /// `non-failed rows × 5`, silently replacing the true collected count.
+    /// The archive catalog persists the exact value, so a save→load
+    /// roundtrip must preserve every `SourceStats` field bit-for-bit.
+    #[test]
+    fn save_load_roundtrips_stats_exactly() {
+        let mut store = SnapshotStore::new();
+        store.dict.intern("incapdns.net");
+        // 400 and 301 are deliberately NOT multiples of rows×5, so the old
+        // estimate could never reproduce them.
+        store.add_table(0, Source::Com, &table_with_rows(0, 100), 400);
+        store.add_table(2, Source::Com, &table_with_rows(2, 80), 301);
+        store.add_table(1, Source::Nl, &table_with_rows(1, 30), 77);
+        let path =
+            std::env::temp_dir().join(format!("dps-snapshot-exact-{}.dps", std::process::id()));
+        store.save_archive(&path).unwrap();
+        let back = SnapshotStore::load_archive(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for source in SOURCES {
+            let (a, b) = (store.stats(source), back.stats(source));
+            assert_eq!(a.first_day, b.first_day, "{source:?} first_day");
+            assert_eq!(a.last_day, b.last_day, "{source:?} last_day");
+            assert_eq!(a.days, b.days, "{source:?} days");
+            assert_eq!(a.data_points, b.data_points, "{source:?} data_points");
+            assert_eq!(a.stored_bytes, b.stored_bytes, "{source:?} stored_bytes");
+            assert_eq!(a.raw_bytes, b.raw_bytes, "{source:?} raw_bytes");
+            assert_eq!(a.unique_slds, b.unique_slds, "{source:?} unique_slds");
+        }
+        assert_eq!(back.stats(Source::Com).data_points, 701);
+        assert_eq!(back.stats(Source::Nl).data_points, 77);
     }
 
     #[test]

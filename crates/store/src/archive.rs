@@ -1,0 +1,362 @@
+//! Read side: open an archive by its footer, serve CRC-checked pages
+//! through the LRU cache, and run projection/pruning scans.
+
+use crate::cache::{PageCache, PageKey};
+use crate::catalog::{Catalog, PageMeta, SourceStats};
+use crate::crc32::crc32;
+use crate::format;
+use dps_columnar::{mapreduce, StringDict, Table};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default page-cache capacity (decoded bytes).
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+/// I/O and decode counters, updated by every page access. These are what
+/// the acceptance tests assert on: projection must decode strictly fewer
+/// bytes than full-table loads, and a warm cache must decode orders of
+/// magnitude fewer pages on repeated passes.
+#[derive(Default)]
+pub struct Counters {
+    /// Pages read from disk and decoded.
+    pub pages_decoded: AtomicU64,
+    /// Pages served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Compressed bytes read from disk (page chunks + checksums).
+    pub disk_bytes_read: AtomicU64,
+    /// Decoded bytes materialised (4 bytes per decoded cell).
+    pub decoded_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`Counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Pages read from disk and decoded.
+    pub pages_decoded: u64,
+    /// Pages served from the cache.
+    pub cache_hits: u64,
+    /// Compressed bytes read from disk.
+    pub disk_bytes_read: u64,
+    /// Decoded bytes materialised.
+    pub decoded_bytes: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            pages_decoded: self.pages_decoded - earlier.pages_decoded,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            disk_bytes_read: self.disk_bytes_read - earlier.disk_bytes_read,
+            decoded_bytes: self.decoded_bytes - earlier.decoded_bytes,
+        }
+    }
+}
+
+/// Predicate + projection for a scan. Defaults to everything.
+#[derive(Debug, Clone, Default)]
+pub struct ScanQuery {
+    days: Option<(u32, u32)>,
+    sources: Option<Vec<u8>>,
+    columns: Option<Vec<String>>,
+}
+
+impl ScanQuery {
+    /// Scan everything, all columns.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to days in `[from, to]` (inclusive). Pages outside the
+    /// range are pruned from the catalog — never read, never decoded.
+    pub fn days(mut self, from: u32, to: u32) -> Self {
+        self.days = Some((from, to));
+        self
+    }
+
+    /// Restrict to one source.
+    pub fn source(mut self, source: u8) -> Self {
+        self.sources = Some(vec![source]);
+        self
+    }
+
+    /// Restrict to a set of sources.
+    pub fn sources(mut self, sources: &[u8]) -> Self {
+        self.sources = Some(sources.to_vec());
+        self
+    }
+
+    /// Project to the named columns (decode only these).
+    pub fn columns(mut self, cols: &[&str]) -> Self {
+        self.columns = Some(cols.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    fn matches(&self, meta: &PageMeta) -> bool {
+        if let Some((from, to)) = self.days {
+            if meta.day < from || meta.day > to {
+                return false;
+            }
+        }
+        if let Some(sources) = &self.sources {
+            if !sources.contains(&meta.source) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One scanned page: identity plus its (possibly projected) table.
+#[derive(Debug, Clone)]
+pub struct ScanItem {
+    /// Measurement day.
+    pub day: u32,
+    /// Source id.
+    pub source: u8,
+    /// The decoded table (shared with the page cache).
+    pub table: Arc<Table>,
+}
+
+/// Result of a full-archive checksum validation.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Pages checked.
+    pub pages: usize,
+    /// Pages whose stored CRC32 matched.
+    pub ok: usize,
+    /// `(day, source)` of pages that failed.
+    pub corrupt: Vec<(u32, u8)>,
+}
+
+impl VerifyReport {
+    /// True when every page checksum matched.
+    pub fn all_ok(&self) -> bool {
+        self.corrupt.is_empty() && self.ok == self.pages
+    }
+}
+
+/// A read-only handle on a committed archive file.
+///
+/// Opening reads only the footer catalog; pages are fetched lazily (and
+/// checksum-verified) on access, through a sharded LRU cache of decoded
+/// tables. The handle is `Sync`: scans fan page decodes out over the
+/// mapreduce worker pool.
+pub struct Archive {
+    file: Mutex<File>,
+    catalog: Catalog,
+    stats: Vec<SourceStats>,
+    cache: PageCache,
+    counters: Counters,
+}
+
+impl Archive {
+    /// Opens `path` with the default page-cache capacity.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_with_cache(path, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Opens `path` with a page cache bounded at `cache_bytes` decoded
+    /// bytes (0 disables caching).
+    pub fn open_with_cache(path: &Path, cache_bytes: usize) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let footer = format::read_footer(&mut file)?;
+        let stats = footer.catalog.stats();
+        Ok(Self {
+            file: Mutex::new(file),
+            catalog: footer.catalog,
+            stats,
+            cache: PageCache::new(cache_bytes),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The footer catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared string dictionary.
+    pub fn dict(&self) -> &StringDict {
+        &self.catalog.dict
+    }
+
+    /// Source slots present (highest source id + 1).
+    pub fn n_sources(&self) -> usize {
+        self.catalog.n_sources()
+    }
+
+    /// Exact statistics for `source`, if it has any pages.
+    pub fn stats(&self, source: u8) -> Option<&SourceStats> {
+        self.stats.get(source as usize)
+    }
+
+    /// Days archived for `source`, ascending.
+    pub fn days(&self, source: u8) -> Vec<u32> {
+        self.catalog.days(source)
+    }
+
+    /// Sum of encoded page bytes (Table 1 "stored size").
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.catalog.total_stored_bytes()
+    }
+
+    /// Counter values right now.
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            pages_decoded: self.counters.pages_decoded.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            disk_bytes_read: self.counters.disk_bytes_read.load(Ordering::Relaxed),
+            decoded_bytes: self.counters.decoded_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached page (cold-scan benchmarks).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The full table for `(day, source)`, if archived.
+    pub fn table(&self, day: u32, source: u8) -> io::Result<Option<Arc<Table>>> {
+        let Some(meta) = self.catalog.pages.get(&(day, source)) else {
+            return Ok(None);
+        };
+        self.load(meta, None).map(Some)
+    }
+
+    /// A projected table for `(day, source)`: only `cols` are decoded.
+    pub fn project(&self, day: u32, source: u8, cols: &[&str]) -> io::Result<Option<Arc<Table>>> {
+        let Some(meta) = self.catalog.pages.get(&(day, source)) else {
+            return Ok(None);
+        };
+        let cols: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
+        self.load(meta, Some(&cols)).map(Some)
+    }
+
+    /// Pages matching `query`'s day/source predicates, in `(day, source)`
+    /// order, decoded sequentially under its projection.
+    pub fn scan(&self, query: &ScanQuery) -> io::Result<Vec<ScanItem>> {
+        self.pruned(query)
+            .into_iter()
+            .map(|meta| {
+                let table = self.load(meta, query.columns.as_deref())?;
+                Ok(ScanItem {
+                    day: meta.day,
+                    source: meta.source,
+                    table,
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`scan`](Self::scan) but decoding pages on the mapreduce
+    /// worker pool. Order is still deterministic `(day, source)`.
+    pub fn par_scan(&self, query: &ScanQuery) -> io::Result<Vec<ScanItem>> {
+        let metas = self.pruned(query);
+        let items = mapreduce::par_map(&metas, |&meta| {
+            let table = self.load(meta, query.columns.as_deref())?;
+            Ok(ScanItem {
+                day: meta.day,
+                source: meta.source,
+                table,
+            })
+        });
+        items.into_iter().collect()
+    }
+
+    /// Validates every page checksum without decoding any table.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        for meta in self.catalog.pages.values() {
+            report.pages += 1;
+            let bytes = self.read_page_bytes(meta)?;
+            if self.checksum_ok(&bytes) {
+                report.ok += 1;
+            } else {
+                report.corrupt.push((meta.day, meta.source));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Catalog pages surviving `query`'s predicates (the pruning step).
+    fn pruned<'a>(&'a self, query: &ScanQuery) -> Vec<&'a PageMeta> {
+        let range = match query.days {
+            Some((from, to)) if from <= to => (from, 0u8)..=(to, u8::MAX),
+            Some(_) => return Vec::new(),
+            None => (0u32, 0u8)..=(u32::MAX, u8::MAX),
+        };
+        self.catalog
+            .pages
+            .range(range)
+            .map(|(_, meta)| meta)
+            .filter(|meta| query.matches(meta))
+            .collect()
+    }
+
+    /// Reads one page's raw chunk + CRC trailer from disk.
+    fn read_page_bytes(&self, meta: &PageMeta) -> io::Result<Vec<u8>> {
+        let total = usize::try_from(meta.len + format::PAGE_CRC_LEN)
+            .map_err(|_| io::Error::other("dps-store: page too large for this platform"))?;
+        let mut buf = vec![0u8; total];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(meta.offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        self.counters
+            .disk_bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    /// True if a raw page buffer's stored CRC matches its chunk.
+    fn checksum_ok(&self, buf: &[u8]) -> bool {
+        let body_len = buf.len() - format::PAGE_CRC_LEN as usize;
+        let stored = u32::from_le_bytes(buf[body_len..].try_into().expect("4-byte CRC"));
+        crc32(&buf[..body_len]) == stored
+    }
+
+    /// Fetches a page through the cache, reading + checksumming + decoding
+    /// on miss.
+    fn load(&self, meta: &PageMeta, projection: Option<&[String]>) -> io::Result<Arc<Table>> {
+        let key: PageKey = (meta.day, meta.source, projection.map(<[String]>::to_vec));
+        if let Some(table) = self.cache.get(&key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(table);
+        }
+        let buf = self.read_page_bytes(meta)?;
+        if !self.checksum_ok(&buf) {
+            return Err(io::Error::other(format!(
+                "dps-store: page (day {}, source {}) checksum mismatch",
+                meta.day, meta.source
+            )));
+        }
+        let body = &buf[..buf.len() - format::PAGE_CRC_LEN as usize];
+        let table = match projection {
+            None => Table::from_bytes(body),
+            Some(cols) => {
+                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                Table::from_bytes_projected(body, &refs)
+            }
+        }
+        .map_err(|e| {
+            io::Error::other(format!(
+                "dps-store: page (day {}, source {}) decode failed: {e}",
+                meta.day, meta.source
+            ))
+        })?;
+        let decoded = table.raw_len();
+        self.counters.pages_decoded.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .decoded_bytes
+            .fetch_add(decoded as u64, Ordering::Relaxed);
+        let table = Arc::new(table);
+        self.cache.insert(key, Arc::clone(&table), decoded);
+        Ok(table)
+    }
+}

@@ -1,0 +1,196 @@
+//! A sharded, capacity-bounded page cache: decoded tables keyed by
+//! `(day, source, projection)`, evicted LRU by decoded size so repeated
+//! analysis passes over the same archive hit memory instead of re-reading
+//! and re-decoding pages.
+
+use dps_columnar::Table;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache key: page identity plus the projection it was decoded under
+/// (`None` = all columns). Different projections of the same page are
+/// distinct entries — a projected decode materialises different columns.
+pub type PageKey = (u32, u8, Option<Vec<String>>);
+
+const SHARDS: usize = 8;
+
+struct CachedPage {
+    table: Arc<Table>,
+    bytes: usize,
+    seq: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<PageKey, CachedPage>,
+    /// LRU index: access sequence number → key. Eviction pops the lowest.
+    lru: BTreeMap<u64, PageKey>,
+    bytes: usize,
+}
+
+/// The sharded LRU page cache.
+pub struct PageCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    seq: AtomicU64,
+}
+
+impl PageCache {
+    /// A cache bounded at `capacity_bytes` of decoded table data
+    /// (0 disables caching entirely).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity_bytes / SHARDS,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PageKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a decoded page, refreshing its LRU position.
+    pub fn get(&self, key: &PageKey) -> Option<Arc<Table>> {
+        let mut shard = self.shard(key).lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let page = shard.map.get_mut(key)?;
+        let old = std::mem::replace(&mut page.seq, seq);
+        let table = Arc::clone(&page.table);
+        shard.lru.remove(&old);
+        shard.lru.insert(seq, key.clone());
+        Some(table)
+    }
+
+    /// Inserts a decoded page of `bytes` decoded size, evicting the least
+    /// recently used entries until the shard fits its capacity share.
+    pub fn insert(&self, key: PageKey, table: Arc<Table>, bytes: usize) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).lock();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(old) = shard
+            .map
+            .insert(key.clone(), CachedPage { table, bytes, seq })
+        {
+            shard.lru.remove(&old.seq);
+            shard.bytes -= old.bytes;
+        }
+        shard.lru.insert(seq, key);
+        shard.bytes += bytes;
+        while shard.bytes > self.per_shard_capacity && shard.lru.len() > 1 {
+            let (&oldest, _) = shard.lru.iter().next().expect("non-empty LRU");
+            let key = shard.lru.remove(&oldest).expect("indexed key");
+            let evicted = shard.map.remove(&key).expect("cached page");
+            shard.bytes -= evicted.bytes;
+        }
+    }
+
+    /// Drops every cached page (used by cold-scan benchmarks).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.lru.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Cached pages across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decoded bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_columnar::{Schema, TableBuilder};
+
+    fn table(rows: u32) -> (Arc<Table>, usize) {
+        let mut b = TableBuilder::new(Schema::new(&["a", "b"]));
+        for i in 0..rows {
+            b.push_row(&[i, i * 2]);
+        }
+        let t = b.finish();
+        let bytes = t.raw_len();
+        (Arc::new(t), bytes)
+    }
+
+    fn key(day: u32) -> PageKey {
+        (day, 0, None)
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_eviction() {
+        let cache = PageCache::new(SHARDS * 100); // 100 bytes per shard
+        let (t, bytes) = table(10); // 80 bytes decoded
+        cache.insert(key(1), Arc::clone(&t), bytes);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        // A second table in the same shard (if hashed there) may evict the
+        // first; globally the byte bound holds.
+        for day in 2..50 {
+            let (t, bytes) = table(10);
+            cache.insert(key(day), t, bytes);
+        }
+        assert!(
+            cache.bytes() <= SHARDS * 100 + 80,
+            "bytes={}",
+            cache.bytes()
+        );
+    }
+
+    #[test]
+    fn lru_prefers_recently_used() {
+        let cache = PageCache::new(SHARDS * 200);
+        // Fill one logical shard by reusing a single key's shard: insert
+        // two entries, touch the first, then overflow — the untouched one
+        // should go first whenever both share a shard.
+        let (t, b) = table(10);
+        cache.insert(key(1), Arc::clone(&t), b);
+        cache.insert(key(2), Arc::clone(&t), b);
+        cache.get(&key(1));
+        let before = cache.len();
+        assert!(before >= 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PageCache::new(0);
+        let (t, b) = table(5);
+        cache.insert(key(1), t, b);
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn projection_is_part_of_the_key() {
+        let cache = PageCache::new(1 << 20);
+        let (t, b) = table(5);
+        let full = (3u32, 0u8, None);
+        let proj = (3u32, 0u8, Some(vec!["a".to_string()]));
+        cache.insert(full.clone(), Arc::clone(&t), b);
+        assert!(cache.get(&full).is_some());
+        assert!(cache.get(&proj).is_none());
+    }
+}

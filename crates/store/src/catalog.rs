@@ -1,0 +1,398 @@
+//! The footer catalog: everything needed to open an archive without
+//! touching its pages — page directory, per-source unique-key sets, and
+//! the interned string dictionary.
+//!
+//! On disk the catalog is stored *incrementally*: each commit's footer
+//! carries only a [`CatalogDelta`] — the pages, new unique ids, and
+//! dictionary tail added since the previous commit — and the full
+//! [`Catalog`] is rebuilt by applying the footer chain oldest-first.
+//! This keeps per-day durable checkpoints O(day) instead of O(history):
+//! a 550-day sweep would otherwise embed ~550 copies of an ever-growing
+//! dictionary as dead bytes.
+
+use dps_columnar::varint;
+use dps_columnar::StringDict;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Directory entry for one page: where the encoded table chunk lives and
+/// the exact statistics recorded when it was written (row count and true
+/// collected data points — nothing is estimated on reload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Measurement day of the page.
+    pub day: u32,
+    /// Source id (dense index; the store is agnostic to what it names).
+    pub source: u8,
+    /// Byte offset of the encoded table chunk in the archive file.
+    pub offset: u64,
+    /// Length of the encoded table chunk (excluding the CRC32 trailer).
+    pub len: u64,
+    /// Rows in the table.
+    pub rows: u64,
+    /// Collected data points (resource records) behind the table.
+    pub data_points: u64,
+    /// Uncompressed size of the table (4 bytes per cell).
+    pub raw_bytes: u64,
+}
+
+/// Per-source aggregate statistics, recomputed exactly from the catalog.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// First measured day, if any.
+    pub first_day: Option<u32>,
+    /// Last measured day.
+    pub last_day: Option<u32>,
+    /// Number of pages (measured days) for the source.
+    pub days: u32,
+    /// Collected data points over all pages.
+    pub data_points: u64,
+    /// Encoded bytes over all pages.
+    pub stored_bytes: u64,
+    /// Uncompressed bytes over all pages.
+    pub raw_bytes: u64,
+    /// Unique key-column values observed over the whole period.
+    pub unique_keys: BTreeSet<u32>,
+}
+
+/// The decoded footer catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// Page directory, keyed `(day, source)`.
+    pub pages: BTreeMap<(u32, u8), PageMeta>,
+    /// Per-source sets of unique key-column values (index = source id).
+    pub uniques: Vec<BTreeSet<u32>>,
+    /// The shared string dictionary.
+    pub dict: StringDict,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self {
+            pages: BTreeMap::new(),
+            uniques: Vec::new(),
+            dict: StringDict::new(),
+        }
+    }
+
+    /// Number of source slots (highest source id + 1).
+    pub fn n_sources(&self) -> usize {
+        let from_pages = self
+            .pages
+            .keys()
+            .map(|&(_, s)| s as usize + 1)
+            .max()
+            .unwrap_or(0);
+        from_pages.max(self.uniques.len())
+    }
+
+    /// Days with a page for `source`, ascending.
+    pub fn days(&self, source: u8) -> Vec<u32> {
+        self.pages
+            .keys()
+            .filter(|&&(_, s)| s == source)
+            .map(|&(d, _)| d)
+            .collect()
+    }
+
+    /// Sum of encoded page bytes.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.pages.values().map(|p| p.len).sum()
+    }
+
+    /// Exact per-source statistics (index = source id).
+    pub fn stats(&self) -> Vec<SourceStats> {
+        let mut out = vec![SourceStats::default(); self.n_sources()];
+        for page in self.pages.values() {
+            let st = &mut out[page.source as usize];
+            st.first_day = Some(st.first_day.map_or(page.day, |d| d.min(page.day)));
+            st.last_day = Some(st.last_day.map_or(page.day, |d| d.max(page.day)));
+            st.days += 1;
+            st.data_points += page.data_points;
+            st.stored_bytes += page.len;
+            st.raw_bytes += page.raw_bytes;
+        }
+        for (i, set) in self.uniques.iter().enumerate() {
+            if i < out.len() {
+                out[i].unique_keys = set.clone();
+            }
+        }
+        out
+    }
+
+    /// Applies one commit's delta (oldest-first). `None` on duplicate
+    /// directory entries, a dictionary-base mismatch, or a dictionary tail
+    /// that re-interns an existing string — all signs of corruption.
+    pub fn apply(&mut self, delta: &CatalogDelta) -> Option<()> {
+        for meta in &delta.pages {
+            if self
+                .pages
+                .insert((meta.day, meta.source), meta.clone())
+                .is_some()
+            {
+                return None;
+            }
+        }
+        if self.uniques.len() < delta.uniques.len() {
+            self.uniques
+                .resize_with(delta.uniques.len(), Default::default);
+        }
+        for (mine, new) in self.uniques.iter_mut().zip(&delta.uniques) {
+            mine.extend(new.iter().copied());
+        }
+        if self.dict.len() as u64 != delta.dict_base {
+            return None;
+        }
+        for (i, s) in delta.dict_tail.iter().enumerate() {
+            let expect = delta.dict_base + i as u64;
+            if u64::from(self.dict.intern(s)) != expect {
+                return None; // tail string was already interned
+            }
+        }
+        Some(())
+    }
+}
+
+/// What one commit adds to the catalog: its new pages, the unique key ids
+/// first seen by those pages, and the strings appended to the dictionary.
+/// This is what a footer stores — see the module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CatalogDelta {
+    /// Pages appended by this commit.
+    pub pages: Vec<PageMeta>,
+    /// Per-source unique key ids first observed by this commit.
+    pub uniques: Vec<BTreeSet<u32>>,
+    /// Dictionary length before this commit's tail (validation anchor).
+    pub dict_base: u64,
+    /// Strings this commit appended to the dictionary, in id order.
+    pub dict_tail: Vec<String>,
+}
+
+impl CatalogDelta {
+    /// Serialises the delta into footer bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::put_u64(&mut out, self.pages.len() as u64);
+        for page in &self.pages {
+            varint::put_u64(&mut out, u64::from(page.day));
+            varint::put_u64(&mut out, u64::from(page.source));
+            varint::put_u64(&mut out, page.offset);
+            varint::put_u64(&mut out, page.len);
+            varint::put_u64(&mut out, page.rows);
+            varint::put_u64(&mut out, page.data_points);
+            varint::put_u64(&mut out, page.raw_bytes);
+        }
+        varint::put_u64(&mut out, self.uniques.len() as u64);
+        for set in &self.uniques {
+            varint::put_u64(&mut out, set.len() as u64);
+            let mut prev = 0u64;
+            for &id in set {
+                // Sorted ascending, so deltas are non-negative.
+                varint::put_u64(&mut out, u64::from(id) - prev);
+                prev = u64::from(id);
+            }
+        }
+        varint::put_u64(&mut out, self.dict_base);
+        varint::put_u64(&mut out, self.dict_tail.len() as u64);
+        for s in &self.dict_tail {
+            varint::put_u64(&mut out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        out
+    }
+
+    /// Parses footer bytes produced by [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let n_pages = varint::get_u64(buf, &mut pos)? as usize;
+        // Each page entry needs at least 7 varint bytes.
+        if n_pages > buf.len() {
+            return None;
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        let mut seen = BTreeSet::new();
+        for _ in 0..n_pages {
+            let day = u32::try_from(varint::get_u64(buf, &mut pos)?).ok()?;
+            let source = u8::try_from(varint::get_u64(buf, &mut pos)?).ok()?;
+            if !seen.insert((day, source)) {
+                return None; // duplicate directory entry
+            }
+            pages.push(PageMeta {
+                day,
+                source,
+                offset: varint::get_u64(buf, &mut pos)?,
+                len: varint::get_u64(buf, &mut pos)?,
+                rows: varint::get_u64(buf, &mut pos)?,
+                data_points: varint::get_u64(buf, &mut pos)?,
+                raw_bytes: varint::get_u64(buf, &mut pos)?,
+            });
+        }
+        let n_sources = varint::get_u64(buf, &mut pos)? as usize;
+        if n_sources > 256 {
+            return None;
+        }
+        let mut uniques = Vec::with_capacity(n_sources);
+        for _ in 0..n_sources {
+            let n = varint::get_u64(buf, &mut pos)? as usize;
+            if n > buf.len() {
+                return None;
+            }
+            let mut set = BTreeSet::new();
+            let mut prev = 0u64;
+            for _ in 0..n {
+                prev += varint::get_u64(buf, &mut pos)?;
+                set.insert(u32::try_from(prev).ok()?);
+            }
+            uniques.push(set);
+        }
+        let dict_base = varint::get_u64(buf, &mut pos)?;
+        let n_tail = varint::get_u64(buf, &mut pos)? as usize;
+        if n_tail > buf.len() {
+            return None;
+        }
+        let mut dict_tail = Vec::with_capacity(n_tail);
+        for _ in 0..n_tail {
+            let len = varint::get_u64(buf, &mut pos)? as usize;
+            let bytes = buf.get(pos..pos.checked_add(len)?)?;
+            pos += len;
+            dict_tail.push(std::str::from_utf8(bytes).ok()?.to_owned());
+        }
+        if pos != buf.len() {
+            return None; // trailing garbage
+        }
+        Some(Self {
+            pages,
+            uniques,
+            dict_base,
+            dict_tail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        for (day, source) in [(0u32, 0u8), (0, 1), (1, 0), (3, 1)] {
+            c.pages.insert(
+                (day, source),
+                PageMeta {
+                    day,
+                    source,
+                    offset: 8 + u64::from(day) * 100 + u64::from(source) * 10,
+                    len: 90,
+                    rows: 7,
+                    data_points: 35,
+                    raw_bytes: 7 * 18 * 4,
+                },
+            );
+        }
+        c.uniques = vec![BTreeSet::from([1, 5, 9]), BTreeSet::from([2])];
+        c.dict.intern("cloudflare.com");
+        c
+    }
+
+    fn sample_deltas() -> Vec<CatalogDelta> {
+        let c = sample();
+        // Split the sample into two commits: days 0..=1, then day 3.
+        let (first, second): (Vec<_>, Vec<_>) = c.pages.values().cloned().partition(|p| p.day <= 1);
+        vec![
+            CatalogDelta {
+                pages: first,
+                uniques: vec![BTreeSet::from([1, 5]), BTreeSet::from([2])],
+                dict_base: 1,
+                dict_tail: vec!["cloudflare.com".into()],
+            },
+            CatalogDelta {
+                pages: second,
+                uniques: vec![BTreeSet::from([9])],
+                dict_base: 2,
+                dict_tail: vec!["incapdns.net".into()],
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for delta in sample_deltas() {
+            let back = CatalogDelta::decode(&delta.encode()).expect("decodes");
+            assert_eq!(back, delta);
+        }
+    }
+
+    #[test]
+    fn applying_deltas_rebuilds_the_catalog() {
+        let mut c = Catalog::new();
+        for delta in &sample_deltas() {
+            c.apply(delta).expect("applies");
+        }
+        let reference = sample();
+        assert_eq!(c.pages, reference.pages);
+        assert_eq!(c.uniques, reference.uniques);
+        assert_eq!(c.dict.get("cloudflare.com"), Some(1));
+        assert_eq!(c.dict.get("incapdns.net"), Some(2));
+    }
+
+    #[test]
+    fn apply_rejects_duplicates_and_dict_mismatches() {
+        let deltas = sample_deltas();
+        // Duplicate page across commits.
+        let mut c = Catalog::new();
+        c.apply(&deltas[0]).unwrap();
+        let mut dup = deltas[1].clone();
+        dup.pages = deltas[0].pages.clone();
+        assert!(c.apply(&dup).is_none());
+        // Wrong dictionary base.
+        let mut c = Catalog::new();
+        let mut skewed = deltas[0].clone();
+        skewed.dict_base = 7;
+        assert!(c.apply(&skewed).is_none());
+        // Tail string already interned.
+        let mut c = Catalog::new();
+        c.apply(&deltas[0]).unwrap();
+        let mut re = deltas[1].clone();
+        re.dict_tail = vec!["cloudflare.com".into()];
+        assert!(c.apply(&re).is_none());
+    }
+
+    #[test]
+    fn stats_are_exact_aggregates() {
+        let c = sample();
+        let stats = c.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].days, 2);
+        assert_eq!(stats[0].first_day, Some(0));
+        assert_eq!(stats[0].last_day, Some(1));
+        assert_eq!(stats[0].data_points, 70);
+        assert_eq!(stats[0].stored_bytes, 180);
+        assert_eq!(stats[0].unique_keys.len(), 3);
+        assert_eq!(stats[1].days, 2);
+        assert_eq!(stats[1].last_day, Some(3));
+    }
+
+    #[test]
+    fn corrupt_footer_rejected() {
+        let bytes = sample_deltas()[0].encode();
+        assert!(CatalogDelta::decode(&bytes[..bytes.len() - 3]).is_none());
+        assert!(CatalogDelta::decode(&[0xFF; 6]).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(CatalogDelta::decode(&trailing).is_none());
+    }
+
+    #[test]
+    fn empty_delta_roundtrips() {
+        let d = CatalogDelta {
+            dict_base: 1,
+            ..CatalogDelta::default()
+        };
+        let back = CatalogDelta::decode(&d.encode()).unwrap();
+        assert_eq!(back, d);
+        let mut c = Catalog::new();
+        c.apply(&back).unwrap();
+        assert!(c.pages.is_empty());
+        assert_eq!(c.n_sources(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! On-disk layout of a `.dps` archive and footer location/recovery.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header   8 B   magic "DPSARCH1"                              │
+//! │ pages    …     per page: [encoded table chunk][CRC32 LE 4 B] │
+//! │ footer   …     catalog delta (`catalog::CatalogDelta`)       │
+//! │ trailer 28 B   [CRC32(footer) 4 B][footer len 8 B LE]        │
+//! │                [prev trailer end 8 B LE][magic "DPSFOOT1"]   │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The file is log-structured: every commit appends a footer + trailer at
+//! the end, and subsequent pages are appended *after* that trailer. A
+//! footer stores only the commit's **delta** — its new pages, new unique
+//! key ids, and the dictionary tail — plus a back-pointer to the previous
+//! trailer, so per-day checkpoints stay O(day) instead of re-embedding the
+//! whole ever-growing catalog. The full catalog is rebuilt by walking the
+//! trailer chain backwards and applying the deltas oldest-first.
+//!
+//! That is what makes checkpointing safe: a crash mid-append or mid-commit
+//! can only tear bytes written after the last durable trailer, so
+//! [`recover_footer`] always finds the chain again by scanning backwards
+//! for the trailer magic and validating every footer checksum on the
+//! chain. A cleanly committed file is opened by reading only its tail
+//! chain — no page bytes are touched.
+
+use crate::catalog::{Catalog, CatalogDelta};
+use crate::crc32::crc32;
+use std::io::{self, Read, Seek, SeekFrom};
+
+/// File magic at offset 0.
+pub const HEADER_MAGIC: &[u8; 8] = b"DPSARCH1";
+/// Magic terminating each trailer (the last 8 bytes of a committed file).
+pub const FOOTER_MAGIC: &[u8; 8] = b"DPSFOOT1";
+/// Trailer size: footer CRC32 (4) + footer length (8) + previous trailer
+/// end (8) + magic (8).
+pub const TRAILER_LEN: u64 = 28;
+/// Bytes appended after each page chunk (its CRC32).
+pub const PAGE_CRC_LEN: u64 = 4;
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::other(format!("dps-store: corrupt archive ({what})"))
+}
+
+/// A located, validated footer chain, merged into one catalog.
+pub struct Footer {
+    /// The catalog as of the chain's newest commit.
+    pub catalog: Catalog,
+    /// Byte offset where the newest footer starts (end of its pages).
+    pub data_end: u64,
+    /// Byte offset just past the newest trailer — where the next page
+    /// appends, and the `prev` back-pointer for the next commit.
+    pub trailer_end: u64,
+}
+
+/// One parsed 28-byte trailer.
+struct Trailer {
+    crc: u32,
+    footer_len: u64,
+    prev: u64,
+}
+
+fn parse_trailer(bytes: &[u8; TRAILER_LEN as usize]) -> Option<Trailer> {
+    if &bytes[20..28] != FOOTER_MAGIC {
+        return None;
+    }
+    Some(Trailer {
+        crc: u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")),
+        footer_len: u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes")),
+        prev: u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")),
+    })
+}
+
+fn read_trailer_at(file: &mut std::fs::File, trailer_start: u64) -> Option<Trailer> {
+    let mut bytes = [0u8; TRAILER_LEN as usize];
+    file.seek(SeekFrom::Start(trailer_start)).ok()?;
+    file.read_exact(&mut bytes).ok()?;
+    parse_trailer(&bytes)
+}
+
+/// Validates the header magic at offset 0.
+pub fn check_header(file: &mut std::fs::File) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut magic)
+        .map_err(|_| corrupt("missing header"))?;
+    if &magic != HEADER_MAGIC {
+        return Err(corrupt("bad header magic"));
+    }
+    Ok(())
+}
+
+/// Reads the footer chain assuming a cleanly committed file (newest
+/// trailer at EOF).
+pub fn read_footer(file: &mut std::fs::File) -> io::Result<Footer> {
+    check_header(file)?;
+    let file_len = file.seek(SeekFrom::End(0))?;
+    if file_len < 8 + TRAILER_LEN {
+        return Err(corrupt("file shorter than header + trailer"));
+    }
+    let trailer_start = file_len - TRAILER_LEN;
+    let trailer = read_trailer_at(file, trailer_start)
+        .ok_or_else(|| corrupt("bad trailer magic — archive not committed cleanly"))?;
+    load_chain(file, trailer_start, &trailer)
+        .ok_or_else(|| corrupt("footer chain checksum or catalog invalid"))
+}
+
+/// Walks the trailer chain backwards from the footer whose trailer starts
+/// at `trailer_start`, validating every delta, then merges oldest-first.
+/// `None` if anything on the chain is off.
+fn load_chain(file: &mut std::fs::File, trailer_start: u64, newest: &Trailer) -> Option<Footer> {
+    // Collect (delta bytes, data_end) newest-first.
+    let mut deltas: Vec<(Vec<u8>, u64)> = Vec::new();
+    let mut cur_start = trailer_start;
+    let mut cur = Trailer {
+        crc: newest.crc,
+        footer_len: newest.footer_len,
+        prev: newest.prev,
+    };
+    loop {
+        let data_end = cur_start.checked_sub(cur.footer_len)?;
+        if data_end < 8 {
+            return None;
+        }
+        let mut footer = vec![0u8; usize::try_from(cur.footer_len).ok()?];
+        file.seek(SeekFrom::Start(data_end)).ok()?;
+        file.read_exact(&mut footer).ok()?;
+        if crc32(&footer) != cur.crc {
+            return None;
+        }
+        deltas.push((footer, data_end));
+        if cur.prev == 0 {
+            break;
+        }
+        // The previous trailer ends exactly at `prev`; the chain must
+        // strictly descend, which also bounds the walk.
+        if cur.prev > data_end || cur.prev < 8 + TRAILER_LEN {
+            return None;
+        }
+        cur_start = cur.prev - TRAILER_LEN;
+        cur = read_trailer_at(file, cur_start)?;
+    }
+    let mut catalog = Catalog::new();
+    for (bytes, data_end) in deltas.iter().rev() {
+        let delta = CatalogDelta::decode(bytes)?;
+        // Every page a commit references must lie before its own footer.
+        for page in &delta.pages {
+            if page.offset < 8 || page.offset + page.len + PAGE_CRC_LEN > *data_end {
+                return None;
+            }
+        }
+        catalog.apply(&delta)?;
+    }
+    Some(Footer {
+        catalog,
+        data_end: trailer_start,
+        trailer_end: trailer_start + TRAILER_LEN,
+    })
+}
+
+/// Finds the last durable footer chain, tolerating a torn tail: first
+/// tries the trailer at EOF, then scans backwards for the trailer magic,
+/// validating each candidate's whole chain. Returns the most recent valid
+/// one.
+pub fn recover_footer(file: &mut std::fs::File) -> io::Result<Footer> {
+    if let Ok(footer) = read_footer(file) {
+        return Ok(footer);
+    }
+    check_header(file)?;
+    let file_len = file.seek(SeekFrom::End(0))?;
+    // Backward chunked scan for FOOTER_MAGIC, with overlap so a magic
+    // spanning a chunk boundary is still seen.
+    const CHUNK: u64 = 1 << 16;
+    let mut high = file_len;
+    while high > 8 {
+        let low = high.saturating_sub(CHUNK);
+        let len = usize::try_from(high - low).expect("chunk fits usize");
+        let mut buf = vec![0u8; len];
+        file.seek(SeekFrom::Start(low))?;
+        file.read_exact(&mut buf)?;
+        // Candidate magic positions within this chunk, scanned right-to-left.
+        for i in (0..buf.len().saturating_sub(7)).rev() {
+            if &buf[i..i + 8] != FOOTER_MAGIC {
+                continue;
+            }
+            let magic_at = low + i as u64;
+            let Some(trailer_start) = magic_at.checked_sub(TRAILER_LEN - 8) else {
+                continue;
+            };
+            let Some(trailer) = read_trailer_at(file, trailer_start) else {
+                continue;
+            };
+            if let Some(footer) = load_chain(file, trailer_start, &trailer) {
+                return Ok(footer);
+            }
+        }
+        // Overlap by 7 bytes so boundary-spanning magics are covered.
+        high = low + 7.min(low);
+        if low == 0 {
+            break;
+        }
+    }
+    Err(corrupt("no valid footer found"))
+}

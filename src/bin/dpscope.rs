@@ -12,6 +12,11 @@
 //!
 //! # Resolve a name through the simulated Internet, dig-style:
 //! dpscope dig d42.com A --day 7
+//!
+//! # Inspect / checksum-verify / dump a single-file archive:
+//! dpscope store info target/archive
+//! dpscope store verify target/archive
+//! dpscope store cat target/archive --day 3 --source 0 --cols entry,asn1
 //! ```
 
 use dps_bench::experiments::{experiment_ids, run, Context, ExperimentConfig};
@@ -28,6 +33,8 @@ struct CommonArgs {
     day: u32,
     out: PathBuf,
     archive: Option<PathBuf>,
+    source: Option<u8>,
+    cols: Option<Vec<String>>,
     rest: Vec<String>,
 }
 
@@ -38,8 +45,10 @@ fn usage() -> ! {
          commands:\n\
            simulate   export zone files, pfx2as and AS registry for --day\n\
            measure    run the full study, save the archive to --archive\n\
+                      (resumes from the last committed day if interrupted)\n\
            analyze    regenerate tables/figures (ids or 'all') from --archive\n\
            dig        resolve <name> <type> through the simulated Internet\n\
+           store      inspect a single-file archive: store <info|verify|cat> <path>\n\
          \n\
          options:\n\
            --seed N       world seed           (default 2016)\n\
@@ -50,6 +59,8 @@ fn usage() -> ! {
            --day N        day for simulate/dig (default 0)\n\
            --out DIR      output directory     (default target/dpscope)\n\
            --archive DIR  measurement archive directory\n\
+           --source N     store cat: source id (0=com 1=net 2=org 3=nl 4=alexa)\n\
+           --cols A,B     store cat: project these columns only\n\
          \n\
          analyze ids: {}",
         experiment_ids().join(", ")
@@ -67,6 +78,8 @@ fn parse_args(args: &[String]) -> CommonArgs {
         day: 0,
         out: PathBuf::from("target/dpscope"),
         archive: None,
+        source: None,
+        cols: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -88,6 +101,18 @@ fn parse_args(args: &[String]) -> CommonArgs {
             "--day" => common.day = value("--day").parse().unwrap_or_else(|_| usage()),
             "--out" => common.out = value("--out").into(),
             "--archive" => common.archive = Some(value("--archive").into()),
+            "--source" => {
+                common.source = Some(value("--source").parse().unwrap_or_else(|_| usage()))
+            }
+            "--cols" => {
+                common.cols = Some(
+                    value("--cols")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
             "-h" | "--help" => usage(),
             other => common.rest.push(other.to_string()),
         }
@@ -155,18 +180,125 @@ fn cmd_measure(args: CommonArgs) {
         world.domains().len(),
         args.days
     );
+    std::fs::create_dir_all(&archive).expect("create archive dir");
+    let path = archive.join(dps_scope::measure::ARCHIVE_FILE);
+    // Streams each finished day into the single-file archive with a
+    // durable footer per day: a killed sweep resumes where it left off.
     let store = Study::new(StudyConfig {
         days: args.days,
         cc_start_day: args.cc_start,
         stride: args.stride,
     })
-    .run(&mut world);
-    store.save_dir(&archive).expect("save archive");
+    .run_archived(&mut world, &path)
+    .expect("archived study");
     println!(
         "archived {} to {}",
         dps_scope::core::report::human_bytes(store.total_stored_bytes()),
-        archive.display()
+        path.display()
     );
+}
+
+/// `dpscope store <info|verify|cat> <path>` — single-file archive tooling.
+fn cmd_store(args: CommonArgs) {
+    let (Some(action), Some(raw_path)) = (args.rest.first(), args.rest.get(1)) else {
+        eprintln!("store requires <info|verify|cat> <archive-file-or-dir>");
+        usage();
+    };
+    // Accept either the archive file itself or its containing directory.
+    let mut path = PathBuf::from(raw_path);
+    if path.is_dir() {
+        path = path.join(dps_scope::measure::ARCHIVE_FILE);
+    }
+    let archive = match Archive::open(&path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    match action.as_str() {
+        "info" => {
+            let catalog = archive.catalog();
+            println!("archive: {}", path.display());
+            println!("pages:   {}", catalog.pages.len());
+            println!(
+                "stored:  {}",
+                dps_scope::core::report::human_bytes(catalog.total_stored_bytes())
+            );
+            println!("dict:    {} strings", archive.dict().len());
+            println!(
+                "{:<8} {:>6} {:>11} {:>13} {:>12} {:>12}",
+                "source", "days", "first..last", "data points", "stored", "raw"
+            );
+            for (source, st) in catalog.stats().iter().enumerate() {
+                if st.days == 0 {
+                    continue;
+                }
+                println!(
+                    "{:<8} {:>6} {:>5}..{:<5} {:>13} {:>12} {:>12}",
+                    source,
+                    st.days,
+                    st.first_day.unwrap_or(0),
+                    st.last_day.unwrap_or(0),
+                    st.data_points,
+                    dps_scope::core::report::human_bytes(st.stored_bytes),
+                    dps_scope::core::report::human_bytes(st.raw_bytes)
+                );
+            }
+        }
+        "verify" => {
+            let report = archive.verify().unwrap_or_else(|e| {
+                eprintln!("verify failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "{}: {} pages checked, {} ok, {} corrupt",
+                path.display(),
+                report.pages,
+                report.ok,
+                report.corrupt.len()
+            );
+            for (day, source) in &report.corrupt {
+                println!("  CORRUPT page (day {day}, source {source})");
+            }
+            if !report.all_ok() {
+                std::process::exit(1);
+            }
+        }
+        "cat" => {
+            let source = args.source.unwrap_or(0);
+            let cols: Option<Vec<&str>> = args
+                .cols
+                .as_ref()
+                .map(|cs| cs.iter().map(String::as_str).collect());
+            let table = match &cols {
+                Some(c) => archive.project(args.day, source, c),
+                None => archive.table(args.day, source),
+            };
+            let table = match table {
+                Ok(Some(t)) => t,
+                Ok(None) => {
+                    eprintln!("no page for (day {}, source {source})", args.day);
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("cannot read page: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let names = table.schema().names().to_vec();
+            println!("{}", names.join("\t"));
+            let columns: Vec<&[u32]> = (0..names.len()).map(|c| table.column(c)).collect();
+            for row in 0..table.rows() {
+                let line: Vec<String> = columns.iter().map(|c| c[row].to_string()).collect();
+                println!("{}", line.join("\t"));
+            }
+        }
+        other => {
+            eprintln!("unknown store action {other:?}");
+            usage();
+        }
+    }
 }
 
 fn cmd_analyze(args: CommonArgs) {
@@ -238,6 +370,7 @@ fn main() {
         "measure" => cmd_measure(args),
         "analyze" => cmd_analyze(args),
         "dig" => cmd_dig(args),
+        "store" => cmd_store(args),
         _ => usage(),
     }
 }

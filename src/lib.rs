@@ -48,6 +48,7 @@ pub use dps_ecosystem as ecosystem;
 pub use dps_measure as measure;
 pub use dps_netsim as netsim;
 pub use dps_recursor as recursor;
+pub use dps_store as store;
 
 /// The things almost every user needs, in one import.
 pub mod prelude {
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use dps_measure::{SnapshotStore, Source, Study, StudyConfig};
     pub use dps_netsim::{Day, FaultProfile, Network, Prefix};
     pub use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
+    pub use dps_store::{Archive, ArchiveWriter, ScanQuery};
 }
 
 /// The nine provider marketing names, used to seed reference discovery.
