@@ -1,9 +1,34 @@
 #!/usr/bin/env sh
 # Repository CI gate: formatting, lints, then the tier-1 build + test run.
 # Everything runs offline against the vendored dependency stand-ins.
+# `./ci.sh chaos-smoke` runs only the chaos determinism smoke step.
 set -eu
 
 cd "$(dirname "$0")"
+
+# Supervised sweep under a scripted fault schedule: must complete, verify
+# clean, and be byte-identical across two same-seed runs.
+chaos_smoke() {
+    echo "==> smoke: dpscope measure --chaos (determinism)"
+    rm -rf target/ci-chaos-a target/ci-chaos-b
+    ./target/release/dpscope measure --scale 0.004 --days 2 --cc-start 2 \
+        --archive target/ci-chaos-a \
+        --chaos 'blackout@0..1500ms; degrade@0..inf@loss=0.15'
+    ./target/release/dpscope measure --scale 0.004 --days 2 --cc-start 2 \
+        --archive target/ci-chaos-b \
+        --chaos 'blackout@0..1500ms; degrade@0..inf@loss=0.15'
+    ./target/release/dpscope store verify target/ci-chaos-a
+    ./target/release/dpscope store info target/ci-chaos-a
+    cmp target/ci-chaos-a/archive.dps target/ci-chaos-b/archive.dps
+    rm -rf target/ci-chaos-a target/ci-chaos-b
+}
+
+if [ "${1:-}" = "chaos-smoke" ]; then
+    cargo build --release --offline
+    chaos_smoke
+    echo "==> chaos smoke green"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -20,6 +45,8 @@ rm -rf target/ci-smoke
 ./target/release/dpscope store info target/ci-smoke
 ./target/release/dpscope store verify target/ci-smoke
 rm -rf target/ci-smoke
+
+chaos_smoke
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline

@@ -11,8 +11,12 @@
 //!   [`dps_netsim::Network`],
 //! * [`zonefile`] — RFC 1035 §5 master-file text (what registries publish
 //!   and the measurement platform parses),
+//! * [`health`] — a per-nameserver circuit breaker (consecutive-failure
+//!   trip, half-open probing) consulted by server selection,
 //! * [`resolver`] — an iterative resolver that starts from root hints,
-//!   chases referrals and CNAME chains, retries over lossy links, and a
+//!   chases referrals and CNAME chains, retries over lossy links (with
+//!   exponential backoff, hedged second attempts, and a per-cause failure
+//!   taxonomy), and a
 //!   [`resolver::DirectResolver`] that evaluates the same semantics
 //!   directly against the catalog (the bulk path for 10^8-query sweeps).
 //!
@@ -20,12 +24,17 @@
 //! in `tests/equivalence.rs`.
 
 pub mod catalog;
+pub mod health;
 pub mod resolver;
 pub mod server;
 pub mod zone;
 pub mod zonefile;
 
 pub use catalog::Catalog;
-pub use resolver::{DirectResolver, Resolution, ResolveError, Resolver, ResolverConfig};
+pub use health::{HealthConfig, HealthTracker, ServerHealth};
+pub use resolver::{
+    DirectResolver, ExchangeOutcome, FailureCause, Resolution, ResolveError, Resolver,
+    ResolverConfig,
+};
 pub use server::AuthServer;
 pub use zone::{LookupOutcome, Zone};

@@ -11,9 +11,12 @@
 //! establish it agrees with the wire path.
 
 use crate::catalog::Catalog;
+use crate::health::HealthTracker;
 use crate::zone::LookupOutcome;
 use dps_dns::{Message, Name, Question, RData, Rcode, Record, RrType, WireError};
-use dps_netsim::{Network, Socket};
+use dps_netsim::{Network, RecvError, Socket};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -29,6 +32,19 @@ pub struct ResolverConfig {
     pub max_indirections: u32,
     /// Maximum referral hops per restart.
     pub max_referrals: u32,
+    /// Base of the exponential backoff between retry rounds (virtual µs);
+    /// round `n` sleeps `base << (n-1)`, jittered. `0` disables backoff.
+    pub backoff_base_us: u64,
+    /// Cap on a single backoff sleep.
+    pub backoff_max_us: u64,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a factor drawn
+    /// uniformly from `[1 - jitter, 1 + jitter]` (own RNG stream, so fault
+    /// sequences stay comparable across configs).
+    pub backoff_jitter: f64,
+    /// Hedging threshold: if a reply is this late (virtual µs), the same
+    /// query is sent to a second server and the first valid answer wins.
+    /// `0` disables hedging.
+    pub hedge_after_us: u64,
 }
 
 impl Default for ResolverConfig {
@@ -38,6 +54,24 @@ impl Default for ResolverConfig {
             retries: 3,
             max_indirections: 8,
             max_referrals: 12,
+            backoff_base_us: 0,
+            backoff_max_us: 2_000_000,
+            backoff_jitter: 0.0,
+            hedge_after_us: 0,
+        }
+    }
+}
+
+impl ResolverConfig {
+    /// A fault-tolerant preset for supervised sweeps: exponential backoff
+    /// (50 ms base, 25% jitter) and hedged second attempts for stragglers.
+    pub fn resilient() -> Self {
+        Self {
+            backoff_base_us: 50_000,
+            backoff_max_us: 2_000_000,
+            backoff_jitter: 0.25,
+            hedge_after_us: 150_000,
+            ..Self::default()
         }
     }
 }
@@ -47,6 +81,11 @@ impl Default for ResolverConfig {
 pub enum ResolveError {
     /// Every server/retry combination timed out.
     Timeout,
+    /// Every queried server bounced an ICMP-style unreachable notice.
+    Unreachable,
+    /// Replies arrived before the deadline but none survived validation
+    /// (bit flips, transaction-id mismatches, unparsable wire data).
+    CorruptReply,
     /// A server answered with a non-recoverable RCODE (SERVFAIL, REFUSED…).
     ServerFailure(Rcode),
     /// More CNAME restarts than allowed.
@@ -63,6 +102,8 @@ impl fmt::Display for ResolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Timeout => write!(f, "all servers timed out"),
+            Self::Unreachable => write!(f, "all servers unreachable"),
+            Self::CorruptReply => write!(f, "replies arrived but none survived validation"),
             Self::ServerFailure(rc) => write!(f, "server failure: {rc}"),
             Self::TooManyIndirections => write!(f, "CNAME chain too long"),
             Self::TooManyReferrals => write!(f, "referral chain too long"),
@@ -73,6 +114,67 @@ impl fmt::Display for ResolveError {
 }
 
 impl std::error::Error for ResolveError {}
+
+/// The coarse failure taxonomy used by quality accounting (one counter per
+/// variant, stable across [`ResolveError`] refinements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCause {
+    /// Silence until the deadline.
+    Timeout,
+    /// ICMP-style unreachable.
+    Unreachable,
+    /// Corrupt, truncated, or otherwise invalid replies.
+    Corrupt,
+    /// An explicit error RCODE (SERVFAIL, REFUSED…).
+    ServerFailure,
+    /// Everything else (delegation loops, missing nameservers…).
+    Other,
+}
+
+impl FailureCause {
+    /// Stable label, used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Timeout => "timeout",
+            Self::Unreachable => "unreachable",
+            Self::Corrupt => "corrupt",
+            Self::ServerFailure => "servfail",
+            Self::Other => "other",
+        }
+    }
+}
+
+impl ResolveError {
+    /// Maps the error onto the coarse failure taxonomy.
+    pub fn cause(&self) -> FailureCause {
+        match self {
+            Self::Timeout => FailureCause::Timeout,
+            Self::Unreachable => FailureCause::Unreachable,
+            Self::CorruptReply | Self::Malformed(_) => FailureCause::Corrupt,
+            Self::ServerFailure(_) => FailureCause::ServerFailure,
+            Self::TooManyIndirections | Self::TooManyReferrals | Self::NoNameservers => {
+                FailureCause::Other
+            }
+        }
+    }
+
+    /// True if a later retry could plausibly succeed: network-induced
+    /// failures are transient, structural ones (delegation loops, CNAME
+    /// chains too long) are not. `NoNameservers` counts as transient
+    /// because a blacked-out parent zone produces it for glueless
+    /// delegations.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Self::Timeout
+            | Self::Unreachable
+            | Self::CorruptReply
+            | Self::ServerFailure(_)
+            | Self::Malformed(_)
+            | Self::NoNameservers => true,
+            Self::TooManyIndirections | Self::TooManyReferrals => false,
+        }
+    }
+}
 
 /// The result of a successful resolution.
 ///
@@ -118,20 +220,32 @@ pub struct Resolver {
     socket: Socket,
     root_hints: Vec<IpAddr>,
     config: ResolverConfig,
+    health: Option<Arc<HealthTracker>>,
+    /// Jitter RNG, deliberately separate from the socket's fault RNG so
+    /// enabling backoff does not perturb the simulated fault sequence.
+    rng: SmallRng,
     next_id: u16,
     sent: u64,
+    hedges: u64,
 }
 
 impl Resolver {
     /// Creates a resolver sending from `src`; `stream` keeps parallel
     /// resolvers deterministic (see [`Network::socket`]).
     pub fn new(net: &Arc<Network>, src: IpAddr, stream: u64, root_hints: Vec<IpAddr>) -> Self {
+        let jitter_seed = net
+            .seed()
+            .wrapping_add(stream.wrapping_mul(0xA24B_AED4_963E_E407))
+            ^ 0x0005_EED0_FBAC_C0FF;
         Self {
             socket: net.socket(src, stream),
             root_hints,
             config: ResolverConfig::default(),
+            health: None,
+            rng: SmallRng::seed_from_u64(jitter_seed),
             next_id: 1,
             sent: 0,
+            hedges: 0,
         }
     }
 
@@ -139,6 +253,18 @@ impl Resolver {
     pub fn with_config(mut self, config: ResolverConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attaches a (shared) per-nameserver health tracker; server selection
+    /// will deprioritise servers whose circuit breaker is open.
+    pub fn with_health(mut self, health: Arc<HealthTracker>) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// The attached health tracker, if any.
+    pub fn health(&self) -> Option<&Arc<HealthTracker>> {
+        self.health.as_ref()
     }
 
     /// The active configuration.
@@ -154,6 +280,36 @@ impl Resolver {
     /// UDP queries sent by this resolver so far (including retries).
     pub fn queries_sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Hedge datagrams sent so far.
+    pub fn hedges_sent(&self) -> u64 {
+        self.hedges
+    }
+
+    /// Advances this resolver's virtual clock without sending (a pause
+    /// between supervised retry passes).
+    pub fn sleep_us(&mut self, dt_us: u64) {
+        self.socket.sleep(dt_us);
+    }
+
+    /// Sleeps the exponential-backoff delay for retry round `round`
+    /// (1-based; round 0 is the initial attempt and never sleeps).
+    pub fn backoff_sleep(&mut self, round: u32) {
+        let base = self.config.backoff_base_us;
+        if base == 0 || round == 0 {
+            return;
+        }
+        let exp = base
+            .checked_shl(round.saturating_sub(1).min(20))
+            .unwrap_or(u64::MAX);
+        let mut delay = exp.min(self.config.backoff_max_us);
+        let jitter = self.config.backoff_jitter.clamp(0.0, 1.0);
+        if jitter > 0.0 {
+            let factor = 1.0 + jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+            delay = ((delay as f64) * factor) as u64;
+        }
+        self.socket.sleep(delay);
     }
 
     /// Resolves `(qname, qtype)` iteratively from the root.
@@ -273,8 +429,9 @@ impl Resolver {
         Err(ResolveError::TooManyReferrals)
     }
 
-    /// Sends to each server in turn with retries, returning the first
-    /// validated response.
+    /// Sends to each server in turn with retries (exponential backoff
+    /// between rounds, health-aware ordering, optional hedging), returning
+    /// the first validated response.
     fn query_any(
         &mut self,
         servers: &[IpAddr],
@@ -282,11 +439,31 @@ impl Resolver {
         qtype: RrType,
     ) -> Result<Message, ResolveError> {
         let mut last_err = ResolveError::Timeout;
-        for _attempt in 0..self.config.retries.max(1) {
-            for &server in servers {
-                match self.exchange(server, qname, qtype) {
-                    Ok(m) => return Ok(m),
-                    Err(e) => last_err = e,
+        for round in 0..self.config.retries.max(1) {
+            self.backoff_sleep(round);
+            let ordered = match &self.health {
+                Some(h) => h.order(servers, self.socket.now_us()),
+                None => servers.to_vec(),
+            };
+            for (i, &server) in ordered.iter().enumerate() {
+                let hedge = if self.config.hedge_after_us > 0 {
+                    ordered.get(i + 1).copied()
+                } else {
+                    None
+                };
+                match self.exchange_hedged(server, hedge, qname, qtype) {
+                    Ok(out) => {
+                        if let Some(h) = &self.health {
+                            h.record_success(out.responder);
+                        }
+                        return Ok(out.message);
+                    }
+                    Err(e) => {
+                        if let Some(h) = self.health.clone() {
+                            h.record_failure(server, self.socket.now_us());
+                        }
+                        last_err = e;
+                    }
                 }
             }
         }
@@ -305,6 +482,25 @@ impl Resolver {
         qname: &Name,
         qtype: RrType,
     ) -> Result<Message, ResolveError> {
+        self.exchange_hedged(server, None, qname, qtype)
+            .map(|out| out.message)
+    }
+
+    /// Like [`exchange`](Self::exchange), but if `hedge` is given and no
+    /// reply arrived within `config.hedge_after_us`, the *same* query is
+    /// sent to the hedge server and the first valid answer (from either)
+    /// wins — the classic tail-latency mitigation. Failure taxonomy:
+    /// unreachable notices from every queried server yield
+    /// [`ResolveError::Unreachable`]; invalid datagrams that arrive without
+    /// a valid one yield [`ResolveError::CorruptReply`]; silence yields
+    /// [`ResolveError::Timeout`].
+    pub fn exchange_hedged(
+        &mut self,
+        server: IpAddr,
+        hedge: Option<IpAddr>,
+        qname: &Name,
+        qtype: RrType,
+    ) -> Result<ExchangeOutcome, ResolveError> {
         self.next_id = self.next_id.wrapping_add(1).max(1);
         let id = self.next_id;
         let query = Message::query(id, Question::new(qname.clone(), qtype));
@@ -317,15 +513,46 @@ impl Resolver {
         self.sent += 1;
 
         let deadline_budget = self.config.attempt_timeout_us;
+        let hedge_at = match hedge {
+            Some(_)
+                if self.config.hedge_after_us > 0
+                    && self.config.hedge_after_us < deadline_budget =>
+            {
+                Some(self.config.hedge_after_us)
+            }
+            _ => None,
+        };
         let start = self.socket.now_us();
+        let mut hedge_sent = false;
+        let mut saw_garbage = false;
+        let mut primary_dead = false;
+        let mut hedge_dead = false;
         loop {
             let spent = self.socket.now_us() - start;
             if spent >= deadline_budget {
-                return Err(ResolveError::Timeout);
+                return Err(if saw_garbage {
+                    ResolveError::CorruptReply
+                } else {
+                    ResolveError::Timeout
+                });
             }
-            match self.socket.recv(deadline_budget - spent) {
+            // Wake up at the hedge threshold if it has not fired yet.
+            let mut wait = deadline_budget - spent;
+            if let Some(at) = hedge_at.filter(|_| !hedge_sent) {
+                if spent >= at {
+                    let h = hedge.expect("hedge_at implies hedge");
+                    self.socket.send_to(h, &bytes);
+                    self.sent += 1;
+                    self.hedges += 1;
+                    hedge_sent = true;
+                } else {
+                    wait = wait.min(at - spent);
+                }
+            }
+            match self.socket.recv(wait) {
                 Ok((from, data)) => {
-                    if from != server {
+                    let expected = from == server || (hedge_sent && Some(from) == hedge);
+                    if !expected {
                         continue;
                     }
                     match Message::parse(&data) {
@@ -338,17 +565,48 @@ impl Resolver {
                             if m.header.tc {
                                 return Err(ResolveError::Malformed(WireError::TruncatedResponse));
                             }
-                            return Ok(m);
+                            return Ok(ExchangeOutcome {
+                                message: m,
+                                responder: from,
+                                hedged: hedge_sent,
+                            });
                         }
-                        // Wrong id / corrupted / unparsable: keep listening
-                        // until the attempt deadline.
-                        _ => continue,
+                        // Wrong id / corrupted / unparsable: remember the
+                        // garbage, keep listening until the deadline.
+                        _ => {
+                            saw_garbage = true;
+                            continue;
+                        }
                     }
                 }
-                Err(_) => return Err(ResolveError::Timeout),
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Unreachable(from)) => {
+                    if from == server {
+                        primary_dead = true;
+                    }
+                    if hedge_sent && Some(from) == hedge {
+                        hedge_dead = true;
+                    }
+                    // Fast-fail once every path we actually queried bounced.
+                    if primary_dead && (!hedge_sent || hedge_dead) {
+                        return Err(ResolveError::Unreachable);
+                    }
+                }
             }
         }
     }
+}
+
+/// A successful [`Resolver::exchange_hedged`]: the validated message, who
+/// sent it, and whether a hedge datagram went out during the exchange.
+#[derive(Debug, Clone)]
+pub struct ExchangeOutcome {
+    /// The validated response.
+    pub message: Message,
+    /// The server whose answer won.
+    pub responder: IpAddr,
+    /// True if the hedge fired before the answer arrived.
+    pub hedged: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -585,18 +843,123 @@ mod tests {
     }
 
     #[test]
-    fn wire_times_out_on_black_hole() {
+    fn wire_reports_unbound_server_as_unreachable() {
         let net = Network::new(16);
         let catalog = Arc::new(Catalog::new());
         catalog.set_root_hints(vec![ip("10.255.0.99")]); // nothing bound
         let mut r = Resolver::new(&net, ip("172.16.0.1"), 0, catalog.root_hints()).with_config(
             ResolverConfig {
                 retries: 2,
-                attempt_timeout_us: 10_000,
+                attempt_timeout_us: 200_000,
                 ..Default::default()
             },
         );
+        let started = r.now_us();
+        assert_eq!(
+            r.resolve(&n("x.y"), RrType::A),
+            Err(ResolveError::Unreachable)
+        );
+        // ICMP fast-fail: well under the 2 × 200 ms worth of timeouts.
+        assert!(r.now_us() - started < 400_000, "took {}", r.now_us());
+    }
+
+    #[test]
+    fn wire_times_out_on_blackout() {
+        let net = Network::new(16);
+        let catalog = build_world(&net);
+        net.set_chaos(dps_netsim::ChaosSchedule::new().blackout(None, 0, u64::MAX));
+        let mut r = wire_resolver(&net, &catalog).with_config(ResolverConfig {
+            retries: 2,
+            attempt_timeout_us: 10_000,
+            ..Default::default()
+        });
+        // A blackout is silence, not an ICMP bounce.
         assert_eq!(r.resolve(&n("x.y"), RrType::A), Err(ResolveError::Timeout));
+    }
+
+    #[test]
+    fn wire_classifies_pure_garbage_as_corrupt_reply() {
+        let net = Network::new(19);
+        let addr = ip("10.255.0.1");
+        // A server that answers every query with noise.
+        net.bind_service(addr, Arc::new(|_, _| Some(vec![0xFF; 24])));
+        let catalog = Arc::new(Catalog::new());
+        catalog.set_root_hints(vec![addr]);
+        let mut r = Resolver::new(&net, ip("172.16.0.1"), 0, catalog.root_hints()).with_config(
+            ResolverConfig {
+                retries: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            r.resolve(&n("x.y"), RrType::A),
+            Err(ResolveError::CorruptReply)
+        );
+    }
+
+    #[test]
+    fn backoff_advances_clock_without_changing_answers() {
+        let net = Network::new(20);
+        let catalog = build_world(&net);
+        net.set_faults(dps_netsim::FaultProfile {
+            loss: 0.3,
+            ..Default::default()
+        });
+        let mut r = wire_resolver(&net, &catalog).with_config(ResolverConfig {
+            retries: 8,
+            backoff_base_us: 50_000,
+            backoff_jitter: 0.25,
+            ..Default::default()
+        });
+        let res = r.resolve(&n("www.examp.le"), RrType::A).unwrap();
+        assert_eq!(res.records_of(RrType::A).count(), 1);
+    }
+
+    #[test]
+    fn hedged_exchange_wins_via_the_second_server() {
+        let net = Network::new(21);
+        let catalog = build_world(&net);
+        let dead = ip("10.255.9.9"); // bound to nothing — but blacked out,
+                                     // so it stays silent instead of bouncing.
+        net.set_chaos(dps_netsim::ChaosSchedule::new().blackout(Some(dead), 0, u64::MAX));
+        let mut r = wire_resolver(&net, &catalog).with_config(ResolverConfig {
+            hedge_after_us: 100_000,
+            ..Default::default()
+        });
+        let root = catalog.root_hints()[0];
+        let out = r
+            .exchange_hedged(dead, Some(root), &n("le"), RrType::Ns)
+            .unwrap();
+        assert!(out.hedged);
+        assert_eq!(out.responder, root);
+        assert_eq!(r.hedges_sent(), 1);
+    }
+
+    #[test]
+    fn health_tracker_deprioritises_a_dead_server() {
+        use crate::health::{HealthConfig, HealthTracker};
+        let net = Network::new(22);
+        let catalog = build_world(&net);
+        let tracker = Arc::new(HealthTracker::new(HealthConfig {
+            failure_threshold: 2,
+            open_duration_us: 60_000_000,
+        }));
+        // Blackout one of two root replicas: after the breaker trips, the
+        // resolver should stop burning timeouts on it.
+        let dead = ip("10.255.0.77");
+        net.set_chaos(dps_netsim::ChaosSchedule::new().blackout(Some(dead), 0, u64::MAX));
+        let mut r = Resolver::new(
+            &net,
+            ip("172.16.0.1"),
+            0,
+            vec![dead, catalog.root_hints()[0]],
+        )
+        .with_health(Arc::clone(&tracker));
+        for _ in 0..4 {
+            r.resolve(&n("examp.le"), RrType::A).unwrap();
+        }
+        assert_eq!(tracker.trips(), 1);
+        assert!(tracker.skips() > 0, "open breaker never skipped");
     }
 
     #[test]

@@ -539,6 +539,67 @@ pub fn exp_smoothing(ctx: &Context) -> String {
     out
 }
 
+/// Ablation: per-day data-quality gating (the automated §4.2 cleaning).
+///
+/// A sweep that collapses in the final stretch of the window fakes a mass
+/// provider exodus: the tail level shift is unpaired, so anomaly cleaning
+/// (correctly) keeps it and the growth factor craters. Masking those days
+/// via their low-coverage `DayQuality` records bridges them instead and
+/// restores the true factor. Also prints the store's real per-day quality
+/// summary, as `dpscope store info` would.
+pub fn exp_quality(ctx: &Context) -> String {
+    use dps_core::{QualityMask, DEFAULT_MIN_COVERAGE};
+    let series = &ctx.scan.series;
+    let combined = series.combined_any();
+    let stride = ctx.config.stride.max(1) as usize;
+    let config = GrowthConfig {
+        median_window: (28 / stride).max(1),
+        max_excursion_days: (240 / stride).max(10),
+        ..GrowthConfig::default()
+    };
+    let reference = growth::analyze(&series.days, &combined, &config);
+
+    // Simulated outage: the last `k` measured days lose ~95% coverage —
+    // long enough that median smoothing cannot out-vote the tail.
+    let n = combined.len();
+    let k = (config.median_window / 2 + 2).min(n / 4).max(1);
+    let mut degraded = combined.clone();
+    let mut masked_days = Vec::new();
+    for (i, v) in degraded.iter_mut().enumerate().skip(n - k) {
+        *v /= 20;
+        masked_days.push(series.days[i]);
+    }
+    let unmasked = growth::analyze(&series.days, &degraded, &config);
+    let masked = growth::analyze_masked(&series.days, &degraded, &config, &masked_days);
+
+    let mask = QualityMask::from_store(&ctx.store, DEFAULT_MIN_COVERAGE);
+    let mut out = String::from("== Ablation: data-quality gating on the Fig. 5 factor (§4.2) ==\n");
+    let _ = writeln!(out, "{:<34} {:>8}", "arm", "factor");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>7.3}x",
+        "clean series (reference)", reference.factor
+    );
+    let _ = writeln!(
+        out,
+        "{:<34} {:>7.3}x",
+        format!("last {k} days degraded, no mask"),
+        unmasked.factor
+    );
+    let _ = writeln!(
+        out,
+        "{:<34} {:>7.3}x",
+        format!("last {k} days degraded, masked"),
+        masked.factor
+    );
+    out.push_str(
+        "an unpaired tail shift looks like a permanent exodus, so anomaly cleaning keeps\n\
+         it; only the coverage mask can tell missing data from real churn.\n\n",
+    );
+    out.push_str(&report::quality_summary(&ctx.store, &mask));
+    out
+}
+
 /// Footnote 10: census of CloudFlare's authoritative name-server host
 /// names on one day, most-referenced first.
 pub fn exp_nsnames(ctx: &Context) -> String {
@@ -689,6 +750,7 @@ pub fn run(ctx: &Context, id: &str) -> Option<String> {
         ("nsnames", exp_nsnames),
         ("ablation", exp_ablation),
         ("smoothing", exp_smoothing),
+        ("quality", exp_quality),
         ("validation", exp_validation),
         ("pipeline", exp_pipeline),
     ];
@@ -723,6 +785,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "nsnames",
         "ablation",
         "smoothing",
+        "quality",
         "validation",
         "pipeline",
         "all",

@@ -34,8 +34,24 @@ impl FluxSeries {
 /// Computes per-provider flux in `window` measured-day buckets
 /// (14 for the paper's two-week windows at daily cadence).
 pub fn analyze(timelines: &Timelines, n_providers: usize, window: usize) -> Vec<FluxSeries> {
+    analyze_masked(timelines, n_providers, window, &[])
+}
+
+/// [`analyze`] under a data-quality mask: observations on `masked`
+/// day *indices* are treated as unknown rather than absent, so a
+/// low-coverage sweep at the edge of a domain's protection span cannot
+/// fabricate an early outflux (or late influx). Domains seen only on
+/// masked days are skipped entirely.
+pub fn analyze_masked(
+    timelines: &Timelines,
+    n_providers: usize,
+    window: usize,
+    masked: &[usize],
+) -> Vec<FluxSeries> {
     let n_days = timelines.days.len();
-    let n_windows = n_days.div_ceil(window.max(1));
+    let window = window.max(1);
+    let n_windows = n_days.div_ceil(window);
+    let masked: std::collections::HashSet<usize> = masked.iter().copied().collect();
     let mut out: Vec<FluxSeries> = (0..n_providers)
         .map(|_| FluxSeries {
             window_starts: (0..n_windows).map(|w| w * window).collect(),
@@ -44,7 +60,17 @@ pub fn analyze(timelines: &Timelines, n_providers: usize, window: usize) -> Vec<
         })
         .collect();
     for (&(_, provider), tl) in &timelines.map {
-        let (Some(first), Some(last)) = (tl.any.first(), tl.any.last()) else {
+        let (first, last) = if masked.is_empty() {
+            (tl.any.first(), tl.any.last())
+        } else {
+            (
+                (0..n_days).find(|i| !masked.contains(i) && tl.any.get(*i)),
+                (0..n_days)
+                    .rev()
+                    .find(|i| !masked.contains(i) && tl.any.get(*i)),
+            )
+        };
+        let (Some(first), Some(last)) = (first, last) else {
             continue;
         };
         let series = &mut out[provider as usize];
@@ -115,6 +141,35 @@ mod tests {
         let (inf, out) = total_domains(series);
         assert_eq!(inf, 40);
         assert_eq!(out, 40);
+    }
+
+    #[test]
+    fn masked_edge_days_do_not_fabricate_flux() {
+        let mut map = HashMap::new();
+        // The domain is protected days 10..28, but day 27 was a bad sweep:
+        // unmasked analysis would see last-seen inside window 1 either way,
+        // so use a gap: protection ends day 27 and days 27..28 are masked —
+        // last *trustworthy* observation is day 26.
+        map.insert((0u32, 0u8), tl(28, &[10..27]));
+        let timelines = Timelines {
+            days: (0..28).collect(),
+            map,
+        };
+        let unmasked = analyze(&timelines, 1, 14);
+        let masked = analyze_masked(&timelines, 1, 14, &[26]);
+        // Masking day 26 pushes last-seen back to day 25 (same window here,
+        // but first-seen is unaffected) and conservation still holds.
+        assert_eq!(total_domains(&unmasked[0]), (1, 1));
+        assert_eq!(total_domains(&masked[0]), (1, 1));
+        // A domain seen only on masked days disappears from flux.
+        let mut map = HashMap::new();
+        map.insert((1u32, 0u8), tl(28, &[5..6]));
+        let timelines = Timelines {
+            days: (0..28).collect(),
+            map,
+        };
+        let gone = analyze_masked(&timelines, 1, 14, &[5]);
+        assert_eq!(total_domains(&gone[0]), (0, 0));
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct GrowthAnalysis {
     pub factor: f64,
     /// Detected large-shift days `(index, delta)`, for reporting.
     pub shifts: Vec<(usize, f64)>,
+    /// Days excluded by the data-quality mask (empty for unmasked runs).
+    /// Their values were bridged by interpolation before cleaning, so an
+    /// outage trough never registers as a shift or drags the medians.
+    pub masked_days: Vec<u32>,
 }
 
 /// Runs the §4.2 growth analysis on a daily count series.
@@ -90,7 +94,63 @@ pub fn analyze(days: &[u32], series: &[u32], config: &GrowthConfig) -> GrowthAna
         normalized,
         factor,
         shifts,
+        masked_days: Vec::new(),
     }
+}
+
+/// [`analyze`] under a data-quality mask (§4.2 automated): values on
+/// `masked_days` are replaced by linear interpolation between the nearest
+/// unmasked neighbours *before* anomaly cleaning, so a low-coverage sweep
+/// day reads as missing data rather than a mass provider exodus. `raw`
+/// keeps the true (unpatched) counts for reporting.
+pub fn analyze_masked(
+    days: &[u32],
+    series: &[u32],
+    config: &GrowthConfig,
+    masked_days: &[u32],
+) -> GrowthAnalysis {
+    assert_eq!(days.len(), series.len());
+    let mask: std::collections::HashSet<u32> = masked_days.iter().copied().collect();
+    let masked_idx: Vec<bool> = days.iter().map(|d| mask.contains(d)).collect();
+    let patched = bridge_masked(series, &masked_idx);
+    let mut g = analyze(days, &patched, config);
+    g.raw = series.iter().map(|&v| f64::from(v)).collect();
+    g.masked_days = days.iter().copied().filter(|d| mask.contains(d)).collect();
+    g
+}
+
+/// Replaces masked positions by linear interpolation between the nearest
+/// unmasked neighbours (nearest single neighbour at the edges; zeros if
+/// every day is masked).
+fn bridge_masked(series: &[u32], masked: &[bool]) -> Vec<u32> {
+    let mut out = series.to_vec();
+    let n = series.len();
+    let mut i = 0;
+    while i < n {
+        if !masked[i] {
+            i += 1;
+            continue;
+        }
+        // The masked run [i, j).
+        let mut j = i;
+        while j < n && masked[j] {
+            j += 1;
+        }
+        let prev = i.checked_sub(1).map(|p| f64::from(series[p]));
+        let next = (j < n).then(|| f64::from(series[j]));
+        let span = (j - i + 1) as f64;
+        for (k, slot) in out.iter_mut().enumerate().take(j).skip(i) {
+            let v = match (prev, next) {
+                (Some(a), Some(b)) => a + (b - a) * (k - i + 1) as f64 / span,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => 0.0,
+            };
+            *slot = v.round().max(0.0) as u32;
+        }
+        i = j;
+    }
+    out
 }
 
 /// Centered median filter; window is clamped to the series length and
@@ -303,6 +363,49 @@ mod tests {
         let g = analyze(&days(n), &series, &config);
         // Without cleaning the plateau inflates mid-series values.
         assert!(g.smoothed[250] > 5500.0);
+    }
+
+    #[test]
+    fn masked_outage_day_is_bridged_not_counted() {
+        // A full-outage day measures 0 DPS users — analyze() sees a huge
+        // trough; analyze_masked() bridges it and reports the day.
+        let n = 100;
+        let mut series = vec![3000u32; n];
+        series[40] = 0;
+        let g = analyze_masked(&days(n), &series, &GrowthConfig::default(), &[40]);
+        assert_eq!(g.masked_days, vec![40]);
+        assert!(
+            (g.cleaned[40] - 3000.0).abs() < 1.0,
+            "bridged: {}",
+            g.cleaned[40]
+        );
+        assert_eq!(g.raw[40], 0.0, "raw keeps the true measurement");
+        assert!((g.factor - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn masked_run_at_series_edge_uses_nearest_neighbour() {
+        let series = vec![0u32, 0, 500, 510, 520, 0];
+        let g = analyze_masked(
+            &days(6),
+            &series,
+            &GrowthConfig {
+                clean_anomalies: false,
+                median_window: 1,
+                ..GrowthConfig::default()
+            },
+            &[0, 1, 5],
+        );
+        assert_eq!(g.cleaned[0], 500.0);
+        assert_eq!(g.cleaned[1], 500.0);
+        assert_eq!(g.cleaned[5], 520.0);
+        assert_eq!(g.masked_days, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn unmasked_analyze_reports_no_masked_days() {
+        let g = analyze(&days(10), &[5u32; 10], &GrowthConfig::default());
+        assert!(g.masked_days.is_empty());
     }
 
     #[test]

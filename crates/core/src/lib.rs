@@ -16,6 +16,9 @@
 //!   CDFs (§3.4, §4.4.3, Fig. 8),
 //! * [`flux`] — first-seen/last-seen influx/outflux in two-week windows
 //!   (§4.4.2, Fig. 7),
+//! * [`quality`] — per-day coverage gating from the archive's DayQuality
+//!   records (the automated §4.2 cleaning; masked days are bridged in
+//!   [`growth`] and ignored in [`flux`]),
 //! * [`attribution`] — tracing anomalies to third parties via shared
 //!   NS/CNAME SLDs of the domains that flipped (§4.4.1),
 //! * [`combinations`] — the reference-combination breakdown ("not only
@@ -31,10 +34,12 @@ pub mod flux;
 pub mod growth;
 pub mod mechanism;
 pub mod peaks;
+pub mod quality;
 pub mod references;
 pub mod report;
 pub mod scan;
 pub mod util;
 
+pub use quality::{QualityMask, DEFAULT_MIN_COVERAGE};
 pub use references::{CompiledRefs, ProviderRefs, RefKind};
 pub use scan::{ScanOutput, Scanner, SeriesSet, Timelines};

@@ -1,0 +1,150 @@
+//! Data-quality gating: the automated analogue of the paper's §4.2 manual
+//! cleaning ("days with poor sweep coverage were discarded by hand").
+//!
+//! The measurement layer persists a per-(day, source)
+//! [`DayQuality`](dps_measure::DayQuality) record in the archive; this
+//! module turns those records into a [`QualityMask`] — the set of
+//! (day, source) cells whose coverage fell below a threshold — which the
+//! growth and flux analyses consult so an outage day appears as *missing
+//! data*, not as a mass exodus from every protection provider.
+
+use dps_measure::{SnapshotStore, Source};
+use std::collections::BTreeSet;
+
+/// Default minimum usable coverage: a day where more than 2% of a source's
+/// names ended in unknown state is dropped from trend analyses.
+pub const DEFAULT_MIN_COVERAGE: f64 = 0.98;
+
+/// The set of (day, source) cells gated out by coverage.
+#[derive(Debug, Clone)]
+pub struct QualityMask {
+    min_coverage: f64,
+    masked: BTreeSet<(u32, u8)>,
+}
+
+impl QualityMask {
+    /// Builds the mask from a store's quality records. Days without a
+    /// quality record are never masked (old archives predate quality
+    /// tracking; absence of evidence is not evidence of a bad sweep).
+    pub fn from_store(store: &SnapshotStore, min_coverage: f64) -> Self {
+        let masked = store
+            .all_qualities()
+            .filter(|q| q.coverage() < min_coverage)
+            .map(|q| (q.day, q.source.index() as u8))
+            .collect();
+        Self {
+            min_coverage,
+            masked,
+        }
+    }
+
+    /// A mask that gates nothing (the unmasked ablation arm).
+    pub fn allow_all() -> Self {
+        Self {
+            min_coverage: 0.0,
+            masked: BTreeSet::new(),
+        }
+    }
+
+    /// The coverage threshold the mask was built with.
+    pub fn min_coverage(&self) -> f64 {
+        self.min_coverage
+    }
+
+    /// Whether `(day, source)` is gated out.
+    pub fn is_masked(&self, day: u32, source: Source) -> bool {
+        self.masked.contains(&(day, source.index() as u8))
+    }
+
+    /// Masked days of one source, ascending.
+    pub fn masked_days(&self, source: Source) -> Vec<u32> {
+        self.masked
+            .iter()
+            .filter(|(_, s)| *s == source.index() as u8)
+            .map(|&(d, _)| d)
+            .collect()
+    }
+
+    /// Days masked for *any* gTLD source, ascending — the day set gated
+    /// out of combined-gTLD series (a bad sweep of one zone corrupts the
+    /// combined count for the whole day).
+    pub fn masked_gtld_days(&self) -> Vec<u32> {
+        let days: BTreeSet<u32> = self
+            .masked
+            .iter()
+            .filter(|(_, s)| {
+                matches!(
+                    Source::from_index(u32::from(*s)),
+                    Some(Source::Com | Source::Net | Source::Org)
+                )
+            })
+            .map(|&(d, _)| d)
+            .collect();
+        days.into_iter().collect()
+    }
+
+    /// Total masked (day, source) cells.
+    pub fn len(&self) -> usize {
+        self.masked.len()
+    }
+
+    /// Whether nothing is masked.
+    pub fn is_empty(&self) -> bool {
+        self.masked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_measure::DayQuality;
+
+    fn store_with(qualities: &[(u32, Source, u32, u32)]) -> SnapshotStore {
+        let mut store = SnapshotStore::new();
+        for &(day, source, attempted, failed) in qualities {
+            store.add_quality(DayQuality::perfect(day, source, attempted, failed));
+        }
+        store
+    }
+
+    #[test]
+    fn mask_gates_low_coverage_days_only() {
+        let store = store_with(&[
+            (0, Source::Com, 100, 0),
+            (1, Source::Com, 100, 1),  // 0.99 — above threshold
+            (2, Source::Com, 100, 60), // 0.40 — masked
+            (2, Source::Net, 100, 0),
+        ]);
+        let mask = QualityMask::from_store(&store, DEFAULT_MIN_COVERAGE);
+        assert!(!mask.is_masked(0, Source::Com));
+        assert!(!mask.is_masked(1, Source::Com));
+        assert!(mask.is_masked(2, Source::Com));
+        assert!(!mask.is_masked(2, Source::Net));
+        assert_eq!(mask.masked_days(Source::Com), vec![2]);
+        assert_eq!(mask.masked_gtld_days(), vec![2]);
+        assert_eq!(mask.len(), 1);
+    }
+
+    #[test]
+    fn days_without_records_are_never_masked() {
+        let store = store_with(&[(5, Source::Com, 10, 10)]);
+        let mask = QualityMask::from_store(&store, 0.5);
+        assert!(mask.is_masked(5, Source::Com));
+        assert!(!mask.is_masked(4, Source::Com), "no record, no mask");
+    }
+
+    #[test]
+    fn allow_all_masks_nothing() {
+        let mask = QualityMask::allow_all();
+        assert!(mask.is_empty());
+        assert!(!mask.is_masked(0, Source::Com));
+    }
+
+    #[test]
+    fn cc_sources_do_not_gate_gtld_days() {
+        let store = store_with(&[(3, Source::Nl, 100, 100), (4, Source::Alexa, 100, 100)]);
+        let mask = QualityMask::from_store(&store, DEFAULT_MIN_COVERAGE);
+        assert_eq!(mask.len(), 2);
+        assert!(mask.masked_gtld_days().is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 use crate::flux::FluxSeries;
 use crate::growth::GrowthAnalysis;
 use crate::peaks::PeakDistribution;
+use crate::quality::QualityMask;
 use crate::references::ProviderRefs;
 use crate::scan::SeriesSet;
 use dps_measure::{SnapshotStore, SOURCES};
@@ -81,6 +82,65 @@ pub fn table1(store: &SnapshotStore) -> String {
         human_count(total_dps as f64),
         human_bytes(total_size),
     );
+    out
+}
+
+/// Data-quality summary: per-source coverage, failure census, and the
+/// days a [`QualityMask`] gates out (the automated §4.2 cleaning log).
+pub fn quality_summary(store: &SnapshotStore, mask: &QualityMask) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}  masked days",
+        "Source", "days", "min cov", "failed", "retried", "recov", "t/o", "unrch", "hedges"
+    );
+    for source in SOURCES {
+        let qualities = store.qualities(source);
+        if qualities.is_empty() {
+            continue;
+        }
+        let min_cov = qualities
+            .iter()
+            .map(|q| q.coverage())
+            .fold(f64::INFINITY, f64::min);
+        let sum = |f: fn(&dps_measure::DayQuality) -> u32| -> u64 {
+            qualities.iter().map(|q| u64::from(f(q))).sum()
+        };
+        let masked = mask.masked_days(source);
+        let masked_str = if masked.is_empty() {
+            "-".to_string()
+        } else {
+            masked
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>8.2}% {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}  {}",
+            source.label(),
+            qualities.len(),
+            min_cov * 100.0,
+            sum(|q| q.failed),
+            sum(|q| q.retried),
+            sum(|q| q.recovered),
+            sum(|q| q.causes.timeouts),
+            sum(|q| q.causes.unreachable),
+            sum(|q| q.hedges),
+            masked_str,
+        );
+    }
+    if out.lines().count() <= 1 {
+        out.push_str("(no quality records in this archive)\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "mask: coverage < {:.1}% on {} (day, source) cells",
+            mask.min_coverage() * 100.0,
+            mask.len()
+        );
+    }
     out
 }
 

@@ -151,6 +151,11 @@ impl<'a> Scanner<'a> {
 
         let mut tasks: Vec<(Source, u32)> = Vec::new();
         for &(day, source) in archive.catalog().pages.keys() {
+            if source == dps_measure::QUALITY_SOURCE {
+                // Per-day quality records ride in the same archive but are
+                // not measurement data; the mask layer reads them instead.
+                continue;
+            }
             let source = Source::from_index(u32::from(source))
                 .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
             if day_pos.contains_key(&day) {

@@ -1,6 +1,7 @@
 //! Stage I: collecting one name's records through a query path.
 
 use crate::observation::Row;
+use crate::quality::CauseCounts;
 use dps_authdns::resolver::{Resolution, ResolveError, Resolver};
 use dps_columnar::StringDict;
 use dps_dns::{Name, RData, Rcode, RrType};
@@ -9,6 +10,27 @@ use dps_netsim::Pfx2As;
 use std::collections::HashMap;
 use std::net::IpAddr;
 
+/// Fault-handling counters a query path can expose. The sweep supervisor
+/// snapshots these around a sweep and stores the delta in the day's
+/// [`DayQuality`](crate::quality::DayQuality) record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathTelemetry {
+    /// Hedged second datagrams sent so far.
+    pub hedges: u64,
+    /// Circuit-breaker trips so far.
+    pub breaker_trips: u64,
+}
+
+impl PathTelemetry {
+    /// Counter delta since `before` (saturating).
+    pub fn since(&self, before: &PathTelemetry) -> PathTelemetry {
+        PathTelemetry {
+            hedges: self.hedges.saturating_sub(before.hedges),
+            breaker_trips: self.breaker_trips.saturating_sub(before.breaker_trips),
+        }
+    }
+}
+
 /// A way to ask the DNS a question. The measurement pipeline is generic
 /// over this so the bulk path (direct world evaluation) and the wire path
 /// (iterative resolution over the lossy network) share every other line of
@@ -16,6 +38,18 @@ use std::net::IpAddr;
 pub trait QueryPath {
     /// Resolves `(qname, qtype)` from scratch.
     fn query(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError>;
+
+    /// Advances the path's notion of time without sending — the pause the
+    /// supervisor inserts between dead-letter retry passes so transient
+    /// faults (blackout windows, open breakers) have time to clear.
+    /// Paths without a clock ignore it.
+    fn pause_us(&mut self, _dt_us: u64) {}
+
+    /// Current fault-handling counters. Paths without fault handling
+    /// report zeros.
+    fn telemetry(&self) -> PathTelemetry {
+        PathTelemetry::default()
+    }
 }
 
 /// Direct evaluation against the world (used for full-scale sweeps).
@@ -52,6 +86,17 @@ impl QueryPath for WirePath {
     fn query(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
         self.resolver.resolve(qname, qtype)
     }
+
+    fn pause_us(&mut self, dt_us: u64) {
+        self.resolver.sleep_us(dt_us);
+    }
+
+    fn telemetry(&self) -> PathTelemetry {
+        PathTelemetry {
+            hedges: self.resolver.hedges_sent(),
+            breaker_trips: self.resolver.health().map_or(0, |h| h.trips()),
+        }
+    }
 }
 
 /// Iterative resolution through the shared caching recursor: wire
@@ -77,6 +122,18 @@ impl RecursorPath {
 impl QueryPath for RecursorPath {
     fn query(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
         self.worker.resolve(qname, qtype)
+    }
+
+    fn pause_us(&mut self, dt_us: u64) {
+        self.worker.sleep_us(dt_us);
+    }
+
+    fn telemetry(&self) -> PathTelemetry {
+        let stats = self.worker.service_stats();
+        PathTelemetry {
+            hedges: stats.hedges,
+            breaker_trips: stats.breaker_trips,
+        }
     }
 }
 
@@ -190,6 +247,12 @@ pub struct RawRow {
     pub failed: bool,
     /// Resource records observed.
     pub data_points: u32,
+    /// Some query of this row failed *transiently* (timeout, unreachable,
+    /// corrupt reply, SERVFAIL): a retry might complete the measurement.
+    /// NXDOMAIN is a definitive observation and never sets this.
+    pub retryable: bool,
+    /// Per-cause failure tally for this collection attempt.
+    pub causes: CauseCounts,
 }
 
 impl RawRow {
@@ -254,14 +317,22 @@ pub fn collect_raw(path: &mut impl QueryPath, apex: &Name, entry: u32, pfx2as: &
     let apex_res = path.query(apex, RrType::A);
     let apex_res = match apex_res {
         Ok(r) => r,
-        Err(_) => {
+        Err(e) => {
             row.failed = true;
+            row.retryable = e.is_transient();
+            row.causes.add(e.cause());
             return row;
         }
     };
     if apex_res.rcode != Rcode::NoError {
-        // NXDOMAIN: the name vanished between zone-file fetch and sweep.
+        // NXDOMAIN: the name vanished between zone-file fetch and sweep —
+        // a definitive observation. SERVFAIL is a server-side fault and
+        // worth a dead-letter retry.
         row.failed = true;
+        if apex_res.rcode == Rcode::ServFail {
+            row.retryable = true;
+            row.causes.add(dps_authdns::FailureCause::ServerFailure);
+        }
         return row;
     }
     row.data_points += apex_res.answers.len() as u32;
@@ -272,37 +343,55 @@ pub fn collect_raw(path: &mut impl QueryPath, apex: &Name, entry: u32, pfx2as: &
     let aaaa_res = path.query(apex, RrType::Aaaa);
     let ns_res = path.query(apex, RrType::Ns);
 
-    if let Ok(res) = &www_res {
-        row.data_points += res.answers.len() as u32;
-        row.www_v4 = v4_of(res);
-        let mut cnames = std::mem::take(&mut row.cnames);
-        for target in res.cname_chain() {
-            push_distinct(&mut cnames, target);
+    match &www_res {
+        Ok(res) => {
+            row.data_points += res.answers.len() as u32;
+            row.www_v4 = v4_of(res);
+            let mut cnames = std::mem::take(&mut row.cnames);
+            for target in res.cname_chain() {
+                push_distinct(&mut cnames, target);
+            }
+            row.cnames = cnames;
         }
-        row.cnames = cnames;
+        Err(e) => {
+            row.retryable |= e.is_transient();
+            row.causes.add(e.cause());
+        }
     }
     let mut aaaa_addr = None;
-    if let Ok(res) = &aaaa_res {
-        row.data_points += res.answers.len() as u32;
-        aaaa_addr = v6_of(res);
-        row.aaaa = aaaa_addr.is_some();
+    match &aaaa_res {
+        Ok(res) => {
+            row.data_points += res.answers.len() as u32;
+            aaaa_addr = v6_of(res);
+            row.aaaa = aaaa_addr.is_some();
+        }
+        Err(e) => {
+            row.retryable |= e.is_transient();
+            row.causes.add(e.cause());
+        }
     }
-    if let Ok(res) = &ns_res {
-        row.data_points += res.answers.len() as u32;
-        let mut ns = std::mem::take(&mut row.ns);
-        let mut hosts = std::mem::take(&mut row.ns_hosts);
-        for rec in res.records_of(RrType::Ns) {
-            if let RData::Ns(host) = &rec.rdata {
-                push_distinct(&mut ns, host);
-                if hosts[0].is_none() {
-                    hosts[0] = Some(host.clone());
-                } else if hosts[1].is_none() && hosts[0].as_ref() != Some(host) {
-                    hosts[1] = Some(host.clone());
+    match &ns_res {
+        Ok(res) => {
+            row.data_points += res.answers.len() as u32;
+            let mut ns = std::mem::take(&mut row.ns);
+            let mut hosts = std::mem::take(&mut row.ns_hosts);
+            for rec in res.records_of(RrType::Ns) {
+                if let RData::Ns(host) = &rec.rdata {
+                    push_distinct(&mut ns, host);
+                    if hosts[0].is_none() {
+                        hosts[0] = Some(host.clone());
+                    } else if hosts[1].is_none() && hosts[0].as_ref() != Some(host) {
+                        hosts[1] = Some(host.clone());
+                    }
                 }
             }
+            row.ns = ns;
+            row.ns_hosts = hosts;
         }
-        row.ns = ns;
-        row.ns_hosts = hosts;
+        Err(e) => {
+            row.retryable |= e.is_transient();
+            row.causes.add(e.cause());
+        }
     }
 
     // Stage III: supplement origin ASes.

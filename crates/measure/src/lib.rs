@@ -14,6 +14,13 @@
 //! * **Stage III — supplementing** ([`observation`]): every address is
 //!   annotated with the origin AS of its most-specific covering prefix
 //!   from the day's `pfx2as` snapshot (multi-origin sets preserved).
+//! * **Supervision** ([`supervisor`], [`quality`]): sweeps run under a
+//!   fault-tolerant supervisor — transiently failed names land in a
+//!   dead-letter queue and are retried at end of day, and every (day,
+//!   source) gets a persisted [`quality::DayQuality`] record (coverage,
+//!   per-cause failure census, retry/hedge/breaker statistics) that the
+//!   analysis layer uses to gate bad days (the paper's §4.2 cleaning,
+//!   automated).
 //!
 //! [`pipeline::Study`] drives all three stages across the measurement
 //! calendar and produces the [`snapshot::SnapshotStore`] the analysis
@@ -22,9 +29,13 @@
 pub mod collector;
 pub mod observation;
 pub mod pipeline;
+pub mod quality;
 pub mod snapshot;
+pub mod supervisor;
 
-pub use collector::{BulkPath, QueryPath, RecursorPath, WirePath};
+pub use collector::{BulkPath, PathTelemetry, QueryPath, RecursorPath, WirePath};
 pub use observation::{Source, SOURCES};
 pub use pipeline::{Study, StudyConfig};
+pub use quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality, QUALITY_SOURCE};
 pub use snapshot::{SnapshotStore, SourceStats, ARCHIVE_FILE};
+pub use supervisor::{sweep_supervised, SupervisedSweep, SupervisorConfig};

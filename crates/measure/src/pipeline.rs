@@ -8,7 +8,9 @@
 
 use crate::collector::{collect, collect_raw, BulkPath, QueryPath, RawRow, SldInterner};
 use crate::observation::{entry_code, schema, Row, Source, SOURCES};
+use crate::quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality, QUALITY_SOURCE};
 use crate::snapshot::{SnapshotStore, UNIQUE_KEY_COLUMN};
+use crate::supervisor::{sweep_supervised, SupervisorConfig};
 use dps_columnar::{Table, TableBuilder};
 use dps_ecosystem::World;
 use dps_netsim::{Day, RibHistory};
@@ -109,11 +111,20 @@ impl Study {
             // the catalog; no re-measurement, no estimation).
             let archive = Archive::open_with_cache(path, 0)?;
             for (&(day, source), meta) in &archive.catalog().pages {
-                let src = Source::from_index(u32::from(source))
-                    .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
                 let table = archive
                     .table(day, source)?
                     .expect("catalog-listed page exists");
+                if source == QUALITY_SOURCE {
+                    let qualities = decode_qualities(&table).ok_or_else(|| {
+                        std::io::Error::other("archive holds an undecodable quality page")
+                    })?;
+                    for q in qualities {
+                        self.store.add_quality(q);
+                    }
+                    continue;
+                }
+                let src = Source::from_index(u32::from(source))
+                    .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
                 self.store.add_table(day, src, &table, meta.data_points);
             }
         }
@@ -127,11 +138,19 @@ impl Study {
             let due = self.due_sources(day);
             // A commit happens once per day, so a day is either fully
             // durable or (after truncating a torn tail) absent entirely.
-            if !due.iter().all(|s| writer.contains(day, s.index() as u8)) {
-                for (source, table, data_points) in self.collect_day(world, day, &mut interner) {
+            let complete = due.iter().all(|s| writer.contains(day, s.index() as u8))
+                && writer.contains(day, QUALITY_SOURCE);
+            if !complete {
+                let mut day_qualities = Vec::new();
+                for (source, table, data_points, quality) in
+                    self.collect_day(world, day, &mut interner)
+                {
                     writer.append_table(day, source.index() as u8, &table, data_points)?;
                     self.store.add_table(day, source, &table, data_points);
+                    self.store.add_quality(quality);
+                    day_qualities.push(quality);
                 }
+                writer.append_table(day, QUALITY_SOURCE, &encode_qualities(&day_qualities), 0)?;
                 writer.commit(&self.store.dict)?;
             }
             day += self.config.stride.max(1);
@@ -145,8 +164,9 @@ impl Study {
     /// (paper Fig. 1): workers collect raw rows against the immutable
     /// world; the manager thread dictionary-encodes and stores them.
     pub fn measure_day(&mut self, world: &World, day: u32, interner: &mut SldInterner) {
-        for (source, table, data_points) in self.collect_day(world, day, interner) {
+        for (source, table, data_points, quality) in self.collect_day(world, day, interner) {
             self.store.add_table(day, source, &table, data_points);
+            self.store.add_quality(quality);
         }
     }
 
@@ -158,7 +178,7 @@ impl Study {
         world: &World,
         day: u32,
         interner: &mut SldInterner,
-    ) -> Vec<(Source, Table, u64)> {
+    ) -> Vec<(Source, Table, u64, DayQuality)> {
         let pfx2as = world.pfx2as();
         let mut out = Vec::new();
         for source in self.due_sources(day) {
@@ -182,15 +202,26 @@ impl Study {
                     })
                     .collect()
             });
-            // Manager: intern + encode (ordered, deterministic).
+            // Manager: intern + encode (ordered, deterministic), tallying
+            // the day's quality as rows stream past. The bulk path cannot
+            // fail transiently, so the record has no retries or hedges —
+            // only definitive failures (vanished names) lower coverage.
             let mut builder = TableBuilder::new(schema());
             let mut data_points = 0u64;
+            let mut attempted = 0u32;
+            let mut failed = 0u32;
+            let mut causes = CauseCounts::default();
             for raw in raw_chunks.into_iter().flatten() {
+                attempted += 1;
+                failed += u32::from(raw.failed && raw.retryable);
+                causes.merge(&raw.causes);
                 let row = raw.intern(&mut self.store.dict, interner);
                 data_points += u64::from(row.data_points);
                 builder.push_row(&row.pack(day, source));
             }
-            out.push((source, builder.finish(), data_points));
+            let mut quality = DayQuality::perfect(day, source, attempted, failed);
+            quality.causes = causes;
+            out.push((source, builder.finish(), data_points, quality));
         }
         out
     }
@@ -232,6 +263,41 @@ pub fn sweep_with_path(
         builder.push_row(&row.pack(day, source));
     }
     store.add_table(day, source, &builder.finish(), data_points);
+}
+
+/// [`sweep_with_path`] under fault-tolerant supervision: first pass,
+/// dead-letter retry passes, and a stored [`DayQuality`] record for the
+/// day. Returns the quality record for the caller's logs.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_with_path_supervised(
+    world: &World,
+    path: &mut impl QueryPath,
+    source: Source,
+    day: u32,
+    store: &mut SnapshotStore,
+    interner: &mut SldInterner,
+    config: &SupervisorConfig,
+) -> DayQuality {
+    let pfx2as = world.pfx2as();
+    let entries = match source.tld() {
+        Some(tld) => world.zone_entries(tld),
+        None => world.alexa_entries(),
+    };
+    let jobs: Vec<(dps_dns::Name, u32)> = entries
+        .iter()
+        .map(|&entry| (world.entry_name(entry), entry_code(entry)))
+        .collect();
+    let sweep = sweep_supervised(path, &jobs, &pfx2as, day, source, config);
+    let mut builder = TableBuilder::new(schema());
+    let mut data_points = 0u64;
+    for raw in sweep.rows {
+        let row = raw.intern(&mut store.dict, interner);
+        data_points += u64::from(row.data_points);
+        builder.push_row(&row.pack(day, source));
+    }
+    store.add_table(day, source, &builder.finish(), data_points);
+    store.add_quality(sweep.quality);
+    sweep.quality
 }
 
 /// Lists every source in Table 1 order (re-export convenience).

@@ -1,0 +1,279 @@
+//! Per-day data-quality records: the automated analogue of the paper's
+//! §4.2 manual data cleaning.
+//!
+//! Every supervised sweep produces one [`DayQuality`] per (day, source):
+//! how many names were attempted, how many ended failed after the retry
+//! passes, a per-cause failure census ([`CauseCounts`]), and the fault
+//! handling the sweep needed (retries, hedges, breaker trips). The records
+//! are persisted in the measurement archive under the reserved
+//! [`QUALITY_SOURCE`] page id so an analysis run can gate days on
+//! [`coverage`](DayQuality::coverage) without re-measuring anything — the
+//! paper instead dropped bad days by hand.
+
+use crate::observation::Source;
+use dps_authdns::FailureCause;
+use dps_columnar::{Schema, Table, TableBuilder};
+
+/// Reserved archive source id for quality tables. Data sources occupy
+/// `0..=4` (see [`crate::observation::SOURCES`]); quality pages ride in
+/// the same archive keyed `(day, QUALITY_SOURCE)`.
+pub const QUALITY_SOURCE: u8 = 5;
+
+/// Column order of per-day quality tables (all u32; one row per source
+/// measured that day).
+pub const QUALITY_COLUMNS: [&str; 14] = [
+    "day",
+    "source",
+    "attempted",
+    "failed",
+    "retried",
+    "recovered",
+    "timeouts",
+    "unreachable",
+    "corrupt",
+    "servfail",
+    "other",
+    "retry_passes",
+    "breaker_trips",
+    "hedges",
+];
+
+/// Builds the quality-table schema.
+pub fn quality_schema() -> Schema {
+    Schema::new(&QUALITY_COLUMNS)
+}
+
+/// Failure tallies bucketed by [`FailureCause`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CauseCounts {
+    /// Silence until the attempt deadline.
+    pub timeouts: u32,
+    /// ICMP-style destination unreachable.
+    pub unreachable: u32,
+    /// Only corrupt/unparseable datagrams arrived.
+    pub corrupt: u32,
+    /// The server answered with an error RCODE.
+    pub servfail: u32,
+    /// Structural failures (referral loops, lame delegations, …).
+    pub other: u32,
+}
+
+impl CauseCounts {
+    /// Tallies one failure.
+    pub fn add(&mut self, cause: FailureCause) {
+        let slot = match cause {
+            FailureCause::Timeout => &mut self.timeouts,
+            FailureCause::Unreachable => &mut self.unreachable,
+            FailureCause::Corrupt => &mut self.corrupt,
+            FailureCause::ServerFailure => &mut self.servfail,
+            FailureCause::Other => &mut self.other,
+        };
+        *slot = slot.saturating_add(1);
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &CauseCounts) {
+        self.timeouts = self.timeouts.saturating_add(other.timeouts);
+        self.unreachable = self.unreachable.saturating_add(other.unreachable);
+        self.corrupt = self.corrupt.saturating_add(other.corrupt);
+        self.servfail = self.servfail.saturating_add(other.servfail);
+        self.other = self.other.saturating_add(other.other);
+    }
+
+    /// Total failures across all causes.
+    pub fn total(&self) -> u64 {
+        u64::from(self.timeouts)
+            + u64::from(self.unreachable)
+            + u64::from(self.corrupt)
+            + u64::from(self.servfail)
+            + u64::from(self.other)
+    }
+}
+
+/// One day's measurement quality for one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DayQuality {
+    /// Measurement day.
+    pub day: u32,
+    /// Which input list.
+    pub source: Source,
+    /// Names the sweep attempted to measure.
+    pub attempted: u32,
+    /// Names whose measurement was still incomplete after every retry
+    /// pass (transient failure or partial data). Definitive NXDOMAIN for
+    /// a vanished name is a usable observation and is *not* counted.
+    pub failed: u32,
+    /// Names that entered the dead-letter queue (any transient failure).
+    pub retried: u32,
+    /// Dead-letter names whose retry completed cleanly.
+    pub recovered: u32,
+    /// Failure census over every attempt (first pass + retries).
+    pub causes: CauseCounts,
+    /// End-of-day retry passes actually run.
+    pub retry_passes: u32,
+    /// Circuit-breaker trips during the sweep.
+    pub breaker_trips: u32,
+    /// Hedged second datagrams sent.
+    pub hedges: u32,
+}
+
+impl DayQuality {
+    /// A perfect-coverage record (used by paths that cannot fail
+    /// transiently, e.g. bulk world evaluation).
+    pub fn perfect(day: u32, source: Source, attempted: u32, failed: u32) -> Self {
+        Self {
+            day,
+            source,
+            attempted,
+            failed,
+            retried: 0,
+            recovered: 0,
+            causes: CauseCounts::default(),
+            retry_passes: 0,
+            breaker_trips: 0,
+            hedges: 0,
+        }
+    }
+
+    /// Fraction of attempted names that ended with a usable measurement
+    /// (`1.0` for an empty list).
+    pub fn coverage(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            f64::from(self.attempted - self.failed.min(self.attempted)) / f64::from(self.attempted)
+        }
+    }
+
+    /// Packs into quality-schema column order.
+    pub fn pack(&self) -> [u32; 14] {
+        [
+            self.day,
+            self.source.index() as u32,
+            self.attempted,
+            self.failed,
+            self.retried,
+            self.recovered,
+            self.causes.timeouts,
+            self.causes.unreachable,
+            self.causes.corrupt,
+            self.causes.servfail,
+            self.causes.other,
+            self.retry_passes,
+            self.breaker_trips,
+            self.hedges,
+        ]
+    }
+
+    /// Unpacks row `i` of decoded quality columns.
+    pub fn unpack(cols: &[&[u32]], i: usize) -> Option<Self> {
+        Some(Self {
+            day: cols[0][i],
+            source: Source::from_index(cols[1][i])?,
+            attempted: cols[2][i],
+            failed: cols[3][i],
+            retried: cols[4][i],
+            recovered: cols[5][i],
+            causes: CauseCounts {
+                timeouts: cols[6][i],
+                unreachable: cols[7][i],
+                corrupt: cols[8][i],
+                servfail: cols[9][i],
+                other: cols[10][i],
+            },
+            retry_passes: cols[11][i],
+            breaker_trips: cols[12][i],
+            hedges: cols[13][i],
+        })
+    }
+}
+
+/// Encodes one day's quality records (one row per source) as a columnar
+/// table for the archive page `(day, QUALITY_SOURCE)`.
+pub fn encode_qualities(qualities: &[DayQuality]) -> Table {
+    let mut b = TableBuilder::new(quality_schema());
+    for q in qualities {
+        b.push_row(&q.pack());
+    }
+    b.finish()
+}
+
+/// Decodes a quality table back into records. Returns `None` on a schema
+/// mismatch or an unknown source id.
+pub fn decode_qualities(table: &Table) -> Option<Vec<DayQuality>> {
+    if table.schema().names() != quality_schema().names() {
+        return None;
+    }
+    let cols: Vec<&[u32]> = (0..QUALITY_COLUMNS.len())
+        .map(|c| table.column(c))
+        .collect();
+    (0..table.rows())
+        .map(|i| DayQuality::unpack(&cols, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(day: u32, source: Source) -> DayQuality {
+        DayQuality {
+            day,
+            source,
+            attempted: 1000,
+            failed: 13,
+            retried: 40,
+            recovered: 27,
+            causes: CauseCounts {
+                timeouts: 31,
+                unreachable: 4,
+                corrupt: 2,
+                servfail: 9,
+                other: 1,
+            },
+            retry_passes: 2,
+            breaker_trips: 3,
+            hedges: 17,
+        }
+    }
+
+    #[test]
+    fn coverage_is_fraction_of_usable_rows() {
+        let q = sample(0, Source::Com);
+        assert!((q.coverage() - 0.987).abs() < 1e-9);
+        assert_eq!(DayQuality::perfect(0, Source::Nl, 0, 0).coverage(), 1.0);
+        let dead = DayQuality::perfect(0, Source::Org, 10, 10);
+        assert_eq!(dead.coverage(), 0.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let qs = vec![sample(3, Source::Com), sample(3, Source::Alexa)];
+        let table = encode_qualities(&qs);
+        assert_eq!(table.rows(), 2);
+        let back = decode_qualities(&table).expect("decodes");
+        assert_eq!(back, qs);
+    }
+
+    #[test]
+    fn cause_counts_merge_and_total() {
+        let mut a = CauseCounts::default();
+        a.add(FailureCause::Timeout);
+        a.add(FailureCause::Timeout);
+        a.add(FailureCause::ServerFailure);
+        let mut b = CauseCounts::default();
+        b.add(FailureCause::Unreachable);
+        b.merge(&a);
+        assert_eq!(b.timeouts, 2);
+        assert_eq!(b.unreachable, 1);
+        assert_eq!(b.servfail, 1);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn quality_schema_has_no_unique_key_column() {
+        // Quality pages must never contribute to the archive's unique-SLD
+        // tracking, which keys on the data schema's `entry` column.
+        assert!(!QUALITY_COLUMNS.contains(&crate::snapshot::UNIQUE_KEY_COLUMN));
+    }
+}

@@ -8,9 +8,10 @@
 //! deprecated loose-file layout older archives used).
 
 use crate::observation::{schema, Source, SOURCES};
+use crate::quality::{decode_qualities, encode_qualities, DayQuality, QUALITY_SOURCE};
 use dps_columnar::{StringDict, Table};
 use dps_store::{Archive, ArchiveWriter};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Name of the single-file archive inside a `save_dir` directory.
 pub const ARCHIVE_FILE: &str = "archive.dps";
@@ -52,6 +53,7 @@ pub struct SnapshotStore {
     pub dict: StringDict,
     tables: BTreeMap<(u32, u8), StoredTable>,
     stats: Vec<SourceStats>,
+    qualities: BTreeMap<(u32, u8), DayQuality>,
 }
 
 impl SnapshotStore {
@@ -61,7 +63,34 @@ impl SnapshotStore {
             dict: StringDict::new(),
             tables: BTreeMap::new(),
             stats: vec![SourceStats::default(); SOURCES.len()],
+            qualities: BTreeMap::new(),
         }
+    }
+
+    /// Records a day's quality record (replacing any existing one for the
+    /// same `(day, source)`).
+    pub fn add_quality(&mut self, quality: DayQuality) {
+        self.qualities
+            .insert((quality.day, quality.source.index() as u8), quality);
+    }
+
+    /// The quality record for `(day, source)`, if the sweep stored one.
+    pub fn quality(&self, day: u32, source: Source) -> Option<&DayQuality> {
+        self.qualities.get(&(day, source.index() as u8))
+    }
+
+    /// Quality records of one source, ascending by day.
+    pub fn qualities(&self, source: Source) -> Vec<&DayQuality> {
+        self.qualities
+            .iter()
+            .filter(|((_, s), _)| *s == source.index() as u8)
+            .map(|(_, q)| q)
+            .collect()
+    }
+
+    /// Every quality record, ascending by `(day, source)`.
+    pub fn all_qualities(&self) -> impl Iterator<Item = &DayQuality> {
+        self.qualities.values()
     }
 
     /// Adds a finished day table, updating statistics.
@@ -137,9 +166,29 @@ impl SnapshotStore {
     /// data-point counts, and the string dictionary.
     pub fn save_archive(&self, path: &std::path::Path) -> std::io::Result<()> {
         let mut writer = ArchiveWriter::create(path, Some(UNIQUE_KEY_COLUMN))?;
-        for ((day, source), stored) in &self.tables {
-            let table = Table::from_bytes(&stored.bytes).map_err(std::io::Error::other)?;
-            writer.append_table(*day, *source, &table, stored.data_points)?;
+        // Append in global (day, source) page order: a day's data tables
+        // first, then its quality page under QUALITY_SOURCE — the same
+        // order `Study::run_archived` streams pages in, so both writers
+        // produce byte-identical archives for identical content.
+        let days: BTreeSet<u32> = self
+            .tables
+            .keys()
+            .chain(self.qualities.keys())
+            .map(|&(day, _)| day)
+            .collect();
+        for day in days {
+            for (&(_, source), stored) in self.tables.range((day, 0)..=(day, u8::MAX)) {
+                let table = Table::from_bytes(&stored.bytes).map_err(std::io::Error::other)?;
+                writer.append_table(day, source, &table, stored.data_points)?;
+            }
+            let day_qualities: Vec<DayQuality> = self
+                .qualities
+                .range((day, 0)..=(day, u8::MAX))
+                .map(|(_, q)| *q)
+                .collect();
+            if !day_qualities.is_empty() {
+                writer.append_table(day, QUALITY_SOURCE, &encode_qualities(&day_qualities), 0)?;
+            }
         }
         writer.commit(&self.dict)
     }
@@ -158,14 +207,24 @@ impl SnapshotStore {
             dict: archive.dict().clone(),
             tables: BTreeMap::new(),
             stats: vec![SourceStats::default(); SOURCES.len()],
+            qualities: BTreeMap::new(),
         };
         for (&(day, source), meta) in &archive.catalog().pages {
-            if Source::from_index(u32::from(source)).is_none() {
-                return Err(std::io::Error::other("archive has an unknown source id"));
-            }
             let table = archive
                 .table(day, source)?
                 .expect("catalog-listed page exists");
+            if source == QUALITY_SOURCE {
+                let qualities = decode_qualities(&table).ok_or_else(|| {
+                    std::io::Error::other("archive holds an undecodable quality page")
+                })?;
+                for q in qualities {
+                    store.add_quality(q);
+                }
+                continue;
+            }
+            if Source::from_index(u32::from(source)).is_none() {
+                return Err(std::io::Error::other("archive has an unknown source id"));
+            }
             if table.schema().names() != schema().names() {
                 return Err(std::io::Error::other(
                     "archive schema does not match this build; re-run the study",
@@ -229,6 +288,7 @@ impl SnapshotStore {
             dict,
             tables: BTreeMap::new(),
             stats: vec![SourceStats::default(); SOURCES.len()],
+            qualities: BTreeMap::new(),
         };
         for line in index.lines() {
             let mut parts = line.split('\t');
@@ -348,6 +408,45 @@ mod tests {
         }
         assert_eq!(back.stats(Source::Com).data_points, 701);
         assert_eq!(back.stats(Source::Nl).data_points, 77);
+    }
+
+    #[test]
+    fn quality_records_roundtrip_through_the_archive() {
+        use crate::quality::CauseCounts;
+        let mut store = SnapshotStore::new();
+        store.add_table(0, Source::Com, &table_with_rows(0, 10), 50);
+        store.add_table(1, Source::Com, &table_with_rows(1, 10), 50);
+        let q0 = DayQuality {
+            day: 0,
+            source: Source::Com,
+            attempted: 10,
+            failed: 2,
+            retried: 3,
+            recovered: 1,
+            causes: CauseCounts {
+                timeouts: 4,
+                unreachable: 1,
+                corrupt: 0,
+                servfail: 2,
+                other: 0,
+            },
+            retry_passes: 2,
+            breaker_trips: 1,
+            hedges: 6,
+        };
+        store.add_quality(q0);
+        store.add_quality(DayQuality::perfect(1, Source::Com, 10, 0));
+        let path =
+            std::env::temp_dir().join(format!("dps-snapshot-quality-{}.dps", std::process::id()));
+        store.save_archive(&path).unwrap();
+        let back = SnapshotStore::load_archive(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.quality(0, Source::Com), Some(&q0));
+        assert_eq!(back.qualities(Source::Com).len(), 2);
+        assert!((back.quality(0, Source::Com).unwrap().coverage() - 0.8).abs() < 1e-12);
+        // Quality pages never leak into data-table accessors or stats.
+        assert_eq!(back.days(Source::Com), vec![0, 1]);
+        assert_eq!(back.stats(Source::Com).days, 2);
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Deterministic, time-scripted fault schedules layered on [`FaultProfile`].
+//!
+//! A [`ChaosSchedule`] is a list of [`ChaosWindow`]s, each describing one
+//! fault event over a virtual-time interval: a server blackout, a flapping
+//! link, or a loss/latency degradation burst. Windows may target a single
+//! endpoint or the whole fabric. The schedule is evaluated per *leg* at the
+//! sending socket's virtual clock, so two runs with the same seed and the
+//! same schedule replay the exact same fault sequence — chaos engineering
+//! without losing reproducibility.
+//!
+//! The schedule composes with the network's base [`FaultProfile`]: a
+//! [`ChaosEvent::Degrade`] overrides only the fields it sets, a
+//! [`ChaosEvent::Blackout`] (or the down phase of a [`ChaosEvent::Flap`])
+//! silently swallows the leg, exactly like a switched-off server.
+
+use crate::net::FaultProfile;
+use std::fmt;
+use std::net::IpAddr;
+
+/// Partial override of a [`FaultProfile`]; `None` fields keep the base value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultOverride {
+    /// Replacement drop probability, per leg.
+    pub loss: Option<f64>,
+    /// Replacement corruption probability, per leg.
+    pub corrupt: Option<f64>,
+    /// Replacement duplication probability, per leg.
+    pub duplicate: Option<f64>,
+    /// Replacement one-way latency range in microseconds.
+    pub latency_us: Option<(u64, u64)>,
+}
+
+impl FaultOverride {
+    /// Applies the set fields onto `base`.
+    pub fn apply(&self, mut base: FaultProfile) -> FaultProfile {
+        if let Some(v) = self.loss {
+            base.loss = v;
+        }
+        if let Some(v) = self.corrupt {
+            base.corrupt = v;
+        }
+        if let Some(v) = self.duplicate {
+            base.duplicate = v;
+        }
+        if let Some(v) = self.latency_us {
+            base.latency_us = v;
+        }
+        base
+    }
+}
+
+/// What happens inside a [`ChaosWindow`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosEvent {
+    /// Every leg toward the target is silently dropped (a powered-off or
+    /// DDoS-saturated server: no ICMP, no response — just silence).
+    Blackout,
+    /// The target's link degrades: fault probabilities and latency are
+    /// overridden for the window's duration.
+    Degrade(FaultOverride),
+    /// The link flaps with a fixed period: up for `up_fraction` of each
+    /// period (measured from the window start), blacked out for the rest.
+    Flap {
+        /// Full up+down cycle length in microseconds.
+        period_us: u64,
+        /// Fraction of each period the link is up, in `[0, 1]`.
+        up_fraction: f64,
+    },
+}
+
+/// One scripted fault event over a virtual-time interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosWindow {
+    /// Window start (inclusive), microseconds of socket virtual time.
+    pub start_us: u64,
+    /// Window end (exclusive); `u64::MAX` means "until the end of time".
+    pub end_us: u64,
+    /// Affected endpoint; `None` applies to every destination.
+    pub target: Option<IpAddr>,
+    /// The fault behaviour inside the window.
+    pub event: ChaosEvent,
+}
+
+impl ChaosWindow {
+    fn covers(&self, now_us: u64, dst: IpAddr) -> bool {
+        let on_target = match self.target {
+            Some(t) => t == dst,
+            None => true,
+        };
+        now_us >= self.start_us && now_us < self.end_us && on_target
+    }
+}
+
+/// A deterministic script of fault events, evaluated against the virtual
+/// clock of whichever socket is sending.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSchedule {
+    windows: Vec<ChaosWindow>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule (no scripted faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if no windows are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The scripted windows, in insertion order.
+    pub fn windows(&self) -> &[ChaosWindow] {
+        &self.windows
+    }
+
+    /// Adds an arbitrary window (builder style).
+    pub fn window(mut self, w: ChaosWindow) -> Self {
+        self.windows.push(w);
+        self
+    }
+
+    /// Scripts a blackout of `target` (or everything, if `None`) over
+    /// `[start_us, end_us)`.
+    pub fn blackout(self, target: Option<IpAddr>, start_us: u64, end_us: u64) -> Self {
+        self.window(ChaosWindow {
+            start_us,
+            end_us,
+            target,
+            event: ChaosEvent::Blackout,
+        })
+    }
+
+    /// Scripts a degradation burst over `[start_us, end_us)`.
+    pub fn degrade(
+        self,
+        target: Option<IpAddr>,
+        start_us: u64,
+        end_us: u64,
+        over: FaultOverride,
+    ) -> Self {
+        self.window(ChaosWindow {
+            start_us,
+            end_us,
+            target,
+            event: ChaosEvent::Degrade(over),
+        })
+    }
+
+    /// Scripts a flapping link over `[start_us, end_us)`.
+    pub fn flap(
+        self,
+        target: Option<IpAddr>,
+        start_us: u64,
+        end_us: u64,
+        period_us: u64,
+        up_fraction: f64,
+    ) -> Self {
+        self.window(ChaosWindow {
+            start_us,
+            end_us,
+            target,
+            event: ChaosEvent::Flap {
+                period_us,
+                up_fraction,
+            },
+        })
+    }
+
+    /// The effective profile for one leg toward `dst` at virtual time
+    /// `now_us`, or `None` if a blackout (or a flap's down phase) swallows
+    /// the leg. Later windows are applied after earlier ones, so a
+    /// global degradation plus a targeted blackout compose naturally; any
+    /// covering blackout wins regardless of order.
+    pub fn effective(&self, now_us: u64, dst: IpAddr, base: FaultProfile) -> Option<FaultProfile> {
+        let mut profile = base;
+        for w in &self.windows {
+            if !w.covers(now_us, dst) {
+                continue;
+            }
+            match w.event {
+                ChaosEvent::Blackout => return None,
+                ChaosEvent::Degrade(over) => profile = over.apply(profile),
+                ChaosEvent::Flap {
+                    period_us,
+                    up_fraction,
+                } => {
+                    if period_us == 0 {
+                        return None;
+                    }
+                    let phase = (now_us - w.start_us) % period_us;
+                    let up_for = (period_us as f64 * up_fraction.clamp(0.0, 1.0)) as u64;
+                    if phase >= up_for {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(profile)
+    }
+
+    /// Parses a schedule spec of `;`-separated events:
+    ///
+    /// ```text
+    /// event   := kind '@' time '..' time [ '@' ip ] [ '@' params ]
+    /// kind    := 'blackout' | 'degrade' | 'flap'
+    /// time    := integer [ 'us' | 'ms' | 's' ] | 'inf'
+    /// params  := key '=' value { ',' key '=' value }
+    /// ```
+    ///
+    /// `degrade` accepts `loss=`, `corrupt=`, `dup=` (probabilities) and
+    /// `lat=LO-HI` (milliseconds); `flap` accepts `period=` (a time) and
+    /// `up=` (a fraction). Examples:
+    ///
+    /// ```text
+    /// blackout@5s..20s@10.255.1.1
+    /// degrade@0..inf@loss=0.15
+    /// flap@10s..60s@10.255.2.1@period=2s,up=0.5
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, ChaosParseError> {
+        let mut schedule = Self::new();
+        for raw in spec.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let mut parts = raw.split('@');
+            let kind = parts.next().unwrap_or_default().trim();
+            let span = parts
+                .next()
+                .ok_or_else(|| err(raw, "missing time range"))?
+                .trim();
+            let (start_s, end_s) = span
+                .split_once("..")
+                .ok_or_else(|| err(raw, "time range must be start..end"))?;
+            let start_us = parse_time(start_s).map_err(|m| err(raw, &m))?;
+            let end_us = parse_time(end_s).map_err(|m| err(raw, &m))?;
+            if end_us <= start_us {
+                return Err(err(raw, "window end must be after its start"));
+            }
+            let mut target = None;
+            let mut params = Vec::new();
+            for extra in parts {
+                let extra = extra.trim();
+                if extra.contains('=') {
+                    for kv in extra.split(',') {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| err(raw, "parameters must be key=value"))?;
+                        params.push((k.trim().to_owned(), v.trim().to_owned()));
+                    }
+                } else {
+                    target = Some(
+                        extra
+                            .parse::<IpAddr>()
+                            .map_err(|_| err(raw, "bad target address"))?,
+                    );
+                }
+            }
+            let event = match kind {
+                "blackout" => ChaosEvent::Blackout,
+                "degrade" => {
+                    let mut over = FaultOverride::default();
+                    for (k, v) in &params {
+                        match k.as_str() {
+                            "loss" => over.loss = Some(parse_prob(v).map_err(|m| err(raw, &m))?),
+                            "corrupt" => {
+                                over.corrupt = Some(parse_prob(v).map_err(|m| err(raw, &m))?)
+                            }
+                            "dup" => {
+                                over.duplicate = Some(parse_prob(v).map_err(|m| err(raw, &m))?)
+                            }
+                            "lat" => {
+                                let (lo, hi) = v
+                                    .split_once('-')
+                                    .ok_or_else(|| err(raw, "lat must be LO-HI (ms)"))?;
+                                let lo: u64 =
+                                    lo.parse().map_err(|_| err(raw, "bad lat low bound"))?;
+                                let hi: u64 =
+                                    hi.parse().map_err(|_| err(raw, "bad lat high bound"))?;
+                                over.latency_us = Some((lo * 1000, hi * 1000));
+                            }
+                            other => return Err(err(raw, &format!("unknown key `{other}`"))),
+                        }
+                    }
+                    ChaosEvent::Degrade(over)
+                }
+                "flap" => {
+                    let mut period_us = 1_000_000;
+                    let mut up_fraction = 0.5;
+                    for (k, v) in &params {
+                        match k.as_str() {
+                            "period" => period_us = parse_time(v).map_err(|m| err(raw, &m))?,
+                            "up" => up_fraction = parse_prob(v).map_err(|m| err(raw, &m))?,
+                            other => return Err(err(raw, &format!("unknown key `{other}`"))),
+                        }
+                    }
+                    ChaosEvent::Flap {
+                        period_us,
+                        up_fraction,
+                    }
+                }
+                other => return Err(err(raw, &format!("unknown event kind `{other}`"))),
+            };
+            schedule.windows.push(ChaosWindow {
+                start_us,
+                end_us,
+                target,
+                event,
+            });
+        }
+        Ok(schedule)
+    }
+}
+
+/// A malformed chaos spec, with the offending event text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosParseError {
+    /// The event text that failed to parse.
+    pub event: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ChaosParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad chaos event `{}`: {}", self.event, self.message)
+    }
+}
+
+impl std::error::Error for ChaosParseError {}
+
+fn err(event: &str, message: &str) -> ChaosParseError {
+    ChaosParseError {
+        event: event.to_owned(),
+        message: message.to_owned(),
+    }
+}
+
+fn parse_time(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if s == "inf" {
+        return Ok(u64::MAX);
+    }
+    let (digits, scale) = if let Some(d) = s.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (s, 1)
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v.saturating_mul(scale))
+        .map_err(|_| format!("bad time `{s}`"))
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|p| (0.0..=1.0).contains(p))
+        .ok_or_else(|| format!("bad probability `{s}` (want 0..=1)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn blackout_swallows_only_its_window_and_target() {
+        let sched = ChaosSchedule::new().blackout(Some(ip("10.0.0.1")), 1_000, 2_000);
+        let base = FaultProfile::default();
+        assert!(sched.effective(500, ip("10.0.0.1"), base).is_some());
+        assert!(sched.effective(1_000, ip("10.0.0.1"), base).is_none());
+        assert!(sched.effective(1_999, ip("10.0.0.1"), base).is_none());
+        assert!(sched.effective(2_000, ip("10.0.0.1"), base).is_some());
+        // Other destinations are unaffected.
+        assert!(sched.effective(1_500, ip("10.0.0.2"), base).is_some());
+    }
+
+    #[test]
+    fn global_blackout_hits_everyone() {
+        let sched = ChaosSchedule::new().blackout(None, 0, u64::MAX);
+        assert!(sched
+            .effective(123, ip("192.0.2.7"), FaultProfile::default())
+            .is_none());
+    }
+
+    #[test]
+    fn degrade_overrides_only_set_fields() {
+        let over = FaultOverride {
+            loss: Some(0.5),
+            ..FaultOverride::default()
+        };
+        let sched = ChaosSchedule::new().degrade(None, 0, 10, over);
+        let base = FaultProfile {
+            corrupt: 0.25,
+            ..FaultProfile::default()
+        };
+        let eff = sched.effective(5, ip("10.0.0.1"), base).unwrap();
+        assert_eq!(eff.loss, 0.5);
+        assert_eq!(eff.corrupt, 0.25);
+        assert_eq!(eff.latency_us, base.latency_us);
+    }
+
+    #[test]
+    fn flap_alternates_up_and_down() {
+        let sched = ChaosSchedule::new().flap(None, 0, u64::MAX, 1_000, 0.5);
+        let base = FaultProfile::default();
+        let dst = ip("10.0.0.1");
+        assert!(sched.effective(0, dst, base).is_some()); // up phase
+        assert!(sched.effective(499, dst, base).is_some());
+        assert!(sched.effective(500, dst, base).is_none()); // down phase
+        assert!(sched.effective(999, dst, base).is_none());
+        assert!(sched.effective(1_000, dst, base).is_some()); // next period
+    }
+
+    #[test]
+    fn blackout_wins_over_degrade_regardless_of_order() {
+        let over = FaultOverride {
+            loss: Some(0.1),
+            ..FaultOverride::default()
+        };
+        let dst = ip("10.0.0.1");
+        let a = ChaosSchedule::new()
+            .blackout(Some(dst), 0, 10)
+            .degrade(None, 0, 10, over);
+        let b = ChaosSchedule::new()
+            .degrade(None, 0, 10, over)
+            .blackout(Some(dst), 0, 10);
+        assert!(a.effective(5, dst, FaultProfile::default()).is_none());
+        assert!(b.effective(5, dst, FaultProfile::default()).is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_examples() {
+        let sched = ChaosSchedule::parse(
+            "blackout@5s..20s@10.255.1.1; degrade@0..inf@loss=0.15; \
+             flap@10s..60s@10.255.2.1@period=2s,up=0.5",
+        )
+        .unwrap();
+        assert_eq!(sched.windows().len(), 3);
+        assert_eq!(
+            sched.windows()[0],
+            ChaosWindow {
+                start_us: 5_000_000,
+                end_us: 20_000_000,
+                target: Some(ip("10.255.1.1")),
+                event: ChaosEvent::Blackout,
+            }
+        );
+        assert_eq!(
+            sched.windows()[1].event,
+            ChaosEvent::Degrade(FaultOverride {
+                loss: Some(0.15),
+                ..FaultOverride::default()
+            })
+        );
+        assert_eq!(
+            sched.windows()[2].event,
+            ChaosEvent::Flap {
+                period_us: 2_000_000,
+                up_fraction: 0.5,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "blackout",                 // no range
+            "blackout@5s",              // no ..
+            "blackout@20s..5s",         // inverted
+            "meteor@0..1s",             // unknown kind
+            "degrade@0..1s@loss=1.5",   // probability out of range
+            "degrade@0..1s@power=9000", // unknown key
+            "blackout@0..1s@not-an-ip", // bad target
+        ] {
+            assert!(ChaosSchedule::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn degrade_latency_parses_in_milliseconds() {
+        let sched = ChaosSchedule::parse("degrade@0..1s@lat=5-50").unwrap();
+        match sched.windows()[0].event {
+            ChaosEvent::Degrade(over) => {
+                assert_eq!(over.latency_us, Some((5_000, 50_000)));
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod asn;
 pub mod bgp;
+pub mod chaos;
 pub mod clock;
 pub mod history;
 pub mod net;
@@ -30,6 +31,7 @@ pub mod trie;
 
 pub use asn::{AsRegistry, Asn};
 pub use bgp::{Pfx2As, Rib};
+pub use chaos::{ChaosEvent, ChaosParseError, ChaosSchedule, ChaosWindow, FaultOverride};
 pub use clock::{Date, Day};
 pub use history::{OriginChange, RibHistory};
 pub use net::{FaultProfile, Network, NetworkStats, RecvError, Socket};

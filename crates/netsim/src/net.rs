@@ -13,6 +13,7 @@
 //! the socket's virtual clock. This mirrors smoltcp's poll-driven style and
 //! its fault-injecting example devices (`--drop-chance`, `--corrupt-chance`).
 
+use crate::chaos::ChaosSchedule;
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -93,6 +94,8 @@ pub struct NetworkStats {
     pub delivered: AtomicU64,
     /// Requests that reached no registered service.
     pub unroutable: AtomicU64,
+    /// Legs swallowed by a scripted chaos blackout (or flap down-phase).
+    pub blackholed: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetworkStats`].
@@ -110,6 +113,8 @@ pub struct StatsSnapshot {
     pub delivered: u64,
     /// See [`NetworkStats::unroutable`].
     pub unroutable: u64,
+    /// See [`NetworkStats::blackholed`].
+    pub blackholed: u64,
 }
 
 impl NetworkStats {
@@ -122,6 +127,7 @@ impl NetworkStats {
             duplicated: self.duplicated.load(Ordering::Relaxed),
             delivered: self.delivered.load(Ordering::Relaxed),
             unroutable: self.unroutable.load(Ordering::Relaxed),
+            blackholed: self.blackholed.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,12 +137,16 @@ impl NetworkStats {
 pub enum RecvError {
     /// Nothing arrived before the virtual deadline.
     Timeout,
+    /// An ICMP-style port-unreachable notice came back from this address:
+    /// the request leg survived the wire but no service is bound there.
+    Unreachable(IpAddr),
 }
 
 impl fmt::Display for RecvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Timeout => write!(f, "receive timed out"),
+            Self::Unreachable(addr) => write!(f, "destination {addr} unreachable"),
         }
     }
 }
@@ -147,6 +157,7 @@ impl std::error::Error for RecvError {}
 pub struct Network {
     services: RwLock<HashMap<IpAddr, Handler>>,
     faults: RwLock<FaultProfile>,
+    chaos: RwLock<Option<Arc<ChaosSchedule>>>,
     stats: NetworkStats,
     seed: u64,
 }
@@ -166,6 +177,7 @@ impl Network {
         Arc::new(Self {
             services: RwLock::new(HashMap::new()),
             faults: RwLock::new(FaultProfile::default()),
+            chaos: RwLock::new(None),
             stats: NetworkStats::default(),
             seed,
         })
@@ -179,6 +191,27 @@ impl Network {
     /// Current fault profile.
     pub fn faults(&self) -> FaultProfile {
         *self.faults.read()
+    }
+
+    /// Installs a scripted chaos schedule, layered on the base fault
+    /// profile and evaluated against each sending socket's virtual clock.
+    pub fn set_chaos(&self, schedule: ChaosSchedule) {
+        *self.chaos.write() = Some(Arc::new(schedule));
+    }
+
+    /// Removes any installed chaos schedule.
+    pub fn clear_chaos(&self) {
+        *self.chaos.write() = None;
+    }
+
+    /// The installed chaos schedule, if any.
+    pub fn chaos(&self) -> Option<Arc<ChaosSchedule>> {
+        self.chaos.read().clone()
+    }
+
+    /// The seed this network (and its sockets' RNG streams) derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Registers a service at `addr`, replacing any previous one.
@@ -223,7 +256,8 @@ impl Network {
 }
 
 /// A pending delivery: ordered by virtual arrival time, then send order.
-type Delivery = Reverse<(u64, u64, IpAddr, Vec<u8>)>;
+/// A `None` payload is an ICMP-style port-unreachable notice.
+type Delivery = Reverse<(u64, u64, IpAddr, Option<Vec<u8>>)>;
 
 /// A client UDP socket with a private virtual clock.
 pub struct Socket {
@@ -277,46 +311,88 @@ impl Socket {
     }
 
     /// Sends `payload` to `dst`. Any responses are scheduled into this
-    /// socket's inbox with simulated round-trip latency.
+    /// socket's inbox with simulated round-trip latency. An installed
+    /// [`ChaosSchedule`] is consulted per leg — the request leg at the
+    /// current clock, the response leg at its (virtual) server-arrival
+    /// time — so scripted windows cut exchanges mid-flight.
     pub fn send_to(&mut self, dst: IpAddr, payload: &[u8]) {
-        let profile = self.net.faults();
+        let base = self.net.faults();
+        let chaos = self.net.chaos();
         self.net.stats.sent.fetch_add(1, Ordering::Relaxed);
 
-        let requests = self.leg_faults(payload, &profile);
+        let effective = |at: u64| -> Option<FaultProfile> {
+            match &chaos {
+                Some(sched) => sched.effective(at, dst, base),
+                None => Some(base),
+            }
+        };
+        let Some(req_profile) = effective(self.now_us) else {
+            self.net.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let requests = self.leg_faults(payload, &req_profile);
         if requests.is_empty() {
             return;
         }
         let handler = self.net.services.read().get(&dst).cloned();
         let Some(handler) = handler else {
+            // No service bound: the host's stack answers with an ICMP
+            // port-unreachable notice after a round trip (unless a chaos
+            // window swallows the return path too).
             self.net.stats.unroutable.fetch_add(1, Ordering::Relaxed);
+            for (_, req_lat) in requests {
+                if effective(self.now_us + req_lat).is_none() {
+                    self.net.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let arrive = self.now_us + req_lat * 2;
+                self.seq += 1;
+                self.inbox.push(Reverse((arrive, self.seq, dst, None)));
+            }
             return;
         };
         for (req, req_lat) in requests {
             let Some(resp) = handler(self.src, &req) else {
                 continue;
             };
-            for (resp_data, resp_lat) in self.leg_faults(&resp, &profile) {
+            let Some(resp_profile) = effective(self.now_us + req_lat) else {
+                self.net.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            for (resp_data, resp_lat) in self.leg_faults(&resp, &resp_profile) {
                 let arrive = self.now_us + req_lat + resp_lat;
                 self.seq += 1;
-                self.inbox.push(Reverse((arrive, self.seq, dst, resp_data)));
+                self.inbox
+                    .push(Reverse((arrive, self.seq, dst, Some(resp_data))));
                 self.net.stats.delivered.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
     /// Receives the next datagram, advancing the virtual clock to its
-    /// arrival time, or to `now + timeout_us` on timeout.
+    /// arrival time, or to `now + timeout_us` on timeout. An unreachable
+    /// notice surfaces as [`RecvError::Unreachable`] at its arrival time —
+    /// earlier than the deadline, like a real ICMP fast-fail.
     pub fn recv(&mut self, timeout_us: u64) -> Result<(IpAddr, Vec<u8>), RecvError> {
         let deadline = self.now_us + timeout_us;
         if let Some(Reverse((arrive, _, _, _))) = self.inbox.peek() {
             if *arrive <= deadline {
                 let Reverse((arrive, _, from, data)) = self.inbox.pop().expect("peeked");
                 self.now_us = self.now_us.max(arrive);
-                return Ok((from, data));
+                return match data {
+                    Some(data) => Ok((from, data)),
+                    None => Err(RecvError::Unreachable(from)),
+                };
             }
         }
         self.now_us = deadline;
         Err(RecvError::Timeout)
+    }
+
+    /// Advances the virtual clock by `dt_us` without touching the wire
+    /// (a backoff pause between retry attempts).
+    pub fn sleep(&mut self, dt_us: u64) {
+        self.now_us += dt_us;
     }
 
     /// Discards everything still in flight toward this socket (used between
@@ -354,13 +430,109 @@ mod tests {
     }
 
     #[test]
-    fn unbound_destination_times_out() {
+    fn unbound_destination_fast_fails_with_unreachable() {
         let net = echo_network(1);
         let mut sock = client(&net);
+        let dst: IpAddr = "203.0.113.9".parse().unwrap();
+        sock.send_to(dst, b"ping");
+        assert_eq!(sock.recv(100_000), Err(RecvError::Unreachable(dst)));
+        // The notice arrives after one round trip (≤ 2 × 20 ms), well
+        // before the deadline — an ICMP-style fast failure.
+        assert!(sock.now_us() < 100_000, "now={}", sock.now_us());
+        assert_eq!(net.stats().snapshot().unroutable, 1);
+    }
+
+    #[test]
+    fn blacked_out_unbound_destination_stays_silent() {
+        use crate::chaos::ChaosSchedule;
+        let net = echo_network(1);
+        net.set_chaos(ChaosSchedule::new().blackout(None, 0, u64::MAX));
+        let mut sock = client(&net);
         sock.send_to("203.0.113.9".parse().unwrap(), b"ping");
+        // Blackout swallows the request before it can bounce.
         assert_eq!(sock.recv(50_000), Err(RecvError::Timeout));
         assert_eq!(sock.now_us(), 50_000);
-        assert_eq!(net.stats().snapshot().unroutable, 1);
+        assert_eq!(net.stats().snapshot().blackholed, 1);
+    }
+
+    #[test]
+    fn chaos_blackout_window_silences_and_releases() {
+        use crate::chaos::ChaosSchedule;
+        let net = echo_network(6);
+        let dst: IpAddr = "192.0.2.1".parse().unwrap();
+        net.set_chaos(ChaosSchedule::new().blackout(Some(dst), 0, 1_000_000));
+        let mut sock = client(&net);
+        sock.send_to(dst, b"ping");
+        assert_eq!(sock.recv(2_000_000), Err(RecvError::Timeout));
+        assert_eq!(net.stats().snapshot().blackholed, 1);
+        // The clock advanced past the window; the server is back.
+        assert!(sock.now_us() >= 1_000_000);
+        sock.send_to(dst, b"ping");
+        assert!(sock.recv(2_000_000).is_ok());
+    }
+
+    #[test]
+    fn chaos_degrade_burst_applies_loss_inside_window_only() {
+        use crate::chaos::{ChaosSchedule, FaultOverride};
+        let net = echo_network(7);
+        let dst: IpAddr = "192.0.2.1".parse().unwrap();
+        net.set_chaos(ChaosSchedule::new().degrade(
+            Some(dst),
+            0,
+            1_000_000,
+            FaultOverride {
+                loss: Some(1.0),
+                ..FaultOverride::default()
+            },
+        ));
+        let mut sock = client(&net);
+        sock.send_to(dst, b"ping");
+        assert_eq!(sock.recv(2_000_000), Err(RecvError::Timeout));
+        assert!(net.stats().snapshot().dropped >= 1);
+        sock.send_to(dst, b"ping");
+        assert!(sock.recv(2_000_000).is_ok(), "burst should have ended");
+    }
+
+    #[test]
+    fn chaos_runs_are_seed_reproducible() {
+        use crate::chaos::{ChaosSchedule, FaultOverride};
+        let run = |seed: u64| -> Vec<(bool, u64)> {
+            let net = echo_network(seed);
+            net.set_faults(FaultProfile::lossy());
+            net.set_chaos(
+                ChaosSchedule::new()
+                    .blackout(None, 300_000, 600_000)
+                    .degrade(
+                        None,
+                        600_000,
+                        2_000_000,
+                        FaultOverride {
+                            loss: Some(0.5),
+                            ..FaultOverride::default()
+                        },
+                    ),
+            );
+            let mut sock = client(&net);
+            let mut trace = Vec::new();
+            for _ in 0..40 {
+                sock.send_to("192.0.2.1".parse().unwrap(), b"probe");
+                let got = sock.recv(100_000).is_ok();
+                trace.push((got, sock.now_us()));
+                sock.drain();
+            }
+            trace
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(1042));
+    }
+
+    #[test]
+    fn sleep_advances_the_clock_without_sending() {
+        let net = echo_network(8);
+        let mut sock = client(&net);
+        sock.sleep(123_456);
+        assert_eq!(sock.now_us(), 123_456);
+        assert_eq!(net.stats().snapshot().sent, 0);
     }
 
     #[test]

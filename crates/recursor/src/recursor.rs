@@ -22,7 +22,8 @@ use crate::clock::SharedClock;
 use crate::infra::InfraCache;
 use crate::scheduler::ServerGate;
 use crate::singleflight::Singleflight;
-use dps_authdns::resolver::{Resolution, ResolveError, Resolver, ResolverConfig};
+use dps_authdns::health::{HealthConfig, HealthTracker};
+use dps_authdns::resolver::{FailureCause, Resolution, ResolveError, Resolver, ResolverConfig};
 use dps_dns::{Message, Name, RData, Rcode, Record, RrType};
 use dps_netsim::{Day, Network};
 use std::net::IpAddr;
@@ -33,7 +34,8 @@ use std::sync::Arc;
 /// Tunables for the whole service.
 #[derive(Debug, Clone, Copy)]
 pub struct RecursorConfig {
-    /// Wire policy: per-attempt timeout, retries, loop guards.
+    /// Wire policy: per-attempt timeout, retries, loop guards, backoff,
+    /// hedging.
     pub resolver: ResolverConfig,
     /// Answer-cache sizing and negative-TTL fallback.
     pub cache: CacheConfig,
@@ -41,6 +43,8 @@ pub struct RecursorConfig {
     pub infra_capacity: usize,
     /// Concurrent in-flight exchanges allowed per authoritative server.
     pub max_inflight_per_server: u32,
+    /// Per-nameserver circuit-breaker policy, shared across workers.
+    pub health: HealthConfig,
 }
 
 impl Default for RecursorConfig {
@@ -50,6 +54,7 @@ impl Default for RecursorConfig {
             cache: CacheConfig::default(),
             infra_capacity: 10_000,
             max_inflight_per_server: 4,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -69,6 +74,31 @@ pub struct RecursorStats {
     pub retries: u64,
     /// Descents that started below the root thanks to the infra cache.
     pub infra_starts: u64,
+    /// Network resolutions that failed with silence until the deadline.
+    pub failed_timeout: u64,
+    /// Network resolutions that failed with ICMP-style unreachable.
+    pub failed_unreachable: u64,
+    /// Network resolutions that failed on corrupt/invalid replies.
+    pub failed_corrupt: u64,
+    /// Network resolutions that failed with an error RCODE.
+    pub failed_servfail: u64,
+    /// Network resolutions that failed for structural reasons.
+    pub failed_other: u64,
+    /// Hedge datagrams sent for straggling exchanges.
+    pub hedges: u64,
+    /// Circuit-breaker trips across all tracked servers.
+    pub breaker_trips: u64,
+}
+
+impl RecursorStats {
+    /// Failed network resolutions across every cause.
+    pub fn failed_total(&self) -> u64 {
+        self.failed_timeout
+            + self.failed_unreachable
+            + self.failed_corrupt
+            + self.failed_servfail
+            + self.failed_other
+    }
 }
 
 impl Sub for RecursorStats {
@@ -81,6 +111,13 @@ impl Sub for RecursorStats {
             coalesced: self.coalesced - rhs.coalesced,
             retries: self.retries - rhs.retries,
             infra_starts: self.infra_starts - rhs.infra_starts,
+            failed_timeout: self.failed_timeout - rhs.failed_timeout,
+            failed_unreachable: self.failed_unreachable - rhs.failed_unreachable,
+            failed_corrupt: self.failed_corrupt - rhs.failed_corrupt,
+            failed_servfail: self.failed_servfail - rhs.failed_servfail,
+            failed_other: self.failed_other - rhs.failed_other,
+            hedges: self.hedges - rhs.hedges,
+            breaker_trips: self.breaker_trips - rhs.breaker_trips,
         }
     }
 }
@@ -93,6 +130,25 @@ struct AtomicStats {
     coalesced: AtomicU64,
     retries: AtomicU64,
     infra_starts: AtomicU64,
+    failed_timeout: AtomicU64,
+    failed_unreachable: AtomicU64,
+    failed_corrupt: AtomicU64,
+    failed_servfail: AtomicU64,
+    failed_other: AtomicU64,
+    hedges: AtomicU64,
+}
+
+impl AtomicStats {
+    fn record_failure_cause(&self, cause: FailureCause) {
+        let counter = match cause {
+            FailureCause::Timeout => &self.failed_timeout,
+            FailureCause::Unreachable => &self.failed_unreachable,
+            FailureCause::Corrupt => &self.failed_corrupt,
+            FailureCause::ServerFailure => &self.failed_servfail,
+            FailureCause::Other => &self.failed_other,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 struct Shared {
@@ -103,7 +159,29 @@ struct Shared {
     flight: Singleflight<(Name, RrType), Result<Resolution, ResolveError>>,
     clock: SharedClock,
     gate: ServerGate,
+    health: Arc<HealthTracker>,
     stats: AtomicStats,
+}
+
+impl Shared {
+    fn stats_snapshot(&self) -> RecursorStats {
+        let s = &self.stats;
+        RecursorStats {
+            queries: s.queries.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            infra_starts: s.infra_starts.load(Ordering::Relaxed),
+            failed_timeout: s.failed_timeout.load(Ordering::Relaxed),
+            failed_unreachable: s.failed_unreachable.load(Ordering::Relaxed),
+            failed_corrupt: s.failed_corrupt.load(Ordering::Relaxed),
+            failed_servfail: s.failed_servfail.load(Ordering::Relaxed),
+            failed_other: s.failed_other.load(Ordering::Relaxed),
+            hedges: s.hedges.load(Ordering::Relaxed),
+            breaker_trips: self.health.trips(),
+        }
+    }
 }
 
 /// The shared caching-recursor service. Cloning is cheap (an `Arc` bump);
@@ -123,6 +201,7 @@ impl Recursor {
                 flight: Singleflight::new(),
                 clock: SharedClock::new(),
                 gate: ServerGate::new(config.max_inflight_per_server),
+                health: Arc::new(HealthTracker::new(config.health)),
                 stats: AtomicStats::default(),
                 config,
                 root_hints,
@@ -133,7 +212,8 @@ impl Recursor {
     /// Opens a worker bound to its own deterministic netsim stream.
     pub fn worker(&self, net: &Arc<Network>, src: IpAddr, stream: u64) -> RecursorWorker {
         let resolver = Resolver::new(net, src, stream, self.shared.root_hints.clone())
-            .with_config(self.shared.config.resolver);
+            .with_config(self.shared.config.resolver)
+            .with_health(Arc::clone(&self.shared.health));
         let day_anchor_us = self.shared.clock.day_start_us();
         let socket_anchor_us = resolver.now_us();
         RecursorWorker {
@@ -165,17 +245,14 @@ impl Recursor {
         &self.shared.infra
     }
 
+    /// The shared per-nameserver health tracker.
+    pub fn health(&self) -> &Arc<HealthTracker> {
+        &self.shared.health
+    }
+
     /// Counter snapshot across all workers.
     pub fn stats(&self) -> RecursorStats {
-        let s = &self.shared.stats;
-        RecursorStats {
-            queries: s.queries.load(Ordering::Relaxed),
-            cache_hits: s.cache_hits.load(Ordering::Relaxed),
-            cache_misses: s.cache_misses.load(Ordering::Relaxed),
-            coalesced: s.coalesced.load(Ordering::Relaxed),
-            retries: s.retries.load(Ordering::Relaxed),
-            infra_starts: s.infra_starts.load(Ordering::Relaxed),
-        }
+        self.shared.stats_snapshot()
     }
 }
 
@@ -203,9 +280,15 @@ impl RecursorWorker {
         shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 
         let key = (qname.clone(), qtype);
-        let (result, coalesced) = shared
-            .flight
-            .run(key, || self.resolve_network(qname, qtype));
+        let (result, coalesced) = shared.flight.run(key, || {
+            let r = self.resolve_network(qname, qtype);
+            if let Err(e) = &r {
+                // Leader-only: one count per network resolution, not per
+                // coalesced waiter.
+                shared.stats.record_failure_cause(e.cause());
+            }
+            r
+        });
         if coalesced {
             shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
         }
@@ -215,6 +298,17 @@ impl RecursorWorker {
     /// UDP queries this worker's socket has sent.
     pub fn queries_sent(&self) -> u64 {
         self.resolver.queries_sent()
+    }
+
+    /// Service-wide counter snapshot (shared across all workers).
+    pub fn service_stats(&self) -> RecursorStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// Advances this worker's socket clock without sending — a pause
+    /// between supervised retry passes (lets scripted outages end).
+    pub fn sleep_us(&mut self, dt_us: u64) {
+        self.resolver.sleep_us(dt_us);
     }
 
     /// Full resolution over the network (the singleflight leader's path).
@@ -486,7 +580,10 @@ impl RecursorWorker {
     }
 
     /// `Resolver`-style retry/failover over `servers`, one gated validated
-    /// exchange at a time.
+    /// exchange at a time. Server order consults the shared circuit
+    /// breakers; retry rounds back off exponentially (if configured); a
+    /// straggling exchange hedges onto the next candidate when that
+    /// server's politeness gate has a free slot.
     fn query_gated(
         &mut self,
         servers: &[IpAddr],
@@ -494,21 +591,46 @@ impl RecursorWorker {
         qtype: RrType,
     ) -> Result<Message, ResolveError> {
         let shared = Arc::clone(&self.shared);
+        let hedging = shared.config.resolver.hedge_after_us > 0;
         let mut last_err = ResolveError::Timeout;
         let mut attempts = 0u64;
-        for _ in 0..shared.config.resolver.retries.max(1) {
-            for &server in servers {
+        for round in 0..shared.config.resolver.retries.max(1) {
+            self.resolver.backoff_sleep(round);
+            let ordered = shared.health.order(servers, shared.clock.now_us());
+            for (i, &server) in ordered.iter().enumerate() {
                 if attempts > 0 {
                     shared.stats.retries.fetch_add(1, Ordering::Relaxed);
                 }
                 attempts += 1;
+                let hedges_before = self.resolver.hedges_sent();
                 let exchanged = {
                     let _permit = shared.gate.acquire(server);
-                    self.resolver.exchange(server, qname, qtype)
+                    // Hedge only onto a candidate with a free politeness
+                    // slot; never block on a second permit (deadlock-free:
+                    // each worker blocks on at most its primary).
+                    let hedge_permit = if hedging {
+                        ordered
+                            .get(i + 1)
+                            .and_then(|&h| shared.gate.try_acquire(h).map(|p| (h, p)))
+                    } else {
+                        None
+                    };
+                    let hedge = hedge_permit.as_ref().map(|&(h, _)| h);
+                    self.resolver.exchange_hedged(server, hedge, qname, qtype)
                 };
+                let hedged = self.resolver.hedges_sent() - hedges_before;
+                if hedged > 0 {
+                    shared.stats.hedges.fetch_add(hedged, Ordering::Relaxed);
+                }
                 match exchanged {
-                    Ok(m) => return Ok(m),
-                    Err(e) => last_err = e,
+                    Ok(out) => {
+                        shared.health.record_success(out.responder);
+                        return Ok(out.message);
+                    }
+                    Err(e) => {
+                        shared.health.record_failure(server, shared.clock.now_us());
+                        last_err = e;
+                    }
                 }
             }
         }

@@ -50,6 +50,21 @@ impl ServerGate {
         }
     }
 
+    /// Claims a slot for `server` only if one is free right now — never
+    /// blocks. Used for hedged second attempts, which must not introduce
+    /// a second *blocking* permit acquisition (deadlock risk) and are
+    /// worthless if the hedge target is already saturated.
+    pub fn try_acquire(&self, server: IpAddr) -> Option<ServerPermit<'_>> {
+        let mut counts = self.counts.lock();
+        let inflight = counts.entry(server).or_insert(0);
+        if *inflight < self.limit {
+            *inflight += 1;
+            Some(ServerPermit { gate: self, server })
+        } else {
+            None
+        }
+    }
+
     /// In-flight exchanges against `server` right now.
     pub fn inflight(&self, server: IpAddr) -> u32 {
         self.counts.lock().get(&server).copied().unwrap_or(0)
@@ -92,6 +107,20 @@ pub struct SweepReport {
     pub retries: u64,
     /// Questions that ended in a resolution error.
     pub errors: u64,
+    /// Network resolutions failed by silence until the deadline.
+    pub failed_timeout: u64,
+    /// Network resolutions failed by ICMP-style unreachable.
+    pub failed_unreachable: u64,
+    /// Network resolutions failed on corrupt/invalid replies.
+    pub failed_corrupt: u64,
+    /// Network resolutions failed with an error RCODE.
+    pub failed_servfail: u64,
+    /// Network resolutions failed for structural reasons.
+    pub failed_other: u64,
+    /// Hedge datagrams sent for straggling exchanges.
+    pub hedges: u64,
+    /// Circuit-breaker trips during the sweep.
+    pub breaker_trips: u64,
 }
 
 impl SweepReport {
@@ -113,6 +142,13 @@ impl SweepReport {
             packets_sent: packets,
             retries: stats.retries,
             errors,
+            failed_timeout: stats.failed_timeout,
+            failed_unreachable: stats.failed_unreachable,
+            failed_corrupt: stats.failed_corrupt,
+            failed_servfail: stats.failed_servfail,
+            failed_other: stats.failed_other,
+            hedges: stats.hedges,
+            breaker_trips: stats.breaker_trips,
         }
     }
 }

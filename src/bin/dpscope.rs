@@ -20,9 +20,14 @@
 //! ```
 
 use dps_bench::experiments::{experiment_ids, run, Context, ExperimentConfig};
-use dps_scope::authdns::Resolver;
+use dps_scope::authdns::{HealthConfig, HealthTracker, Resolver, ResolverConfig};
+use dps_scope::measure::collector::{SldInterner, WirePath};
+use dps_scope::measure::pipeline::sweep_with_path_supervised;
+use dps_scope::measure::{SupervisorConfig, QUALITY_SOURCE};
+use dps_scope::netsim::ChaosSchedule;
 use dps_scope::prelude::*;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 struct CommonArgs {
     seed: u64,
@@ -35,6 +40,7 @@ struct CommonArgs {
     archive: Option<PathBuf>,
     source: Option<u8>,
     cols: Option<Vec<String>>,
+    chaos: Option<String>,
     rest: Vec<String>,
 }
 
@@ -45,10 +51,13 @@ fn usage() -> ! {
          commands:\n\
            simulate   export zone files, pfx2as and AS registry for --day\n\
            measure    run the full study, save the archive to --archive\n\
-                      (resumes from the last committed day if interrupted)\n\
+                      (resumes from the last committed day if interrupted;\n\
+                      with --chaos, sweeps over the wire under supervision)\n\
            analyze    regenerate tables/figures (ids or 'all') from --archive\n\
            dig        resolve <name> <type> through the simulated Internet\n\
+                      (+tries=N and +timeout=MS tune the wire resolver)\n\
            store      inspect a single-file archive: store <info|verify|cat> <path>\n\
+                      (info includes the per-day data-quality summary)\n\
          \n\
          options:\n\
            --seed N       world seed           (default 2016)\n\
@@ -61,6 +70,9 @@ fn usage() -> ! {
            --archive DIR  measurement archive directory\n\
            --source N     store cat: source id (0=com 1=net 2=org 3=nl 4=alexa)\n\
            --cols A,B     store cat: project these columns only\n\
+           --chaos SPEC   measure: sweep over the simulated wire under a\n\
+                          scripted fault schedule, e.g.\n\
+                          'degrade@0..inf@loss=0.15; blackout@5s..20s@10.0.0.1'\n\
          \n\
          analyze ids: {}",
         experiment_ids().join(", ")
@@ -80,6 +92,7 @@ fn parse_args(args: &[String]) -> CommonArgs {
         archive: None,
         source: None,
         cols: None,
+        chaos: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -113,6 +126,7 @@ fn parse_args(args: &[String]) -> CommonArgs {
                         .collect(),
                 )
             }
+            "--chaos" => common.chaos = Some(value("--chaos").to_string()),
             "-h" | "--help" => usage(),
             other => common.rest.push(other.to_string()),
         }
@@ -182,6 +196,14 @@ fn cmd_measure(args: CommonArgs) {
     );
     std::fs::create_dir_all(&archive).expect("create archive dir");
     let path = archive.join(dps_scope::measure::ARCHIVE_FILE);
+    if let Some(spec) = &args.chaos {
+        let schedule = ChaosSchedule::parse(spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage();
+        });
+        cmd_measure_chaos(&args, &mut world, &path, schedule);
+        return;
+    }
     // Streams each finished day into the single-file archive with a
     // durable footer per day: a killed sweep resumes where it left off.
     let store = Study::new(StudyConfig {
@@ -191,6 +213,73 @@ fn cmd_measure(args: CommonArgs) {
     })
     .run_archived(&mut world, &path)
     .expect("archived study");
+    println!(
+        "archived {} to {}",
+        dps_scope::core::report::human_bytes(store.total_stored_bytes()),
+        path.display()
+    );
+}
+
+/// `dpscope measure --chaos SPEC`: sweep every due source over the
+/// simulated wire while the scripted fault schedule plays out, under the
+/// supervisor (backoff, breakers, dead-letter retries). Each day gets a
+/// fresh network whose virtual clock starts at zero, so the schedule
+/// describes faults *within* a day and replays identically every day.
+fn cmd_measure_chaos(
+    args: &CommonArgs,
+    world: &mut World,
+    path: &std::path::Path,
+    schedule: ChaosSchedule,
+) {
+    let mut store = SnapshotStore::new();
+    let mut interner = SldInterner::new();
+    let supervisor = SupervisorConfig::default();
+    let mut day = 0u32;
+    while day < args.days {
+        world.advance_to(Day(day));
+        let net = Network::new(args.seed.wrapping_add(u64::from(day)));
+        net.set_chaos(schedule.clone());
+        let catalog = world.materialize(&net);
+        let health = Arc::new(HealthTracker::new(HealthConfig::default()));
+        let resolver = Resolver::new(
+            &net,
+            "172.16.0.53".parse().unwrap(),
+            u64::from(day),
+            catalog.root_hints(),
+        )
+        .with_config(ResolverConfig::resilient())
+        .with_health(health);
+        let mut wire = WirePath::new(resolver);
+        let mut due = vec![Source::Com, Source::Net, Source::Org];
+        if day >= args.cc_start {
+            due.push(Source::Nl);
+            due.push(Source::Alexa);
+        }
+        for source in due {
+            let q = sweep_with_path_supervised(
+                world,
+                &mut wire,
+                source,
+                day,
+                &mut store,
+                &mut interner,
+                &supervisor,
+            );
+            println!(
+                "day {day:>4} {:<8} coverage {:>6.2}%  attempted {:>6}  unresolved {:>4}  \
+                 recovered {:>4}  trips {:>3}  hedges {:>4}",
+                source.label(),
+                100.0 * q.coverage(),
+                q.attempted,
+                q.failed,
+                q.recovered,
+                q.breaker_trips,
+                q.hedges,
+            );
+        }
+        day += args.stride.max(1);
+    }
+    store.save_archive(path).expect("save chaos archive");
     println!(
         "archived {} to {}",
         dps_scope::core::report::human_bytes(store.total_stored_bytes()),
@@ -231,7 +320,9 @@ fn cmd_store(args: CommonArgs) {
                 "source", "days", "first..last", "data points", "stored", "raw"
             );
             for (source, st) in catalog.stats().iter().enumerate() {
-                if st.days == 0 {
+                // Quality pages are bookkeeping, not observations; they get
+                // their own summary below instead of a data row here.
+                if st.days == 0 || source == usize::from(QUALITY_SOURCE) {
                     continue;
                 }
                 println!(
@@ -245,6 +336,31 @@ fn cmd_store(args: CommonArgs) {
                     dps_scope::core::report::human_bytes(st.raw_bytes)
                 );
             }
+            // Per-day sweep quality (coverage, retries, masked days), read
+            // from the archive's QUALITY_SOURCE pages.
+            let mut quality_store = SnapshotStore::new();
+            for &(day, source) in archive.catalog().pages.keys() {
+                if source != QUALITY_SOURCE {
+                    continue;
+                }
+                let table = archive
+                    .table(day, source)
+                    .expect("catalog-listed page reads")
+                    .expect("catalog-listed page exists");
+                for q in dps_scope::measure::decode_qualities(&table).expect("quality page decodes")
+                {
+                    quality_store.add_quality(q);
+                }
+            }
+            let mask = dps_scope::core::QualityMask::from_store(
+                &quality_store,
+                dps_scope::core::DEFAULT_MIN_COVERAGE,
+            );
+            println!();
+            println!(
+                "{}",
+                dps_scope::core::report::quality_summary(&quality_store, &mask)
+            );
         }
         "verify" => {
             let report = archive.verify().unwrap_or_else(|e| {
@@ -329,12 +445,40 @@ fn cmd_analyze(args: CommonArgs) {
 }
 
 fn cmd_dig(args: CommonArgs) {
-    if args.rest.len() < 2 {
+    // dig-style +key=value options ride along in the positional list.
+    let mut config = ResolverConfig::default();
+    let mut positional = Vec::new();
+    for arg in &args.rest {
+        if let Some(opt) = arg.strip_prefix('+') {
+            match opt.split_once('=') {
+                Some(("tries", v)) => {
+                    config.retries = v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad +tries value {v:?}");
+                        usage();
+                    })
+                }
+                Some(("timeout", v)) => {
+                    let ms: u64 = v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad +timeout value {v:?} (milliseconds)");
+                        usage();
+                    });
+                    config.attempt_timeout_us = ms.saturating_mul(1_000);
+                }
+                _ => {
+                    eprintln!("unknown dig option +{opt} (want +tries=N, +timeout=MS)");
+                    usage();
+                }
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    if positional.len() < 2 {
         eprintln!("dig requires <name> <type>");
         usage();
     }
-    let qname: Name = args.rest[0].parse().expect("valid name");
-    let qtype: RrType = args.rest[1].parse().expect("valid RR type");
+    let qname: Name = positional[0].parse().expect("valid name");
+    let qtype: RrType = positional[1].parse().expect("valid RR type");
     let world = world_for(&args);
     let net = Network::new(args.seed);
     let catalog = world.materialize(&net);
@@ -343,7 +487,8 @@ fn cmd_dig(args: CommonArgs) {
         "172.16.0.53".parse().unwrap(),
         0,
         catalog.root_hints(),
-    );
+    )
+    .with_config(config);
     println!("; <<>> dpscope dig <<>> {qname} {qtype} @day {}", args.day);
     match resolver.resolve(&qname, qtype) {
         Ok(res) => {
@@ -355,7 +500,7 @@ fn cmd_dig(args: CommonArgs) {
                 println!("{rec}");
             }
         }
-        Err(e) => println!(";; resolution failed: {e}"),
+        Err(e) => println!(";; resolution failed: {e} (cause: {})", e.cause().label()),
     }
 }
 

@@ -52,13 +52,16 @@ pub use dps_store as store;
 
 /// The things almost every user needs, in one import.
 pub mod prelude {
+    pub use dps_authdns::{HealthConfig, HealthTracker};
     pub use dps_core::discovery::{discover, seeds_from_registry, DiscoveryConfig};
     pub use dps_core::growth::{analyze as growth_analyze, GrowthConfig};
-    pub use dps_core::{CompiledRefs, ProviderRefs, ScanOutput, Scanner};
+    pub use dps_core::{CompiledRefs, ProviderRefs, QualityMask, ScanOutput, Scanner};
     pub use dps_dns::{Message, Name, Question, RData, Rcode, Record, RrType};
     pub use dps_ecosystem::{Diversion, DomainId, ScenarioParams, Tld, World};
-    pub use dps_measure::{SnapshotStore, Source, Study, StudyConfig};
-    pub use dps_netsim::{Day, FaultProfile, Network, Prefix};
+    pub use dps_measure::{
+        DayQuality, SnapshotStore, Source, Study, StudyConfig, SupervisorConfig,
+    };
+    pub use dps_netsim::{ChaosSchedule, Day, FaultProfile, Network, Prefix};
     pub use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
     pub use dps_store::{Archive, ArchiveWriter, ScanQuery};
 }

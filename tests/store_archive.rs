@@ -80,7 +80,9 @@ fn aborted_sweep_resumes_byte_identically() {
     let archive = Archive::open(&resumed_path).unwrap();
     let report = archive.verify().unwrap();
     assert!(report.all_ok(), "corrupt pages: {:?}", report.corrupt);
-    assert_eq!(report.pages, 3 * DAYS as usize + 2 * (DAYS - CC) as usize);
+    // Three gTLD pages per day, two more per cc/Alexa day, plus one
+    // quality page per measured day.
+    assert_eq!(report.pages, 4 * DAYS as usize + 2 * (DAYS - CC) as usize);
 
     // And the stores the two runs returned agree exactly.
     for source in dps_scope::measure::SOURCES {
@@ -136,8 +138,9 @@ fn projected_scan_decodes_fewer_bytes() {
     let before = archive.counters();
     let one_day = archive.scan(&ScanQuery::all().days(3, 3)).unwrap();
     let pruned_pass = archive.counters().since(&before);
-    assert_eq!(one_day.len(), 3, "gTLD sources only before cc start");
-    assert_eq!(pruned_pass.pages_decoded, 3);
+    // Before cc start a day holds 3 gTLD data pages plus its quality page.
+    assert_eq!(one_day.len(), 4, "gTLD sources + quality before cc start");
+    assert_eq!(pruned_pass.pages_decoded, 4);
 
     std::fs::remove_file(&path).ok();
 }
