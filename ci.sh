@@ -1,7 +1,12 @@
 #!/usr/bin/env sh
-# Repository CI gate: formatting, lints, then the tier-1 build + test run.
-# Everything runs offline against the vendored dependency stand-ins.
-# `./ci.sh chaos-smoke` runs only the chaos determinism smoke step.
+# Repository CI gate: formatting, lints, static analysis, then the tier-1
+# build + test run. Everything runs offline against the vendored
+# dependency stand-ins.
+#
+# Subcommands (run one step alone):
+#   ./ci.sh chaos-smoke       chaos determinism smoke only
+#   ./ci.sh analyze           dps-analyzer over the workspace (must be clean)
+#   ./ci.sh analyze-fixtures  known-bad corpus must still fail, good must pass
 set -eu
 
 cd "$(dirname "$0")"
@@ -23,18 +28,50 @@ chaos_smoke() {
     rm -rf target/ci-chaos-a target/ci-chaos-b
 }
 
-if [ "${1:-}" = "chaos-smoke" ]; then
+# Workspace-native static analysis: determinism, panic-safety and hygiene
+# invariants must hold (waivers need written reasons). --deny promotes
+# warnings (e.g. stale waivers) to failures so CI stays tidy.
+analyze() {
+    echo "==> dps-analyzer --deny (workspace invariants)"
+    cargo run --release --offline -q -p dps-analyzer -- --root . --deny
+}
+
+# Negative check: every bad fixture must still fire its annotated rules,
+# every good fixture must stay clean. Guards the analyzer itself against
+# silently losing its teeth.
+analyze_fixtures() {
+    echo "==> dps-analyzer --check-fixtures (rules still bite)"
+    cargo run --release --offline -q -p dps-analyzer -- \
+        --check-fixtures crates/analyzer/fixtures
+}
+
+case "${1:-}" in
+chaos-smoke)
     cargo build --release --offline
     chaos_smoke
     echo "==> chaos smoke green"
     exit 0
-fi
+    ;;
+analyze)
+    analyze
+    echo "==> analyze green"
+    exit 0
+    ;;
+analyze-fixtures)
+    analyze_fixtures
+    echo "==> analyze-fixtures green"
+    exit 0
+    ;;
+esac
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+analyze
+analyze_fixtures
 
 echo "==> tier-1: cargo build --release"
 cargo build --release --offline

@@ -1,0 +1,5 @@
+//! A bare `#[allow]` hides a lint with no recorded justification.
+// dps-expect: allow-without-reason
+
+#[allow(dead_code)]
+fn orphan() {}

@@ -1,0 +1,7 @@
+//! Ambient randomness: two same-seed runs diverge immediately.
+// dps-expect: ambient-rng
+
+fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}

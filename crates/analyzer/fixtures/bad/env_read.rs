@@ -1,0 +1,6 @@
+//! Environment reads make behaviour depend on the invoking shell.
+// dps-expect: env-read
+
+fn archive_dir() -> String {
+    std::env::var("DPS_ARCHIVE_DIR").unwrap_or_default()
+}

@@ -1,0 +1,16 @@
+//! Panic macros crash the decoder instead of rejecting the message.
+// dps-expect: panic-macro
+// dps-expect: panic-macro
+
+fn rcode(v: u8) -> &'static str {
+    match v {
+        0 => "NOERROR",
+        2 => "SERVFAIL",
+        3 => "NXDOMAIN",
+        _ => panic!("unhandled rcode {v}"),
+    }
+}
+
+fn later() {
+    todo!("write this before shipping")
+}

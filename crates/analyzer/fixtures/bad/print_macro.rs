@@ -1,0 +1,8 @@
+//! Library code writing to stdout/stderr pollutes tool output.
+// dps-expect: print-macro
+// dps-expect: print-macro
+
+fn report(n: usize) {
+    println!("{n} findings");
+    eprintln!("done");
+}

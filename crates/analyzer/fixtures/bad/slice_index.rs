@@ -1,0 +1,11 @@
+//! Direct indexing panics the moment a truncated packet arrives.
+// dps-expect: slice-index
+// dps-expect: slice-index
+
+fn opcode(msg: &[u8]) -> u8 {
+    msg[2] >> 3
+}
+
+fn label(msg: &[u8], at: usize, len: usize) -> &[u8] {
+    &msg[at..at + len]
+}

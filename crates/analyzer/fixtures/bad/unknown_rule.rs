@@ -1,0 +1,7 @@
+//! A waiver naming a rule that does not exist is a typo waiting to hide
+//! a real violation someday.
+// dps-expect: unknown-rule
+
+fn noop() {
+    // dps: allow(no-such-rule, reason = "typo'd rule id")
+}

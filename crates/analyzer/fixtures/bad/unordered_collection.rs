@@ -1,0 +1,13 @@
+//! Hash-ordered collections leak nondeterministic iteration order.
+// dps-expect: unordered-collection
+// dps-expect: unordered-collection
+
+use std::collections::HashMap;
+
+fn count(keys: &[u32]) -> Vec<(u32, u32)> {
+    let mut m: HashMap<u32, u32> = Default::default();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}

@@ -1,0 +1,5 @@
+//! A waiver matching nothing is stale: the code it excused is gone.
+// dps-expect: unused-waiver
+
+// dps: allow(wall-clock, reason = "nothing here reads a clock any more")
+fn calm() {}

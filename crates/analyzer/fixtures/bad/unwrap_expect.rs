@@ -1,0 +1,11 @@
+//! Panics on untrusted input instead of returning a typed error.
+// dps-expect: unwrap-expect
+// dps-expect: unwrap-expect
+
+fn header(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+fn magic(v: &[u8]) -> &[u8] {
+    v.get(..4).expect("short buffer")
+}

@@ -1,0 +1,9 @@
+//! A waiver with no reason string suppresses nothing and is itself a
+//! violation — the flagged construct still fires alongside it.
+// dps-expect: waiver-without-reason
+// dps-expect: unwrap-expect
+
+fn first(v: &[u8]) -> u8 {
+    // dps: allow(unwrap-expect)
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,14 @@
+//! Reads the OS clock on a simulation path: runs stop being reproducible.
+// dps-expect: wall-clock
+// dps-expect: wall-clock
+
+fn now_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis()
+}
+
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,5 @@
+//! Counterpart: the adjacent comment records why the lint is silenced.
+
+// Constructed via `include!` in generated code; rustc cannot see the use.
+#[allow(dead_code)]
+fn generated_hook() {}

@@ -1,0 +1,9 @@
+//! Deterministic counterpart: configuration is passed in explicitly.
+
+pub struct Config {
+    pub archive_dir: std::path::PathBuf,
+}
+
+pub fn archive_dir(config: &Config) -> &std::path::Path {
+    &config.archive_dir
+}

@@ -1,0 +1,10 @@
+//! Panic-free counterpart: malformed input becomes an `Err` value.
+
+pub fn rcode(v: u8) -> Result<&'static str, String> {
+    match v {
+        0 => Ok("NOERROR"),
+        2 => Ok("SERVFAIL"),
+        3 => Ok("NXDOMAIN"),
+        other => Err(format!("unhandled rcode {other}")),
+    }
+}

@@ -1,0 +1,5 @@
+//! Counterpart: libraries return strings; binaries decide where they go.
+
+pub fn report(n: usize) -> String {
+    format!("{n} findings")
+}

@@ -1,0 +1,9 @@
+//! Panic-free counterpart: checked access returns `None` on truncation.
+
+pub fn opcode(msg: &[u8]) -> Option<u8> {
+    msg.get(2).map(|b| b >> 3)
+}
+
+pub fn label(msg: &[u8], at: usize, len: usize) -> Option<&[u8]> {
+    msg.get(at..at.checked_add(len)?)
+}

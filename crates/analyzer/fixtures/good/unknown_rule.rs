@@ -1,0 +1,6 @@
+//! Counterpart: the waiver names a real rule and actually matches one.
+
+pub fn lookup(v: &[u8], i: usize) -> u8 {
+    // dps: allow(slice-index, reason = "demo fixture: index guaranteed in range by caller contract")
+    v[i]
+}

@@ -1,0 +1,11 @@
+//! Deterministic counterpart: ordered maps iterate the same way every run.
+
+use std::collections::BTreeMap;
+
+pub fn count(keys: &[u32]) -> Vec<(u32, u32)> {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}

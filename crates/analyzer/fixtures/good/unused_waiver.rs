@@ -1,0 +1,8 @@
+//! Counterpart: a file-level waiver that is genuinely exercised.
+
+// dps: allow-file(print-macro, reason = "demo fixture: dev-only diagnostic dump, never linked into release binaries")
+pub fn debug_dump(lines: &[String]) {
+    for l in lines {
+        eprintln!("{l}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Panic-free counterpart: absence propagates as `Option`/`Result`.
+
+pub fn header(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+pub fn magic(v: &[u8]) -> Result<&[u8], String> {
+    v.get(..4).ok_or_else(|| "short buffer".to_string())
+}

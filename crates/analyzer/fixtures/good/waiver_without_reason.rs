@@ -1,0 +1,7 @@
+//! Counterpart: the same waiver with a written reason suppresses the
+//! finding it targets.
+
+pub fn first(v: &[u8]) -> u8 {
+    // dps: allow(unwrap-expect, reason = "demo fixture: caller guarantees non-empty input")
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Deterministic counterpart: time arrives as data (the virtual clock),
+//! never from the OS.
+
+pub fn elapsed_ms(virtual_now_ms: u64, started_ms: u64) -> u64 {
+    virtual_now_ms.saturating_sub(started_ms)
+}

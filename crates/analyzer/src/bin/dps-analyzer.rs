@@ -1,0 +1,204 @@
+//! CLI driver for the workspace static analyzer.
+//!
+//! ```text
+//! dps-analyzer [--root DIR] [--json] [--deny] [--all-rules] [paths…]
+//! dps-analyzer --check-fixtures DIR
+//! dps-analyzer --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean (warn-only findings without `--deny` still exit
+//! 0), 1 violations, 2 usage or I/O error.
+
+use dps_analyzer::engine::{analyze_source, collect_sources, rel_path};
+use dps_analyzer::policy::Mode;
+use dps_analyzer::{report, rules, Severity};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny: bool,
+    all_rules: bool,
+    check_fixtures: Option<PathBuf>,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dps-analyzer [--root DIR] [--json] [--deny] [--all-rules] [paths…]\n\
+         \x20      dps-analyzer --check-fixtures DIR\n\
+         \x20      dps-analyzer --list-rules"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny: false,
+        all_rules: false,
+        check_fixtures: None,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or_else(usage)?),
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--all-rules" => args.all_rules = true,
+            "--check-fixtures" => {
+                args.check_fixtures = Some(PathBuf::from(it.next().ok_or_else(usage)?))
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(usage()),
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    if args.list_rules {
+        for r in rules::RULES {
+            println!(
+                "{:<22} {:?}/{:?}  {}",
+                r.id, r.family, r.severity, r.describes
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(dir) = &args.check_fixtures {
+        return check_fixtures(dir);
+    }
+
+    let mode = if args.all_rules {
+        Mode::AllRules
+    } else {
+        Mode::Workspace
+    };
+    let files = if args.paths.is_empty() {
+        match collect_sources(&args.root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dps-analyzer: {}: {e}", args.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        args.paths.clone()
+    };
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dps-analyzer: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        findings.extend(analyze_source(&rel_path(&args.root, path), &src, mode));
+    }
+
+    if args.json {
+        print!("{}", report::json(&findings));
+    } else {
+        print!("{}", report::human(&findings));
+    }
+    let fatal = findings
+        .iter()
+        .any(|f| f.severity == Severity::Deny || args.deny);
+    if fatal {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Fixture mode: every `bad/*.rs` must fire each rule named by its
+/// `// dps-expect: <rule>` annotations (and at least one of them); every
+/// `good/*.rs` must be perfectly clean. This is the CI negative check
+/// that proves the rules still bite.
+fn check_fixtures(dir: &Path) -> ExitCode {
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+
+    for (sub, want_bad) in [("bad", true), ("good", false)] {
+        let sub_dir = dir.join(sub);
+        let mut entries: Vec<PathBuf> = match std::fs::read_dir(&sub_dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                .collect(),
+            Err(e) => {
+                eprintln!("dps-analyzer: {}: {e}", sub_dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        entries.sort();
+        for path in entries {
+            checked += 1;
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("dps-analyzer: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let findings = analyze_source(&path.display().to_string(), &src, Mode::AllRules);
+            let fired: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+            let expected = expectations(&src);
+            let name = path.display();
+            if want_bad {
+                if expected.is_empty() {
+                    println!("FAIL {name}: bad fixture has no // dps-expect annotations");
+                    failures += 1;
+                    continue;
+                }
+                let missing: Vec<_> = expected
+                    .iter()
+                    .filter(|r| !fired.contains(&r.as_str()))
+                    .collect();
+                if findings.is_empty() || !missing.is_empty() {
+                    println!("FAIL {name}: expected {expected:?}, fired {fired:?}");
+                    failures += 1;
+                } else {
+                    println!("ok   {name}: fired {fired:?}");
+                }
+            } else if findings.is_empty() {
+                println!("ok   {name}: clean");
+            } else {
+                println!("FAIL {name}: expected clean, fired {fired:?}");
+                for f in &findings {
+                    println!("     {}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+                }
+                failures += 1;
+            }
+        }
+    }
+
+    println!("dps-analyzer fixtures: {checked} checked, {failures} failing");
+    if failures > 0 || checked == 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Reads `// dps-expect: <rule>` annotations from fixture source.
+fn expectations(src: &str) -> Vec<String> {
+    src.lines()
+        .filter_map(|l| l.trim().strip_prefix("// dps-expect:"))
+        .map(|r| r.trim().to_owned())
+        .collect()
+}

@@ -1,0 +1,192 @@
+//! Structural context for a token stream: which tokens belong to test
+//! code (`#[cfg(test)]` modules, `#[test]` functions) and therefore fall
+//! outside every rule's scope.
+//!
+//! The scanner is AST-lite: it tracks brace depth and attribute spans
+//! rather than building a real syntax tree. A test-marking attribute arms
+//! a pending skip; the next `{` at the same depth opens the skipped
+//! region, and a `;` at the same depth (e.g. `#[cfg(test)] use x;`)
+//! cancels it.
+
+use crate::lexer::{Lexed, TokKind};
+
+/// Per-file structural context.
+#[derive(Debug)]
+pub struct Context {
+    /// `skipped[i]` — token `i` is inside test-only code.
+    pub skipped: Vec<bool>,
+    /// 1-based inclusive line ranges covered by skipped regions (used to
+    /// drop comments — and the waivers inside them — in test code).
+    pub skipped_lines: Vec<(u32, u32)>,
+}
+
+impl Context {
+    /// True if `line` falls inside any skipped region.
+    pub fn line_skipped(&self, line: u32) -> bool {
+        self.skipped_lines
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+/// True if the attribute body (tokens between `#[` and `]`) marks test
+/// code: `test`, `cfg(test)`, `cfg(any(test, …))`, `tokio::test`, bench.
+fn is_test_attr(body: &[String]) -> bool {
+    match body.first().map(String::as_str) {
+        Some("test") | Some("bench") => true,
+        Some("cfg") | Some("cfg_attr") => body.iter().any(|t| t == "test"),
+        Some("tokio") => body.iter().any(|t| t == "test"),
+        _ => false,
+    }
+}
+
+/// Scans the token stream once and classifies every token.
+pub fn scan(lexed: &Lexed) -> Context {
+    let toks = &lexed.tokens;
+    let mut skipped = vec![false; toks.len()];
+    let mut skipped_lines = Vec::new();
+    let mut depth = 0i32;
+    // Armed by a test attribute at a given depth, waiting for `{` or `;`.
+    let mut pending_test: Option<i32> = None;
+    // Depth at which an active skip region closes.
+    let mut skip_until: Option<i32> = None;
+    let mut region_start_line = 0u32;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let in_skip = skip_until.is_some();
+        if in_skip {
+            skipped[i] = true;
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    if !in_skip {
+                        if let Some(d) = pending_test {
+                            if depth == d + 1 {
+                                skip_until = Some(d);
+                                region_start_line = t.line;
+                                pending_test = None;
+                                skipped[i] = true;
+                            }
+                        }
+                    }
+                }
+                "}" => {
+                    depth -= 1;
+                    if let Some(d) = skip_until {
+                        if depth == d {
+                            skip_until = None;
+                            skipped_lines.push((region_start_line, t.line));
+                        }
+                    }
+                }
+                ";" if pending_test == Some(depth) => {
+                    pending_test = None;
+                }
+                "#" if !in_skip => {
+                    // Attribute: `#[…]` or `#![…]`. Collect ident tokens of
+                    // the body up to the matching `]`.
+                    let mut j = i + 1;
+                    if j < toks.len() && toks[j].is_punct("!") {
+                        j += 1;
+                    }
+                    if j < toks.len() && toks[j].is_punct("[") {
+                        let mut body = Vec::new();
+                        let mut nest = 0i32;
+                        let mut k = j;
+                        while k < toks.len() {
+                            let a = &toks[k];
+                            if a.is_punct("[") {
+                                nest += 1;
+                            } else if a.is_punct("]") {
+                                nest -= 1;
+                                if nest == 0 {
+                                    break;
+                                }
+                            } else if a.kind == TokKind::Ident {
+                                body.push(a.text.clone());
+                            }
+                            k += 1;
+                        }
+                        if is_test_attr(&body) {
+                            pending_test = Some(depth);
+                        }
+                        i = k + 1;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if let Some(_d) = skip_until {
+        // Unbalanced braces (file tail); close the region at EOF.
+        let last = toks.last().map_or(region_start_line, |t| t.line);
+        skipped_lines.push((region_start_line, last));
+    }
+    Context {
+        skipped,
+        skipped_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn skipped_idents(src: &str) -> Vec<String> {
+        let l = lex(src);
+        let ctx = scan(&l);
+        l.tokens
+            .iter()
+            .zip(&ctx.skipped)
+            .filter(|(t, &s)| s && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_skipped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\nfn after() {}";
+        let s = skipped_idents(src);
+        assert!(s.contains(&"helper".to_owned()));
+        assert!(!s.contains(&"live".to_owned()));
+        assert!(!s.contains(&"after".to_owned()));
+    }
+
+    #[test]
+    fn test_fn_is_skipped() {
+        let src = "#[test]\nfn check() { body(); }\nfn live() {}";
+        let s = skipped_idents(src);
+        assert!(s.contains(&"body".to_owned()));
+        assert!(!s.contains(&"live".to_owned()));
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_arm_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x(); }";
+        let s = skipped_idents(src);
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn non_test_attr_is_inert() {
+        let src = "#[derive(Debug)]\nstruct S { f: u8 }\nfn live() { g(); }";
+        assert!(skipped_idents(src).is_empty());
+    }
+
+    #[test]
+    fn skipped_line_ranges_cover_the_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod t {\n  fn b() {}\n}\nfn c() {}";
+        let l = lex(src);
+        let ctx = scan(&l);
+        assert!(ctx.line_skipped(4));
+        assert!(!ctx.line_skipped(1));
+        assert!(!ctx.line_skipped(6));
+    }
+}

@@ -1,0 +1,246 @@
+//! The analysis engine: walks sources, runs rules, resolves waivers.
+
+use crate::context;
+use crate::lexer;
+use crate::policy::{self, Mode};
+use crate::rules::{self, Severity};
+use crate::waiver::{parse_waivers, Waiver};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One reported finding, after waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id.
+    pub rule: &'static str,
+    /// Effective severity.
+    pub severity: Severity,
+    /// Human message.
+    pub message: String,
+}
+
+/// Analyses one file's source text under the given mode.
+pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
+    let file_policy = policy::for_path(rel_path, mode);
+    let lexed = lexer::lex(src);
+    let ctx = context::scan(&lexed);
+
+    // Comments inside test-only regions carry no weight: rules are off
+    // there, so waivers there could only ever be stale.
+    let live_comments: Vec<_> = lexed
+        .comments
+        .iter()
+        .filter(|c| !ctx.line_skipped(c.line))
+        .cloned()
+        .collect();
+    let waivers = parse_waivers(&live_comments);
+
+    let raw = rules::check(
+        &lexed,
+        &ctx,
+        &file_policy.families,
+        file_policy.print_allowed,
+    );
+
+    let mut used = vec![false; waivers.len()];
+    let mut findings = Vec::new();
+    for v in raw {
+        let waived = waivers.iter().enumerate().any(|(i, w)| {
+            if !applies(w, v.rule, v.line) {
+                return false;
+            }
+            used[i] = true;
+            true
+        });
+        if waived {
+            continue;
+        }
+        let severity = rules::rule(v.rule).map_or(Severity::Deny, |r| r.severity);
+        findings.push(Finding {
+            path: rel_path.to_owned(),
+            line: v.line,
+            rule: v.rule,
+            severity,
+            message: v.message,
+        });
+    }
+
+    // Waiver bookkeeping: missing reasons, unknown rules, stale waivers.
+    for (i, w) in waivers.iter().enumerate() {
+        if rules::rule(&w.rule).is_none() {
+            findings.push(Finding {
+                path: rel_path.to_owned(),
+                line: w.line,
+                rule: "unknown-rule",
+                severity: Severity::Deny,
+                message: format!("waiver names unknown rule `{}`", w.rule),
+            });
+            continue;
+        }
+        if w.reason.is_none() {
+            findings.push(Finding {
+                path: rel_path.to_owned(),
+                line: w.line,
+                rule: "waiver-without-reason",
+                severity: Severity::Deny,
+                message: format!(
+                    "waiver for `{}` is missing its reason = \"…\" string and suppresses nothing",
+                    w.rule
+                ),
+            });
+            continue;
+        }
+        if !used[i] {
+            findings.push(Finding {
+                path: rel_path.to_owned(),
+                line: w.line,
+                rule: "unused-waiver",
+                severity: Severity::Warn,
+                message: format!("waiver for `{}` matched no violation; delete it", w.rule),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// A waiver only suppresses when it is fully formed (known rule + reason)
+/// and its scope covers the violation.
+fn applies(w: &Waiver, rule: &str, line: u32) -> bool {
+    if w.reason.is_none() || rules::rule(&w.rule).is_none() || w.rule != rule {
+        return false;
+    }
+    w.file_level || w.target_line == line || w.line == line
+}
+
+/// Recursively collects `.rs` files under `root`, excluding build
+/// artefacts, vendored crates and the analyzer's own fixture corpus.
+/// Paths come back sorted so reports (and JSON output) are stable.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = rel_path(root, &path);
+            if policy::excluded(&rel) {
+                continue;
+            }
+            if entry.file_type()?.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative path with `/` separators.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for part in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&part.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Analyses every source under `root` with the workspace policy.
+pub fn analyze_workspace(root: &Path, mode: Mode) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in collect_sources(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(analyze_source(&rel_path(root, &path), &src, mode));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(src: &str) -> Vec<Finding> {
+        analyze_source("crates/store/src/x.rs", src, Mode::AllRules)
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let src = "// dps: allow(unordered-collection, reason = \"keyed lookup only\")\n\
+                   use std::collections::HashMap;\nfn f() {}";
+        let got = find(src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_reports_both() {
+        let src = "// dps: allow(unordered-collection)\n\
+                   use std::collections::HashMap;\nfn f() {}";
+        let rules: Vec<_> = find(src).iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"unordered-collection"), "{rules:?}");
+        assert!(rules.contains(&"waiver-without-reason"), "{rules:?}");
+    }
+
+    #[test]
+    fn unknown_rule_waiver_flagged() {
+        let src = "// dps: allow(made-up, reason = \"x\")\nfn f() {}";
+        let rules: Vec<_> = find(src).iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["unknown-rule"]);
+    }
+
+    #[test]
+    fn unused_waiver_flagged() {
+        let src = "// dps: allow(wall-clock, reason = \"simulated clock only\")\nfn f() {}";
+        let rules: Vec<_> = find(src).iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["unused-waiver"]);
+    }
+
+    #[test]
+    fn file_level_waiver_covers_every_line() {
+        let src = "// dps: allow-file(unordered-collection, reason = \"keyed lookup only\")\n\
+                   use std::collections::HashMap;\n\
+                   fn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        let got = find(src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_line() {
+        let src = "fn f(b: &[u8]) -> u8 {\n\
+                   b[0] // dps: allow(slice-index, reason = \"caller checked len\")\n}";
+        let got = find(src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn waivers_in_test_code_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   // dps: allow(wall-clock, reason = \"would be unused\")\n\
+                   fn f() {}\n}";
+        let got = find(src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn workspace_mode_scopes_families() {
+        let src = "fn f() { let m = std::collections::HashMap::<u8, u8>::new(); x.unwrap(); }";
+        // store/src: determinism applies, panic-safety does not (not format.rs).
+        let got = analyze_source("crates/store/src/cache.rs", src, Mode::Workspace);
+        let rules: Vec<_> = got.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"unordered-collection"));
+        assert!(!rules.contains(&"unwrap-expect"));
+        // core/src: neither family.
+        let got = analyze_source("crates/core/src/flux.rs", src, Mode::Workspace);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

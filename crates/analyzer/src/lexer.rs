@@ -1,0 +1,433 @@
+//! A small Rust lexer: just enough fidelity for lexical rule matching.
+//!
+//! The token stream keeps identifiers, literals and punctuation with line
+//! numbers; comments are collected separately (rules need them for waiver
+//! parsing and `#[allow]` justification checks) and never appear as
+//! tokens. String/char literals, raw strings (any `#` depth) and nested
+//! block comments are consumed correctly so their *contents* can never
+//! confuse a rule — `"panic!"` inside a string is not a panic site.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// Punctuation. `::` is merged into a single token; everything else
+    /// is one character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, the punctuation itself).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block), stripped of its delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` markers, untrimmed.
+    pub text: String,
+    /// True if no token precedes the comment on its starting line.
+    pub own_line: bool,
+}
+
+/// Lexer output: tokens plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unknown bytes are skipped; the lexer never fails, since a
+/// file that does not parse will be rejected by rustc anyway.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        last_token_line: 0,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    /// Line of the most recently emitted token (for `own_line` comments).
+    last_token_line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokKind, text: String, line: u32) {
+        self.last_token_line = line;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                'r' | 'b' if self.raw_or_byte_prefix() => { /* consumed inside */ }
+                '\'' => self.char_or_lifetime(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push_token(TokKind::Punct, "::".to_owned(), line);
+                }
+                _ => {
+                    self.bump();
+                    self.push_token(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = self.last_token_line != line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let own_line = self.last_token_line != line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            own_line,
+        });
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokKind::Literal, String::new(), line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns true
+    /// (and consumes the literal) if the cursor really is at one;
+    /// otherwise leaves the cursor alone so `ident()` takes over.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let line = self.line;
+        let mut ahead = 1usize; // past the leading r/b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        match self.peek(ahead) {
+            Some('"') => {}
+            Some('\'') if hashes == 0 && self.peek(0) == Some('b') => {
+                // b'x' byte literal: consume prefix, then reuse char lexing.
+                self.bump();
+                self.char_or_lifetime(line);
+                return true;
+            }
+            _ => return false,
+        }
+        let raw = self.peek(if self.peek(0) == Some('b') { 1 } else { 0 }) == Some('r')
+            || self.peek(0) == Some('r');
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes and the opening quote
+        }
+        if raw {
+            // Raw string: ends at `"` followed by `hashes` hash marks.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for h in 0..hashes {
+                        if self.peek(h) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        } else {
+            // Plain byte string with escapes.
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        }
+        self.push_token(TokKind::Literal, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    // Covers \u{…} and malformed tails conservatively.
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push_token(TokKind::Literal, String::new(), line);
+            }
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                // Lifetime: 'ident not followed by a closing quote.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push_token(TokKind::Lifetime, text, line);
+            }
+            Some(_) => {
+                // 'x' char literal (or the degenerate `''`).
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push_token(TokKind::Literal, String::new(), line);
+            }
+            None => {}
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push_token(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Consume a decimal point, but never a `..` range.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "panic!(unwrap)"; x.unwrap();"#);
+        let names = idents(r#"let s = "panic!(unwrap)"; x.unwrap();"#);
+        assert_eq!(names, ["let", "s", "x", "unwrap"]);
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let names = idents(r####"let s = r#"a "quoted" unwrap"#; end"####);
+        assert_eq!(names, ["let", "s", "end"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_comments() {
+        let l = lex("a /* outer /* inner */ still */ b // tail\nc");
+        assert_eq!(
+            l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[1].text.contains("tail"));
+        assert!(!l.comments[1].own_line);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn double_colon_merges_and_lines_count() {
+        let l = lex("a::b\nc");
+        assert!(l.tokens[1].is_punct("::"));
+        assert_eq!(l.tokens[3].line, 2);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let l = lex("x[0..4]");
+        let texts: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["x", "[", "0", ".", ".", "4", "]"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let names = idents(r#"let m = b"DPSARCH1"; let c = b'x'; done"#);
+        assert_eq!(names, ["let", "m", "let", "c", "done"]);
+    }
+}

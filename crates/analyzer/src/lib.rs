@@ -1,0 +1,39 @@
+//! # dps-analyzer — workspace-native static analysis
+//!
+//! Repo-specific lints generic clippy cannot express, enforcing the two
+//! invariants the whole reproduction rests on:
+//!
+//! 1. **Determinism** — same-seed runs must be byte-identical (the chaos
+//!    smoke gate `cmp`s two archives). Nothing on the persistence or
+//!    simulation path may read wall clocks, ambient randomness, or the
+//!    environment, or iterate a `HashMap`/`HashSet`.
+//! 2. **Panic-safety** — every decoder touching wire/archive bytes must
+//!    propagate errors, never panic: no `unwrap`/`expect`/`panic!`/direct
+//!    indexing in the designated untrusted-input modules.
+//!
+//! Plus hygiene: no stray printing outside binaries/benches, and no
+//! `#[allow(…)]` without a written justification.
+//!
+//! Violations are waived inline, and only with a reason:
+//!
+//! ```text
+//! // dps: allow(unordered-collection, reason = "keyed lookup only; never iterated")
+//! // dps: allow-file(slice-index, reason = "offsets bounds-checked by header parse")
+//! ```
+//!
+//! See `policy` for the module → rule-family map and `rules::RULES` for
+//! the full rule table. The `dps-analyzer` binary drives it all; CI runs
+//! `./ci.sh analyze` (workspace must be clean) and `./ci.sh
+//! analyze-fixtures` (the known-bad corpus must still fail).
+
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+pub use engine::{analyze_source, analyze_workspace, Finding};
+pub use policy::Mode;
+pub use rules::{Family, Severity, RULES};

@@ -1,0 +1,138 @@
+//! The module policy map: which rule families apply to which workspace
+//! paths.
+//!
+//! Paths are workspace-relative with `/` separators. The map is code, not
+//! config, on purpose: the policy *is* part of the invariant and should
+//! change only through review, alongside the code it scopes. Fixture
+//! checking and tests use [`Mode::AllRules`] to exercise every family
+//! regardless of path.
+
+use crate::rules::Family;
+
+/// How to scope rules to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The workspace policy below.
+    Workspace,
+    /// Every family, print macros still denied (fixtures, tests).
+    AllRules,
+}
+
+/// Crates whose non-test sources sit on the persistence or simulation
+/// path: anything nondeterministic here can desynchronise same-seed runs
+/// or the bytes they archive.
+pub const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/store/src/",
+    "crates/columnar/src/",
+    "crates/measure/src/",
+    "crates/netsim/src/",
+    "crates/ecosystem/src/",
+];
+
+/// Modules that decode untrusted wire/archive bytes and must be
+/// panic-free end to end.
+pub const PANIC_SAFETY_SCOPE: &[&str] = &[
+    "crates/dns/src/wire.rs",
+    "crates/dns/src/message.rs",
+    "crates/authdns/src/zonefile.rs",
+    "crates/store/src/format.rs",
+    "crates/store/src/archive.rs",
+];
+
+/// What applies to one file.
+#[derive(Debug, Clone)]
+pub struct FilePolicy {
+    /// Families to run.
+    pub families: Vec<Family>,
+    /// True if print macros are fine here (binaries, benches, the bench
+    /// crate, examples, integration tests).
+    pub print_allowed: bool,
+}
+
+/// True for paths the analyzer must not scan at all.
+pub fn excluded(rel: &str) -> bool {
+    rel.starts_with("target/")
+        || rel.starts_with("vendor/")
+        || rel.starts_with(".git/")
+        || rel.contains("/fixtures/")
+        || rel.contains("/target/")
+}
+
+fn in_scope(rel: &str, scope: &[&str]) -> bool {
+    scope
+        .iter()
+        .any(|p| rel == *p || (p.ends_with('/') && rel.starts_with(p)))
+}
+
+/// Resolves the policy for one workspace-relative path.
+pub fn for_path(rel: &str, mode: Mode) -> FilePolicy {
+    let print_allowed = rel.contains("/bin/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/tests/")
+        || rel.starts_with("examples/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("crates/bench/")
+        || rel.ends_with("/main.rs");
+    if mode == Mode::AllRules {
+        return FilePolicy {
+            families: vec![
+                Family::Determinism,
+                Family::PanicSafety,
+                Family::Hygiene,
+                Family::Meta,
+            ],
+            print_allowed: false,
+        };
+    }
+    let mut families = vec![Family::Meta];
+    if in_scope(rel, DETERMINISM_SCOPE) {
+        families.push(Family::Determinism);
+    }
+    if in_scope(rel, PANIC_SAFETY_SCOPE) {
+        families.push(Family::PanicSafety);
+    }
+    // Hygiene applies to all first-party sources; integration tests,
+    // benches and examples are covered too but may print.
+    families.push(Family::Hygiene);
+    FilePolicy {
+        families,
+        print_allowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_scopes_to_persistence_crates() {
+        let p = for_path("crates/store/src/writer.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::Determinism));
+        let p = for_path("crates/dns/src/wire.rs", Mode::Workspace);
+        assert!(!p.families.contains(&Family::Determinism));
+        assert!(p.families.contains(&Family::PanicSafety));
+    }
+
+    #[test]
+    fn binaries_and_bench_crate_may_print() {
+        for rel in [
+            "src/bin/dpscope.rs",
+            "crates/bench/src/experiments.rs",
+            "crates/bench/benches/store.rs",
+            "examples/dig.rs",
+            "tests/chaos_sweep.rs",
+        ] {
+            assert!(for_path(rel, Mode::Workspace).print_allowed, "{rel}");
+        }
+        assert!(!for_path("crates/measure/src/pipeline.rs", Mode::Workspace).print_allowed);
+    }
+
+    #[test]
+    fn fixtures_and_vendor_excluded() {
+        assert!(excluded("crates/analyzer/fixtures/bad/unwrap.rs"));
+        assert!(excluded("vendor/rand/src/lib.rs"));
+        assert!(excluded("target/debug/build.rs"));
+        assert!(!excluded("crates/dns/src/wire.rs"));
+    }
+}

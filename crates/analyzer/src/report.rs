@@ -1,0 +1,111 @@
+//! Report rendering: human-readable and JSON. Pure string builders — the
+//! binary decides where the text goes, keeping the library free of any
+//! stdout/stderr writes.
+
+use crate::engine::Finding;
+use crate::rules::Severity;
+
+/// Renders findings as `path:line: severity[rule] message` lines plus a
+/// summary tail.
+pub fn human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let sev = match f.severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        out.push_str(&format!(
+            "{}:{}: {}[{}] {}\n",
+            f.path, f.line, sev, f.rule, f.message
+        ));
+    }
+    let denies = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warns = findings.len() - denies;
+    out.push_str(&format!(
+        "dps-analyzer: {} finding(s) — {} deny, {} warn\n",
+        findings.len(),
+        denies,
+        warns
+    ));
+    out
+}
+
+/// Renders findings as a JSON array (stable field order, sorted input).
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            escape(&f.path),
+            f.line,
+            escape(f.rule),
+            escape(match f.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+            }),
+            escape(&f.message)
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            path: "crates/dns/src/wire.rs".into(),
+            line: 42,
+            rule: "slice-index",
+            severity: Severity::Deny,
+            message: "direct indexing \"quoted\"".into(),
+        }]
+    }
+
+    #[test]
+    fn human_lines_are_clickable() {
+        let h = human(&sample());
+        assert!(h.contains("crates/dns/src/wire.rs:42: deny[slice-index]"));
+        assert!(h.contains("1 deny, 0 warn"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = json(&sample());
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.starts_with('['));
+        assert!(j.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert!(human(&[]).contains("0 finding(s)"));
+        assert_eq!(json(&[]).trim_end(), "[]");
+    }
+}

@@ -1,0 +1,482 @@
+//! The rule set: lexical matchers over a classified token stream.
+//!
+//! Three families, mirroring the invariants the reproduction depends on:
+//!
+//! * **determinism** — same-seed runs must be byte-identical, so nothing
+//!   on the persistence/simulation path may read wall clocks, ambient
+//!   randomness, the process environment, or iterate unordered
+//!   collections.
+//! * **panic-safety** — decoders over wire/archive bytes must return
+//!   `Result`, never panic, so no `unwrap`/`expect`/`panic!`/direct
+//!   indexing in designated untrusted-input modules.
+//! * **hygiene** — no stray stdout/stderr printing outside binaries and
+//!   benches; no `#[allow(…)]` without an adjacent justification comment.
+
+use crate::context::Context;
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// Rule family, the unit of policy scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Byte-identical same-seed output.
+    Determinism,
+    /// Panic-free decoding of untrusted bytes.
+    PanicSafety,
+    /// Output and lint-attribute hygiene.
+    Hygiene,
+    /// Waiver bookkeeping; always in scope.
+    Meta,
+}
+
+/// Violation severity. `Deny` fails the build; `Warn` fails only under
+/// `--deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Report, but exit 0 unless `--deny`.
+    Warn,
+    /// Always fails.
+    Deny,
+}
+
+/// One rule the analyzer ships.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id, used in waivers and reports.
+    pub id: &'static str,
+    /// Scoping family.
+    pub family: Family,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description for `--list-rules` and docs.
+    pub describes: &'static str,
+}
+
+/// Every shipped rule. Waiver parsing validates rule names against this
+/// table, so adding a rule here is all it takes to make it waivable.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        family: Family::Determinism,
+        severity: Severity::Deny,
+        describes: "SystemTime::now/Instant::now on the persistence/simulation path; \
+                    use the simulated clock",
+    },
+    Rule {
+        id: "ambient-rng",
+        family: Family::Determinism,
+        severity: Severity::Deny,
+        describes: "thread_rng/from_entropy/OsRng/rand::random; seed every RNG explicitly",
+    },
+    Rule {
+        id: "env-read",
+        family: Family::Determinism,
+        severity: Severity::Deny,
+        describes: "std::env reads (var/vars/args) on the persistence/simulation path",
+    },
+    Rule {
+        id: "unordered-collection",
+        family: Family::Determinism,
+        severity: Severity::Deny,
+        describes: "HashMap/HashSet on the persistence/simulation path; use \
+                    BTreeMap/BTreeSet or waive with a reason if never iterated",
+    },
+    Rule {
+        id: "unwrap-expect",
+        family: Family::PanicSafety,
+        severity: Severity::Deny,
+        describes: ".unwrap()/.expect() in an untrusted-input module; propagate a Result",
+    },
+    Rule {
+        id: "panic-macro",
+        family: Family::PanicSafety,
+        severity: Severity::Deny,
+        describes: "panic!/unreachable!/todo!/unimplemented! in an untrusted-input module",
+    },
+    Rule {
+        id: "slice-index",
+        family: Family::PanicSafety,
+        severity: Severity::Deny,
+        describes: "direct slice/array indexing in an untrusted-input module; use \
+                    get()/split or waive with a bounds argument",
+    },
+    Rule {
+        id: "print-macro",
+        family: Family::Hygiene,
+        severity: Severity::Warn,
+        describes: "println!/eprintln!/print!/eprint!/dbg! outside src/bin, benches and \
+                    the bench crate",
+    },
+    Rule {
+        id: "allow-without-reason",
+        family: Family::Hygiene,
+        severity: Severity::Warn,
+        describes: "#[allow(…)] with no adjacent justification comment",
+    },
+    Rule {
+        id: "waiver-without-reason",
+        family: Family::Meta,
+        severity: Severity::Deny,
+        describes: "dps: allow(…) waiver missing its reason = \"…\" string",
+    },
+    Rule {
+        id: "unknown-rule",
+        family: Family::Meta,
+        severity: Severity::Deny,
+        describes: "dps: allow(…) waiver naming a rule the analyzer does not ship",
+    },
+    Rule {
+        id: "unused-waiver",
+        family: Family::Meta,
+        severity: Severity::Warn,
+        describes: "waiver that suppressed nothing; delete it",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// A rule match before waiver resolution.
+#[derive(Debug, Clone)]
+pub struct RawViolation {
+    /// Rule id.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// Site-specific message.
+    pub message: String,
+}
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (`&mut [u8]`, `return [0; 4]`, `in [a, b]` …).
+const NONINDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "return", "in", "as", "dyn", "impl", "where", "else", "match", "if", "box",
+    "move", "break", "continue", "const", "static", "let", "type", "use", "crate", "pub", "fn",
+    "for", "while", "loop", "unsafe", "extern", "enum", "struct", "trait", "mod", "yield",
+];
+
+struct Scan<'a> {
+    toks: &'a [Token],
+    ctx: &'a Context,
+}
+
+impl<'a> Scan<'a> {
+    fn live(&self, i: usize) -> Option<&'a Token> {
+        let t = self.toks.get(i)?;
+        if self.ctx.skipped[i] {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Runs `f` over every live token index.
+    fn each(&self, mut f: impl FnMut(usize, &'a Token)) {
+        for i in 0..self.toks.len() {
+            if let Some(t) = self.live(i) {
+                f(i, t);
+            }
+        }
+    }
+}
+
+/// Runs every rule of the given families over a lexed, classified file.
+pub fn check(
+    lexed: &Lexed,
+    ctx: &Context,
+    families: &[Family],
+    print_allowed: bool,
+) -> Vec<RawViolation> {
+    let scan = Scan {
+        toks: &lexed.tokens,
+        ctx,
+    };
+    let mut out = Vec::new();
+    if families.contains(&Family::Determinism) {
+        determinism(&scan, &mut out);
+    }
+    if families.contains(&Family::PanicSafety) {
+        panic_safety(&scan, &mut out);
+    }
+    if families.contains(&Family::Hygiene) {
+        hygiene(&scan, &lexed.comments, ctx, print_allowed, &mut out);
+    }
+    out
+}
+
+fn push(out: &mut Vec<RawViolation>, rule: &'static str, line: u32, message: String) {
+    out.push(RawViolation {
+        rule,
+        line,
+        message,
+    });
+}
+
+fn determinism(s: &Scan, out: &mut Vec<RawViolation>) {
+    s.each(|i, t| {
+        if t.kind != TokKind::Ident {
+            return;
+        }
+        match t.text.as_str() {
+            "now" => {
+                if let (Some(p2), Some(p1)) = (i.checked_sub(2), i.checked_sub(1)) {
+                    if s.live(p1).is_some_and(|p| p.is_punct("::")) {
+                        if let Some(owner) = s.live(p2) {
+                            if owner.is_ident("SystemTime") || owner.is_ident("Instant") {
+                                push(
+                                    out,
+                                    "wall-clock",
+                                    t.line,
+                                    format!("`{}::now` reads the wall clock", owner.text),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            "thread_rng" | "from_entropy" | "OsRng" => push(
+                out,
+                "ambient-rng",
+                t.line,
+                format!("`{}` draws ambient (unseeded) randomness", t.text),
+            ),
+            "random"
+                if i >= 2
+                    && s.live(i - 1).is_some_and(|p| p.is_punct("::"))
+                    && s.live(i - 2).is_some_and(|p| p.is_ident("rand")) =>
+            {
+                push(
+                    out,
+                    "ambient-rng",
+                    t.line,
+                    "`rand::random` draws ambient randomness".to_owned(),
+                );
+            }
+            "var" | "var_os" | "vars" | "vars_os" | "args" | "args_os"
+                if i >= 2
+                    && s.live(i - 1).is_some_and(|p| p.is_punct("::"))
+                    && s.live(i - 2).is_some_and(|p| p.is_ident("env")) =>
+            {
+                push(
+                    out,
+                    "env-read",
+                    t.line,
+                    format!("`env::{}` reads the process environment", t.text),
+                );
+            }
+            "HashMap" | "HashSet" => push(
+                out,
+                "unordered-collection",
+                t.line,
+                format!(
+                    "`{}` has nondeterministic iteration order; use the BTree \
+                     equivalent or sort before any write/hash",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    });
+}
+
+fn panic_safety(s: &Scan, out: &mut Vec<RawViolation>) {
+    s.each(|i, t| {
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "unwrap" | "expect" => {
+                    let after_dot = i >= 1 && s.live(i - 1).is_some_and(|p| p.is_punct("."));
+                    let called = s.live(i + 1).is_some_and(|n| n.is_punct("("));
+                    if after_dot && called {
+                        push(
+                            out,
+                            "unwrap-expect",
+                            t.line,
+                            format!("`.{}()` can panic on untrusted input", t.text),
+                        );
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if s.live(i + 1).is_some_and(|n| n.is_punct("!")) =>
+                {
+                    push(
+                        out,
+                        "panic-macro",
+                        t.line,
+                        format!("`{}!` aborts on untrusted input", t.text),
+                    );
+                }
+                _ => {}
+            },
+            TokKind::Punct if t.text == "[" => {
+                let Some(prev) = i.checked_sub(1).and_then(|p| s.live(p)) else {
+                    return;
+                };
+                let indexable = match prev.kind {
+                    TokKind::Ident => !NONINDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                // `#[attr]` and `#![attr]`: the `[` follows `#` or `!`.
+                if indexable {
+                    push(
+                        out,
+                        "slice-index",
+                        t.line,
+                        "direct indexing can panic; use get()/split/chunks".to_owned(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+fn hygiene(
+    s: &Scan,
+    comments: &[Comment],
+    ctx: &Context,
+    print_allowed: bool,
+    out: &mut Vec<RawViolation>,
+) {
+    s.each(|i, t| {
+        if t.kind != TokKind::Ident {
+            return;
+        }
+        match t.text.as_str() {
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+                if !print_allowed && s.live(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                push(
+                    out,
+                    "print-macro",
+                    t.line,
+                    format!("`{}!` outside a binary/bench target", t.text),
+                );
+            }
+            "allow" => {
+                // `#[allow(…)]` / `#![allow(…)]`: look back over `[` and
+                // optional `!` to the `#`.
+                let mut j = i;
+                let mut is_attr = false;
+                if j >= 1 && s.live(j - 1).is_some_and(|p| p.is_punct("[")) {
+                    j -= 1;
+                    if j >= 1 && s.live(j - 1).is_some_and(|p| p.is_punct("!")) {
+                        j -= 1;
+                    }
+                    is_attr = j >= 1 && s.live(j - 1).is_some_and(|p| p.is_punct("#"));
+                }
+                if is_attr {
+                    let justified = comments.iter().any(|c| {
+                        !ctx.line_skipped(c.line)
+                            && (c.end_line + 1 == t.line || c.line == t.line)
+                            && !c.text.trim().is_empty()
+                    });
+                    if !justified {
+                        push(
+                            out,
+                            "allow-without-reason",
+                            t.line,
+                            "#[allow(…)] needs an adjacent justification comment".to_owned(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context;
+    use crate::lexer::lex;
+
+    fn run(src: &str, families: &[Family]) -> Vec<RawViolation> {
+        let l = lex(src);
+        let ctx = context::scan(&l);
+        check(&l, &ctx, families, false)
+    }
+
+    fn rules_of(v: &[RawViolation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn determinism_rules_fire() {
+        let src = "fn f() { let t = SystemTime::now(); let r = thread_rng(); \
+                   let v = std::env::var(\"X\"); let m: HashMap<u32, u32> = HashMap::new(); }";
+        let got = rules_of(&run(src, &[Family::Determinism]));
+        assert!(got.contains(&"wall-clock"));
+        assert!(got.contains(&"ambient-rng"));
+        assert!(got.contains(&"env-read"));
+        assert!(got.contains(&"unordered-collection"));
+    }
+
+    #[test]
+    fn elapsed_now_on_other_types_is_clean() {
+        let src = "fn f(c: &Clock) { let t = c.now(); let u = Utc::now2(); }";
+        assert!(run(src, &[Family::Determinism]).is_empty());
+    }
+
+    #[test]
+    fn panic_safety_rules_fire() {
+        let src = "fn f(b: &[u8]) -> u8 { let x = b.get(0).unwrap(); \
+                   if x > 9 { panic!(\"no\"); } b[1] }";
+        let got = rules_of(&run(src, &[Family::PanicSafety]));
+        assert_eq!(got, vec!["unwrap-expect", "panic-macro", "slice-index"]);
+    }
+
+    #[test]
+    fn unwrap_or_and_types_are_clean() {
+        let src = "fn f(o: Option<u8>) -> u8 { let v: [u8; 4] = [0; 4]; \
+                   let s: &mut [u8] = &mut []; o.unwrap_or(v.len() as u8) }";
+        let got = run(src, &[Family::PanicSafety]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn attributes_are_not_indexing() {
+        let src = "#[derive(Debug)]\n#![allow(dead_code)]\nstruct S;";
+        let got = run(src, &[Family::PanicSafety]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); let m = HashMap::new(); \
+                   println!(\"ok\"); } }";
+        for fam in [Family::Determinism, Family::PanicSafety, Family::Hygiene] {
+            assert!(run(src, &[fam]).is_empty());
+        }
+    }
+
+    #[test]
+    fn print_macros_flagged_unless_allowed() {
+        let src = "fn f() { println!(\"x\"); }";
+        assert_eq!(rules_of(&run(src, &[Family::Hygiene])), vec!["print-macro"]);
+        let l = lex(src);
+        let ctx = context::scan(&l);
+        assert!(check(&l, &ctx, &[Family::Hygiene], true).is_empty());
+    }
+
+    #[test]
+    fn allow_needs_adjacent_comment() {
+        let bad = "#[allow(dead_code)]\nfn f() {}";
+        assert_eq!(
+            rules_of(&run(bad, &[Family::Hygiene])),
+            vec!["allow-without-reason"]
+        );
+        let good = "// The field mirrors the wire layout.\n#[allow(dead_code)]\nfn f() {}";
+        assert!(run(good, &[Family::Hygiene]).is_empty());
+    }
+
+    #[test]
+    fn rule_table_is_consistent() {
+        for r in RULES {
+            assert!(rule(r.id).is_some());
+        }
+        assert!(rule("nope").is_none());
+    }
+}

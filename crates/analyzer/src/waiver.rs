@@ -1,0 +1,170 @@
+//! Inline waivers: `// dps: allow(<rule>, reason = "…")`.
+//!
+//! A waiver suppresses one rule at one site — the line the comment sits
+//! on, or, for a comment alone on its line, the line directly below it.
+//! `// dps: allow-file(<rule>, reason = "…")` waives the rule for the
+//! whole file (for e.g. a keyed-lookup `HashMap` used on many lines).
+//!
+//! The reason string is mandatory and must be non-empty: a waiver without
+//! one is itself a violation (`waiver-without-reason`), and it does *not*
+//! suppress anything. Waivers naming a rule the analyzer does not ship
+//! are `unknown-rule` violations; waivers that match no violation are
+//! reported as `unused-waiver` so stale ones cannot linger.
+
+use crate::lexer::Comment;
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id the waiver names.
+    pub rule: String,
+    /// True for `allow-file`, false for line-scoped `allow`.
+    pub file_level: bool,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Line the waiver applies to (same line, or the one below for an
+    /// own-line comment). Ignored for file-level waivers.
+    pub target_line: u32,
+    /// The reason string, if present and non-empty.
+    pub reason: Option<String>,
+}
+
+/// Extracts waivers from a file's comments. Comments inside skipped
+/// (test-only) line ranges must already be filtered out by the caller.
+pub fn parse_waivers(comments: &[Comment]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        // Tolerate doc-comment leaders (`/// dps: …` lexes with a leading `/`).
+        let text = text.trim_start_matches('/').trim_start();
+        let Some(rest) = text.strip_prefix("dps:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            (false, r)
+        } else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(inner) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.rfind(')').map(|i| &r[..i]))
+        else {
+            // `dps: allow` without a parenthesised body: treat as a waiver
+            // with no rule so it surfaces as unknown-rule rather than
+            // silently doing nothing.
+            out.push(Waiver {
+                rule: String::new(),
+                file_level,
+                line: c.line,
+                target_line: target_line(c),
+                reason: None,
+            });
+            continue;
+        };
+        let (rule_part, reason) = match inner.find(',') {
+            Some(i) => (&inner[..i], parse_reason(&inner[i + 1..])),
+            None => (inner, None),
+        };
+        out.push(Waiver {
+            rule: rule_part.trim().to_owned(),
+            file_level,
+            line: c.line,
+            target_line: target_line(c),
+            reason,
+        });
+    }
+    out
+}
+
+fn target_line(c: &Comment) -> u32 {
+    if c.own_line {
+        c.end_line + 1
+    } else {
+        c.line
+    }
+}
+
+/// Parses `reason = "…"`; `None` unless the string is present and
+/// non-empty after trimming.
+fn parse_reason(s: &str) -> Option<String> {
+    let s = s.trim();
+    let s = s.strip_prefix("reason")?.trim_start();
+    let s = s.strip_prefix('=')?.trim_start();
+    let s = s.strip_prefix('"')?;
+    let end = s.rfind('"')?;
+    let reason = s[..end].trim();
+    if reason.is_empty() {
+        None
+    } else {
+        Some(reason.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, own_line: bool) -> Comment {
+        Comment {
+            line: 10,
+            end_line: 10,
+            text: text.to_owned(),
+            own_line,
+        }
+    }
+
+    #[test]
+    fn parses_full_waiver() {
+        let w = parse_waivers(&[comment(
+            r#" dps: allow(unordered-collection, reason = "keyed lookup only")"#,
+            true,
+        )]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rule, "unordered-collection");
+        assert_eq!(w[0].reason.as_deref(), Some("keyed lookup only"));
+        assert!(!w[0].file_level);
+        assert_eq!(w[0].target_line, 11);
+    }
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let w = parse_waivers(&[comment(
+            r#" dps: allow(unwrap-expect, reason = "x")"#,
+            false,
+        )]);
+        assert_eq!(w[0].target_line, 10);
+    }
+
+    #[test]
+    fn missing_or_empty_reason_is_none() {
+        for text in [
+            " dps: allow(unwrap-expect)",
+            " dps: allow(unwrap-expect, reason = \"\")",
+            " dps: allow(unwrap-expect, reason = \"  \")",
+            " dps: allow(unwrap-expect, because = \"y\")",
+        ] {
+            let w = parse_waivers(&[comment(text, true)]);
+            assert_eq!(w.len(), 1, "{text}");
+            assert!(w[0].reason.is_none(), "{text}");
+        }
+    }
+
+    #[test]
+    fn file_level_flag() {
+        let w = parse_waivers(&[comment(
+            r#" dps: allow-file(print-macro, reason = "reporter")"#,
+            true,
+        )]);
+        assert!(w[0].file_level);
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        assert!(parse_waivers(&[comment(" just words", true)]).is_empty());
+        assert!(parse_waivers(&[comment(" dps-expect: unwrap-expect", true)]).is_empty());
+    }
+}

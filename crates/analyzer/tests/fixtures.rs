@@ -1,0 +1,107 @@
+//! The fixture corpus as a test suite: every `bad/` fixture must fire each
+//! rule named by its `// dps-expect:` annotations, every `good/` fixture
+//! must come back clean, and every rule in the table must be covered by at
+//! least one bad fixture — so a rule can never silently stop biting.
+
+use dps_analyzer::{analyze_source, Mode, RULES};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub)
+}
+
+/// `(file name, source text)` for every fixture under `sub`, sorted.
+fn sources(sub: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = std::fs::read_dir(fixture_dir(sub))
+        .expect("fixture dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            let src = std::fs::read_to_string(&p).expect("readable fixture");
+            (name, src)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no fixtures under {sub}/");
+    out
+}
+
+fn expectations(src: &str) -> Vec<&str> {
+    src.lines()
+        .filter_map(|l| l.trim().strip_prefix("// dps-expect:"))
+        .map(str::trim)
+        .collect()
+}
+
+#[test]
+fn bad_fixtures_fire_their_expected_rules() {
+    for (name, src) in sources("bad") {
+        let expected = expectations(&src);
+        assert!(!expected.is_empty(), "{name}: no dps-expect annotations");
+        let fired: Vec<&str> = analyze_source(&name, &src, Mode::AllRules)
+            .iter()
+            .map(|f| f.rule)
+            .collect();
+        assert!(!fired.is_empty(), "{name}: no findings at all");
+        for rule in expected {
+            assert!(
+                fired.contains(&rule),
+                "{name}: expected `{rule}` to fire, got {fired:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for (name, src) in sources("good") {
+        let findings = analyze_source(&name, &src, Mode::AllRules);
+        assert!(
+            findings.is_empty(),
+            "{name}: expected clean, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_bad_fixture() {
+    let covered: BTreeSet<String> = sources("bad")
+        .iter()
+        .flat_map(|(_, src)| {
+            expectations(src)
+                .into_iter()
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for rule in RULES {
+        assert!(
+            covered.contains(rule.id),
+            "rule `{}` has no bad fixture exercising it",
+            rule.id
+        );
+    }
+}
+
+/// The waiver grammar's teeth: omitting the reason string must not
+/// suppress the underlying finding, and must itself be reported.
+#[test]
+fn waiver_without_reason_is_itself_a_violation() {
+    let src = "fn f(v: &[u8]) -> u8 {\n\
+               // dps: allow(slice-index)\n\
+               v[0]\n}";
+    let fired: Vec<&str> = analyze_source("inline.rs", src, Mode::AllRules)
+        .iter()
+        .map(|f| f.rule)
+        .collect();
+    assert!(fired.contains(&"slice-index"), "{fired:?}");
+    assert!(fired.contains(&"waiver-without-reason"), "{fired:?}");
+}

@@ -7,6 +7,11 @@
 //! record types the study touches (`A`, `AAAA`, `NS`, `CNAME`, `SOA`,
 //! `MX`, `TXT`). Comments (`;`) and blank lines are tolerated.
 
+// Untrusted-input module: registry zone text is parsed with typed errors,
+// never panics (enforced by dps-analyzer's panic-safety family and these
+// lints).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::zone::Zone;
 use dps_dns::{Name, RData, RrType, Soa};
 use std::fmt::Write as _;
@@ -94,9 +99,12 @@ pub fn parse_zone(default_origin: &Name, text: &str) -> Result<Zone, ParseError>
             continue;
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
-        match tokens[0] {
+        let Some((&first, mut rest)) = tokens.split_first() else {
+            continue;
+        };
+        match first {
             "$ORIGIN" => {
-                let o = tokens.get(1).ok_or_else(|| err(lineno, "missing origin"))?;
+                let o = rest.first().ok_or_else(|| err(lineno, "missing origin"))?;
                 origin = o
                     .parse()
                     .map_err(|e| err(lineno, &format!("bad origin: {e}")))?;
@@ -105,18 +113,18 @@ pub fn parse_zone(default_origin: &Name, text: &str) -> Result<Zone, ParseError>
                 }
             }
             "$TTL" => {
-                tokens.get(1).ok_or_else(|| err(lineno, "missing ttl"))?;
+                rest.first().ok_or_else(|| err(lineno, "missing ttl"))?;
             }
             _ => {
                 // owner [IN] TYPE RDATA…
-                let owner = resolve_name(tokens[0], &origin)
+                let owner = resolve_name(first, &origin)
                     .map_err(|e| err(lineno, &format!("bad owner: {e}")))?;
-                let mut rest = &tokens[1..];
-                if rest.first() == Some(&"IN") {
-                    rest = &rest[1..];
+                if let Some((&"IN", after)) = rest.split_first() {
+                    rest = after;
                 }
-                let rtype = rest.first().ok_or_else(|| err(lineno, "missing type"))?;
-                let args = &rest[1..];
+                let Some((rtype, args)) = rest.split_first() else {
+                    return Err(err(lineno, "missing type"));
+                };
                 let rdata = parse_rdata(rtype, args, &origin).map_err(|m| err(lineno, &m))?;
                 if rdata.rtype() == RrType::Soa {
                     // SOA replaces the synthetic one; stored via dedicated API.
@@ -149,47 +157,32 @@ fn resolve_name(token: &str, origin: &Name) -> Result<Name, dps_dns::NameError> 
 }
 
 fn parse_rdata(rtype: &str, args: &[&str], origin: &Name) -> Result<RData, String> {
-    let need = |n: usize| -> Result<(), String> {
-        if args.len() < n {
-            Err(format!("{rtype} needs {n} fields, got {}", args.len()))
-        } else {
-            Ok(())
-        }
+    // Checked field accessor: registry exports are untrusted text, so a
+    // short line must surface as a parse error, never an index panic.
+    let arg = |i: usize| -> Result<&str, String> {
+        args.get(i)
+            .copied()
+            .ok_or_else(|| format!("{rtype} needs {} fields, got {}", i + 1, args.len()))
     };
     match rtype {
-        "A" => {
-            need(1)?;
-            Ok(RData::A(
-                args[0].parse().map_err(|_| "bad IPv4".to_string())?,
-            ))
-        }
-        "AAAA" => {
-            need(1)?;
-            Ok(RData::Aaaa(
-                args[0].parse().map_err(|_| "bad IPv6".to_string())?,
-            ))
-        }
-        "NS" => {
-            need(1)?;
-            Ok(RData::Ns(
-                resolve_name(args[0], origin).map_err(|e| e.to_string())?,
-            ))
-        }
-        "CNAME" => {
-            need(1)?;
-            Ok(RData::Cname(
-                resolve_name(args[0], origin).map_err(|e| e.to_string())?,
-            ))
-        }
-        "MX" => {
-            need(2)?;
-            Ok(RData::Mx {
-                preference: args[0].parse().map_err(|_| "bad preference".to_string())?,
-                exchange: resolve_name(args[1], origin).map_err(|e| e.to_string())?,
-            })
-        }
+        "A" => Ok(RData::A(
+            arg(0)?.parse().map_err(|_| "bad IPv4".to_string())?,
+        )),
+        "AAAA" => Ok(RData::Aaaa(
+            arg(0)?.parse().map_err(|_| "bad IPv6".to_string())?,
+        )),
+        "NS" => Ok(RData::Ns(
+            resolve_name(arg(0)?, origin).map_err(|e| e.to_string())?,
+        )),
+        "CNAME" => Ok(RData::Cname(
+            resolve_name(arg(0)?, origin).map_err(|e| e.to_string())?,
+        )),
+        "MX" => Ok(RData::Mx {
+            preference: arg(0)?.parse().map_err(|_| "bad preference".to_string())?,
+            exchange: resolve_name(arg(1)?, origin).map_err(|e| e.to_string())?,
+        }),
         "TXT" => {
-            need(1)?;
+            arg(0)?;
             // Character-strings may contain spaces; re-join the tokens and
             // take the quoted segments (unquoted single tokens also pass).
             let joined = args.join(" ");
@@ -208,18 +201,15 @@ fn parse_rdata(rtype: &str, args: &[&str], origin: &Name) -> Result<RData, Strin
             }
             Ok(RData::Txt(strings))
         }
-        "SOA" => {
-            need(7)?;
-            Ok(RData::Soa(Soa {
-                mname: resolve_name(args[0], origin).map_err(|e| e.to_string())?,
-                rname: resolve_name(args[1], origin).map_err(|e| e.to_string())?,
-                serial: args[2].parse().map_err(|_| "bad serial".to_string())?,
-                refresh: args[3].parse().map_err(|_| "bad refresh".to_string())?,
-                retry: args[4].parse().map_err(|_| "bad retry".to_string())?,
-                expire: args[5].parse().map_err(|_| "bad expire".to_string())?,
-                minimum: args[6].parse().map_err(|_| "bad minimum".to_string())?,
-            }))
-        }
+        "SOA" => Ok(RData::Soa(Soa {
+            mname: resolve_name(arg(0)?, origin).map_err(|e| e.to_string())?,
+            rname: resolve_name(arg(1)?, origin).map_err(|e| e.to_string())?,
+            serial: arg(2)?.parse().map_err(|_| "bad serial".to_string())?,
+            refresh: arg(3)?.parse().map_err(|_| "bad refresh".to_string())?,
+            retry: arg(4)?.parse().map_err(|_| "bad retry".to_string())?,
+            expire: arg(5)?.parse().map_err(|_| "bad expire".to_string())?,
+            minimum: arg(6)?.parse().map_err(|_| "bad minimum".to_string())?,
+        })),
         other => Err(format!("unsupported type {other}")),
     }
 }

@@ -1,14 +1,18 @@
 //! Dictionary encoding for string columns (SLD names, provider names).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Id 0 is reserved for "absent" in measurement tables.
 pub const NULL_ID: u32 = 0;
 
 /// An append-only string interner with serialisation.
+///
+/// The reverse index is a `BTreeMap` so nothing on the persistence path
+/// can observe hash order; serialisation itself follows insertion order
+/// via `strings`.
 #[derive(Debug, Default, Clone)]
 pub struct StringDict {
-    by_string: HashMap<String, u32>,
+    by_string: BTreeMap<String, u32>,
     strings: Vec<String>,
 }
 

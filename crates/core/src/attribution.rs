@@ -168,6 +168,7 @@ pub fn explain(
 }
 
 #[cfg(test)]
+// Index-based loops keep the day arithmetic explicit in fixtures.
 #[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;

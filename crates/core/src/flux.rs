@@ -89,6 +89,7 @@ pub fn total_domains(series: &FluxSeries) -> (u64, u64) {
 }
 
 #[cfg(test)]
+// Tests build literal `vec![a..b]` range fixtures on purpose.
 #[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;

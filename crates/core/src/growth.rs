@@ -242,6 +242,7 @@ fn clean_large_anomalies(raw: &[f64], config: &GrowthConfig) -> (Vec<f64>, Vec<(
 }
 
 #[cfg(test)]
+// Index-based loops keep the day arithmetic explicit in fixtures.
 #[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;

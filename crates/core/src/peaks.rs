@@ -141,6 +141,7 @@ pub fn analyze_with(
 }
 
 #[cfg(test)]
+// Tests build literal `vec![a..b]` range fixtures on purpose.
 #[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;

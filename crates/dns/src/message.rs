@@ -1,5 +1,9 @@
 //! DNS messages: header, questions, and the four record sections.
 
+// Untrusted-input module: decoders must return errors, never panic
+// (enforced by dps-analyzer's panic-safety family and these lints).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::error::WireError;
 use crate::name::Name;
 use crate::rr::{Class, Record, RrType};

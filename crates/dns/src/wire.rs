@@ -6,6 +6,10 @@
 //! pointers with strict backward-only and hop-count protection, so malformed
 //! or adversarial messages cannot loop it.
 
+// Untrusted-input module: decoders must return errors, never panic
+// (enforced by dps-analyzer's panic-safety family and these lints).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::error::{NameError, WireError};
 use crate::name::{Name, MAX_NAME_LEN};
 use crate::rr::{Class, RData, Record, RrType, Soa};
@@ -73,25 +77,26 @@ impl Encoder {
     /// Appends a domain name, emitting a compression pointer for the longest
     /// suffix already written, and registering every new suffix.
     pub fn put_name(&mut self, name: &Name) -> Result<(), WireError> {
-        let wire = name.as_wire();
-        let mut pos = 0usize;
+        let mut rest: &[u8] = name.as_wire();
         // Walk label by label; at each step either emit a pointer to an
         // already-written suffix, or write this label and register the
-        // suffix starting here for future messages parts.
-        while wire[pos] != 0 {
-            let suffix = wire[pos..].to_vec();
-            if let Some(&offset) = self.compression.get(&suffix) {
+        // suffix starting here for future message parts.
+        while let Some((&len, _)) = rest.split_first() {
+            if len == 0 {
+                break;
+            }
+            if let Some(&offset) = self.compression.get(rest) {
                 self.buf.put_u16(0xC000 | offset);
                 return self.check_len();
             }
             // Register this suffix if its offset fits in 14 bits.
             let here = self.buf.len();
             if here <= 0x3FFF {
-                self.compression.insert(suffix, here as u16);
+                self.compression.insert(rest.to_vec(), here as u16);
             }
-            let label_len = wire[pos] as usize;
-            self.buf.put_slice(&wire[pos..pos + 1 + label_len]);
-            pos += 1 + label_len;
+            let label = rest.get(..1 + len as usize).ok_or(WireError::Truncated)?;
+            self.buf.put_slice(label);
+            rest = rest.get(1 + len as usize..).unwrap_or(&[]);
         }
         self.buf.put_u8(0);
         self.check_len()
@@ -120,7 +125,10 @@ impl Encoder {
         if rdlen > u16::MAX as usize {
             return Err(WireError::MessageTooLarge);
         }
-        self.buf[len_at..len_at + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
+        self.buf
+            .get_mut(len_at..len_at + 2)
+            .ok_or(WireError::Truncated)?
+            .copy_from_slice(&(rdlen as u16).to_be_bytes());
         self.check_len()
     }
 
@@ -196,17 +204,15 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.msg[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.msg.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
     /// Reads a big-endian u8.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     /// Reads a big-endian u16.
@@ -238,11 +244,9 @@ impl<'a> Decoder<'a> {
                         break;
                     }
                     let end = pos + 1 + len;
-                    if end > self.msg.len() {
-                        return Err(WireError::Truncated);
-                    }
+                    let label = self.msg.get(pos + 1..end).ok_or(WireError::Truncated)?;
                     wire.push(len as u8);
-                    for &b in &self.msg[pos + 1..end] {
+                    for &b in label {
                         wire.push(b.to_ascii_lowercase());
                     }
                     if wire.len() > MAX_NAME_LEN {
@@ -314,16 +318,19 @@ impl<'a> Decoder<'a> {
                 if rdlen != 4 {
                     return Err(mismatch(4));
                 }
-                let o = self.take(4)?;
-                Ok(RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3])))
+                let &[a, b, c, d] = self.take(4)? else {
+                    return Err(WireError::Truncated);
+                };
+                Ok(RData::A(Ipv4Addr::new(a, b, c, d)))
             }
             RrType::Aaaa => {
                 if rdlen != 16 {
                     return Err(mismatch(16));
                 }
-                let o = self.take(16)?;
-                let mut a = [0u8; 16];
-                a.copy_from_slice(o);
+                let a: [u8; 16] = self
+                    .take(16)?
+                    .try_into()
+                    .map_err(|_| WireError::Truncated)?;
                 Ok(RData::Aaaa(Ipv6Addr::from(a)))
             }
             RrType::Ns => Ok(RData::Ns(self.get_name()?)),

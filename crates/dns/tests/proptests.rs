@@ -147,6 +147,31 @@ proptest! {
     }
 
     #[test]
+    fn decoder_never_panics_on_truncated_valid_message(
+        msg in arb_message(),
+        cut in any::<u16>(),
+    ) {
+        let bytes = msg.to_bytes().unwrap();
+        let keep = cut as usize % (bytes.len() + 1);
+        let _ = Message::parse(&bytes[..keep]);
+    }
+
+    #[test]
+    fn decoder_never_panics_under_multi_byte_corruption(
+        msg in arb_message(),
+        flips in proptest::collection::vec(any::<(u16, u8)>(), 1..8),
+    ) {
+        let mut bytes = msg.to_bytes().unwrap();
+        if !bytes.is_empty() {
+            for (at, x) in flips {
+                let idx = at as usize % bytes.len();
+                bytes[idx] ^= x;
+            }
+            let _ = Message::parse(&bytes);
+        }
+    }
+
+    #[test]
     fn subdomain_relation_is_transitive(a in arb_name(), b in arb_name(), c in arb_name()) {
         if a.is_subdomain_of(&b) && b.is_subdomain_of(&c) {
             prop_assert!(a.is_subdomain_of(&c));
@@ -156,5 +181,32 @@ proptest! {
     #[test]
     fn sld_is_idempotent(name in arb_name()) {
         prop_assert_eq!(name.sld().sld(), name.sld());
+    }
+}
+
+/// Exhaustive, deterministic complement to the random truncations: a
+/// realistic compressed response must decode (or error) cleanly when cut
+/// at *every* possible byte boundary.
+#[test]
+fn every_prefix_of_a_compressed_response_parses_without_panic() {
+    let name: Name = "www.cloudflare.com".parse().unwrap();
+    let mut msg = Message::query(0x2016, Question::new(name.clone(), RrType::A));
+    msg.header.qr = true;
+    msg.answers.push(Record {
+        name: name.clone(),
+        class: Class::In,
+        ttl: 300,
+        rdata: RData::Cname("edge.cloudflare.com".parse().unwrap()),
+    });
+    msg.answers.push(Record {
+        name: "edge.cloudflare.com".parse().unwrap(),
+        class: Class::In,
+        ttl: 300,
+        rdata: RData::A(Ipv4Addr::new(198, 41, 128, 1)),
+    });
+    let bytes = msg.to_bytes().unwrap();
+    assert!(Message::parse(&bytes).is_ok());
+    for keep in 0..bytes.len() {
+        let _ = Message::parse(&bytes[..keep]);
     }
 }

@@ -24,6 +24,7 @@ pub struct DomainId(pub u32);
 /// Top-level domains in the world. `.com`, `.net`, `.org` and `.nl` are
 /// measured; `.biz` only exists to host `ultradns.biz`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+// The variants are the TLD labels themselves; per-variant docs add nothing.
 #[allow(missing_docs)]
 pub enum Tld {
     Com,

@@ -928,7 +928,7 @@ impl Builder {
         let adopting_quota = self.params.scaled(20.0) as usize;
 
         let mut entries = Vec::with_capacity(list_size + list_size / 10);
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
 
         self.protected_at_cc.shuffle(&mut self.rng);
         for id in self.protected_at_cc.iter().take(protected_quota) {

@@ -12,7 +12,7 @@ use dps_authdns::resolver::{Resolution, ResolveError};
 use dps_authdns::{AuthServer, Catalog, Zone};
 use dps_dns::{Class, Name, RData, Rcode, Record, RrType};
 use dps_netsim::{AsRegistry, Asn, Day, Network, Pfx2As, Rib};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
 
@@ -719,7 +719,9 @@ impl World {
 
         // Root zone + TLD zones.
         let mut root = Zone::new(Name::root());
-        let mut tld_zones: HashMap<Tld, Zone> = HashMap::new();
+        // Ordered map: iterated below when binding TLD servers, so the
+        // bind order (and thus simulation state) must not depend on hashing.
+        let mut tld_zones: BTreeMap<Tld, Zone> = BTreeMap::new();
         for tld in [Tld::Com, Tld::Net, Tld::Org, Tld::Nl, Tld::Biz] {
             let tld_name: Name = tld.label().parse().expect("valid");
             let ns_name: Name = format!("ns.nic.{}", tld.label()).parse().expect("valid");

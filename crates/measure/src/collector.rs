@@ -7,6 +7,7 @@ use dps_columnar::StringDict;
 use dps_dns::{Name, RData, Rcode, RrType};
 use dps_ecosystem::World;
 use dps_netsim::Pfx2As;
+// dps: allow-file(unordered-collection, reason = "SldInterner's caches are keyed lookups only, never iterated; dictionary ids are assigned by StringDict in first-intern order, so hash order cannot leak into output")
 use std::collections::HashMap;
 use std::net::IpAddr;
 

@@ -11,7 +11,7 @@ use crate::observation::{schema, Source, SOURCES};
 use crate::quality::{decode_qualities, encode_qualities, DayQuality, QUALITY_SOURCE};
 use dps_columnar::{StringDict, Table};
 use dps_store::{Archive, ArchiveWriter};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Name of the single-file archive inside a `save_dir` directory.
 pub const ARCHIVE_FILE: &str = "archive.dps";
@@ -29,8 +29,9 @@ pub struct SourceStats {
     pub last_day: Option<u32>,
     /// Number of measured days.
     pub days: u32,
-    /// Unique SLDs (zone entries) observed over the whole period.
-    pub unique_slds: HashSet<u32>,
+    /// Unique SLDs (zone entries) observed over the whole period. Ordered
+    /// so persistence and reporting paths iterate deterministically.
+    pub unique_slds: BTreeSet<u32>,
     /// Collected data points (resource records).
     pub data_points: u64,
     /// Stored (encoded) bytes.

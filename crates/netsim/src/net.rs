@@ -18,6 +18,7 @@ use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
+// dps: allow-file(unordered-collection, reason = "the service table is a per-address dispatch lookup, never iterated; delivery order is governed by the virtual-time BinaryHeap")
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::net::IpAddr;

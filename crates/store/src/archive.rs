@@ -1,6 +1,11 @@
 //! Read side: open an archive by its footer, serve CRC-checked pages
 //! through the LRU cache, and run projection/pruning scans.
 
+// Untrusted-input module: page bytes come off disk and may be corrupt;
+// reads must surface errors, never panic (enforced by dps-analyzer's
+// panic-safety family and these lints).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::cache::{PageCache, PageKey};
 use crate::catalog::{Catalog, PageMeta, SourceStats};
 use crate::crc32::crc32;
@@ -314,11 +319,19 @@ impl Archive {
         Ok(buf)
     }
 
-    /// True if a raw page buffer's stored CRC matches its chunk.
+    /// True if a raw page buffer's stored CRC matches its chunk. A buffer
+    /// too short to even hold the CRC trailer fails the check.
     fn checksum_ok(&self, buf: &[u8]) -> bool {
-        let body_len = buf.len() - format::PAGE_CRC_LEN as usize;
-        let stored = u32::from_le_bytes(buf[body_len..].try_into().expect("4-byte CRC"));
-        crc32(&buf[..body_len]) == stored
+        let Some(body_len) = buf.len().checked_sub(format::PAGE_CRC_LEN as usize) else {
+            return false;
+        };
+        let (Some(body), Some(tail)) = (buf.get(..body_len), buf.get(body_len..)) else {
+            return false;
+        };
+        let Ok(tail) = <[u8; 4]>::try_from(tail) else {
+            return false;
+        };
+        crc32(body) == u32::from_le_bytes(tail)
     }
 
     /// Fetches a page through the cache, reading + checksumming + decoding
@@ -336,7 +349,8 @@ impl Archive {
                 meta.day, meta.source
             )));
         }
-        let body = &buf[..buf.len() - format::PAGE_CRC_LEN as usize];
+        let body_len = buf.len().saturating_sub(format::PAGE_CRC_LEN as usize);
+        let body = buf.get(..body_len).unwrap_or(&[]);
         let table = match projection {
             None => Table::from_bytes(body),
             Some(cols) => {

@@ -6,6 +6,7 @@
 use dps_columnar::Table;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
+// dps: allow-file(unordered-collection, reason = "shard maps are keyed lookups only; eviction order comes from the BTreeMap LRU index, and cache state never reaches disk")
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,10 +87,15 @@ impl PageCache {
         shard.lru.insert(seq, key);
         shard.bytes += bytes;
         while shard.bytes > self.per_shard_capacity && shard.lru.len() > 1 {
-            let (&oldest, _) = shard.lru.iter().next().expect("non-empty LRU");
-            let key = shard.lru.remove(&oldest).expect("indexed key");
-            let evicted = shard.map.remove(&key).expect("cached page");
-            shard.bytes -= evicted.bytes;
+            let Some((&oldest, _)) = shard.lru.iter().next() else {
+                break;
+            };
+            let Some(key) = shard.lru.remove(&oldest) else {
+                break;
+            };
+            if let Some(evicted) = shard.map.remove(&key) {
+                shard.bytes -= evicted.bytes;
+            }
         }
     }
 

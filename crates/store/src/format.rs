@@ -25,6 +25,11 @@
 //! chain. A cleanly committed file is opened by reading only its tail
 //! chain — no page bytes are touched.
 
+// Untrusted-input module: archive bytes may be torn or corrupt; recovery
+// must degrade to errors, never panic (enforced by dps-analyzer's
+// panic-safety family and these lints).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::catalog::{Catalog, CatalogDelta};
 use crate::crc32::crc32;
 use std::io::{self, Read, Seek, SeekFrom};
@@ -61,14 +66,22 @@ struct Trailer {
     prev: u64,
 }
 
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+}
+
 fn parse_trailer(bytes: &[u8; TRAILER_LEN as usize]) -> Option<Trailer> {
-    if &bytes[20..28] != FOOTER_MAGIC {
+    if bytes.get(20..28)? != FOOTER_MAGIC {
         return None;
     }
     Some(Trailer {
-        crc: u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")),
-        footer_len: u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes")),
-        prev: u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")),
+        crc: le_u32(bytes, 0)?,
+        footer_len: le_u64(bytes, 4)?,
+        prev: le_u64(bytes, 12)?,
     })
 }
 
@@ -175,13 +188,13 @@ pub fn recover_footer(file: &mut std::fs::File) -> io::Result<Footer> {
     let mut high = file_len;
     while high > 8 {
         let low = high.saturating_sub(CHUNK);
-        let len = usize::try_from(high - low).expect("chunk fits usize");
+        let len = usize::try_from(high - low).map_err(|_| corrupt("chunk exceeds usize"))?;
         let mut buf = vec![0u8; len];
         file.seek(SeekFrom::Start(low))?;
         file.read_exact(&mut buf)?;
         // Candidate magic positions within this chunk, scanned right-to-left.
         for i in (0..buf.len().saturating_sub(7)).rev() {
-            if &buf[i..i + 8] != FOOTER_MAGIC {
+            if buf.get(i..i + 8) != Some(FOOTER_MAGIC.as_slice()) {
                 continue;
             }
             let magic_at = low + i as u64;
