@@ -5,6 +5,7 @@
 #
 # Subcommands (run one step alone):
 #   ./ci.sh chaos-smoke       chaos determinism smoke only
+#   ./ci.sh telemetry-smoke   archived telemetry determinism smoke only
 #   ./ci.sh analyze           dps-analyzer over the workspace (must be clean)
 #   ./ci.sh analyze-fixtures  known-bad corpus must still fail, good must pass
 set -eu
@@ -26,6 +27,40 @@ chaos_smoke() {
     ./target/release/dpscope store info target/ci-chaos-a
     cmp target/ci-chaos-a/archive.dps target/ci-chaos-b/archive.dps
     rm -rf target/ci-chaos-a target/ci-chaos-b
+}
+
+# Archived telemetry must be deterministic and non-trivial: two same-seed
+# chaos sweeps render byte-identical `metrics --json`, the JSON parses,
+# and the counters that prove the instrumentation is live are non-zero.
+telemetry_smoke() {
+    echo "==> smoke: dpscope metrics (telemetry determinism)"
+    rm -rf target/ci-telemetry-a target/ci-telemetry-b
+    for side in a b; do
+        ./target/release/dpscope measure --scale 0.004 --days 2 --cc-start 2 \
+            --archive "target/ci-telemetry-$side" \
+            --chaos 'blackout@0..1500ms; degrade@0..inf@loss=0.15'
+        ./target/release/dpscope metrics "target/ci-telemetry-$side" --json \
+            >"target/ci-telemetry-$side/metrics.json"
+    done
+    cmp target/ci-telemetry-a/metrics.json target/ci-telemetry-b/metrics.json
+    for counter in net.packets.sent net.chaos.degraded sweep.attempted \
+        health.breaker.probes; do
+        grep -q "\"$counter\"" target/ci-telemetry-a/metrics.json || {
+            echo "missing counter $counter in metrics JSON" >&2
+            exit 1
+        }
+        if grep -q "\"$counter\": 0," target/ci-telemetry-a/metrics.json; then
+            echo "counter $counter is zero — instrumentation is dead" >&2
+            exit 1
+        fi
+    done
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+            target/ci-telemetry-a/metrics.json
+    fi
+    # The per-day view must render too (day 0 exists in a 2-day sweep).
+    ./target/release/dpscope metrics target/ci-telemetry-a --day 1 >/dev/null
+    rm -rf target/ci-telemetry-a target/ci-telemetry-b
 }
 
 # Workspace-native static analysis: determinism, panic-safety and hygiene
@@ -50,6 +85,12 @@ chaos-smoke)
     cargo build --release --offline
     chaos_smoke
     echo "==> chaos smoke green"
+    exit 0
+    ;;
+telemetry-smoke)
+    cargo build --release --offline
+    telemetry_smoke
+    echo "==> telemetry smoke green"
     exit 0
     ;;
 analyze)
@@ -84,6 +125,7 @@ rm -rf target/ci-smoke
 rm -rf target/ci-smoke
 
 chaos_smoke
+telemetry_smoke
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline

@@ -27,6 +27,7 @@ pub const DETERMINISM_SCOPE: &[&str] = &[
     "crates/measure/src/",
     "crates/netsim/src/",
     "crates/ecosystem/src/",
+    "crates/telemetry/src/",
 ];
 
 /// Modules that decode untrusted wire/archive bytes and must be
@@ -108,6 +109,8 @@ mod tests {
     #[test]
     fn determinism_scopes_to_persistence_crates() {
         let p = for_path("crates/store/src/writer.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::Determinism));
+        let p = for_path("crates/telemetry/src/lib.rs", Mode::Workspace);
         assert!(p.families.contains(&Family::Determinism));
         let p = for_path("crates/dns/src/wire.rs", Mode::Workspace);
         assert!(!p.families.contains(&Family::Determinism));

@@ -18,6 +18,7 @@
 //! methods take the caller's virtual clock; the tracker holds no clock of
 //! its own, which keeps multi-worker sweeps deterministic.
 
+use dps_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::IpAddr;
@@ -78,6 +79,36 @@ pub enum ServerHealth {
     Open,
 }
 
+/// Telemetry handles for breaker events (`health.breaker.*`). `Default`
+/// handles are detached — they count, but belong to no registry.
+#[derive(Clone, Default)]
+pub struct HealthMetrics {
+    trips: Counter,
+    skips: Counter,
+    probes: Counter,
+}
+
+impl std::fmt::Debug for HealthMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthMetrics")
+            .field("trips", &self.trips.value())
+            .field("skips", &self.skips.value())
+            .field("probes", &self.probes.value())
+            .finish()
+    }
+}
+
+impl HealthMetrics {
+    /// Instruments registered under the `health.breaker.*` names.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            trips: registry.counter("health.breaker.trips"),
+            skips: registry.counter("health.breaker.skips"),
+            probes: registry.counter("health.breaker.probes"),
+        }
+    }
+}
+
 /// Shared, thread-safe circuit-breaker state for a set of nameservers.
 #[derive(Debug, Default)]
 pub struct HealthTracker {
@@ -85,17 +116,27 @@ pub struct HealthTracker {
     entries: Mutex<HashMap<IpAddr, Entry>>,
     trips: AtomicU64,
     skips: AtomicU64,
+    metrics: HealthMetrics,
 }
 
 impl HealthTracker {
-    /// Creates a tracker with the given breaker tunables.
+    /// Creates a tracker with the given breaker tunables (telemetry
+    /// detached; see [`HealthTracker::with_telemetry`]).
     pub fn new(config: HealthConfig) -> Self {
         Self {
             config,
             entries: Mutex::new(HashMap::new()),
             trips: AtomicU64::new(0),
             skips: AtomicU64::new(0),
+            metrics: HealthMetrics::default(),
         }
+    }
+
+    /// Routes this tracker's breaker events into `registry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.metrics = HealthMetrics::new(registry);
+        self
     }
 
     /// Records a successful exchange with `server`: resets the failure
@@ -130,6 +171,7 @@ impl HealthTracker {
                 until_us: now_us + self.config.open_duration_us,
             };
             self.trips.fetch_add(1, Ordering::Relaxed);
+            self.metrics.trips.inc();
         }
     }
 
@@ -146,11 +188,13 @@ impl HealthTracker {
             State::Closed => ServerHealth::Available,
             State::Open { until_us } if now_us >= until_us => {
                 e.state = State::HalfOpen { probing: true };
+                self.metrics.probes.inc();
                 ServerHealth::Probe
             }
             State::Open { .. } => ServerHealth::Open,
             State::HalfOpen { probing: false } => {
                 e.state = State::HalfOpen { probing: true };
+                self.metrics.probes.inc();
                 ServerHealth::Probe
             }
             State::HalfOpen { probing: true } => ServerHealth::Open,
@@ -179,6 +223,7 @@ impl HealthTracker {
         // behind *some* healthier alternative.
         if !open.is_empty() && (!available.is_empty() || !probes.is_empty()) {
             self.skips.fetch_add(open.len() as u64, Ordering::Relaxed);
+            self.metrics.skips.add(open.len() as u64);
         }
         available.extend(probes);
         available.extend(open);
@@ -283,6 +328,28 @@ mod tests {
             t.record_failure(c, 0);
         }
         assert_eq!(t.order(&[a, b, c], 0), vec![a, b, c]);
+    }
+
+    #[test]
+    fn telemetry_counts_trips_skips_and_probes() {
+        let registry = Registry::new();
+        let t = HealthTracker::new(HealthConfig {
+            failure_threshold: 3,
+            open_duration_us: 1_000_000,
+        })
+        .with_telemetry(&registry);
+        let (a, b) = (ip("10.0.0.1"), ip("10.0.0.2"));
+        for _ in 0..3 {
+            t.record_failure(a, 0);
+        }
+        t.order(&[a, b], 0);
+        t.check(a, 1_000_000); // cool-down over: claims the probe slot
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("health.breaker.trips"), Some(&1));
+        assert_eq!(snap.counters.get("health.breaker.skips"), Some(&1));
+        assert_eq!(snap.counters.get("health.breaker.probes"), Some(&1));
+        assert_eq!(t.trips(), 1);
+        assert_eq!(t.skips(), 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod zone;
 pub mod zonefile;
 
 pub use catalog::Catalog;
-pub use health::{HealthConfig, HealthTracker, ServerHealth};
+pub use health::{HealthConfig, HealthMetrics, HealthTracker, ServerHealth};
 pub use resolver::{
     DirectResolver, ExchangeOutcome, FailureCause, Resolution, ResolveError, Resolver,
     ResolverConfig,

@@ -1,0 +1,229 @@
+//! Telemetry instrumentation overhead: detached instruments vs a live
+//! registry on the two hottest instrumented paths — warm archive scans
+//! (`dps-store`) and warm recursor sweeps (`dps-recursor`) — plus the
+//! page-cache hit-ratio accounting the counters exist to expose.
+//!
+//! The vendored criterion stand-in has no JSON reporter, so this bench
+//! writes `BENCH_telemetry.json` at the workspace root itself; the
+//! overhead numbers recorded in EXPERIMENTS.md come from that file.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dps_dns::{Name, RrType};
+use dps_ecosystem::{ScenarioParams, Tld, World};
+use dps_measure::{Study, StudyConfig};
+use dps_netsim::{Day, Network};
+use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
+use dps_store::{Archive, ScanQuery};
+use dps_telemetry::Registry;
+use std::time::Instant;
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// Mean of the middle half of `times` — drops timer-interrupt and
+/// thread-spawn outliers on both tails.
+fn iq_mean(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = times.len() / 4;
+    let mid = &times[q..times.len() - q];
+    mid.iter().sum::<f64>() / mid.len() as f64
+}
+
+/// Interleaved A/B timing: alternating samples of `iters` calls each,
+/// swapping which side runs first every sample, so frequency scaling,
+/// cache warmth and scheduler noise bias neither side. Returns
+/// `(median a ns/call, median b ns/call, overhead %)` where the overhead
+/// is the interquartile mean of the per-pair b/a ratios — slow-machine
+/// moments hit both halves of a pair, so the ratio cancels noise the raw
+/// medians cannot.
+fn compare<A: FnMut(), B: FnMut()>(
+    samples: usize,
+    iters: usize,
+    mut a: A,
+    mut b: B,
+) -> (f64, f64, f64) {
+    a();
+    b();
+    let time = |n: usize, f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / n as f64
+    };
+    let mut ta = Vec::with_capacity(samples);
+    let mut tb = Vec::with_capacity(samples);
+    let mut ratios = Vec::with_capacity(samples);
+    for sample in 0..samples {
+        let (a_ns, b_ns) = if sample % 2 == 0 {
+            let a_ns = time(iters, &mut a);
+            (a_ns, time(iters, &mut b))
+        } else {
+            let b_ns = time(iters, &mut b);
+            (time(iters, &mut a), b_ns)
+        };
+        ta.push(a_ns);
+        tb.push(b_ns);
+        ratios.push(b_ns / a_ns);
+    }
+    (median(ta), median(tb), (iq_mean(ratios) - 1.0) * 100.0)
+}
+
+fn jobs(world: &World) -> Vec<(Name, RrType)> {
+    let mut jobs = Vec::new();
+    for entry in world.zone_entries(Tld::Com).into_iter().take(60) {
+        let apex = world.entry_name(entry);
+        jobs.push((apex.clone(), RrType::A));
+        jobs.push((apex.prepend("www").unwrap(), RrType::A));
+        jobs.push((apex, RrType::Ns));
+    }
+    jobs
+}
+
+fn bench(c: &mut Criterion) {
+    // --- store: warm full scans, detached vs instrumented -------------
+    let days = 10u32;
+    let mut world = World::imc2016(ScenarioParams {
+        seed: 2,
+        scale: 0.02,
+        gtld_days: days,
+        cc_start_day: days,
+    });
+    let path = std::env::temp_dir().join(format!("dps-bench-telemetry-{}.dps", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    Study::new(StudyConfig {
+        days,
+        cc_start_day: days,
+        stride: 1,
+    })
+    .run_archived(&mut world, &path)
+    .expect("archived study");
+
+    let detached = Archive::open(&path).expect("open archive");
+    let registry = Registry::new();
+    let instrumented =
+        Archive::open_with_telemetry(&path, 256 << 20, &registry).expect("open archive");
+    detached.par_scan(&ScanQuery::all()).expect("warm detached");
+    instrumented
+        .par_scan(&ScanQuery::all())
+        .expect("warm instrumented");
+
+    const SAMPLES: usize = 40;
+    const ITERS: usize = 20;
+    let (store_detached_ns, store_instrumented_ns, store_overhead) = compare(
+        SAMPLES,
+        ITERS,
+        || {
+            black_box(detached.par_scan(&ScanQuery::all()).expect("scan").len());
+        },
+        || {
+            black_box(
+                instrumented
+                    .par_scan(&ScanQuery::all())
+                    .expect("scan")
+                    .len(),
+            );
+        },
+    );
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let (hits, misses) = (counter("store.cache.hits"), counter("store.cache.misses"));
+    let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
+
+    // --- recursor: warm sweeps, detached vs instrumented --------------
+    let world = World::imc2016(ScenarioParams::tiny(17));
+    let src: std::net::IpAddr = "172.16.9.1".parse().unwrap();
+    let jobs = jobs(&world);
+
+    let net = Network::new(5);
+    let catalog = world.materialize(&net);
+    let plain = SweepScheduler::new(
+        Recursor::new(catalog.root_hints(), RecursorConfig::default()),
+        4,
+    );
+    let recursor_registry = Registry::new();
+    let metered = SweepScheduler::new(
+        Recursor::with_telemetry(
+            catalog.root_hints(),
+            RecursorConfig::default(),
+            &recursor_registry,
+        ),
+        4,
+    );
+    plain.run_sweep(&net, src, Day(0), &jobs);
+    metered.run_sweep(&net, src, Day(0), &jobs);
+
+    let (recursor_detached_ns, recursor_instrumented_ns, recursor_overhead) = compare(
+        SAMPLES,
+        ITERS,
+        || {
+            black_box(plain.run_sweep(&net, src, Day(0), &jobs).packets_sent);
+        },
+        || {
+            black_box(metered.run_sweep(&net, src, Day(0), &jobs).packets_sent);
+        },
+    );
+
+    let rsnap = recursor_registry.snapshot();
+    let rcounter = |name: &str| rsnap.counters.get(name).copied().unwrap_or(0);
+    let (ahits, amisses) = (
+        rcounter("recursor.answer.hits"),
+        rcounter("recursor.answer.misses"),
+    );
+    let answer_ratio = ahits as f64 / (ahits + amisses).max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"store\": {{\n    \"scan_warm_detached_ns\": {store_detached_ns:.0},\n    \
+         \"scan_warm_instrumented_ns\": {store_instrumented_ns:.0},\n    \
+         \"overhead_pct\": {store_overhead:.2},\n    \"cache\": {{\n      \
+         \"hits\": {hits},\n      \"misses\": {misses},\n      \
+         \"hit_ratio\": {hit_ratio:.4},\n      \"pages_decoded\": {pages},\n      \
+         \"bytes_read\": {bytes}\n    }}\n  }},\n  \"recursor\": {{\n    \
+         \"sweep_warm_detached_ns\": {recursor_detached_ns:.0},\n    \
+         \"sweep_warm_instrumented_ns\": {recursor_instrumented_ns:.0},\n    \
+         \"overhead_pct\": {recursor_overhead:.2},\n    \"cache\": {{\n      \
+         \"answer_hits\": {ahits},\n      \"answer_misses\": {amisses},\n      \
+         \"hit_ratio\": {answer_ratio:.4}\n    }}\n  }}\n}}\n",
+        pages = counter("store.pages.decoded"),
+        bytes = counter("store.bytes.read"),
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_telemetry.json");
+    std::fs::write(&out, &json).expect("write BENCH_telemetry.json");
+    println!(
+        "telemetry overhead: store {store_overhead:+.2}% (cache hit ratio {hit_ratio:.3}), \
+         recursor {recursor_overhead:+.2}% (answer hit ratio {answer_ratio:.3}) \
+         -> {}",
+        out.display()
+    );
+
+    // The same four variants through criterion, for the standard report.
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.bench_function("store_scan_warm_detached", |b| {
+        b.iter(|| black_box(detached.par_scan(&ScanQuery::all()).expect("scan").len()))
+    });
+    group.bench_function("store_scan_warm_instrumented", |b| {
+        b.iter(|| {
+            black_box(
+                instrumented
+                    .par_scan(&ScanQuery::all())
+                    .expect("scan")
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("recursor_sweep_warm_detached", |b| {
+        b.iter(|| black_box(plain.run_sweep(&net, src, Day(0), &jobs).packets_sent))
+    });
+    group.bench_function("recursor_sweep_warm_instrumented", |b| {
+        b.iter(|| black_box(metered.run_sweep(&net, src, Day(0), &jobs).packets_sent))
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

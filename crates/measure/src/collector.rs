@@ -51,6 +51,12 @@ pub trait QueryPath {
     fn telemetry(&self) -> PathTelemetry {
         PathTelemetry::default()
     }
+
+    /// The path's virtual clock, for span timing. Paths without a clock
+    /// report a frozen zero (spans over them record zero durations).
+    fn now_us(&self) -> u64 {
+        0
+    }
 }
 
 /// Direct evaluation against the world (used for full-scale sweeps).
@@ -98,6 +104,10 @@ impl QueryPath for WirePath {
             breaker_trips: self.resolver.health().map_or(0, |h| h.trips()),
         }
     }
+
+    fn now_us(&self) -> u64 {
+        self.resolver.now_us()
+    }
 }
 
 /// Iterative resolution through the shared caching recursor: wire
@@ -135,6 +145,10 @@ impl QueryPath for RecursorPath {
             hedges: stats.hedges,
             breaker_trips: stats.breaker_trips,
         }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.worker.now_us()
     }
 }
 

@@ -32,10 +32,14 @@ pub mod pipeline;
 pub mod quality;
 pub mod snapshot;
 pub mod supervisor;
+pub mod telemetry;
 
 pub use collector::{BulkPath, PathTelemetry, QueryPath, RecursorPath, WirePath};
 pub use observation::{Source, SOURCES};
 pub use pipeline::{Study, StudyConfig};
 pub use quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality, QUALITY_SOURCE};
 pub use snapshot::{SnapshotStore, SourceStats, ARCHIVE_FILE};
-pub use supervisor::{sweep_supervised, SupervisedSweep, SupervisorConfig};
+pub use supervisor::{
+    sweep_supervised, sweep_supervised_metered, SupervisedSweep, SupervisorConfig, SweepMetrics,
+};
+pub use telemetry::{decode_telemetry, encode_telemetry, MetricKind, TELEMETRY_SOURCE};

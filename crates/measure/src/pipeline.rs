@@ -10,11 +10,13 @@ use crate::collector::{collect, collect_raw, BulkPath, QueryPath, RawRow, SldInt
 use crate::observation::{entry_code, schema, Row, Source, SOURCES};
 use crate::quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality, QUALITY_SOURCE};
 use crate::snapshot::{SnapshotStore, UNIQUE_KEY_COLUMN};
-use crate::supervisor::{sweep_supervised, SupervisorConfig};
+use crate::supervisor::{sweep_supervised_metered, SupervisorConfig, SweepMetrics};
+use crate::telemetry::{decode_telemetry, encode_telemetry, TELEMETRY_SOURCE};
 use dps_columnar::{Table, TableBuilder};
 use dps_ecosystem::World;
 use dps_netsim::{Day, RibHistory};
 use dps_store::{Archive, ArchiveWriter};
+use dps_telemetry::{Counter, Registry};
 
 /// Study configuration.
 #[derive(Debug, Clone, Copy)]
@@ -39,21 +41,50 @@ impl StudyConfig {
     }
 }
 
+/// Sweep-volume counters the study records per measured day.
+struct StudyMetrics {
+    days: Counter,
+    rows: Counter,
+    data_points: Counter,
+}
+
+impl StudyMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            days: registry.counter("measure.days"),
+            rows: registry.counter("measure.rows"),
+            data_points: registry.counter("measure.data.points"),
+        }
+    }
+}
+
 /// Drives a full study over a world using the bulk query path.
 pub struct Study {
     config: StudyConfig,
     store: SnapshotStore,
     history: RibHistory,
+    registry: Registry,
+    metrics: StudyMetrics,
 }
 
 impl Study {
-    /// A study with an empty store.
+    /// A study with an empty store and a private telemetry registry
+    /// (per-day deltas land in the store as telemetry pages).
     pub fn new(config: StudyConfig) -> Self {
+        let registry = Registry::new();
+        let metrics = StudyMetrics::new(&registry);
         Self {
             config,
             store: SnapshotStore::new(),
             history: RibHistory::new(),
+            registry,
+            metrics,
         }
+    }
+
+    /// The study's telemetry registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The measurement calendar: which sources are due on `day`.
@@ -81,7 +112,10 @@ impl Study {
         while day < self.config.days {
             world.advance_to(Day(day));
             self.history.record(Day(day), world.pfx2as());
+            let before = self.registry.snapshot();
             self.measure_day(world, day, &mut interner);
+            let delta = self.registry.snapshot().since(&before);
+            self.store.add_telemetry(day, delta);
             day += self.config.stride.max(1);
         }
         (self.store, self.history)
@@ -114,6 +148,13 @@ impl Study {
                 let table = archive
                     .table(day, source)?
                     .expect("catalog-listed page exists");
+                if source == TELEMETRY_SOURCE {
+                    let snapshot = decode_telemetry(&table).ok_or_else(|| {
+                        std::io::Error::other("archive holds an undecodable telemetry page")
+                    })?;
+                    self.store.add_telemetry(day, snapshot);
+                    continue;
+                }
                 if source == QUALITY_SOURCE {
                     let qualities = decode_qualities(&table).ok_or_else(|| {
                         std::io::Error::other("archive holds an undecodable quality page")
@@ -139,8 +180,10 @@ impl Study {
             // A commit happens once per day, so a day is either fully
             // durable or (after truncating a torn tail) absent entirely.
             let complete = due.iter().all(|s| writer.contains(day, s.index() as u8))
-                && writer.contains(day, QUALITY_SOURCE);
+                && writer.contains(day, QUALITY_SOURCE)
+                && writer.contains(day, TELEMETRY_SOURCE);
             if !complete {
+                let before = self.registry.snapshot();
                 let mut day_qualities = Vec::new();
                 for (source, table, data_points, quality) in
                     self.collect_day(world, day, &mut interner)
@@ -151,6 +194,9 @@ impl Study {
                     day_qualities.push(quality);
                 }
                 writer.append_table(day, QUALITY_SOURCE, &encode_qualities(&day_qualities), 0)?;
+                let delta = self.registry.snapshot().since(&before);
+                writer.append_table(day, TELEMETRY_SOURCE, &encode_telemetry(&delta), 0)?;
+                self.store.add_telemetry(day, delta);
                 writer.commit(&self.store.dict)?;
             }
             day += self.config.stride.max(1);
@@ -181,6 +227,7 @@ impl Study {
     ) -> Vec<(Source, Table, u64, DayQuality)> {
         let pfx2as = world.pfx2as();
         let mut out = Vec::new();
+        self.metrics.days.inc();
         for source in self.due_sources(day) {
             let entries = match source.tld() {
                 Some(tld) => world.zone_entries(tld),
@@ -221,6 +268,8 @@ impl Study {
             }
             let mut quality = DayQuality::perfect(day, source, attempted, failed);
             quality.causes = causes;
+            self.metrics.rows.add(u64::from(attempted));
+            self.metrics.data_points.add(data_points);
             out.push((source, builder.finish(), data_points, quality));
         }
         out
@@ -278,6 +327,31 @@ pub fn sweep_with_path_supervised(
     interner: &mut SldInterner,
     config: &SupervisorConfig,
 ) -> DayQuality {
+    sweep_with_path_supervised_metered(
+        world,
+        path,
+        source,
+        day,
+        store,
+        interner,
+        config,
+        &SweepMetrics::default(),
+    )
+}
+
+/// [`sweep_with_path_supervised`] with telemetry: the sweep records its
+/// quality tallies and virtual-time span into `metrics`.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_with_path_supervised_metered(
+    world: &World,
+    path: &mut impl QueryPath,
+    source: Source,
+    day: u32,
+    store: &mut SnapshotStore,
+    interner: &mut SldInterner,
+    config: &SupervisorConfig,
+    metrics: &SweepMetrics,
+) -> DayQuality {
     let pfx2as = world.pfx2as();
     let entries = match source.tld() {
         Some(tld) => world.zone_entries(tld),
@@ -287,7 +361,7 @@ pub fn sweep_with_path_supervised(
         .iter()
         .map(|&entry| (world.entry_name(entry), entry_code(entry)))
         .collect();
-    let sweep = sweep_supervised(path, &jobs, &pfx2as, day, source, config);
+    let sweep = sweep_supervised_metered(path, &jobs, &pfx2as, day, source, config, metrics);
     let mut builder = TableBuilder::new(schema());
     let mut data_points = 0u64;
     for raw in sweep.rows {

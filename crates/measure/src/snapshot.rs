@@ -9,8 +9,10 @@
 
 use crate::observation::{schema, Source, SOURCES};
 use crate::quality::{decode_qualities, encode_qualities, DayQuality, QUALITY_SOURCE};
+use crate::telemetry::{decode_telemetry, encode_telemetry, TELEMETRY_SOURCE};
 use dps_columnar::{StringDict, Table};
 use dps_store::{Archive, ArchiveWriter};
+use dps_telemetry::Snapshot;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Name of the single-file archive inside a `save_dir` directory.
@@ -55,6 +57,7 @@ pub struct SnapshotStore {
     tables: BTreeMap<(u32, u8), StoredTable>,
     stats: Vec<SourceStats>,
     qualities: BTreeMap<(u32, u8), DayQuality>,
+    telemetry: BTreeMap<u32, Snapshot>,
 }
 
 impl SnapshotStore {
@@ -65,7 +68,33 @@ impl SnapshotStore {
             tables: BTreeMap::new(),
             stats: vec![SourceStats::default(); SOURCES.len()],
             qualities: BTreeMap::new(),
+            telemetry: BTreeMap::new(),
         }
+    }
+
+    /// Records a day's telemetry snapshot (replacing any existing one).
+    pub fn add_telemetry(&mut self, day: u32, snapshot: Snapshot) {
+        self.telemetry.insert(day, snapshot);
+    }
+
+    /// The telemetry snapshot for `day`, if the sweep stored one.
+    pub fn telemetry(&self, day: u32) -> Option<&Snapshot> {
+        self.telemetry.get(&day)
+    }
+
+    /// Every stored `(day, snapshot)` pair, ascending by day.
+    pub fn all_telemetry(&self) -> impl Iterator<Item = (u32, &Snapshot)> {
+        self.telemetry.iter().map(|(&d, s)| (d, s))
+    }
+
+    /// Every per-day snapshot merged into one (counters and histograms
+    /// add; gauges keep the latest day's level).
+    pub fn merged_telemetry(&self) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for snapshot in self.telemetry.values() {
+            merged.merge(snapshot);
+        }
+        merged
     }
 
     /// Records a day's quality record (replacing any existing one for the
@@ -168,14 +197,16 @@ impl SnapshotStore {
     pub fn save_archive(&self, path: &std::path::Path) -> std::io::Result<()> {
         let mut writer = ArchiveWriter::create(path, Some(UNIQUE_KEY_COLUMN))?;
         // Append in global (day, source) page order: a day's data tables
-        // first, then its quality page under QUALITY_SOURCE — the same
-        // order `Study::run_archived` streams pages in, so both writers
-        // produce byte-identical archives for identical content.
+        // first, then its quality page under QUALITY_SOURCE, then its
+        // telemetry page under TELEMETRY_SOURCE — the same order
+        // `Study::run_archived` streams pages in, so both writers produce
+        // byte-identical archives for identical content.
         let days: BTreeSet<u32> = self
             .tables
             .keys()
             .chain(self.qualities.keys())
             .map(|&(day, _)| day)
+            .chain(self.telemetry.keys().copied())
             .collect();
         for day in days {
             for (&(_, source), stored) in self.tables.range((day, 0)..=(day, u8::MAX)) {
@@ -189,6 +220,9 @@ impl SnapshotStore {
                 .collect();
             if !day_qualities.is_empty() {
                 writer.append_table(day, QUALITY_SOURCE, &encode_qualities(&day_qualities), 0)?;
+            }
+            if let Some(snapshot) = self.telemetry.get(&day) {
+                writer.append_table(day, TELEMETRY_SOURCE, &encode_telemetry(snapshot), 0)?;
             }
         }
         writer.commit(&self.dict)
@@ -209,11 +243,19 @@ impl SnapshotStore {
             tables: BTreeMap::new(),
             stats: vec![SourceStats::default(); SOURCES.len()],
             qualities: BTreeMap::new(),
+            telemetry: BTreeMap::new(),
         };
         for (&(day, source), meta) in &archive.catalog().pages {
             let table = archive
                 .table(day, source)?
                 .expect("catalog-listed page exists");
+            if source == TELEMETRY_SOURCE {
+                let snapshot = decode_telemetry(&table).ok_or_else(|| {
+                    std::io::Error::other("archive holds an undecodable telemetry page")
+                })?;
+                store.add_telemetry(day, snapshot);
+                continue;
+            }
             if source == QUALITY_SOURCE {
                 let qualities = decode_qualities(&table).ok_or_else(|| {
                     std::io::Error::other("archive holds an undecodable quality page")
@@ -290,6 +332,7 @@ impl SnapshotStore {
             tables: BTreeMap::new(),
             stats: vec![SourceStats::default(); SOURCES.len()],
             qualities: BTreeMap::new(),
+            telemetry: BTreeMap::new(),
         };
         for line in index.lines() {
             let mut parts = line.split('\t');
@@ -448,6 +491,31 @@ mod tests {
         // Quality pages never leak into data-table accessors or stats.
         assert_eq!(back.days(Source::Com), vec![0, 1]);
         assert_eq!(back.stats(Source::Com).days, 2);
+    }
+
+    #[test]
+    fn telemetry_snapshots_roundtrip_through_the_archive() {
+        let registry = dps_telemetry::Registry::new();
+        registry.counter("sweep.attempted").add(42);
+        registry.histogram("sweep.day.us").observe(1_000_000);
+        let mut store = SnapshotStore::new();
+        store.add_table(0, Source::Com, &table_with_rows(0, 10), 50);
+        store.add_telemetry(0, registry.snapshot());
+        let path =
+            std::env::temp_dir().join(format!("dps-snapshot-telemetry-{}.dps", std::process::id()));
+        store.save_archive(&path).unwrap();
+        let back = SnapshotStore::load_archive(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let day0 = back.telemetry(0).expect("telemetry page restored");
+        assert_eq!(day0.counters.get("sweep.attempted"), Some(&42));
+        assert_eq!(
+            day0.histograms.get("sweep.day.us").map(|h| h.sum),
+            Some(1_000_000)
+        );
+        assert_eq!(back.merged_telemetry().counters["sweep.attempted"], 42);
+        // Telemetry pages never leak into data-table accessors or stats.
+        assert_eq!(back.days(Source::Com), vec![0]);
+        assert_eq!(back.stats(Source::Com).days, 1);
     }
 
     #[test]

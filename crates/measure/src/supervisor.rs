@@ -21,6 +21,72 @@ use crate::observation::Source;
 use crate::quality::{CauseCounts, DayQuality};
 use dps_dns::Name;
 use dps_netsim::Pfx2As;
+use dps_telemetry::{Counter, Histogram, Registry};
+
+/// Telemetry handles for supervised sweeps. Default handles are detached
+/// (no registry), so existing call sites record into thin air at the cost
+/// of an uncontended atomic per event.
+#[derive(Clone, Default)]
+pub struct SweepMetrics {
+    /// `sweep.attempted` — names the first pass attempted.
+    pub attempted: Counter,
+    /// `sweep.retries` — names that entered the dead-letter queue.
+    pub retries: Counter,
+    /// `sweep.recovered` — dead-letter names whose retry completed.
+    pub recovered: Counter,
+    /// `sweep.failed` — names still failed after every pass.
+    pub failed: Counter,
+    /// `sweep.deadletter.passes` — end-of-day retry passes run.
+    pub deadletter_passes: Counter,
+    /// `sweep.failures.timeout` — timeout tallies across all attempts.
+    pub failures_timeout: Counter,
+    /// `sweep.failures.unreachable`.
+    pub failures_unreachable: Counter,
+    /// `sweep.failures.corrupt`.
+    pub failures_corrupt: Counter,
+    /// `sweep.failures.servfail`.
+    pub failures_servfail: Counter,
+    /// `sweep.failures.other`.
+    pub failures_other: Counter,
+    /// `sweep.day.us` — virtual time one supervised sweep took.
+    pub day_us: Histogram,
+}
+
+impl SweepMetrics {
+    /// Handles registered under the `sweep.*` names in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            attempted: registry.counter("sweep.attempted"),
+            retries: registry.counter("sweep.retries"),
+            recovered: registry.counter("sweep.recovered"),
+            failed: registry.counter("sweep.failed"),
+            deadletter_passes: registry.counter("sweep.deadletter.passes"),
+            failures_timeout: registry.counter("sweep.failures.timeout"),
+            failures_unreachable: registry.counter("sweep.failures.unreachable"),
+            failures_corrupt: registry.counter("sweep.failures.corrupt"),
+            failures_servfail: registry.counter("sweep.failures.servfail"),
+            failures_other: registry.counter("sweep.failures.other"),
+            day_us: registry.histogram("sweep.day.us"),
+        }
+    }
+
+    fn record(&self, quality: &DayQuality, elapsed_us: u64) {
+        self.attempted.add(u64::from(quality.attempted));
+        self.retries.add(u64::from(quality.retried));
+        self.recovered.add(u64::from(quality.recovered));
+        self.failed.add(u64::from(quality.failed));
+        self.deadletter_passes.add(u64::from(quality.retry_passes));
+        self.failures_timeout
+            .add(u64::from(quality.causes.timeouts));
+        self.failures_unreachable
+            .add(u64::from(quality.causes.unreachable));
+        self.failures_corrupt.add(u64::from(quality.causes.corrupt));
+        self.failures_servfail
+            .add(u64::from(quality.causes.servfail));
+        self.failures_other.add(u64::from(quality.causes.other));
+        self.day_us.observe(elapsed_us);
+    }
+}
 
 /// Tunables for [`sweep_supervised`].
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +128,29 @@ pub fn sweep_supervised(
     source: Source,
     config: &SupervisorConfig,
 ) -> SupervisedSweep {
+    sweep_supervised_metered(
+        path,
+        jobs,
+        pfx2as,
+        day,
+        source,
+        config,
+        &SweepMetrics::default(),
+    )
+}
+
+/// [`sweep_supervised`] with telemetry: the sweep's quality tallies and
+/// virtual-time span land in `metrics` as well as in the returned record.
+pub fn sweep_supervised_metered(
+    path: &mut impl QueryPath,
+    jobs: &[(Name, u32)],
+    pfx2as: &Pfx2As,
+    day: u32,
+    source: Source,
+    config: &SupervisorConfig,
+    metrics: &SweepMetrics,
+) -> SupervisedSweep {
+    let start_us = path.now_us();
     let before = path.telemetry();
     let mut causes = CauseCounts::default();
     let mut rows = Vec::with_capacity(jobs.len());
@@ -108,21 +197,20 @@ pub fn sweep_supervised(
     // Unknown-state rows: whatever the dead-letter queue could not clear.
     // Definitive observations (including NXDOMAIN) are usable coverage.
     let failed = dlq.len() as u32;
-    SupervisedSweep {
-        quality: DayQuality {
-            day,
-            source,
-            attempted: jobs.len() as u32,
-            failed,
-            retried,
-            recovered,
-            causes,
-            retry_passes: passes_run,
-            breaker_trips: telemetry.breaker_trips.min(u64::from(u32::MAX)) as u32,
-            hedges: telemetry.hedges.min(u64::from(u32::MAX)) as u32,
-        },
-        rows,
-    }
+    let quality = DayQuality {
+        day,
+        source,
+        attempted: jobs.len() as u32,
+        failed,
+        retried,
+        recovered,
+        causes,
+        retry_passes: passes_run,
+        breaker_trips: telemetry.breaker_trips.min(u64::from(u32::MAX)) as u32,
+        hedges: telemetry.hedges.min(u64::from(u32::MAX)) as u32,
+    };
+    metrics.record(&quality, path.now_us().saturating_sub(start_us));
+    SupervisedSweep { quality, rows }
 }
 
 #[cfg(test)]
@@ -175,6 +263,10 @@ mod tests {
 
         fn pause_us(&mut self, dt_us: u64) {
             self.clock_us += dt_us;
+        }
+
+        fn now_us(&self) -> u64 {
+            self.clock_us
         }
     }
 
@@ -272,5 +364,40 @@ mod tests {
     fn telemetry_defaults_to_zero_for_plain_paths() {
         let path = ScriptedPath::new();
         assert_eq!(path.telemetry(), PathTelemetry::default());
+    }
+
+    #[test]
+    fn metered_sweep_publishes_quality_into_the_registry() {
+        let registry = dps_telemetry::Registry::new();
+        let metrics = SweepMetrics::new(&registry);
+        let mut path = ScriptedPath::new();
+        path.on(
+            "flaky.com.",
+            vec![Err(ResolveError::Timeout), Ok(Rcode::NoError)],
+        );
+        let pfx2as = dps_netsim::Rib::new().snapshot();
+        sweep_supervised_metered(
+            &mut path,
+            &jobs(&["flaky.com", "ok.com"]),
+            &pfx2as,
+            3,
+            Source::Com,
+            &SupervisorConfig::default(),
+            &metrics,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sweep.attempted"], 2);
+        assert_eq!(snap.counters["sweep.retries"], 1);
+        assert_eq!(snap.counters["sweep.recovered"], 1);
+        assert_eq!(snap.counters["sweep.failed"], 0);
+        assert_eq!(snap.counters["sweep.deadletter.passes"], 1);
+        assert_eq!(snap.counters["sweep.failures.timeout"], 1);
+        let span = &snap.histograms["sweep.day.us"];
+        assert_eq!(span.count, 1);
+        assert_eq!(
+            span.sum,
+            SupervisorConfig::default().retry_pause_us,
+            "the span covers the retry pause on the path's virtual clock"
+        );
     }
 }

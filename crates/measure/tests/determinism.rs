@@ -72,3 +72,33 @@ fn byte_identical_archives_reload_identically() {
     std::fs::remove_file(&path2).ok();
     assert_eq!(bytes, again, "save(load(a)) differed from a");
 }
+
+#[test]
+fn telemetry_pages_are_archived_and_seed_deterministic() {
+    // Two same-seed studies must render identical telemetry, and the
+    // telemetry must actually be there: a per-day page for every measured
+    // day, with the study's own counters populated.
+    let mut stores = Vec::new();
+    for _ in 0..2 {
+        let bytes = run_once(12);
+        let path = std::env::temp_dir().join(format!(
+            "dps-determinism-telemetry-{}-{}.dps",
+            std::process::id(),
+            NEXT_FILE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, &bytes).expect("archive writes");
+        let store = SnapshotStore::load_archive(&path).expect("archive loads");
+        std::fs::remove_file(&path).ok();
+        stores.push(store);
+    }
+    let days: Vec<u32> = stores[0].all_telemetry().map(|(d, _)| d).collect();
+    assert_eq!(days, vec![0, 1, 2, 3, 4, 5], "one telemetry page per day");
+    let merged = stores[0].merged_telemetry();
+    assert_eq!(merged.counters.get("measure.days"), Some(&6));
+    assert!(merged.counters.get("measure.rows").copied().unwrap_or(0) > 0);
+    assert_eq!(
+        stores[0].merged_telemetry().to_json(),
+        stores[1].merged_telemetry().to_json(),
+        "same-seed studies rendered different metrics JSON"
+    );
+}

@@ -31,6 +31,34 @@ pub struct FaultOverride {
 }
 
 impl FaultOverride {
+    fn check(&self) -> Result<(), String> {
+        let probs = [
+            ("loss", self.loss),
+            ("corrupt", self.corrupt),
+            ("dup", self.duplicate),
+        ];
+        for (name, p) in probs {
+            if let Some(p) = p {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("{name} probability `{p}` outside 0..=1"));
+                }
+            }
+        }
+        if let Some((lo, hi)) = self.latency_us {
+            if lo > hi {
+                return Err(format!("inverted latency range {lo}..{hi} (lo > hi)"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks field sanity: probabilities in `[0, 1]`, latency `lo <= hi`.
+    /// An invalid override would otherwise misbehave (or panic) only deep
+    /// inside `net.rs` sampling, far from whoever built it.
+    pub fn validate(&self) -> Result<(), ChaosParseError> {
+        self.check().map_err(|m| err(&format!("{self:?}"), &m))
+    }
+
     /// Applies the set fields onto `base`.
     pub fn apply(&self, mut base: FaultProfile) -> FaultProfile {
         if let Some(v) = self.loss {
@@ -82,6 +110,31 @@ pub struct ChaosWindow {
 }
 
 impl ChaosWindow {
+    fn check(&self) -> Result<(), String> {
+        if self.end_us <= self.start_us {
+            return Err("window end must be after its start".to_owned());
+        }
+        match self.event {
+            ChaosEvent::Blackout => Ok(()),
+            ChaosEvent::Degrade(over) => over.check(),
+            ChaosEvent::Flap { up_fraction, .. } => {
+                if (0.0..=1.0).contains(&up_fraction) {
+                    Ok(())
+                } else {
+                    Err(format!("up fraction `{up_fraction}` outside 0..=1"))
+                }
+            }
+        }
+    }
+
+    /// Checks interval and event sanity (`start < end`, probabilities and
+    /// latency ranges well-formed). [`ChaosSchedule::parse`] applies this to
+    /// every event; builder-constructed windows should be checked via
+    /// [`ChaosSchedule::validate`] before being scheduled.
+    pub fn validate(&self) -> Result<(), ChaosParseError> {
+        self.check().map_err(|m| err(&format!("{self:?}"), &m))
+    }
+
     fn covers(&self, now_us: u64, dst: IpAddr) -> bool {
         let on_target = match self.target {
             Some(t) => t == dst,
@@ -112,6 +165,12 @@ impl ChaosSchedule {
     /// The scripted windows, in insertion order.
     pub fn windows(&self) -> &[ChaosWindow] {
         &self.windows
+    }
+
+    /// Validates every window — the same checks [`ChaosSchedule::parse`]
+    /// applies, for schedules assembled through the infallible builders.
+    pub fn validate(&self) -> Result<(), ChaosParseError> {
+        self.windows.iter().try_for_each(ChaosWindow::validate)
     }
 
     /// Adds an arbitrary window (builder style).
@@ -235,9 +294,6 @@ impl ChaosSchedule {
                 .ok_or_else(|| err(raw, "time range must be start..end"))?;
             let start_us = parse_time(start_s).map_err(|m| err(raw, &m))?;
             let end_us = parse_time(end_s).map_err(|m| err(raw, &m))?;
-            if end_us <= start_us {
-                return Err(err(raw, "window end must be after its start"));
-            }
             let mut target = None;
             let mut params = Vec::new();
             for extra in parts {
@@ -302,12 +358,14 @@ impl ChaosSchedule {
                 }
                 other => return Err(err(raw, &format!("unknown event kind `{other}`"))),
             };
-            schedule.windows.push(ChaosWindow {
+            let window = ChaosWindow {
                 start_us,
                 end_us,
                 target,
                 event,
-            });
+            };
+            window.check().map_err(|m| err(raw, &m))?;
+            schedule.windows.push(window);
         }
         Ok(schedule)
     }
@@ -479,11 +537,50 @@ mod tests {
             "blackout@20s..5s",         // inverted
             "meteor@0..1s",             // unknown kind
             "degrade@0..1s@loss=1.5",   // probability out of range
+            "degrade@0..1s@dup=-0.1",   // negative probability
+            "degrade@0..1s@lat=50-5",   // inverted latency range
+            "degrade@0..0",             // empty window
+            "flap@0..1s@up=1.5",        // up fraction out of range
             "degrade@0..1s@power=9000", // unknown key
             "blackout@0..1s@not-an-ip", // bad target
         ] {
             assert!(ChaosSchedule::parse(bad).is_err(), "accepted `{bad}`");
         }
+    }
+
+    #[test]
+    fn validate_rejects_builder_constructed_nonsense() {
+        // The infallible builders accept anything; validate() applies the
+        // same checks parse() does.
+        let inverted_lat = FaultOverride {
+            latency_us: Some((50_000, 5_000)),
+            ..FaultOverride::default()
+        };
+        assert!(inverted_lat.validate().is_err());
+        let sched = ChaosSchedule::new().degrade(None, 0, 10, inverted_lat);
+        assert!(sched.validate().is_err());
+
+        let empty_window = ChaosSchedule::new().blackout(None, 2_000, 1_000);
+        assert!(empty_window.validate().is_err());
+
+        let bad_prob = ChaosSchedule::new().degrade(
+            None,
+            0,
+            10,
+            FaultOverride {
+                loss: Some(1.5),
+                ..FaultOverride::default()
+            },
+        );
+        assert!(bad_prob.validate().is_err());
+
+        let bad_flap = ChaosSchedule::new().flap(None, 0, 10, 1_000, -0.5);
+        assert!(bad_flap.validate().is_err());
+
+        let fine = ChaosSchedule::new()
+            .blackout(None, 0, 1_000)
+            .flap(None, 0, 10, 1_000, 0.5);
+        assert!(fine.validate().is_ok());
     }
 
     #[test]

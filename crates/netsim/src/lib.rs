@@ -34,6 +34,6 @@ pub use bgp::{Pfx2As, Rib};
 pub use chaos::{ChaosEvent, ChaosParseError, ChaosSchedule, ChaosWindow, FaultOverride};
 pub use clock::{Date, Day};
 pub use history::{OriginChange, RibHistory};
-pub use net::{FaultProfile, Network, NetworkStats, RecvError, Socket};
+pub use net::{FaultProfile, NetMetrics, Network, NetworkStats, RecvError, Socket};
 pub use prefix::{Prefix, PrefixParseError};
 pub use trie::LpmTrie;

@@ -14,6 +14,7 @@
 //! its fault-injecting example devices (`--drop-chance`, `--corrupt-chance`).
 
 use crate::chaos::ChaosSchedule;
+use dps_telemetry::{Counter, Histogram, Registry};
 use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -32,7 +33,7 @@ pub type Handler = Arc<dyn Fn(IpAddr, &[u8]) -> Option<Vec<u8>> + Send + Sync>;
 
 /// Fault-injection parameters, applied independently to the request and the
 /// response leg of each exchange.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultProfile {
     /// Probability a datagram is silently dropped, per leg, in `[0, 1]`.
     pub loss: f64,
@@ -154,12 +155,47 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Telemetry handles for the wire hot path, mirroring [`NetworkStats`]
+/// into a shared `dps-telemetry` [`Registry`] plus a one-way latency
+/// histogram and a chaos-degradation counter. `Default` handles are
+/// detached (they count, but belong to no registry).
+#[derive(Clone, Default)]
+pub struct NetMetrics {
+    sent: Counter,
+    dropped: Counter,
+    corrupted: Counter,
+    duplicated: Counter,
+    delivered: Counter,
+    unroutable: Counter,
+    blackholed: Counter,
+    degraded: Counter,
+    latency_us: Histogram,
+}
+
+impl NetMetrics {
+    /// Instruments registered under the `net.*` names.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            sent: registry.counter("net.packets.sent"),
+            dropped: registry.counter("net.packets.dropped"),
+            corrupted: registry.counter("net.packets.corrupted"),
+            duplicated: registry.counter("net.packets.duplicated"),
+            delivered: registry.counter("net.packets.delivered"),
+            unroutable: registry.counter("net.packets.unroutable"),
+            blackholed: registry.counter("net.packets.blackholed"),
+            degraded: registry.counter("net.chaos.degraded"),
+            latency_us: registry.histogram("net.latency.us"),
+        }
+    }
+}
+
 /// The shared network fabric.
 pub struct Network {
     services: RwLock<HashMap<IpAddr, Handler>>,
     faults: RwLock<FaultProfile>,
     chaos: RwLock<Option<Arc<ChaosSchedule>>>,
     stats: NetworkStats,
+    metrics: NetMetrics,
     seed: u64,
 }
 
@@ -173,13 +209,20 @@ impl fmt::Debug for Network {
 }
 
 impl Network {
-    /// Creates a network with the default (healthy) fault profile.
+    /// Creates a network with the default (healthy) fault profile and
+    /// detached telemetry.
     pub fn new(seed: u64) -> Arc<Self> {
+        Self::with_telemetry(seed, &Registry::new())
+    }
+
+    /// Creates a network whose `net.*` instruments live in `registry`.
+    pub fn with_telemetry(seed: u64, registry: &Registry) -> Arc<Self> {
         Arc::new(Self {
             services: RwLock::new(HashMap::new()),
             faults: RwLock::new(FaultProfile::default()),
             chaos: RwLock::new(None),
             stats: NetworkStats::default(),
+            metrics: NetMetrics::new(registry),
             seed,
         })
     }
@@ -284,8 +327,10 @@ impl Socket {
     fn leg_faults(&mut self, payload: &[u8], profile: &FaultProfile) -> Vec<(Vec<u8>, u64)> {
         // Returns 0..=2 (payload, one-way latency) copies for one leg.
         let stats = &self.net.stats;
+        let metrics = &self.net.metrics;
         if self.rng.gen::<f64>() < profile.loss {
             stats.dropped.fetch_add(1, Ordering::Relaxed);
+            metrics.dropped.inc();
             return Vec::new();
         }
         let mut data = payload.to_vec();
@@ -294,6 +339,7 @@ impl Socket {
             let bit = 1u8 << self.rng.gen_range(0..8);
             data[idx] ^= bit;
             stats.corrupted.fetch_add(1, Ordering::Relaxed);
+            metrics.corrupted.inc();
         }
         let lat = |rng: &mut SmallRng| -> u64 {
             let (lo, hi) = profile.latency_us;
@@ -303,10 +349,15 @@ impl Socket {
                 lo
             }
         };
-        let mut out = vec![(data.clone(), lat(&mut self.rng))];
+        let first_lat = lat(&mut self.rng);
+        metrics.latency_us.observe(first_lat);
+        let mut out = vec![(data.clone(), first_lat)];
         if self.rng.gen::<f64>() < profile.duplicate {
             stats.duplicated.fetch_add(1, Ordering::Relaxed);
-            out.push((data, lat(&mut self.rng)));
+            metrics.duplicated.inc();
+            let dup_lat = lat(&mut self.rng);
+            metrics.latency_us.observe(dup_lat);
+            out.push((data, dup_lat));
         }
         out
     }
@@ -320,15 +371,26 @@ impl Socket {
         let base = self.net.faults();
         let chaos = self.net.chaos();
         self.net.stats.sent.fetch_add(1, Ordering::Relaxed);
+        self.net.metrics.sent.inc();
 
-        let effective = |at: u64| -> Option<FaultProfile> {
+        // A chaos window that alters (rather than swallows) a leg counts as
+        // a degradation activation.
+        let degraded = self.net.metrics.degraded.clone();
+        let effective = move |at: u64| -> Option<FaultProfile> {
             match &chaos {
-                Some(sched) => sched.effective(at, dst, base),
+                Some(sched) => {
+                    let profile = sched.effective(at, dst, base);
+                    if profile.is_some_and(|p| p != base) {
+                        degraded.inc();
+                    }
+                    profile
+                }
                 None => Some(base),
             }
         };
         let Some(req_profile) = effective(self.now_us) else {
             self.net.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+            self.net.metrics.blackholed.inc();
             return;
         };
         let requests = self.leg_faults(payload, &req_profile);
@@ -341,9 +403,11 @@ impl Socket {
             // port-unreachable notice after a round trip (unless a chaos
             // window swallows the return path too).
             self.net.stats.unroutable.fetch_add(1, Ordering::Relaxed);
+            self.net.metrics.unroutable.inc();
             for (_, req_lat) in requests {
                 if effective(self.now_us + req_lat).is_none() {
                     self.net.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+                    self.net.metrics.blackholed.inc();
                     continue;
                 }
                 let arrive = self.now_us + req_lat * 2;
@@ -358,6 +422,7 @@ impl Socket {
             };
             let Some(resp_profile) = effective(self.now_us + req_lat) else {
                 self.net.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+                self.net.metrics.blackholed.inc();
                 continue;
             };
             for (resp_data, resp_lat) in self.leg_faults(&resp, &resp_profile) {
@@ -366,6 +431,7 @@ impl Socket {
                 self.inbox
                     .push(Reverse((arrive, self.seq, dst, Some(resp_data))));
                 self.net.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                self.net.metrics.delivered.inc();
             }
         }
     }
@@ -624,6 +690,43 @@ mod tests {
             assert!(sock.now_us() >= last);
             last = sock.now_us();
         }
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_and_sees_chaos() {
+        use crate::chaos::{ChaosSchedule, FaultOverride};
+        let registry = Registry::new();
+        let net = Network::with_telemetry(11, &registry);
+        let addr: IpAddr = "192.0.2.1".parse().unwrap();
+        net.bind_service(addr, Arc::new(|_src, payload| Some(payload.to_vec())));
+        net.set_chaos(ChaosSchedule::new().degrade(
+            None,
+            0,
+            u64::MAX,
+            FaultOverride {
+                loss: Some(1.0),
+                ..FaultOverride::default()
+            },
+        ));
+        let mut sock = net.socket("198.51.100.1".parse().unwrap(), 0);
+        sock.send_to(addr, b"ping");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("net.packets.sent"), Some(&1));
+        assert_eq!(
+            snap.counters.get("net.packets.sent").copied(),
+            Some(net.stats().snapshot().sent)
+        );
+        assert_eq!(snap.counters.get("net.packets.dropped"), Some(&1));
+        assert!(snap.counters.get("net.chaos.degraded").copied() >= Some(1));
+        // The healthy constructor keeps working with detached instruments.
+        net.clear_chaos();
+        net.set_faults(FaultProfile::ideal());
+        sock.send_to(addr, b"ping");
+        assert!(sock.recv(1_000).is_ok());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("net.packets.delivered"), Some(&1));
+        let lat = snap.histograms.get("net.latency.us").expect("latency");
+        assert_eq!(lat.count, 2, "one latency sample per surviving leg");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use dps_authdns::resolver::Resolution;
 use dps_dns::{Name, RrType};
+use dps_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
@@ -91,11 +92,32 @@ struct ShardState {
 
 type Shard = Mutex<ShardState>;
 
+/// Telemetry handles mirroring the lookup-path [`CacheStats`] counters
+/// into a shared registry (`recursor.answer.*`). `Default` handles are
+/// detached — they count, but belong to no registry.
+#[derive(Clone, Default)]
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    expired: Counter,
+}
+
+impl CacheMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            hits: registry.counter("recursor.answer.hits"),
+            misses: registry.counter("recursor.answer.misses"),
+            expired: registry.counter("recursor.answer.expired"),
+        }
+    }
+}
+
 /// Sharded, thread-safe, TTL-aware cache of complete resolutions.
 pub struct AnswerCache {
     shards: Vec<Shard>,
     shard_capacity: usize,
     stats: AtomicCacheStats,
+    metrics: CacheMetrics,
 }
 
 impl AnswerCache {
@@ -110,7 +132,15 @@ impl AnswerCache {
                 .collect(),
             shard_capacity,
             stats: AtomicCacheStats::default(),
+            metrics: CacheMetrics::default(),
         }
+    }
+
+    /// Routes this cache's lookup counters into `registry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.metrics = CacheMetrics::new(registry);
+        self
     }
 
     fn shard(&self, key: &Key) -> &Shard {
@@ -141,6 +171,7 @@ impl AnswerCache {
         match state.map.get(&key) {
             Some(e) if e.expires_at_us > now_us => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.hits.inc();
                 Some((e.resolution.clone(), e.expires_at_us))
             }
             Some(_) => {
@@ -150,10 +181,13 @@ impl AnswerCache {
                     .remove(&(dead.expires_at_us, dead.expiry_seq));
                 self.stats.expirations.fetch_add(1, Ordering::Relaxed);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.expired.inc();
+                self.metrics.misses.inc();
                 None
             }
             None => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.misses.inc();
                 None
             }
         }

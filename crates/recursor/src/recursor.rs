@@ -26,6 +26,7 @@ use dps_authdns::health::{HealthConfig, HealthTracker};
 use dps_authdns::resolver::{FailureCause, Resolution, ResolveError, Resolver, ResolverConfig};
 use dps_dns::{Message, Name, RData, Rcode, Record, RrType};
 use dps_netsim::{Day, Network};
+use dps_telemetry::{Counter, Histogram, Registry};
 use std::net::IpAddr;
 use std::ops::Sub;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,6 +152,27 @@ impl AtomicStats {
     }
 }
 
+/// Telemetry handles for the resolution path (`recursor.*` names).
+/// `Default` handles are detached — they count, but belong to no registry.
+#[derive(Clone, Default)]
+struct RecursorMetrics {
+    queries: Counter,
+    coalesced: Counter,
+    infra_hits: Counter,
+    iteration_depth: Histogram,
+}
+
+impl RecursorMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            queries: registry.counter("recursor.queries"),
+            coalesced: registry.counter("recursor.singleflight.coalesced"),
+            infra_hits: registry.counter("recursor.infra.hits"),
+            iteration_depth: registry.histogram("recursor.iteration.depth"),
+        }
+    }
+}
+
 struct Shared {
     config: RecursorConfig,
     root_hints: Vec<IpAddr>,
@@ -161,6 +183,7 @@ struct Shared {
     gate: ServerGate,
     health: Arc<HealthTracker>,
     stats: AtomicStats,
+    metrics: RecursorMetrics,
 }
 
 impl Shared {
@@ -192,17 +215,29 @@ pub struct Recursor {
 }
 
 impl Recursor {
-    /// A fresh service resolving from `root_hints`.
+    /// A fresh service resolving from `root_hints` (telemetry detached;
+    /// see [`Recursor::with_telemetry`]).
     pub fn new(root_hints: Vec<IpAddr>, config: RecursorConfig) -> Self {
+        Self::with_telemetry(root_hints, config, &Registry::new())
+    }
+
+    /// A fresh service whose `recursor.*` and `health.breaker.*`
+    /// instruments live in `registry`.
+    pub fn with_telemetry(
+        root_hints: Vec<IpAddr>,
+        config: RecursorConfig,
+        registry: &Registry,
+    ) -> Self {
         Self {
             shared: Arc::new(Shared {
-                answers: AnswerCache::new(&config.cache),
+                answers: AnswerCache::new(&config.cache).with_telemetry(registry),
                 infra: InfraCache::new(config.infra_capacity),
                 flight: Singleflight::new(),
                 clock: SharedClock::new(),
                 gate: ServerGate::new(config.max_inflight_per_server),
-                health: Arc::new(HealthTracker::new(config.health)),
+                health: Arc::new(HealthTracker::new(config.health).with_telemetry(registry)),
                 stats: AtomicStats::default(),
+                metrics: RecursorMetrics::new(registry),
                 config,
                 root_hints,
             }),
@@ -272,6 +307,7 @@ impl RecursorWorker {
     pub fn resolve(&mut self, qname: &Name, qtype: RrType) -> Result<Resolution, ResolveError> {
         let shared = Arc::clone(&self.shared);
         shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.queries.inc();
 
         if let Some(hit) = shared.answers.get(qname, qtype, shared.clock.now_us()) {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -291,6 +327,7 @@ impl RecursorWorker {
         });
         if coalesced {
             shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.coalesced.inc();
         }
         result
     }
@@ -298,6 +335,11 @@ impl RecursorWorker {
     /// UDP queries this worker's socket has sent.
     pub fn queries_sent(&self) -> u64 {
         self.resolver.queries_sent()
+    }
+
+    /// This worker's socket virtual clock (µs since creation).
+    pub fn now_us(&self) -> u64 {
+        self.resolver.now_us()
     }
 
     /// Service-wide counter snapshot (shared across all workers).
@@ -503,15 +545,35 @@ impl RecursorWorker {
         if depth > 2 {
             return Err(ResolveError::NoNameservers);
         }
-        let mut servers = match shared.infra.deepest(qname, shared.clock.now_us()) {
+        let servers = match shared.infra.deepest(qname, shared.clock.now_us()) {
             Some((_, cached)) => {
                 shared.stats.infra_starts.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.infra_hits.inc();
                 cached
             }
             None => shared.root_hints.clone(),
         };
 
+        let mut rounds = 0u64;
+        let result = self.descend(qname, qtype, depth, servers, &mut rounds);
+        shared.metrics.iteration_depth.observe(rounds);
+        result
+    }
+
+    /// The referral walk of [`RecursorWorker::resolve_once`], split out so
+    /// the number of query rounds lands in the iteration-depth histogram
+    /// on every exit path.
+    fn descend(
+        &mut self,
+        qname: &Name,
+        qtype: RrType,
+        depth: u32,
+        mut servers: Vec<IpAddr>,
+        rounds: &mut u64,
+    ) -> Result<Message, ResolveError> {
+        let shared = Arc::clone(&self.shared);
         for _ in 0..=shared.config.resolver.max_referrals {
+            *rounds += 1;
             let resp = self.query_gated(&servers, qname, qtype)?;
             match resp.header.rcode {
                 Rcode::NoError => {}

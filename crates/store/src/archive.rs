@@ -11,6 +11,7 @@ use crate::catalog::{Catalog, PageMeta, SourceStats};
 use crate::crc32::crc32;
 use crate::format;
 use dps_columnar::{mapreduce, StringDict, Table};
+use dps_telemetry::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
@@ -58,6 +59,45 @@ impl CounterSnapshot {
             cache_hits: self.cache_hits - earlier.cache_hits,
             disk_bytes_read: self.disk_bytes_read - earlier.disk_bytes_read,
             decoded_bytes: self.decoded_bytes - earlier.decoded_bytes,
+        }
+    }
+}
+
+/// Telemetry handles mirroring [`Counters`] into a shared
+/// [`Registry`]. Default handles are detached (no registry), so archives
+/// opened without telemetry pay only uncontended atomic increments.
+#[derive(Clone, Default)]
+pub struct StoreMetrics {
+    /// `store.cache.hits` — pages served from the page cache.
+    pub cache_hits: Counter,
+    /// `store.cache.misses` — pages fetched past the cache.
+    pub cache_misses: Counter,
+    /// `store.pages.decoded` — pages read from disk and decoded.
+    pub pages_decoded: Counter,
+    /// `store.bytes.read` — raw bytes read from disk.
+    pub bytes_read: Counter,
+    /// `store.footer.walks` — footer chains walked at open.
+    pub footer_walks: Counter,
+    /// `store.footer.chain` — commits per walked footer chain.
+    pub footer_chain: Histogram,
+    /// `store.scans` — scan/par_scan calls issued.
+    pub scans: Counter,
+    /// `store.scan.pages` — pages surviving pruning, per scan.
+    pub scan_pages: Histogram,
+}
+
+impl StoreMetrics {
+    /// Handles registered under the `store.*` names in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            cache_hits: registry.counter("store.cache.hits"),
+            cache_misses: registry.counter("store.cache.misses"),
+            pages_decoded: registry.counter("store.pages.decoded"),
+            bytes_read: registry.counter("store.bytes.read"),
+            footer_walks: registry.counter("store.footer.walks"),
+            footer_chain: registry.histogram("store.footer.chain"),
+            scans: registry.counter("store.scans"),
+            scan_pages: registry.histogram("store.scan.pages"),
         }
     }
 }
@@ -157,6 +197,7 @@ pub struct Archive {
     stats: Vec<SourceStats>,
     cache: PageCache,
     counters: Counters,
+    metrics: StoreMetrics,
 }
 
 impl Archive {
@@ -168,8 +209,23 @@ impl Archive {
     /// Opens `path` with a page cache bounded at `cache_bytes` decoded
     /// bytes (0 disables caching).
     pub fn open_with_cache(path: &Path, cache_bytes: usize) -> io::Result<Self> {
+        Self::open_inner(path, cache_bytes, StoreMetrics::default())
+    }
+
+    /// Opens `path` publishing `store.*` metrics into `registry`.
+    pub fn open_with_telemetry(
+        path: &Path,
+        cache_bytes: usize,
+        registry: &Registry,
+    ) -> io::Result<Self> {
+        Self::open_inner(path, cache_bytes, StoreMetrics::new(registry))
+    }
+
+    fn open_inner(path: &Path, cache_bytes: usize, metrics: StoreMetrics) -> io::Result<Self> {
         let mut file = File::open(path)?;
         let footer = format::read_footer(&mut file)?;
+        metrics.footer_walks.inc();
+        metrics.footer_chain.observe(footer.chain_len);
         let stats = footer.catalog.stats();
         Ok(Self {
             file: Mutex::new(file),
@@ -177,6 +233,7 @@ impl Archive {
             stats,
             cache: PageCache::new(cache_bytes),
             counters: Counters::default(),
+            metrics,
         })
     }
 
@@ -245,7 +302,10 @@ impl Archive {
     /// Pages matching `query`'s day/source predicates, in `(day, source)`
     /// order, decoded sequentially under its projection.
     pub fn scan(&self, query: &ScanQuery) -> io::Result<Vec<ScanItem>> {
-        self.pruned(query)
+        let metas = self.pruned(query);
+        self.metrics.scans.inc();
+        self.metrics.scan_pages.observe(metas.len() as u64);
+        metas
             .into_iter()
             .map(|meta| {
                 let table = self.load(meta, query.columns.as_deref())?;
@@ -262,6 +322,8 @@ impl Archive {
     /// worker pool. Order is still deterministic `(day, source)`.
     pub fn par_scan(&self, query: &ScanQuery) -> io::Result<Vec<ScanItem>> {
         let metas = self.pruned(query);
+        self.metrics.scans.inc();
+        self.metrics.scan_pages.observe(metas.len() as u64);
         let items = mapreduce::par_map(&metas, |&meta| {
             let table = self.load(meta, query.columns.as_deref())?;
             Ok(ScanItem {
@@ -316,6 +378,7 @@ impl Archive {
         self.counters
             .disk_bytes_read
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.metrics.bytes_read.add(buf.len() as u64);
         Ok(buf)
     }
 
@@ -340,8 +403,10 @@ impl Archive {
         let key: PageKey = (meta.day, meta.source, projection.map(<[String]>::to_vec));
         if let Some(table) = self.cache.get(&key) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.cache_hits.inc();
             return Ok(table);
         }
+        self.metrics.cache_misses.inc();
         let buf = self.read_page_bytes(meta)?;
         if !self.checksum_ok(&buf) {
             return Err(io::Error::other(format!(
@@ -366,6 +431,7 @@ impl Archive {
         })?;
         let decoded = table.raw_len();
         self.counters.pages_decoded.fetch_add(1, Ordering::Relaxed);
+        self.metrics.pages_decoded.inc();
         self.counters
             .decoded_bytes
             .fetch_add(decoded as u64, Ordering::Relaxed);

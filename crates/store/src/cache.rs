@@ -44,9 +44,13 @@ impl PageCache {
     /// A cache bounded at `capacity_bytes` of decoded table data
     /// (0 disables caching entirely).
     pub fn new(capacity_bytes: usize) -> Self {
+        // Round the per-shard share *up*: a small nonzero capacity must
+        // still cache (flooring made any capacity below SHARDS silently
+        // behave like 0). The global bound only overshoots by < SHARDS
+        // bytes, well under one page.
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            per_shard_capacity: capacity_bytes / SHARDS,
+            per_shard_capacity: capacity_bytes.div_ceil(SHARDS),
             seq: AtomicU64::new(0),
         }
     }
@@ -71,8 +75,12 @@ impl PageCache {
 
     /// Inserts a decoded page of `bytes` decoded size, evicting the least
     /// recently used entries until the shard fits its capacity share.
+    ///
+    /// Pages larger than the per-shard share are not cached at all: such a
+    /// page could never fit, and admitting it would pin the shard over
+    /// budget while evicting everything else around it.
     pub fn insert(&self, key: PageKey, table: Arc<Table>, bytes: usize) {
-        if self.per_shard_capacity == 0 {
+        if self.per_shard_capacity == 0 || bytes > self.per_shard_capacity {
             return;
         }
         let mut shard = self.shard(&key).lock();
@@ -86,7 +94,7 @@ impl PageCache {
         }
         shard.lru.insert(seq, key);
         shard.bytes += bytes;
-        while shard.bytes > self.per_shard_capacity && shard.lru.len() > 1 {
+        while shard.bytes > self.per_shard_capacity {
             let Some((&oldest, _)) = shard.lru.iter().next() else {
                 break;
             };
@@ -157,11 +165,41 @@ mod tests {
             let (t, bytes) = table(10);
             cache.insert(key(day), t, bytes);
         }
+        assert!(cache.bytes() <= SHARDS * 100, "bytes={}", cache.bytes());
+    }
+
+    #[test]
+    fn small_nonzero_capacity_still_caches() {
+        // Below SHARDS bytes: integer flooring used to zero the per-shard
+        // share and silently disable the cache the caller asked for.
+        let cache = PageCache::new(SHARDS - 1);
+        let (t, _) = table(1);
+        cache.insert(key(1), t, 1);
         assert!(
-            cache.bytes() <= SHARDS * 100 + 80,
-            "bytes={}",
+            cache.get(&key(1)).is_some(),
+            "a 1-byte page must fit a {}-byte cache",
+            SHARDS - 1
+        );
+    }
+
+    #[test]
+    fn oversized_page_bypasses_the_cache() {
+        let capacity = SHARDS * 100;
+        let cache = PageCache::new(capacity);
+        let (small, small_bytes) = table(10);
+        cache.insert(key(1), small, small_bytes);
+        // One page larger than any shard's share: must not be admitted, and
+        // must not disturb the byte bound or evict well-behaved entries
+        // forever.
+        let (big, _) = table(10);
+        cache.insert(key(2), big, capacity + 1);
+        assert!(cache.get(&key(2)).is_none(), "oversized page was cached");
+        assert!(
+            cache.bytes() <= capacity,
+            "bytes={} exceeds capacity={capacity}",
             cache.bytes()
         );
+        assert!(cache.get(&key(1)).is_some(), "resident page was evicted");
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub struct Footer {
     /// Byte offset just past the newest trailer — where the next page
     /// appends, and the `prev` back-pointer for the next commit.
     pub trailer_end: u64,
+    /// Commits (delta footers) walked to rebuild the catalog.
+    pub chain_len: u64,
 }
 
 /// One parsed 28-byte trailer.
@@ -169,6 +171,7 @@ fn load_chain(file: &mut std::fs::File, trailer_start: u64, newest: &Trailer) ->
         catalog,
         data_end: trailer_start,
         trailer_end: trailer_start + TRAILER_LEN,
+        chain_len: deltas.len() as u64,
     })
 }
 

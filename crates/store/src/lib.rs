@@ -53,7 +53,7 @@ pub mod crc32;
 pub mod format;
 pub mod writer;
 
-pub use archive::{Archive, CounterSnapshot, ScanItem, ScanQuery, VerifyReport};
+pub use archive::{Archive, CounterSnapshot, ScanItem, ScanQuery, StoreMetrics, VerifyReport};
 pub use cache::PageCache;
 pub use catalog::{Catalog, PageMeta, SourceStats};
 pub use writer::ArchiveWriter;

@@ -249,3 +249,27 @@ fn duplicate_page_rejected() {
     assert!(w.append_table(0, 0, &table(0, 5), 25).is_err());
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn telemetry_mirrors_counters_and_footer_walks() {
+    let path = temp_archive("telemetry");
+    write_archive(&path, 3);
+    let registry = dps_telemetry::Registry::new();
+    let archive = Archive::open_with_telemetry(&path, 1 << 20, &registry).unwrap();
+    archive.scan(&ScanQuery::all()).unwrap();
+    archive.scan(&ScanQuery::all()).unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["store.footer.walks"], 1);
+    assert_eq!(snap.counters["store.scans"], 2);
+    // 3 days × 2 sources = 6 pages; cold pass misses, warm pass hits.
+    assert_eq!(snap.counters["store.cache.misses"], 6);
+    assert_eq!(snap.counters["store.cache.hits"], 6);
+    assert_eq!(snap.counters["store.pages.decoded"], 6);
+    let io = archive.counters();
+    assert_eq!(snap.counters["store.bytes.read"], io.disk_bytes_read);
+    let chain = &snap.histograms["store.footer.chain"];
+    assert_eq!(chain.count, 1);
+    assert_eq!(chain.sum, 3, "one committed footer delta per day");
+    assert_eq!(snap.histograms["store.scan.pages"].sum, 12);
+    std::fs::remove_file(&path).ok();
+}

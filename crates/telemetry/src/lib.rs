@@ -1,0 +1,625 @@
+//! Deterministic, dependency-free observability for the sweep pipeline.
+//!
+//! The paper's Stage I–III measurement ran daily as production
+//! infrastructure; this crate is the reproduction's flight recorder. It
+//! deliberately does **less** than a general metrics library so that it can
+//! uphold one contract: *telemetry is a pure function of the work
+//! performed*. Two same-seed runs must render byte-identical snapshots.
+//!
+//! To that end:
+//!
+//! - Instruments are keyed by `&'static str` names and live in a
+//!   [`Registry`] backed by a `BTreeMap`, so every rendering ([`Snapshot`],
+//!   [`Snapshot::to_text`], [`Snapshot::to_json`]) is in sorted name order
+//!   with no hashing involved.
+//! - There is no wall clock anywhere. [`Span`]s measure *virtual* time:
+//!   callers pass in timestamps from the simulation's own clocks.
+//! - Counters are sharded across cache-line-padded atomics (threads pick a
+//!   shard round-robin at first use) so hot-path increments never contend;
+//!   the reported value is the shard sum, which is independent of thread
+//!   scheduling.
+//! - Histograms use fixed log₂ buckets, so bucket assignment is exact
+//!   integer arithmetic, not floating-point binning.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! fetched once at construction time; incrementing never takes a lock.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Counter shards; more than the worker parallelism the pipeline uses.
+const SHARDS: usize = 8;
+
+/// Round-robin assignment of threads to counter shards. Which shard a
+/// thread lands on affects only *where* an increment is stored, never the
+/// sum, so scheduling nondeterminism cannot leak into snapshots.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    static SHARD: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// One cache line per shard so concurrent increments do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+#[derive(Default)]
+struct CounterInner {
+    shards: [PaddedU64; SHARDS],
+}
+
+/// Monotonic counter; `value()` is the sum over all shards.
+#[derive(Clone, Default)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to this thread's shard (lock-free, uncontended).
+    pub fn add(&self, n: u64) {
+        let shard = SHARD.with(|s| *s);
+        self.inner.shards[shard].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across shards.
+    pub fn value(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Last-write-wins signed level (e.g. a queue depth).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    inner: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Replaces the level.
+    pub fn set(&self, v: i64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.inner.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 holds exact zeros; bucket `b ≥ 1` holds values in
+/// `[2^(b-1), 2^b - 1]`. Bucketing is pure integer arithmetic
+/// (`leading_zeros`), so it is exact and platform-independent.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let b = bucket_index(v) as usize;
+        self.inner.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let v = b.load(Ordering::Relaxed);
+                (v != 0).then_some((i as u8, v))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_index(v: u64) -> u8 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as u8
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `b`.
+pub fn bucket_bounds(b: u8) -> (u64, u64) {
+    match b {
+        0 => (0, 0),
+        64.. => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (b - 1), (1u64 << b) - 1),
+    }
+}
+
+/// An in-flight virtual-time measurement that lands in a [`Histogram`].
+///
+/// Spans never read a clock themselves; the caller supplies both
+/// endpoints from whatever virtual clock drives the measured work.
+#[must_use = "a span records nothing until finish() is called"]
+pub struct Span {
+    hist: Histogram,
+    start_us: u64,
+}
+
+impl Span {
+    /// Records `end_us - start_us` (saturating) into the histogram.
+    pub fn finish(self, end_us: u64) {
+        self.hist.observe(end_us.saturating_sub(self.start_us));
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Named-instrument registry; clones share the same instruments.
+///
+/// Looking up an existing name with a *different* kind returns a detached
+/// instrument (functional, but not part of any snapshot) instead of
+/// panicking — instrumentation must never take the pipeline down.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<&'static str, Metric>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.lock().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Metric>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::default(),
+        }
+    }
+
+    /// Starts a virtual-time span ending up in histogram `name`.
+    pub fn span(&self, name: &'static str, start_us: u64) -> Span {
+        Span {
+            hist: self.histogram(name),
+            start_us,
+        }
+    }
+
+    /// Point-in-time copy of every registered instrument, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.lock();
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name, c.value());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name, g.value());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name, h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Frozen histogram state: total count/sum plus the nonzero buckets as
+/// `(bucket index, count)` pairs in ascending bucket order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Nonzero buckets, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn saturating_sub(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut base = [0u64; HISTOGRAM_BUCKETS];
+        for &(b, c) in &earlier.buckets {
+            base[b as usize] = c;
+        }
+        let buckets = self
+            .buckets
+            .iter()
+            .filter_map(|&(b, c)| {
+                let d = c.saturating_sub(base[b as usize]);
+                (d != 0).then_some((b, d))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+
+    fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut base = [0u64; HISTOGRAM_BUCKETS];
+        for &(b, c) in &self.buckets {
+            base[b as usize] = c;
+        }
+        for &(b, c) in &other.buckets {
+            base[b as usize] += c;
+        }
+        self.buckets = base
+            .iter()
+            .enumerate()
+            .filter_map(|(b, &c)| (c != 0).then_some((b as u8, c)))
+            .collect();
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A frozen, ordered view of a [`Registry`] — the unit that gets rendered,
+/// diffed ([`Snapshot::since`]), accumulated ([`Snapshot::merge`]) and
+/// persisted into archives.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True if no instrument is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The change from `earlier` to `self`: counters and histograms
+    /// subtract (saturating); gauges are levels, so the later level wins.
+    /// Names only in `self` pass through unchanged.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| {
+                (
+                    k,
+                    v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let gauges = self.gauges.clone();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(&k, h)| {
+                let delta = match earlier.histograms.get(k) {
+                    Some(prev) => h.saturating_sub(prev),
+                    None => h.clone(),
+                };
+                (k, delta)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Accumulates `other` into `self`: counters and histograms add,
+    /// gauges take `other`'s (more recent) level.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// One instrument per line, sorted by name. Counters and gauges render
+    /// as `name value`; histograms as `name count=… sum=… p_hi=…` where
+    /// each bucket is labelled by its inclusive upper bound.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = write!(out, "{k} count={} sum={}", h.count, h.sum);
+            for &(b, c) in &h.buckets {
+                let _ = write!(out, " le{}={c}", bucket_bounds(b).1);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compact JSON with sorted keys — byte-stable for equal snapshots.
+    /// Histograms render as `{"count":…,"sum":…,"buckets":[[b,c],…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{v}", json_string(k));
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{v}", json_string(k));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_string(k),
+                h.count,
+                h.sum
+            );
+            let mut first_bucket = true;
+            for &(b, c) in &h.buckets {
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                let _ = write!(out, "[{b},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let registry = Registry::new();
+        let counter = registry.counter("t.counter");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("thread joins");
+        }
+        assert_eq!(counter.value(), 4000);
+    }
+
+    #[test]
+    fn bucket_index_covers_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..=64u8 {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_index(lo), b);
+            assert_eq!(bucket_index(hi), b);
+        }
+    }
+
+    #[test]
+    fn snapshots_render_sorted_and_identically() {
+        let build = || {
+            let r = Registry::new();
+            // Registered in non-sorted order on purpose.
+            r.counter("z.last").add(3);
+            r.counter("a.first").inc();
+            r.gauge("m.level").set(-7);
+            r.histogram("h.lat").observe(5);
+            r.histogram("h.lat").observe(0);
+            r
+        };
+        let a = build().snapshot();
+        let b = build().snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        let text = a.to_text();
+        let a_pos = text.find("a.first").expect("a.first present");
+        let z_pos = text.find("z.last").expect("z.last present");
+        assert!(a_pos < z_pos, "text output not sorted: {text}");
+        assert!(a.to_json().contains("\"m.level\":-7"));
+    }
+
+    #[test]
+    fn kind_clash_returns_a_detached_instrument() {
+        let r = Registry::new();
+        r.counter("name").add(2);
+        let imposter = r.gauge("name");
+        imposter.set(99);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("name"), Some(&2));
+        assert!(snap.gauges.is_empty(), "imposter must not be registered");
+    }
+
+    #[test]
+    fn since_and_merge_are_inverse_on_counters_and_histograms() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        c.add(10);
+        h.observe(4);
+        let before = r.snapshot();
+        c.add(5);
+        h.observe(4);
+        h.observe(100);
+        let after = r.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.counters.get("c"), Some(&5));
+        let dh = delta.histograms.get("h").expect("h delta");
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 104);
+        let mut rebuilt = before.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, after);
+    }
+
+    #[test]
+    fn span_records_saturating_virtual_durations() {
+        let r = Registry::new();
+        let span = r.span("s.us", 1_000);
+        span.finish(1_128);
+        let backwards = r.span("s.us", 500);
+        backwards.finish(100); // clock went "backwards": clamps to 0
+        let snap = r.snapshot();
+        let h = snap.histograms.get("s.us").expect("span histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 128);
+        assert_eq!(h.buckets, vec![(0, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\u000a\"");
+    }
+}

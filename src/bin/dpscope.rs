@@ -22,10 +22,11 @@
 use dps_bench::experiments::{experiment_ids, run, Context, ExperimentConfig};
 use dps_scope::authdns::{HealthConfig, HealthTracker, Resolver, ResolverConfig};
 use dps_scope::measure::collector::{SldInterner, WirePath};
-use dps_scope::measure::pipeline::sweep_with_path_supervised;
-use dps_scope::measure::{SupervisorConfig, QUALITY_SOURCE};
+use dps_scope::measure::pipeline::sweep_with_path_supervised_metered;
+use dps_scope::measure::{SupervisorConfig, SweepMetrics, QUALITY_SOURCE, TELEMETRY_SOURCE};
 use dps_scope::netsim::ChaosSchedule;
 use dps_scope::prelude::*;
+use dps_scope::telemetry::Registry;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -58,6 +59,8 @@ fn usage() -> ! {
                       (+tries=N and +timeout=MS tune the wire resolver)\n\
            store      inspect a single-file archive: store <info|verify|cat> <path>\n\
                       (info includes the per-day data-quality summary)\n\
+           metrics    dump archived sweep telemetry: metrics <path> [--json]\n\
+                      (all days merged; --day N selects one day's page)\n\
          \n\
          options:\n\
            --seed N       world seed           (default 2016)\n\
@@ -237,10 +240,15 @@ fn cmd_measure_chaos(
     let mut day = 0u32;
     while day < args.days {
         world.advance_to(Day(day));
-        let net = Network::new(args.seed.wrapping_add(u64::from(day)));
+        // One registry per day, like the network itself: the day's
+        // snapshot is self-contained, so an aborted run re-measuring the
+        // day reproduces the identical telemetry page.
+        let registry = Registry::new();
+        let net = Network::with_telemetry(args.seed.wrapping_add(u64::from(day)), &registry);
         net.set_chaos(schedule.clone());
         let catalog = world.materialize(&net);
-        let health = Arc::new(HealthTracker::new(HealthConfig::default()));
+        let health =
+            Arc::new(HealthTracker::new(HealthConfig::default()).with_telemetry(&registry));
         let resolver = Resolver::new(
             &net,
             "172.16.0.53".parse().unwrap(),
@@ -250,13 +258,14 @@ fn cmd_measure_chaos(
         .with_config(ResolverConfig::resilient())
         .with_health(health);
         let mut wire = WirePath::new(resolver);
+        let sweep_metrics = SweepMetrics::new(&registry);
         let mut due = vec![Source::Com, Source::Net, Source::Org];
         if day >= args.cc_start {
             due.push(Source::Nl);
             due.push(Source::Alexa);
         }
         for source in due {
-            let q = sweep_with_path_supervised(
+            let q = sweep_with_path_supervised_metered(
                 world,
                 &mut wire,
                 source,
@@ -264,6 +273,7 @@ fn cmd_measure_chaos(
                 &mut store,
                 &mut interner,
                 &supervisor,
+                &sweep_metrics,
             );
             println!(
                 "day {day:>4} {:<8} coverage {:>6.2}%  attempted {:>6}  unresolved {:>4}  \
@@ -277,6 +287,7 @@ fn cmd_measure_chaos(
                 q.hedges,
             );
         }
+        store.add_telemetry(day, registry.snapshot());
         day += args.stride.max(1);
     }
     store.save_archive(path).expect("save chaos archive");
@@ -320,9 +331,13 @@ fn cmd_store(args: CommonArgs) {
                 "source", "days", "first..last", "data points", "stored", "raw"
             );
             for (source, st) in catalog.stats().iter().enumerate() {
-                // Quality pages are bookkeeping, not observations; they get
-                // their own summary below instead of a data row here.
-                if st.days == 0 || source == usize::from(QUALITY_SOURCE) {
+                // Quality and telemetry pages are bookkeeping, not
+                // observations; they get their own summaries below
+                // instead of data rows here.
+                if st.days == 0
+                    || source == usize::from(QUALITY_SOURCE)
+                    || source == usize::from(TELEMETRY_SOURCE)
+                {
                     continue;
                 }
                 println!(
@@ -361,6 +376,31 @@ fn cmd_store(args: CommonArgs) {
                 "{}",
                 dps_scope::core::report::quality_summary(&quality_store, &mask)
             );
+            // Telemetry summary, read from the TELEMETRY_SOURCE pages.
+            let mut merged = dps_scope::telemetry::Snapshot::default();
+            let mut telemetry_days = 0usize;
+            for &(day, source) in archive.catalog().pages.keys() {
+                if source != TELEMETRY_SOURCE {
+                    continue;
+                }
+                let table = archive
+                    .table(day, source)
+                    .expect("catalog-listed page reads")
+                    .expect("catalog-listed page exists");
+                let snapshot =
+                    dps_scope::measure::decode_telemetry(&table).expect("telemetry page decodes");
+                merged.merge(&snapshot);
+                telemetry_days += 1;
+            }
+            if telemetry_days > 0 {
+                let instruments =
+                    merged.counters.len() + merged.gauges.len() + merged.histograms.len();
+                println!();
+                println!(
+                    "telemetry: {telemetry_days} day pages, {instruments} instruments \
+                     (dump with `dpscope metrics`)"
+                );
+            }
         }
         "verify" => {
             let report = archive.verify().unwrap_or_else(|e| {
@@ -414,6 +454,52 @@ fn cmd_store(args: CommonArgs) {
             eprintln!("unknown store action {other:?}");
             usage();
         }
+    }
+}
+
+/// `dpscope metrics <path> [--json] [--day N]` — render the telemetry
+/// snapshots archived alongside a study's data pages. Without `--day`,
+/// every per-day snapshot is merged (counters and histograms add; gauges
+/// keep the latest day's level). Output order is sorted by metric name,
+/// so same-seed sweeps render byte-identical dumps.
+fn cmd_metrics(args: CommonArgs) {
+    let json = args.rest.iter().any(|a| a == "--json");
+    let Some(raw_path) = args.rest.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("metrics requires <archive-file-or-dir>");
+        usage();
+    };
+    let mut path = PathBuf::from(raw_path);
+    if path.is_dir() {
+        path = path.join(dps_scope::measure::ARCHIVE_FILE);
+    }
+    let store = match SnapshotStore::load_archive(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    // `--day 0` is a valid selection, so presence is what matters.
+    let day_selected = std::env::args().any(|a| a == "--day");
+    let snapshot = if day_selected {
+        match store.telemetry(args.day) {
+            Some(s) => s.clone(),
+            None => {
+                eprintln!("no telemetry page for day {}", args.day);
+                std::process::exit(1);
+            }
+        }
+    } else {
+        store.merged_telemetry()
+    };
+    if snapshot.is_empty() && !json {
+        eprintln!("{}: no telemetry pages archived", path.display());
+        std::process::exit(1);
+    }
+    if json {
+        println!("{}", snapshot.to_json());
+    } else {
+        print!("{}", snapshot.to_text());
     }
 }
 
@@ -516,6 +602,7 @@ fn main() {
         "analyze" => cmd_analyze(args),
         "dig" => cmd_dig(args),
         "store" => cmd_store(args),
+        "metrics" => cmd_metrics(args),
         _ => usage(),
     }
 }

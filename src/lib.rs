@@ -49,6 +49,7 @@ pub use dps_measure as measure;
 pub use dps_netsim as netsim;
 pub use dps_recursor as recursor;
 pub use dps_store as store;
+pub use dps_telemetry as telemetry;
 
 /// The things almost every user needs, in one import.
 pub mod prelude {

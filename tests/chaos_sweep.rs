@@ -7,8 +7,10 @@
 use dps_scope::authdns::{Resolver, ResolverConfig};
 use dps_scope::core::{growth, DEFAULT_MIN_COVERAGE};
 use dps_scope::measure::collector::{SldInterner, WirePath};
-use dps_scope::measure::pipeline::{sweep_with_path, sweep_with_path_supervised};
+use dps_scope::measure::pipeline::{sweep_with_path, sweep_with_path_supervised_metered};
+use dps_scope::measure::SweepMetrics;
 use dps_scope::prelude::*;
+use dps_scope::telemetry::Registry;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -17,7 +19,10 @@ fn temp_path(tag: &str) -> PathBuf {
 }
 
 /// One supervised `.com` sweep of `world`'s current day over a fresh
-/// network running `schedule`, appended to `store`.
+/// network running `schedule`, appended to `store`. When `registry` is
+/// given, the network, health tracker and supervisor all publish
+/// telemetry into it (mirroring `dpscope measure --chaos`).
+#[allow(clippy::too_many_arguments)]
 fn supervised_sweep(
     world: &World,
     schedule: Option<ChaosSchedule>,
@@ -26,13 +31,21 @@ fn supervised_sweep(
     passes: u32,
     store: &mut SnapshotStore,
     interner: &mut SldInterner,
+    registry: Option<&Registry>,
 ) -> DayQuality {
-    let net = Network::new(net_seed);
+    let net = match registry {
+        Some(r) => Network::with_telemetry(net_seed, r),
+        None => Network::new(net_seed),
+    };
     if let Some(s) = schedule {
         net.set_chaos(s);
     }
     let catalog = world.materialize(&net);
-    let health = Arc::new(HealthTracker::new(HealthConfig::default()));
+    let mut health = HealthTracker::new(HealthConfig::default());
+    if let Some(r) = registry {
+        health = health.with_telemetry(r);
+    }
+    let health = Arc::new(health);
     let resolver = Resolver::new(
         &net,
         "172.16.0.7".parse().unwrap(),
@@ -42,17 +55,20 @@ fn supervised_sweep(
     .with_config(ResolverConfig::resilient())
     .with_health(health);
     let mut path = WirePath::new(resolver);
-    sweep_with_path_supervised(
+    let config = SupervisorConfig {
+        retry_passes: passes,
+        ..SupervisorConfig::default()
+    };
+    let metrics = registry.map(SweepMetrics::new).unwrap_or_default();
+    sweep_with_path_supervised_metered(
         world,
         &mut path,
         Source::Com,
         day,
         store,
         interner,
-        &SupervisorConfig {
-            retry_passes: passes,
-            ..SupervisorConfig::default()
-        },
+        &config,
+        &metrics,
     )
 }
 
@@ -107,6 +123,7 @@ fn chaotic_sweep_recovers_and_matches_healthy_snapshot() {
         3,
         &mut chaotic,
         &mut interner,
+        None,
     );
 
     assert!(q.coverage() >= 0.99, "coverage {}", q.coverage());
@@ -149,6 +166,7 @@ fn same_seed_chaos_sweeps_are_byte_identical() {
                 2,
                 &mut store,
                 &mut interner,
+                None,
             );
         }
         let path = temp_path(&format!("det-{run}"));
@@ -160,6 +178,135 @@ fn same_seed_chaos_sweeps_are_byte_identical() {
     assert_eq!(
         archives[0], archives[1],
         "same seed + schedule must replay identically"
+    );
+}
+
+/// Two same-seed chaos sweeps with full telemetry wiring render
+/// byte-identical `metrics --json` output — both per day and merged —
+/// and archive byte-identically, telemetry pages included.
+#[test]
+fn same_seed_chaos_telemetry_renders_identically() {
+    let mut runs = Vec::new();
+    for run in 0..2 {
+        let mut world = World::imc2016(ScenarioParams {
+            seed: 31,
+            scale: 0.003,
+            gtld_days: 2,
+            cc_start_day: 2,
+        });
+        let mut store = SnapshotStore::new();
+        let mut interner = SldInterner::new();
+        for day in 0..2 {
+            world.advance_to(Day(day));
+            // One registry per day, like `dpscope measure --chaos`: each
+            // day's telemetry page is a self-contained snapshot.
+            let registry = Registry::new();
+            supervised_sweep(
+                &world,
+                Some(chaos_schedule()),
+                40 + u64::from(day),
+                day,
+                2,
+                &mut store,
+                &mut interner,
+                Some(&registry),
+            );
+            store.add_telemetry(day, registry.snapshot());
+        }
+        let per_day: Vec<String> = (0..2)
+            .map(|d| store.telemetry(d).expect("day telemetry").to_json())
+            .collect();
+        let merged = store.merged_telemetry();
+        assert!(
+            merged
+                .counters
+                .get("net.packets.sent")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "network telemetry flowed"
+        );
+        assert!(
+            merged.counters.get("sweep.attempted").copied().unwrap_or(0) > 0,
+            "supervisor telemetry flowed"
+        );
+        let path = temp_path(&format!("telemetry-{run}"));
+        std::fs::remove_file(&path).ok();
+        store.save_archive(&path).expect("save archive");
+        let bytes = std::fs::read(&path).expect("read archive");
+        std::fs::remove_file(&path).ok();
+        runs.push((per_day, merged.to_json(), bytes));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "per-day metrics JSON diverged");
+    assert_eq!(runs[0].1, runs[1].1, "merged metrics JSON diverged");
+    assert_eq!(runs[0].2, runs[1].2, "archives with telemetry diverged");
+}
+
+/// A healthy sweep and a chaotic sweep over the same world disagree in
+/// their chaos-facing telemetry (degraded packets, drops, retries) while
+/// producing byte-identical data pages: faults show up in the metrics,
+/// never in the measurements.
+#[test]
+fn chaos_telemetry_diverges_while_data_pages_match() {
+    let mut world = World::imc2016(ScenarioParams {
+        seed: 31,
+        scale: 0.004,
+        gtld_days: 3,
+        cc_start_day: 3,
+    });
+    world.advance_to(Day(0));
+
+    let healthy_reg = Registry::new();
+    let mut healthy = SnapshotStore::new();
+    let mut interner = SldInterner::new();
+    supervised_sweep(
+        &world,
+        None,
+        5,
+        0,
+        3,
+        &mut healthy,
+        &mut interner,
+        Some(&healthy_reg),
+    );
+
+    let chaos_reg = Registry::new();
+    let mut chaotic = SnapshotStore::new();
+    let mut interner = SldInterner::new();
+    supervised_sweep(
+        &world,
+        Some(chaos_schedule()),
+        5,
+        0,
+        3,
+        &mut chaotic,
+        &mut interner,
+        Some(&chaos_reg),
+    );
+
+    let h = healthy_reg.snapshot();
+    let c = chaos_reg.snapshot();
+    let counter =
+        |s: &dps_scope::telemetry::Snapshot, name: &str| s.counters.get(name).copied().unwrap_or(0);
+
+    assert_eq!(counter(&h, "net.chaos.degraded"), 0, "healthy run degraded");
+    assert!(counter(&c, "net.chaos.degraded") > 0, "chaos never bit");
+    assert!(
+        counter(&c, "net.packets.dropped") + counter(&c, "net.packets.blackholed")
+            > counter(&h, "net.packets.dropped") + counter(&h, "net.packets.blackholed"),
+        "chaos run lost no more packets than the healthy one"
+    );
+    assert!(
+        counter(&c, "sweep.retries") > counter(&h, "sweep.retries"),
+        "chaos run retried no more than the healthy one"
+    );
+
+    let ht = healthy.table(0, Source::Com).expect("healthy table");
+    let ct = chaotic.table(0, Source::Com).expect("chaotic table");
+    assert_eq!(
+        ht.to_bytes(),
+        ct.to_bytes(),
+        "telemetry diverged AND took the data with it"
     );
 }
 
@@ -179,7 +326,16 @@ fn full_outage_day_is_recorded_and_masked() {
     for day in 0..3 {
         world.advance_to(Day(day));
         let schedule = (day == 1).then(|| ChaosSchedule::new().blackout(None, 0, u64::MAX));
-        supervised_sweep(&world, schedule, 60, day, 1, &mut store, &mut interner);
+        supervised_sweep(
+            &world,
+            schedule,
+            60,
+            day,
+            1,
+            &mut store,
+            &mut interner,
+            None,
+        );
     }
 
     let outage = store.quality(1, Source::Com).expect("day 1 quality");

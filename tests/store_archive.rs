@@ -81,8 +81,8 @@ fn aborted_sweep_resumes_byte_identically() {
     let report = archive.verify().unwrap();
     assert!(report.all_ok(), "corrupt pages: {:?}", report.corrupt);
     // Three gTLD pages per day, two more per cc/Alexa day, plus one
-    // quality page per measured day.
-    assert_eq!(report.pages, 4 * DAYS as usize + 2 * (DAYS - CC) as usize);
+    // quality page and one telemetry page per measured day.
+    assert_eq!(report.pages, 5 * DAYS as usize + 2 * (DAYS - CC) as usize);
 
     // And the stores the two runs returned agree exactly.
     for source in dps_scope::measure::SOURCES {
@@ -138,9 +138,14 @@ fn projected_scan_decodes_fewer_bytes() {
     let before = archive.counters();
     let one_day = archive.scan(&ScanQuery::all().days(3, 3)).unwrap();
     let pruned_pass = archive.counters().since(&before);
-    // Before cc start a day holds 3 gTLD data pages plus its quality page.
-    assert_eq!(one_day.len(), 4, "gTLD sources + quality before cc start");
-    assert_eq!(pruned_pass.pages_decoded, 4);
+    // Before cc start a day holds 3 gTLD data pages plus its quality and
+    // telemetry pages.
+    assert_eq!(
+        one_day.len(),
+        5,
+        "gTLD sources + quality + telemetry before cc start"
+    );
+    assert_eq!(pruned_pass.pages_decoded, 5);
 
     std::fs::remove_file(&path).ok();
 }
