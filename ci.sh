@@ -6,6 +6,7 @@
 # Subcommands (run one step alone):
 #   ./ci.sh chaos-smoke       chaos determinism smoke only
 #   ./ci.sh telemetry-smoke   archived telemetry determinism smoke only
+#   ./ci.sh cluster-smoke     multi-process sweep byte-identity smoke only
 #   ./ci.sh analyze           dps-analyzer over the workspace (must be clean)
 #   ./ci.sh analyze-fixtures  known-bad corpus must still fail, good must pass
 set -eu
@@ -63,6 +64,28 @@ telemetry_smoke() {
     rm -rf target/ci-telemetry-a target/ci-telemetry-b
 }
 
+# Multi-process sweep: a manager plus two forked worker agents over a
+# Unix socket must produce an archive byte-identical to the
+# single-process run of the same seed, verify clean, and leave a
+# readable per-worker provenance sidecar.
+cluster_smoke() {
+    echo "==> smoke: dpscope measure --workers 2 (cluster byte-identity)"
+    rm -rf target/ci-cluster-single target/ci-cluster-multi
+    ./target/release/dpscope measure --scale 0.004 --days 3 --cc-start 2 \
+        --archive target/ci-cluster-single
+    ./target/release/dpscope measure --scale 0.004 --days 3 --cc-start 2 \
+        --workers 2 --archive target/ci-cluster-multi
+    cmp target/ci-cluster-single/archive.dps target/ci-cluster-multi/archive.dps
+    ./target/release/dpscope store verify target/ci-cluster-multi
+    test -s target/ci-cluster-multi/provenance.tsv
+    ./target/release/dpscope metrics target/ci-cluster-multi --by-worker \
+        | grep -q 'cluster.rows{worker="local-' || {
+        echo "metrics --by-worker shows no per-worker rows" >&2
+        exit 1
+    }
+    rm -rf target/ci-cluster-single target/ci-cluster-multi
+}
+
 # Workspace-native static analysis: determinism, panic-safety and hygiene
 # invariants must hold (waivers need written reasons). --deny promotes
 # warnings (e.g. stale waivers) to failures so CI stays tidy.
@@ -91,6 +114,12 @@ telemetry-smoke)
     cargo build --release --offline
     telemetry_smoke
     echo "==> telemetry smoke green"
+    exit 0
+    ;;
+cluster-smoke)
+    cargo build --release --offline
+    cluster_smoke
+    echo "==> cluster smoke green"
     exit 0
     ;;
 analyze)
@@ -126,6 +155,7 @@ rm -rf target/ci-smoke
 
 chaos_smoke
 telemetry_smoke
+cluster_smoke
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline

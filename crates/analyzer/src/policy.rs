@@ -28,6 +28,7 @@ pub const DETERMINISM_SCOPE: &[&str] = &[
     "crates/netsim/src/",
     "crates/ecosystem/src/",
     "crates/telemetry/src/",
+    "crates/cluster/src/",
 ];
 
 /// Modules that decode untrusted wire/archive bytes and must be
@@ -38,6 +39,7 @@ pub const PANIC_SAFETY_SCOPE: &[&str] = &[
     "crates/authdns/src/zonefile.rs",
     "crates/store/src/format.rs",
     "crates/store/src/archive.rs",
+    "crates/cluster/src/wire.rs",
 ];
 
 /// What applies to one file.
@@ -114,6 +116,18 @@ mod tests {
         assert!(p.families.contains(&Family::Determinism));
         let p = for_path("crates/dns/src/wire.rs", Mode::Workspace);
         assert!(!p.families.contains(&Family::Determinism));
+        assert!(p.families.contains(&Family::PanicSafety));
+    }
+
+    #[test]
+    fn cluster_crate_is_scoped() {
+        // The whole crate sits on the archive-bytes path; its wire module
+        // additionally decodes untrusted socket bytes.
+        let p = for_path("crates/cluster/src/scheduler.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::Determinism));
+        assert!(!p.families.contains(&Family::PanicSafety));
+        let p = for_path("crates/cluster/src/wire.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::Determinism));
         assert!(p.families.contains(&Family::PanicSafety));
     }
 

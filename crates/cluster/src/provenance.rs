@@ -1,0 +1,143 @@
+//! Per-worker provenance: who swept what.
+//!
+//! The archive must stay byte-identical to the single-process run, so
+//! worker attribution cannot live in archive pages. It lands in a TSV
+//! sidecar next to `archive.dps` instead, and `dpscope metrics --workers`
+//! renders it as labelled counters (`cluster.rows{worker="…"} …`) — a
+//! separate view that leaves the default snapshot rendering untouched.
+
+use crate::manager::{ClusterReport, ProvenanceRow};
+use dps_telemetry::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Sidecar file name, alongside the archive.
+pub const PROVENANCE_FILE: &str = "provenance.tsv";
+
+/// Writes a run's provenance sidecar (acceptance order).
+pub fn write_provenance(path: &Path, report: &ClusterReport) -> io::Result<()> {
+    let mut out = String::from("# dps-cluster provenance v1\n");
+    out.push_str("worker\tday\tsource\tshard\trows\tdata_points\n");
+    for row in &report.accepted {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            row.worker, row.day, row.source, row.shard, row.rows, row.data_points
+        );
+    }
+    std::fs::write(path, out)
+}
+
+/// Reads a provenance sidecar back; malformed lines are an error.
+pub fn read_provenance(path: &Path) -> io::Result<Vec<ProvenanceRow>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') || line.starts_with("worker\t") {
+            continue;
+        }
+        let mut f = line.split('\t');
+        let parsed = (|| {
+            Some(ProvenanceRow {
+                worker: f.next()?.to_owned(),
+                day: f.next()?.parse().ok()?,
+                source: f.next()?.parse().ok()?,
+                shard: f.next()?.parse().ok()?,
+                rows: f.next()?.parse().ok()?,
+                data_points: f.next()?.parse().ok()?,
+            })
+        })();
+        match parsed {
+            Some(row) => rows.push(row),
+            None => return Err(io::Error::other(format!("bad provenance line: {line}"))),
+        }
+    }
+    Ok(rows)
+}
+
+/// Folds provenance rows into one snapshot per worker: leases, rows and
+/// data points attributed to that worker across all days (the multi-day
+/// merge, one label dimension deep).
+pub fn per_worker_metrics(rows: &[ProvenanceRow]) -> BTreeMap<String, Snapshot> {
+    let mut out: BTreeMap<String, Snapshot> = BTreeMap::new();
+    for row in rows {
+        let snap = out.entry(row.worker.clone()).or_default();
+        *snap.counters.entry("cluster.leases").or_insert(0) += 1;
+        *snap.counters.entry("cluster.rows").or_insert(0) += u64::from(row.rows);
+        *snap.counters.entry("cluster.data.points").or_insert(0) += row.data_points;
+    }
+    out
+}
+
+/// Renders per-worker provenance as labelled instrument lines, workers
+/// in name order.
+pub fn render_per_worker(rows: &[ProvenanceRow]) -> String {
+    let mut out = String::new();
+    for (worker, snap) in per_worker_metrics(rows) {
+        out.push_str(&snap.to_text_labeled("worker", &worker));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterReport {
+        ClusterReport {
+            accepted: vec![
+                ProvenanceRow {
+                    day: 0,
+                    source: 0,
+                    shard: 0,
+                    worker: "a".into(),
+                    rows: 10,
+                    data_points: 70,
+                },
+                ProvenanceRow {
+                    day: 0,
+                    source: 0,
+                    shard: 1,
+                    worker: "b".into(),
+                    rows: 12,
+                    data_points: 80,
+                },
+                ProvenanceRow {
+                    day: 1,
+                    source: 1,
+                    shard: 0,
+                    worker: "a".into(),
+                    rows: 5,
+                    data_points: 30,
+                },
+            ],
+            ..ClusterReport::default()
+        }
+    }
+
+    #[test]
+    fn sidecar_roundtrips() {
+        let path =
+            std::env::temp_dir().join(format!("dps-prov-{}-{}.tsv", std::process::id(), line!()));
+        let report = sample();
+        write_provenance(&path, &report).unwrap();
+        let rows = read_provenance(&path).unwrap();
+        assert_eq!(rows, report.accepted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn per_worker_merge_spans_days() {
+        let report = sample();
+        let by_worker = per_worker_metrics(&report.accepted);
+        let a = by_worker.get("a").unwrap();
+        assert_eq!(a.counters.get("cluster.leases"), Some(&2));
+        assert_eq!(a.counters.get("cluster.rows"), Some(&15));
+        assert_eq!(a.counters.get("cluster.data.points"), Some(&100));
+        let text = render_per_worker(&report.accepted);
+        assert!(text.contains("cluster.rows{worker=\"a\"} 15"), "{text}");
+        assert!(text.contains("cluster.rows{worker=\"b\"} 12"), "{text}");
+    }
+}

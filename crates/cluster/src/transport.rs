@@ -1,0 +1,372 @@
+//! Frame transports: TCP, Unix domain sockets, and an in-process
+//! loopback.
+//!
+//! A transport moves whole frames (see [`crate::wire::frame`]); protocol
+//! and scheduling logic above this layer never sees partial reads. The
+//! receiving half is timeout-driven: `Ok(None)` means "nothing arrived
+//! within the read timeout", which the manager turns into liveness ticks
+//! for the worker health model — no wall-clock reads anywhere above the
+//! socket layer.
+
+use crate::wire::{frame, FrameBuf, FrameError};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Sending half of a transport. Thread-safe: the worker's heartbeat
+/// thread and its lease loop share one sender.
+pub trait FrameTx: Send + Sync {
+    /// Sends one frame payload (the transport adds the length prefix).
+    fn send(&self, payload: &[u8]) -> io::Result<()>;
+
+    /// Sends an owned frame payload. Transports that queue whole
+    /// payloads (the loopback) take it as-is and skip a copy; byte
+    /// streams fall back to [`send`](FrameTx::send).
+    fn send_vec(&self, payload: Vec<u8>) -> io::Result<()> {
+        self.send(&payload)
+    }
+}
+
+/// Receiving half of a transport.
+pub trait FrameRx: Send {
+    /// Waits up to the transport's read timeout for a complete frame.
+    /// `Ok(Some(payload))` on a frame, `Ok(None)` on a quiet interval,
+    /// `Err` once the peer is gone or the stream is poisoned.
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// One admitted connection, as handed to the manager.
+pub struct Conn {
+    /// Frame sender towards the peer.
+    pub tx: Arc<dyn FrameTx>,
+    /// Frame receiver from the peer.
+    pub rx: Box<dyn FrameRx>,
+}
+
+/// [`FrameTx`] over any byte sink.
+struct StreamTx<W: Write + Send> {
+    inner: Mutex<W>,
+}
+
+impl<W: Write + Send> FrameTx for StreamTx<W> {
+    fn send(&self, payload: &[u8]) -> io::Result<()> {
+        let framed = frame(payload);
+        let mut w = self
+            .inner
+            .lock()
+            .map_err(|_| io::Error::other("tx poisoned"))?;
+        w.write_all(&framed)?;
+        w.flush()
+    }
+}
+
+/// [`FrameRx`] over any byte source with a read timeout. Partial frames
+/// accumulate across quiet intervals — a timeout never loses bytes.
+struct StreamRx<R: Read + Send> {
+    inner: R,
+    fb: FrameBuf,
+}
+
+impl<R: Read + Send> FrameRx for StreamRx<R> {
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            match self.fb.next_frame() {
+                Ok(Some(p)) => return Ok(Some(p)),
+                Err(FrameError::Oversize(len)) => {
+                    return Err(io::Error::other(format!("oversize frame ({len} bytes)")));
+                }
+                Ok(None) => {}
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.fb.extend(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Splits a TCP stream into transport halves with the given read timeout.
+pub fn tcp_conn(stream: TcpStream, read_timeout: Duration) -> io::Result<Conn> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(read_timeout))?;
+    let write_half = stream.try_clone()?;
+    Ok(Conn {
+        tx: Arc::new(StreamTx {
+            inner: Mutex::new(write_half),
+        }),
+        rx: Box::new(StreamRx {
+            inner: stream,
+            fb: FrameBuf::new(),
+        }),
+    })
+}
+
+/// Splits a Unix-domain stream into transport halves.
+pub fn uds_conn(stream: UnixStream, read_timeout: Duration) -> io::Result<Conn> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    let write_half = stream.try_clone()?;
+    Ok(Conn {
+        tx: Arc::new(StreamTx {
+            inner: Mutex::new(write_half),
+        }),
+        rx: Box::new(StreamRx {
+            inner: stream,
+            fb: FrameBuf::new(),
+        }),
+    })
+}
+
+/// One direction of the loopback transport.
+struct LoopChan {
+    state: Mutex<LoopState>,
+    wake: Condvar,
+}
+
+struct LoopState {
+    queue: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl LoopChan {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(LoopState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.closed = true;
+        }
+        self.wake.notify_all();
+    }
+}
+
+struct LoopTx {
+    chan: Arc<LoopChan>,
+    /// The opposite direction, closed alongside ours so a dropped
+    /// endpoint looks like a vanished peer from both sides.
+    reverse: Arc<LoopChan>,
+}
+
+impl FrameTx for LoopTx {
+    fn send(&self, payload: &[u8]) -> io::Result<()> {
+        self.send_vec(payload.to_vec())
+    }
+
+    fn send_vec(&self, payload: Vec<u8>) -> io::Result<()> {
+        let mut st = self
+            .chan
+            .state
+            .lock()
+            .map_err(|_| io::Error::other("loopback poisoned"))?;
+        if st.closed {
+            return Err(io::ErrorKind::BrokenPipe.into());
+        }
+        st.queue.push_back(payload);
+        drop(st);
+        self.chan.wake.notify_all();
+        Ok(())
+    }
+}
+
+impl Drop for LoopTx {
+    fn drop(&mut self) {
+        self.chan.close();
+        self.reverse.close();
+    }
+}
+
+struct LoopRx {
+    chan: Arc<LoopChan>,
+    timeout: Duration,
+}
+
+impl FrameRx for LoopRx {
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut st = self
+            .chan
+            .state
+            .lock()
+            .map_err(|_| io::Error::other("loopback poisoned"))?;
+        loop {
+            if let Some(p) = st.queue.pop_front() {
+                return Ok(Some(p));
+            }
+            if st.closed {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            let (next, wait) = self
+                .chan
+                .wake
+                .wait_timeout(st, self.timeout)
+                .map_err(|_| io::Error::other("loopback poisoned"))?;
+            st = next;
+            if wait.timed_out() {
+                return match st.queue.pop_front() {
+                    Some(p) => Ok(Some(p)),
+                    None if st.closed => Err(io::ErrorKind::UnexpectedEof.into()),
+                    None => Ok(None),
+                };
+            }
+        }
+    }
+}
+
+/// An in-process duplex transport: two [`Conn`] endpoints joined by
+/// queues. Dropping either endpoint's sender closes both directions, so
+/// peer-crash handling is exercisable without sockets.
+pub fn loopback_conn(read_timeout: Duration) -> (Conn, Conn) {
+    let a2b = LoopChan::new();
+    let b2a = LoopChan::new();
+    let a = Conn {
+        tx: Arc::new(LoopTx {
+            chan: Arc::clone(&a2b),
+            reverse: Arc::clone(&b2a),
+        }),
+        rx: Box::new(LoopRx {
+            chan: Arc::clone(&b2a),
+            timeout: read_timeout,
+        }),
+    };
+    let b = Conn {
+        tx: Arc::new(LoopTx {
+            chan: b2a,
+            reverse: Arc::clone(&a2b),
+        }),
+        rx: Box::new(LoopRx {
+            chan: a2b,
+            timeout: read_timeout,
+        }),
+    };
+    (a, b)
+}
+
+/// Accept loop over a TCP listener: admitted connections are sent down
+/// `conns` until `stop` is raised or the receiver hangs up.
+pub fn tcp_accept_loop(
+    listener: TcpListener,
+    read_timeout: Duration,
+    conns: &mpsc::Sender<Conn>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let conn = tcp_conn(stream, read_timeout)?;
+                if conns.send(conn).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Accept loop over a Unix-domain listener; see [`tcp_accept_loop`].
+pub fn uds_accept_loop(
+    listener: UnixListener,
+    read_timeout: Duration,
+    conns: &mpsc::Sender<Conn>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let conn = uds_conn(stream, read_timeout)?;
+                if conns.send(conn).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_delivers_frames_both_ways() {
+        let (a, mut b) = loopback_conn(Duration::from_millis(20));
+        a.tx.send(b"ping").unwrap();
+        assert_eq!(b.rx.recv().unwrap(), Some(b"ping".to_vec()));
+        b.tx.send(b"pong").unwrap();
+        let mut a_rx = a.rx;
+        assert_eq!(a_rx.recv().unwrap(), Some(b"pong".to_vec()));
+        assert_eq!(a_rx.recv().unwrap(), None, "quiet interval ticks");
+    }
+
+    #[test]
+    fn dropping_an_endpoint_closes_both_directions() {
+        let (a, b) = loopback_conn(Duration::from_millis(20));
+        let Conn {
+            tx: b_tx,
+            rx: mut b_rx,
+        } = b;
+        drop(a);
+        assert!(b_rx.recv().is_err(), "peer gone surfaces as Err");
+        assert!(b_tx.send(b"x").is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_timeout_ticks() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (ctx, crx) = mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let t = std::thread::spawn(move || {
+            tcp_accept_loop(listener, Duration::from_millis(20), &ctx, &stop2)
+        });
+        let client =
+            tcp_conn(TcpStream::connect(addr).unwrap(), Duration::from_millis(20)).unwrap();
+        let mut server = crx.recv().unwrap();
+        client.tx.send(b"hello").unwrap();
+        loop {
+            match server.rx.recv().unwrap() {
+                Some(p) => {
+                    assert_eq!(p, b"hello");
+                    break;
+                }
+                None => continue,
+            }
+        }
+        assert_eq!(server.rx.recv().unwrap(), None, "timeout tick");
+        stop.store(true, Ordering::Relaxed);
+        t.join().unwrap().unwrap();
+    }
+}

@@ -13,6 +13,9 @@ pub enum NameError {
     EmptyLabel,
     /// A label contained an octet we do not accept in presentation format.
     InvalidCharacter(char),
+    /// Wire-form bytes were structurally invalid: a label length ran past
+    /// the end, or bytes trailed the root octet.
+    MalformedWire,
 }
 
 impl fmt::Display for NameError {
@@ -24,6 +27,7 @@ impl fmt::Display for NameError {
             }
             Self::EmptyLabel => write!(f, "empty label inside a name"),
             Self::InvalidCharacter(c) => write!(f, "character {c:?} not allowed in a domain name"),
+            Self::MalformedWire => write!(f, "structurally invalid wire-form name"),
         }
     }
 }

@@ -81,6 +81,40 @@ impl Name {
         &self.wire
     }
 
+    /// Parses an untrusted uncompressed wire-form name (length-prefixed
+    /// labels terminated by the root octet), normalising labels to ASCII
+    /// lowercase. Checked throughout: bad structure is an error, never a
+    /// panic. The inverse of [`as_wire`](Self::as_wire) — much cheaper
+    /// than a presentation-format round-trip.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, NameError> {
+        if bytes.len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(bytes.len()));
+        }
+        let mut i = 0usize;
+        loop {
+            match bytes.get(i) {
+                // Ran past the end without meeting the root octet.
+                None => return Err(NameError::MalformedWire),
+                Some(0) => {
+                    if i + 1 != bytes.len() {
+                        // Trailing bytes after the root octet.
+                        return Err(NameError::MalformedWire);
+                    }
+                    break;
+                }
+                Some(&len) => {
+                    if usize::from(len) > MAX_LABEL_LEN {
+                        return Err(NameError::LabelTooLong(usize::from(len)));
+                    }
+                    i += 1 + usize::from(len);
+                }
+            }
+        }
+        Ok(Self {
+            wire: bytes.to_ascii_lowercase(),
+        })
+    }
+
     /// Number of labels, excluding the root label. The root name has 0.
     pub fn label_count(&self) -> usize {
         self.labels().count()
@@ -325,5 +359,37 @@ mod tests {
         let name = n("www.examp.le");
         let collected: Vec<&[u8]> = name.labels().collect();
         assert_eq!(collected, vec![b"www".as_slice(), b"examp", b"le"]);
+    }
+
+    #[test]
+    fn from_wire_inverts_as_wire() {
+        for s in ["www.examp.le", "a.b.c.d", "le"] {
+            let name = n(s);
+            assert_eq!(Name::from_wire(name.as_wire()).unwrap(), name);
+        }
+        assert_eq!(Name::from_wire(&[0]).unwrap(), Name::root());
+        // Uppercase wire bytes normalise like every other constructor.
+        assert_eq!(Name::from_wire(b"\x03WWW\x02le\x00").unwrap(), n("www.le"));
+    }
+
+    #[test]
+    fn from_wire_rejects_malformed_bytes() {
+        assert_eq!(Name::from_wire(&[]), Err(NameError::MalformedWire));
+        // Label length runs past the end.
+        assert_eq!(Name::from_wire(b"\x05ab"), Err(NameError::MalformedWire));
+        // Missing root octet.
+        assert_eq!(Name::from_wire(b"\x02ab"), Err(NameError::MalformedWire));
+        // Trailing bytes after the root octet.
+        assert_eq!(
+            Name::from_wire(b"\x01a\x00x"),
+            Err(NameError::MalformedWire)
+        );
+        // Oversized label (64) and oversized name.
+        let mut long = vec![64u8];
+        long.extend(std::iter::repeat_n(b'a', 64));
+        long.push(0);
+        assert_eq!(Name::from_wire(&long), Err(NameError::LabelTooLong(64)));
+        let big = [1u8, b'a'].repeat(200);
+        assert_eq!(Name::from_wire(&big), Err(NameError::NameTooLong(400)));
     }
 }

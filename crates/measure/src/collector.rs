@@ -231,7 +231,7 @@ fn v6_of(res: &Resolution) -> Option<std::net::Ipv6Addr> {
 /// A collected measurement before dictionary encoding: SLDs are still
 /// [`Name`]s, so worker threads can produce it without touching the
 /// shared dictionary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RawRow {
     /// Zone-entry code.
     pub entry: u32,

@@ -36,7 +36,9 @@ pub mod telemetry;
 
 pub use collector::{BulkPath, PathTelemetry, QueryPath, RecursorPath, WirePath};
 pub use observation::{Source, SOURCES};
-pub use pipeline::{Study, StudyConfig};
+pub use pipeline::{
+    append_day, day_committed, due_sources_for, resume_store, SourcePage, Study, StudyConfig,
+};
 pub use quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality, QUALITY_SOURCE};
 pub use snapshot::{SnapshotStore, SourceStats, ARCHIVE_FILE};
 pub use supervisor::{

@@ -16,7 +16,7 @@ use dps_columnar::{Table, TableBuilder};
 use dps_ecosystem::World;
 use dps_netsim::{Day, RibHistory};
 use dps_store::{Archive, ArchiveWriter};
-use dps_telemetry::{Counter, Registry};
+use dps_telemetry::{Counter, Registry, Snapshot};
 
 /// Study configuration.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +39,121 @@ impl StudyConfig {
             stride: 1,
         }
     }
+}
+
+/// The measurement calendar: which sources are due on `day` under
+/// `config`. Free function so out-of-process drivers (the cluster
+/// manager) shard the exact same calendar [`Study`] sweeps.
+pub fn due_sources_for(config: &StudyConfig, day: u32) -> Vec<Source> {
+    let mut v = vec![Source::Com, Source::Net, Source::Org];
+    if day >= config.cc_start_day {
+        v.push(Source::Nl);
+        v.push(Source::Alexa);
+    }
+    v
+}
+
+/// One finished (day, source) sweep: the encoded table plus its quality
+/// record, ready to append to an archive in calendar order.
+pub struct SourcePage {
+    /// The source this page belongs to.
+    pub source: Source,
+    /// Dictionary-encoded observation rows.
+    pub table: Table,
+    /// Exact data-point count for the page (Table 1 accounting).
+    pub data_points: u64,
+    /// The day's coverage/failure record for this source.
+    pub quality: DayQuality,
+}
+
+/// True when `day` is already durable in the archive: every due source
+/// page plus the quality and telemetry pages are committed. A commit
+/// happens once per day, so a day is either fully durable or (after
+/// truncating a torn tail) absent entirely.
+pub fn day_committed(writer: &ArchiveWriter, config: &StudyConfig, day: u32) -> bool {
+    due_sources_for(config, day)
+        .iter()
+        .all(|s| writer.contains(day, s.index() as u8))
+        && writer.contains(day, QUALITY_SOURCE)
+        && writer.contains(day, TELEMETRY_SOURCE)
+}
+
+/// Appends one finished day to the archive and the in-memory store, then
+/// commits a durable footer. This is **the** day-commit path: the
+/// single-process [`Study::run_archived`] and the cluster manager both
+/// funnel through it, which is what keeps a multi-worker sweep
+/// byte-identical to the single-process run — pages land in the same
+/// (day, source) order, followed by the same quality and telemetry
+/// pages, followed by one commit against the shared dictionary.
+///
+/// `pages` must be in [`due_sources_for`] order for the day.
+pub fn append_day(
+    writer: &mut ArchiveWriter,
+    store: &mut SnapshotStore,
+    day: u32,
+    pages: Vec<SourcePage>,
+    telemetry: Snapshot,
+) -> std::io::Result<()> {
+    let mut day_qualities = Vec::new();
+    for page in pages {
+        writer.append_table(
+            day,
+            page.source.index() as u8,
+            &page.table,
+            page.data_points,
+        )?;
+        store.add_table(day, page.source, &page.table, page.data_points);
+        store.add_quality(page.quality);
+        day_qualities.push(page.quality);
+    }
+    writer.append_table(day, QUALITY_SOURCE, &encode_qualities(&day_qualities), 0)?;
+    writer.append_table(day, TELEMETRY_SOURCE, &encode_telemetry(&telemetry), 0)?;
+    store.add_telemetry(day, telemetry);
+    writer.commit(&store.dict)
+}
+
+/// Rehydrates a store from the committed pages of a resumed archive:
+/// the dictionary continues from the last footer (interning is
+/// idempotent, so ids stay identical) and committed days are reloaded
+/// from the file instead of re-measured. Shared by
+/// [`Study::run_archived`] and the cluster manager's resume path.
+pub fn resume_store(
+    store: &mut SnapshotStore,
+    writer: &ArchiveWriter,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    store.dict = writer.dict().clone();
+    if writer.catalog().pages.is_empty() {
+        return Ok(());
+    }
+    // Rehydrate committed days (exact data-point counts come from the
+    // catalog; no re-measurement, no estimation).
+    let archive = Archive::open_with_cache(path, 0)?;
+    for (&(day, source), meta) in &archive.catalog().pages {
+        let table = archive
+            .table(day, source)?
+            .expect("catalog-listed page exists");
+        if source == TELEMETRY_SOURCE {
+            let snapshot = decode_telemetry(&table).ok_or_else(|| {
+                std::io::Error::other("archive holds an undecodable telemetry page")
+            })?;
+            store.add_telemetry(day, snapshot);
+            continue;
+        }
+        if source == QUALITY_SOURCE {
+            let qualities = decode_qualities(&table).ok_or_else(|| {
+                std::io::Error::other("archive holds an undecodable quality page")
+            })?;
+            for q in qualities {
+                store.add_quality(q);
+            }
+            continue;
+        }
+        let src = Source::from_index(u32::from(source))
+            .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
+        store.add_table(day, src, &table, meta.data_points);
+    }
+    Ok(())
 }
 
 /// Sweep-volume counters the study records per measured day.
@@ -89,12 +204,7 @@ impl Study {
 
     /// The measurement calendar: which sources are due on `day`.
     pub fn due_sources(&self, day: u32) -> Vec<Source> {
-        let mut v = vec![Source::Com, Source::Net, Source::Org];
-        if day >= self.config.cc_start_day {
-            v.push(Source::Nl);
-            v.push(Source::Alexa);
-        }
-        v
+        due_sources_for(&self.config, day)
     }
 
     /// Runs the whole study: advances the world through every measured day
@@ -139,36 +249,7 @@ impl Study {
         let mut writer = ArchiveWriter::resume_or_create(path, Some(UNIQUE_KEY_COLUMN))?;
         // Continue interning into the committed dictionary so a resumed
         // sweep assigns the same ids an uninterrupted one would.
-        self.store.dict = writer.dict().clone();
-        if !writer.catalog().pages.is_empty() {
-            // Rehydrate committed days (exact data-point counts come from
-            // the catalog; no re-measurement, no estimation).
-            let archive = Archive::open_with_cache(path, 0)?;
-            for (&(day, source), meta) in &archive.catalog().pages {
-                let table = archive
-                    .table(day, source)?
-                    .expect("catalog-listed page exists");
-                if source == TELEMETRY_SOURCE {
-                    let snapshot = decode_telemetry(&table).ok_or_else(|| {
-                        std::io::Error::other("archive holds an undecodable telemetry page")
-                    })?;
-                    self.store.add_telemetry(day, snapshot);
-                    continue;
-                }
-                if source == QUALITY_SOURCE {
-                    let qualities = decode_qualities(&table).ok_or_else(|| {
-                        std::io::Error::other("archive holds an undecodable quality page")
-                    })?;
-                    for q in qualities {
-                        self.store.add_quality(q);
-                    }
-                    continue;
-                }
-                let src = Source::from_index(u32::from(source))
-                    .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
-                self.store.add_table(day, src, &table, meta.data_points);
-            }
-        }
+        resume_store(&mut self.store, &writer, path)?;
         let mut interner = SldInterner::new();
         let mut day = 0u32;
         while day < self.config.days {
@@ -176,28 +257,11 @@ impl Study {
             // ones — so world state evolves exactly as in a fresh run.
             world.advance_to(Day(day));
             self.history.record(Day(day), world.pfx2as());
-            let due = self.due_sources(day);
-            // A commit happens once per day, so a day is either fully
-            // durable or (after truncating a torn tail) absent entirely.
-            let complete = due.iter().all(|s| writer.contains(day, s.index() as u8))
-                && writer.contains(day, QUALITY_SOURCE)
-                && writer.contains(day, TELEMETRY_SOURCE);
-            if !complete {
+            if !day_committed(&writer, &self.config, day) {
                 let before = self.registry.snapshot();
-                let mut day_qualities = Vec::new();
-                for (source, table, data_points, quality) in
-                    self.collect_day(world, day, &mut interner)
-                {
-                    writer.append_table(day, source.index() as u8, &table, data_points)?;
-                    self.store.add_table(day, source, &table, data_points);
-                    self.store.add_quality(quality);
-                    day_qualities.push(quality);
-                }
-                writer.append_table(day, QUALITY_SOURCE, &encode_qualities(&day_qualities), 0)?;
+                let pages = self.collect_day(world, day, &mut interner);
                 let delta = self.registry.snapshot().since(&before);
-                writer.append_table(day, TELEMETRY_SOURCE, &encode_telemetry(&delta), 0)?;
-                self.store.add_telemetry(day, delta);
-                writer.commit(&self.store.dict)?;
+                append_day(&mut writer, &mut self.store, day, pages, delta)?;
             }
             day += self.config.stride.max(1);
         }
@@ -210,9 +274,10 @@ impl Study {
     /// (paper Fig. 1): workers collect raw rows against the immutable
     /// world; the manager thread dictionary-encodes and stores them.
     pub fn measure_day(&mut self, world: &World, day: u32, interner: &mut SldInterner) {
-        for (source, table, data_points, quality) in self.collect_day(world, day, interner) {
-            self.store.add_table(day, source, &table, data_points);
-            self.store.add_quality(quality);
+        for page in self.collect_day(world, day, interner) {
+            self.store
+                .add_table(day, page.source, &page.table, page.data_points);
+            self.store.add_quality(page.quality);
         }
     }
 
@@ -224,7 +289,7 @@ impl Study {
         world: &World,
         day: u32,
         interner: &mut SldInterner,
-    ) -> Vec<(Source, Table, u64, DayQuality)> {
+    ) -> Vec<SourcePage> {
         let pfx2as = world.pfx2as();
         let mut out = Vec::new();
         self.metrics.days.inc();
@@ -270,7 +335,12 @@ impl Study {
             quality.causes = causes;
             self.metrics.rows.add(u64::from(attempted));
             self.metrics.data_points.add(data_points);
-            out.push((source, builder.finish(), data_points, quality));
+            out.push(SourcePage {
+                source,
+                table: builder.finish(),
+                data_points,
+                quality,
+            });
         }
         out
     }

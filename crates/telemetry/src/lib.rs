@@ -441,6 +441,38 @@ impl Snapshot {
         out
     }
 
+    /// Like [`to_text`](Self::to_text), with one label attached to every
+    /// instrument name: `name{key="value"} v`. Renders a *separate* view
+    /// (per-worker provenance, per-shard breakdowns) without touching the
+    /// unlabelled rendering, which stays byte-stable for equal snapshots.
+    /// The label value is escaped (`\` and `"`), so any worker name is
+    /// safe to embed.
+    pub fn to_text_labeled(&self, key: &str, value: &str) -> String {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '\\' | '"' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        let label = format!("{{{key}=\"{escaped}\"}}");
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k}{label} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k}{label} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = write!(out, "{k}{label} count={} sum={}", h.count, h.sum);
+            for &(b, c) in &h.buckets {
+                let _ = write!(out, " le{}={c}", bucket_bounds(b).1);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Compact JSON with sorted keys — byte-stable for equal snapshots.
     /// Histograms render as `{"count":…,"sum":…,"buckets":[[b,c],…]}`.
     pub fn to_json(&self) -> String {

@@ -42,6 +42,11 @@ struct CommonArgs {
     source: Option<u8>,
     cols: Option<Vec<String>>,
     chaos: Option<String>,
+    workers: u32,
+    min_workers: u32,
+    bind: Option<String>,
+    connect: Option<String>,
+    name: Option<String>,
     rest: Vec<String>,
 }
 
@@ -60,7 +65,12 @@ fn usage() -> ! {
            store      inspect a single-file archive: store <info|verify|cat> <path>\n\
                       (info includes the per-day data-quality summary)\n\
            metrics    dump archived sweep telemetry: metrics <path> [--json]\n\
-                      (all days merged; --day N selects one day's page)\n\
+                      (all days merged; --day N selects one day's page;\n\
+                      --by-worker appends per-worker provenance counters)\n\
+           cluster    multi-process sweep roles:\n\
+                        cluster serve --bind ADDR --archive DIR  (manager)\n\
+                        cluster agent --connect ADDR [--name S]  (worker)\n\
+                      ADDRs containing '/' are Unix sockets, else TCP\n\
          \n\
          options:\n\
            --seed N       world seed           (default 2016)\n\
@@ -76,6 +86,13 @@ fn usage() -> ! {
            --chaos SPEC   measure: sweep over the simulated wire under a\n\
                           scripted fault schedule, e.g.\n\
                           'degrade@0..inf@loss=0.15; blackout@5s..20s@10.0.0.1'\n\
+           --workers N    measure: sweep with N local worker-agent processes\n\
+                          over a Unix socket (archive stays byte-identical)\n\
+           --bind ADDR    cluster serve: listen address\n\
+           --min-workers N  cluster serve: hold leases until N agents have\n\
+                          joined (late fleets all participate; default 0)\n\
+           --connect ADDR cluster agent: manager address\n\
+           --name S       cluster agent: display name for provenance\n\
          \n\
          analyze ids: {}",
         experiment_ids().join(", ")
@@ -96,6 +113,11 @@ fn parse_args(args: &[String]) -> CommonArgs {
         source: None,
         cols: None,
         chaos: None,
+        workers: 0,
+        min_workers: 0,
+        bind: None,
+        connect: None,
+        name: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -130,6 +152,13 @@ fn parse_args(args: &[String]) -> CommonArgs {
                 )
             }
             "--chaos" => common.chaos = Some(value("--chaos").to_string()),
+            "--workers" => common.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--min-workers" => {
+                common.min_workers = value("--min-workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--bind" => common.bind = Some(value("--bind").to_string()),
+            "--connect" => common.connect = Some(value("--connect").to_string()),
+            "--name" => common.name = Some(value("--name").to_string()),
             "-h" | "--help" => usage(),
             other => common.rest.push(other.to_string()),
         }
@@ -199,6 +228,14 @@ fn cmd_measure(args: CommonArgs) {
     );
     std::fs::create_dir_all(&archive).expect("create archive dir");
     let path = archive.join(dps_scope::measure::ARCHIVE_FILE);
+    if args.workers > 0 {
+        if args.chaos.is_some() {
+            eprintln!("--workers and --chaos are mutually exclusive");
+            usage();
+        }
+        cmd_measure_cluster(&args, &archive, &path);
+        return;
+    }
     if let Some(spec) = &args.chaos {
         let schedule = ChaosSchedule::parse(spec).unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -296,6 +333,181 @@ fn cmd_measure_chaos(
         dps_scope::core::report::human_bytes(store.total_stored_bytes()),
         path.display()
     );
+}
+
+/// Manager-side read timeout: comfortably above the agents' 100 ms
+/// heartbeat interval, so a healthy worker never shows a quiet tick.
+const CLUSTER_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(500);
+
+fn cluster_config(args: &CommonArgs) -> dps_scope::cluster::ClusterConfig {
+    let params = ScenarioParams {
+        seed: args.seed,
+        scale: args.scale,
+        gtld_days: args.days,
+        cc_start_day: args.cc_start,
+    };
+    let mut config = dps_scope::cluster::ClusterConfig::for_params(params);
+    config.study.stride = args.stride;
+    config.scheduler.min_workers = args.min_workers;
+    config
+}
+
+/// Binds `addr` ('/' ⇒ Unix socket path, else TCP host:port) and pumps
+/// accepted connections into `conns` until `stop` is raised.
+fn spawn_accept_loop(
+    addr: &str,
+    conns: std::sync::mpsc::Sender<dps_scope::cluster::Conn>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<std::io::Result<()>> {
+    use dps_scope::cluster::transport::{tcp_accept_loop, uds_accept_loop};
+    if addr.contains('/') {
+        std::fs::remove_file(addr).ok();
+        let listener = std::os::unix::net::UnixListener::bind(addr).expect("bind unix socket");
+        std::thread::spawn(move || uds_accept_loop(listener, CLUSTER_READ_TIMEOUT, &conns, &stop))
+    } else {
+        let listener = std::net::TcpListener::bind(addr).expect("bind tcp listener");
+        std::thread::spawn(move || tcp_accept_loop(listener, CLUSTER_READ_TIMEOUT, &conns, &stop))
+    }
+}
+
+/// `dpscope cluster serve --bind ADDR --archive DIR`: the manager role.
+/// Owns the archive; leases (day, shard) units to connecting agents and
+/// commits merged days. The archive is byte-identical to a single-process
+/// `dpscope measure` of the same parameters.
+fn cluster_serve(args: &CommonArgs) {
+    let Some(bind) = args.bind.clone() else {
+        eprintln!("cluster serve requires --bind ADDR");
+        usage();
+    };
+    let Some(archive) = args.archive.clone() else {
+        eprintln!("cluster serve requires --archive DIR");
+        usage();
+    };
+    std::fs::create_dir_all(&archive).expect("create archive dir");
+    let path = archive.join(dps_scope::measure::ARCHIVE_FILE);
+    let (conn_tx, conn_rx) = std::sync::mpsc::channel();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let accept = spawn_accept_loop(&bind, conn_tx, stop.clone());
+    println!("cluster manager on {bind}; waiting for agents…");
+    let outcome = dps_scope::cluster::serve(conn_rx, cluster_config(args), &path);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    accept.join().expect("accept loop").expect("accept loop io");
+    if bind.contains('/') {
+        std::fs::remove_file(&bind).ok();
+    }
+    let outcome = outcome.expect("cluster sweep");
+    finish_cluster_run(&archive, &path, &outcome);
+}
+
+/// `dpscope cluster agent --connect ADDR [--name S]`: the worker role.
+/// Rebuilds the world the manager's Welcome describes and sweeps leases
+/// until drained.
+fn cluster_agent(args: &CommonArgs) {
+    let Some(addr) = args.connect.clone() else {
+        eprintln!("cluster agent requires --connect ADDR");
+        usage();
+    };
+    // The manager may still be binding its socket — or starting slowly on
+    // a loaded machine; retry for up to a minute.
+    let mut conn = None;
+    for _ in 0..600 {
+        let attempt = if addr.contains('/') {
+            std::os::unix::net::UnixStream::connect(&addr)
+                .and_then(|s| dps_scope::cluster::uds_conn(s, CLUSTER_READ_TIMEOUT))
+        } else {
+            std::net::TcpStream::connect(&addr)
+                .and_then(|s| dps_scope::cluster::tcp_conn(s, CLUSTER_READ_TIMEOUT))
+        };
+        match attempt {
+            Ok(c) => {
+                conn = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+    let Some(conn) = conn else {
+        eprintln!("cannot connect to {addr}");
+        std::process::exit(1);
+    };
+    let opts = dps_scope::cluster::WorkerOptions {
+        name: args.name.clone().unwrap_or_default(),
+        ..Default::default()
+    };
+    let summary = dps_scope::cluster::run_agent(conn, opts).expect("agent run");
+    println!(
+        "agent {}: {} leases, {} rows",
+        summary.worker, summary.leases, summary.rows
+    );
+}
+
+/// `dpscope measure --workers N`: forks N local `cluster agent` child
+/// processes talking to an in-archive-dir Unix socket, then runs the
+/// manager in this process. Same bytes as the single-process sweep.
+fn cmd_measure_cluster(args: &CommonArgs, archive: &std::path::Path, path: &std::path::Path) {
+    let sock = archive.join("cluster.sock");
+    let sock_str = sock.to_str().expect("utf-8 socket path").to_string();
+    let (conn_tx, conn_rx) = std::sync::mpsc::channel();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let accept = spawn_accept_loop(&sock_str, conn_tx, stop.clone());
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children = Vec::new();
+    for i in 0..args.workers {
+        let child = std::process::Command::new(&exe)
+            .args([
+                "cluster",
+                "agent",
+                "--connect",
+                &sock_str,
+                "--name",
+                &format!("local-{i}"),
+            ])
+            .spawn()
+            .expect("spawn local agent");
+        children.push(child);
+    }
+    println!("sweeping with {} local worker agents…", args.workers);
+    let outcome = dps_scope::cluster::serve(conn_rx, cluster_config(args), path);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    accept.join().expect("accept loop").expect("accept loop io");
+    for mut child in children {
+        child.wait().ok();
+    }
+    std::fs::remove_file(&sock).ok();
+    let outcome = outcome.expect("cluster sweep");
+    finish_cluster_run(archive, path, &outcome);
+}
+
+/// Writes the provenance sidecar and prints the run summary.
+fn finish_cluster_run(
+    archive: &std::path::Path,
+    path: &std::path::Path,
+    outcome: &dps_scope::cluster::ClusterOutcome,
+) {
+    let sidecar = archive.join(dps_scope::cluster::PROVENANCE_FILE);
+    dps_scope::cluster::write_provenance(&sidecar, &outcome.report).expect("write provenance");
+    println!(
+        "archived {} to {} ({} workers, {} leases, {} dead-letters, {} stale)",
+        dps_scope::core::report::human_bytes(outcome.store.total_stored_bytes()),
+        path.display(),
+        outcome.report.workers_admitted,
+        outcome.report.accepted.len(),
+        outcome.report.dead_letters,
+        outcome.report.stale_rejected,
+    );
+    println!("provenance sidecar: {}", sidecar.display());
+}
+
+/// `dpscope cluster <serve|agent>` — the two cluster roles.
+fn cmd_cluster(args: CommonArgs) {
+    match args.rest.first().map(String::as_str) {
+        Some("serve") => cluster_serve(&args),
+        Some("agent") => cluster_agent(&args),
+        _ => {
+            eprintln!("cluster requires <serve|agent>");
+            usage();
+        }
+    }
 }
 
 /// `dpscope store <info|verify|cat> <path>` — single-file archive tooling.
@@ -501,6 +713,23 @@ fn cmd_metrics(args: CommonArgs) {
     } else {
         print!("{}", snapshot.to_text());
     }
+    // `--by-worker`: append per-worker provenance counters from the
+    // cluster sidecar, as a `worker="…"` label dimension. A separate
+    // section, so the default (unlabelled) rendering stays byte-identical
+    // with or without the sidecar present.
+    if args.rest.iter().any(|a| a == "--by-worker") {
+        let sidecar = path
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join(dps_scope::cluster::PROVENANCE_FILE);
+        match dps_scope::cluster::read_provenance(&sidecar) {
+            Ok(rows) => print!("{}", dps_scope::cluster::render_per_worker(&rows)),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", sidecar.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn cmd_analyze(args: CommonArgs) {
@@ -603,6 +832,7 @@ fn main() {
         "dig" => cmd_dig(args),
         "store" => cmd_store(args),
         "metrics" => cmd_metrics(args),
+        "cluster" => cmd_cluster(args),
         _ => usage(),
     }
 }

@@ -41,6 +41,7 @@
 //! ```
 
 pub use dps_authdns as authdns;
+pub use dps_cluster as cluster;
 pub use dps_columnar as columnar;
 pub use dps_core as core;
 pub use dps_dns as dns;

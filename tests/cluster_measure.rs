@@ -1,0 +1,151 @@
+//! Integration: the real `dpscope` binary running a multi-process
+//! cluster sweep over Unix sockets produces an archive byte-identical
+//! to its own single-process sweep, with per-worker provenance.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+
+const SCENARIO: [&str; 8] = [
+    "--seed",
+    "2016",
+    "--scale",
+    "0.004",
+    "--days",
+    "3",
+    "--cc-start",
+    "2",
+];
+
+fn dpscope() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dpscope"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dps-it-cluster-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run_measure(archive: &Path, extra: &[&str]) {
+    let status = dpscope()
+        .arg("measure")
+        .args(SCENARIO)
+        .args(["--archive", archive.to_str().expect("utf8 path")])
+        .args(extra)
+        .status()
+        .expect("spawn dpscope measure");
+    assert!(status.success(), "dpscope measure {extra:?} failed");
+}
+
+fn archive_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("archive.dps")).expect("read archive.dps")
+}
+
+#[test]
+fn forked_two_worker_sweep_is_byte_identical_with_provenance() {
+    let single = temp_dir("single");
+    let multi = temp_dir("multi");
+    run_measure(&single, &[]);
+    // --workers forks two real agent processes connected over a Unix
+    // socket in the archive directory.
+    run_measure(&multi, &["--workers", "2"]);
+    assert_eq!(
+        archive_bytes(&single),
+        archive_bytes(&multi),
+        "cluster archive must be byte-identical to the single-process run"
+    );
+
+    let provenance =
+        std::fs::read_to_string(multi.join("provenance.tsv")).expect("provenance sidecar");
+    assert!(
+        provenance.lines().any(|l| l.contains("local-")),
+        "provenance records forked-worker leases:\n{provenance}"
+    );
+
+    // Per-worker metrics ride the provenance sidecar; the default
+    // rendering (no flag) must stay untouched by the worker dimension.
+    let plain = dpscope()
+        .arg("metrics")
+        .arg(&multi)
+        .output()
+        .expect("dpscope metrics");
+    assert!(plain.status.success());
+    let plain_text = String::from_utf8_lossy(&plain.stdout).into_owned();
+    assert!(!plain_text.contains("worker=\""), "{plain_text}");
+
+    let labeled = dpscope()
+        .arg("metrics")
+        .arg(&multi)
+        .arg("--by-worker")
+        .output()
+        .expect("dpscope metrics --by-worker");
+    assert!(labeled.status.success());
+    let labeled_text = String::from_utf8_lossy(&labeled.stdout).into_owned();
+    assert!(
+        labeled_text.contains("cluster.rows{worker=\"local-"),
+        "{labeled_text}"
+    );
+
+    std::fs::remove_dir_all(&single).ok();
+    std::fs::remove_dir_all(&multi).ok();
+}
+
+#[test]
+fn explicit_serve_and_agents_over_unix_socket_match_single_process() {
+    let single = temp_dir("serve-single");
+    let served = temp_dir("serve-multi");
+    run_measure(&single, &[]);
+
+    std::fs::create_dir_all(&served).expect("archive dir");
+    let sock = served.join("cluster.sock");
+    let sock_arg = sock.to_str().expect("utf8 path").to_owned();
+    // --min-workers holds leases until both agents have joined, so a
+    // slow-starting agent on a loaded machine cannot miss the whole
+    // sweep (and then fail to connect after the manager exits).
+    let mut manager = dpscope()
+        .arg("cluster")
+        .arg("serve")
+        .args(SCENARIO)
+        .args(["--bind", &sock_arg])
+        .args(["--archive", served.to_str().expect("utf8 path")])
+        .args(["--min-workers", "2"])
+        .spawn()
+        .expect("spawn cluster serve");
+
+    // Agents retry the connect internally until the manager is up.
+    let agents: Vec<Child> = (0..2)
+        .map(|i| {
+            dpscope()
+                .arg("cluster")
+                .arg("agent")
+                .args(["--connect", &sock_arg])
+                .args(["--name", &format!("ext-{i}")])
+                .spawn()
+                .expect("spawn cluster agent")
+        })
+        .collect();
+
+    let status = manager.wait().expect("manager exit");
+    assert!(status.success(), "cluster serve failed");
+    for mut agent in agents {
+        let status = agent.wait().expect("agent exit");
+        assert!(status.success(), "cluster agent failed");
+    }
+
+    assert_eq!(
+        archive_bytes(&single),
+        archive_bytes(&served),
+        "served archive must be byte-identical to the single-process run"
+    );
+    let provenance =
+        std::fs::read_to_string(served.join("provenance.tsv")).expect("provenance sidecar");
+    for agent in ["ext-0", "ext-1"] {
+        assert!(
+            provenance.lines().any(|l| l.contains(agent)),
+            "quorum-gated sweep must lease to {agent}:\n{provenance}"
+        );
+    }
+
+    std::fs::remove_dir_all(&single).ok();
+    std::fs::remove_dir_all(&served).ok();
+}
