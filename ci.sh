@@ -7,6 +7,7 @@
 #   ./ci.sh chaos-smoke       chaos determinism smoke only
 #   ./ci.sh telemetry-smoke   archived telemetry determinism smoke only
 #   ./ci.sh cluster-smoke     multi-process sweep byte-identity smoke only
+#   ./ci.sh stream-smoke      incremental-analysis equivalence smoke only
 #   ./ci.sh analyze           dps-analyzer over the workspace (must be clean)
 #   ./ci.sh analyze-fixtures  known-bad corpus must still fail, good must pass
 set -eu
@@ -86,6 +87,34 @@ cluster_smoke() {
     rm -rf target/ci-cluster-single target/ci-cluster-multi
 }
 
+# Streaming analysis: a --stream sweep must stay byte-identical between
+# single-process and 2-worker cluster runs (checkpoint pages included),
+# verify clean, pass the incremental-equals-full-rescan gate, and render
+# a deterministic status.
+stream_smoke() {
+    echo "==> smoke: dpscope measure --stream (incremental analysis equivalence)"
+    rm -rf target/ci-stream-single target/ci-stream-multi
+    ./target/release/dpscope measure --scale 0.004 --days 3 --cc-start 2 \
+        --stream --archive target/ci-stream-single
+    ./target/release/dpscope measure --scale 0.004 --days 3 --cc-start 2 \
+        --stream --workers 2 --archive target/ci-stream-multi
+    cmp target/ci-stream-single/archive.dps target/ci-stream-multi/archive.dps
+    ./target/release/dpscope store verify target/ci-stream-single
+    ./target/release/dpscope stream check target/ci-stream-single
+    ./target/release/dpscope stream status target/ci-stream-single
+    ./target/release/dpscope stream status target/ci-stream-single --json \
+        >target/ci-stream-single/status.json
+    ./target/release/dpscope stream status target/ci-stream-multi --json \
+        >target/ci-stream-multi/status.json
+    cmp target/ci-stream-single/status.json target/ci-stream-multi/status.json
+    ./target/release/dpscope store info target/ci-stream-single \
+        | grep -q '^analysis' || {
+        echo "store info does not list the analysis page kind" >&2
+        exit 1
+    }
+    rm -rf target/ci-stream-single target/ci-stream-multi
+}
+
 # Workspace-native static analysis: determinism, panic-safety and hygiene
 # invariants must hold (waivers need written reasons). --deny promotes
 # warnings (e.g. stale waivers) to failures so CI stays tidy.
@@ -122,6 +151,12 @@ cluster-smoke)
     echo "==> cluster smoke green"
     exit 0
     ;;
+stream-smoke)
+    cargo build --release --offline
+    stream_smoke
+    echo "==> stream smoke green"
+    exit 0
+    ;;
 analyze)
     analyze
     echo "==> analyze green"
@@ -156,6 +191,7 @@ rm -rf target/ci-smoke
 chaos_smoke
 telemetry_smoke
 cluster_smoke
+stream_smoke
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline

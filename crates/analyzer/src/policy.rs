@@ -29,6 +29,7 @@ pub const DETERMINISM_SCOPE: &[&str] = &[
     "crates/ecosystem/src/",
     "crates/telemetry/src/",
     "crates/cluster/src/",
+    "crates/stream/src/",
 ];
 
 /// Modules that decode untrusted wire/archive bytes and must be
@@ -40,6 +41,7 @@ pub const PANIC_SAFETY_SCOPE: &[&str] = &[
     "crates/store/src/format.rs",
     "crates/store/src/archive.rs",
     "crates/cluster/src/wire.rs",
+    "crates/stream/src/page.rs",
 ];
 
 /// What applies to one file.
@@ -127,6 +129,18 @@ mod tests {
         assert!(p.families.contains(&Family::Determinism));
         assert!(!p.families.contains(&Family::PanicSafety));
         let p = for_path("crates/cluster/src/wire.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::Determinism));
+        assert!(p.families.contains(&Family::PanicSafety));
+    }
+
+    #[test]
+    fn stream_crate_is_scoped() {
+        // Streamed analysis state feeds archived checkpoint bytes; its
+        // page module additionally decodes those bytes back on resume.
+        let p = for_path("crates/stream/src/engine.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::Determinism));
+        assert!(!p.families.contains(&Family::PanicSafety));
+        let p = for_path("crates/stream/src/page.rs", Mode::Workspace);
         assert!(p.families.contains(&Family::Determinism));
         assert!(p.families.contains(&Family::PanicSafety));
     }

@@ -23,7 +23,10 @@ use crate::wire::{self, LeaseResult, Msg, PROTO_VERSION};
 use dps_ecosystem::{ScenarioParams, World};
 use dps_measure::collector::{RawRow, SldInterner};
 use dps_measure::observation::{schema, Source};
-use dps_measure::pipeline::{append_day, day_committed, due_sources_for, resume_store, SourcePage};
+use dps_measure::pipeline::{
+    append_day_observed, day_committed, due_sources_for, reborrow_observer, resume_store_observed,
+    DayObserver, SourcePage, ANALYSIS_SOURCE,
+};
 use dps_measure::quality::{CauseCounts, DayQuality};
 use dps_measure::snapshot::{SnapshotStore, UNIQUE_KEY_COLUMN};
 use dps_measure::telemetry::CATALOG;
@@ -128,9 +131,25 @@ pub fn serve(
     config: ClusterConfig,
     path: &std::path::Path,
 ) -> io::Result<ClusterOutcome> {
+    serve_observed(conns, config, path, None)
+}
+
+/// [`serve`] with an optional streaming-analysis observer: exactly the
+/// hook [`Study::run_archived_observed`] offers the single-process
+/// sweep. The observer runs manager-side only — it consumes each day's
+/// deterministically merged pages, so its state (and checkpoint pages)
+/// are independent of worker count and scheduling.
+///
+/// [`Study::run_archived_observed`]: dps_measure::Study::run_archived_observed
+pub fn serve_observed(
+    conns: mpsc::Receiver<Conn>,
+    config: ClusterConfig,
+    path: &std::path::Path,
+    mut observer: Option<&mut dyn DayObserver>,
+) -> io::Result<ClusterOutcome> {
     let mut writer = ArchiveWriter::resume_or_create(path, Some(UNIQUE_KEY_COLUMN))?;
     let mut store = SnapshotStore::new();
-    resume_store(&mut store, &writer, path)?;
+    resume_store_observed(&mut store, &writer, path, reborrow_observer(&mut observer))?;
     let mut interner = SldInterner::new();
     let mut world = World::imc2016(config.params);
     let mut sched = Scheduler::new(config.scheduler);
@@ -158,6 +177,12 @@ pub fn serve(
         // the manager's world evolves exactly as in a fresh run.
         world.advance_to(Day(day));
         if day_committed(&writer, &config.study, day) {
+            if observer.is_some() && !writer.contains(day, ANALYSIS_SOURCE) {
+                return Err(io::Error::other(
+                    "archive day committed without an analysis checkpoint; \
+                     re-run without --stream or start a fresh archive",
+                ));
+            }
             day += config.study.stride.max(1);
             continue;
         }
@@ -294,7 +319,14 @@ pub fn serve(
                 quality,
             });
         }
-        append_day(&mut writer, &mut store, day, pages, day_telemetry)?;
+        append_day_observed(
+            &mut writer,
+            &mut store,
+            day,
+            pages,
+            day_telemetry,
+            reborrow_observer(&mut observer),
+        )?;
         day += config.study.stride.max(1);
     }
 

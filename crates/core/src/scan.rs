@@ -151,10 +151,14 @@ impl<'a> Scanner<'a> {
 
         let mut tasks: Vec<(Source, u32)> = Vec::new();
         for &(day, source) in archive.catalog().pages.keys() {
-            if source == dps_measure::QUALITY_SOURCE || source == dps_measure::TELEMETRY_SOURCE {
-                // Per-day quality records and telemetry snapshots ride in
-                // the same archive but are not measurement data; the mask
-                // layer and `dpscope metrics` read them instead.
+            if source == dps_measure::QUALITY_SOURCE
+                || source == dps_measure::TELEMETRY_SOURCE
+                || source == dps_measure::ANALYSIS_SOURCE
+            {
+                // Per-day quality records, telemetry snapshots and
+                // streaming-analysis checkpoints ride in the same archive
+                // but are not measurement data; the mask layer, `dpscope
+                // metrics` and `dps-stream` read them instead.
                 continue;
             }
             let source = Source::from_index(u32::from(source))

@@ -37,7 +37,8 @@ pub mod telemetry;
 pub use collector::{BulkPath, PathTelemetry, QueryPath, RecursorPath, WirePath};
 pub use observation::{Source, SOURCES};
 pub use pipeline::{
-    append_day, day_committed, due_sources_for, resume_store, SourcePage, Study, StudyConfig,
+    append_day, append_day_observed, day_committed, due_sources_for, resume_store,
+    resume_store_observed, DayObserver, SourcePage, Study, StudyConfig, ANALYSIS_SOURCE,
 };
 pub use quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality, QUALITY_SOURCE};
 pub use snapshot::{SnapshotStore, SourceStats, ARCHIVE_FILE};

@@ -12,7 +12,7 @@ use crate::quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality
 use crate::snapshot::{SnapshotStore, UNIQUE_KEY_COLUMN};
 use crate::supervisor::{sweep_supervised_metered, SupervisorConfig, SweepMetrics};
 use crate::telemetry::{decode_telemetry, encode_telemetry, TELEMETRY_SOURCE};
-use dps_columnar::{Table, TableBuilder};
+use dps_columnar::{StringDict, Table, TableBuilder};
 use dps_ecosystem::World;
 use dps_netsim::{Day, RibHistory};
 use dps_store::{Archive, ArchiveWriter};
@@ -38,6 +38,53 @@ impl StudyConfig {
             cc_start_day: world.params.cc_start_day,
             stride: 1,
         }
+    }
+}
+
+/// Archive source id reserved for streaming-analysis checkpoint pages
+/// (`dps-stream`). Data sources occupy 0..=4, quality pages 5 and
+/// telemetry pages 6; 7 keeps checkpoint pages last within each day in
+/// the catalog's `(day, source)` order.
+pub const ANALYSIS_SOURCE: u8 = 7;
+
+/// A hook on the day-commit path: an incremental analysis engine that
+/// consumes each finished day *as it is committed* and emits one
+/// checkpoint page per day so a resumed run replays — rather than
+/// recomputes — analysis state.
+///
+/// Both the single-process [`Study::run_archived_observed`] and the
+/// cluster manager funnel every committed day through the same
+/// implementation, which is what keeps incremental analysis
+/// worker-count-independent: the observer only ever sees the already
+/// deterministically-merged day pages.
+pub trait DayObserver {
+    /// Called once per freshly measured day, after all of the day's rows
+    /// have been interned into `dict` but before the commit. Returns the
+    /// checkpoint table to persist under [`ANALYSIS_SOURCE`] plus
+    /// telemetry counter deltas to fold into the day's telemetry page.
+    fn on_day(
+        &mut self,
+        day: u32,
+        pages: &[SourcePage],
+        dict: &StringDict,
+    ) -> std::io::Result<(Table, Vec<(&'static str, u64)>)>;
+
+    /// Called once per already-committed day during resume, in day
+    /// order, with the day's persisted checkpoint table. Must replay the
+    /// engine to the exact state [`on_day`](Self::on_day) left it in.
+    fn on_resume(&mut self, day: u32, table: &Table) -> std::io::Result<()>;
+}
+
+/// Reborrows an optional observer for one call without consuming it.
+/// (A plain `as_deref_mut` cannot shorten the trait-object lifetime —
+/// `&mut (dyn Trait + 'a)` is invariant in `'a` — but this explicit
+/// coercion site can.)
+pub fn reborrow_observer<'a>(
+    observer: &'a mut Option<&mut dyn DayObserver>,
+) -> Option<&'a mut dyn DayObserver> {
+    match observer {
+        Some(o) => Some(&mut **o),
+        None => None,
     }
 }
 
@@ -94,6 +141,33 @@ pub fn append_day(
     pages: Vec<SourcePage>,
     telemetry: Snapshot,
 ) -> std::io::Result<()> {
+    append_day_observed(writer, store, day, pages, telemetry, None)
+}
+
+/// [`append_day`] with an optional streaming-analysis observer: the
+/// observer consumes the day's pages (rows already interned) before the
+/// commit, its counter deltas are folded into the day's telemetry page,
+/// and its checkpoint table is persisted under [`ANALYSIS_SOURCE`] after
+/// the telemetry page — so the whole day, checkpoint included, is
+/// covered by the same single durable commit.
+pub fn append_day_observed(
+    writer: &mut ArchiveWriter,
+    store: &mut SnapshotStore,
+    day: u32,
+    pages: Vec<SourcePage>,
+    mut telemetry: Snapshot,
+    observer: Option<&mut dyn DayObserver>,
+) -> std::io::Result<()> {
+    let analysis = match observer {
+        Some(obs) => {
+            let (table, counters) = obs.on_day(day, &pages, &store.dict)?;
+            for (name, v) in counters {
+                *telemetry.counters.entry(name).or_insert(0) += v;
+            }
+            Some(table)
+        }
+        None => None,
+    };
     let mut day_qualities = Vec::new();
     for page in pages {
         writer.append_table(
@@ -109,6 +183,10 @@ pub fn append_day(
     writer.append_table(day, QUALITY_SOURCE, &encode_qualities(&day_qualities), 0)?;
     writer.append_table(day, TELEMETRY_SOURCE, &encode_telemetry(&telemetry), 0)?;
     store.add_telemetry(day, telemetry);
+    if let Some(table) = analysis {
+        writer.append_table(day, ANALYSIS_SOURCE, &table, 0)?;
+        store.add_analysis(day, table.to_bytes());
+    }
     writer.commit(&store.dict)
 }
 
@@ -122,6 +200,19 @@ pub fn resume_store(
     writer: &ArchiveWriter,
     path: &std::path::Path,
 ) -> std::io::Result<()> {
+    resume_store_observed(store, writer, path, None)
+}
+
+/// [`resume_store`] with an optional streaming-analysis observer: the
+/// persisted checkpoint pages of committed days are replayed through
+/// [`DayObserver::on_resume`] in day order, so the engine resumes to the
+/// exact (byte-identical) state it held when each day was committed.
+pub fn resume_store_observed(
+    store: &mut SnapshotStore,
+    writer: &ArchiveWriter,
+    path: &std::path::Path,
+    mut observer: Option<&mut dyn DayObserver>,
+) -> std::io::Result<()> {
     store.dict = writer.dict().clone();
     if writer.catalog().pages.is_empty() {
         return Ok(());
@@ -133,6 +224,13 @@ pub fn resume_store(
         let table = archive
             .table(day, source)?
             .expect("catalog-listed page exists");
+        if source == ANALYSIS_SOURCE {
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_resume(day, &table)?;
+            }
+            store.add_analysis(day, table.to_bytes());
+            continue;
+        }
         if source == TELEMETRY_SOURCE {
             let snapshot = decode_telemetry(&table).ok_or_else(|| {
                 std::io::Error::other("archive holds an undecodable telemetry page")
@@ -242,14 +340,34 @@ impl Study {
     /// resulting archive is byte-identical to one written in a single
     /// uninterrupted sweep.
     pub fn run_archived(
+        self,
+        world: &mut World,
+        path: &std::path::Path,
+    ) -> std::io::Result<SnapshotStore> {
+        self.run_archived_observed(world, path, None)
+    }
+
+    /// [`run_archived`](Self::run_archived) with an optional
+    /// streaming-analysis observer: committed days replay their
+    /// checkpoint pages through the observer on resume, and every
+    /// freshly measured day feeds the observer before its commit. A
+    /// committed day with no checkpoint page means the archive was
+    /// written without streaming analysis and cannot be resumed with it.
+    pub fn run_archived_observed(
         mut self,
         world: &mut World,
         path: &std::path::Path,
+        mut observer: Option<&mut dyn DayObserver>,
     ) -> std::io::Result<SnapshotStore> {
         let mut writer = ArchiveWriter::resume_or_create(path, Some(UNIQUE_KEY_COLUMN))?;
         // Continue interning into the committed dictionary so a resumed
         // sweep assigns the same ids an uninterrupted one would.
-        resume_store(&mut self.store, &writer, path)?;
+        resume_store_observed(
+            &mut self.store,
+            &writer,
+            path,
+            reborrow_observer(&mut observer),
+        )?;
         let mut interner = SldInterner::new();
         let mut day = 0u32;
         while day < self.config.days {
@@ -261,7 +379,19 @@ impl Study {
                 let before = self.registry.snapshot();
                 let pages = self.collect_day(world, day, &mut interner);
                 let delta = self.registry.snapshot().since(&before);
-                append_day(&mut writer, &mut self.store, day, pages, delta)?;
+                append_day_observed(
+                    &mut writer,
+                    &mut self.store,
+                    day,
+                    pages,
+                    delta,
+                    reborrow_observer(&mut observer),
+                )?;
+            } else if observer.is_some() && !writer.contains(day, ANALYSIS_SOURCE) {
+                return Err(std::io::Error::other(
+                    "archive day committed without an analysis checkpoint; \
+                     re-run without --stream or start a fresh archive",
+                ));
             }
             day += self.config.stride.max(1);
         }

@@ -8,6 +8,7 @@
 //! deprecated loose-file layout older archives used).
 
 use crate::observation::{schema, Source, SOURCES};
+use crate::pipeline::ANALYSIS_SOURCE;
 use crate::quality::{decode_qualities, encode_qualities, DayQuality, QUALITY_SOURCE};
 use crate::telemetry::{decode_telemetry, encode_telemetry, TELEMETRY_SOURCE};
 use dps_columnar::{StringDict, Table};
@@ -58,6 +59,7 @@ pub struct SnapshotStore {
     stats: Vec<SourceStats>,
     qualities: BTreeMap<(u32, u8), DayQuality>,
     telemetry: BTreeMap<u32, Snapshot>,
+    analysis: BTreeMap<u32, Vec<u8>>,
 }
 
 impl SnapshotStore {
@@ -69,7 +71,24 @@ impl SnapshotStore {
             stats: vec![SourceStats::default(); SOURCES.len()],
             qualities: BTreeMap::new(),
             telemetry: BTreeMap::new(),
+            analysis: BTreeMap::new(),
         }
+    }
+
+    /// Records a day's streaming-analysis checkpoint page (encoded table
+    /// bytes, held opaquely — `dps-stream` owns the codec).
+    pub fn add_analysis(&mut self, day: u32, bytes: Vec<u8>) {
+        self.analysis.insert(day, bytes);
+    }
+
+    /// The streaming-analysis checkpoint bytes for `day`, if any.
+    pub fn analysis(&self, day: u32) -> Option<&[u8]> {
+        self.analysis.get(&day).map(Vec::as_slice)
+    }
+
+    /// Days carrying a streaming-analysis checkpoint, ascending.
+    pub fn analysis_days(&self) -> Vec<u32> {
+        self.analysis.keys().copied().collect()
     }
 
     /// Records a day's telemetry snapshot (replacing any existing one).
@@ -224,6 +243,10 @@ impl SnapshotStore {
             if let Some(snapshot) = self.telemetry.get(&day) {
                 writer.append_table(day, TELEMETRY_SOURCE, &encode_telemetry(snapshot), 0)?;
             }
+            if let Some(bytes) = self.analysis.get(&day) {
+                let table = Table::from_bytes(bytes).map_err(std::io::Error::other)?;
+                writer.append_table(day, ANALYSIS_SOURCE, &table, 0)?;
+            }
         }
         writer.commit(&self.dict)
     }
@@ -244,11 +267,16 @@ impl SnapshotStore {
             stats: vec![SourceStats::default(); SOURCES.len()],
             qualities: BTreeMap::new(),
             telemetry: BTreeMap::new(),
+            analysis: BTreeMap::new(),
         };
         for (&(day, source), meta) in &archive.catalog().pages {
             let table = archive
                 .table(day, source)?
                 .expect("catalog-listed page exists");
+            if source == ANALYSIS_SOURCE {
+                store.analysis.insert(day, table.to_bytes());
+                continue;
+            }
             if source == TELEMETRY_SOURCE {
                 let snapshot = decode_telemetry(&table).ok_or_else(|| {
                     std::io::Error::other("archive holds an undecodable telemetry page")
@@ -333,6 +361,7 @@ impl SnapshotStore {
             stats: vec![SourceStats::default(); SOURCES.len()],
             qualities: BTreeMap::new(),
             telemetry: BTreeMap::new(),
+            analysis: BTreeMap::new(),
         };
         for line in index.lines() {
             let mut parts = line.split('\t');

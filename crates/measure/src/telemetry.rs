@@ -80,6 +80,10 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("store.pages.decoded", MetricKind::Counter),
     ("store.scan.pages", MetricKind::Histogram),
     ("store.scans", MetricKind::Counter),
+    ("stream.checkpoint.bytes", MetricKind::Counter),
+    ("stream.refs", MetricKind::Counter),
+    ("stream.rows", MetricKind::Counter),
+    ("stream.sketch.hashes", MetricKind::Counter),
     ("sweep.attempted", MetricKind::Counter),
     ("sweep.day.us", MetricKind::Histogram),
     ("sweep.deadletter.passes", MetricKind::Counter),

@@ -1,0 +1,115 @@
+//! Correlating flagged attack-onset days with ground truth.
+//!
+//! The simulated ecosystem knows exactly when mass on-demand DPS
+//! activations happen: basket-wide diversion events in the scenario
+//! schedule (a hoster/e-commerce basket flipping hundreds of domains to
+//! one provider at once — the signature the sketches are built to
+//! catch). This module rebuilds the scenario from its parameters and
+//! scores the engine's flags against those labelled activation days.
+
+use crate::sketch::AttackFlag;
+use dps_ecosystem::{Action, Scenario, ScenarioParams};
+use dps_netsim::Day;
+use std::collections::BTreeSet;
+
+/// Default matching tolerance (days): a flag within ± this many days of
+/// a labelled activation counts as a hit.
+pub const DEFAULT_TOLERANCE: u32 = 2;
+
+/// Flags scored against ground-truth activations.
+#[derive(Debug, Clone)]
+pub struct Correlation {
+    /// Labelled `(provider, day)` mass-activation events.
+    pub activations: Vec<(u8, u32)>,
+    /// Flags that matched an activation within the tolerance.
+    pub matched: Vec<AttackFlag>,
+    /// Flags with no nearby activation (false alarms).
+    pub unmatched_flags: Vec<AttackFlag>,
+    /// Activations no flag came near (misses).
+    pub missed: Vec<(u8, u32)>,
+    /// The tolerance used (days).
+    pub tolerance: u32,
+}
+
+/// Extracts the labelled mass on-demand activation days per provider
+/// from the scenario schedule: every basket-wide diversion that
+/// actually diverts traffic to a provider.
+pub fn activation_days(params: ScenarioParams) -> Vec<(u8, u32)> {
+    let scenario = Scenario::imc2016(params);
+    let mut schedule = scenario.schedule.clone();
+    let mut out: BTreeSet<(u8, u32)> = BTreeSet::new();
+    for event in schedule.take_through(Day(u32::MAX)) {
+        if let Action::BasketDiversion(_, diversion) = &event.action {
+            if diversion.diverts_traffic() {
+                if let Some(provider) = diversion.provider() {
+                    out.insert((provider.0, event.day.0));
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Scores `flags` against `activations` within ± `tolerance` days.
+pub fn correlate(flags: &[AttackFlag], activations: &[(u8, u32)], tolerance: u32) -> Correlation {
+    let hit = |flag: &AttackFlag| {
+        activations
+            .iter()
+            .any(|&(p, d)| p == flag.provider && d.abs_diff(flag.day) <= tolerance)
+    };
+    let (matched, unmatched_flags): (Vec<AttackFlag>, Vec<AttackFlag>) =
+        flags.iter().copied().partition(hit);
+    let missed: Vec<(u8, u32)> = activations
+        .iter()
+        .filter(|&&(p, d)| {
+            !flags
+                .iter()
+                .any(|f| f.provider == p && f.day.abs_diff(d) <= tolerance)
+        })
+        .copied()
+        .collect();
+    Correlation {
+        activations: activations.to_vec(),
+        matched,
+        unmatched_flags,
+        missed,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlate_partitions_flags_and_activations() {
+        let flags = vec![
+            AttackFlag {
+                provider: 2,
+                day: 10,
+                estimate: 100,
+                baseline: 10,
+            },
+            AttackFlag {
+                provider: 5,
+                day: 40,
+                estimate: 50,
+                baseline: 5,
+            },
+        ];
+        let activations = vec![(2u8, 11u32), (7, 20)];
+        let c = correlate(&flags, &activations, 2);
+        assert_eq!(c.matched.len(), 1);
+        assert_eq!(c.matched[0].provider, 2);
+        assert_eq!(c.unmatched_flags.len(), 1);
+        assert_eq!(c.missed, vec![(7, 20)]);
+    }
+
+    #[test]
+    fn tiny_scenario_has_labelled_activations() {
+        let days = activation_days(ScenarioParams::tiny(2016));
+        // Basket flips exist in every seed; all must name a provider day.
+        assert!(!days.is_empty());
+        assert!(days.iter().all(|&(p, _)| p < 9));
+    }
+}

@@ -1,0 +1,243 @@
+//! The checkpoint page codec: one `ANALYSIS_SOURCE` table per day.
+//!
+//! A checkpoint page persists the *entire* day delta the engine applied
+//! — per-source row/quality tallies, per-provider reference counts, the
+//! deduplicated reference set, and the per-provider day sketches — so a
+//! resumed run replays `decode → apply` through the exact same
+//! `apply_delta` path the live run used and lands in byte-identical
+//! state.
+//!
+//! Layout: a fixed six-column `u32` table (`skind,a,b,c,d,e`). Row
+//! kinds, in encode order:
+//!
+//! | kind | meaning   | a        | b        | c          | d         | e      |
+//! |-----:|-----------|----------|----------|------------|-----------|--------|
+//! | 0    | header    | version  | day      | #providers | sketch k  | #rows  |
+//! | 1    | source    | source   | rows     | source_any | attempted | failed |
+//! | 2    | provider  | provider | any      | asn        | cname     | ns     |
+//! | 3    | reference | entry    | provider | kind bits  | 0         | 0      |
+//! | 4    | sketch    | provider | hash lo  | hash hi    | 0         | 0      |
+//!
+//! Decoding is *checked and total*: any structural violation returns
+//! `None` (this file sits in the analyzer's panic-free-decode scope, so
+//! no `unwrap`/`expect`/indexing — truncated or bit-flipped pages can
+//! never panic the resume path).
+
+use crate::sketch::KmvSketch;
+use dps_columnar::{Schema, Table, TableBuilder};
+use std::collections::BTreeMap;
+
+/// Checkpoint table column names. Deliberately avoids the archive's
+/// unique-key column name (`entry`) so checkpoint pages never perturb
+/// the catalog's unique-SLD statistics.
+pub const STREAM_COLUMNS: [&str; 6] = ["skind", "a", "b", "c", "d", "e"];
+
+/// Checkpoint layout version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const KIND_HEADER: u32 = 0;
+const KIND_SOURCE: u32 = 1;
+const KIND_PROVIDER: u32 = 2;
+const KIND_REF: u32 = 3;
+const KIND_SKETCH: u32 = 4;
+
+/// Everything one committed day contributes to the incremental analysis
+/// state. Maps are ordered so encoding is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DayDelta {
+    /// The day this delta belongs to.
+    pub day: u32,
+    /// Per due source: `(source id, rows, source_any, attempted, failed)`
+    /// in calendar (due-source) order.
+    pub sources: Vec<(u8, u32, u32, u32, u32)>,
+    /// Per provider: `[any, asn, cname, ns]` reference-row counts summed
+    /// over the gTLD sources (index = paper Table 2 provider order).
+    pub providers: Vec<[u32; 4]>,
+    /// Deduplicated `(entry, provider) → OR'd reference-kind bits`
+    /// (ASN=1, CNAME=2, NS=4) for the day.
+    pub references: BTreeMap<(u32, u8), u8>,
+    /// Per provider: the day's distinct-touch sketch.
+    pub sketches: Vec<KmvSketch>,
+}
+
+fn schema() -> Schema {
+    Schema::new(&STREAM_COLUMNS)
+}
+
+/// Encodes a day delta as a checkpoint table.
+pub fn encode_delta(delta: &DayDelta) -> Table {
+    let sketch_k = delta.sketches.first().map_or(0, |s| s.k() as u32);
+    let n_rows = 1
+        + delta.sources.len()
+        + delta.providers.len()
+        + delta.references.len()
+        + delta.sketches.iter().map(KmvSketch::len).sum::<usize>();
+    let mut b = TableBuilder::new(schema());
+    b.push_row(&[
+        KIND_HEADER,
+        CHECKPOINT_VERSION,
+        delta.day,
+        delta.providers.len() as u32,
+        sketch_k,
+        n_rows as u32,
+    ]);
+    for &(source, rows, source_any, attempted, failed) in &delta.sources {
+        b.push_row(&[
+            KIND_SOURCE,
+            u32::from(source),
+            rows,
+            source_any,
+            attempted,
+            failed,
+        ]);
+    }
+    for (provider, &[any, asn, cname, ns]) in delta.providers.iter().enumerate() {
+        b.push_row(&[KIND_PROVIDER, provider as u32, any, asn, cname, ns]);
+    }
+    for (&(entry, provider), &bits) in &delta.references {
+        b.push_row(&[KIND_REF, entry, u32::from(provider), u32::from(bits), 0, 0]);
+    }
+    for (provider, sketch) in delta.sketches.iter().enumerate() {
+        for hash in sketch.hashes() {
+            b.push_row(&[
+                KIND_SKETCH,
+                provider as u32,
+                (hash & 0xFFFF_FFFF) as u32,
+                (hash >> 32) as u32,
+                0,
+                0,
+            ]);
+        }
+    }
+    b.finish()
+}
+
+/// Checked, total decode of a checkpoint table back into the day delta.
+/// Returns `None` on any structural violation: wrong schema, missing or
+/// malformed header, unknown row kind, out-of-range provider or source
+/// ids, zero or out-of-range reference bits, or a row-count mismatch
+/// (which catches truncation that still parses as a table).
+pub fn decode_delta(table: &Table) -> Option<DayDelta> {
+    let want = schema();
+    if table.schema().names() != want.names() {
+        return None;
+    }
+    let kind_col = table.column(0);
+    let a_col = table.column(1);
+    let b_col = table.column(2);
+    let c_col = table.column(3);
+    let d_col = table.column(4);
+    let e_col = table.column(5);
+
+    let mut rows = kind_col
+        .iter()
+        .zip(a_col)
+        .zip(b_col)
+        .zip(c_col)
+        .zip(d_col)
+        .zip(e_col)
+        .map(|(((((&k, &a), &b), &c), &d), &e)| (k, a, b, c, d, e));
+
+    let Some((KIND_HEADER, version, day, n_providers, sketch_k, n_rows)) = rows.next() else {
+        return None;
+    };
+    if version != CHECKPOINT_VERSION || n_rows as usize != table.rows() {
+        return None;
+    }
+    let n_providers = n_providers as usize;
+    let mut delta = DayDelta {
+        day,
+        sources: Vec::new(),
+        providers: vec![[0u32; 4]; n_providers],
+        references: BTreeMap::new(),
+        sketches: vec![KmvSketch::new(sketch_k.max(1) as usize); n_providers],
+    };
+    let mut provider_rows = 0usize;
+    for (kind, a, b, c, d, e) in rows {
+        match kind {
+            KIND_SOURCE => {
+                if a > u32::from(u8::MAX) {
+                    return None;
+                }
+                delta.sources.push((a as u8, b, c, d, e));
+            }
+            KIND_PROVIDER => {
+                if a as usize != provider_rows {
+                    return None;
+                }
+                let slot = delta.providers.get_mut(a as usize)?;
+                *slot = [b, c, d, e];
+                provider_rows += 1;
+            }
+            KIND_REF => {
+                if b as usize >= n_providers || c == 0 || c > 7 || d != 0 || e != 0 {
+                    return None;
+                }
+                delta.references.insert((a, b as u8), c as u8);
+            }
+            KIND_SKETCH => {
+                if d != 0 || e != 0 {
+                    return None;
+                }
+                let sketch = delta.sketches.get_mut(a as usize)?;
+                sketch.insert_hash(u64::from(b) | (u64::from(c) << 32));
+            }
+            _ => return None,
+        }
+    }
+    if provider_rows != n_providers || delta.sources.is_empty() {
+        return None;
+    }
+    Some(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SKETCH_SEED;
+
+    fn sample_delta() -> DayDelta {
+        let mut delta = DayDelta {
+            day: 7,
+            sources: vec![(0, 100, 12, 100, 1), (1, 50, 3, 50, 0), (2, 30, 0, 30, 0)],
+            providers: vec![[0u32; 4]; 9],
+            references: BTreeMap::new(),
+            sketches: vec![KmvSketch::default(); 9],
+        };
+        delta.providers[2] = [12, 4, 8, 2];
+        delta.references.insert((40, 2), 3);
+        delta.references.insert((88, 2), 4);
+        for item in 0..20u64 {
+            delta.sketches[2].insert(SKETCH_SEED, item);
+        }
+        delta
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let delta = sample_delta();
+        let table = encode_delta(&delta);
+        assert_eq!(decode_delta(&table), Some(delta.clone()));
+        // Re-encoding the decoded delta reproduces identical bytes.
+        let again = encode_delta(&decode_delta(&table).unwrap());
+        assert_eq!(table.to_bytes(), again.to_bytes());
+    }
+
+    #[test]
+    fn wrong_schema_and_bad_rows_decode_to_none() {
+        let mut b = TableBuilder::new(Schema::new(&["x", "y"]));
+        b.push_row(&[1, 2]);
+        assert_eq!(decode_delta(&b.finish()), None);
+
+        // Unknown row kind.
+        let mut b = TableBuilder::new(schema());
+        b.push_row(&[KIND_HEADER, CHECKPOINT_VERSION, 0, 0, 64, 2]);
+        b.push_row(&[99, 0, 0, 0, 0, 0]);
+        assert_eq!(decode_delta(&b.finish()), None);
+
+        // Row-count mismatch (truncation that still parses).
+        let mut b = TableBuilder::new(schema());
+        b.push_row(&[KIND_HEADER, CHECKPOINT_VERSION, 0, 0, 64, 5]);
+        assert_eq!(decode_delta(&b.finish()), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic rendering of analysis state.
+//!
+//! [`analysis_json`] is the *shared* renderer behind the equivalence
+//! guarantee: the incremental engine's [`finalize`] output and a full
+//! `dps-core` rescan of the same archive are both rendered through this
+//! one function, so "incremental matches full-rescan" is checked as
+//! plain byte equality of two JSON strings (`dpscope stream check`).
+//!
+//! [`finalize`]: crate::engine::StreamEngine::finalize
+
+use dps_core::growth::{self, GrowthConfig};
+use dps_core::{flux, ScanOutput};
+
+/// Flux window (measured days) used in the canonical rendering — the
+/// paper's two-week buckets at daily cadence.
+pub const FLUX_WINDOW: usize = 14;
+
+/// Renders the complete analysis of one scan output as canonical JSON:
+/// DPS-use series, growth over the combined gTLD any-provider series
+/// (masked days bridged), and per-provider security flux (masked day
+/// indices treated as unknown). Fully deterministic: field order is
+/// fixed, integers are exact, floats use Rust's shortest-roundtrip
+/// formatting — byte equality of two renderings is state equality.
+pub fn analysis_json(out: &ScanOutput, names: &[String], masked_gtld_days: &[u32]) -> String {
+    let series = &out.series;
+    let combined = series.combined_any();
+    let growth = growth::analyze_masked(
+        &series.days,
+        &combined,
+        &GrowthConfig::default(),
+        masked_gtld_days,
+    );
+    let masked_idx: Vec<usize> = masked_gtld_days
+        .iter()
+        .filter_map(|&d| series.day_index(d))
+        .collect();
+    let flux = flux::analyze_masked(&out.timelines, names.len(), FLUX_WINDOW, &masked_idx);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"days\": {},\n", json_u32s(&series.days)));
+    s.push_str(&format!(
+        "  \"zone_size_combined\": {},\n",
+        json_u32s(&series.combined_zone_size())
+    ));
+    s.push_str(&format!("  \"combined_any\": {},\n", json_u32s(&combined)));
+    s.push_str("  \"tld_any\": [");
+    push_series_list(&mut s, &series.tld_any);
+    s.push_str("],\n  \"source_any\": [");
+    push_series_list(&mut s, &series.source_any);
+    s.push_str("],\n  \"growth\": {\n");
+    s.push_str(&format!("    \"factor\": {},\n", growth.factor));
+    s.push_str(&format!(
+        "    \"masked_days\": {},\n",
+        json_u32s(&growth.masked_days)
+    ));
+    s.push_str("    \"shifts\": [");
+    for (i, (idx, delta)) in growth.shifts.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("[{idx}, {delta}]"));
+    }
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "    \"normalized\": {}\n",
+        json_f64s(&growth.normalized)
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"providers\": [\n");
+    for (p, name) in names.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"name\": {:?}, ", name));
+        s.push_str(&format!(
+            "\"any\": {}, ",
+            json_u32s(&series.provider_any[p])
+        ));
+        s.push_str(&format!(
+            "\"asn\": {}, ",
+            json_u32s(&series.provider_asn[p])
+        ));
+        s.push_str(&format!(
+            "\"cname\": {}, ",
+            json_u32s(&series.provider_cname[p])
+        ));
+        s.push_str(&format!("\"ns\": {}, ", json_u32s(&series.provider_ns[p])));
+        let f = &flux[p];
+        s.push_str(&format!("\"influx\": {}, ", json_u32s(&f.influx)));
+        s.push_str(&format!("\"outflux\": {}, ", json_u32s(&f.outflux)));
+        s.push_str(&format!("\"flux_delta\": {}", json_i64s(&f.delta())));
+        s.push('}');
+        if p + 1 < names.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn push_series_list(s: &mut String, list: &[Vec<u32>]) {
+    for (i, v) in list.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_u32s(v));
+    }
+}
+
+fn json_u32s(v: &[u32]) -> String {
+    let items: Vec<String> = v.iter().map(u32::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_i64s(v: &[i64]) -> String {
+    let items: Vec<String> = v.iter().map(i64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_f64s(v: &[f64]) -> String {
+    let items: Vec<String> = v.iter().map(f64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}

@@ -1,0 +1,248 @@
+//! Mergeable distinct-count sketches and attack-onset flagging.
+//!
+//! The sketch is a bottom-k (KMV) distinct counter: it keeps the `k`
+//! smallest values of a fixed-seed 64-bit hash over the inserted items.
+//! Keeping the k *smallest* elements of a union is independent of how
+//! the union is bracketed or ordered, which makes [`KmvSketch::merge`]
+//! associative, commutative, and idempotent — the algebra that lets
+//! per-shard sketches from any number of cluster workers collapse into
+//! the same bytes as a single-process sweep (pinned by proptests).
+//!
+//! Estimation is pure integer math (`u128` widening, truncating
+//! division), so the same sketch always yields the same estimate on
+//! every platform.
+
+use std::collections::BTreeSet;
+
+/// Default number of retained hashes per sketch. Small enough that a
+/// per-provider per-day sketch row fits comfortably in a checkpoint
+/// page, large enough for ~10% relative error at scale.
+pub const DEFAULT_K: usize = 64;
+
+/// Fixed hashing seed: every sketch in the system hashes with the same
+/// seed so sketches built anywhere are mergeable.
+pub const SKETCH_SEED: u64 = 0xD9D5_2016_0D05_0001;
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a well-mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(SPLITMIX_GAMMA);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The sketch hash of `item` under `seed` (fixed across the system).
+pub fn sketch_hash(seed: u64, item: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(item))
+}
+
+/// A bottom-k (KMV) distinct-count sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmvSketch {
+    k: usize,
+    hashes: BTreeSet<u64>,
+}
+
+impl KmvSketch {
+    /// An empty sketch retaining the `k` smallest hashes.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            hashes: BTreeSet::new(),
+        }
+    }
+
+    /// Retained-hash budget.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of hashes currently retained (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Inserts an already-hashed value, evicting the largest retained
+    /// hash if the budget overflows.
+    pub fn insert_hash(&mut self, hash: u64) {
+        self.hashes.insert(hash);
+        while self.hashes.len() > self.k {
+            if let Some(&max) = self.hashes.iter().next_back() {
+                self.hashes.remove(&max);
+            }
+        }
+    }
+
+    /// Inserts an item under the system-wide fixed seed.
+    pub fn insert(&mut self, seed: u64, item: u64) {
+        self.insert_hash(sketch_hash(seed, item));
+    }
+
+    /// Merges another sketch in: union, keep the k smallest. With equal
+    /// budgets this is associative, commutative, and idempotent; mixed
+    /// budgets collapse to the smaller one (min is associative too).
+    pub fn merge(&mut self, other: &KmvSketch) {
+        self.k = self.k.min(other.k);
+        for &h in &other.hashes {
+            self.hashes.insert(h);
+        }
+        while self.hashes.len() > self.k {
+            if let Some(&max) = self.hashes.iter().next_back() {
+                self.hashes.remove(&max);
+            }
+        }
+    }
+
+    /// The retained hashes, ascending (the persisted representation).
+    pub fn hashes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.hashes.iter().copied()
+    }
+
+    /// Deterministic distinct-count estimate. Exact below `k` inserts;
+    /// above, the classic KMV estimator `(k − 1) · 2^64 / h_(k)` in
+    /// truncating `u128` arithmetic.
+    pub fn estimate(&self) -> u64 {
+        if self.hashes.len() < self.k {
+            return self.hashes.len() as u64;
+        }
+        let Some(&kth) = self.hashes.iter().next_back() else {
+            return 0;
+        };
+        let numer = (self.k as u128 - 1) << 64;
+        let denom = u128::from(kth) + 1;
+        (numer / denom).min(u128::from(u64::MAX)) as u64
+    }
+}
+
+impl Default for KmvSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_K)
+    }
+}
+
+/// One flagged attack-onset day: a day whose distinct-touch estimate
+/// for a provider spikes far above its trailing baseline — the
+/// signature of a mass on-demand DPS activation (many domains diverting
+/// to one provider at once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackFlag {
+    /// Provider index (paper Table 2 order).
+    pub provider: u8,
+    /// Flagged day.
+    pub day: u32,
+    /// Distinct estimate on the flagged day.
+    pub estimate: u64,
+    /// Trailing-window median baseline it was compared against.
+    pub baseline: u64,
+}
+
+/// Trailing window length (days) for the onset baseline.
+pub const ONSET_WINDOW: usize = 14;
+/// Minimum distinct estimate before a day can be flagged at all.
+pub const ONSET_MIN_ESTIMATE: u64 = 4;
+/// Spike threshold as a ratio: flag when `estimate ≥ baseline · 5/2`.
+pub const ONSET_NUM: u64 = 5;
+/// Denominator of the spike-threshold ratio.
+pub const ONSET_DEN: u64 = 2;
+
+/// Flags onset days in one provider's `(day, estimate)` series
+/// (ascending by day). A day is flagged when at least three prior days
+/// exist, the estimate clears [`ONSET_MIN_ESTIMATE`], and it exceeds
+/// the median of the up-to-[`ONSET_WINDOW`] previous estimates by the
+/// [`ONSET_NUM`]/[`ONSET_DEN`] ratio. Pure integer math throughout.
+pub fn flag_onsets(provider: u8, series: &[(u32, u64)]) -> Vec<AttackFlag> {
+    let mut flags = Vec::new();
+    for (i, &(day, estimate)) in series.iter().enumerate() {
+        if i < 3 || estimate < ONSET_MIN_ESTIMATE {
+            continue;
+        }
+        let start = i.saturating_sub(ONSET_WINDOW);
+        let mut window: Vec<u64> = series
+            .get(start..i)
+            .unwrap_or(&[])
+            .iter()
+            .map(|&(_, e)| e)
+            .collect();
+        window.sort_unstable();
+        let baseline = window.get(window.len() / 2).copied().unwrap_or(0);
+        if estimate.saturating_mul(ONSET_DEN) >= baseline.max(1).saturating_mul(ONSET_NUM) {
+            flags.push(AttackFlag {
+                provider,
+                day,
+                estimate,
+                baseline,
+            });
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_k() {
+        let mut s = KmvSketch::new(16);
+        for i in 0..10u64 {
+            s.insert(SKETCH_SEED, i);
+        }
+        assert_eq!(s.estimate(), 10);
+        // Re-insert changes nothing.
+        for i in 0..10u64 {
+            s.insert(SKETCH_SEED, i);
+        }
+        assert_eq!(s.estimate(), 10);
+    }
+
+    #[test]
+    fn estimate_is_in_the_ballpark_above_k() {
+        let mut s = KmvSketch::new(64);
+        for i in 0..10_000u64 {
+            s.insert(SKETCH_SEED, i);
+        }
+        let est = s.estimate();
+        assert!(
+            (5_000..20_000).contains(&est),
+            "estimate {est} far from 10000"
+        );
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let mut a = KmvSketch::new(32);
+        let mut b = KmvSketch::new(32);
+        let mut all = KmvSketch::new(32);
+        for i in 0..500u64 {
+            if i % 2 == 0 {
+                a.insert(SKETCH_SEED, i);
+            } else {
+                b.insert(SKETCH_SEED, i);
+            }
+            all.insert(SKETCH_SEED, i);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn onset_flags_spike_over_flat_baseline() {
+        let mut series: Vec<(u32, u64)> = (0..10).map(|d| (d, 10)).collect();
+        series.push((10, 100));
+        series.push((11, 10));
+        let flags = flag_onsets(3, &series);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].day, 10);
+        assert_eq!(flags[0].provider, 3);
+        assert_eq!(flags[0].baseline, 10);
+        // A flat series never flags.
+        assert!(flag_onsets(0, &series[..10]).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the streaming-analysis primitives: sketch
+//! merges must form a commutative, associative, idempotent monoid under
+//! any insertion split (that is what makes them worker-count
+//! independent), and the checkpoint codec must round-trip exactly while
+//! never panicking on truncated or bit-flipped pages.
+
+use dps_columnar::Table;
+use dps_stream::{decode_delta, encode_delta, DayDelta, KmvSketch, SKETCH_SEED};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn sketch_of(k: usize, items: &[u64]) -> KmvSketch {
+    let mut s = KmvSketch::new(k);
+    for &item in items {
+        s.insert(SKETCH_SEED, item);
+    }
+    s
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..64)
+}
+
+fn arb_delta() -> impl Strategy<Value = DayDelta> {
+    let sources = proptest::collection::vec(
+        (
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+        1..6,
+    );
+    let refs = proptest::collection::vec((any::<u32>(), any::<u8>(), 1u8..=7), 0..32);
+    (
+        any::<u32>(),
+        sources,
+        1usize..10,
+        1usize..12,
+        refs,
+        proptest::collection::vec(arb_items(), 9..10),
+    )
+        .prop_map(|(day, sources, n, k, refs, item_sets)| DayDelta {
+            day,
+            sources,
+            providers: vec![[1, 2, 3, 4]; n],
+            references: refs
+                .into_iter()
+                .map(|(entry, p, bits)| ((entry, p % n as u8), bits))
+                .collect::<BTreeMap<_, _>>(),
+            sketches: item_sets
+                .iter()
+                .take(n)
+                .map(|items| sketch_of(k, items))
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(k in 1usize..16, xs in arb_items(), ys in arb_items()) {
+        let (a, b) = (sketch_of(k, &xs), sketch_of(k, &ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        k in 1usize..16,
+        xs in arb_items(),
+        ys in arb_items(),
+        zs in arb_items(),
+    ) {
+        let (a, b, c) = (sketch_of(k, &xs), sketch_of(k, &ys), sketch_of(k, &zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn reinsert_and_self_merge_are_idempotent(k in 1usize..16, xs in arb_items()) {
+        let a = sketch_of(k, &xs);
+        // Re-inserting every item again changes nothing…
+        let mut twice = a.clone();
+        for &item in &xs {
+            twice.insert(SKETCH_SEED, item);
+        }
+        prop_assert_eq!(&twice, &a);
+        // …and neither does merging a sketch with itself.
+        let mut merged = a.clone();
+        merged.merge(&a);
+        prop_assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn any_insertion_split_merges_to_the_bulk_sketch(
+        k in 1usize..16,
+        items in arb_items(),
+        cut in any::<u32>(),
+    ) {
+        // Worker-count independence: however the day's rows are sharded,
+        // merging the shard sketches equals one sketch over all rows.
+        let at = cut as usize % (items.len() + 1);
+        let (left, right) = items.split_at(at);
+        let mut merged = sketch_of(k, left);
+        merged.merge(&sketch_of(k, right));
+        prop_assert_eq!(merged, sketch_of(k, &items));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_exact(delta in arb_delta()) {
+        let table = encode_delta(&delta);
+        let decoded = decode_delta(&table);
+        prop_assert_eq!(decoded.as_ref(), Some(&delta));
+        // And byte-stable through a decode → re-encode cycle.
+        let bytes = table.to_bytes();
+        let reread = Table::from_bytes(&bytes).expect("own bytes parse");
+        let again = encode_delta(&decode_delta(&reread).expect("own bytes decode"));
+        prop_assert_eq!(again.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_truncation(delta in arb_delta(), cut in any::<u32>()) {
+        let bytes = encode_delta(&delta).to_bytes();
+        let keep = cut as usize % bytes.len().max(1);
+        // Any Option result is fine; panicking is not. A truncated byte
+        // stream that still parses as a table must fail the row-count or
+        // structure checks rather than round-trip silently.
+        if let Ok(table) = Table::from_bytes(bytes.get(..keep).unwrap_or(&[])) {
+            if let Some(decoded) = decode_delta(&table) {
+                prop_assert_eq!(decoded, delta.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_bit_flips(
+        delta in arb_delta(),
+        flips in proptest::collection::vec(any::<(u32, u8)>(), 1..8),
+    ) {
+        let mut bytes = encode_delta(&delta).to_bytes();
+        if !bytes.is_empty() {
+            for (at, x) in flips {
+                let idx = at as usize % bytes.len();
+                bytes[idx] ^= x;
+            }
+            if let Ok(table) = Table::from_bytes(&bytes) {
+                let _ = decode_delta(&table);
+            }
+        }
+    }
+}

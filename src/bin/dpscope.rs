@@ -23,9 +23,12 @@ use dps_bench::experiments::{experiment_ids, run, Context, ExperimentConfig};
 use dps_scope::authdns::{HealthConfig, HealthTracker, Resolver, ResolverConfig};
 use dps_scope::measure::collector::{SldInterner, WirePath};
 use dps_scope::measure::pipeline::sweep_with_path_supervised_metered;
-use dps_scope::measure::{SupervisorConfig, SweepMetrics, QUALITY_SOURCE, TELEMETRY_SOURCE};
+use dps_scope::measure::{
+    DayObserver, SupervisorConfig, SweepMetrics, ANALYSIS_SOURCE, QUALITY_SOURCE, TELEMETRY_SOURCE,
+};
 use dps_scope::netsim::ChaosSchedule;
 use dps_scope::prelude::*;
+use dps_scope::stream::{activation_days, analysis_json, correlate, DEFAULT_TOLERANCE};
 use dps_scope::telemetry::Registry;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -42,6 +45,7 @@ struct CommonArgs {
     source: Option<u8>,
     cols: Option<Vec<String>>,
     chaos: Option<String>,
+    stream: bool,
     workers: u32,
     min_workers: u32,
     bind: Option<String>,
@@ -71,6 +75,16 @@ fn usage() -> ! {
                         cluster serve --bind ADDR --archive DIR  (manager)\n\
                         cluster agent --connect ADDR [--name S]  (worker)\n\
                       ADDRs containing '/' are Unix sockets, else TCP\n\
+           stream     incremental analysis over an archive measured with\n\
+                      --stream (replays the persisted checkpoint pages):\n\
+                        stream status <path> [--json]  days, per-provider\n\
+                                       distinct estimates, attack flags\n\
+                        stream check <path>   verify the streamed state\n\
+                                       equals a full dps-core rescan\n\
+                        stream correlate <path>  score attack flags against\n\
+                                       scenario ground truth (pass the same\n\
+                                       --seed/--scale/--days/--cc-start\n\
+                                       the archive was measured with)\n\
          \n\
          options:\n\
            --seed N       world seed           (default 2016)\n\
@@ -86,6 +100,9 @@ fn usage() -> ! {
            --chaos SPEC   measure: sweep over the simulated wire under a\n\
                           scripted fault schedule, e.g.\n\
                           'degrade@0..inf@loss=0.15; blackout@5s..20s@10.0.0.1'\n\
+           --stream       measure: maintain incremental analysis at each\n\
+                          day's commit and checkpoint it in the archive\n\
+                          (works with --workers; not with --chaos)\n\
            --workers N    measure: sweep with N local worker-agent processes\n\
                           over a Unix socket (archive stays byte-identical)\n\
            --bind ADDR    cluster serve: listen address\n\
@@ -113,6 +130,7 @@ fn parse_args(args: &[String]) -> CommonArgs {
         source: None,
         cols: None,
         chaos: None,
+        stream: false,
         workers: 0,
         min_workers: 0,
         bind: None,
@@ -152,6 +170,7 @@ fn parse_args(args: &[String]) -> CommonArgs {
                 )
             }
             "--chaos" => common.chaos = Some(value("--chaos").to_string()),
+            "--stream" => common.stream = true,
             "--workers" => common.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--min-workers" => {
                 common.min_workers = value("--min-workers").parse().unwrap_or_else(|_| usage())
@@ -228,6 +247,10 @@ fn cmd_measure(args: CommonArgs) {
     );
     std::fs::create_dir_all(&archive).expect("create archive dir");
     let path = archive.join(dps_scope::measure::ARCHIVE_FILE);
+    if args.chaos.is_some() && args.stream {
+        eprintln!("--chaos and --stream are mutually exclusive");
+        usage();
+    }
     if args.workers > 0 {
         if args.chaos.is_some() {
             eprintln!("--workers and --chaos are mutually exclusive");
@@ -246,17 +269,35 @@ fn cmd_measure(args: CommonArgs) {
     }
     // Streams each finished day into the single-file archive with a
     // durable footer per day: a killed sweep resumes where it left off.
+    // With --stream, a StreamEngine observes every commit and its
+    // checkpoint rides in the same durable footer.
+    let mut engine = args.stream.then(dps_scope::stream::StreamEngine::new);
+    let observer = engine.as_mut().map(|e| e as &mut dyn DayObserver);
     let store = Study::new(StudyConfig {
         days: args.days,
         cc_start_day: args.cc_start,
         stride: args.stride,
     })
-    .run_archived(&mut world, &path)
+    .run_archived_observed(&mut world, &path, observer)
     .expect("archived study");
     println!(
         "archived {} to {}",
         dps_scope::core::report::human_bytes(store.total_stored_bytes()),
         path.display()
+    );
+    if let Some(engine) = &engine {
+        print_stream_summary(engine);
+    }
+}
+
+/// One-line streaming-analysis summary after a `--stream` sweep.
+fn print_stream_summary(engine: &dps_scope::stream::StreamEngine) {
+    let flags = engine.attack_flags();
+    println!(
+        "stream: {} days analysed, {} providers, {} attack-onset flags",
+        engine.days().len(),
+        engine.n_providers(),
+        flags.len()
     );
 }
 
@@ -389,7 +430,10 @@ fn cluster_serve(args: &CommonArgs) {
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let accept = spawn_accept_loop(&bind, conn_tx, stop.clone());
     println!("cluster manager on {bind}; waiting for agents…");
-    let outcome = dps_scope::cluster::serve(conn_rx, cluster_config(args), &path);
+    let mut engine = args.stream.then(dps_scope::stream::StreamEngine::new);
+    let observer = engine.as_mut().map(|e| e as &mut dyn DayObserver);
+    let outcome =
+        dps_scope::cluster::serve_observed(conn_rx, cluster_config(args), &path, observer);
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     accept.join().expect("accept loop").expect("accept loop io");
     if bind.contains('/') {
@@ -397,6 +441,9 @@ fn cluster_serve(args: &CommonArgs) {
     }
     let outcome = outcome.expect("cluster sweep");
     finish_cluster_run(&archive, &path, &outcome);
+    if let Some(engine) = &engine {
+        print_stream_summary(engine);
+    }
 }
 
 /// `dpscope cluster agent --connect ADDR [--name S]`: the worker role.
@@ -467,7 +514,9 @@ fn cmd_measure_cluster(args: &CommonArgs, archive: &std::path::Path, path: &std:
         children.push(child);
     }
     println!("sweeping with {} local worker agents…", args.workers);
-    let outcome = dps_scope::cluster::serve(conn_rx, cluster_config(args), path);
+    let mut engine = args.stream.then(dps_scope::stream::StreamEngine::new);
+    let observer = engine.as_mut().map(|e| e as &mut dyn DayObserver);
+    let outcome = dps_scope::cluster::serve_observed(conn_rx, cluster_config(args), path, observer);
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     accept.join().expect("accept loop").expect("accept loop io");
     for mut child in children {
@@ -476,6 +525,9 @@ fn cmd_measure_cluster(args: &CommonArgs, archive: &std::path::Path, path: &std:
     std::fs::remove_file(&sock).ok();
     let outcome = outcome.expect("cluster sweep");
     finish_cluster_run(archive, path, &outcome);
+    if let Some(engine) = &engine {
+        print_stream_summary(engine);
+    }
 }
 
 /// Writes the provenance sidecar and prints the run summary.
@@ -510,6 +562,21 @@ fn cmd_cluster(args: CommonArgs) {
     }
 }
 
+/// Human label for an archive page kind (the catalog's `source` id):
+/// the five measured sources, the three bookkeeping kinds, and a
+/// future-proof `unknown(id)` for anything a newer writer introduced.
+fn page_kind_label(id: u8) -> String {
+    if let Some(source) = Source::from_index(u32::from(id)) {
+        return source.label().to_string();
+    }
+    match id {
+        QUALITY_SOURCE => "quality".to_string(),
+        TELEMETRY_SOURCE => "telemetry".to_string(),
+        ANALYSIS_SOURCE => "analysis".to_string(),
+        other => format!("unknown({other})"),
+    }
+}
+
 /// `dpscope store <info|verify|cat> <path>` — single-file archive tooling.
 fn cmd_store(args: CommonArgs) {
     let (Some(action), Some(raw_path)) = (args.rest.first(), args.rest.get(1)) else {
@@ -539,22 +606,20 @@ fn cmd_store(args: CommonArgs) {
             );
             println!("dict:    {} strings", archive.dict().len());
             println!(
-                "{:<8} {:>6} {:>11} {:>13} {:>12} {:>12}",
-                "source", "days", "first..last", "data points", "stored", "raw"
+                "{:<12} {:>6} {:>11} {:>13} {:>12} {:>12}",
+                "kind", "days", "first..last", "data points", "stored", "raw"
             );
+            // Every page kind present in the catalog gets a row — data
+            // sources and bookkeeping kinds alike, and ids this build
+            // does not know render as unknown(id) instead of vanishing.
             for (source, st) in catalog.stats().iter().enumerate() {
-                // Quality and telemetry pages are bookkeeping, not
-                // observations; they get their own summaries below
-                // instead of data rows here.
-                if st.days == 0
-                    || source == usize::from(QUALITY_SOURCE)
-                    || source == usize::from(TELEMETRY_SOURCE)
-                {
+                if st.days == 0 {
                     continue;
                 }
+                let id = u8::try_from(source).unwrap_or(u8::MAX);
                 println!(
-                    "{:<8} {:>6} {:>5}..{:<5} {:>13} {:>12} {:>12}",
-                    source,
+                    "{:<12} {:>6} {:>5}..{:<5} {:>13} {:>12} {:>12}",
+                    page_kind_label(id),
                     st.days,
                     st.first_day.unwrap_or(0),
                     st.last_day.unwrap_or(0),
@@ -732,6 +797,222 @@ fn cmd_metrics(args: CommonArgs) {
     }
 }
 
+/// Opens an archive and replays its persisted analysis checkpoint pages
+/// through a fresh [`StreamEngine`], in catalog (day-ascending) order —
+/// the same path a resumed sweep takes. Exits with a message if the
+/// archive holds no checkpoints (it was measured without `--stream`).
+fn replay_stream_engine(path: &std::path::Path) -> (Archive, dps_scope::stream::StreamEngine) {
+    let archive = match Archive::open(path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut engine = dps_scope::stream::StreamEngine::new();
+    for &(day, source) in archive.catalog().pages.keys() {
+        if source != ANALYSIS_SOURCE {
+            continue;
+        }
+        let table = archive
+            .table(day, source)
+            .expect("catalog-listed page reads")
+            .expect("catalog-listed page exists");
+        if let Err(e) = engine.on_resume(day, &table) {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if engine.days().is_empty() {
+        eprintln!(
+            "{}: no analysis checkpoints (measure with --stream to create them)",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    (archive, engine)
+}
+
+/// `dpscope stream status <path> [--json]` — what the streamed analysis
+/// currently knows: analysed days, per-provider distinct-touch estimates
+/// from the sketches, and flagged attack-onset days.
+fn stream_status(path: &std::path::Path, json: bool) {
+    let (_, engine) = replay_stream_engine(path);
+    let names = engine.provider_names();
+    let days = engine.days().to_vec();
+    let flags = engine.attack_flags();
+    if json {
+        let mut providers = Vec::new();
+        for (p, name) in names.iter().enumerate() {
+            let p = p as u8;
+            let series = engine.distinct_series(p);
+            let latest = series.last().map_or(0, |&(_, est)| est);
+            let fl: Vec<String> = flags
+                .iter()
+                .filter(|f| f.provider == p)
+                .map(|f| {
+                    format!(
+                        "{{\"day\": {}, \"estimate\": {}, \"baseline\": {}}}",
+                        f.day, f.estimate, f.baseline
+                    )
+                })
+                .collect();
+            providers.push(format!(
+                "{{\"name\": {name:?}, \"distinct\": {}, \"flags\": [{}]}}",
+                latest,
+                fl.join(", ")
+            ));
+        }
+        println!(
+            "{{\"days\": {}, \"first_day\": {}, \"last_day\": {}, \"providers\": [{}]}}",
+            days.len(),
+            days.first().copied().unwrap_or(0),
+            days.last().copied().unwrap_or(0),
+            providers.join(", ")
+        );
+        return;
+    }
+    println!("archive:   {}", path.display());
+    println!(
+        "analysed:  {} days ({}..{})",
+        days.len(),
+        days.first().copied().unwrap_or(0),
+        days.last().copied().unwrap_or(0)
+    );
+    println!("{:<14} {:>10} {:>6}", "provider", "distinct", "flags");
+    for (p, name) in names.iter().enumerate() {
+        let p = p as u8;
+        let latest = engine.distinct_series(p).last().map_or(0, |&(_, est)| est);
+        let n_flags = flags.iter().filter(|f| f.provider == p).count();
+        println!("{name:<14} {latest:>10} {n_flags:>6}");
+    }
+    for f in &flags {
+        let name = names
+            .get(usize::from(f.provider))
+            .cloned()
+            .unwrap_or_default();
+        println!(
+            "flag: {name} day {} distinct ~{} (baseline ~{})",
+            f.day, f.estimate, f.baseline
+        );
+    }
+}
+
+/// `dpscope stream check <path>` — the equivalence gate: the replayed
+/// incremental state must render byte-identically to a full dps-core
+/// rescan of the same archive. Exits 1 on any divergence.
+fn stream_check(path: &std::path::Path) {
+    let (archive, engine) = replay_stream_engine(path);
+    let incremental = analysis_json(
+        &engine.finalize(),
+        &engine.provider_names(),
+        &engine.masked_gtld_days(),
+    );
+    let store = match SnapshotStore::load_archive(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
+    let out = Scanner::new(&refs)
+        .run_archive(&archive)
+        .expect("archive rescan");
+    let mask =
+        dps_scope::core::QualityMask::from_store(&store, dps_scope::core::DEFAULT_MIN_COVERAGE);
+    let rescan = analysis_json(&out, &refs.names, &mask.masked_gtld_days());
+    if incremental == rescan {
+        println!(
+            "{}: incremental analysis matches full rescan ({} days, {} analysis bytes)",
+            path.display(),
+            engine.days().len(),
+            incremental.len()
+        );
+    } else {
+        eprintln!(
+            "{}: DIVERGENCE between streamed state and full rescan\n\
+             incremental: {incremental}\n\
+             rescan:      {rescan}",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `dpscope stream correlate <path>` — score flagged attack-onset days
+/// against the scenario's labelled mass on-demand activations. The
+/// scenario parameters must match the ones the archive was measured
+/// with (they are not stored in the archive).
+fn stream_correlate(args: &CommonArgs, path: &std::path::Path) {
+    let (_, engine) = replay_stream_engine(path);
+    let params = ScenarioParams {
+        seed: args.seed,
+        scale: args.scale,
+        gtld_days: args.days,
+        cc_start_day: args.cc_start,
+    };
+    let truth = activation_days(params);
+    let flags = engine.attack_flags();
+    let names = engine.provider_names();
+    let c = correlate(&flags, &truth, DEFAULT_TOLERANCE);
+    let name = |p: u8| names.get(usize::from(p)).cloned().unwrap_or_default();
+    println!(
+        "scenario: seed {} scale {} days {} cc-start {} (tolerance ±{} days)",
+        args.seed, args.scale, args.days, args.cc_start, c.tolerance
+    );
+    println!(
+        "flags: {} matched, {} unmatched; activations: {} labelled, {} missed",
+        c.matched.len(),
+        c.unmatched_flags.len(),
+        c.activations.len(),
+        c.missed.len()
+    );
+    for f in &c.matched {
+        println!(
+            "  matched   {} day {} (distinct ~{})",
+            name(f.provider),
+            f.day,
+            f.estimate
+        );
+    }
+    for f in &c.unmatched_flags {
+        println!(
+            "  unmatched {} day {} (distinct ~{})",
+            name(f.provider),
+            f.day,
+            f.estimate
+        );
+    }
+    for &(p, day) in &c.missed {
+        println!("  missed    {} activation day {day}", name(p));
+    }
+}
+
+/// `dpscope stream <status|check|correlate> <path>` — inspect, verify,
+/// or ground-truth-score the incremental analysis checkpoints.
+fn cmd_stream(args: CommonArgs) {
+    let json = args.rest.iter().any(|a| a == "--json");
+    let mut positional = args.rest.iter().filter(|a| !a.starts_with("--"));
+    let (Some(action), Some(raw_path)) = (positional.next(), positional.next()) else {
+        eprintln!("stream requires <status|check|correlate> <archive-file-or-dir>");
+        usage();
+    };
+    let mut path = PathBuf::from(raw_path);
+    if path.is_dir() {
+        path = path.join(dps_scope::measure::ARCHIVE_FILE);
+    }
+    match action.as_str() {
+        "status" => stream_status(&path, json),
+        "check" => stream_check(&path),
+        "correlate" => stream_correlate(&args, &path),
+        other => {
+            eprintln!("unknown stream action {other:?}");
+            usage();
+        }
+    }
+}
+
 fn cmd_analyze(args: CommonArgs) {
     let config = ExperimentConfig {
         seed: args.seed,
@@ -833,6 +1114,7 @@ fn main() {
         "store" => cmd_store(args),
         "metrics" => cmd_metrics(args),
         "cluster" => cmd_cluster(args),
+        "stream" => cmd_stream(args),
         _ => usage(),
     }
 }

@@ -50,6 +50,7 @@ pub use dps_measure as measure;
 pub use dps_netsim as netsim;
 pub use dps_recursor as recursor;
 pub use dps_store as store;
+pub use dps_stream as stream;
 pub use dps_telemetry as telemetry;
 
 /// The things almost every user needs, in one import.
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use dps_netsim::{ChaosSchedule, Day, FaultProfile, Network, Prefix};
     pub use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
     pub use dps_store::{Archive, ArchiveWriter, ScanQuery};
+    pub use dps_stream::{KmvSketch, StreamEngine};
 }
 
 /// The nine provider marketing names, used to seed reference discovery.

@@ -1,0 +1,215 @@
+//! Integration: the real `dpscope` binary running `--stream` sweeps.
+//!
+//! The acceptance bar for the streaming engine, end to end over real
+//! processes:
+//!
+//! * the archive (data + analysis checkpoint pages) is byte-identical
+//!   across 1-, 2-, and 4-worker cluster sweeps of the same scenario;
+//! * a sweep killed mid-window and resumed replays its checkpoints to
+//!   the *same* analysis state an uninterrupted sweep reaches (verified
+//!   through `stream status --json` and archive bytes);
+//! * `stream check` proves the incremental state equals a full
+//!   dps-core rescan of the archive it rode in on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SCENARIO: [&str; 8] = [
+    "--seed",
+    "2016",
+    "--scale",
+    "0.004",
+    "--days",
+    "5",
+    "--cc-start",
+    "2",
+];
+
+/// The same scenario, stopped two days early: stands in for a sweep
+/// killed mid-window (per-day commits make kill points day-granular).
+const PARTIAL: [&str; 8] = [
+    "--seed",
+    "2016",
+    "--scale",
+    "0.004",
+    "--days",
+    "3",
+    "--cc-start",
+    "2",
+];
+
+fn dpscope() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dpscope"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dps-it-stream-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run_measure(archive: &Path, scenario: &[&str], extra: &[&str]) {
+    let status = dpscope()
+        .arg("measure")
+        .args(scenario)
+        .args(["--archive", archive.to_str().expect("utf8 path")])
+        .arg("--stream")
+        .args(extra)
+        .status()
+        .expect("spawn dpscope measure");
+    assert!(status.success(), "dpscope measure {extra:?} failed");
+}
+
+fn archive_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("archive.dps")).expect("read archive.dps")
+}
+
+/// `dpscope stream <action> <dir>`; returns stdout, asserting success.
+fn stream_cmd(dir: &Path, action: &str, extra: &[&str]) -> String {
+    let out = dpscope()
+        .arg("stream")
+        .arg(action)
+        .arg(dir)
+        .args(extra)
+        .output()
+        .expect("spawn dpscope stream");
+    assert!(
+        out.status.success(),
+        "dpscope stream {action} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn streamed_archives_are_worker_count_independent_and_pass_check() {
+    let single = temp_dir("w1");
+    let two = temp_dir("w2");
+    let four = temp_dir("w4");
+    run_measure(&single, &SCENARIO, &[]);
+    run_measure(&two, &SCENARIO, &["--workers", "2"]);
+    run_measure(&four, &SCENARIO, &["--workers", "4"]);
+
+    let reference = archive_bytes(&single);
+    assert_eq!(
+        reference,
+        archive_bytes(&two),
+        "2-worker streamed archive must be byte-identical to single-process"
+    );
+    assert_eq!(
+        reference,
+        archive_bytes(&four),
+        "4-worker streamed archive must be byte-identical to single-process"
+    );
+
+    // The equivalence gate: incremental state == full dps-core rescan.
+    let check = stream_cmd(&single, "check", &[]);
+    assert!(check.contains("matches full rescan"), "{check}");
+
+    // And the streamed status renders identically regardless of the
+    // worker count that produced the archive.
+    let status_single = stream_cmd(&single, "status", &["--json"]);
+    let status_four = stream_cmd(&four, "status", &["--json"]);
+    assert_eq!(status_single, status_four);
+    assert!(status_single.contains("\"days\": 5"), "{status_single}");
+
+    std::fs::remove_dir_all(&single).ok();
+    std::fs::remove_dir_all(&two).ok();
+    std::fs::remove_dir_all(&four).ok();
+}
+
+#[test]
+fn crashed_stream_sweep_resumes_to_identical_analysis_state() {
+    let straight = temp_dir("straight");
+    let resumed = temp_dir("resumed");
+
+    // Uninterrupted 5-day streamed sweep.
+    run_measure(&straight, &SCENARIO, &[]);
+
+    // Crash: SIGKILL the sweep once the archive holds committed bytes
+    // (each day lands under a durable footer, so the kill point is
+    // arbitrary — resume truncates any uncommitted tail). Then resume:
+    // committed days replay their checkpoint pages through the engine
+    // instead of being re-measured.
+    std::fs::create_dir_all(&resumed).expect("archive dir");
+    let mut child = dpscope()
+        .arg("measure")
+        .args(SCENARIO)
+        .args(["--archive", resumed.to_str().expect("utf8 path")])
+        .arg("--stream")
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn dpscope measure --stream");
+    let archive_file = resumed.join("archive.dps");
+    loop {
+        // Kill only once at least one day's footer is durable: a file
+        // with no valid footer yet is indistinguishable from corruption
+        // and is (rightly) refused on resume.
+        let committed =
+            dps_scope::store::Archive::open(&archive_file).map_or(0, |a| a.catalog().pages.len());
+        if committed > 0 || child.try_wait().expect("poll child").is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    child.kill().ok();
+    child.wait().ok();
+    run_measure(&resumed, &SCENARIO, &[]);
+
+    assert_eq!(
+        archive_bytes(&straight),
+        archive_bytes(&resumed),
+        "resumed streamed archive must be byte-identical to uninterrupted"
+    );
+    assert_eq!(
+        stream_cmd(&straight, "status", &["--json"]),
+        stream_cmd(&resumed, "status", &["--json"]),
+        "checkpoint replay must land in the same analysis state"
+    );
+    let check = stream_cmd(&resumed, "check", &[]);
+    assert!(check.contains("matches full rescan"), "{check}");
+
+    std::fs::remove_dir_all(&straight).ok();
+    std::fs::remove_dir_all(&resumed).ok();
+}
+
+#[test]
+fn plain_archive_without_checkpoints_is_refused() {
+    let plain = temp_dir("plain");
+    // Measured WITHOUT --stream: no checkpoint pages.
+    let status = dpscope()
+        .arg("measure")
+        .args(PARTIAL)
+        .args(["--archive", plain.to_str().expect("utf8 path")])
+        .status()
+        .expect("spawn dpscope measure");
+    assert!(status.success());
+
+    // `stream status` refuses rather than inventing empty analysis…
+    let out = dpscope()
+        .arg("stream")
+        .arg("status")
+        .arg(&plain)
+        .output()
+        .expect("spawn dpscope stream");
+    assert!(!out.status.success(), "plain archive must be refused");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("no analysis checkpoints"), "{err}");
+
+    // …and so does resuming the sweep with --stream: the committed days
+    // carry no checkpoints to replay, which would silently fork the
+    // analysis state from the archive's contents.
+    let resume = dpscope()
+        .arg("measure")
+        .args(SCENARIO)
+        .args(["--archive", plain.to_str().expect("utf8 path")])
+        .arg("--stream")
+        .output()
+        .expect("spawn dpscope measure --stream resume");
+    assert!(
+        !resume.status.success(),
+        "resuming a checkpoint-less archive with --stream must fail"
+    );
+
+    std::fs::remove_dir_all(&plain).ok();
+}
