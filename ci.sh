@@ -8,6 +8,8 @@
 #   ./ci.sh telemetry-smoke   archived telemetry determinism smoke only
 #   ./ci.sh cluster-smoke     multi-process sweep byte-identity smoke only
 #   ./ci.sh stream-smoke      incremental-analysis equivalence smoke only
+#   ./ci.sh fuzz-smoke        deterministic fuzzer over every target
+#   ./ci.sh serve-smoke       real-socket authoritative DNS round trip
 #   ./ci.sh analyze           dps-analyzer over the workspace (must be clean)
 #   ./ci.sh analyze-fixtures  known-bad corpus must still fail, good must pass
 set -eu
@@ -115,6 +117,46 @@ stream_smoke() {
     rm -rf target/ci-stream-single target/ci-stream-multi
 }
 
+# Deterministic mutation fuzzing: every decoder target runs a fixed seed
+# for a bounded iteration count; any panic or round-trip divergence fails
+# the gate. The checked-in corpus (including minimised regressions) is
+# loaded automatically.
+fuzz_smoke() {
+    echo "==> smoke: dpscope fuzz all (deterministic, fixed seed)"
+    ./target/release/dpscope fuzz all --iters 100000 --seed 2016
+}
+
+# Real-socket authoritative DNS: spawn `dpscope serve` on loopback, query
+# it over UDP and TCP with the real-transport dig, then shut it down
+# cleanly by closing stdin.
+serve_smoke() {
+    echo "==> smoke: dpscope serve + dig over real sockets"
+    rm -rf target/ci-serve
+    mkdir -p target/ci-serve/zones
+    printf '$ORIGIN ci.test.\n@ IN NS ns1.ci.test.\nns1 IN A 10.9.0.53\nwww IN A 10.9.0.80\n' \
+        >target/ci-serve/zones/ci.test.zone
+    mkfifo target/ci-serve/stdin
+    ./target/release/dpscope serve --zones target/ci-serve/zones \
+        >target/ci-serve/out.txt 2>&1 <target/ci-serve/stdin &
+    serve_pid=$!
+    # Hold the write end open until we are done, then close it for EOF.
+    exec 9>target/ci-serve/stdin
+    for _ in $(seq 1 50); do
+        grep -q 'serve: listening' target/ci-serve/out.txt 2>/dev/null && break
+        sleep 0.1
+    done
+    udp_addr=$(sed -n 's/.*udp=\([0-9.:]*\).*/\1/p' target/ci-serve/out.txt)
+    tcp_addr=$(sed -n 's/.*tcp=\([0-9.:]*\).*/\1/p' target/ci-serve/out.txt)
+    ./target/release/dpscope dig www.ci.test A --server "udp://$udp_addr" \
+        | grep -q '10.9.0.80' || { echo "UDP answer missing" >&2; exit 1; }
+    ./target/release/dpscope dig www.ci.test A --server "tcp://$tcp_addr" \
+        | grep -q '10.9.0.80' || { echo "TCP answer missing" >&2; exit 1; }
+    exec 9>&-
+    wait "$serve_pid" || { echo "serve exited unclean" >&2; exit 1; }
+    grep -q 'serve: shutdown' target/ci-serve/out.txt
+    rm -rf target/ci-serve
+}
+
 # Workspace-native static analysis: determinism, panic-safety and hygiene
 # invariants must hold (waivers need written reasons). --deny promotes
 # warnings (e.g. stale waivers) to failures so CI stays tidy.
@@ -157,6 +199,18 @@ stream-smoke)
     echo "==> stream smoke green"
     exit 0
     ;;
+fuzz-smoke)
+    cargo build --release --offline
+    fuzz_smoke
+    echo "==> fuzz smoke green"
+    exit 0
+    ;;
+serve-smoke)
+    cargo build --release --offline
+    serve_smoke
+    echo "==> serve smoke green"
+    exit 0
+    ;;
 analyze)
     analyze
     echo "==> analyze green"
@@ -192,6 +246,8 @@ chaos_smoke
 telemetry_smoke
 cluster_smoke
 stream_smoke
+fuzz_smoke
+serve_smoke
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline

@@ -30,6 +30,7 @@ pub const DETERMINISM_SCOPE: &[&str] = &[
     "crates/telemetry/src/",
     "crates/cluster/src/",
     "crates/stream/src/",
+    "crates/fuzz/src/",
 ];
 
 /// Modules that decode untrusted wire/archive bytes and must be
@@ -42,6 +43,9 @@ pub const PANIC_SAFETY_SCOPE: &[&str] = &[
     "crates/store/src/archive.rs",
     "crates/cluster/src/wire.rs",
     "crates/stream/src/page.rs",
+    "crates/serve/src/edns.rs",
+    "crates/serve/src/frontend.rs",
+    "crates/serve/src/rrl.rs",
 ];
 
 /// What applies to one file.
@@ -143,6 +147,25 @@ mod tests {
         let p = for_path("crates/stream/src/page.rs", Mode::Workspace);
         assert!(p.families.contains(&Family::Determinism));
         assert!(p.families.contains(&Family::PanicSafety));
+    }
+
+    #[test]
+    fn serve_and_fuzz_crates_are_scoped() {
+        // Serve's wire-facing modules parse hostile socket bytes; its
+        // socket plumbing is I/O glue and stays out of panic-safety.
+        for rel in [
+            "crates/serve/src/edns.rs",
+            "crates/serve/src/frontend.rs",
+            "crates/serve/src/rrl.rs",
+        ] {
+            let p = for_path(rel, Mode::Workspace);
+            assert!(p.families.contains(&Family::PanicSafety), "{rel}");
+        }
+        let p = for_path("crates/serve/src/sockets.rs", Mode::Workspace);
+        assert!(!p.families.contains(&Family::PanicSafety));
+        // The fuzzer must be seed-deterministic to reproduce findings.
+        let p = for_path("crates/fuzz/src/lib.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::Determinism));
     }
 
     #[test]

@@ -16,18 +16,20 @@ use crate::zone::Zone;
 use dps_dns::{Name, RData, RrType, Soa};
 use std::fmt::Write as _;
 
-/// A zone-file parse failure with its line number.
+/// A zone-file parse failure with its line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token (byte offset + 1).
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -70,7 +72,7 @@ fn render_rdata(rdata: &RData) -> String {
         RData::Txt(strings) => {
             let mut s = String::from("TXT");
             for part in strings {
-                let _ = write!(s, " \"{}\"", String::from_utf8_lossy(part));
+                let _ = write!(s, " \"{}\"", escape_char_string(part));
             }
             s
         }
@@ -82,50 +84,205 @@ fn render_rdata(rdata: &RData) -> String {
     }
 }
 
+/// Renders one TXT character-string with master-file escapes: `"` and
+/// `\` get a backslash, printable ASCII passes through, everything else
+/// becomes `\DDD` (RFC 1035 §5.1). The inverse of the tokenizer's escape
+/// handling, so format∘parse is the identity on arbitrary bytes.
+fn escape_char_string(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    for &b in bytes {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            0x20..=0x7E => out.push(char::from(b)),
+            other => {
+                let _ = write!(out, "\\{other:03}");
+            }
+        }
+    }
+    out
+}
+
+/// The longest character-string the wire format can carry (one length
+/// octet); longer TXT strings must fail at parse, not at encode.
+const MAX_CHAR_STRING: usize = 255;
+
+/// One token of a zone-file line, with enough position info to report
+/// useful errors.
+struct Token {
+    /// Unescaped content (may be arbitrary bytes via `\DDD`).
+    bytes: Vec<u8>,
+    /// Whether the token was quoted (TXT cares: `""` is a legal empty
+    /// character-string, and quoted strings may contain `;` and spaces).
+    quoted: bool,
+    /// 1-based column of the token's first character.
+    col: usize,
+}
+
+impl Token {
+    /// The token as text, for names and numbers.
+    fn text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.bytes).map_err(|_| "token is not valid UTF-8".to_string())
+    }
+}
+
+/// Resolves a `\`-escape starting at byte `i`; returns the decoded byte
+/// and how many input bytes were consumed.
+fn unescape(bytes: &[u8], i: usize) -> Result<(u8, usize), String> {
+    match bytes.get(i + 1) {
+        None => Err("dangling backslash".to_string()),
+        Some(d) if d.is_ascii_digit() => {
+            // \DDD: exactly three decimal digits, value ≤ 255.
+            let digits = bytes
+                .get(i + 1..i + 4)
+                .filter(|ds| ds.iter().all(u8::is_ascii_digit))
+                .ok_or_else(|| "\\DDD escape needs three digits".to_string())?;
+            let mut v: u32 = 0;
+            for &d in digits {
+                v = v * 10 + u32::from(d - b'0');
+            }
+            let b = u8::try_from(v).map_err(|_| format!("\\{v} exceeds 255"))?;
+            Ok((b, 4))
+        }
+        Some(&c) => Ok((c, 2)),
+    }
+}
+
+/// Splits one line into tokens: whitespace-separated words and quoted
+/// strings, with `\` escapes in both, stopping at an unquoted `;`
+/// (comment). Columns are 1-based byte offsets.
+fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
+    let err = |col: usize, message: String| ParseError {
+        line: lineno,
+        col,
+        message,
+    };
+    let bytes = line.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while let Some(&b) = bytes.get(i) {
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b == b';' {
+            break; // comment runs to end of line
+        }
+        let col = i + 1;
+        if b == b'"' {
+            i += 1;
+            let mut out = Vec::new();
+            let mut closed = false;
+            while let Some(&c) = bytes.get(i) {
+                match c {
+                    b'"' => {
+                        closed = true;
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        let (decoded, adv) = unescape(bytes, i).map_err(|m| err(i + 1, m))?;
+                        out.push(decoded);
+                        i += adv;
+                    }
+                    other => {
+                        out.push(other);
+                        i += 1;
+                    }
+                }
+            }
+            if !closed {
+                return Err(err(col, "unterminated quoted string".to_string()));
+            }
+            toks.push(Token {
+                bytes: out,
+                quoted: true,
+                col,
+            });
+        } else {
+            let mut out = Vec::new();
+            while let Some(&c) = bytes.get(i) {
+                if c.is_ascii_whitespace() || c == b';' || c == b'"' {
+                    break;
+                }
+                if c == b'\\' {
+                    let (decoded, adv) = unescape(bytes, i).map_err(|m| err(i + 1, m))?;
+                    out.push(decoded);
+                    i += adv;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            toks.push(Token {
+                bytes: out,
+                quoted: false,
+                col,
+            });
+        }
+    }
+    Ok(toks)
+}
+
 /// Parses master-file text into a [`Zone`]. `default_origin` applies until
 /// a `$ORIGIN` directive overrides it.
 pub fn parse_zone(default_origin: &Name, text: &str) -> Result<Zone, ParseError> {
     let mut origin = default_origin.clone();
     let mut zone = Zone::new(default_origin.clone());
-    let err = |line: usize, message: &str| ParseError {
-        line,
-        message: message.to_string(),
-    };
 
     for (i, raw_line) in text.lines().enumerate() {
         let lineno = i + 1;
-        let line = raw_line.split(';').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        let Some((&first, mut rest)) = tokens.split_first() else {
+        let err = |col: usize, message: String| ParseError {
+            line: lineno,
+            col,
+            message,
+        };
+        let tokens = tokenize_line(raw_line, lineno)?;
+        let Some((first, mut rest)) = tokens.split_first() else {
             continue;
         };
-        match first {
-            "$ORIGIN" => {
-                let o = rest.first().ok_or_else(|| err(lineno, "missing origin"))?;
+        match first.text().unwrap_or("") {
+            "$ORIGIN" if !first.quoted => {
+                let o = rest
+                    .first()
+                    .ok_or_else(|| err(first.col, "missing origin".to_string()))?;
                 origin = o
+                    .text()
+                    .map_err(|m| err(o.col, m))?
                     .parse()
-                    .map_err(|e| err(lineno, &format!("bad origin: {e}")))?;
+                    .map_err(|e| err(o.col, format!("bad origin: {e}")))?;
                 if origin != *zone.origin() && zone.rrset_count() == 0 {
                     zone = Zone::new(origin.clone());
                 }
             }
-            "$TTL" => {
-                rest.first().ok_or_else(|| err(lineno, "missing ttl"))?;
+            "$TTL" if !first.quoted => {
+                rest.first()
+                    .ok_or_else(|| err(first.col, "missing ttl".to_string()))?;
             }
             _ => {
                 // owner [IN] TYPE RDATA…
-                let owner = resolve_name(first, &origin)
-                    .map_err(|e| err(lineno, &format!("bad owner: {e}")))?;
-                if let Some((&"IN", after)) = rest.split_first() {
-                    rest = after;
+                let owner_text = first.text().map_err(|m| err(first.col, m))?;
+                let owner = resolve_name(owner_text, &origin)
+                    .map_err(|e| err(first.col, format!("bad owner: {e}")))?;
+                if let Some((class, after)) = rest.split_first() {
+                    if !class.quoted && class.text().unwrap_or("") == "IN" {
+                        rest = after;
+                    }
                 }
                 let Some((rtype, args)) = rest.split_first() else {
-                    return Err(err(lineno, "missing type"));
+                    return Err(err(first.col, "missing type".to_string()));
                 };
-                let rdata = parse_rdata(rtype, args, &origin).map_err(|m| err(lineno, &m))?;
+                // Out-of-zone owners are a parse error here: `Zone::add`
+                // treats them as a programmer-error panic, and hostile
+                // zone text must never reach that (fuzzer-found via `.`
+                // owners and mid-file `$ORIGIN` switches).
+                if !owner.is_subdomain_of(zone.origin()) {
+                    return Err(err(
+                        first.col,
+                        format!("owner {owner} outside zone {}", zone.origin()),
+                    ));
+                }
+                let rdata = parse_rdata(rtype, args, &origin, lineno)?;
                 if rdata.rtype() == RrType::Soa {
                     // SOA replaces the synthetic one; stored via dedicated API.
                     if let RData::Soa(_) = &rdata {
@@ -149,68 +306,106 @@ fn resolve_name(token: &str, origin: &Name) -> Result<Name, dps_dns::NameError> 
     if let Some(absolute) = token.strip_suffix('.') {
         return format!("{absolute}.").parse();
     }
-    // Relative: append the origin.
-    let mut labels: Vec<&[u8]> = token.as_bytes().split(|&b| b == b'.').collect();
-    let origin_labels: Vec<&[u8]> = origin.labels().collect();
-    labels.extend(origin_labels);
-    Name::from_labels(labels)
+    // Relative: append the origin. Going through the presentation-format
+    // parser (rather than raw `from_labels`) enforces the name charset,
+    // so every name a parsed zone holds re-renders parseably —
+    // fuzzer-found: raw bytes here broke the format∘parse round-trip.
+    if origin.is_root() {
+        format!("{token}.").parse()
+    } else {
+        format!("{token}.{origin}").parse()
+    }
 }
 
-fn parse_rdata(rtype: &str, args: &[&str], origin: &Name) -> Result<RData, String> {
+fn parse_rdata(
+    rtype_tok: &Token,
+    args: &[Token],
+    origin: &Name,
+    lineno: usize,
+) -> Result<RData, ParseError> {
+    let err = |col: usize, message: String| ParseError {
+        line: lineno,
+        col,
+        message,
+    };
+    let rtype = rtype_tok.text().map_err(|m| err(rtype_tok.col, m))?;
     // Checked field accessor: registry exports are untrusted text, so a
     // short line must surface as a parse error, never an index panic.
-    let arg = |i: usize| -> Result<&str, String> {
-        args.get(i)
-            .copied()
-            .ok_or_else(|| format!("{rtype} needs {} fields, got {}", i + 1, args.len()))
+    let arg = |i: usize| -> Result<&Token, ParseError> {
+        args.get(i).ok_or_else(|| {
+            err(
+                rtype_tok.col,
+                format!("{rtype} needs {} fields, got {}", i + 1, args.len()),
+            )
+        })
+    };
+    let text = |i: usize| -> Result<(&str, usize), ParseError> {
+        let tok = arg(i)?;
+        Ok((tok.text().map_err(|m| err(tok.col, m))?, tok.col))
+    };
+    let name_arg = |i: usize| -> Result<Name, ParseError> {
+        let (s, col) = text(i)?;
+        resolve_name(s, origin).map_err(|e| err(col, e.to_string()))
     };
     match rtype {
-        "A" => Ok(RData::A(
-            arg(0)?.parse().map_err(|_| "bad IPv4".to_string())?,
-        )),
-        "AAAA" => Ok(RData::Aaaa(
-            arg(0)?.parse().map_err(|_| "bad IPv6".to_string())?,
-        )),
-        "NS" => Ok(RData::Ns(
-            resolve_name(arg(0)?, origin).map_err(|e| e.to_string())?,
-        )),
-        "CNAME" => Ok(RData::Cname(
-            resolve_name(arg(0)?, origin).map_err(|e| e.to_string())?,
-        )),
-        "MX" => Ok(RData::Mx {
-            preference: arg(0)?.parse().map_err(|_| "bad preference".to_string())?,
-            exchange: resolve_name(arg(1)?, origin).map_err(|e| e.to_string())?,
-        }),
+        "A" => {
+            let (s, col) = text(0)?;
+            Ok(RData::A(
+                s.parse().map_err(|_| err(col, "bad IPv4".to_string()))?,
+            ))
+        }
+        "AAAA" => {
+            let (s, col) = text(0)?;
+            Ok(RData::Aaaa(
+                s.parse().map_err(|_| err(col, "bad IPv6".to_string()))?,
+            ))
+        }
+        "NS" => Ok(RData::Ns(name_arg(0)?)),
+        "CNAME" => Ok(RData::Cname(name_arg(0)?)),
+        "MX" => {
+            let (pref, col) = text(0)?;
+            Ok(RData::Mx {
+                preference: pref
+                    .parse()
+                    .map_err(|_| err(col, "bad preference".to_string()))?,
+                exchange: name_arg(1)?,
+            })
+        }
         "TXT" => {
             arg(0)?;
-            // Character-strings may contain spaces; re-join the tokens and
-            // take the quoted segments (unquoted single tokens also pass).
-            let joined = args.join(" ");
-            let strings: Vec<Vec<u8>> = if joined.contains('"') {
-                joined
-                    .split('"')
-                    .enumerate()
-                    .filter(|(i, _)| i % 2 == 1)
-                    .map(|(_, part)| part.as_bytes().to_vec())
-                    .collect()
-            } else {
-                args.iter().map(|a| a.as_bytes().to_vec()).collect()
-            };
-            if strings.is_empty() {
-                return Err("empty TXT".to_string());
+            let mut strings = Vec::with_capacity(args.len());
+            for tok in args {
+                if tok.bytes.len() > MAX_CHAR_STRING {
+                    return Err(err(
+                        tok.col,
+                        format!(
+                            "TXT string is {} octets; the wire format caps \
+                             character-strings at {MAX_CHAR_STRING}",
+                            tok.bytes.len()
+                        ),
+                    ));
+                }
+                strings.push(tok.bytes.clone());
             }
             Ok(RData::Txt(strings))
         }
-        "SOA" => Ok(RData::Soa(Soa {
-            mname: resolve_name(arg(0)?, origin).map_err(|e| e.to_string())?,
-            rname: resolve_name(arg(1)?, origin).map_err(|e| e.to_string())?,
-            serial: arg(2)?.parse().map_err(|_| "bad serial".to_string())?,
-            refresh: arg(3)?.parse().map_err(|_| "bad refresh".to_string())?,
-            retry: arg(4)?.parse().map_err(|_| "bad retry".to_string())?,
-            expire: arg(5)?.parse().map_err(|_| "bad expire".to_string())?,
-            minimum: arg(6)?.parse().map_err(|_| "bad minimum".to_string())?,
-        })),
-        other => Err(format!("unsupported type {other}")),
+        "SOA" => {
+            let num = |i: usize| -> Result<u32, ParseError> {
+                let (s, col) = text(i)?;
+                s.parse()
+                    .map_err(|_| err(col, format!("bad SOA field {}", i + 1)))
+            };
+            Ok(RData::Soa(Soa {
+                mname: name_arg(0)?,
+                rname: name_arg(1)?,
+                serial: num(2)?,
+                refresh: num(3)?,
+                retry: num(4)?,
+                expire: num(5)?,
+                minimum: num(6)?,
+            }))
+        }
+        other => Err(err(rtype_tok.col, format!("unsupported type {other}"))),
     }
 }
 
@@ -305,17 +500,90 @@ examp IN NS ns1.examp.le. ; delegation
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
+    fn errors_carry_line_and_column() {
         let text = "$ORIGIN le.\nexamp IN A not-an-ip\n";
         let e = parse_zone(&n("le"), text).unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(e.to_string().contains("bad IPv4"), "{e}");
+        assert_eq!(e.col, 12, "column of the bad address token");
+        assert_eq!(e.to_string(), "line 2, col 12: bad IPv4");
 
         let e = parse_zone(&n("le"), "examp IN WEIRD x\n").unwrap_err();
         assert!(e.message.contains("unsupported type"));
+        assert_eq!((e.line, e.col), (1, 10));
 
         let e = parse_zone(&n("le"), "examp IN MX 10\n").unwrap_err();
         assert!(e.message.contains("needs 2 fields"));
+
+        let e = parse_zone(&n("le"), "examp IN TXT \"unterminated\n").unwrap_err();
+        assert_eq!(e.to_string(), "line 1, col 14: unterminated quoted string");
+
+        let e = parse_zone(&n("le"), "examp IN TXT \"bad \\9 escape\"\n").unwrap_err();
+        assert!(e.message.contains("three digits"), "{e}");
+    }
+
+    #[test]
+    fn quoted_txt_may_contain_semicolons_and_spaces() {
+        let text = "$ORIGIN le.\nexamp IN TXT \"v=spf1 a; note\" \"\" plain\n";
+        let zone = parse_zone(&n("le"), text).unwrap();
+        let rrs = zone.get(&n("examp.le"), RrType::Txt).unwrap();
+        assert_eq!(
+            rrs[0],
+            RData::Txt(vec![b"v=spf1 a; note".to_vec(), vec![], b"plain".to_vec()])
+        );
+    }
+
+    #[test]
+    fn txt_escapes_roundtrip_arbitrary_bytes() {
+        let mut zone = Zone::new(n("examp.le"));
+        zone.add(
+            n("examp.le"),
+            RData::Txt(vec![
+                b"quote \" backslash \\ semi ;".to_vec(),
+                vec![0x00, 0x1F, 0x7F, 0xFF],
+            ]),
+        );
+        let text = format_zone(&zone);
+        let back = parse_zone(&n("examp.le"), &text).unwrap();
+        assert_eq!(
+            back.get(&n("examp.le"), RrType::Txt),
+            zone.get(&n("examp.le"), RrType::Txt)
+        );
+    }
+
+    #[test]
+    fn non_presentation_names_are_rejected_not_roundtripped() {
+        // Fuzzer-found: names with bytes outside the presentation charset
+        // used to enter the zone and then render unparseably.
+        let e = parse_zone(&n("le"), "\u{0} IN NS x\n").unwrap_err();
+        assert!(e.message.contains("bad owner"), "{e}");
+        let e = parse_zone(&n("le"), "examp IN NS bad:name\n").unwrap_err();
+        assert!(e.message.contains("not allowed"), "{e}");
+    }
+
+    #[test]
+    fn out_of_zone_owners_are_a_parse_error_not_a_panic() {
+        // Fuzzer-found: `Zone::add` panics on out-of-zone owners by
+        // contract, so the parser must reject them first.
+        let e = parse_zone(&n("examp.le"), ". MX 0 x\n").unwrap_err();
+        assert!(e.message.contains("outside zone"), "{e}");
+        // A mid-file $ORIGIN switch (after records exist) re-bases name
+        // resolution but not the zone; owners under the new origin fail.
+        let text = "$ORIGIN examp.le.\nwww IN A 10.0.0.1\n$ORIGIN foob.ar.\nx IN A 10.0.0.2\n";
+        let e = parse_zone(&n("examp.le"), text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("outside zone"), "{e}");
+    }
+
+    #[test]
+    fn overlong_txt_string_is_rejected() {
+        let long = "a".repeat(256);
+        let text = format!("examp IN TXT \"{long}\"\n");
+        let e = parse_zone(&n("le"), &text).unwrap_err();
+        assert!(e.message.contains("255"), "{e}");
+        assert_eq!((e.line, e.col), (1, 14));
+        // Exactly 255 octets is fine.
+        let ok = format!("examp IN TXT \"{}\"\n", "a".repeat(255));
+        assert!(parse_zone(&n("le"), &ok).is_ok());
     }
 
     #[test]

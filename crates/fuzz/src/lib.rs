@@ -1,0 +1,397 @@
+//! # dps-fuzz — seed-deterministic mutation fuzzing for the decoders
+//!
+//! Every byte-level decoder in the workspace claims two properties:
+//! *no panic on any input* and *decode∘encode is the identity on whatever
+//! decodes*. Proptest exercises those claims with well-shaped random
+//! values; this crate attacks them with hostile ones — corpus seeds run
+//! through byte- and structure-level mutators, driven by a splitmix64
+//! generator, so a `(target, seed, iters)` triple replays the exact same
+//! inputs on every machine.
+//!
+//! No dependencies, no wall clock, no ambient randomness: the crate is in
+//! dps-analyzer's determinism scope, which is what makes the CI gate
+//! (`ci.sh fuzz-smoke`) meaningful — a failure there is a real decoder
+//! bug, not flake.
+//!
+//! A found failure is greedily minimised (chunk removal, then byte
+//! zeroing, under a fixed check budget) so the committed regression input
+//! is small enough to read.
+
+pub mod targets;
+
+pub use targets::{find_target, Target, TARGETS};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Inputs never grow beyond this during mutation (decoders size-check
+/// early; giant inputs only slow the loop down).
+pub const MAX_INPUT_LEN: usize = 4096;
+
+/// Check-call budget for minimising one failure.
+pub const MINIMISE_BUDGET: usize = 4096;
+
+/// splitmix64 (Steele et al., "Fast splittable pseudorandom number
+/// generators"): the simplest generator that passes BigCrush, and tiny
+/// enough to make the fuzzer dependency-free.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// One random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() & 0xFF) as u8
+    }
+}
+
+/// Byte values that disproportionately find decoder edges: zero, sign
+/// and length extremes, and DNS-specific magic (compression pointer
+/// `0xC0 0x0C`, OPT type 41).
+const INTERESTING_BYTES: &[u8] = &[0x00, 0x01, 0x7F, 0x80, 0xC0, 0x0C, 0xFF, 41];
+
+/// 16-bit values worth planting where counts and lengths live.
+const INTERESTING_U16: &[u16] = &[0, 1, 41, 255, 256, 512, 0x8000, 0xC00C, 0xFFFF];
+
+/// Applies one random mutation to `input`. `corpus` feeds the splice
+/// mutator; the result is capped at [`MAX_INPUT_LEN`].
+pub fn mutate(rng: &mut SplitMix64, input: &[u8], corpus: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = input.to_vec();
+    match rng.below(9) {
+        // Bit flip.
+        0 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] ^= 1 << rng.below(8);
+        }
+        // Random byte overwrite.
+        1 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] = rng.byte();
+        }
+        // Insert a random byte.
+        2 => {
+            let i = rng.below(out.len() + 1);
+            out.insert(i, rng.byte());
+        }
+        // Delete a byte.
+        3 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out.remove(i);
+        }
+        // Truncate.
+        4 if !out.is_empty() => {
+            out.truncate(rng.below(out.len()));
+        }
+        // Duplicate a chunk somewhere else.
+        5 if !out.is_empty() => {
+            let start = rng.below(out.len());
+            let len = 1 + rng.below((out.len() - start).min(16));
+            let chunk: Vec<u8> = out[start..start + len].to_vec();
+            let at = rng.below(out.len() + 1);
+            for (k, b) in chunk.into_iter().enumerate() {
+                out.insert((at + k).min(out.len()), b);
+            }
+        }
+        // Splice: prefix of this input + suffix of another corpus entry.
+        6 if !corpus.is_empty() => {
+            let other = &corpus[rng.below(corpus.len())];
+            if !other.is_empty() {
+                let cut_a = rng.below(out.len() + 1);
+                let cut_b = rng.below(other.len());
+                out.truncate(cut_a);
+                out.extend_from_slice(&other[cut_b..]);
+            }
+        }
+        // Plant an interesting byte.
+        7 if !out.is_empty() => {
+            let i = rng.below(out.len());
+            out[i] = INTERESTING_BYTES[rng.below(INTERESTING_BYTES.len())];
+        }
+        // Plant an interesting big-endian u16 (counts, lengths, pointers).
+        _ => {
+            if out.len() >= 2 {
+                let i = rng.below(out.len() - 1);
+                let v = INTERESTING_U16[rng.below(INTERESTING_U16.len())].to_be_bytes();
+                out[i] = v[0];
+                out[i + 1] = v[1];
+            } else {
+                out.push(rng.byte());
+            }
+        }
+    }
+    out.truncate(MAX_INPUT_LEN);
+    out
+}
+
+/// One input that broke a target.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The mutated input as generated.
+    pub input: Vec<u8>,
+    /// The same failure, greedily minimised.
+    pub minimised: Vec<u8>,
+    /// Panic message or invariant-violation description.
+    pub reason: String,
+}
+
+/// What one fuzzing run did.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Iterations executed.
+    pub iters: u64,
+    /// Corpus entries the run started from (seeds + extra).
+    pub corpus_size: usize,
+    /// Distinct failures found (capped; duplicates by reason are merged).
+    pub failures: Vec<Failure>,
+}
+
+/// Runs `check` on `input`, converting a panic into `Err`.
+pub fn run_check(check: fn(&[u8]) -> Result<(), String>, input: &[u8]) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| check(input))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Greedily minimises a failing input: repeated chunk removal (halving
+/// sizes), then byte zeroing, until nothing shrinks or the check budget
+/// runs out. The failure *reason* may drift during minimisation (a
+/// smaller input may trip a different assert); only failure-ness is
+/// preserved.
+pub fn minimise(check: fn(&[u8]) -> Result<(), String>, input: &[u8]) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    let mut budget = MINIMISE_BUDGET;
+    let still_fails = |bytes: &[u8], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        run_check(check, bytes).is_err()
+    };
+    if !still_fails(&cur, &mut budget) {
+        return cur;
+    }
+    let mut changed = true;
+    while changed && budget > 0 {
+        changed = false;
+        // Remove chunks, largest first.
+        let mut size = cur.len() / 2;
+        while size >= 1 && budget > 0 {
+            let mut start = 0;
+            while start < cur.len() && budget > 0 {
+                let end = (start + size).min(cur.len());
+                let mut cand = Vec::with_capacity(cur.len() - (end - start));
+                cand.extend_from_slice(&cur[..start]);
+                cand.extend_from_slice(&cur[end..]);
+                if cand.len() < cur.len() && still_fails(&cand, &mut budget) {
+                    cur = cand;
+                    changed = true;
+                } else {
+                    start += size;
+                }
+            }
+            size /= 2;
+        }
+        // Canonicalise surviving bytes to zero.
+        for i in 0..cur.len() {
+            if budget == 0 {
+                break;
+            }
+            if cur[i] == 0 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand[i] = 0;
+            if still_fails(&cand, &mut budget) {
+                cur = cand;
+                changed = true;
+            }
+        }
+    }
+    cur
+}
+
+/// Fuzzes one target: `iters` mutated inputs derived deterministically
+/// from `seed`, starting from the target's built-in seeds plus
+/// `extra_corpus` (checked-in corpus files). Stops collecting after
+/// `max_failures` distinct failure reasons.
+pub fn fuzz(
+    target: &Target,
+    iters: u64,
+    seed: u64,
+    extra_corpus: &[Vec<u8>],
+    max_failures: usize,
+) -> FuzzOutcome {
+    let mut corpus: Vec<Vec<u8>> = (target.seeds)();
+    corpus.extend(extra_corpus.iter().cloned());
+    if corpus.is_empty() {
+        corpus.push(Vec::new());
+    }
+    let corpus_size = corpus.len();
+
+    // Panics inside targets are expected findings; keep them off stderr
+    // for the duration of the run.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut rng = SplitMix64::new(seed);
+    let mut failures: Vec<Failure> = Vec::new();
+    let mut executed = 0u64;
+    for _ in 0..iters {
+        executed += 1;
+        let base = &corpus[rng.below(corpus.len())];
+        let mut input = base.clone();
+        for _ in 0..1 + rng.below(4) {
+            input = mutate(&mut rng, &input, &corpus);
+        }
+        if let Err(reason) = run_check(target.check, &input) {
+            if failures.iter().any(|f| f.reason == reason) {
+                continue; // already recorded this failure mode
+            }
+            let minimised = minimise(target.check, &input);
+            failures.push(Failure {
+                input,
+                minimised,
+                reason,
+            });
+            if failures.len() >= max_failures {
+                break;
+            }
+        }
+    }
+
+    std::panic::set_hook(quiet);
+    FuzzOutcome {
+        iters: executed,
+        corpus_size,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(2016);
+        let mut b = SplitMix64::new(2016);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // All distinct over a short run.
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len());
+        // Different seeds diverge.
+        let mut c = SplitMix64::new(2017);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn mutate_is_deterministic_for_a_seed() {
+        let corpus = vec![vec![1u8, 2, 3, 4, 5, 6, 7, 8]];
+        let gen = |seed: u64| -> Vec<Vec<u8>> {
+            let mut rng = SplitMix64::new(seed);
+            (0..32)
+                .map(|_| mutate(&mut rng, &corpus[0], &corpus))
+                .collect()
+        };
+        assert_eq!(gen(7), gen(7));
+    }
+
+    #[test]
+    fn mutate_respects_length_cap() {
+        let mut rng = SplitMix64::new(1);
+        let big = vec![0xAB; MAX_INPUT_LEN];
+        for _ in 0..200 {
+            let m = mutate(&mut rng, &big, std::slice::from_ref(&big));
+            assert!(m.len() <= MAX_INPUT_LEN);
+        }
+    }
+
+    #[test]
+    fn run_check_converts_panics() {
+        fn panicky(input: &[u8]) -> Result<(), String> {
+            assert!(input.len() < 3, "too long");
+            Ok(())
+        }
+        assert!(run_check(panicky, &[1]).is_ok());
+        let err = run_check(panicky, &[1, 2, 3]).unwrap_err();
+        assert!(err.starts_with("panic:"), "{err}");
+    }
+
+    #[test]
+    fn minimise_shrinks_to_the_essential_byte() {
+        // Fails iff the input contains 0x42 anywhere.
+        fn has_42(input: &[u8]) -> Result<(), String> {
+            if input.contains(&0x42) {
+                Err("contains 0x42".into())
+            } else {
+                Ok(())
+            }
+        }
+        let noisy: Vec<u8> = (0..200u8).collect(); // includes 0x42
+        let min = minimise(has_42, &noisy);
+        assert_eq!(min, vec![0x42]);
+    }
+
+    #[test]
+    fn fuzz_finds_a_planted_bug_deterministically() {
+        // A "decoder" that panics on a magic two-byte sequence.
+        fn fragile(input: &[u8]) -> Result<(), String> {
+            if input.windows(2).any(|w| w == [0xC0, 0x0C]) {
+                // Simulated decoder crash.
+                #[allow(clippy::panic)]
+                {
+                    panic!("hit the magic sequence");
+                }
+            }
+            Ok(())
+        }
+        let target = Target {
+            name: "planted",
+            about: "test target",
+            check: fragile,
+            seeds: || vec![vec![0u8; 16]],
+        };
+        let a = fuzz(&target, 20_000, 2016, &[], 4);
+        let b = fuzz(&target, 20_000, 2016, &[], 4);
+        assert!(!a.failures.is_empty(), "planted bug not found");
+        assert_eq!(
+            a.failures.iter().map(|f| &f.input).collect::<Vec<_>>(),
+            b.failures.iter().map(|f| &f.input).collect::<Vec<_>>(),
+            "same seed must find the same inputs"
+        );
+        // Minimisation got it down to little more than the magic pair.
+        assert!(a.failures[0].minimised.len() <= 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! EDNS(0) OPT pseudo-record handling (RFC 6891).
+//!
+//! The wire decoder surfaces OPT records as [`RData::Raw`] with type code
+//! 41; this module interprets the pieces the server cares about — the
+//! advertised UDP payload size (the record's CLASS field), the version
+//! (second TTL octet) — and validates the parts that make an OPT
+//! *malformed* in the RFC's sense: a non-root owner name, more than one
+//! OPT per message, or an option area whose TLV structure does not add up.
+//! Malformed OPT ⇒ FORMERR; an unsupported version ⇒ BADVERS.
+
+// Untrusted-input module: OPT records arrive from arbitrary clients over
+// real sockets; every check returns a typed verdict, never panics
+// (enforced by dps-analyzer's panic-safety family and these lints).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use dps_dns::{Class, Message, RData, Record, RrType};
+
+/// The minimum UDP payload size a requestor may advertise (RFC 6891 §6.2.3:
+/// values below 512 are treated as 512).
+pub const MIN_UDP_SIZE: u16 = 512;
+
+/// Classic DNS maximum UDP payload without EDNS.
+pub const CLASSIC_UDP_SIZE: u16 = 512;
+
+/// The EDNS version this server implements.
+pub const SUPPORTED_VERSION: u8 = 0;
+
+/// Extended RCODE for "I do not speak your EDNS version" (RFC 6891 §9).
+/// The low four bits live in the header RCODE (zero here), the high eight
+/// in the OPT TTL's first octet.
+pub const BADVERS_EXT: u8 = 1;
+
+/// What a well-formed OPT record told us.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edns {
+    /// Requestor's advertised UDP payload size, already floored at 512.
+    pub udp_size: u16,
+    /// Requestor's EDNS version.
+    pub version: u8,
+}
+
+/// Why a message's OPT usage is malformed (all ⇒ FORMERR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdnsError {
+    /// More than one OPT record in the message.
+    MultipleOpt,
+    /// OPT owner name is not the root.
+    NonRootOwner,
+    /// The option area's TLV lengths do not add up.
+    BadOptionArea,
+    /// An OPT record outside the additional section.
+    WrongSection,
+}
+
+/// Scans a parsed query for EDNS. `Ok(None)` when there is no OPT,
+/// `Ok(Some(_))` for exactly one well-formed OPT in the additional
+/// section, `Err(_)` when the message's OPT usage is malformed.
+pub fn extract(msg: &Message) -> Result<Option<Edns>, EdnsError> {
+    // OPT anywhere outside the additional section is malformed.
+    if msg
+        .answers
+        .iter()
+        .chain(&msg.authorities)
+        .any(|r| r.rtype() == RrType::Opt)
+    {
+        return Err(EdnsError::WrongSection);
+    }
+    let mut found: Option<&Record> = None;
+    for rec in &msg.additionals {
+        if rec.rtype() != RrType::Opt {
+            continue;
+        }
+        if found.is_some() {
+            return Err(EdnsError::MultipleOpt);
+        }
+        found = Some(rec);
+    }
+    let Some(rec) = found else {
+        return Ok(None);
+    };
+    if !rec.name.is_root() {
+        return Err(EdnsError::NonRootOwner);
+    }
+    if let RData::Raw { data, .. } = &rec.rdata {
+        if !options_well_formed(data) {
+            return Err(EdnsError::BadOptionArea);
+        }
+    }
+    // CLASS carries the requestor's UDP payload size.
+    let udp_size = rec.class.code().max(MIN_UDP_SIZE);
+    // TTL packs [ext-rcode 8][version 8][DO 1][z 15].
+    let version = ((rec.ttl >> 16) & 0xFF) as u8;
+    Ok(Some(Edns { udp_size, version }))
+}
+
+/// Validates the RDATA option area: a sequence of
+/// `[code u16][length u16][data …]` TLVs that exactly consumes the bytes.
+fn options_well_formed(mut data: &[u8]) -> bool {
+    while !data.is_empty() {
+        let Some(header) = data.get(..4) else {
+            return false;
+        };
+        let len = usize::from(u16::from_be_bytes([
+            header.get(2).copied().unwrap_or(0),
+            header.get(3).copied().unwrap_or(0),
+        ]));
+        let Some(rest) = data.get(4 + len..) else {
+            return false;
+        };
+        data = rest;
+    }
+    true
+}
+
+/// Builds the OPT record this server attaches to EDNS responses:
+/// advertising `udp_size`, version 0, with `ext_rcode` in the TTL's first
+/// octet (zero except for BADVERS) and an empty option area.
+pub fn opt_record(udp_size: u16, ext_rcode: u8) -> Record {
+    Record::new(
+        dps_dns::Name::root(),
+        Class::from_code(udp_size),
+        u32::from(ext_rcode) << 24,
+        RData::Raw {
+            rtype: RrType::Opt.code(),
+            data: Vec::new(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_dns::{Name, Question};
+
+    fn base_query() -> Message {
+        Message::query(1, Question::new("www.examp.le".parse().unwrap(), RrType::A))
+    }
+
+    #[test]
+    fn no_opt_is_none() {
+        assert_eq!(extract(&base_query()), Ok(None));
+    }
+
+    #[test]
+    fn well_formed_opt_extracts_size_and_version() {
+        let mut q = base_query();
+        q.additionals.push(opt_record(4096, 0));
+        assert_eq!(
+            extract(&q),
+            Ok(Some(Edns {
+                udp_size: 4096,
+                version: 0
+            }))
+        );
+    }
+
+    #[test]
+    fn tiny_advertised_size_floors_at_512() {
+        let mut q = base_query();
+        q.additionals.push(opt_record(100, 0));
+        assert_eq!(extract(&q).map(|e| e.map(|e| e.udp_size)), Ok(Some(512)));
+    }
+
+    #[test]
+    fn version_decodes_from_ttl() {
+        let mut q = base_query();
+        let mut opt = opt_record(1232, 0);
+        opt.ttl = 3 << 16; // version 3
+        q.additionals.push(opt);
+        assert_eq!(extract(&q).map(|e| e.map(|e| e.version)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn duplicate_opt_is_malformed() {
+        let mut q = base_query();
+        q.additionals.push(opt_record(1232, 0));
+        q.additionals.push(opt_record(1232, 0));
+        assert_eq!(extract(&q), Err(EdnsError::MultipleOpt));
+    }
+
+    #[test]
+    fn non_root_owner_is_malformed() {
+        let mut q = base_query();
+        let mut opt = opt_record(1232, 0);
+        opt.name = "examp.le".parse::<Name>().unwrap();
+        q.additionals.push(opt);
+        assert_eq!(extract(&q), Err(EdnsError::NonRootOwner));
+    }
+
+    #[test]
+    fn opt_in_answer_section_is_malformed() {
+        let mut q = base_query();
+        q.answers.push(opt_record(1232, 0));
+        assert_eq!(extract(&q), Err(EdnsError::WrongSection));
+    }
+
+    #[test]
+    fn torn_option_tlv_is_malformed() {
+        let mut q = base_query();
+        let mut opt = opt_record(1232, 0);
+        // Option code 3, declared length 10, only 2 bytes present.
+        opt.rdata = RData::Raw {
+            rtype: RrType::Opt.code(),
+            data: vec![0, 3, 0, 10, 0xAA, 0xBB],
+        };
+        q.additionals.push(opt);
+        assert_eq!(extract(&q), Err(EdnsError::BadOptionArea));
+
+        // A complete TLV is fine.
+        let mut q = base_query();
+        let mut opt = opt_record(1232, 0);
+        opt.rdata = RData::Raw {
+            rtype: RrType::Opt.code(),
+            data: vec![0, 3, 0, 2, 0xAA, 0xBB],
+        };
+        q.additionals.push(opt);
+        assert!(extract(&q).is_ok());
+    }
+}

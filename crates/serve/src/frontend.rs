@@ -1,0 +1,678 @@
+//! The hostile-input decision pipeline: raw payload in, verdict out.
+//!
+//! Everything between the socket and [`AuthServer::answer`] lives here as
+//! a pure function of `(transport, client, now_ns, payload)` — no clocks,
+//! no I/O — so every degradation behaviour is unit-testable without a
+//! socket. The pipeline, in order:
+//!
+//! 1. raw QR bit set ⇒ drop (response-to-response loop prevention)
+//! 2. over the in-flight budget ⇒ minimal REFUSED (load shedding)
+//! 3. unparseable ⇒ FORMERR echoing the transaction id
+//! 4. EDNS malformed ⇒ FORMERR; unsupported version ⇒ BADVERS
+//! 5. non-Query opcode ⇒ NOTIMP; QDCOUNT ≠ 1 ⇒ FORMERR
+//! 6. `AuthServer::answer` produces the real response
+//! 7. UDP only: RRL verdict (send / drop / slip-TC)
+//! 8. encode, truncating with TC at the negotiated payload size
+//!
+//! A query is *never* answered with a panic: this module is in
+//! dps-analyzer's panic-safety scope and the lints below deny the escape
+//! hatches.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use crate::edns::{self, Edns, CLASSIC_UDP_SIZE};
+use crate::rrl::{RrlConfig, RrlDecision, RrlTable};
+use dps_authdns::server::AuthServer;
+use dps_dns::{Header, Message, Opcode, Rcode, Record};
+use dps_telemetry::{Counter, Registry};
+use parking_lot::Mutex;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which transport a payload arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Datagram: responses capped at the negotiated EDNS size, RRL applies.
+    Udp,
+    /// Stream: handshake-verified source, 64 KiB frames, no RRL.
+    Tcp,
+}
+
+/// The pipeline's verdict for one payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Send these bytes back to the client.
+    Respond(Vec<u8>),
+    /// Send nothing.
+    Drop(DropReason),
+}
+
+/// Why a payload produced no response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The QR bit was set: answering a response invites forwarding loops.
+    QrSet,
+    /// The client is over its RRL budget and this was not a slip slot.
+    RateLimited,
+    /// Even the fallback response failed to encode.
+    Internal,
+}
+
+/// Tunables for the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendConfig {
+    /// Response-rate-limiter settings (UDP only).
+    pub rrl: RrlConfig,
+    /// Largest UDP payload this server sends or advertises, whatever the
+    /// client offers (RFC 6891 server-side cap).
+    pub max_udp_size: u16,
+    /// Concurrent queries beyond which new ones get minimal REFUSED.
+    pub max_inflight: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self {
+            rrl: RrlConfig::default(),
+            max_udp_size: 4096,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// Telemetry counters, one per observable behaviour.
+struct Counters {
+    queries_udp: Counter,
+    queries_tcp: Counter,
+    responses: Counter,
+    formerr: Counter,
+    notimp: Counter,
+    badvers: Counter,
+    shed_refused: Counter,
+    rrl_dropped: Counter,
+    rrl_slipped: Counter,
+    truncated: Counter,
+    dropped_qr: Counter,
+    servfail: Counter,
+}
+
+impl Counters {
+    fn new(reg: &Registry) -> Self {
+        Self {
+            queries_udp: reg.counter("serve_queries_udp"),
+            queries_tcp: reg.counter("serve_queries_tcp"),
+            responses: reg.counter("serve_responses"),
+            formerr: reg.counter("serve_formerr"),
+            notimp: reg.counter("serve_notimp"),
+            badvers: reg.counter("serve_badvers"),
+            shed_refused: reg.counter("serve_shed_refused"),
+            rrl_dropped: reg.counter("serve_rrl_dropped"),
+            rrl_slipped: reg.counter("serve_rrl_slipped"),
+            truncated: reg.counter("serve_truncated"),
+            dropped_qr: reg.counter("serve_dropped_qr"),
+            servfail: reg.counter("serve_servfail"),
+        }
+    }
+}
+
+/// Holds one unit of the in-flight budget; released on drop.
+pub struct InflightSlot<'a> {
+    gauge: &'a AtomicUsize,
+}
+
+impl<'a> InflightSlot<'a> {
+    fn acquire(gauge: &'a AtomicUsize, max: usize) -> Option<Self> {
+        let prev = gauge.fetch_add(1, Ordering::SeqCst);
+        if prev >= max {
+            gauge.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(Self { gauge })
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The socket-independent server front-end.
+pub struct Frontend {
+    server: Arc<AuthServer>,
+    config: FrontendConfig,
+    rrl: Mutex<RrlTable>,
+    inflight: AtomicUsize,
+    counters: Counters,
+}
+
+impl Frontend {
+    /// A front-end answering from `server`, counting into `registry`.
+    pub fn new(server: Arc<AuthServer>, config: FrontendConfig, registry: &Registry) -> Self {
+        Self {
+            server,
+            config,
+            rrl: Mutex::new(RrlTable::new(config.rrl)),
+            inflight: AtomicUsize::new(0),
+            counters: Counters::new(registry),
+        }
+    }
+
+    /// The authoritative core this front-end answers from.
+    pub fn server(&self) -> &Arc<AuthServer> {
+        &self.server
+    }
+
+    /// Takes one unit of the in-flight budget, or `None` when the server
+    /// is saturated. Exposed so socket loops (and tests) can hold slots
+    /// across longer units of work than a single [`Self::handle`] call.
+    pub fn acquire_slot(&self) -> Option<InflightSlot<'_>> {
+        InflightSlot::acquire(&self.inflight, self.config.max_inflight.max(1))
+    }
+
+    /// Runs one payload through the full pipeline.
+    pub fn handle(
+        &self,
+        transport: Transport,
+        client: IpAddr,
+        now_ns: u64,
+        payload: &[u8],
+    ) -> Decision {
+        match transport {
+            Transport::Udp => self.counters.queries_udp.inc(),
+            Transport::Tcp => self.counters.queries_tcp.inc(),
+        }
+        // Loop prevention before any work: never answer a response.
+        if payload.get(2).is_some_and(|b| b & 0x80 != 0) {
+            self.counters.dropped_qr.inc();
+            return Decision::Drop(DropReason::QrSet);
+        }
+        let id = u16::from_be_bytes([
+            payload.first().copied().unwrap_or(0),
+            payload.get(1).copied().unwrap_or(0),
+        ]);
+        // Load shedding happens before parsing: the point is to stay cheap
+        // when saturated, so the REFUSED is built from the raw id alone.
+        let Some(_slot) = self.acquire_slot() else {
+            self.counters.shed_refused.inc();
+            return self.finish(
+                transport,
+                client,
+                now_ns,
+                bare_response(id, Rcode::Refused),
+                None,
+                0,
+            );
+        };
+        let msg = match Message::parse(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.counters.formerr.inc();
+                return self.finish(
+                    transport,
+                    client,
+                    now_ns,
+                    bare_response(id, Rcode::FormErr),
+                    None,
+                    0,
+                );
+            }
+        };
+        if msg.header.qr {
+            self.counters.dropped_qr.inc();
+            return Decision::Drop(DropReason::QrSet);
+        }
+        let edns = match edns::extract(&msg) {
+            Ok(e) => e,
+            Err(_) => {
+                self.counters.formerr.inc();
+                let mut resp = msg.answer_template();
+                resp.header.rcode = Rcode::FormErr;
+                // No OPT on the way out: we could not trust the one given.
+                return self.finish(transport, client, now_ns, resp, None, 0);
+            }
+        };
+        if let Some(e) = edns {
+            if e.version > edns::SUPPORTED_VERSION {
+                self.counters.badvers.inc();
+                // BADVERS = extended rcode 16: header rcode 0, ext octet 1.
+                return self.finish(
+                    transport,
+                    client,
+                    now_ns,
+                    msg.answer_template(),
+                    edns,
+                    edns::BADVERS_EXT,
+                );
+            }
+        }
+        if msg.header.opcode != Opcode::Query {
+            self.counters.notimp.inc();
+            let mut resp = msg.answer_template();
+            resp.header.rcode = Rcode::NotImp;
+            return self.finish(transport, client, now_ns, resp, edns, 0);
+        }
+        if msg.questions.len() != 1 {
+            self.counters.formerr.inc();
+            let mut resp = msg.answer_template();
+            resp.header.rcode = Rcode::FormErr;
+            return self.finish(transport, client, now_ns, resp, edns, 0);
+        }
+        match self.server.answer(&msg) {
+            Some(resp) => self.finish(transport, client, now_ns, resp, edns, 0),
+            // answer() only declines qr/multi-question messages, both
+            // already excluded; treat a decline as an internal drop.
+            None => Decision::Drop(DropReason::Internal),
+        }
+    }
+
+    /// Applies RRL, appends the response OPT, encodes within the
+    /// transport's payload limit (setting TC when the full response does
+    /// not fit), and falls back to SERVFAIL if encoding fails.
+    fn finish(
+        &self,
+        transport: Transport,
+        client: IpAddr,
+        now_ns: u64,
+        resp: Message,
+        edns: Option<Edns>,
+        ext_rcode: u8,
+    ) -> Decision {
+        let limit = match transport {
+            Transport::Tcp => usize::from(u16::MAX),
+            Transport::Udp => usize::from(edns.map_or(CLASSIC_UDP_SIZE, |e| {
+                e.udp_size.min(self.config.max_udp_size)
+            })),
+        };
+        let mut force_tc = false;
+        if transport == Transport::Udp {
+            match self.rrl.lock().check(client, now_ns) {
+                RrlDecision::Send => {}
+                RrlDecision::Drop => {
+                    self.counters.rrl_dropped.inc();
+                    return Decision::Drop(DropReason::RateLimited);
+                }
+                RrlDecision::SlipTc => {
+                    self.counters.rrl_slipped.inc();
+                    force_tc = true;
+                }
+            }
+        }
+        let opt = edns.map(|_| edns::opt_record(self.config.max_udp_size, ext_rcode));
+        match encode_with_limit(&resp, opt.as_ref(), limit, force_tc) {
+            Ok((bytes, tc)) => {
+                if tc && !force_tc {
+                    self.counters.truncated.inc();
+                }
+                self.counters.responses.inc();
+                Decision::Respond(bytes)
+            }
+            Err(_) => {
+                self.counters.servfail.inc();
+                let fallback = bare_response(resp.header.id, Rcode::ServFail);
+                match fallback.to_bytes() {
+                    Ok(bytes) => Decision::Respond(bytes),
+                    Err(_) => Decision::Drop(DropReason::Internal),
+                }
+            }
+        }
+    }
+}
+
+/// A header-only response: echoed id, QR set, no question (used when the
+/// query was not parsed, or when shedding before parsing).
+fn bare_response(id: u16, rcode: Rcode) -> Message {
+    let mut header = Header::query(id);
+    header.qr = true;
+    header.rcode = rcode;
+    Message {
+        header,
+        questions: Vec::new(),
+        answers: Vec::new(),
+        authorities: Vec::new(),
+        additionals: Vec::new(),
+    }
+}
+
+/// Encodes `resp` (plus the server's OPT, if any) within `limit` bytes.
+/// When the full encoding does not fit — or `force_tc` asks for the
+/// minimal form outright — re-encodes as question + OPT with TC set.
+/// Returns the bytes and whether TC ended up set.
+fn encode_with_limit(
+    resp: &Message,
+    opt: Option<&Record>,
+    limit: usize,
+    force_tc: bool,
+) -> Result<(Vec<u8>, bool), dps_dns::WireError> {
+    if !force_tc {
+        let mut full = resp.clone();
+        if let Some(o) = opt {
+            full.additionals.push(o.clone());
+        }
+        let bytes = full.to_bytes()?;
+        if bytes.len() <= limit {
+            return Ok((bytes, full.header.tc));
+        }
+    }
+    let mut header = resp.header.clone();
+    header.tc = true;
+    let truncated = Message {
+        header,
+        questions: resp.questions.clone(),
+        answers: Vec::new(),
+        authorities: Vec::new(),
+        additionals: opt.cloned().into_iter().collect(),
+    };
+    Ok((truncated.to_bytes()?, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_authdns::catalog::ZoneHandle;
+    use dps_authdns::zone::Zone;
+    use dps_dns::{Name, Question, RData, RrType};
+    use parking_lot::RwLock;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn client() -> IpAddr {
+        "198.51.100.9".parse().unwrap()
+    }
+
+    fn handle(z: Zone) -> ZoneHandle {
+        Arc::new(RwLock::new(z))
+    }
+
+    /// A server for examp.le with one A record and one fat TXT set.
+    fn test_server() -> Arc<AuthServer> {
+        let srv = AuthServer::new();
+        let mut z = Zone::new(n("examp.le"));
+        z.add(n("examp.le"), RData::A(Ipv4Addr::new(10, 0, 0, 1)));
+        for i in 0..40 {
+            z.add(
+                n("big.examp.le"),
+                RData::Txt(vec![format!("padding-{i}-{}", "x".repeat(40)).into_bytes()]),
+            );
+        }
+        srv.serve_zone(handle(z));
+        srv
+    }
+
+    fn frontend_with(config: FrontendConfig) -> Frontend {
+        Frontend::new(test_server(), config, &Registry::new())
+    }
+
+    fn frontend() -> Frontend {
+        frontend_with(FrontendConfig {
+            rrl: RrlConfig {
+                rate: 1000,
+                burst: 1000,
+                slip: 2,
+                max_clients: 64,
+            },
+            ..FrontendConfig::default()
+        })
+    }
+
+    fn respond(f: &Frontend, transport: Transport, payload: &[u8]) -> Message {
+        match f.handle(transport, client(), 0, payload) {
+            Decision::Respond(bytes) => Message::parse(&bytes).expect("parseable response"),
+            Decision::Drop(r) => panic!("expected response, got drop: {r:?}"),
+        }
+    }
+
+    fn query(qname: &str, qtype: RrType) -> Message {
+        Message::query(0x4242, Question::new(n(qname), qtype))
+    }
+
+    fn with_opt(mut q: Message, udp_size: u16) -> Message {
+        q.additionals.push(edns::opt_record(udp_size, 0));
+        q
+    }
+
+    #[test]
+    fn normal_answer_roundtrips() {
+        let f = frontend();
+        let q = query("examp.le", RrType::A);
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.id, 0x4242);
+        assert!(r.header.qr && r.header.aa);
+        assert_eq!(r.header.rcode, Rcode::NoError);
+        assert_eq!(r.answers.len(), 1);
+        // No EDNS in ⇒ no OPT out.
+        assert!(r.additionals.is_empty());
+    }
+
+    #[test]
+    fn garbage_gets_formerr_with_echoed_id() {
+        let f = frontend();
+        let r = respond(&f, Transport::Udp, &[0xDE, 0xAD, 0x00]);
+        assert_eq!(r.header.id, 0xDEAD);
+        assert!(r.header.qr);
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+        // Even a single byte is answered, id floor 0.
+        let r = respond(&f, Transport::Udp, &[0x7F]);
+        assert_eq!(r.header.id, 0x7F00);
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn empty_payload_gets_formerr_id_zero() {
+        let f = frontend();
+        let r = respond(&f, Transport::Udp, &[]);
+        assert_eq!(r.header.id, 0);
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn responses_are_dropped_not_answered() {
+        let f = frontend();
+        let mut q = query("examp.le", RrType::A);
+        q.header.qr = true;
+        let d = f.handle(Transport::Udp, client(), 0, &q.to_bytes().unwrap());
+        assert_eq!(d, Decision::Drop(DropReason::QrSet));
+    }
+
+    #[test]
+    fn non_query_opcode_gets_notimp() {
+        let f = frontend();
+        let mut q = query("examp.le", RrType::A);
+        q.header.opcode = Opcode::Other(5); // UPDATE
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.rcode, Rcode::NotImp);
+    }
+
+    #[test]
+    fn zero_questions_gets_formerr() {
+        let f = frontend();
+        let mut q = query("examp.le", RrType::A);
+        q.questions.clear();
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn two_questions_gets_formerr() {
+        let f = frontend();
+        let mut q = query("examp.le", RrType::A);
+        q.questions.push(Question::new(n("examp.le"), RrType::Aaaa));
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn edns_echoed_with_server_size() {
+        let f = frontend();
+        let q = with_opt(query("examp.le", RrType::A), 1232);
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        let opt: Vec<_> = r
+            .additionals
+            .iter()
+            .filter(|rec| rec.rtype() == RrType::Opt)
+            .collect();
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt[0].class.code(), 4096, "server advertises its own cap");
+    }
+
+    #[test]
+    fn malformed_opt_gets_formerr() {
+        let f = frontend();
+        let mut q = query("examp.le", RrType::A);
+        let mut opt = edns::opt_record(1232, 0);
+        opt.rdata = RData::Raw {
+            rtype: RrType::Opt.code(),
+            data: vec![0, 3, 0, 10, 0xAA], // declared 10, present 1
+        };
+        q.additionals.push(opt);
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+        assert!(r.additionals.is_empty(), "no OPT echoed on malformed OPT");
+    }
+
+    #[test]
+    fn duplicate_opt_gets_formerr() {
+        let f = frontend();
+        let mut q = query("examp.le", RrType::A);
+        q.additionals.push(edns::opt_record(1232, 0));
+        q.additionals.push(edns::opt_record(1232, 0));
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn unsupported_edns_version_gets_badvers() {
+        let f = frontend();
+        let mut q = query("examp.le", RrType::A);
+        let mut opt = edns::opt_record(1232, 0);
+        opt.ttl = 1 << 16; // version 1
+        q.additionals.push(opt);
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.rcode, Rcode::NoError, "low rcode bits are zero");
+        assert!(r.answers.is_empty());
+        let opt = r
+            .additionals
+            .iter()
+            .find(|rec| rec.rtype() == RrType::Opt)
+            .expect("OPT present");
+        assert_eq!(opt.ttl >> 24, u32::from(edns::BADVERS_EXT));
+    }
+
+    #[test]
+    fn oversized_answer_truncates_at_advertised_size() {
+        let f = frontend();
+        // ~40 TXT records ≫ 512 bytes.
+        for (advertised, expect_tc) in [(512u16, true), (1232, true), (4096, false)] {
+            let q = with_opt(query("big.examp.le", RrType::Txt), advertised);
+            let d = f.handle(Transport::Udp, client(), 0, &q.to_bytes().unwrap());
+            let Decision::Respond(bytes) = d else {
+                panic!("expected response at size {advertised}");
+            };
+            assert!(
+                bytes.len() <= usize::from(advertised),
+                "size {advertised}: len {}",
+                bytes.len()
+            );
+            let r = Message::parse(&bytes).unwrap();
+            assert_eq!(r.header.tc, expect_tc, "advertised {advertised}");
+            if expect_tc {
+                assert!(r.answers.is_empty(), "TC strips the record sections");
+                assert_eq!(r.questions.len(), 1, "TC keeps the question");
+            } else {
+                assert_eq!(r.answers.len(), 40);
+            }
+        }
+    }
+
+    #[test]
+    fn no_edns_truncates_at_512() {
+        let f = frontend();
+        let q = query("big.examp.le", RrType::Txt);
+        let Decision::Respond(bytes) =
+            f.handle(Transport::Udp, client(), 0, &q.to_bytes().unwrap())
+        else {
+            panic!("expected response");
+        };
+        assert!(bytes.len() <= 512);
+        assert!(Message::parse(&bytes).unwrap().header.tc);
+    }
+
+    #[test]
+    fn tcp_carries_the_oversized_answer_whole() {
+        let f = frontend();
+        let q = query("big.examp.le", RrType::Txt);
+        let r = respond(&f, Transport::Tcp, &q.to_bytes().unwrap());
+        assert!(!r.header.tc);
+        assert_eq!(r.answers.len(), 40);
+    }
+
+    #[test]
+    fn rrl_drops_then_slips_minimal_tc() {
+        let f = frontend_with(FrontendConfig {
+            rrl: RrlConfig {
+                rate: 1,
+                burst: 1,
+                slip: 2,
+                max_clients: 8,
+            },
+            ..FrontendConfig::default()
+        });
+        let q = query("examp.le", RrType::A).to_bytes().unwrap();
+        // Burst of 1: first response goes out whole.
+        let r = respond(&f, Transport::Udp, &q);
+        assert_eq!(r.answers.len(), 1);
+        // Limited: first drop, then slip as minimal TC.
+        let d = f.handle(Transport::Udp, client(), 0, &q);
+        assert_eq!(d, Decision::Drop(DropReason::RateLimited));
+        let r = respond(&f, Transport::Udp, &q);
+        assert!(r.header.tc, "slip response is truncated");
+        assert!(r.answers.is_empty(), "slip response carries no records");
+        // TCP is exempt from RRL.
+        let r = respond(&f, Transport::Tcp, &q);
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn saturated_server_sheds_with_refused() {
+        let f = frontend_with(FrontendConfig {
+            max_inflight: 2,
+            ..FrontendConfig::default()
+        });
+        let _a = f.acquire_slot().expect("slot 1");
+        let _b = f.acquire_slot().expect("slot 2");
+        assert!(f.acquire_slot().is_none(), "budget exhausted");
+        let q = query("examp.le", RrType::A).to_bytes().unwrap();
+        let r = respond(&f, Transport::Udp, &q);
+        assert_eq!(r.header.rcode, Rcode::Refused);
+        assert!(r.questions.is_empty(), "shed response skips parsing");
+        drop(_a);
+        let r = respond(&f, Transport::Udp, &q);
+        assert_eq!(r.header.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn unserved_zone_refused_passes_through() {
+        let f = frontend();
+        let q = query("www.unknown.tld", RrType::A);
+        let r = respond(&f, Transport::Udp, &q.to_bytes().unwrap());
+        assert_eq!(r.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn behaviours_are_counted() {
+        let reg = Registry::new();
+        let f = Frontend::new(test_server(), FrontendConfig::default(), &reg);
+        let q = query("examp.le", RrType::A).to_bytes().unwrap();
+        let _ = f.handle(Transport::Udp, client(), 0, &q);
+        let _ = f.handle(Transport::Udp, client(), 0, &[0xFF, 0xFF, 0x00]);
+        let snap = reg.snapshot();
+        let text = snap.to_text();
+        assert!(text.contains("serve_queries_udp 2"), "{text}");
+        assert!(text.contains("serve_formerr 1"), "{text}");
+        assert!(text.contains("serve_responses 2"), "{text}");
+    }
+}

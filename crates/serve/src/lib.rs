@@ -1,0 +1,39 @@
+//! # dps-serve — authoritative DNS on real sockets
+//!
+//! Everything else in the workspace speaks DNS over the simulated
+//! `netsim` wire. This crate puts the same `authdns` zones behind actual
+//! UDP and TCP sockets — the configuration the paper measures in the
+//! wild — and hardens the path between socket and zone against hostile
+//! input:
+//!
+//! - **Never panic, never go silent on malformed input.** Unparseable
+//!   payloads get FORMERR with the transaction id echoed; malformed
+//!   EDNS gets FORMERR; unsupported EDNS versions get BADVERS.
+//! - **EDNS0 and truncation** (RFC 6891): responses are capped at the
+//!   client's advertised UDP payload size (floored at 512), TC is set
+//!   when the answer does not fit, and the full answer is available over
+//!   length-framed TCP.
+//! - **Response-rate limiting** with slip/TC fallback bounds UDP
+//!   amplification per client.
+//! - **Slowloris deadlines, connection caps and load shedding** keep the
+//!   server responsive under connection floods; shedding answers with a
+//!   minimal REFUSED built without parsing the query.
+//! - **Zone hot reload** by file watching: edit a `*.zone` file in the
+//!   served directory and the new contents are live within one poll
+//!   interval (the workspace denies `unsafe`, so no SIGHUP handler).
+//!
+//! Each degradation behaviour increments a `dps-telemetry` counter, so
+//! what the server did under attack is observable after the fact.
+//!
+//! The decision pipeline ([`frontend`]) is a pure function of
+//! `(transport, client, time, payload)`; only [`sockets`] touches the
+//! operating system.
+
+pub mod edns;
+pub mod frontend;
+pub mod rrl;
+pub mod sockets;
+
+pub use frontend::{Decision, DropReason, Frontend, FrontendConfig, Transport};
+pub use rrl::{RrlConfig, RrlDecision, RrlTable};
+pub use sockets::{ServeOptions, Server};

@@ -1,0 +1,240 @@
+//! Response-rate limiting: per-client token buckets with slip/TC fallback.
+//!
+//! Classic DNS RRL: when a client exceeds its response budget, most of its
+//! responses are silently dropped, but every `slip`-th one is answered
+//! with a minimal truncated (TC) reply instead. A spoofed victim never
+//! sees amplification (dropped or tiny), while a legitimate client behind
+//! the same address learns to retry over TCP.
+//!
+//! Buckets are integer arithmetic throughout — `rate` tokens per second
+//! accounted in nanoseconds — so behaviour is a pure function of the
+//! query arrival times the caller passes in, which is what the unit tests
+//! exploit.
+
+// Untrusted-input adjacent: bucket arithmetic runs once per hostile query
+// and must never panic (enforced by dps-analyzer's panic-safety family
+// and these lints).
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// Rate-limiter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrlConfig {
+    /// Sustained responses per second per client; 0 disables RRL.
+    pub rate: u32,
+    /// Bucket depth: how many responses may burst above the rate.
+    pub burst: u32,
+    /// Every `slip`-th limited response is sent as a minimal TC reply
+    /// instead of being dropped; 0 never slips (always drop).
+    pub slip: u32,
+    /// Maximum tracked clients; the stalest bucket is evicted beyond this.
+    pub max_clients: usize,
+}
+
+impl Default for RrlConfig {
+    fn default() -> Self {
+        Self {
+            rate: 200,
+            burst: 50,
+            slip: 2,
+            max_clients: 4096,
+        }
+    }
+}
+
+/// The limiter's verdict for one response about to be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrlDecision {
+    /// Send the full response.
+    Send,
+    /// Drop the response on the floor.
+    Drop,
+    /// Send a minimal truncated response (TC set, no records).
+    SlipTc,
+}
+
+struct Bucket {
+    /// Token balance in nanoseconds of credit (one token = 1 s / rate).
+    credit_ns: u64,
+    /// Last refill instant.
+    updated_ns: u64,
+    /// Limited responses since the last slip.
+    since_slip: u32,
+}
+
+/// Per-client token-bucket table.
+pub struct RrlTable {
+    config: RrlConfig,
+    buckets: HashMap<IpAddr, Bucket>,
+}
+
+impl RrlTable {
+    /// An empty table.
+    pub fn new(config: RrlConfig) -> Self {
+        Self {
+            config,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Nanoseconds of credit one response costs.
+    fn cost_ns(&self) -> u64 {
+        NANOS_PER_SEC / u64::from(self.config.rate.max(1))
+    }
+
+    /// Decides the fate of one response to `client` at `now_ns`.
+    pub fn check(&mut self, client: IpAddr, now_ns: u64) -> RrlDecision {
+        if self.config.rate == 0 {
+            return RrlDecision::Send;
+        }
+        let cost = self.cost_ns();
+        let cap = cost.saturating_mul(u64::from(self.config.burst.max(1)));
+        if !self.buckets.contains_key(&client) {
+            self.evict_if_full();
+            self.buckets.insert(
+                client,
+                Bucket {
+                    credit_ns: cap,
+                    updated_ns: now_ns,
+                    since_slip: 0,
+                },
+            );
+        }
+        let slip = self.config.slip;
+        let Some(bucket) = self.buckets.get_mut(&client) else {
+            // Unreachable (just inserted), but degrade to sending.
+            return RrlDecision::Send;
+        };
+        let elapsed = now_ns.saturating_sub(bucket.updated_ns);
+        bucket.credit_ns = bucket.credit_ns.saturating_add(elapsed).min(cap);
+        bucket.updated_ns = now_ns;
+        if bucket.credit_ns >= cost {
+            bucket.credit_ns -= cost;
+            return RrlDecision::Send;
+        }
+        // Limited: slip every `slip`-th, drop the rest.
+        bucket.since_slip = bucket.since_slip.saturating_add(1);
+        if slip > 0 && bucket.since_slip >= slip {
+            bucket.since_slip = 0;
+            RrlDecision::SlipTc
+        } else {
+            RrlDecision::Drop
+        }
+    }
+
+    /// Evicts the stalest bucket when the table is at capacity, so a
+    /// spoofed flood of distinct source addresses cannot grow memory
+    /// without bound.
+    fn evict_if_full(&mut self) {
+        if self.buckets.len() < self.config.max_clients.max(1) {
+            return;
+        }
+        if let Some(stalest) = self
+            .buckets
+            .iter()
+            .min_by_key(|(ip, b)| (b.updated_ns, **ip))
+            .map(|(ip, _)| *ip)
+        {
+            self.buckets.remove(&stalest);
+        }
+    }
+
+    /// Number of tracked clients.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when no clients are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn table(rate: u32, burst: u32, slip: u32) -> RrlTable {
+        RrlTable::new(RrlConfig {
+            rate,
+            burst,
+            slip,
+            max_clients: 4,
+        })
+    }
+
+    #[test]
+    fn burst_then_limited_with_slip() {
+        let mut t = table(1, 2, 2);
+        let c = ip("198.51.100.7");
+        assert_eq!(t.check(c, 0), RrlDecision::Send);
+        assert_eq!(t.check(c, 0), RrlDecision::Send);
+        // Bucket empty: first limited response drops, second slips TC.
+        assert_eq!(t.check(c, 0), RrlDecision::Drop);
+        assert_eq!(t.check(c, 0), RrlDecision::SlipTc);
+        assert_eq!(t.check(c, 0), RrlDecision::Drop);
+        assert_eq!(t.check(c, 0), RrlDecision::SlipTc);
+    }
+
+    #[test]
+    fn tokens_refill_with_time() {
+        let mut t = table(1, 2, 2);
+        let c = ip("198.51.100.7");
+        assert_eq!(t.check(c, 0), RrlDecision::Send);
+        assert_eq!(t.check(c, 0), RrlDecision::Send);
+        assert_eq!(t.check(c, 0), RrlDecision::Drop);
+        // One second later one token has refilled; the next limited
+        // response slips (the slip counter persists across sends).
+        assert_eq!(t.check(c, NANOS_PER_SEC), RrlDecision::Send);
+        assert_eq!(t.check(c, NANOS_PER_SEC), RrlDecision::SlipTc);
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let mut t = table(1, 1, 1);
+        assert_eq!(t.check(ip("10.0.0.1"), 0), RrlDecision::Send);
+        assert_eq!(t.check(ip("10.0.0.1"), 0), RrlDecision::SlipTc);
+        // A different client still has its own burst.
+        assert_eq!(t.check(ip("10.0.0.2"), 0), RrlDecision::Send);
+    }
+
+    #[test]
+    fn slip_zero_always_drops() {
+        let mut t = table(1, 1, 0);
+        let c = ip("10.0.0.1");
+        assert_eq!(t.check(c, 0), RrlDecision::Send);
+        for _ in 0..10 {
+            assert_eq!(t.check(c, 0), RrlDecision::Drop);
+        }
+    }
+
+    #[test]
+    fn rate_zero_disables() {
+        let mut t = table(0, 1, 1);
+        let c = ip("10.0.0.1");
+        for _ in 0..100 {
+            assert_eq!(t.check(c, 0), RrlDecision::Send);
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn table_is_bounded_by_eviction() {
+        let mut t = table(1, 1, 1);
+        for i in 0..20u8 {
+            let addr = ip(&format!("10.0.1.{i}"));
+            t.check(addr, u64::from(i));
+        }
+        assert!(t.len() <= 4, "len={}", t.len());
+        // The freshest client survived.
+        assert!(t.buckets.contains_key(&ip("10.0.1.19")));
+    }
+}

@@ -240,7 +240,9 @@ impl CatalogDelta {
             let mut set = BTreeSet::new();
             let mut prev = 0u64;
             for _ in 0..n {
-                prev += varint::get_u64(buf, &mut pos)?;
+                // checked: a hostile delta can push the running sum past
+                // u64::MAX (fuzzer-found; overflow panics in debug builds).
+                prev = prev.checked_add(varint::get_u64(buf, &mut pos)?)?;
                 set.insert(u32::try_from(prev).ok()?);
             }
             uniques.push(set);
@@ -320,6 +322,16 @@ mod tests {
             let back = CatalogDelta::decode(&delta.encode()).expect("decodes");
             assert_eq!(back, delta);
         }
+    }
+
+    #[test]
+    fn decode_rejects_overflowing_unique_deltas() {
+        // Fuzzer-minimised: pages=0, n_sources=1, n=2, delta1=5,
+        // delta2=u64::MAX — the running delta sum must not wrap.
+        let mut hostile = vec![0x00, 0x01, 0x02, 0x05];
+        hostile.extend([0xFF; 9]);
+        hostile.push(0x01);
+        assert_eq!(CatalogDelta::decode(&hostile), None);
     }
 
     #[test]

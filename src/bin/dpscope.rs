@@ -51,6 +51,11 @@ struct CommonArgs {
     bind: Option<String>,
     connect: Option<String>,
     name: Option<String>,
+    zones: Option<PathBuf>,
+    udp: Option<String>,
+    tcp: Option<String>,
+    iters: u64,
+    server: Option<String>,
     rest: Vec<String>,
 }
 
@@ -65,7 +70,19 @@ fn usage() -> ! {
                       with --chaos, sweeps over the wire under supervision)\n\
            analyze    regenerate tables/figures (ids or 'all') from --archive\n\
            dig        resolve <name> <type> through the simulated Internet\n\
-                      (+tries=N and +timeout=MS tune the wire resolver)\n\
+                      (+tries=N and +timeout=MS tune the wire resolver);\n\
+                      with --server udp://A or tcp://A, query a real DNS\n\
+                      server over the network instead (+bufsize=N sets the\n\
+                      EDNS0 size, +noedns sends a classic query; truncated\n\
+                      UDP answers retry over TCP)\n\
+           serve      authoritative DNS over real sockets for the *.zone\n\
+                      files in --zones (hot-reloaded on change); UDP with\n\
+                      EDNS0/TC plus TCP fallback, hardened against\n\
+                      malformed input, floods and slowloris; runs until\n\
+                      stdin closes\n\
+           fuzz       run the deterministic mutation fuzzer against one\n\
+                      decoder target (or 'all'): fuzz <target> --iters N\n\
+                      --seed S; corpus under crates/fuzz/corpus/<target>\n\
            store      inspect a single-file archive: store <info|verify|cat> <path>\n\
                       (info includes the per-day data-quality summary)\n\
            metrics    dump archived sweep telemetry: metrics <path> [--json]\n\
@@ -110,6 +127,11 @@ fn usage() -> ! {
                           joined (late fleets all participate; default 0)\n\
            --connect ADDR cluster agent: manager address\n\
            --name S       cluster agent: display name for provenance\n\
+           --zones DIR    serve: directory of *.zone files (stem = origin)\n\
+           --udp ADDR     serve: UDP listen address (default 127.0.0.1:0)\n\
+           --tcp ADDR     serve: TCP listen address (default 127.0.0.1:0)\n\
+           --iters N      fuzz: iterations per target (default 100000)\n\
+           --server URL   dig: real server, udp://host:port or tcp://host:port\n\
          \n\
          analyze ids: {}",
         experiment_ids().join(", ")
@@ -136,6 +158,11 @@ fn parse_args(args: &[String]) -> CommonArgs {
         bind: None,
         connect: None,
         name: None,
+        zones: None,
+        udp: None,
+        tcp: None,
+        iters: 100_000,
+        server: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -178,6 +205,11 @@ fn parse_args(args: &[String]) -> CommonArgs {
             "--bind" => common.bind = Some(value("--bind").to_string()),
             "--connect" => common.connect = Some(value("--connect").to_string()),
             "--name" => common.name = Some(value("--name").to_string()),
+            "--zones" => common.zones = Some(value("--zones").into()),
+            "--udp" => common.udp = Some(value("--udp").to_string()),
+            "--tcp" => common.tcp = Some(value("--tcp").to_string()),
+            "--iters" => common.iters = value("--iters").parse().unwrap_or_else(|_| usage()),
+            "--server" => common.server = Some(value("--server").to_string()),
             "-h" | "--help" => usage(),
             other => common.rest.push(other.to_string()),
         }
@@ -1040,10 +1072,108 @@ fn cmd_analyze(args: CommonArgs) {
     }
 }
 
+/// Answer-section renderer shared by the simulated and real-socket dig
+/// paths: status line, then one record per line.
+fn print_dig_answer(rcode: Rcode, answers: &[Record], suffix: &str) {
+    println!(";; status: {rcode}{suffix}");
+    for rec in answers {
+        println!("{rec}");
+    }
+}
+
+/// Splits `udp://host:port` / `tcp://host:port` into (is_tcp, addr).
+fn parse_server_url(url: &str) -> (bool, &str) {
+    if let Some(addr) = url.strip_prefix("udp://") {
+        (false, addr)
+    } else if let Some(addr) = url.strip_prefix("tcp://") {
+        (true, addr)
+    } else {
+        eprintln!("--server wants udp://host:port or tcp://host:port, got {url:?}");
+        usage();
+    }
+}
+
+/// One DNS exchange over real TCP: length-framed write, framed read.
+fn tcp_exchange(addr: &str, query: &[u8]) -> std::io::Result<Vec<u8>> {
+    use std::io::{Read as _, Write as _};
+    let mut sock = std::net::TcpStream::connect(addr)?;
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let len = u16::try_from(query.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "query exceeds 64 KiB")
+    })?;
+    sock.write_all(&len.to_be_bytes())?;
+    sock.write_all(query)?;
+    let mut hdr = [0u8; 2];
+    sock.read_exact(&mut hdr)?;
+    let mut body = vec![0u8; usize::from(u16::from_be_bytes(hdr))];
+    sock.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// One DNS exchange over real UDP.
+fn udp_exchange(addr: &str, query: &[u8]) -> std::io::Result<Vec<u8>> {
+    let sock = std::net::UdpSocket::bind("127.0.0.1:0")
+        .or_else(|_| std::net::UdpSocket::bind("0.0.0.0:0"))?;
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    sock.send_to(query, addr)?;
+    let mut buf = vec![0u8; 65535];
+    let (n, _) = sock.recv_from(&mut buf)?;
+    buf.truncate(n);
+    Ok(buf)
+}
+
+/// `dpscope dig … --server URL`: query a real authoritative server over
+/// UDP or TCP, with EDNS0 by default and automatic TCP retry on TC.
+fn dig_real(args: &CommonArgs, qname: &Name, qtype: RrType, bufsize: Option<u16>) {
+    let Some(url) = &args.server else {
+        unreachable!("caller checked --server");
+    };
+    let (tcp, addr) = parse_server_url(url);
+    let id = (args.seed & 0xFFFF) as u16;
+    let mut query = Message::query(id, Question::new(qname.clone(), qtype));
+    if let Some(size) = bufsize {
+        query
+            .additionals
+            .push(dps_scope::serve::edns::opt_record(size, 0));
+    }
+    let bytes = query.to_bytes().expect("well-formed query encodes");
+    let exchange = |tcp: bool| -> Vec<u8> {
+        let res = if tcp {
+            tcp_exchange(addr, &bytes)
+        } else {
+            udp_exchange(addr, &bytes)
+        };
+        res.unwrap_or_else(|e| {
+            eprintln!(";; network error talking to {addr}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let mut raw = exchange(tcp);
+    let mut resp = Message::parse(&raw).unwrap_or_else(|e| {
+        eprintln!(";; malformed response from {addr}: {e:?}");
+        std::process::exit(1);
+    });
+    if resp.header.tc && !tcp {
+        println!(";; truncated, retrying over TCP");
+        raw = exchange(true);
+        resp = Message::parse(&raw).unwrap_or_else(|e| {
+            eprintln!(";; malformed TCP response from {addr}: {e:?}");
+            std::process::exit(1);
+        });
+    }
+    println!("; <<>> dpscope dig <<>> {qname} {qtype} @{url}");
+    print_dig_answer(
+        resp.header.rcode,
+        &resp.answers,
+        &format!(", {} bytes", raw.len()),
+    );
+}
+
 fn cmd_dig(args: CommonArgs) {
     // dig-style +key=value options ride along in the positional list.
     let mut config = ResolverConfig::default();
     let mut positional = Vec::new();
+    let mut bufsize: Option<u16> = Some(1232);
     for arg in &args.rest {
         if let Some(opt) = arg.strip_prefix('+') {
             match opt.split_once('=') {
@@ -1060,8 +1190,18 @@ fn cmd_dig(args: CommonArgs) {
                     });
                     config.attempt_timeout_us = ms.saturating_mul(1_000);
                 }
+                Some(("bufsize", v)) => {
+                    bufsize = Some(v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad +bufsize value {v:?}");
+                        usage();
+                    }))
+                }
+                None if opt == "noedns" => bufsize = None,
                 _ => {
-                    eprintln!("unknown dig option +{opt} (want +tries=N, +timeout=MS)");
+                    eprintln!(
+                        "unknown dig option +{opt} \
+                         (want +tries=N, +timeout=MS, +bufsize=N, +noedns)"
+                    );
                     usage();
                 }
             }
@@ -1075,6 +1215,10 @@ fn cmd_dig(args: CommonArgs) {
     }
     let qname: Name = positional[0].parse().expect("valid name");
     let qtype: RrType = positional[1].parse().expect("valid RR type");
+    if args.server.is_some() {
+        dig_real(&args, &qname, qtype, bufsize);
+        return;
+    }
     let world = world_for(&args);
     let net = Network::new(args.seed);
     let catalog = world.materialize(&net);
@@ -1087,16 +1231,133 @@ fn cmd_dig(args: CommonArgs) {
     .with_config(config);
     println!("; <<>> dpscope dig <<>> {qname} {qtype} @day {}", args.day);
     match resolver.resolve(&qname, qtype) {
-        Ok(res) => {
-            println!(
-                ";; status: {}, elapsed: {} µs (virtual)",
-                res.rcode, res.elapsed_us
-            );
-            for rec in &res.answers {
-                println!("{rec}");
+        Ok(res) => print_dig_answer(
+            res.rcode,
+            &res.answers,
+            &format!(", elapsed: {} µs (virtual)", res.elapsed_us),
+        ),
+        Err(e) => println!(";; resolution failed: {e} (cause: {})", e.cause().label()),
+    }
+}
+
+/// `dpscope serve --zones DIR [--udp ADDR] [--tcp ADDR]`: authoritative
+/// DNS over real sockets, hardened against hostile input. Runs until
+/// stdin reaches EOF (the workspace denies `unsafe`, so a portable pipe
+/// close stands in for signal handling), then shuts down cleanly and
+/// dumps its telemetry counters.
+fn cmd_serve(args: CommonArgs) {
+    use std::io::BufRead as _;
+    let Some(zones) = args.zones.clone() else {
+        eprintln!("serve requires --zones DIR");
+        usage();
+    };
+    let mut opts = dps_scope::serve::ServeOptions::new(zones);
+    let parse_addr = |flag: &str, s: &String| -> std::net::SocketAddr {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad {flag} address {s:?}");
+            usage();
+        })
+    };
+    if let Some(u) = &args.udp {
+        opts.udp_addr = parse_addr("--udp", u);
+    }
+    if let Some(t) = &args.tcp {
+        opts.tcp_addr = parse_addr("--tcp", t);
+    }
+    let registry = Registry::new();
+    let server = dps_scope::serve::Server::start(opts, &registry).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "serve: listening udp={} tcp={}",
+        server.udp_addr(),
+        server.tcp_addr()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    while stdin.lock().read_line(&mut line).is_ok_and(|n| n > 0) {
+        line.clear();
+    }
+    server.shutdown();
+    // The supervising process may have dropped our stdout already; a
+    // closed pipe must not turn a clean shutdown into a panic.
+    use std::io::Write as _;
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "serve: shutdown");
+    let _ = write!(out, "{}", registry.snapshot().to_text());
+}
+
+/// Reads the checked-in corpus for one fuzz target, sorted by file name
+/// so runs are deterministic regardless of directory iteration order.
+fn load_fuzz_corpus(target: &str) -> Vec<Vec<u8>> {
+    let dir = PathBuf::from("crates/fuzz/corpus").join(target);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    paths.iter().filter_map(|p| std::fs::read(p).ok()).collect()
+}
+
+/// `dpscope fuzz <target|all> --iters N --seed S`: the deterministic
+/// mutation fuzzer over the workspace's untrusted-input decoders. Exits
+/// nonzero if any target panics or violates a round-trip invariant, and
+/// drops the offending inputs under target/fuzz-artifacts/.
+fn cmd_fuzz(args: CommonArgs) {
+    let Some(which) = args.rest.first() else {
+        eprintln!("fuzz requires <target|all>; targets:");
+        for t in dps_scope::fuzz::targets::TARGETS {
+            eprintln!("  {:<13} {}", t.name, t.about);
+        }
+        usage();
+    };
+    let targets: Vec<&dps_scope::fuzz::targets::Target> = if which == "all" {
+        dps_scope::fuzz::targets::TARGETS.iter().collect()
+    } else {
+        match dps_scope::fuzz::targets::find_target(which) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("unknown fuzz target {which:?}; targets:");
+                for t in dps_scope::fuzz::targets::TARGETS {
+                    eprintln!("  {:<13} {}", t.name, t.about);
+                }
+                std::process::exit(2);
             }
         }
-        Err(e) => println!(";; resolution failed: {e} (cause: {})", e.cause().label()),
+    };
+    let mut failed = false;
+    for target in targets {
+        let corpus = load_fuzz_corpus(target.name);
+        let outcome = dps_scope::fuzz::fuzz(target, args.iters, args.seed, &corpus, 8);
+        println!(
+            "fuzz {:<13} seed {:>6}  {:>8} iters  corpus {:>2}  failures {}",
+            target.name,
+            args.seed,
+            outcome.iters,
+            outcome.corpus_size,
+            outcome.failures.len()
+        );
+        for (i, f) in outcome.failures.iter().enumerate() {
+            failed = true;
+            let hex: String = f.minimised.iter().map(|b| format!("{b:02x}")).collect();
+            println!(
+                "  FAIL {}: {} (minimised {} bytes: {hex})",
+                i,
+                f.reason,
+                f.minimised.len()
+            );
+            let dir = PathBuf::from("target/fuzz-artifacts");
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join(format!("{}-{i}.bin", target.name));
+                if std::fs::write(&path, &f.minimised).is_ok() {
+                    println!("  artifact: {}", path.display());
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -1115,6 +1376,8 @@ fn main() {
         "metrics" => cmd_metrics(args),
         "cluster" => cmd_cluster(args),
         "stream" => cmd_stream(args),
+        "serve" => cmd_serve(args),
+        "fuzz" => cmd_fuzz(args),
         _ => usage(),
     }
 }

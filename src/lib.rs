@@ -46,9 +46,11 @@ pub use dps_columnar as columnar;
 pub use dps_core as core;
 pub use dps_dns as dns;
 pub use dps_ecosystem as ecosystem;
+pub use dps_fuzz as fuzz;
 pub use dps_measure as measure;
 pub use dps_netsim as netsim;
 pub use dps_recursor as recursor;
+pub use dps_serve as serve;
 pub use dps_store as store;
 pub use dps_stream as stream;
 pub use dps_telemetry as telemetry;

@@ -18,7 +18,19 @@ measure    run the full study, save the archive to --archive\n\
 with --chaos, sweeps over the wire under supervision)\n\
 analyze    regenerate tables/figures (ids or 'all') from --archive\n\
 dig        resolve <name> <type> through the simulated Internet\n\
-(+tries=N and +timeout=MS tune the wire resolver)\n\
+(+tries=N and +timeout=MS tune the wire resolver);\n\
+with --server udp://A or tcp://A, query a real DNS\n\
+server over the network instead (+bufsize=N sets the\n\
+EDNS0 size, +noedns sends a classic query; truncated\n\
+UDP answers retry over TCP)\n\
+serve      authoritative DNS over real sockets for the *.zone\n\
+files in --zones (hot-reloaded on change); UDP with\n\
+EDNS0/TC plus TCP fallback, hardened against\n\
+malformed input, floods and slowloris; runs until\n\
+stdin closes\n\
+fuzz       run the deterministic mutation fuzzer against one\n\
+decoder target (or 'all'): fuzz <target> --iters N\n\
+--seed S; corpus under crates/fuzz/corpus/<target>\n\
 store      inspect a single-file archive: store <info|verify|cat> <path>\n\
 (info includes the per-day data-quality summary)\n\
 metrics    dump archived sweep telemetry: metrics <path> [--json]\n\
@@ -63,6 +75,11 @@ over a Unix socket (archive stays byte-identical)\n\
 joined (late fleets all participate; default 0)\n\
 --connect ADDR cluster agent: manager address\n\
 --name S       cluster agent: display name for provenance\n\
+--zones DIR    serve: directory of *.zone files (stem = origin)\n\
+--udp ADDR     serve: UDP listen address (default 127.0.0.1:0)\n\
+--tcp ADDR     serve: TCP listen address (default 127.0.0.1:0)\n\
+--iters N      fuzz: iterations per target (default 100000)\n\
+--server URL   dig: real server, udp://host:port or tcp://host:port\n\
 \n\
 ";
 

@@ -1,0 +1,256 @@
+//! Integration: `dpscope serve` is a real authoritative DNS server.
+//!
+//! Spawns the actual binary listening on loopback, queries it over real
+//! UDP and TCP sockets, and holds it to the simulated path's semantics:
+//! a plain (no-EDNS) response must be **byte-identical** to what the
+//! in-process `AuthServer` produces for the same zone and query. EDNS0
+//! truncation edges (512 → TC over UDP, full answer over TCP) and the
+//! clean stdin-EOF shutdown are exercised over the wire too.
+
+use dps_scope::authdns::{zonefile, AuthServer};
+use dps_scope::prelude::*;
+use dps_scope::serve::edns::opt_record;
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ZONE_TEXT: &str = "\
+$ORIGIN examp.le.
+@ IN NS ns1.examp.le.
+ns1 IN A 10.0.0.53
+www IN A 10.0.0.80
+www IN AAAA fd00::80
+note IN TXT \"quoted; string\" \"second\"
+";
+
+/// Enough TXT data on one name to overflow a 512-byte UDP response.
+fn fat_records() -> String {
+    let mut out = String::new();
+    for i in 0..24 {
+        out.push_str(&format!(
+            "fat IN TXT \"{}\"\n",
+            format!("{i:02}").repeat(20)
+        ));
+    }
+    out
+}
+
+struct ServeProc {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    /// Held open so the server never sees a broken stdout pipe.
+    stdout: BufReader<std::process::ChildStdout>,
+    udp: String,
+    tcp: String,
+}
+
+impl ServeProc {
+    fn spawn(zone_dir: &std::path::Path) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_dpscope"))
+            .args(["serve", "--zones"])
+            .arg(zone_dir)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn dpscope serve");
+        let stdin = child.stdin.take();
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read listen line");
+        let field = |key: &str| -> String {
+            line.split_whitespace()
+                .find_map(|w| w.strip_prefix(key))
+                .unwrap_or_else(|| panic!("no {key} in {line:?}"))
+                .to_string()
+        };
+        Self {
+            child,
+            stdin,
+            stdout,
+            udp: field("udp="),
+            tcp: field("tcp="),
+        }
+    }
+
+    fn udp_exchange(&self, query: &[u8]) -> Vec<u8> {
+        let sock = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.send_to(query, &self.udp).expect("send");
+        let mut buf = vec![0u8; 65535];
+        let (n, _) = sock.recv_from(&mut buf).expect("recv");
+        buf.truncate(n);
+        buf
+    }
+
+    fn tcp_exchange(&self, query: &[u8]) -> Vec<u8> {
+        let mut sock = std::net::TcpStream::connect(&self.tcp).expect("connect");
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let len = u16::try_from(query.len()).expect("query fits a frame");
+        sock.write_all(&len.to_be_bytes()).unwrap();
+        sock.write_all(query).unwrap();
+        let mut hdr = [0u8; 2];
+        sock.read_exact(&mut hdr).expect("frame header");
+        let mut body = vec![0u8; usize::from(u16::from_be_bytes(hdr))];
+        sock.read_exact(&mut body).expect("frame body");
+        body
+    }
+
+    /// Closes stdin and asserts the process exits cleanly, returning
+    /// the shutdown telemetry dump.
+    fn shutdown(mut self) -> String {
+        drop(self.stdin.take());
+        let status = self.child.wait().expect("wait for serve");
+        assert!(status.success(), "serve exited {status:?}");
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).expect("drain stdout");
+        rest
+    }
+}
+
+fn zone_dir() -> tempdir::TempDirLike {
+    tempdir::TempDirLike::new("serve-interop")
+}
+
+/// Minimal self-contained temp-dir helper (no external crates).
+mod tempdir {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+
+    pub struct TempDirLike(std::path::PathBuf);
+
+    impl TempDirLike {
+        pub fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "dps-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            Self(dir)
+        }
+
+        pub fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDirLike {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+}
+
+fn n(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+/// The simulated path: the same zone served by an in-process AuthServer.
+fn reference_server(extra: &str) -> Arc<AuthServer> {
+    let zone = zonefile::parse_zone(&n("examp.le"), &format!("{ZONE_TEXT}{extra}"))
+        .expect("reference zone parses");
+    let srv = AuthServer::new();
+    srv.serve_zone(Arc::new(parking_lot::RwLock::new(zone)));
+    srv
+}
+
+fn write_zone(dir: &std::path::Path, extra: &str) {
+    std::fs::write(dir.join("examp.le.zone"), format!("{ZONE_TEXT}{extra}"))
+        .expect("write zone file");
+}
+
+#[test]
+fn real_serve_answers_byte_match_the_simulated_path() {
+    let dir = zone_dir();
+    write_zone(dir.path(), "");
+    let serve = ServeProc::spawn(dir.path());
+    let reference = reference_server("");
+
+    for (id, qname, qtype) in [
+        (0x1111u16, "www.examp.le", RrType::A),
+        (0x2222, "www.examp.le", RrType::Aaaa),
+        (0x3333, "note.examp.le", RrType::Txt),
+        (0x4444, "examp.le", RrType::Ns),
+        (0x5555, "missing.examp.le", RrType::A),
+        (0x6666, "unserved.zz", RrType::A),
+    ] {
+        let query = Message::query(id, Question::new(n(qname), qtype));
+        let wire = query.to_bytes().expect("query encodes");
+        let expected = reference
+            .answer(&query)
+            .expect("reference answers")
+            .to_bytes()
+            .expect("reference encodes");
+        let udp = serve.udp_exchange(&wire);
+        assert_eq!(udp, expected, "UDP bytes diverge for {qname} {qtype}");
+        let tcp = serve.tcp_exchange(&wire);
+        assert_eq!(tcp, expected, "TCP bytes diverge for {qname} {qtype}");
+    }
+    serve.shutdown();
+}
+
+#[test]
+fn edns_sizes_gate_truncation_and_tcp_carries_the_full_answer() {
+    let dir = zone_dir();
+    write_zone(dir.path(), &fat_records());
+    let serve = ServeProc::spawn(dir.path());
+
+    let fat_query = |id: u16, bufsize: Option<u16>| -> Vec<u8> {
+        let mut q = Message::query(id, Question::new(n("fat.examp.le"), RrType::Txt));
+        if let Some(size) = bufsize {
+            q.additionals.push(opt_record(size, 0));
+        }
+        q.to_bytes().expect("query encodes")
+    };
+
+    // No EDNS and EDNS@512: truncated over UDP, within the classic limit.
+    for bufsize in [None, Some(512)] {
+        let resp =
+            Message::parse(&serve.udp_exchange(&fat_query(1, bufsize))).expect("response parses");
+        assert!(resp.header.tc, "bufsize {bufsize:?} should truncate");
+        assert!(resp.answers.is_empty(), "TC response strips answers");
+    }
+    let raw_512 = serve.udp_exchange(&fat_query(2, Some(512)));
+    assert!(raw_512.len() <= 512, "got {} bytes", raw_512.len());
+
+    // A 1232-byte advertisement is still too small here; 4096 is not.
+    let resp_1232 = Message::parse(&serve.udp_exchange(&fat_query(3, Some(1232)))).expect("parses");
+    assert!(resp_1232.header.tc);
+    let resp_4096 = Message::parse(&serve.udp_exchange(&fat_query(4, Some(4096)))).expect("parses");
+    assert!(!resp_4096.header.tc, "4096 fits the fat answer");
+    assert_eq!(resp_4096.answers.len(), 24);
+
+    // The TCP fallback a truncated client performs gets the whole answer.
+    let tcp = Message::parse(&serve.tcp_exchange(&fat_query(5, Some(512)))).expect("parses");
+    assert!(!tcp.header.tc, "TCP never truncates this answer");
+    assert_eq!(tcp.answers.len(), 24);
+    serve.shutdown();
+}
+
+#[test]
+fn hostile_input_gets_formerr_never_silence() {
+    let dir = zone_dir();
+    write_zone(dir.path(), "");
+    let serve = ServeProc::spawn(dir.path());
+
+    // Garbage with a recoverable id: FORMERR echoing that id.
+    let resp = Message::parse(&serve.udp_exchange(&[0xBE, 0xEF, 0x01])).expect("parses");
+    assert_eq!(resp.header.id, 0xBEEF);
+    assert_eq!(resp.header.rcode, Rcode::FormErr);
+
+    // Two OPT records is a malformed EDNS query: FORMERR (RFC 6891 §6.1.1).
+    let mut q = Message::query(7, Question::new(n("www.examp.le"), RrType::A));
+    q.additionals.push(opt_record(512, 0));
+    q.additionals.push(opt_record(512, 0));
+    let resp =
+        Message::parse(&serve.udp_exchange(&q.to_bytes().expect("encodes"))).expect("parses");
+    assert_eq!(resp.header.rcode, Rcode::FormErr);
+    assert!(resp.additionals.is_empty(), "no OPT echoed on bad EDNS");
+
+    // Both rejections were counted in the shutdown telemetry dump.
+    let dump = serve.shutdown();
+    assert!(dump.contains("serve_formerr 2"), "{dump}");
+}
