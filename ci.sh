@@ -159,10 +159,15 @@ serve_smoke() {
 
 # Workspace-native static analysis: determinism, panic-safety and hygiene
 # invariants must hold (waivers need written reasons). --deny promotes
-# warnings (e.g. stale waivers) to failures so CI stays tidy.
+# warnings (e.g. stale waivers) to failures so CI stays tidy. The SARIF
+# artifact is written even on a clean run so code-review tooling always
+# has a current report to ingest.
 analyze() {
     echo "==> dps-analyzer --deny (workspace invariants)"
-    cargo run --release --offline -q -p dps-analyzer -- --root . --deny
+    cargo run --release --offline -q -p dps-analyzer -- \
+        --root . --deny --sarif target/dps-analyzer.sarif
+    test -s target/dps-analyzer.sarif \
+        || { echo "missing SARIF artifact target/dps-analyzer.sarif" >&2; exit 1; }
 }
 
 # Negative check: every bad fixture must still fire its annotated rules,

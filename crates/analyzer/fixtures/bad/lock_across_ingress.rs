@@ -1,0 +1,24 @@
+// A guard is held across a call whose callee reads from the network: a
+// slow (or silent) hostile peer then controls how long every other
+// thread waits on `state`. The drift waiver covers the marked root —
+// this fixture is about the lock hazard, not the scope.
+
+// dps: allow-file(policy-drift, reason = "fixture: drift is exercised by its own pair")
+
+struct Server {
+    state: Mutex<u64>,
+}
+
+impl Server {
+    fn poll(&self, sock: &UdpSocket, buf: &mut [u8]) {
+        let mut state = self.state.lock();
+        // dps-expect: lock-across-ingress
+        let n = pull(sock, buf);
+        *state += n as u64;
+    }
+}
+
+// dps: ingress
+fn pull(sock: &UdpSocket, buf: &mut [u8]) -> usize {
+    sock.recv_from(buf).map(|(n, _)| n).unwrap_or(0)
+}

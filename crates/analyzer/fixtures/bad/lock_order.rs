@@ -1,0 +1,24 @@
+// Two code paths take the same two locks in opposite orders: if one
+// thread runs `flush` while another runs `reroute`, each can end up
+// holding the lock the other is waiting on. The lint pairs every nested
+// acquisition and flags the reversal.
+
+struct Router {
+    table: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Router {
+    fn flush(&self) {
+        let table = self.table.lock();
+        let mut stats = self.stats.lock();
+        *stats += table.len() as u64;
+    }
+
+    fn reroute(&self) {
+        let mut stats = self.stats.lock();
+        // dps-expect: lock-order
+        let table = self.table.lock();
+        *stats += table.len() as u64;
+    }
+}

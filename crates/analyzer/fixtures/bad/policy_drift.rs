@@ -1,0 +1,16 @@
+// A file that takes in untrusted bytes (the `// dps: ingress` marker
+// stands in for a socket read inside a declared ingress surface) but
+// that the hand-written panic-safety scope never listed: the declared
+// policy has drifted from the real surface. The code itself is fully
+// checked — drift is about the scope, not about any one panic site.
+
+// dps-expect: policy-drift
+// dps: ingress
+fn pump(sock: &UdpSocket, buf: &mut [u8]) {
+    let n = sock.recv_from(buf).map(|(n, _)| n).unwrap_or(0);
+    let _ = parse(buf.get(..n).unwrap_or(&[]));
+}
+
+fn parse(frame: &[u8]) -> Option<u8> {
+    frame.first().copied()
+}

@@ -1,0 +1,25 @@
+// An ingress root reads raw bytes and hands them down a call chain; the
+// helper two hops away unwraps them. The lexical panic-safety rule fires
+// at the site, and the taint pass proves the site is reachable from the
+// root — even though no scope ever listed this file.
+
+// dps: ingress
+fn pump(sock: &UdpSocket, buf: &mut [u8]) {
+    let n = recv(sock, buf);
+    dispatch(&buf[..n]); // dps: allow(slice-index, reason = "n is recv's return, <= buf.len()")
+}
+
+fn recv(sock: &UdpSocket, buf: &mut [u8]) -> usize {
+    sock.recv_from(buf).map(|(n, _)| n).unwrap_or(0)
+}
+
+fn dispatch(frame: &[u8]) {
+    decode_len(frame);
+}
+
+fn decode_len(frame: &[u8]) -> u16 {
+    // dps-expect: taint-panic
+    // dps-expect: unwrap-expect
+    // dps-expect: policy-drift
+    u16::from_be_bytes(frame[..2].try_into().unwrap())
+}

@@ -1,0 +1,22 @@
+// Counterpart of bad/lock_across_ingress.rs: the socket read happens
+// first, with no guard held; the lock is taken only for the short
+// in-memory update afterwards. The peer's pacing cannot stall anyone.
+
+// dps: allow-file(policy-drift, reason = "fixture: drift is exercised by its own pair")
+
+struct Server {
+    state: Mutex<u64>,
+}
+
+impl Server {
+    fn poll(&self, sock: &UdpSocket, buf: &mut [u8]) {
+        let n = pull(sock, buf);
+        let mut state = self.state.lock();
+        *state += n as u64;
+    }
+}
+
+// dps: ingress
+fn pull(sock: &UdpSocket, buf: &mut [u8]) -> usize {
+    sock.recv_from(buf).map(|(n, _)| n).unwrap_or(0)
+}

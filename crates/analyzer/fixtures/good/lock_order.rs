@@ -1,0 +1,22 @@
+// Counterpart of bad/lock_order.rs: both paths honour one global
+// acquisition order (table before stats), so no interleaving can leave
+// two threads holding what the other needs.
+
+struct Router {
+    table: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Router {
+    fn flush(&self) {
+        let table = self.table.lock();
+        let mut stats = self.stats.lock();
+        *stats += table.len() as u64;
+    }
+
+    fn reroute(&self) {
+        let table = self.table.lock();
+        let mut stats = self.stats.lock();
+        *stats += table.len() as u64;
+    }
+}

@@ -1,0 +1,14 @@
+// Counterpart of bad/policy_drift.rs: the same checked code with no
+// ingress marker and no reads inside a declared ingress surface. No
+// root, no drift — a file only enters the derived surface through
+// evidence, never by resemblance.
+
+fn pump(frames: &[Vec<u8>]) {
+    for frame in frames {
+        let _ = parse(frame);
+    }
+}
+
+fn parse(frame: &[u8]) -> Option<u8> {
+    frame.first().copied()
+}

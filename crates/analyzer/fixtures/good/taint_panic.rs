@@ -1,0 +1,26 @@
+// Checked counterpart of bad/taint_panic.rs: the same ingress root and
+// call chain, but the leaf propagates an Option instead of unwrapping,
+// so nothing reachable from the root can panic. The file-level drift
+// waiver stands in for adding the file to the panic-safety scope (that
+// rule has its own fixture pair).
+
+// dps: allow-file(policy-drift, reason = "fixture: drift is exercised by its own pair")
+// dps: ingress
+fn pump(sock: &UdpSocket, buf: &mut [u8]) {
+    let n = recv(sock, buf);
+    dispatch(buf.get(..n).unwrap_or(&[]));
+}
+
+fn recv(sock: &UdpSocket, buf: &mut [u8]) -> usize {
+    sock.recv_from(buf).map(|(n, _)| n).unwrap_or(0)
+}
+
+fn dispatch(frame: &[u8]) {
+    let _ = decode_len(frame);
+}
+
+fn decode_len(frame: &[u8]) -> Option<u16> {
+    let hi = frame.first().copied()?;
+    let lo = frame.get(1).copied()?;
+    Some(u16::from_be_bytes([hi, lo]))
+}

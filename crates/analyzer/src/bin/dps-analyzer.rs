@@ -1,7 +1,7 @@
 //! CLI driver for the workspace static analyzer.
 //!
 //! ```text
-//! dps-analyzer [--root DIR] [--json] [--deny] [--all-rules] [paths…]
+//! dps-analyzer [--root DIR] [--json] [--sarif FILE] [--deny] [--all-rules] [paths…]
 //! dps-analyzer --check-fixtures DIR
 //! dps-analyzer --list-rules
 //! ```
@@ -9,7 +9,7 @@
 //! Exit codes: 0 clean (warn-only findings without `--deny` still exit
 //! 0), 1 violations, 2 usage or I/O error.
 
-use dps_analyzer::engine::{analyze_source, collect_sources, rel_path};
+use dps_analyzer::engine::{analyze_source, analyze_sources, collect_sources, rel_path};
 use dps_analyzer::policy::Mode;
 use dps_analyzer::{report, rules, Severity};
 use std::path::{Path, PathBuf};
@@ -18,6 +18,7 @@ use std::process::ExitCode;
 struct Args {
     root: PathBuf,
     json: bool,
+    sarif: Option<PathBuf>,
     deny: bool,
     all_rules: bool,
     check_fixtures: Option<PathBuf>,
@@ -27,7 +28,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dps-analyzer [--root DIR] [--json] [--deny] [--all-rules] [paths…]\n\
+        "usage: dps-analyzer [--root DIR] [--json] [--sarif FILE] [--deny] [--all-rules] [paths…]\n\
          \x20      dps-analyzer --check-fixtures DIR\n\
          \x20      dps-analyzer --list-rules"
     );
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut args = Args {
         root: PathBuf::from("."),
         json: false,
+        sarif: None,
         deny: false,
         all_rules: false,
         check_fixtures: None,
@@ -49,6 +51,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         match a.as_str() {
             "--root" => args.root = PathBuf::from(it.next().ok_or_else(usage)?),
             "--json" => args.json = true,
+            "--sarif" => args.sarif = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
             "--deny" => args.deny = true,
             "--all-rules" => args.all_rules = true,
             "--check-fixtures" => {
@@ -98,18 +101,26 @@ fn main() -> ExitCode {
         args.paths.clone()
     };
 
-    let mut findings = Vec::new();
+    // Flow passes (taint, lock order) need the whole file set at once:
+    // read everything, then analyze together.
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
-        let src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
+        match std::fs::read_to_string(path) {
+            Ok(s) => sources.push((rel_path(&args.root, path), s)),
             Err(e) => {
                 eprintln!("dps-analyzer: {}: {e}", path.display());
                 return ExitCode::from(2);
             }
         };
-        findings.extend(analyze_source(&rel_path(&args.root, path), &src, mode));
     }
+    let findings = analyze_sources(&sources, mode);
 
+    if let Some(sarif_path) = &args.sarif {
+        if let Err(e) = std::fs::write(sarif_path, report::sarif(&findings)) {
+            eprintln!("dps-analyzer: {}: {e}", sarif_path.display());
+            return ExitCode::from(2);
+        }
+    }
     if args.json {
         print!("{}", report::json(&findings));
     } else {

@@ -1,10 +1,23 @@
 //! The analysis engine: walks sources, runs rules, resolves waivers.
+//!
+//! Since PR 9 the engine is multi-file at its core: [`analyze_sources`]
+//! lexes every file, runs the per-file lexical rules, then builds the
+//! workspace symbol index and call graph and runs the inter-procedural
+//! flow passes (ingress taint, lock order). Flow findings are attributed
+//! back to their file and resolved against that file's waivers exactly
+//! like lexical ones. [`analyze_source`] is the single-file special
+//! case — with no ingress roots in sight the flow passes are silent, so
+//! per-file behaviour is unchanged.
 
+use crate::callgraph::Graph;
 use crate::context;
 use crate::lexer;
 use crate::policy::{self, Mode};
-use crate::rules::{self, Severity};
+use crate::rules::{self, Family, RawViolation, Severity};
+use crate::symbols::{self, FileSymbols};
 use crate::waiver::{parse_waivers, Waiver};
+use crate::{locks, taint};
+use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -23,9 +36,19 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Analyses one file's source text under the given mode.
-pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
-    let file_policy = policy::for_path(rel_path, mode);
+/// Per-file intermediate state between the lexical and flow passes.
+struct Prep {
+    rel: String,
+    waivers: Vec<Waiver>,
+    /// Lexical violations under the file's policy, plus flow violations
+    /// attributed to this file.
+    raw: Vec<RawViolation>,
+    /// Scope-blind panic-safety sites, input to the taint pass.
+    panic_sites: Vec<RawViolation>,
+}
+
+fn prep_file(rel: &str, src: &str, mode: Mode) -> (Prep, FileSymbols) {
+    let file_policy = policy::for_path(rel, mode);
     let lexed = lexer::lex(src);
     let ctx = context::scan(&lexed);
 
@@ -45,11 +68,59 @@ pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
         &file_policy.families,
         file_policy.print_allowed,
     );
+    let panic_sites = if file_policy.families.contains(&Family::PanicSafety) {
+        raw.iter()
+            .filter(|v| rules::rule(v.rule).is_some_and(|r| r.family == Family::PanicSafety))
+            .cloned()
+            .collect()
+    } else {
+        rules::check(&lexed, &ctx, &[Family::PanicSafety], true)
+    };
+    let syms = symbols::extract(&lexed, &ctx);
+    (
+        Prep {
+            rel: rel.to_owned(),
+            waivers,
+            raw,
+            panic_sites,
+        },
+        syms,
+    )
+}
 
-    let mut used = vec![false; waivers.len()];
+/// Analyses a set of files together: per-file lexical rules, then the
+/// inter-procedural flow passes over the combined call graph, then
+/// waiver resolution per file.
+pub fn analyze_sources(files: &[(String, String)], mode: Mode) -> Vec<Finding> {
+    let mut preps = Vec::with_capacity(files.len());
+    let mut symfiles: Vec<(String, FileSymbols)> = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let (p, syms) = prep_file(rel, src, mode);
+        symfiles.push((rel.clone(), syms));
+        preps.push(p);
+    }
+
+    let graph = Graph::build(&symfiles);
+    let panic_sites: Vec<Vec<RawViolation>> = preps.iter().map(|p| p.panic_sites.clone()).collect();
+    let tainted = taint::run(&graph, &panic_sites);
+    let lock_findings = locks::run(&graph, &tainted.roots);
+    for (fi, v) in tainted.findings.into_iter().chain(lock_findings) {
+        preps[fi].raw.push(v);
+    }
+
     let mut findings = Vec::new();
-    for v in raw {
-        let waived = waivers.iter().enumerate().any(|(i, w)| {
+    for p in &preps {
+        resolve(p, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+/// Waiver resolution and bookkeeping for one prepared file.
+fn resolve(p: &Prep, findings: &mut Vec<Finding>) {
+    let mut used = vec![false; p.waivers.len()];
+    for v in &p.raw {
+        let waived = p.waivers.iter().enumerate().any(|(i, w)| {
             if !applies(w, v.rule, v.line) {
                 return false;
             }
@@ -61,19 +132,19 @@ pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
         }
         let severity = rules::rule(v.rule).map_or(Severity::Deny, |r| r.severity);
         findings.push(Finding {
-            path: rel_path.to_owned(),
+            path: p.rel.clone(),
             line: v.line,
             rule: v.rule,
             severity,
-            message: v.message,
+            message: v.message.clone(),
         });
     }
 
     // Waiver bookkeeping: missing reasons, unknown rules, stale waivers.
-    for (i, w) in waivers.iter().enumerate() {
+    for (i, w) in p.waivers.iter().enumerate() {
         if rules::rule(&w.rule).is_none() {
             findings.push(Finding {
-                path: rel_path.to_owned(),
+                path: p.rel.clone(),
                 line: w.line,
                 rule: "unknown-rule",
                 severity: Severity::Deny,
@@ -83,7 +154,7 @@ pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
         }
         if w.reason.is_none() {
             findings.push(Finding {
-                path: rel_path.to_owned(),
+                path: p.rel.clone(),
                 line: w.line,
                 rule: "waiver-without-reason",
                 severity: Severity::Deny,
@@ -96,7 +167,7 @@ pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
         }
         if !used[i] {
             findings.push(Finding {
-                path: rel_path.to_owned(),
+                path: p.rel.clone(),
                 line: w.line,
                 rule: "unused-waiver",
                 severity: Severity::Warn,
@@ -104,9 +175,35 @@ pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
             });
         }
     }
+}
 
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
+/// Analyses one file's source text under the given mode. Flow passes run
+/// over the single-file graph — silent unless the file itself contains
+/// ingress roots.
+pub fn analyze_source(rel_path: &str, src: &str, mode: Mode) -> Vec<Finding> {
+    analyze_sources(&[(rel_path.to_owned(), src.to_owned())], mode)
+}
+
+/// The ingress surface of a file set: workspace-relative paths holding
+/// at least one taint-reached function. Used by tests and tooling to
+/// compare the *derived* surface against the hand-written scope.
+pub fn ingress_surface(files: &[(String, String)]) -> BTreeSet<String> {
+    let symfiles: Vec<(String, FileSymbols)> = files
+        .iter()
+        .map(|(rel, src)| {
+            let lexed = lexer::lex(src);
+            let ctx = context::scan(&lexed);
+            (rel.clone(), symbols::extract(&lexed, &ctx))
+        })
+        .collect();
+    let graph = Graph::build(&symfiles);
+    let panic_sites = vec![Vec::new(); symfiles.len()];
+    let tainted = taint::run(&graph, &panic_sites);
+    tainted
+        .reached_files
+        .into_iter()
+        .map(|fi| symfiles[fi].0.clone())
+        .collect()
 }
 
 /// A waiver only suppresses when it is fully formed (known rule + reason)
@@ -156,14 +253,20 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
     s
 }
 
-/// Analyses every source under `root` with the workspace policy.
-pub fn analyze_workspace(root: &Path, mode: Mode) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Reads every source under `root` as `(relative path, text)` pairs.
+pub fn read_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
     for path in collect_sources(root)? {
         let src = std::fs::read_to_string(&path)?;
-        findings.extend(analyze_source(&rel_path(root, &path), &src, mode));
+        out.push((rel_path(root, &path), src));
     }
-    Ok(findings)
+    Ok(out)
+}
+
+/// Analyses every source under `root` with the workspace policy,
+/// including the inter-procedural flow passes over the whole tree.
+pub fn analyze_workspace(root: &Path, mode: Mode) -> io::Result<Vec<Finding>> {
+    Ok(analyze_sources(&read_sources(root)?, mode))
 }
 
 #[cfg(test)]

@@ -14,6 +14,14 @@
 //! Plus hygiene: no stray printing outside binaries/benches, and no
 //! `#[allow(…)]` without a written justification.
 //!
+//! Since PR 9 the analyzer is inter-procedural: a workspace symbol index
+//! (`symbols`) and conservative call graph (`callgraph`) feed an ingress
+//! taint pass (`taint` — which functions can see hostile socket/file
+//! bytes, and do any of them panic?) and a lock-order deadlock lint
+//! (`locks`). The taint pass also *derives* the untrusted-input surface
+//! and reports `policy-drift` where the hand-written panic-safety scope
+//! has fallen behind it.
+//!
 //! Violations are waived inline, and only with a reason:
 //!
 //! ```text
@@ -26,14 +34,18 @@
 //! `./ci.sh analyze` (workspace must be clean) and `./ci.sh
 //! analyze-fixtures` (the known-bad corpus must still fail).
 
+pub mod callgraph;
 pub mod context;
 pub mod engine;
 pub mod lexer;
+pub mod locks;
 pub mod policy;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod waiver;
 
-pub use engine::{analyze_source, analyze_workspace, Finding};
+pub use engine::{analyze_source, analyze_sources, analyze_workspace, ingress_surface, Finding};
 pub use policy::Mode;
 pub use rules::{Family, Severity, RULES};

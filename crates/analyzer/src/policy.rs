@@ -46,7 +46,48 @@ pub const PANIC_SAFETY_SCOPE: &[&str] = &[
     "crates/serve/src/edns.rs",
     "crates/serve/src/frontend.rs",
     "crates/serve/src/rrl.rs",
+    "crates/serve/src/sockets.rs",
+    "crates/cluster/src/transport.rs",
+    "crates/store/src/writer.rs",
+    "crates/measure/src/pipeline.rs",
 ];
+
+/// Files where a read-style call takes in *untrusted* bytes — real
+/// sockets and on-disk archives/zones. A function here performing such
+/// a read is an ingress root for the taint pass (`// dps: ingress`
+/// markers add roots the call graph cannot see, e.g. fuzz targets
+/// dispatched through function values).
+pub const INGRESS_SCOPE: &[&str] = &[
+    "crates/serve/src/sockets.rs",
+    "crates/cluster/src/transport.rs",
+    "crates/store/src/",
+    "crates/authdns/src/zonefile.rs",
+];
+
+/// True if `rel` is a declared ingress surface (see [`INGRESS_SCOPE`]).
+pub fn in_ingress_scope(rel: &str) -> bool {
+    in_scope(rel, INGRESS_SCOPE)
+}
+
+/// True if `rel` is covered by the hand-written panic-safety scope.
+pub fn in_panic_safety_scope(rel: &str) -> bool {
+    in_scope(rel, PANIC_SAFETY_SCOPE)
+}
+
+/// True for operator-facing paths the flow passes (taint, locks) leave
+/// alone: panics and lock stalls in binaries, benches, examples and
+/// integration tests abort a tool run, not a server.
+pub fn flow_exempt(rel: &str) -> bool {
+    rel.contains("/bin/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/tests/")
+        || rel.starts_with("examples/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("crates/bench/")
+        || rel.ends_with("/main.rs")
+        || rel.ends_with("build.rs")
+}
 
 /// What applies to one file.
 #[derive(Debug, Clone)]
@@ -135,6 +176,16 @@ mod tests {
         let p = for_path("crates/cluster/src/wire.rs", Mode::Workspace);
         assert!(p.families.contains(&Family::Determinism));
         assert!(p.families.contains(&Family::PanicSafety));
+        // The transport frames untrusted socket bytes and the archive
+        // writer re-reads on-disk bytes: both were flagged by the
+        // policy-drift rule and folded into the scope (PR 9).
+        for rel in [
+            "crates/cluster/src/transport.rs",
+            "crates/store/src/writer.rs",
+        ] {
+            let p = for_path(rel, Mode::Workspace);
+            assert!(p.families.contains(&Family::PanicSafety), "{rel}");
+        }
     }
 
     #[test]
@@ -151,21 +202,32 @@ mod tests {
 
     #[test]
     fn serve_and_fuzz_crates_are_scoped() {
-        // Serve's wire-facing modules parse hostile socket bytes; its
-        // socket plumbing is I/O glue and stays out of panic-safety.
+        // Serve's wire-facing modules parse hostile socket bytes, and the
+        // socket plumbing frames them — the taint pass flagged it as an
+        // ingress root, so it is scoped too (PR 9 policy-drift fix).
         for rel in [
             "crates/serve/src/edns.rs",
             "crates/serve/src/frontend.rs",
             "crates/serve/src/rrl.rs",
+            "crates/serve/src/sockets.rs",
         ] {
             let p = for_path(rel, Mode::Workspace);
             assert!(p.families.contains(&Family::PanicSafety), "{rel}");
         }
-        let p = for_path("crates/serve/src/sockets.rs", Mode::Workspace);
-        assert!(!p.families.contains(&Family::PanicSafety));
         // The fuzzer must be seed-deterministic to reproduce findings.
         let p = for_path("crates/fuzz/src/lib.rs", Mode::Workspace);
         assert!(p.families.contains(&Family::Determinism));
+    }
+
+    #[test]
+    fn ingress_scope_and_flow_exemptions() {
+        assert!(in_ingress_scope("crates/serve/src/sockets.rs"));
+        assert!(in_ingress_scope("crates/store/src/snapshot.rs"));
+        assert!(!in_ingress_scope("crates/core/src/growth.rs"));
+        assert!(flow_exempt("crates/ecosystem/src/bin/dpscope.rs"));
+        assert!(flow_exempt("crates/measure/tests/determinism.rs"));
+        assert!(flow_exempt("crates/bench/benches/telemetry.rs"));
+        assert!(!flow_exempt("crates/serve/src/sockets.rs"));
     }
 
     #[test]

@@ -56,6 +56,49 @@ pub fn json(findings: &[Finding]) -> String {
     out
 }
 
+/// Renders findings as a minimal SARIF 2.1.0 log (one run, one artifact
+/// location per finding) so CI systems can ingest the analyzer output as
+/// a standard static-analysis artifact.
+pub fn sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"dps-analyzer\",\"rules\":[",
+    );
+    for (i, r) in crate::rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            escape(r.id),
+            escape(r.describes)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match f.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            escape(f.rule),
+            escape(level),
+            escape(&f.message),
+            escape(&f.path),
+            f.line
+        ));
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -107,5 +150,26 @@ mod tests {
     fn empty_report() {
         assert!(human(&[]).contains("0 finding(s)"));
         assert_eq!(json(&[]).trim_end(), "[]");
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let s = sarif(&sample());
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"dps-analyzer\""));
+        // Every shipped rule is declared in the driver metadata.
+        for r in crate::rules::RULES {
+            assert!(s.contains(&format!("\"id\":\"{}\"", r.id)), "{}", r.id);
+        }
+        assert!(s.contains("\"ruleId\":\"slice-index\""));
+        assert!(s.contains("\"level\":\"error\""));
+        assert!(s.contains("\"startLine\":42"));
+        assert!(s.contains("crates/dns/src/wire.rs"));
+    }
+
+    #[test]
+    fn sarif_empty_is_valid_shape() {
+        let s = sarif(&[]);
+        assert!(s.contains("\"results\":[]"));
     }
 }

@@ -26,6 +26,10 @@ pub enum Family {
     Hygiene,
     /// Waiver bookkeeping; always in scope.
     Meta,
+    /// Inter-procedural passes (ingress taint, lock order) over the
+    /// workspace call graph; always run, scoped by their own root and
+    /// exemption logic rather than the per-file family map.
+    Flow,
 }
 
 /// Violation severity. `Deny` fails the build; `Warn` fails only under
@@ -129,6 +133,34 @@ pub const RULES: &[Rule] = &[
         family: Family::Meta,
         severity: Severity::Warn,
         describes: "waiver that suppressed nothing; delete it",
+    },
+    Rule {
+        id: "taint-panic",
+        family: Family::Flow,
+        severity: Severity::Deny,
+        describes: "panic-capable code (unwrap/expect, panic!, unchecked indexing) in a \
+                    function reachable from an ingress root, outside the panic-safety scope",
+    },
+    Rule {
+        id: "policy-drift",
+        family: Family::Flow,
+        severity: Severity::Warn,
+        describes: "file containing an ingress root (reads untrusted socket/file bytes) \
+                    that the hand-written panic-safety scope does not cover",
+    },
+    Rule {
+        id: "lock-order",
+        family: Family::Flow,
+        severity: Severity::Deny,
+        describes: "two locks acquired in opposite orders on different code paths \
+                    (deadlock candidate), directly or transitively across calls",
+    },
+    Rule {
+        id: "lock-across-ingress",
+        family: Family::Flow,
+        severity: Severity::Warn,
+        describes: "lock guard held across a call or read that performs ingress I/O; \
+                    hostile-paced bytes then control how long the lock is held",
     },
 ];
 

@@ -1,0 +1,799 @@
+//! Per-file symbol extraction: the function items, call sites, lock
+//! acquisitions and ingress I/O reads the inter-procedural passes work
+//! on.
+//!
+//! This stays deliberately AST-lite, like [`crate::context`]: a single
+//! forward walk over the token stream tracking brace depth, an
+//! impl/trait owner stack, and a pending-`fn` latch. It is a lexical
+//! over-approximation — good enough to build a conservative call graph,
+//! never precise enough to prove absence. Test-only code (per
+//! [`crate::context::Context`]) contributes no symbols and no call
+//! sites.
+
+use crate::context::Context;
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// How a lock guard was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `.lock()` — `Mutex` (std or parking_lot, or a wrapper method).
+    Mutex,
+    /// `.read()` with no arguments — `RwLock` shared guard.
+    Read,
+    /// `.write()` with no arguments — `RwLock` exclusive guard.
+    Write,
+}
+
+impl LockKind {
+    /// The method name this kind was recognised from.
+    pub fn method(self) -> &'static str {
+        match self {
+            LockKind::Mutex => "lock",
+            LockKind::Read => "read",
+            LockKind::Write => "write",
+        }
+    }
+}
+
+/// One lock acquisition and the region its guard is (approximately)
+/// held over.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Receiver text, e.g. `self.rrl` or `self.shard()` — the lock's
+    /// identity for order comparison (the lock pass qualifies `self.`
+    /// receivers by the owning type).
+    pub receiver: String,
+    /// Mutex vs RwLock read/write.
+    pub kind: LockKind,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Last line the guard is considered held on. A `let`-bound guard
+    /// runs to the end of its enclosing block (or an explicit
+    /// `drop(guard)`); a temporary guard runs to the end of its
+    /// statement.
+    pub end_line: u32,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Path segments as written: `["zonefile", "parse_zone"]`,
+    /// `["Message", "parse"]`, or just `["handle"]`.
+    pub path: Vec<String>,
+    /// True for `.name(…)` method-call syntax (resolved by name across
+    /// every impl in the workspace — the dynamic-dispatch
+    /// over-approximation).
+    pub method: bool,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    /// Inline (non-test) `mod` path inside the file, outermost first.
+    pub mods: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace.
+    pub end_line: u32,
+    /// Calls made from the body.
+    pub calls: Vec<Call>,
+    /// Lock acquisitions in the body.
+    pub locks: Vec<LockSite>,
+    /// Lines performing ingress-style I/O reads (socket/file), with the
+    /// API name that matched.
+    pub io_reads: Vec<(String, u32)>,
+    /// True if a `// dps: ingress` marker comment targets this fn.
+    pub ingress_marked: bool,
+}
+
+/// All symbols of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    /// Function items in source order (test-only fns excluded).
+    pub fns: Vec<FnSym>,
+}
+
+impl FileSymbols {
+    /// The function whose body span contains `line`, innermost first.
+    pub fn fn_at_line(&self, line: u32) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.line <= line && line <= f.end_line {
+                let tighter = best.map_or(true, |b| {
+                    let prev = &self.fns[b];
+                    f.end_line - f.line <= prev.end_line - prev.line
+                });
+                if tighter {
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Read-style APIs that mark a function as touching ingress bytes when
+/// called with arguments (`.read()` with none is an `RwLock` guard, not
+/// I/O). `accept` yields a hostile-peer stream, so it counts too.
+const INGRESS_READ_APIS: &[&str] = &[
+    "recv_from",
+    "recv",
+    "accept",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_dir",
+    "read_line",
+];
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "move", "unsafe", "where",
+    "box", "yield", "let", "else",
+];
+
+/// Item positions where an `impl`/`trait`/`mod` keyword can start an
+/// item (vs. `-> impl Trait` in a return type).
+fn item_position(prev: Option<&Token>) -> bool {
+    match prev {
+        None => true,
+        Some(t) if t.kind == TokKind::Punct => matches!(t.text.as_str(), "{" | "}" | ";" | "]"),
+        Some(t) => t.is_ident("unsafe") || t.is_ident("pub"),
+    }
+}
+
+#[derive(Debug)]
+enum ScopeKind {
+    /// An `impl Type` / `trait Type` body; the owner name.
+    Owner(String),
+    /// A function body: index into `fns`, or `None` for a test fn whose
+    /// symbol is discarded.
+    Fn(Option<usize>),
+    /// An inline `mod name { … }`.
+    Mod,
+    /// Any other brace pair.
+    Other,
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth *before* this scope's `{` was entered.
+    open_depth: i32,
+}
+
+/// A lock guard whose held region has not closed yet.
+struct OpenGuard {
+    fn_idx: usize,
+    lock_idx: usize,
+    /// Depth just after the acquisition (a bound guard dies when depth
+    /// drops below this; a temporary dies at the next `;` at exactly
+    /// this depth).
+    depth: i32,
+    /// `Some(name)` when `let name = …` bound the guard.
+    bound: Option<String>,
+}
+
+/// Extracts the symbols of one lexed file.
+pub fn extract(lexed: &Lexed, ctx: &Context) -> FileSymbols {
+    Extractor {
+        toks: &lexed.tokens,
+        ctx,
+        fns: Vec::new(),
+        scopes: Vec::new(),
+        mods: Vec::new(),
+        depth: 0,
+        pending_fn: None,
+        pending_owner: None,
+        guards: Vec::new(),
+    }
+    .run(&lexed.comments)
+}
+
+struct Extractor<'a> {
+    toks: &'a [Token],
+    ctx: &'a Context,
+    fns: Vec<FnSym>,
+    scopes: Vec<Scope>,
+    mods: Vec<String>,
+    depth: i32,
+    /// Armed by `fn name` while scanning the header; attached at the
+    /// next `{`, cancelled by a `;` (trait method declaration).
+    pending_fn: Option<(String, u32)>,
+    /// Armed by an `impl`/`trait` header; attached at the next `{`.
+    pending_owner: Option<String>,
+    guards: Vec<OpenGuard>,
+}
+
+impl<'a> Extractor<'a> {
+    fn live(&self, i: usize) -> Option<&'a Token> {
+        let t = self.toks.get(i)?;
+        if *self.ctx.skipped.get(i)? {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Nearest enclosing owner name, if inside an impl/trait body.
+    fn current_owner(&self) -> Option<String> {
+        self.scopes.iter().rev().find_map(|s| match &s.kind {
+            ScopeKind::Owner(name) => Some(name.clone()),
+            _ => None,
+        })
+    }
+
+    /// Innermost live function body, if any.
+    fn current_fn(&self) -> Option<usize> {
+        self.scopes.iter().rev().find_map(|s| match s.kind {
+            ScopeKind::Fn(idx) => idx,
+            _ => None,
+        })
+    }
+
+    /// Skips a balanced `<…>` generics group starting at `i` (which must
+    /// be `<`); returns the index just past the closing `>`. `->` arrows
+    /// inside bounds do not count as closers.
+    fn skip_generics(&self, mut i: usize) -> usize {
+        let mut depth = 0i32;
+        while let Some(t) = self.toks.get(i) {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                let arrow = i > 0 && self.toks.get(i - 1).is_some_and(|p| p.is_punct("-"));
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+            } else if t.is_punct("{") || t.is_punct(";") {
+                return i; // malformed header; bail before the body
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Parses an `impl`/`trait` header starting just past the keyword;
+    /// returns the self-type name (last path segment, `for` target
+    /// preferred).
+    fn parse_owner(&self, mut i: usize) -> Option<String> {
+        let mut name: Option<String> = None;
+        while let Some(t) = self.toks.get(i) {
+            if t.is_punct("<") {
+                i = self.skip_generics(i);
+                continue;
+            }
+            if t.is_punct("{") || t.is_ident("where") || t.is_punct(";") {
+                break;
+            }
+            if t.is_ident("for") {
+                name = None; // the real self type follows
+                i += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                name = Some(t.text.clone());
+            }
+            i += 1;
+        }
+        name
+    }
+
+    /// Walks backwards from the `.` before a lock method to render the
+    /// receiver chain, e.g. `self.rrl` or `shard()`. Call arguments are
+    /// collapsed to `()` so per-key shards share one identity.
+    fn receiver_chain(&self, dot: usize) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut i = dot; // index of the `.` token
+        while let Some(prev) = i.checked_sub(1) {
+            let t = &self.toks[prev];
+            if t.is_punct(")") {
+                // Collapse the balanced (…) group.
+                let mut depth = 0i32;
+                let mut j = prev;
+                loop {
+                    let tok = &self.toks[j];
+                    if tok.is_punct(")") {
+                        depth += 1;
+                    } else if tok.is_punct("(") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    let Some(next) = j.checked_sub(1) else { break };
+                    j = next;
+                }
+                parts.push("()".to_owned());
+                i = j;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                parts.push(t.text.clone());
+                // Keep walking over a preceding `.` or `::`.
+                let Some(pp) = prev.checked_sub(1) else {
+                    break;
+                };
+                let link = &self.toks[pp];
+                if link.is_punct(".") || link.is_punct("::") {
+                    parts.push(link.text.clone());
+                    i = pp;
+                    continue;
+                }
+                break;
+            }
+            break;
+        }
+        parts.reverse();
+        let mut out = String::new();
+        for p in &parts {
+            if p == "." || p == "::" {
+                out.push('.');
+            } else if p == "()" {
+                out.push_str("()");
+            } else {
+                if !out.is_empty() && !out.ends_with('.') {
+                    break; // two idents without a link: start over
+                }
+                out.push_str(p);
+            }
+        }
+        if out.is_empty() {
+            "<expr>".to_owned()
+        } else {
+            out
+        }
+    }
+
+    /// True if the statement containing token `i` started with `let`;
+    /// returns the bound name. Scans back to the previous `;`/`{`/`}`.
+    fn let_binding(&self, i: usize) -> Option<String> {
+        let mut j = i;
+        while let Some(prev) = j.checked_sub(1) {
+            let t = &self.toks[prev];
+            if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                return None;
+            }
+            if t.is_ident("let") {
+                // `let [mut] name`
+                let mut k = prev + 1;
+                if self.toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                    k += 1;
+                }
+                return self
+                    .toks
+                    .get(k)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+            }
+            j = prev;
+        }
+        None
+    }
+
+    /// Closes every open guard whose region ends at this token.
+    fn close_guards(&mut self, line: u32, at_semi: bool) {
+        let depth = self.depth;
+        let mut keep = Vec::new();
+        for g in self.guards.drain(..) {
+            let dies = if g.bound.is_some() {
+                depth < g.depth
+            } else {
+                (at_semi && depth == g.depth) || depth < g.depth
+            };
+            if dies {
+                if let Some(f) = self.fns.get_mut(g.fn_idx) {
+                    if let Some(l) = f.locks.get_mut(g.lock_idx) {
+                        l.end_line = line;
+                    }
+                }
+            } else {
+                keep.push(g);
+            }
+        }
+        self.guards = keep;
+    }
+
+    /// Handles an explicit `drop(guard)` call, ending that guard's
+    /// region early.
+    fn handle_drop(&mut self, i: usize, line: u32) {
+        let name = match (self.live(i + 1), self.live(i + 2), self.live(i + 3)) {
+            (Some(open), Some(arg), Some(close))
+                if open.is_punct("(") && arg.kind == TokKind::Ident && close.is_punct(")") =>
+            {
+                arg.text.clone()
+            }
+            _ => return,
+        };
+        let mut keep = Vec::new();
+        for g in self.guards.drain(..) {
+            if g.bound.as_deref() == Some(name.as_str()) {
+                if let Some(f) = self.fns.get_mut(g.fn_idx) {
+                    if let Some(l) = f.locks.get_mut(g.lock_idx) {
+                        l.end_line = line;
+                    }
+                }
+            } else {
+                keep.push(g);
+            }
+        }
+        self.guards = keep;
+    }
+
+    fn run(mut self, comments: &[Comment]) -> FileSymbols {
+        let mut i = 0usize;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            let line = t.line;
+            let live = !self.ctx.skipped.get(i).copied().unwrap_or(false);
+
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        let open_depth = self.depth;
+                        self.depth += 1;
+                        let kind = if let Some((name, fn_line)) = self.pending_fn.take() {
+                            if live {
+                                self.fns.push(FnSym {
+                                    name,
+                                    owner: self.current_owner(),
+                                    mods: self.mods.clone(),
+                                    line: fn_line,
+                                    end_line: fn_line,
+                                    calls: Vec::new(),
+                                    locks: Vec::new(),
+                                    io_reads: Vec::new(),
+                                    ingress_marked: false,
+                                });
+                                ScopeKind::Fn(Some(self.fns.len() - 1))
+                            } else {
+                                ScopeKind::Fn(None) // test fn: walk, don't record
+                            }
+                        } else if let Some(name) = self.pending_owner.take() {
+                            ScopeKind::Owner(name)
+                        } else {
+                            ScopeKind::Other
+                        };
+                        self.scopes.push(Scope { kind, open_depth });
+                    }
+                    "}" => {
+                        self.depth -= 1;
+                        self.close_guards(line, false);
+                        if self
+                            .scopes
+                            .last()
+                            .is_some_and(|s| s.open_depth == self.depth)
+                        {
+                            if let Some(s) = self.scopes.pop() {
+                                match s.kind {
+                                    ScopeKind::Fn(Some(idx)) => {
+                                        if let Some(f) = self.fns.get_mut(idx) {
+                                            f.end_line = line;
+                                        }
+                                    }
+                                    ScopeKind::Mod => {
+                                        self.mods.pop();
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    ";" => {
+                        self.pending_fn = None; // trait method declaration
+                        self.close_guards(line, true);
+                    }
+                    _ => {}
+                }
+                i += 1;
+                continue;
+            }
+
+            if t.kind != TokKind::Ident || !live {
+                i += 1;
+                continue;
+            }
+
+            let prev_live = i.checked_sub(1).and_then(|p| self.live(p));
+            match t.text.as_str() {
+                "fn" => {
+                    if let Some(name) = self.live(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        self.pending_fn = Some((name.text.clone(), line));
+                        i += 2;
+                        continue;
+                    }
+                }
+                "impl" if item_position(prev_live) => {
+                    self.pending_owner = self.parse_owner(i + 1);
+                }
+                "trait" if item_position(prev_live) => {
+                    self.pending_owner = self
+                        .live(i + 1)
+                        .filter(|n| n.kind == TokKind::Ident)
+                        .map(|n| n.text.clone());
+                }
+                "mod" if item_position(prev_live) => {
+                    if let Some(name) = self.live(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        // Only inline bodies open a scope; `mod x;` is
+                        // cancelled by the `;` arm via pending_owner=None.
+                        if self.live(i + 2).is_some_and(|b| b.is_punct("{")) {
+                            self.mods.push(name.text.clone());
+                            self.scopes.push(Scope {
+                                kind: ScopeKind::Mod,
+                                open_depth: self.depth,
+                            });
+                            self.depth += 1;
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                "drop" if self.current_fn().is_some() => {
+                    self.handle_drop(i, line);
+                }
+                _ => {}
+            }
+
+            // Call / lock / io-read detection, inside live fn bodies only.
+            if let Some(fn_idx) = self.current_fn() {
+                let called = self.live(i + 1).is_some_and(|n| n.is_punct("("));
+                if called && !CALL_KEYWORDS.contains(&t.text.as_str()) {
+                    let after_dot = prev_live.is_some_and(|p| p.is_punct("."));
+                    let zero_arg = self.live(i + 2).is_some_and(|n| n.is_punct(")"));
+                    let lock_kind = match t.text.as_str() {
+                        "lock" if after_dot && zero_arg => Some(LockKind::Mutex),
+                        "read" if after_dot && zero_arg => Some(LockKind::Read),
+                        "write" if after_dot && zero_arg => Some(LockKind::Write),
+                        _ => None,
+                    };
+                    if let Some(kind) = lock_kind {
+                        let receiver = self.receiver_chain(i - 1);
+                        let bound = self.let_binding(i);
+                        self.fns[fn_idx].locks.push(LockSite {
+                            receiver,
+                            kind,
+                            line,
+                            end_line: line,
+                        });
+                        self.guards.push(OpenGuard {
+                            fn_idx,
+                            lock_idx: self.fns[fn_idx].locks.len() - 1,
+                            depth: self.depth,
+                            bound,
+                        });
+                    } else {
+                        if INGRESS_READ_APIS.contains(&t.text.as_str()) && !zero_arg {
+                            self.fns[fn_idx].io_reads.push((t.text.clone(), line));
+                        }
+                        if after_dot {
+                            self.fns[fn_idx].calls.push(Call {
+                                path: vec![t.text.clone()],
+                                method: true,
+                                line,
+                            });
+                        } else {
+                            let mut path = vec![t.text.clone()];
+                            let mut j = i;
+                            while j >= 2
+                                && self.live(j - 1).is_some_and(|p| p.is_punct("::"))
+                                && self.live(j - 2).is_some_and(|p| p.kind == TokKind::Ident)
+                            {
+                                path.insert(0, self.toks[j - 2].text.clone());
+                                j -= 2;
+                            }
+                            self.fns[fn_idx].calls.push(Call {
+                                path,
+                                method: false,
+                                line,
+                            });
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // Any guard still open at EOF: held to the end of its function.
+        let guards = std::mem::take(&mut self.guards);
+        for g in guards {
+            if let Some(f) = self.fns.get(g.fn_idx) {
+                let end = f.end_line;
+                if let Some(l) = self.fns[g.fn_idx].locks.get_mut(g.lock_idx) {
+                    l.end_line = end;
+                }
+            }
+        }
+
+        // `// dps: ingress` markers: own-line comment directly above the
+        // fn, or trailing on the fn's own line.
+        let mut out = FileSymbols { fns: self.fns };
+        for c in comments {
+            if self.ctx.line_skipped(c.line) {
+                continue;
+            }
+            let text = c.text.trim().trim_start_matches('/').trim_start();
+            if !text.starts_with("dps: ingress") {
+                continue;
+            }
+            let target = if c.own_line { c.end_line + 1 } else { c.line };
+            for f in &mut out.fns {
+                if f.line == target {
+                    f.ingress_marked = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context;
+    use crate::lexer::lex;
+
+    fn extract_src(src: &str) -> FileSymbols {
+        let l = lex(src);
+        let ctx = context::scan(&l);
+        extract(&l, &ctx)
+    }
+
+    #[test]
+    fn free_fns_and_impl_methods() {
+        let src = "fn top() { helper(1); }\n\
+                   struct S;\n\
+                   impl S { fn m(&self) { self.n(); } fn n(&self) {} }\n\
+                   impl Iterator for S { fn next(&mut self) -> Option<u8> { None } }";
+        let s = extract_src(src);
+        let names: Vec<_> = s
+            .fns
+            .iter()
+            .map(|f| (f.owner.clone(), f.name.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                (None, "top".to_owned()),
+                (Some("S".to_owned()), "m".to_owned()),
+                (Some("S".to_owned()), "n".to_owned()),
+                (Some("S".to_owned()), "next".to_owned()),
+            ]
+        );
+        assert_eq!(s.fns[0].calls.len(), 1);
+        assert_eq!(s.fns[0].calls[0].path, ["helper"]);
+        assert!(s.fns[1].calls[0].method);
+    }
+
+    #[test]
+    fn impl_generics_and_for_target() {
+        let src = "impl<'a, F: Fn(u8) -> bool> Visitor<F> for Walker<'a> { fn visit(&self) {} }";
+        let s = extract_src(src);
+        assert_eq!(s.fns[0].owner.as_deref(), Some("Walker"));
+    }
+
+    #[test]
+    fn trait_decl_methods_and_declarations() {
+        let src = "trait T { fn has_body(&self) { base(); } fn decl_only(&self); }\nfn after() {}";
+        let s = extract_src(src);
+        let names: Vec<_> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["has_body", "after"]);
+        assert_eq!(s.fns[0].owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn path_calls_collect_segments() {
+        let src = "fn f() { zonefile::parse_zone(x); dps_dns::Message::parse(b); g(); }";
+        let s = extract_src(src);
+        let paths: Vec<_> = s.fns[0].calls.iter().map(|c| c.path.clone()).collect();
+        assert_eq!(
+            paths,
+            [
+                vec!["zonefile".to_owned(), "parse_zone".to_owned()],
+                vec![
+                    "dps_dns".to_owned(),
+                    "Message".to_owned(),
+                    "parse".to_owned()
+                ],
+                vec!["g".to_owned()],
+            ]
+        );
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let src = "fn f() { println!(\"x\"); if (a) { return (b); } vec![1]; }";
+        let s = extract_src(src);
+        assert!(s.fns[0].calls.is_empty(), "{:?}", s.fns[0].calls);
+    }
+
+    #[test]
+    fn test_code_contributes_nothing() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() { target(); }\n  #[test]\n  fn t() { helper(); }\n}";
+        let s = extract_src(src);
+        let names: Vec<_> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["live"]);
+    }
+
+    #[test]
+    fn lock_sites_and_held_regions() {
+        let src = "fn f(&self) {\n\
+                   let g = self.state.lock();\n\
+                   self.other.lock();\n\
+                   use_it(&g);\n\
+                   }\n\
+                   fn h(&self) { self.map.read(); stream.read(&mut buf); }";
+        let s = extract_src(src);
+        let f = &s.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        assert_eq!(f.locks[0].receiver, "self.state");
+        assert_eq!(f.locks[0].kind, LockKind::Mutex);
+        // let-bound: held to the closing brace (line 5).
+        assert_eq!(f.locks[0].end_line, 5);
+        // temporary: dies on its own statement.
+        assert_eq!(f.locks[1].receiver, "self.other");
+        assert_eq!(f.locks[1].end_line, 3);
+        let h = &s.fns[1];
+        assert_eq!(h.locks.len(), 1);
+        assert_eq!(h.locks[0].kind, LockKind::Read);
+        // read with args is I/O, not a lock.
+        assert_eq!(h.io_reads.len(), 1);
+        assert_eq!(h.io_reads[0].0, "read");
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_region() {
+        let src = "fn f(&self) {\n\
+                   let g = self.state.lock();\n\
+                   use_it(&g);\n\
+                   drop(g);\n\
+                   more();\n\
+                   }";
+        let s = extract_src(src);
+        assert_eq!(s.fns[0].locks[0].end_line, 4);
+    }
+
+    #[test]
+    fn ingress_markers_and_io_reads() {
+        let src = "// dps: ingress\n\
+                   fn root(sock: &UdpSocket) { sock.recv_from(&mut buf); }\n\
+                   fn not_root() {}";
+        let s = extract_src(src);
+        assert!(s.fns[0].ingress_marked);
+        assert_eq!(s.fns[0].io_reads[0].0, "recv_from");
+        assert!(!s.fns[1].ingress_marked);
+    }
+
+    #[test]
+    fn receiver_chain_collapses_args() {
+        let src = "fn f(&self) { self.shard(key).lock(); }";
+        let s = extract_src(src);
+        assert_eq!(s.fns[0].locks[0].receiver, "self.shard()");
+    }
+
+    #[test]
+    fn inline_mods_qualify() {
+        let src = "mod inner { fn f() {} }\nfn outer() {}";
+        let s = extract_src(src);
+        assert_eq!(s.fns[0].mods, ["inner"]);
+        assert!(s.fns[1].mods.is_empty());
+    }
+
+    #[test]
+    fn fn_at_line_picks_innermost() {
+        let src = "fn outer() {\n  fn inner() {\n    x();\n  }\n  y();\n}";
+        let s = extract_src(src);
+        let idx = s.fn_at_line(3).unwrap();
+        assert_eq!(s.fns[idx].name, "inner");
+        let idx = s.fn_at_line(5).unwrap();
+        assert_eq!(s.fns[idx].name, "outer");
+    }
+}

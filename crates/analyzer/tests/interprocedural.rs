@@ -1,0 +1,68 @@
+//! The rediscovery gate for the inter-procedural passes, run against the
+//! real workspace: the taint pass, starting only from *derived* ingress
+//! roots (socket/file reads inside the declared ingress scope plus
+//! `// dps: ingress` markers), must reach every file the hand-written
+//! panic-safety scope lists — and more. If the derived surface ever
+//! shrinks below the hand-written one, either the call graph lost edges
+//! or the scope names a module ingress can no longer reach; both are
+//! worth failing loudly over.
+
+use std::path::Path;
+
+use dps_analyzer::engine::{analyze_workspace, ingress_surface, read_sources};
+use dps_analyzer::policy::PANIC_SAFETY_SCOPE;
+use dps_analyzer::Mode;
+
+fn workspace_root() -> &'static Path {
+    // crates/analyzer -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+#[test]
+fn taint_rediscovers_the_panic_safety_scope() {
+    let files = read_sources(workspace_root()).expect("workspace sources");
+    let surface = ingress_surface(&files);
+
+    // Every hand-listed module is reachable from a derived ingress root.
+    for scoped in PANIC_SAFETY_SCOPE {
+        assert!(
+            surface.contains(*scoped),
+            "panic-safety scope entry {scoped} is not on the derived ingress \
+             surface; the call graph lost the path that justified scoping it"
+        );
+    }
+
+    // And the derived surface is strictly larger: the pass sees modules
+    // the hand-written list never named (this is what caught
+    // serve::sockets, cluster::transport and store::writer in PR 9).
+    let unlisted: Vec<&String> = surface
+        .iter()
+        .filter(|f| !PANIC_SAFETY_SCOPE.contains(&f.as_str()))
+        .collect();
+    assert!(
+        !unlisted.is_empty(),
+        "derived ingress surface adds nothing beyond the hand-written scope"
+    );
+}
+
+#[test]
+fn workspace_is_clean_under_workspace_policy() {
+    let files = read_sources(workspace_root()).expect("workspace sources");
+    let findings = analyze_workspace(workspace_root(), Mode::Workspace).expect("analyzable");
+    assert!(
+        !files.is_empty(),
+        "read_sources found no files — looking at the wrong root?"
+    );
+    let rendered: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "workspace must analyze clean, found:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -63,7 +63,7 @@ impl AuthServer {
         if query.header.qr || query.questions.len() != 1 {
             return None;
         }
-        let question = &query.questions[0];
+        let question = query.questions.first()?;
         let mut resp = query.answer_template();
 
         let Some(zone) = self.find_zone(&question.qname) else {
@@ -103,7 +103,10 @@ impl AuthServer {
                     resp.header.aa = true;
                     let target = match &rec.rdata {
                         RData::Cname(t) => t.clone(),
-                        _ => unreachable!("Cname outcome carries CNAME rdata"),
+                        // A Cname outcome always carries CNAME rdata; if
+                        // that invariant ever broke, answer with what we
+                        // have rather than abort the server.
+                        _ => break,
                     };
                     resp.answers.push(rec);
                     if hop + 1 == MAX_CHAIN {

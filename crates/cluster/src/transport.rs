@@ -85,7 +85,7 @@ impl<R: Read + Send> FrameRx for StreamRx<R> {
             let mut chunk = [0u8; 8192];
             match self.inner.read(&mut chunk) {
                 Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-                Ok(n) => self.fb.extend(&chunk[..n]),
+                Ok(n) => self.fb.extend(chunk.get(..n).unwrap_or(&[])),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>

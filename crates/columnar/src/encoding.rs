@@ -77,10 +77,9 @@ fn encode_delta(values: &[u32]) -> Vec<u8> {
 fn encode_rle(values: &[u32]) -> Vec<u8> {
     let mut out = Vec::new();
     let mut i = 0;
-    while i < values.len() {
-        let v = values[i];
+    while let Some(&v) = values.get(i) {
         let mut run = 1usize;
-        while i + run < values.len() && values[i + run] == v {
+        while values.get(i + run) == Some(&v) {
             run += 1;
         }
         varint::put_u64(&mut out, u64::from(v));
@@ -114,7 +113,8 @@ pub fn decode_u32s(buf: &[u8]) -> Result<Vec<u32>, DecodeError> {
             for _ in 0..n {
                 let end = pos + 4;
                 let bytes = buf.get(pos..end).ok_or(DecodeError::Truncated)?;
-                out.push(u32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+                let word: [u8; 4] = bytes.try_into().map_err(|_| DecodeError::Truncated)?;
+                out.push(u32::from_le_bytes(word));
                 pos = end;
             }
         }

@@ -93,9 +93,9 @@ impl Table {
         self.columns.first().map_or(0, Vec::len)
     }
 
-    /// Column by index.
+    /// Column by index; a missing column reads as empty.
     pub fn column(&self, i: usize) -> &[u32] {
-        &self.columns[i]
+        self.columns.get(i).map_or(&[], Vec::as_slice)
     }
 
     /// Column by name.
@@ -172,14 +172,17 @@ impl Table {
         let mut columns = Vec::with_capacity(selected.len());
         let mut rows: Option<usize> = None;
         for &i in &selected {
-            let (start, len) = payloads[i];
-            let col = decode_u32s(&buf[start..start + len]).map_err(TableError::Column)?;
+            let (Some(&(start, len)), Some(&name)) = (payloads.get(i), names.get(i)) else {
+                return Err(TableError::Truncated);
+            };
+            let bytes = buf.get(start..start + len).ok_or(TableError::Truncated)?;
+            let col = decode_u32s(bytes).map_err(TableError::Column)?;
             match rows {
                 None => rows = Some(col.len()),
                 Some(r) if r != col.len() => return Err(TableError::RaggedColumns),
                 _ => {}
             }
-            out_names.push(names[i]);
+            out_names.push(name);
             columns.push(col);
         }
         Ok(Self {

@@ -26,15 +26,19 @@ impl DayBits {
         self.len == 0
     }
 
-    /// Sets day `i`.
+    /// Sets day `i`. Out-of-range days are ignored.
     pub fn set(&mut self, i: usize) {
         debug_assert!(i < self.len);
-        self.words[i / 64] |= 1 << (i % 64);
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w |= 1 << (i % 64);
+        }
     }
 
-    /// Reads day `i`.
+    /// Reads day `i`. Out-of-range days read as unset.
     pub fn get(&self, i: usize) -> bool {
-        self.words[i / 64] & (1 << (i % 64)) != 0
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
     }
 
     /// Number of set days.

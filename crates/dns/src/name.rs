@@ -137,9 +137,9 @@ impl Name {
         if self.is_root() {
             return None;
         }
-        let skip = 1 + self.wire[0] as usize;
+        let skip = 1 + *self.wire.first()? as usize;
         Some(Self {
-            wire: self.wire[skip..].to_vec(),
+            wire: self.wire.get(skip..)?.to_vec(),
         })
     }
 
@@ -149,12 +149,7 @@ impl Name {
     /// `le.` and of itself, but not of `ample.` (comparison is per label, not
     /// per substring).
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        let s = &self.wire;
-        let o = &other.wire;
-        if o.len() > s.len() {
-            return false;
-        }
-        s[s.len() - o.len()..] == o[..]
+        self.wire.ends_with(&other.wire)
     }
 
     /// Prepends a single label: `prepend("www")` on `examp.le.` gives
@@ -175,10 +170,10 @@ impl Name {
         if count <= n {
             return self.clone();
         }
-        let mut rest = &self.wire[..];
+        let mut rest = self.wire.as_slice();
         for _ in 0..count - n {
-            let skip = 1 + rest[0] as usize;
-            rest = &rest[skip..];
+            let Some(&len) = rest.first() else { break };
+            rest = rest.get(1 + len as usize..).unwrap_or(&[]);
         }
         Self {
             wire: rest.to_vec(),
@@ -255,8 +250,8 @@ impl<'a> Iterator for Labels<'a> {
         if len == 0 {
             return None;
         }
-        let label = &self.rest[1..1 + len];
-        self.rest = &self.rest[1 + len..];
+        let label = self.rest.get(1..1 + len)?;
+        self.rest = self.rest.get(1 + len..).unwrap_or(&[]);
         Some(label)
     }
 }

@@ -85,7 +85,9 @@ impl PublicSuffixList {
         let n = labels.len();
         let mut best = 1.min(n); // implicit `*` rule: unknown TLD = 1 label
         for take in 1..=n {
-            let tail = &labels[n - take..];
+            let Some(tail) = labels.get(n - take..) else {
+                break;
+            };
             let key = reversed_key(tail);
             if self.exceptions.contains(&key) {
                 // Exception: the suffix is one label shorter than the rule.
@@ -97,9 +99,11 @@ impl PublicSuffixList {
             // Wildcard `*.<base>`: matches when the base is everything but
             // the leftmost label of the candidate tail.
             if take >= 2 {
-                let base = reversed_key(&tail[1..]);
-                if self.wildcards.contains(&base) {
-                    best = best.max(take);
+                if let Some(rest) = tail.get(1..) {
+                    let base = reversed_key(rest);
+                    if self.wildcards.contains(&base) {
+                        best = best.max(take);
+                    }
                 }
             }
         }

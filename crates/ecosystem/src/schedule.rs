@@ -68,10 +68,10 @@ impl Schedule {
     /// Pops every event effective on or before `day`, in order.
     pub fn take_through(&mut self, day: Day) -> &[Event] {
         let start = self.cursor;
-        while self.cursor < self.events.len() && self.events[self.cursor].day <= day {
+        while self.events.get(self.cursor).is_some_and(|e| e.day <= day) {
             self.cursor += 1;
         }
-        &self.events[start..self.cursor]
+        self.events.get(start..self.cursor).unwrap_or(&[])
     }
 
     /// Events not yet consumed.

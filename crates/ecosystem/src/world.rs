@@ -153,16 +153,26 @@ impl World {
                 // these two exist for schedule traceability only.
                 Action::Register(_) | Action::Delete(_) => {}
                 Action::SetDiversion(id, d) => {
-                    self.domains[id.0 as usize].diversion = d;
+                    if let Some(dom) = self.domains.get_mut(id.0 as usize) {
+                        dom.diversion = d;
+                    }
                 }
                 Action::BasketDiversion(b, d) => {
-                    let members = self.baskets[b.0 as usize].members.clone();
+                    let members = self
+                        .baskets
+                        .get(b.0 as usize)
+                        .map(|b| b.members.clone())
+                        .unwrap_or_default();
                     for m in members {
-                        self.domains[m.0 as usize].diversion = d;
+                        if let Some(dom) = self.domains.get_mut(m.0 as usize) {
+                            dom.diversion = d;
+                        }
                     }
                 }
                 Action::BasketOutage(b, on) => {
-                    self.baskets[b.0 as usize].outage = on;
+                    if let Some(basket) = self.baskets.get_mut(b.0 as usize) {
+                        basket.outage = on;
+                    }
                 }
                 Action::PrefixOrigin { prefix, from, to } => {
                     if let Some(a) = from {

@@ -275,18 +275,21 @@ impl RawRow {
     pub fn intern(self, dict: &mut StringDict, interner: &mut SldInterner) -> Row {
         let mut pick =
             |name: &Option<Name>| name.as_ref().map(|n| interner.intern(dict, n)).unwrap_or(0);
-        let cname1 = pick(&self.cnames[0]);
-        let cname2 = pick(&self.cnames[1]);
-        let ns1 = pick(&self.ns[0]);
-        let ns2 = pick(&self.ns[1]);
+        let [cname1_n, cname2_n] = &self.cnames;
+        let [ns1_n, ns2_n] = &self.ns;
+        let cname1 = pick(cname1_n);
+        let cname2 = pick(cname2_n);
+        let ns1 = pick(ns1_n);
+        let ns2 = pick(ns2_n);
         let sld = pick(&self.apex);
         let mut pick_full = |name: &Option<Name>| {
             name.as_ref()
                 .map(|n| interner.intern_full(dict, n))
                 .unwrap_or(0)
         };
-        let nsh1 = pick_full(&self.ns_hosts[0]);
-        let nsh2 = pick_full(&self.ns_hosts[1]);
+        let [nsh1_n, nsh2_n] = &self.ns_hosts;
+        let nsh1 = pick_full(nsh1_n);
+        let nsh2 = pick_full(nsh2_n);
         Row {
             entry: self.entry,
             sld,

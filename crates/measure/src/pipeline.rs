@@ -207,6 +207,11 @@ pub fn resume_store(
 /// persisted checkpoint pages of committed days are replayed through
 /// [`DayObserver::on_resume`] in day order, so the engine resumes to the
 /// exact (byte-identical) state it held when each day was committed.
+///
+/// The archive reads happen inside `dps-store`, but the untrusted bytes
+/// are *consumed* here — the marker makes this a taint root the call
+/// graph alone cannot derive.
+// dps: ingress
 pub fn resume_store_observed(
     store: &mut SnapshotStore,
     writer: &ArchiveWriter,
@@ -221,9 +226,9 @@ pub fn resume_store_observed(
     // catalog; no re-measurement, no estimation).
     let archive = Archive::open_with_cache(path, 0)?;
     for (&(day, source), meta) in &archive.catalog().pages {
-        let table = archive
-            .table(day, source)?
-            .expect("catalog-listed page exists");
+        let table = archive.table(day, source)?.ok_or_else(|| {
+            std::io::Error::other("catalog lists a page the archive cannot produce")
+        })?;
         if source == ANALYSIS_SOURCE {
             if let Some(obs) = observer.as_deref_mut() {
                 obs.on_resume(day, &table)?;

@@ -165,25 +165,27 @@ impl DayQuality {
         ]
     }
 
-    /// Unpacks row `i` of decoded quality columns.
+    /// Unpacks row `i` of decoded quality columns. `None` for a row or
+    /// column the (possibly corrupt) table does not actually hold.
     pub fn unpack(cols: &[&[u32]], i: usize) -> Option<Self> {
+        let cell = |c: usize| -> Option<u32> { cols.get(c)?.get(i).copied() };
         Some(Self {
-            day: cols[0][i],
-            source: Source::from_index(cols[1][i])?,
-            attempted: cols[2][i],
-            failed: cols[3][i],
-            retried: cols[4][i],
-            recovered: cols[5][i],
+            day: cell(0)?,
+            source: Source::from_index(cell(1)?)?,
+            attempted: cell(2)?,
+            failed: cell(3)?,
+            retried: cell(4)?,
+            recovered: cell(5)?,
             causes: CauseCounts {
-                timeouts: cols[6][i],
-                unreachable: cols[7][i],
-                corrupt: cols[8][i],
-                servfail: cols[9][i],
-                other: cols[10][i],
+                timeouts: cell(6)?,
+                unreachable: cell(7)?,
+                corrupt: cell(8)?,
+                servfail: cell(9)?,
+                other: cell(10)?,
             },
-            retry_passes: cols[11][i],
-            breaker_trips: cols[12][i],
-            hedges: cols[13][i],
+            retry_passes: cell(11)?,
+            breaker_trips: cell(12)?,
+            hedges: cell(13)?,
         })
     }
 }

@@ -167,8 +167,8 @@ pub fn decode_telemetry(table: &Table) -> Option<Snapshot> {
     let mut snap = Snapshot::default();
     for (i, &id) in ids.iter().enumerate() {
         let (name, kind) = *CATALOG.get(id as usize)?;
-        let value = join(los[i], his[i]);
-        match (kinds[i], kind) {
+        let value = join(*los.get(i)?, *his.get(i)?);
+        match (*kinds.get(i)?, kind) {
             (KIND_COUNTER, MetricKind::Counter) => {
                 snap.counters.insert(name, value);
             }
@@ -182,7 +182,7 @@ pub fn decode_telemetry(table: &Table) -> Option<Snapshot> {
                 snap.histograms.entry(name).or_default().sum = value;
             }
             (KIND_HIST_BUCKET, MetricKind::Histogram) => {
-                let bucket = u8::try_from(buckets[i]).ok()?;
+                let bucket = u8::try_from(*buckets.get(i)?).ok()?;
                 if usize::from(bucket) >= HISTOGRAM_BUCKETS {
                     return None;
                 }

@@ -337,7 +337,9 @@ impl Socket {
         if self.rng.gen::<f64>() < profile.corrupt && !data.is_empty() {
             let idx = self.rng.gen_range(0..data.len());
             let bit = 1u8 << self.rng.gen_range(0..8);
-            data[idx] ^= bit;
+            if let Some(byte) = data.get_mut(idx) {
+                *byte ^= bit;
+            }
             stats.corrupted.fetch_add(1, Ordering::Relaxed);
             metrics.corrupted.inc();
         }

@@ -6,6 +6,8 @@
 //! `lpm` Criterion bench tracks it, and a property test pins its semantics
 //! to a naive linear scan.
 
+// dps: allow-file(taint-panic, reason = "every node index is an arena handle returned by push() in this module and bounds-checked against NIL before use; untrusted bytes can choose which prefixes are inserted but cannot forge a handle, and get()-based access in the per-address hot loop costs measurable lookup throughput")
+
 use crate::prefix::Prefix;
 
 /// A node index; `u32::MAX` marks "absent".

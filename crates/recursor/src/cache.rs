@@ -146,6 +146,7 @@ impl AnswerCache {
     fn shard(&self, key: &Key) -> &Shard {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
+        // dps: allow(taint-panic, reason = "index is hash % shards.len() over a fixed non-empty shard array; no input value can push it out of bounds")
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
@@ -175,10 +176,11 @@ impl AnswerCache {
                 Some((e.resolution.clone(), e.expires_at_us))
             }
             Some(_) => {
-                let dead = state.map.remove(&key).expect("entry present");
-                state
-                    .by_expiry
-                    .remove(&(dead.expires_at_us, dead.expiry_seq));
+                if let Some(dead) = state.map.remove(&key) {
+                    state
+                        .by_expiry
+                        .remove(&(dead.expires_at_us, dead.expiry_seq));
+                }
                 self.stats.expirations.fetch_add(1, Ordering::Relaxed);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 self.metrics.expired.inc();

@@ -373,6 +373,7 @@ impl Archive {
         {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(meta.offset))?;
+            // dps: allow(lock-across-ingress, reason = "this mutex exists to serialize seek+read on the archive file handle; the bytes come from local disk, not a peer that controls pacing")
             file.read_exact(&mut buf)?;
         }
         self.counters

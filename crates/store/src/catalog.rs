@@ -104,7 +104,9 @@ impl Catalog {
     pub fn stats(&self) -> Vec<SourceStats> {
         let mut out = vec![SourceStats::default(); self.n_sources()];
         for page in self.pages.values() {
-            let st = &mut out[page.source as usize];
+            let Some(st) = out.get_mut(page.source as usize) else {
+                continue;
+            };
             st.first_day = Some(st.first_day.map_or(page.day, |d| d.min(page.day)));
             st.last_day = Some(st.last_day.map_or(page.day, |d| d.max(page.day)));
             st.days += 1;
@@ -113,8 +115,8 @@ impl Catalog {
             st.raw_bytes += page.raw_bytes;
         }
         for (i, set) in self.uniques.iter().enumerate() {
-            if i < out.len() {
-                out[i].unique_keys = set.clone();
+            if let Some(st) = out.get_mut(i) {
+                st.unique_keys = set.clone();
             }
         }
         out

@@ -32,6 +32,7 @@ const fn build_table() -> [u32; 256] {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
+        // dps: allow(taint-panic, reason = "the & 0xFF mask keeps the index below TABLE's fixed length of 256 for any input byte")
         crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc

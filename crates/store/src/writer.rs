@@ -171,10 +171,15 @@ impl ArchiveWriter {
             if self.pending_uniques.len() <= idx {
                 self.pending_uniques.resize_with(idx + 1, Default::default);
             }
-            for &id in col {
-                // Only ids *first seen* by this commit go into its delta.
-                if self.catalog.uniques[idx].insert(id) {
-                    self.pending_uniques[idx].insert(id);
+            if let (Some(all), Some(pending)) = (
+                self.catalog.uniques.get_mut(idx),
+                self.pending_uniques.get_mut(idx),
+            ) {
+                for &id in col {
+                    // Only ids *first seen* by this commit go into its delta.
+                    if all.insert(id) {
+                        pending.insert(id);
+                    }
                 }
             }
         }

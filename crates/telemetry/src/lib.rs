@@ -69,7 +69,9 @@ impl Counter {
     /// Adds `n` to this thread's shard (lock-free, uncontended).
     pub fn add(&self, n: u64) {
         let shard = SHARD.with(|s| *s);
-        self.inner.shards[shard].0.fetch_add(n, Ordering::Relaxed);
+        if let Some(s) = self.inner.shards.get(shard) {
+            s.0.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Current total across shards.
@@ -135,7 +137,9 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&self, v: u64) {
         let b = bucket_index(v) as usize;
-        self.inner.buckets[b].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.inner.buckets.get(b) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         self.inner.sum.fetch_add(v, Ordering::Relaxed);
     }
@@ -319,13 +323,15 @@ impl HistogramSnapshot {
     fn saturating_sub(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         let mut base = [0u64; HISTOGRAM_BUCKETS];
         for &(b, c) in &earlier.buckets {
-            base[b as usize] = c;
+            if let Some(slot) = base.get_mut(b as usize) {
+                *slot = c;
+            }
         }
         let buckets = self
             .buckets
             .iter()
             .filter_map(|&(b, c)| {
-                let d = c.saturating_sub(base[b as usize]);
+                let d = c.saturating_sub(base.get(b as usize).copied().unwrap_or(0));
                 (d != 0).then_some((b, d))
             })
             .collect();
