@@ -10,6 +10,7 @@
 #   ./ci.sh stream-smoke      incremental-analysis equivalence smoke only
 #   ./ci.sh fuzz-smoke        deterministic fuzzer over every target
 #   ./ci.sh serve-smoke       real-socket authoritative DNS round trip
+#   ./ci.sh scale-smoke       sharded-archive equivalence + resume smoke
 #   ./ci.sh analyze           dps-analyzer over the workspace (must be clean)
 #   ./ci.sh analyze-fixtures  known-bad corpus must still fail, good must pass
 set -eu
@@ -117,6 +118,48 @@ stream_smoke() {
     rm -rf target/ci-stream-single target/ci-stream-multi
 }
 
+# Sharded archives: a --shards 3 sweep must verify clean, scan to the
+# same analysis as the single-file run of the same seed, resume into the
+# existing sharded layout, and keep `--shards 1` byte-identical to the
+# historical single-file archive.
+scale_smoke() {
+    echo "==> smoke: dpscope measure --shards (sharded-archive equivalence)"
+    rm -rf target/ci-scale-single target/ci-scale-sharded target/ci-scale-resume
+    ./target/release/dpscope measure --scale 0.004 --days 3 --cc-start 2 \
+        --archive target/ci-scale-single
+    ./target/release/dpscope measure --scale 0.004 --days 3 --cc-start 2 \
+        --shards 3 --archive target/ci-scale-sharded
+    test -s target/ci-scale-sharded/archive.manifest
+    test -s target/ci-scale-sharded/archive.shard002.dps
+    ./target/release/dpscope store verify target/ci-scale-sharded
+    ./target/release/dpscope store info target/ci-scale-sharded \
+        | grep -q 'sharded (3 shard files' || {
+        echo "store info does not report the sharded layout" >&2
+        exit 1
+    }
+    # Analysis over the sharded archive equals the single-file run.
+    ./target/release/dpscope analyze --scale 0.004 --days 3 --cc-start 2 \
+        --archive target/ci-scale-single --out target/ci-scale-single/figs table1
+    ./target/release/dpscope analyze --scale 0.004 --days 3 --cc-start 2 \
+        --archive target/ci-scale-sharded --out target/ci-scale-sharded/figs table1
+    cmp target/ci-scale-single/figs/table1.txt target/ci-scale-sharded/figs/table1.txt
+    # Re-running the same sweep resumes into the existing sharded layout
+    # (every day already committed) and leaves every file byte-identical.
+    # Incremental and crash-interrupted resumes are covered in cargo
+    # tests; the CLI cannot stop a sweep mid-run deterministically.
+    mkdir -p target/ci-scale-resume
+    cp target/ci-scale-sharded/archive.manifest \
+        target/ci-scale-sharded/archive.shard*.dps target/ci-scale-resume/
+    ./target/release/dpscope measure --scale 0.004 --days 3 --cc-start 2 \
+        --shards 3 --archive target/ci-scale-resume
+    cmp target/ci-scale-resume/archive.manifest target/ci-scale-sharded/archive.manifest
+    for k in 000 001 002; do
+        cmp "target/ci-scale-resume/archive.shard$k.dps" \
+            "target/ci-scale-sharded/archive.shard$k.dps"
+    done
+    rm -rf target/ci-scale-single target/ci-scale-sharded target/ci-scale-resume
+}
+
 # Deterministic mutation fuzzing: every decoder target runs a fixed seed
 # for a bounded iteration count; any panic or round-trip divergence fails
 # the gate. The checked-in corpus (including minimised regressions) is
@@ -216,6 +259,12 @@ serve-smoke)
     echo "==> serve smoke green"
     exit 0
     ;;
+scale-smoke)
+    cargo build --release --offline
+    scale_smoke
+    echo "==> scale smoke green"
+    exit 0
+    ;;
 analyze)
     analyze
     echo "==> analyze green"
@@ -253,6 +302,7 @@ cluster_smoke
 stream_smoke
 fuzz_smoke
 serve_smoke
+scale_smoke
 
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline

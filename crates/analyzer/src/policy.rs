@@ -50,6 +50,7 @@ pub const PANIC_SAFETY_SCOPE: &[&str] = &[
     "crates/cluster/src/transport.rs",
     "crates/store/src/writer.rs",
     "crates/measure/src/pipeline.rs",
+    "crates/store/src/sharded.rs",
 ];
 
 /// Files where a read-style call takes in *untrusted* bytes — real
@@ -186,6 +187,16 @@ mod tests {
             let p = for_path(rel, Mode::Workspace);
             assert!(p.families.contains(&Family::PanicSafety), "{rel}");
         }
+    }
+
+    #[test]
+    fn sharded_store_is_scoped() {
+        // The sharded layer re-reads on-disk manifest/shard bytes on
+        // resume (the taint pass flagged its resume path as an ingress
+        // root), and trusts the manifest's meta page for shard counts.
+        let p = for_path("crates/store/src/sharded.rs", Mode::Workspace);
+        assert!(p.families.contains(&Family::PanicSafety));
+        assert!(in_ingress_scope("crates/store/src/sharded.rs"));
     }
 
     #[test]

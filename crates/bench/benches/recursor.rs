@@ -11,7 +11,7 @@ use dps_recursor::{Recursor, RecursorConfig, SweepScheduler};
 
 fn jobs(world: &World) -> Vec<(Name, RrType)> {
     let mut jobs = Vec::new();
-    for entry in world.zone_entries(Tld::Com).into_iter().take(60) {
+    for entry in world.zone_entries(Tld::Com).iter().copied().take(60) {
         let apex = world.entry_name(entry);
         jobs.push((apex.clone(), RrType::A));
         jobs.push((apex.prepend("www").unwrap(), RrType::A));

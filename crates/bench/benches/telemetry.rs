@@ -73,7 +73,7 @@ fn compare<A: FnMut(), B: FnMut()>(
 
 fn jobs(world: &World) -> Vec<(Name, RrType)> {
     let mut jobs = Vec::new();
-    for entry in world.zone_entries(Tld::Com).into_iter().take(60) {
+    for entry in world.zone_entries(Tld::Com).iter().copied().take(60) {
         let apex = world.entry_name(entry);
         jobs.push((apex.clone(), RrType::A));
         jobs.push((apex.prepend("www").unwrap(), RrType::A));

@@ -32,7 +32,7 @@ use dps_measure::snapshot::{SnapshotStore, UNIQUE_KEY_COLUMN};
 use dps_measure::telemetry::CATALOG;
 use dps_measure::StudyConfig;
 use dps_netsim::Day;
-use dps_store::ArchiveWriter;
+use dps_store::StoreWriter;
 use dps_telemetry::Snapshot;
 use std::collections::BTreeMap;
 use std::io;
@@ -147,7 +147,7 @@ pub fn serve_observed(
     path: &std::path::Path,
     mut observer: Option<&mut dyn DayObserver>,
 ) -> io::Result<ClusterOutcome> {
-    let mut writer = ArchiveWriter::resume_or_create(path, Some(UNIQUE_KEY_COLUMN))?;
+    let mut writer = StoreWriter::resume_or_create(path, 1, Some(UNIQUE_KEY_COLUMN))?;
     let mut store = SnapshotStore::new();
     resume_store_observed(&mut store, &writer, path, reborrow_observer(&mut observer))?;
     let mut interner = SldInterner::new();

@@ -67,17 +67,22 @@ impl StringDict {
     }
 
     /// Parses the serialisation produced by [`to_bytes`](Self::to_bytes).
+    /// Declared lengths are untrusted: each is `try_from`-checked against
+    /// `usize` and each end offset is computed with `checked_add`, so a
+    /// corrupt count near `u64::MAX` is a clean `None`, not a truncated
+    /// cast or wrapped slice bound.
     pub fn from_bytes(buf: &[u8]) -> Option<Self> {
         let mut pos = 0;
-        let n = crate::varint::get_u64(buf, &mut pos)? as usize;
-        if n > buf.len() + 1 {
+        let n = usize::try_from(crate::varint::get_u64(buf, &mut pos)?).ok()?;
+        if n > buf.len().checked_add(1)? {
             return None;
         }
         let mut d = Self::default();
         for _ in 0..n {
-            let len = crate::varint::get_u64(buf, &mut pos)? as usize;
-            let bytes = buf.get(pos..pos + len)?;
-            pos += len;
+            let len = usize::try_from(crate::varint::get_u64(buf, &mut pos)?).ok()?;
+            let end = pos.checked_add(len)?;
+            let bytes = buf.get(pos..end)?;
+            pos = end;
             let s = std::str::from_utf8(bytes).ok()?;
             d.intern(s);
         }
@@ -128,5 +133,30 @@ mod tests {
         let mut bytes = d.to_bytes();
         bytes.truncate(bytes.len() - 2);
         assert!(StringDict::from_bytes(&bytes).is_none());
+    }
+
+    /// Declared counts and string lengths around u32::MAX (and beyond, up
+    /// to what a corrupt varint can say) must be clean `None`s — never a
+    /// truncated cast or a wrapped `pos + len` bound.
+    #[test]
+    fn u32_max_adjacent_lengths_rejected() {
+        for n in [
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            // Huge entry count.
+            let mut buf = Vec::new();
+            crate::varint::put_u64(&mut buf, n);
+            assert!(StringDict::from_bytes(&buf).is_none(), "count={n}");
+
+            // Sane count, huge string length.
+            let mut buf = Vec::new();
+            crate::varint::put_u64(&mut buf, 1);
+            crate::varint::put_u64(&mut buf, n);
+            buf.push(b'a');
+            assert!(StringDict::from_bytes(&buf).is_none(), "len={n}");
+        }
     }
 }

@@ -91,31 +91,50 @@ fn encode_rle(values: &[u32]) -> Vec<u8> {
 
 /// Decodes a column produced by [`encode_u32s`].
 pub fn decode_u32s(buf: &[u8]) -> Result<Vec<u32>, DecodeError> {
+    let mut out = Vec::new();
+    decode_u32s_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes a column produced by [`encode_u32s`] into `out`, clearing it
+/// first. This is the batch path for hot scan loops: the caller keeps one
+/// scratch `Vec` per thread and each page decode reuses its allocation
+/// instead of growing a fresh one. The whole payload is walked in a
+/// single pass per encoding.
+///
+/// Every declared length is range-checked with `try_from` before any
+/// allocation or arithmetic — a corrupt page that claims u32::MAX values
+/// (or a length that would truncate on a 32-bit `usize`) is a clean
+/// [`DecodeError`], never a huge allocation, wrap-around, or panic.
+pub fn decode_u32s_into(buf: &[u8], out: &mut Vec<u32>) -> Result<(), DecodeError> {
+    out.clear();
     let mut pos = 0usize;
     let tag = *buf.first().ok_or(DecodeError::Truncated)?;
     pos += 1;
     let enc = Encoding::from_tag(tag).ok_or(DecodeError::BadTag(tag))?;
-    let n = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)? as usize;
+    let declared = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)?;
+    let n = usize::try_from(declared).map_err(|_| DecodeError::LengthOverflow)?;
     // Guard against absurd declared lengths before allocating: plain and
     // delta need at least one payload byte per value; RLE can legitimately
     // expand massively, so it only gets a global sanity cap.
-    let payload = buf.len() - pos;
+    let payload = buf.len().saturating_sub(pos);
     match enc {
-        Encoding::Plain | Encoding::Delta if n > payload.saturating_add(1) * 4 => {
+        Encoding::Plain | Encoding::Delta if n > payload.saturating_add(1).saturating_mul(4) => {
             return Err(DecodeError::Truncated)
         }
         _ if n > (1 << 28) => return Err(DecodeError::Truncated),
         _ => {}
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     match enc {
         Encoding::Plain => {
-            for _ in 0..n {
-                let end = pos + 4;
-                let bytes = buf.get(pos..end).ok_or(DecodeError::Truncated)?;
-                let word: [u8; 4] = bytes.try_into().map_err(|_| DecodeError::Truncated)?;
+            let end = pos
+                .checked_add(n.checked_mul(4).ok_or(DecodeError::LengthOverflow)?)
+                .ok_or(DecodeError::LengthOverflow)?;
+            let words = buf.get(pos..end).ok_or(DecodeError::Truncated)?;
+            for w in words.chunks_exact(4) {
+                let word: [u8; 4] = w.try_into().map_err(|_| DecodeError::Truncated)?;
                 out.push(u32::from_le_bytes(word));
-                pos = end;
             }
         }
         Encoding::Delta => {
@@ -128,18 +147,22 @@ pub fn decode_u32s(buf: &[u8]) -> Result<Vec<u32>, DecodeError> {
             }
         }
         Encoding::Rle => {
-            while out.len() < n {
+            let mut filled = 0usize;
+            while filled < n {
                 let v = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)?;
-                let run = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)? as usize;
-                if run == 0 || out.len() + run > n {
+                let run_declared = varint::get_u64(buf, &mut pos).ok_or(DecodeError::Truncated)?;
+                let run = usize::try_from(run_declared).map_err(|_| DecodeError::BadRun)?;
+                let end = filled.checked_add(run).ok_or(DecodeError::BadRun)?;
+                if run == 0 || end > n {
                     return Err(DecodeError::BadRun);
                 }
                 let v = u32::try_from(v).map_err(|_| DecodeError::ValueOutOfRange)?;
                 out.extend(std::iter::repeat(v).take(run));
+                filled = end;
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Column decode failures.
@@ -153,6 +176,9 @@ pub enum DecodeError {
     BadRun,
     /// A decoded value did not fit u32.
     ValueOutOfRange,
+    /// A declared length does not fit this platform's `usize` (or its
+    /// byte size overflows address arithmetic).
+    LengthOverflow,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -162,6 +188,7 @@ impl std::fmt::Display for DecodeError {
             Self::BadTag(t) => write!(f, "unknown encoding tag {t}"),
             Self::BadRun => write!(f, "invalid RLE run"),
             Self::ValueOutOfRange => write!(f, "value exceeds u32"),
+            Self::LengthOverflow => write!(f, "declared length exceeds platform limits"),
         }
     }
 }
@@ -223,5 +250,57 @@ mod tests {
         crate::varint::put_u64(&mut buf, 5);
         crate::varint::put_u64(&mut buf, 3);
         assert_eq!(decode_u32s(&buf), Err(DecodeError::BadRun));
+    }
+
+    #[test]
+    fn decode_into_reuses_the_buffer() {
+        let a = encode_u32s(&[1, 2, 3, 4, 5]);
+        let b = encode_u32s(&[7u32; 3]);
+        let mut out = Vec::new();
+        decode_u32s_into(&a, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4, 5]);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        decode_u32s_into(&b, &mut out).unwrap();
+        assert_eq!(out, [7, 7, 7]);
+        assert_eq!(out.capacity(), cap, "no reallocation on a smaller page");
+        assert_eq!(out.as_ptr(), ptr, "same backing allocation reused");
+    }
+
+    /// Declared lengths right around u32::MAX (and past it, into the
+    /// 64-bit range a corrupt varint can express) must be clean errors on
+    /// every platform — never an `as usize` truncation that makes a huge
+    /// length look small, and never a multi-gigabyte allocation.
+    #[test]
+    fn u32_max_adjacent_declared_lengths_rejected() {
+        for n in [
+            u64::from(u32::MAX) - 1,
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+            u64::from(u32::MAX) + 2,
+            u64::MAX,
+        ] {
+            for tag in [0u8, 1, 2] {
+                let mut buf = vec![tag];
+                crate::varint::put_u64(&mut buf, n);
+                crate::varint::put_u64(&mut buf, 0); // a little payload
+                assert!(
+                    decode_u32s(&buf).is_err(),
+                    "tag {tag} declared n={n} must be rejected"
+                );
+            }
+        }
+    }
+
+    /// An RLE run length near/past u32::MAX cannot wrap the fill cursor.
+    #[test]
+    fn u32_max_adjacent_rle_runs_rejected() {
+        for run in [u64::from(u32::MAX), u64::from(u32::MAX) + 1, u64::MAX] {
+            let mut buf = vec![2u8];
+            crate::varint::put_u64(&mut buf, 4); // n = 4
+            crate::varint::put_u64(&mut buf, 9); // value
+            crate::varint::put_u64(&mut buf, run);
+            assert_eq!(decode_u32s(&buf), Err(DecodeError::BadRun), "run={run}");
+        }
     }
 }

@@ -37,5 +37,5 @@ pub mod table;
 pub mod varint;
 
 pub use dictionary::StringDict;
-pub use encoding::{decode_u32s, encode_u32s, Encoding};
+pub use encoding::{decode_u32s, decode_u32s_into, encode_u32s, Encoding};
 pub use table::{Schema, Table, TableBuilder};

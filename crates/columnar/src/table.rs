@@ -136,7 +136,14 @@ impl Table {
             return Err(TableError::BadMagic);
         }
         let mut pos = 4usize;
-        let width = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
+        // Every declared length in the header is untrusted: check it fits
+        // `usize` and that the resulting end offset doesn't wrap before
+        // slicing. `as usize` would silently truncate a corrupt 64-bit
+        // length on 32-bit targets and wrap offsets near the address-space
+        // limit everywhere.
+        let width = varint::get_u64(buf, &mut pos)
+            .and_then(|w| usize::try_from(w).ok())
+            .ok_or(TableError::Truncated)?;
         if width > 1024 {
             return Err(TableError::Truncated);
         }
@@ -145,15 +152,21 @@ impl Table {
         let mut names: Vec<&str> = Vec::with_capacity(width);
         let mut payloads: Vec<(usize, usize)> = Vec::with_capacity(width);
         for _ in 0..width {
-            let nlen = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
-            let nbytes = buf.get(pos..pos + nlen).ok_or(TableError::Truncated)?;
-            pos += nlen;
+            let nlen = varint::get_u64(buf, &mut pos)
+                .and_then(|l| usize::try_from(l).ok())
+                .ok_or(TableError::Truncated)?;
+            let nend = pos.checked_add(nlen).ok_or(TableError::Truncated)?;
+            let nbytes = buf.get(pos..nend).ok_or(TableError::Truncated)?;
+            pos = nend;
             let name = std::str::from_utf8(nbytes).map_err(|_| TableError::BadName)?;
             names.push(name);
-            let clen = varint::get_u64(buf, &mut pos).ok_or(TableError::Truncated)? as usize;
-            buf.get(pos..pos + clen).ok_or(TableError::Truncated)?;
+            let clen = varint::get_u64(buf, &mut pos)
+                .and_then(|l| usize::try_from(l).ok())
+                .ok_or(TableError::Truncated)?;
+            let cend = pos.checked_add(clen).ok_or(TableError::Truncated)?;
+            buf.get(pos..cend).ok_or(TableError::Truncated)?;
             payloads.push((pos, clen));
-            pos += clen;
+            pos = cend;
         }
         // Which columns to materialise, in output order.
         let selected: Vec<usize> = match projection {
@@ -175,7 +188,8 @@ impl Table {
             let (Some(&(start, len)), Some(&name)) = (payloads.get(i), names.get(i)) else {
                 return Err(TableError::Truncated);
             };
-            let bytes = buf.get(start..start + len).ok_or(TableError::Truncated)?;
+            let end = start.checked_add(len).ok_or(TableError::Truncated)?;
+            let bytes = buf.get(start..end).ok_or(TableError::Truncated)?;
             let col = decode_u32s(bytes).map_err(TableError::Column)?;
             match rows {
                 None => rows = Some(col.len()),
@@ -187,6 +201,45 @@ impl Table {
         }
         Ok(Self {
             schema: Schema::new(&out_names),
+            columns,
+        })
+    }
+
+    /// A copy of rows `start..end` (clamped to the table). Row-range
+    /// sharding uses this to split one logical page into per-shard
+    /// sub-pages with the exact cluster-lease arithmetic.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Table {
+        let rows = self.rows();
+        let start = start.min(rows);
+        let end = end.clamp(start, rows);
+        Table {
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|col| col.get(start..end).unwrap_or(&[]).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Vertically stacks `parts` (same schema required) into one table,
+    /// preserving row order: part 0's rows first, then part 1's, and so
+    /// on. `None` if the schemas disagree or `parts` is empty. This is
+    /// the read-side inverse of [`slice_rows`](Self::slice_rows): a page
+    /// split into shard sub-pages reassembles byte-for-byte.
+    pub fn vstack(parts: &[&Table]) -> Option<Table> {
+        let first = parts.first()?;
+        let mut columns: Vec<Vec<u32>> = first.columns.clone();
+        for part in parts.get(1..)? {
+            if part.schema.names() != first.schema.names() {
+                return None;
+            }
+            for (col, more) in columns.iter_mut().zip(&part.columns) {
+                col.extend_from_slice(more);
+            }
+        }
+        Some(Table {
+            schema: first.schema.clone(),
             columns,
         })
     }
@@ -333,5 +386,40 @@ mod tests {
         let t = TableBuilder::new(Schema::new(&["x"])).finish();
         let back = Table::from_bytes(&t.to_bytes()).unwrap();
         assert_eq!(back.rows(), 0);
+    }
+
+    /// Corrupt name/payload lengths around u32::MAX (and the u64 range a
+    /// hostile varint can declare) must fail cleanly: no truncating casts,
+    /// no wrapped `pos + len` slice bounds.
+    #[test]
+    fn u32_max_adjacent_header_lengths_rejected() {
+        let lens = [
+            u64::from(u32::MAX) - 1,
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+            u64::MAX - 4,
+            u64::MAX,
+        ];
+        for n in lens {
+            // Huge declared name length.
+            let mut buf = MAGIC.to_vec();
+            varint::put_u64(&mut buf, 1); // width
+            varint::put_u64(&mut buf, n); // name length
+            buf.push(b'x');
+            assert!(Table::from_bytes(&buf).is_err(), "nlen={n}");
+
+            // Huge declared column-payload length.
+            let mut buf = MAGIC.to_vec();
+            varint::put_u64(&mut buf, 1);
+            varint::put_u64(&mut buf, 1);
+            buf.push(b'x');
+            varint::put_u64(&mut buf, n); // payload length
+            assert!(Table::from_bytes(&buf).is_err(), "clen={n}");
+
+            // Huge declared width.
+            let mut buf = MAGIC.to_vec();
+            varint::put_u64(&mut buf, n);
+            assert!(Table::from_bytes(&buf).is_err(), "width={n}");
+        }
     }
 }

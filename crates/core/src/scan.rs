@@ -182,6 +182,49 @@ impl<'a> Scanner<'a> {
         Ok(self.merge(days, partials))
     }
 
+    /// Runs the full pass over either archive layout. For a sharded
+    /// archive each shard's sub-page is its own map task, so one logical
+    /// day table is classified by up to `n_shards` workers in parallel;
+    /// merging sums the per-shard partials (row counts and classification
+    /// counts are per-row, so shard sums equal the logical totals, and
+    /// reference timelines are day-bit sets, which are order-independent).
+    pub fn run_store(&self, store: &dps_store::StoreReader) -> std::io::Result<ScanOutput> {
+        let days = store.catalog().days(Source::Com.index() as u8);
+        let day_pos: HashMap<u32, usize> = days.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let n_shards = store.n_shards();
+
+        let mut tasks: Vec<(Source, u32, u32)> = Vec::new();
+        for &(day, source) in store.catalog().pages.keys() {
+            if source == dps_measure::QUALITY_SOURCE
+                || source == dps_measure::TELEMETRY_SOURCE
+                || source == dps_measure::ANALYSIS_SOURCE
+            {
+                continue;
+            }
+            let source = Source::from_index(u32::from(source))
+                .ok_or_else(|| std::io::Error::other("archive has an unknown source id"))?;
+            if day_pos.contains_key(&day) {
+                for shard in 0..n_shards {
+                    tasks.push((source, day, shard));
+                }
+            }
+        }
+        // Table 1 order (sources outer, days inner), shards innermost so
+        // a shard's partials land adjacent and the merge stays identical
+        // to the unsharded pass.
+        tasks.sort_by_key(|&(source, day, shard)| (source.index(), day, shard));
+
+        let results = dps_columnar::mapreduce::par_map(&tasks, |&(source, day, shard)| {
+            let table = store
+                .shard_table(shard, day, source.index() as u8)?
+                .ok_or_else(|| std::io::Error::other("catalog-listed page missing"))?;
+            Ok::<_, std::io::Error>(self.map_day(source, day, &table))
+        });
+        let partials = results.into_iter().collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(self.merge(days, partials))
+    }
+
     /// Merges per-day partials into the final output (deterministic:
     /// partials arrive in task order).
     fn merge(&self, days: Vec<u32>, partials: Vec<DayPartial>) -> ScanOutput {
@@ -197,13 +240,17 @@ impl<'a> Scanner<'a> {
         for partial in partials {
             let di = day_pos[&partial.day];
             let src = partial.source.index();
-            series.zone_sizes[src][di] = partial.rows;
-            series.source_any[src][di] = partial.source_any;
+            // Accumulate rather than assign: a sharded archive yields one
+            // partial per (source, day, shard) whose counts sum to the
+            // logical page's; an unsharded pass has exactly one partial
+            // per (source, day), so += and = coincide there.
+            series.zone_sizes[src][di] += partial.rows;
+            series.source_any[src][di] += partial.source_any;
             let gtld = matches!(partial.source, Source::Com | Source::Net | Source::Org);
             if !gtld {
                 continue;
             }
-            series.tld_any[src][di] = partial.source_any;
+            series.tld_any[src][di] += partial.source_any;
             for (p, counts) in partial.provider_counts.iter().enumerate() {
                 series.provider_any[p][di] += counts[0];
                 series.provider_asn[p][di] += counts[1];
@@ -367,6 +414,41 @@ mod tests {
         assert_eq!(arch.series.tld_any, mem.series.tld_any);
         assert_eq!(arch.series.source_any, mem.series.source_any);
         assert_eq!(arch.timelines.map.len(), mem.timelines.map.len());
+    }
+
+    /// `run_store` over a sharded archive must reproduce the in-memory
+    /// scan exactly: per-shard partials sum back to the logical page
+    /// counts, so shard count is invisible in every output series.
+    #[test]
+    fn sharded_scan_matches_single_file_scan() {
+        let mut world = World::imc2016(ScenarioParams::tiny(11));
+        let config = StudyConfig {
+            days: 10,
+            cc_start_day: 6,
+            stride: 1,
+        };
+        let store = Study::new(config).run(&mut world);
+        let dir =
+            std::env::temp_dir().join(format!("dps-core-scan-sharded-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("archive.dps");
+        store.save_archive_with_shards(&path, 3).unwrap();
+        let reader = dps_store::StoreReader::open_auto(&path).unwrap();
+        assert!(reader.is_sharded());
+        let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
+        let scanner = Scanner::new(&refs);
+        let mem = scanner.run(&store);
+        let sharded = scanner.run_store(&reader).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(sharded.series.days, mem.series.days);
+        assert_eq!(sharded.series.zone_sizes, mem.series.zone_sizes);
+        assert_eq!(sharded.series.provider_any, mem.series.provider_any);
+        assert_eq!(sharded.series.provider_asn, mem.series.provider_asn);
+        assert_eq!(sharded.series.provider_cname, mem.series.provider_cname);
+        assert_eq!(sharded.series.provider_ns, mem.series.provider_ns);
+        assert_eq!(sharded.series.tld_any, mem.series.tld_any);
+        assert_eq!(sharded.series.source_any, mem.series.source_any);
+        assert_eq!(sharded.timelines.map.len(), mem.timelines.map.len());
     }
 
     #[test]

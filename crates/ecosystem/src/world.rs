@@ -12,6 +12,7 @@ use dps_authdns::resolver::{Resolution, ResolveError};
 use dps_authdns::{AuthServer, Catalog, Zone};
 use dps_dns::{Class, Name, RData, Rcode, Record, RrType};
 use dps_netsim::{AsRegistry, Asn, Day, Network, Pfx2As, Rib};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
@@ -48,6 +49,16 @@ pub enum ZoneEntry {
     Infra(usize),
 }
 
+/// Day-scoped cache of zone membership lists. Membership only depends on
+/// the current day (liveness windows and the static TLD/Alexa tables), so
+/// every list computed for a day stays valid until [`World::advance_to`]
+/// moves time forward and clears the cache.
+#[derive(Default)]
+struct EntryCache {
+    zones: BTreeMap<Tld, Arc<Vec<ZoneEntry>>>,
+    alexa: Option<Arc<Vec<ZoneEntry>>>,
+}
+
 /// The simulated Internet at a point in (virtual) time.
 pub struct World {
     /// Parameters the scenario was built with.
@@ -60,6 +71,10 @@ pub struct World {
     registry: AsRegistry,
     infra: Vec<InfraDomain>,
     alexa: Vec<AlexaEntry>,
+    /// Per-day zone/Alexa membership lists, shared out as `Arc`s so
+    /// repeated zone transfers and sweep shards don't re-collect the
+    /// whole domain table on every call.
+    entry_cache: Mutex<EntryCache>,
 }
 
 impl World {
@@ -121,6 +136,7 @@ impl World {
             registry,
             infra,
             alexa: scenario.alexa,
+            entry_cache: Mutex::new(EntryCache::default()),
         };
         world.apply_through(Day(0));
         world
@@ -139,6 +155,9 @@ impl World {
     /// Advances to `day` (monotonic), applying all scheduled events.
     pub fn advance_to(&mut self, day: Day) {
         assert!(day >= self.day, "time must not run backwards");
+        // Zone membership is a pure function of the day; dropping the
+        // cached lists here is the only invalidation the cache needs.
+        *self.entry_cache.get_mut() = EntryCache::default();
         self.apply_through(day);
         self.day = day;
     }
@@ -211,24 +230,58 @@ impl World {
         &self.baskets
     }
 
-    /// Today's zone file of `tld`: every delegated SLD.
-    pub fn zone_entries(&self, tld: Tld) -> Vec<ZoneEntry> {
-        let mut out = Vec::new();
-        for (i, d) in self.domains.iter().enumerate() {
-            if d.tld == tld && d.alive_on(self.day) {
-                out.push(ZoneEntry::Domain(DomainId(i as u32)));
-            }
+    /// Today's zone file of `tld`: every delegated SLD. The list is
+    /// computed once per `(day, tld)` and shared out of a cache, so
+    /// zone-transfer hot-reload polls and per-shard sweeps pay one
+    /// collection per day instead of one per call.
+    pub fn zone_entries(&self, tld: Tld) -> Arc<Vec<ZoneEntry>> {
+        if let Some(hit) = self.entry_cache.lock().zones.get(&tld) {
+            return Arc::clone(hit);
         }
-        for (i, inf) in self.infra.iter().enumerate() {
-            if inf.tld == tld {
-                out.push(ZoneEntry::Infra(i));
-            }
-        }
-        out
+        let entries = Arc::new(self.collect_zone_entries(tld));
+        self.entry_cache
+            .lock()
+            .zones
+            .insert(tld, Arc::clone(&entries));
+        entries
     }
 
-    /// Today's Alexa-style list (empty before the cc start day).
-    pub fn alexa_entries(&self) -> Vec<ZoneEntry> {
+    /// Streams today's zone membership of `tld` without materialising a
+    /// list (and without touching the cache) — for callers that only walk
+    /// the entries once.
+    pub fn zone_entry_iter(&self, tld: Tld) -> impl Iterator<Item = ZoneEntry> + '_ {
+        let day = self.day;
+        let domains = self
+            .domains
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.tld == tld && d.alive_on(day))
+            .map(|(i, _)| ZoneEntry::Domain(DomainId(i as u32)));
+        let infra = self
+            .infra
+            .iter()
+            .enumerate()
+            .filter(move |(_, inf)| inf.tld == tld)
+            .map(|(i, _)| ZoneEntry::Infra(i));
+        domains.chain(infra)
+    }
+
+    fn collect_zone_entries(&self, tld: Tld) -> Vec<ZoneEntry> {
+        self.zone_entry_iter(tld).collect()
+    }
+
+    /// Today's Alexa-style list (empty before the cc start day), cached
+    /// per day like [`zone_entries`](Self::zone_entries).
+    pub fn alexa_entries(&self) -> Arc<Vec<ZoneEntry>> {
+        if let Some(hit) = &self.entry_cache.lock().alexa {
+            return Arc::clone(hit);
+        }
+        let entries = Arc::new(self.collect_alexa_entries());
+        self.entry_cache.lock().alexa = Some(Arc::clone(&entries));
+        entries
+    }
+
+    fn collect_alexa_entries(&self) -> Vec<ZoneEntry> {
         self.alexa
             .iter()
             .filter(|e| {
@@ -257,7 +310,7 @@ impl World {
         let _ = writeln!(out, "$ORIGIN {}.", tld.label());
         let _ = writeln!(out, "$TTL 86400");
         let _ = writeln!(out, "; {} zone, day {}", tld.label(), self.day);
-        for entry in self.zone_entries(tld) {
+        for entry in self.zone_entry_iter(tld) {
             let apex = self.entry_name(entry);
             let hosts: Vec<Name> = match entry {
                 ZoneEntry::Domain(id) => {
@@ -905,6 +958,38 @@ mod tests {
         panic!("no domain matches");
     }
 
+    /// Regression for the per-call `Vec<ZoneEntry>` rebuild: within one
+    /// day every `zone_entries`/`alexa_entries` call must hand back the
+    /// *same* allocation (an `Arc` clone, zero new collections), and
+    /// advancing the day must refresh it exactly once.
+    #[test]
+    fn zone_entries_are_cached_per_day() {
+        let mut w = tiny_world();
+        let first = w.zone_entries(Tld::Com);
+        for _ in 0..100 {
+            let again = w.zone_entries(Tld::Com);
+            assert!(
+                Arc::ptr_eq(&first, &again),
+                "same-day polls must share one cached allocation"
+            );
+        }
+        // Other TLDs get their own cached list without evicting .com.
+        let net = w.zone_entries(Tld::Net);
+        assert!(!Arc::ptr_eq(&first, &net));
+        assert!(Arc::ptr_eq(&first, &w.zone_entries(Tld::Com)));
+        // The iterator variant streams the same membership.
+        let streamed: Vec<ZoneEntry> = w.zone_entry_iter(Tld::Com).collect();
+        assert_eq!(streamed, *first);
+        // Day change invalidates; content then matches a fresh collect.
+        w.advance_to(Day(25));
+        let after = w.zone_entries(Tld::Com);
+        assert!(!Arc::ptr_eq(&first, &after), "advance must invalidate");
+        assert_eq!(*after, w.zone_entry_iter(Tld::Com).collect::<Vec<_>>());
+        let alexa = w.alexa_entries();
+        assert!(!alexa.is_empty(), "alexa list live past cc start");
+        assert!(Arc::ptr_eq(&alexa, &w.alexa_entries()));
+    }
+
     #[test]
     fn zone_entries_track_liveness() {
         let mut w = tiny_world();
@@ -1109,8 +1194,8 @@ mod tests {
         let parsed = dps_authdns::zonefile::delegated_names(&origin, &text).unwrap();
         let mut expected: Vec<String> = w
             .zone_entries(Tld::Com)
-            .into_iter()
-            .map(|e| w.entry_name(e).to_string())
+            .iter()
+            .map(|&e| w.entry_name(e).to_string())
             .collect();
         expected.sort();
         let parsed: Vec<String> = parsed.into_iter().map(|n| n.to_string()).collect();

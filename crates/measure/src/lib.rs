@@ -39,6 +39,7 @@ pub use observation::{Source, SOURCES};
 pub use pipeline::{
     append_day, append_day_observed, day_committed, due_sources_for, resume_store,
     resume_store_observed, DayObserver, SourcePage, Study, StudyConfig, ANALYSIS_SOURCE,
+    STREAM_BLOCK_ENTRIES,
 };
 pub use quality::{decode_qualities, encode_qualities, CauseCounts, DayQuality, QUALITY_SOURCE};
 pub use snapshot::{SnapshotStore, SourceStats, ARCHIVE_FILE};

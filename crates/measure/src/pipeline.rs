@@ -15,7 +15,7 @@ use crate::telemetry::{decode_telemetry, encode_telemetry, TELEMETRY_SOURCE};
 use dps_columnar::{StringDict, Table, TableBuilder};
 use dps_ecosystem::World;
 use dps_netsim::{Day, RibHistory};
-use dps_store::{Archive, ArchiveWriter};
+use dps_store::{StoreReader, StoreWriter};
 use dps_telemetry::{Counter, Registry, Snapshot};
 
 /// Study configuration.
@@ -117,7 +117,7 @@ pub struct SourcePage {
 /// page plus the quality and telemetry pages are committed. A commit
 /// happens once per day, so a day is either fully durable or (after
 /// truncating a torn tail) absent entirely.
-pub fn day_committed(writer: &ArchiveWriter, config: &StudyConfig, day: u32) -> bool {
+pub fn day_committed(writer: &StoreWriter, config: &StudyConfig, day: u32) -> bool {
     due_sources_for(config, day)
         .iter()
         .all(|s| writer.contains(day, s.index() as u8))
@@ -135,7 +135,7 @@ pub fn day_committed(writer: &ArchiveWriter, config: &StudyConfig, day: u32) -> 
 ///
 /// `pages` must be in [`due_sources_for`] order for the day.
 pub fn append_day(
-    writer: &mut ArchiveWriter,
+    writer: &mut StoreWriter,
     store: &mut SnapshotStore,
     day: u32,
     pages: Vec<SourcePage>,
@@ -151,7 +151,7 @@ pub fn append_day(
 /// the telemetry page — so the whole day, checkpoint included, is
 /// covered by the same single durable commit.
 pub fn append_day_observed(
-    writer: &mut ArchiveWriter,
+    writer: &mut StoreWriter,
     store: &mut SnapshotStore,
     day: u32,
     pages: Vec<SourcePage>,
@@ -197,7 +197,7 @@ pub fn append_day_observed(
 /// [`Study::run_archived`] and the cluster manager's resume path.
 pub fn resume_store(
     store: &mut SnapshotStore,
-    writer: &ArchiveWriter,
+    writer: &StoreWriter,
     path: &std::path::Path,
 ) -> std::io::Result<()> {
     resume_store_observed(store, writer, path, None)
@@ -214,17 +214,17 @@ pub fn resume_store(
 // dps: ingress
 pub fn resume_store_observed(
     store: &mut SnapshotStore,
-    writer: &ArchiveWriter,
+    writer: &StoreWriter,
     path: &std::path::Path,
     mut observer: Option<&mut dyn DayObserver>,
 ) -> std::io::Result<()> {
     store.dict = writer.dict().clone();
-    if writer.catalog().pages.is_empty() {
+    if writer.is_empty() {
         return Ok(());
     }
     // Rehydrate committed days (exact data-point counts come from the
     // catalog; no re-measurement, no estimation).
-    let archive = Archive::open_with_cache(path, 0)?;
+    let archive = StoreReader::open_auto_with_cache(path, 0)?;
     for (&(day, source), meta) in &archive.catalog().pages {
         let table = archive.table(day, source)?.ok_or_else(|| {
             std::io::Error::other("catalog lists a page the archive cannot produce")
@@ -276,6 +276,15 @@ impl StudyMetrics {
     }
 }
 
+/// Streaming-generation memory contract: at most this many entries'
+/// worth of raw rows are in flight per source sweep. The day's rows are
+/// generated block by block and interned into the page builder as each
+/// block lands, so peak raw-row memory is `O(STREAM_BLOCK_ENTRIES)`
+/// regardless of scale — never a whole-day `Vec`. Interning still walks
+/// entries in list order, so the produced archive is byte-identical to a
+/// whole-day materialization.
+pub const STREAM_BLOCK_ENTRIES: usize = 8192;
+
 /// Drives a full study over a world using the bulk query path.
 pub struct Study {
     config: StudyConfig,
@@ -283,6 +292,10 @@ pub struct Study {
     history: RibHistory,
     registry: Registry,
     metrics: StudyMetrics,
+    /// Raw-row streaming block size (entries); see [`STREAM_BLOCK_ENTRIES`].
+    stream_block: usize,
+    /// Shard files for a freshly created archive (1 = single-file).
+    shards: u32,
 }
 
 impl Study {
@@ -297,7 +310,27 @@ impl Study {
             history: RibHistory::new(),
             registry,
             metrics,
+            stream_block: STREAM_BLOCK_ENTRIES,
+            shards: 1,
         }
+    }
+
+    /// Overrides the streaming block size (entries per generation block).
+    /// `usize::MAX` reproduces the old whole-day materialization — the
+    /// reference path the streaming-equivalence property test compares
+    /// against. Output bytes are identical for any non-zero value.
+    pub fn with_stream_block(mut self, entries: usize) -> Self {
+        self.stream_block = entries.max(1);
+        self
+    }
+
+    /// Shard count for a *freshly created* archive: 1 (the default)
+    /// writes the historical single-file `archive.dps`; N > 1 writes a
+    /// manifest plus N shard files whose scan work parallelises per
+    /// shard. Resuming an existing archive keeps its layout regardless.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// The study's telemetry registry.
@@ -364,7 +397,7 @@ impl Study {
         path: &std::path::Path,
         mut observer: Option<&mut dyn DayObserver>,
     ) -> std::io::Result<SnapshotStore> {
-        let mut writer = ArchiveWriter::resume_or_create(path, Some(UNIQUE_KEY_COLUMN))?;
+        let mut writer = StoreWriter::resume_or_create(path, self.shards, Some(UNIQUE_KEY_COLUMN))?;
         // Continue interning into the committed dictionary so a resumed
         // sweep assigns the same ids an uninterrupted one would.
         resume_store_observed(
@@ -433,38 +466,49 @@ impl Study {
                 Some(tld) => world.zone_entries(tld),
                 None => world.alexa_entries(),
             };
-            // Worker cloud: one map task per chunk of the input list.
-            let chunk = entries
-                .len()
-                .div_ceil(dps_columnar::mapreduce::default_workers().max(1))
-                .max(1);
-            let chunks: Vec<&[dps_ecosystem::ZoneEntry]> = entries.chunks(chunk).collect();
-            let raw_chunks: Vec<Vec<RawRow>> = dps_columnar::mapreduce::par_map(&chunks, |batch| {
-                let mut path = BulkPath::new(world);
-                batch
-                    .iter()
-                    .map(|&entry| {
-                        let apex = world.entry_name(entry);
-                        collect_raw(&mut path, &apex, entry_code(entry), &pfx2as)
-                    })
-                    .collect()
-            });
-            // Manager: intern + encode (ordered, deterministic), tallying
-            // the day's quality as rows stream past. The bulk path cannot
-            // fail transiently, so the record has no retries or hedges —
-            // only definitive failures (vanished names) lower coverage.
+            // Streaming generation: walk the entry list in bounded blocks.
+            // Each block fans out over the worker cloud, lands as raw rows,
+            // and is interned into the page builder immediately — so raw
+            // rows for at most `stream_block` entries exist at any moment,
+            // not the whole day (the fixed-memory contract of
+            // [`STREAM_BLOCK_ENTRIES`]). Blocks, chunks, and rows all keep
+            // entry-list order, so the output is byte-identical to a
+            // whole-day materialization.
+            let workers = dps_columnar::mapreduce::default_workers().max(1);
+            let block_len = self.stream_block.max(1);
             let mut builder = TableBuilder::new(schema());
             let mut data_points = 0u64;
             let mut attempted = 0u32;
             let mut failed = 0u32;
             let mut causes = CauseCounts::default();
-            for raw in raw_chunks.into_iter().flatten() {
-                attempted += 1;
-                failed += u32::from(raw.failed && raw.retryable);
-                causes.merge(&raw.causes);
-                let row = raw.intern(&mut self.store.dict, interner);
-                data_points += u64::from(row.data_points);
-                builder.push_row(&row.pack(day, source));
+            for block in entries.chunks(block_len) {
+                // Worker cloud: one map task per chunk of the block.
+                let chunk = block.len().div_ceil(workers).max(1);
+                let chunks: Vec<&[dps_ecosystem::ZoneEntry]> = block.chunks(chunk).collect();
+                let raw_chunks: Vec<Vec<RawRow>> =
+                    dps_columnar::mapreduce::par_map(&chunks, |batch| {
+                        let mut path = BulkPath::new(world);
+                        batch
+                            .iter()
+                            .map(|&entry| {
+                                let apex = world.entry_name(entry);
+                                collect_raw(&mut path, &apex, entry_code(entry), &pfx2as)
+                            })
+                            .collect()
+                    });
+                // Manager: intern + encode (ordered, deterministic),
+                // tallying the day's quality as rows stream past. The bulk
+                // path cannot fail transiently, so the record has no
+                // retries or hedges — only definitive failures (vanished
+                // names) lower coverage.
+                for raw in raw_chunks.into_iter().flatten() {
+                    attempted += 1;
+                    failed += u32::from(raw.failed && raw.retryable);
+                    causes.merge(&raw.causes);
+                    let row = raw.intern(&mut self.store.dict, interner);
+                    data_points += u64::from(row.data_points);
+                    builder.push_row(&row.pack(day, source));
+                }
             }
             let mut quality = DayQuality::perfect(day, source, attempted, failed);
             quality.causes = causes;
@@ -503,7 +547,7 @@ pub fn sweep_with_path(
     };
     let mut builder = TableBuilder::new(schema());
     let mut data_points = 0u64;
-    for entry in entries {
+    for &entry in entries.iter() {
         let apex = world.entry_name(entry);
         let row: Row = collect(
             path,

@@ -12,7 +12,7 @@ use crate::pipeline::ANALYSIS_SOURCE;
 use crate::quality::{decode_qualities, encode_qualities, DayQuality, QUALITY_SOURCE};
 use crate::telemetry::{decode_telemetry, encode_telemetry, TELEMETRY_SOURCE};
 use dps_columnar::{StringDict, Table};
-use dps_store::{Archive, ArchiveWriter};
+use dps_store::{Archive, StoreReader, StoreWriter};
 use dps_telemetry::Snapshot;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -218,7 +218,18 @@ impl SnapshotStore {
     /// `path`: CRC-checked pages, footer catalog with the exact per-table
     /// data-point counts, and the string dictionary.
     pub fn save_archive(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let mut writer = ArchiveWriter::create(path, Some(UNIQUE_KEY_COLUMN))?;
+        self.save_archive_with_shards(path, 1)
+    }
+
+    /// Like [`save_archive`](Self::save_archive) but sharded: a manifest
+    /// plus `shards` shard files, each holding its row range of every
+    /// page. `shards = 1` is exactly `save_archive` (single-file layout).
+    pub fn save_archive_with_shards(
+        &self,
+        path: &std::path::Path,
+        shards: u32,
+    ) -> std::io::Result<()> {
+        let mut writer = StoreWriter::create_store(path, shards, Some(UNIQUE_KEY_COLUMN))?;
         // Append in global (day, source) page order: a day's data tables
         // first, then its quality page under QUALITY_SOURCE, then its
         // telemetry page under TELEMETRY_SOURCE — the same order
@@ -259,24 +270,41 @@ impl SnapshotStore {
     /// dictionary and the per-source statistics *exactly* as saved (the
     /// catalog carries true data-point counts; nothing is estimated).
     pub fn load_archive(path: &std::path::Path) -> std::io::Result<Self> {
-        let archive = Archive::open(path)?;
-        Self::from_archive(&archive)
+        let reader = StoreReader::open_auto(path)?;
+        Self::from_store(&reader)
     }
 
     /// Materialises a full store from an open [`Archive`] handle.
     pub fn from_archive(archive: &Archive) -> std::io::Result<Self> {
+        Self::from_pages(archive.dict(), archive.catalog(), |d, s| {
+            archive.table(d, s)
+        })
+    }
+
+    /// Materialises a full store from an open [`StoreReader`] — either the
+    /// single-file or the manifest + shard-files layout (shard sub-pages
+    /// are reassembled into logical tables transparently).
+    pub fn from_store(reader: &StoreReader) -> std::io::Result<Self> {
+        Self::from_pages(reader.dict(), reader.catalog(), |d, s| reader.table(d, s))
+    }
+
+    fn from_pages(
+        dict: &StringDict,
+        catalog: &dps_store::Catalog,
+        get: impl Fn(u32, u8) -> std::io::Result<Option<std::sync::Arc<Table>>>,
+    ) -> std::io::Result<Self> {
         let mut store = Self {
-            dict: archive.dict().clone(),
+            dict: dict.clone(),
             tables: BTreeMap::new(),
             stats: vec![SourceStats::default(); SOURCES.len()],
             qualities: BTreeMap::new(),
             telemetry: BTreeMap::new(),
             analysis: BTreeMap::new(),
         };
-        for (&(day, source), meta) in &archive.catalog().pages {
-            let table = archive
-                .table(day, source)?
-                .expect("catalog-listed page exists");
+        for (&(day, source), meta) in &catalog.pages {
+            let table = get(day, source)?.ok_or_else(|| {
+                std::io::Error::other("catalog lists a page the archive cannot produce")
+            })?;
             if source == ANALYSIS_SOURCE {
                 store.analysis.insert(day, table.to_bytes());
                 continue;
@@ -313,13 +341,7 @@ impl SnapshotStore {
                 },
             );
         }
-        for (i, st) in archive
-            .catalog()
-            .stats()
-            .into_iter()
-            .enumerate()
-            .take(SOURCES.len())
-        {
+        for (i, st) in catalog.stats().into_iter().enumerate().take(SOURCES.len()) {
             store.stats[i] = SourceStats {
                 first_day: st.first_day,
                 last_day: st.last_day,

@@ -102,3 +102,76 @@ fn telemetry_pages_are_archived_and_seed_deterministic() {
         "same-seed studies rendered different metrics JSON"
     );
 }
+
+/// Runs a same-seed archived study with the given streaming block size
+/// and shard count, returning the directory holding the archive.
+fn run_archived_once(seed: u64, stream_block: usize, shards: u32) -> std::path::PathBuf {
+    let mut world = World::imc2016(ScenarioParams::tiny(seed));
+    let config = StudyConfig {
+        days: 6,
+        cc_start_day: 4,
+        stride: 1,
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "dps-determinism-archived-{}-{}",
+        std::process::id(),
+        NEXT_FILE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("archive.dps");
+    Study::new(config)
+        .with_stream_block(stream_block)
+        .with_shards(shards)
+        .run_archived(&mut world, &path)
+        .expect("archived study runs");
+    dir
+}
+
+/// Streaming world generation is an implementation detail of memory, not
+/// of content: collecting a day in bounded blocks must serialise the
+/// exact bytes a fully materialised collection would.
+#[test]
+fn streaming_blocks_match_materialized_collection_byte_for_byte() {
+    let streamed = run_archived_once(13, dps_measure::STREAM_BLOCK_ENTRIES, 1);
+    let materialized = run_archived_once(13, usize::MAX, 1);
+    let a = std::fs::read(streamed.join("archive.dps")).expect("streamed archive");
+    let b = std::fs::read(materialized.join("archive.dps")).expect("materialized archive");
+    std::fs::remove_dir_all(&streamed).ok();
+    std::fs::remove_dir_all(&materialized).ok();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "stream-block size leaked into the archive bytes");
+}
+
+/// Shard count is likewise invisible in content: loading a 3-shard
+/// archive and a single-file archive of the same-seed run, then
+/// re-saving both through the same single-file writer, must produce
+/// identical bytes (same pages, same dictionary, same stats — the
+/// canonical re-save erases only the commit granularity, which is the
+/// one legitimate difference between the two on-disk histories).
+#[test]
+fn sharded_study_reloads_to_the_single_file_bytes() {
+    let single = run_archived_once(14, dps_measure::STREAM_BLOCK_ENTRIES, 1);
+    let sharded = run_archived_once(14, dps_measure::STREAM_BLOCK_ENTRIES, 3);
+    assert!(
+        sharded.join("archive.manifest").exists(),
+        "shards=3 writes a manifest"
+    );
+    assert!(
+        !single.join("archive.manifest").exists(),
+        "shards=1 keeps the historical single-file layout"
+    );
+    let from_single =
+        SnapshotStore::load_archive(&single.join("archive.dps")).expect("single-file loads");
+    let from_sharded =
+        SnapshotStore::load_archive(&sharded.join("archive.dps")).expect("sharded loads");
+    let canon_single = single.join("resaved.dps");
+    let canon_sharded = sharded.join("resaved.dps");
+    from_single.save_archive(&canon_single).expect("re-save");
+    from_sharded.save_archive(&canon_sharded).expect("re-save");
+    let a = std::fs::read(&canon_single).expect("canonical single");
+    let b = std::fs::read(&canon_sharded).expect("canonical sharded");
+    std::fs::remove_dir_all(&single).ok();
+    std::fs::remove_dir_all(&sharded).ok();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "sharded content drifted from the single-file run");
+}

@@ -20,7 +20,8 @@ fn jobs_for(world: &World, take: usize) -> Vec<(Name, RrType)> {
     let mut jobs = Vec::new();
     for entry in world
         .zone_entries(dps_ecosystem::Tld::Com)
-        .into_iter()
+        .iter()
+        .copied()
         .take(take)
     {
         let apex = world.entry_name(entry);
@@ -179,7 +180,8 @@ fn recursor_answers_match_the_bulk_path() {
 
     for entry in world
         .zone_entries(dps_ecosystem::Tld::Com)
-        .into_iter()
+        .iter()
+        .copied()
         .take(25)
     {
         let apex = world.entry_name(entry);

@@ -12,9 +12,9 @@ use crate::crc32::crc32;
 use crate::format;
 use dps_columnar::{mapreduce, StringDict, Table};
 use dps_telemetry::{Counter, Histogram, Registry};
-use parking_lot::Mutex;
 use std::fs::File;
-use std::io::{self, Read, Seek, SeekFrom};
+use std::io;
+use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -192,7 +192,7 @@ impl VerifyReport {
 /// tables. The handle is `Sync`: scans fan page decodes out over the
 /// mapreduce worker pool.
 pub struct Archive {
-    file: Mutex<File>,
+    file: File,
     catalog: Catalog,
     stats: Vec<SourceStats>,
     cache: PageCache,
@@ -228,7 +228,7 @@ impl Archive {
         metrics.footer_chain.observe(footer.chain_len);
         let stats = footer.catalog.stats();
         Ok(Self {
-            file: Mutex::new(file),
+            file,
             catalog: footer.catalog,
             stats,
             cache: PageCache::new(cache_bytes),
@@ -365,17 +365,14 @@ impl Archive {
             .collect()
     }
 
-    /// Reads one page's raw chunk + CRC trailer from disk.
+    /// Reads one page's raw chunk + CRC trailer from disk. Positioned
+    /// (`read_exact_at`) so concurrent scan threads never serialize on a
+    /// shared cursor: each call carries its own offset into the kernel.
     fn read_page_bytes(&self, meta: &PageMeta) -> io::Result<Vec<u8>> {
         let total = usize::try_from(meta.len + format::PAGE_CRC_LEN)
             .map_err(|_| io::Error::other("dps-store: page too large for this platform"))?;
         let mut buf = vec![0u8; total];
-        {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(meta.offset))?;
-            // dps: allow(lock-across-ingress, reason = "this mutex exists to serialize seek+read on the archive file handle; the bytes come from local disk, not a peer that controls pacing")
-            file.read_exact(&mut buf)?;
-        }
+        self.file.read_exact_at(&mut buf, meta.offset)?;
         self.counters
             .disk_bytes_read
             .fetch_add(buf.len() as u64, Ordering::Relaxed);

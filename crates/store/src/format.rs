@@ -61,6 +61,20 @@ pub struct Footer {
     pub chain_len: u64,
 }
 
+/// One validated commit on the trailer chain. [`recover_chain`] returns
+/// these oldest-first so a resuming writer can keep a *prefix* of the
+/// chain (everything a sharded manifest says is durable) and truncate the
+/// rest — a finer-grained rollback than [`recover_footer`]'s
+/// all-or-nothing tail recovery.
+pub struct ChainCommit {
+    /// The commit's catalog delta (its new pages, uniques, dict tail).
+    pub delta: CatalogDelta,
+    /// Byte offset where this commit's footer starts.
+    pub data_end: u64,
+    /// Byte offset just past this commit's trailer.
+    pub trailer_end: u64,
+}
+
 /// One parsed 28-byte trailer.
 struct Trailer {
     crc: u32,
@@ -122,11 +136,16 @@ pub fn read_footer(file: &mut std::fs::File) -> io::Result<Footer> {
 }
 
 /// Walks the trailer chain backwards from the footer whose trailer starts
-/// at `trailer_start`, validating every delta, then merges oldest-first.
-/// `None` if anything on the chain is off.
-fn load_chain(file: &mut std::fs::File, trailer_start: u64, newest: &Trailer) -> Option<Footer> {
-    // Collect (delta bytes, data_end) newest-first.
-    let mut deltas: Vec<(Vec<u8>, u64)> = Vec::new();
+/// at `trailer_start`, validating CRCs, strict descent, page bounds, and
+/// delta decode. Returns the commits oldest-first. `None` if anything on
+/// the chain is off.
+fn collect_chain(
+    file: &mut std::fs::File,
+    trailer_start: u64,
+    newest: &Trailer,
+) -> Option<Vec<ChainCommit>> {
+    // Collect commits newest-first, then reverse.
+    let mut commits: Vec<ChainCommit> = Vec::new();
     let mut cur_start = trailer_start;
     let mut cur = Trailer {
         crc: newest.crc,
@@ -144,7 +163,18 @@ fn load_chain(file: &mut std::fs::File, trailer_start: u64, newest: &Trailer) ->
         if crc32(&footer) != cur.crc {
             return None;
         }
-        deltas.push((footer, data_end));
+        let delta = CatalogDelta::decode(&footer)?;
+        // Every page a commit references must lie before its own footer.
+        for page in &delta.pages {
+            if page.offset < 8 || page.offset + page.len + PAGE_CRC_LEN > data_end {
+                return None;
+            }
+        }
+        commits.push(ChainCommit {
+            delta,
+            data_end,
+            trailer_end: cur_start + TRAILER_LEN,
+        });
         if cur.prev == 0 {
             break;
         }
@@ -156,23 +186,30 @@ fn load_chain(file: &mut std::fs::File, trailer_start: u64, newest: &Trailer) ->
         cur_start = cur.prev - TRAILER_LEN;
         cur = read_trailer_at(file, cur_start)?;
     }
+    commits.reverse();
+    Some(commits)
+}
+
+/// Applies `commits` (oldest-first) into one merged [`Footer`]. `None` on
+/// an empty chain or if the deltas do not apply cleanly (duplicate pages,
+/// dictionary-base mismatch, …).
+pub fn chain_to_footer(commits: &[ChainCommit]) -> Option<Footer> {
+    let newest = commits.last()?;
     let mut catalog = Catalog::new();
-    for (bytes, data_end) in deltas.iter().rev() {
-        let delta = CatalogDelta::decode(bytes)?;
-        // Every page a commit references must lie before its own footer.
-        for page in &delta.pages {
-            if page.offset < 8 || page.offset + page.len + PAGE_CRC_LEN > *data_end {
-                return None;
-            }
-        }
-        catalog.apply(&delta)?;
+    for commit in commits {
+        catalog.apply(&commit.delta)?;
     }
     Some(Footer {
         catalog,
-        data_end: trailer_start,
-        trailer_end: trailer_start + TRAILER_LEN,
-        chain_len: deltas.len() as u64,
+        data_end: newest.data_end,
+        trailer_end: newest.trailer_end,
+        chain_len: commits.len() as u64,
     })
+}
+
+fn load_chain(file: &mut std::fs::File, trailer_start: u64, newest: &Trailer) -> Option<Footer> {
+    let commits = collect_chain(file, trailer_start, newest)?;
+    chain_to_footer(&commits)
 }
 
 /// Finds the last durable footer chain, tolerating a torn tail: first
@@ -180,11 +217,29 @@ fn load_chain(file: &mut std::fs::File, trailer_start: u64, newest: &Trailer) ->
 /// validating each candidate's whole chain. Returns the most recent valid
 /// one.
 pub fn recover_footer(file: &mut std::fs::File) -> io::Result<Footer> {
-    if let Ok(footer) = read_footer(file) {
-        return Ok(footer);
-    }
+    let commits = recover_chain(file)?;
+    chain_to_footer(&commits).ok_or_else(|| corrupt("no valid footer found"))
+}
+
+/// Like [`recover_footer`] but exposes the individual commits, oldest
+/// first, instead of the merged catalog. Returns `Ok(vec![])` for a file
+/// with a valid header and no recoverable footer — a freshly created (or
+/// fully torn-back) archive. The sharded store uses this to roll a shard
+/// back to the longest prefix its manifest vouches for.
+pub fn recover_chain(file: &mut std::fs::File) -> io::Result<Vec<ChainCommit>> {
     check_header(file)?;
     let file_len = file.seek(SeekFrom::End(0))?;
+    // Fast path: a cleanly committed file has its newest trailer at EOF.
+    if file_len >= 8 + TRAILER_LEN {
+        let trailer_start = file_len - TRAILER_LEN;
+        if let Some(trailer) = read_trailer_at(file, trailer_start) {
+            if let Some(commits) = collect_chain(file, trailer_start, &trailer) {
+                if chain_to_footer(&commits).is_some() {
+                    return Ok(commits);
+                }
+            }
+        }
+    }
     // Backward chunked scan for FOOTER_MAGIC, with overlap so a magic
     // spanning a chunk boundary is still seen.
     const CHUNK: u64 = 1 << 16;
@@ -207,8 +262,10 @@ pub fn recover_footer(file: &mut std::fs::File) -> io::Result<Footer> {
             let Some(trailer) = read_trailer_at(file, trailer_start) else {
                 continue;
             };
-            if let Some(footer) = load_chain(file, trailer_start, &trailer) {
-                return Ok(footer);
+            if let Some(commits) = collect_chain(file, trailer_start, &trailer) {
+                if chain_to_footer(&commits).is_some() {
+                    return Ok(commits);
+                }
             }
         }
         // Overlap by 7 bytes so boundary-spanning magics are covered.
@@ -217,5 +274,5 @@ pub fn recover_footer(file: &mut std::fs::File) -> io::Result<Footer> {
             break;
         }
     }
-    Err(corrupt("no valid footer found"))
+    Ok(Vec::new())
 }

@@ -51,9 +51,11 @@ pub mod cache;
 pub mod catalog;
 pub mod crc32;
 pub mod format;
+pub mod sharded;
 pub mod writer;
 
 pub use archive::{Archive, CounterSnapshot, ScanItem, ScanQuery, StoreMetrics, VerifyReport};
 pub use cache::PageCache;
 pub use catalog::{Catalog, PageMeta, SourceStats};
+pub use sharded::{ShardedArchive, ShardedWriter, StoreReader, StoreWriter};
 pub use writer::ArchiveWriter;

@@ -97,6 +97,31 @@ impl ArchiveWriter {
         })
     }
 
+    /// Builds a writer from an already-recovered state: `file` truncated
+    /// to `trailer_end` (8 = fresh, nothing committed) and `catalog` the
+    /// merged result of the surviving chain prefix. The sharded store uses
+    /// this after rolling a shard back to the prefix its manifest covers.
+    pub(crate) fn from_recovered(
+        file: File,
+        catalog: Catalog,
+        trailer_end: u64,
+        unique_key_column: Option<&str>,
+    ) -> Self {
+        let committed_once = trailer_end > 8;
+        let committed_dict_len = catalog.dict.len() as u64;
+        Self {
+            file,
+            catalog,
+            data_end: trailer_end.max(8),
+            unique_key_column: unique_key_column.map(str::to_owned),
+            pending_pages: Vec::new(),
+            pending_uniques: Vec::new(),
+            committed_dict_len,
+            prev_trailer_end: if committed_once { trailer_end } else { 0 },
+            committed_once,
+        }
+    }
+
     /// Resumes if `path` exists, creates otherwise.
     pub fn resume_or_create(path: &Path, unique_key_column: Option<&str>) -> io::Result<Self> {
         if path.exists() {

@@ -46,6 +46,7 @@ struct CommonArgs {
     cols: Option<Vec<String>>,
     chaos: Option<String>,
     stream: bool,
+    shards: u32,
     workers: u32,
     min_workers: u32,
     bind: Option<String>,
@@ -120,6 +121,10 @@ fn usage() -> ! {
            --stream       measure: maintain incremental analysis at each\n\
                           day's commit and checkpoint it in the archive\n\
                           (works with --workers; not with --chaos)\n\
+           --shards N     measure: write a sharded archive (manifest + N\n\
+                          shard files; scans parallelise per shard) when\n\
+                          creating a fresh one; resume keeps the existing\n\
+                          layout (default 1 = single-file archive.dps)\n\
            --workers N    measure: sweep with N local worker-agent processes\n\
                           over a Unix socket (archive stays byte-identical)\n\
            --bind ADDR    cluster serve: listen address\n\
@@ -153,6 +158,7 @@ fn parse_args(args: &[String]) -> CommonArgs {
         cols: None,
         chaos: None,
         stream: false,
+        shards: 1,
         workers: 0,
         min_workers: 0,
         bind: None,
@@ -198,6 +204,7 @@ fn parse_args(args: &[String]) -> CommonArgs {
             }
             "--chaos" => common.chaos = Some(value("--chaos").to_string()),
             "--stream" => common.stream = true,
+            "--shards" => common.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
             "--workers" => common.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--min-workers" => {
                 common.min_workers = value("--min-workers").parse().unwrap_or_else(|_| usage())
@@ -310,6 +317,7 @@ fn cmd_measure(args: CommonArgs) {
         cc_start_day: args.cc_start,
         stride: args.stride,
     })
+    .with_shards(args.shards)
     .run_archived_observed(&mut world, &path, observer)
     .expect("archived study");
     println!(
@@ -620,7 +628,7 @@ fn cmd_store(args: CommonArgs) {
     if path.is_dir() {
         path = path.join(dps_scope::measure::ARCHIVE_FILE);
     }
-    let archive = match Archive::open(&path) {
+    let archive = match StoreReader::open_auto(&path) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("cannot open {}: {e}", path.display());
@@ -631,6 +639,12 @@ fn cmd_store(args: CommonArgs) {
         "info" => {
             let catalog = archive.catalog();
             println!("archive: {}", path.display());
+            if archive.is_sharded() {
+                println!(
+                    "layout:  sharded ({} shard files + manifest)",
+                    archive.n_shards()
+                );
+            }
             println!("pages:   {}", catalog.pages.len());
             println!(
                 "stored:  {}",
@@ -833,8 +847,8 @@ fn cmd_metrics(args: CommonArgs) {
 /// through a fresh [`StreamEngine`], in catalog (day-ascending) order —
 /// the same path a resumed sweep takes. Exits with a message if the
 /// archive holds no checkpoints (it was measured without `--stream`).
-fn replay_stream_engine(path: &std::path::Path) -> (Archive, dps_scope::stream::StreamEngine) {
-    let archive = match Archive::open(path) {
+fn replay_stream_engine(path: &std::path::Path) -> (StoreReader, dps_scope::stream::StreamEngine) {
+    let archive = match StoreReader::open_auto(path) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("cannot open {}: {e}", path.display());
@@ -949,7 +963,7 @@ fn stream_check(path: &std::path::Path) {
     };
     let refs = CompiledRefs::compile(&ProviderRefs::paper_table2(), &store.dict);
     let out = Scanner::new(&refs)
-        .run_archive(&archive)
+        .run_store(&archive)
         .expect("archive rescan");
     let mask =
         dps_scope::core::QualityMask::from_store(&store, dps_scope::core::DEFAULT_MIN_COVERAGE);

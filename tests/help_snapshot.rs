@@ -68,6 +68,10 @@ scripted fault schedule, e.g.\n\
 --stream       measure: maintain incremental analysis at each\n\
 day's commit and checkpoint it in the archive\n\
 (works with --workers; not with --chaos)\n\
+--shards N     measure: write a sharded archive (manifest + N\n\
+shard files; scans parallelise per shard) when\n\
+creating a fresh one; resume keeps the existing\n\
+layout (default 1 = single-file archive.dps)\n\
 --workers N    measure: sweep with N local worker-agent processes\n\
 over a Unix socket (archive stays byte-identical)\n\
 --bind ADDR    cluster serve: listen address\n\

@@ -30,7 +30,7 @@ fn compare_all(world: &World, net: &std::sync::Arc<Network>) {
     let mut compared = 0usize;
     let mut sample: Vec<(Name, RrType, Resolution)> = Vec::new();
     for tld in dps_scope::ecosystem::MEASURED_TLDS {
-        for entry in world.zone_entries(tld) {
+        for &entry in world.zone_entries(tld).iter() {
             let apex = world.entry_name(entry);
             let www = apex.prepend("www").unwrap();
             for (qname, qtype) in [
@@ -108,7 +108,7 @@ fn direct_resolver_agrees_with_world_bulk() {
     let catalog = world.materialize(&net);
     let direct = DirectResolver::new(catalog);
     let mut checked = 0;
-    for entry in world.zone_entries(Tld::Com).into_iter().take(300) {
+    for &entry in world.zone_entries(Tld::Com).iter().take(300) {
         let apex = world.entry_name(entry);
         let bulk = world.resolve(&apex, RrType::A);
         let cat = direct.resolve(&apex, RrType::A);
